@@ -1,0 +1,95 @@
+// Experiment E9 (Theorem 3.6): the optimizer runs in time polynomial in
+// the expression length. Random inclusion chains over random DAG-shaped
+// RIGs, length sweep 4..512 — per-chain optimize time should grow
+// polynomially (roughly quadratically: per-link graph tests over a
+// fixed-size RIG).
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "qof/optimizer/optimizer.h"
+
+namespace {
+
+// A "ladder" RIG: a long chain i -> i+1 with random short skip edges, so
+// downward walks of any requested length exist and skip edges create the
+// alternate paths the rewrite conditions must analyse.
+qof::Rig LadderRig(std::mt19937& rng, int nodes, double skip_prob) {
+  qof::Rig g;
+  for (int i = 0; i < nodes; ++i) g.AddNode("N" + std::to_string(i));
+  std::bernoulli_distribution coin(skip_prob);
+  std::uniform_int_distribution<int> span(2, 5);
+  for (int i = 0; i + 1 < nodes; ++i) {
+    g.AddEdge(static_cast<qof::Rig::NodeId>(i),
+              static_cast<qof::Rig::NodeId>(i + 1));
+    if (coin(rng)) {
+      int j = std::min(nodes - 1, i + span(rng));
+      g.AddEdge(static_cast<qof::Rig::NodeId>(i),
+                static_cast<qof::Rig::NodeId>(j));
+    }
+  }
+  return g;
+}
+
+// A downward random walk (so chains are usually non-trivial).
+qof::InclusionChain RandomChain(const qof::Rig& g, std::mt19937& rng,
+                                int length) {
+  qof::InclusionChain chain;
+  std::uniform_int_distribution<size_t> start(0, g.num_nodes() - 1);
+  std::bernoulli_distribution direct(0.7);
+  qof::Rig::NodeId cur = static_cast<qof::Rig::NodeId>(start(rng));
+  chain.names.push_back(g.name(cur));
+  for (int i = 1; i < length; ++i) {
+    const auto& out = g.out_edges(cur);
+    if (out.empty()) break;
+    std::uniform_int_distribution<size_t> pick(0, out.size() - 1);
+    cur = out[pick(rng)];
+    chain.names.push_back(g.name(cur));
+    chain.direct.push_back(direct(rng));
+  }
+  chain.sels.resize(chain.names.size());
+  return chain;
+}
+
+void BM_OptimizeChain(benchmark::State& state) {
+  std::mt19937 rng(17);
+  qof::Rig g = LadderRig(rng, 600, 0.3);
+  qof::ChainOptimizer optimizer(&g);
+  int length = static_cast<int>(state.range(0));
+  std::vector<qof::InclusionChain> chains;
+  double total_len = 0;
+  for (int i = 0; i < 32; ++i) {
+    chains.push_back(RandomChain(g, rng, length));
+    total_len += static_cast<double>(chains.back().length());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto outcome = optimizer.Optimize(chains[i++ % chains.size()]);
+    if (!outcome.ok()) state.SkipWithError("optimize failed");
+    benchmark::DoNotOptimize(outcome->chain.length());
+  }
+  state.counters["avg_chain_len"] = total_len / 32.0;
+}
+
+void BM_TrivialityCheck(benchmark::State& state) {
+  std::mt19937 rng(23);
+  qof::Rig g = LadderRig(rng, 600, 0.3);
+  qof::ChainOptimizer optimizer(&g);
+  int length = static_cast<int>(state.range(0));
+  std::vector<qof::InclusionChain> chains;
+  for (int i = 0; i < 32; ++i) chains.push_back(RandomChain(g, rng, length));
+  size_t i = 0;
+  for (auto _ : state) {
+    bool trivial =
+        optimizer.IsTriviallyEmpty(chains[i++ % chains.size()]);
+    benchmark::DoNotOptimize(trivial);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_OptimizeChain)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+BENCHMARK(BM_TrivialityCheck)->Arg(4)->Arg(64)->Arg(512);
+
+BENCHMARK_MAIN();

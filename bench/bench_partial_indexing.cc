@@ -1,0 +1,165 @@
+// Experiments E4 + E5 (§6): the efficiency-vs-indexing-amount tradeoff.
+//
+// Table 1 — the flagship query under progressively smaller index sets:
+//   index bytes, plan kind, exactness, candidates, bytes parsed, time.
+// Table 2 — candidate-superset growth: as more references mention the
+//   probe name as an *editor*, the §6.1 partial index produces more false
+//   candidates (and the two-phase plan parses more), while the exact
+//   index set is unaffected.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+constexpr const char* kFlagship =
+    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+    "\"Chang\"";
+
+struct SpecCase {
+  const char* label;
+  qof::IndexSpec spec;
+};
+
+void Table1(int num_references) {
+  qof::BibtexGenOptions gen;
+  gen.num_references = num_references;
+  gen.probe_author_rate = 0.05;
+  gen.probe_editor_rate = 0.05;
+  std::string text = qof::GenerateBibtex(gen);
+  auto schema = qof::BibtexSchema();
+  qof::FileQuerySystem system(*schema);
+  (void)system.AddFile("t1.bib", text);
+
+  std::vector<SpecCase> cases = {
+      {"full (every non-terminal)      ", qof::IndexSpec::Full()},
+      {"{Ref, Authors, Editors, Name, Last_Name}",
+       qof::IndexSpec::Partial(
+           {"Reference", "Authors", "Editors", "Name", "Last_Name"})},
+      {"{Ref, Authors, Last_Name}  (6.3 exact)",
+       qof::IndexSpec::Partial({"Reference", "Authors", "Last_Name"})},
+      {"{Ref, Key, Last_Name}      (6.1 superset)",
+       qof::IndexSpec::Partial({"Reference", "Key", "Last_Name"})},
+      {"{Ref}                      (word index only)",
+       qof::IndexSpec::Partial({"Reference"})},
+  };
+
+  std::printf(
+      "Table 1 — flagship query, %d references (%zu bytes corpus)\n",
+      num_references, text.size());
+  std::printf(
+      "%-45s %12s %-11s %6s %10s %12s %10s %9s\n", "index set",
+      "index bytes", "strategy", "exact", "candidates", "bytes parsed",
+      "results", "time(us)");
+  for (SpecCase& c : cases) {
+    if (!system.BuildIndexes(c.spec).ok()) continue;
+    auto result = system.Execute(kFlagship);
+    if (!result.ok()) {
+      std::printf("%-45s query failed: %s\n", c.label,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    double median = qof_bench::MedianMicros(
+        9, [&] { (void)system.Execute(kFlagship); });
+    std::printf("%-45s %12llu %-11s %6s %10llu %12llu %10llu %9.0f\n",
+                c.label,
+                static_cast<unsigned long long>(system.IndexBytes()),
+                result->stats.strategy.c_str(),
+                result->stats.exact ? "yes" : "no",
+                static_cast<unsigned long long>(result->stats.candidates),
+                static_cast<unsigned long long>(
+                    result->stats.bytes_scanned),
+                static_cast<unsigned long long>(result->stats.results),
+                median);
+  }
+  // The standard database comparator.
+  auto base = system.Execute(kFlagship, qof::ExecutionMode::kBaseline);
+  if (base.ok()) {
+    double median = qof_bench::MedianMicros(5, [&] {
+      (void)system.Execute(kFlagship, qof::ExecutionMode::kBaseline);
+    });
+    std::printf("%-45s %12s %-11s %6s %10s %12llu %10llu %9.0f\n",
+                "(baseline: full scan + parse + load)", "-", "baseline",
+                "yes", "-",
+                static_cast<unsigned long long>(base->stats.bytes_scanned),
+                static_cast<unsigned long long>(base->stats.results),
+                median);
+  }
+  std::printf("\n");
+}
+
+void Table2(int num_references) {
+  std::printf(
+      "Table 2 — candidate superset vs. editor-collision rate "
+      "(%d references, index {Reference, Key, Last_Name})\n",
+      num_references);
+  std::printf("%-14s %10s %12s %10s %14s\n", "editor-rate", "candidates",
+              "false cands", "results", "bytes parsed");
+  for (double editor_rate : {0.0, 0.05, 0.15, 0.30, 0.60}) {
+    qof::BibtexGenOptions gen;
+    gen.num_references = num_references;
+    gen.probe_author_rate = 0.05;
+    gen.probe_editor_rate = editor_rate;
+    auto schema = qof::BibtexSchema();
+    qof::FileQuerySystem system(*schema);
+    (void)system.AddFile("t2.bib", qof::GenerateBibtex(gen));
+    if (!system
+             .BuildIndexes(qof::IndexSpec::Partial(
+                 {"Reference", "Key", "Last_Name"}))
+             .ok()) {
+      continue;
+    }
+    auto result = system.Execute(kFlagship);
+    if (!result.ok()) continue;
+    std::printf("%-14.2f %10llu %12llu %10llu %14llu\n", editor_rate,
+                static_cast<unsigned long long>(result->stats.candidates),
+                static_cast<unsigned long long>(result->stats.candidates -
+                                                result->stats.results),
+                static_cast<unsigned long long>(result->stats.results),
+                static_cast<unsigned long long>(
+                    result->stats.bytes_scanned));
+  }
+  std::printf("\n");
+}
+
+void ExactnessDemo() {
+  std::printf(
+      "E5 — §6.3 exactness: plan kind as a function of the index set\n");
+  auto schema = qof::BibtexSchema();
+  qof::FileQuerySystem system(*schema);
+  qof::BibtexGenOptions gen;
+  gen.num_references = 500;
+  (void)system.AddFile("t3.bib", qof::GenerateBibtex(gen));
+  struct Case {
+    const char* label;
+    qof::IndexSpec spec;
+  } cases[] = {
+      {"{Ref, Key, Last_Name}: two derivations share the link",
+       qof::IndexSpec::Partial({"Reference", "Key", "Last_Name"})},
+      {"{Ref, Authors, Last_Name}: unique derivations per link",
+       qof::IndexSpec::Partial({"Reference", "Authors", "Last_Name"})},
+      {"{Ref, Name, Last_Name}: editors still conflated",
+       qof::IndexSpec::Partial({"Reference", "Name", "Last_Name"})},
+  };
+  for (auto& c : cases) {
+    if (!system.BuildIndexes(c.spec).ok()) continue;
+    auto plan = system.Plan(kFlagship);
+    if (!plan.ok()) continue;
+    std::printf("  %-55s -> %s\n", c.label,
+                plan->exact ? "EXACT (no parsing needed)"
+                            : "superset (two-phase)");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Table1(5000);
+  Table2(5000);
+  ExactnessDemo();
+  return 0;
+}

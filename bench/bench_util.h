@@ -1,0 +1,64 @@
+#ifndef QOF_BENCH_BENCH_UTIL_H_
+#define QOF_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment drivers and benchmarks.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qof/core/api.h"
+
+namespace qof_bench {
+
+/// A cached, fully-initialized BibTeX query system for a given corpus
+/// size (building large corpora repeatedly would dominate benchmark
+/// setup).
+inline qof::FileQuerySystem& BibtexSystem(int num_references,
+                                          const qof::IndexSpec& spec,
+                                          const std::string& spec_key) {
+  static std::map<std::string, std::unique_ptr<qof::FileQuerySystem>>
+      cache;
+  std::string key = std::to_string(num_references) + "/" + spec_key;
+  auto it = cache.find(key);
+  if (it != cache.end()) return *it->second;
+
+  qof::BibtexGenOptions gen;
+  gen.num_references = num_references;
+  gen.probe_author_rate = 0.05;
+  gen.probe_editor_rate = 0.05;
+  auto schema = qof::BibtexSchema();
+  auto system = std::make_unique<qof::FileQuerySystem>(*schema);
+  if (!system->AddFile("bench.bib", qof::GenerateBibtex(gen)).ok() ||
+      !system->BuildIndexes(spec).ok()) {
+    std::fprintf(stderr, "bench fixture setup failed\n");
+    std::abort();
+  }
+  auto [pos, inserted] = cache.emplace(key, std::move(system));
+  (void)inserted;
+  return *pos->second;
+}
+
+/// Median wall time of `fn` over `runs` executions, in microseconds.
+inline double MedianMicros(int runs, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace qof_bench
+
+#endif  // QOF_BENCH_BENCH_UTIL_H_

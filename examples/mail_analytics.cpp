@@ -1,0 +1,84 @@
+// Mail analytics: the paper's e-mail motivating example (§1). A mailbox
+// file becomes a database view; FQL distinguishes sender and recipient
+// roles the same way BibTeX distinguishes authors and editors.
+//
+// Build & run:  ./build/examples/mail_analytics
+
+#include <cstdio>
+
+#include "qof/core/api.h"
+
+namespace {
+
+void Show(qof::FileQuerySystem& system, const char* title,
+          const char* fql) {
+  std::printf("--- %s\n    %s\n", title, fql);
+  auto result = system.Execute(fql);
+  if (!result.ok()) {
+    std::printf("    error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("    -> %llu results  [%s, %llu bytes scanned]\n\n",
+              static_cast<unsigned long long>(result->stats.results),
+              result->stats.strategy.c_str(),
+              static_cast<unsigned long long>(result->stats.bytes_scanned));
+}
+
+}  // namespace
+
+int main() {
+  qof::MailGenOptions gen;
+  gen.num_messages = 3000;
+  gen.probe_sender_rate = 0.04;
+  gen.probe_recipient_rate = 0.08;
+  std::string mailbox = qof::GenerateMailbox(gen);
+
+  auto schema = qof::MailSchema();
+  if (!schema.ok()) return 1;
+  qof::FileQuerySystem system(*schema);
+  if (!system.AddFile("inbox.mail", mailbox).ok()) return 1;
+  if (!system.BuildIndexes().ok()) return 1;
+  std::printf("%d messages, %zu bytes, fully indexed\n\n",
+              gen.num_messages, mailbox.size());
+
+  Show(system, "mail FROM Dana Chang (role-specific)",
+       "SELECT m FROM Messages m "
+       "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"");
+
+  Show(system, "mail TO Dana Chang",
+       "SELECT m FROM Messages m "
+       "WHERE m.Recipients.Address.Addr_Name = \"Dana Chang\"");
+
+  Show(system, "any mention of Dana Chang in headers (wildcard)",
+       "SELECT m FROM Messages m WHERE m.*X.Addr_Name = \"Dana Chang\"");
+
+  Show(system, "urgent work mail",
+       "SELECT m FROM Messages m WHERE m.Tags.Tag = \"urgent\" "
+       "AND m.Tags.Tag = \"work\"");
+
+  Show(system, "budget threads not from Dana Chang",
+       "SELECT m FROM Messages m WHERE m.Subject CONTAINS \"budget\" "
+       "AND NOT m.Sender.Address.Addr_Name = \"Dana Chang\"");
+
+  Show(system, "self-addressed mail (join: a sender who is a recipient)",
+       "SELECT m FROM Messages m "
+       "WHERE m.Sender.Address = m.Recipients.Address");
+
+  Show(system, "subjects of mail sent by Dana Chang (projection)",
+       "SELECT m.Subject FROM Messages m "
+       "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"");
+
+  // Selective indexing (§7): if queries only ever ask about senders,
+  // index addresses only inside FROM fields.
+  qof::IndexSpec spec = qof::IndexSpec::Partial(
+      {"Message", "Sender", "Address", "Addr_Name"});
+  spec.within["Address"] = "Sender";
+  spec.within["Addr_Name"] = "Sender";
+  if (!system.BuildIndexes(spec).ok()) return 1;
+  std::printf("selective index (sender-side only): %llu bytes\n\n",
+              static_cast<unsigned long long>(system.IndexBytes()));
+  Show(system, "mail FROM Dana Chang under the selective index",
+       "SELECT m FROM Messages m "
+       "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"");
+  return 0;
+}

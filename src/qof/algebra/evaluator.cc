@@ -1,0 +1,297 @@
+#include "qof/algebra/evaluator.h"
+
+#include <algorithm>
+
+#include "qof/util/string_util.h"
+
+namespace qof {
+namespace {
+
+void Record(EvalStats* stats, const RegionSet& produced) {
+  if (!stats) return;
+  stats->regions_produced += produced.size();
+  stats->max_intermediate =
+      std::max<uint64_t>(stats->max_intermediate, produced.size());
+}
+
+}  // namespace
+
+Result<RegionSet> ExprEvaluator::Evaluate(const RegionExpr& expr,
+                                          EvalStats* stats) const {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("evaluator has no region index");
+  }
+  return Eval(expr, stats);
+}
+
+std::string ExprEvaluator::SourceName(const RegionExpr& expr) {
+  const RegionExpr* e = &expr;
+  while (IsSelectKind(e->kind()) || e->kind() == ExprKind::kInnermost ||
+         e->kind() == ExprKind::kOutermost) {
+    e = e->child().get();
+  }
+  return e->kind() == ExprKind::kName ? e->name() : std::string();
+}
+
+Result<RegionSet> ExprEvaluator::Eval(const RegionExpr& expr,
+                                      EvalStats* stats) const {
+  switch (expr.kind()) {
+    case ExprKind::kName: {
+      QOF_ASSIGN_OR_RETURN(const RegionSet* set, index_->Get(expr.name()));
+      return *set;
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference: {
+      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
+      if (stats) ++stats->set_ops;
+      RegionSet out = expr.kind() == ExprKind::kUnion ? Union(l, r)
+                      : expr.kind() == ExprKind::kIntersect
+                          ? Intersect(l, r)
+                          : Difference(l, r);
+      Record(stats, out);
+      return out;
+    }
+    case ExprKind::kInnermost:
+    case ExprKind::kOutermost: {
+      QOF_ASSIGN_OR_RETURN(RegionSet c, Eval(*expr.child(), stats));
+      if (stats) ++stats->nest_ops;
+      RegionSet out = expr.kind() == ExprKind::kInnermost ? Innermost(c)
+                                                          : Outermost(c);
+      Record(stats, out);
+      return out;
+    }
+    case ExprKind::kSelectMatches:
+    case ExprKind::kSelectContains:
+    case ExprKind::kSelectPhrase:
+    case ExprKind::kSelectStartsWith:
+    case ExprKind::kSelectContainsPrefix:
+    case ExprKind::kSelectNear:
+    case ExprKind::kSelectAtLeast:
+      return EvalSelect(expr, stats);
+    case ExprKind::kIncluding:
+    case ExprKind::kIncluded: {
+      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
+      if (stats) ++stats->simple_incl_ops;
+      RegionSet out = expr.kind() == ExprKind::kIncluding
+                          ? Including(l, r)
+                          : IncludedIn(l, r);
+      Record(stats, out);
+      return out;
+    }
+    case ExprKind::kDirectlyIncluding:
+    case ExprKind::kDirectlyIncluded: {
+      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
+      return EvalDirect(expr, std::move(l), std::move(r), stats);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<RegionSet> ExprEvaluator::EvalDirect(const RegionExpr& expr,
+                                            RegionSet left, RegionSet right,
+                                            EvalStats* stats) const {
+  if (stats) ++stats->direct_incl_ops;
+  const bool including = expr.kind() == ExprKind::kDirectlyIncluding;
+  RegionSet out;
+  if (direct_ == DirectAlgorithm::kLayered && including) {
+    // "I − {S}": every indexed instance except the one the right operand
+    // was drawn from.
+    std::vector<const RegionSet*> others =
+        index_->AllExcept(SourceName(*expr.right()));
+    out = DirectlyIncludingLayered(left, right, others);
+  } else if (direct_ == DirectAlgorithm::kLayered) {
+    // ⊂d via the layered program for the mirrored operands: r ⊂d s holds
+    // iff s ⊃d r; compute the s-side and map back.
+    std::vector<const RegionSet*> others =
+        index_->AllExcept(SourceName(*expr.left()));
+    RegionSet direct_parents = DirectlyIncludingLayered(right, left, others);
+    // Keep the left members whose innermost strict encloser is a selected
+    // parent; equivalent to the fast path but reusing its sweep.
+    out = DirectlyIncluded(left, direct_parents, index_->Universe());
+  } else {
+    out = including ? DirectlyIncluding(left, right, index_->Universe())
+                    : DirectlyIncluded(left, right, index_->Universe());
+  }
+  Record(stats, out);
+  return out;
+}
+
+Result<RegionSet> ExprEvaluator::EvalSelect(const RegionExpr& expr,
+                                            EvalStats* stats) const {
+  QOF_ASSIGN_OR_RETURN(RegionSet child, Eval(*expr.child(), stats));
+  if (stats) ++stats->select_ops;
+  if (words_ == nullptr) {
+    return Status::InvalidArgument(
+        "selection requires a word index: " + expr.ToString());
+  }
+  const std::string& literal = expr.word();
+  if (literal.empty()) {
+    return Status::InvalidArgument("selection with empty word");
+  }
+
+  // Multi-word σ degenerates to phrase semantics.
+  ExprKind kind = expr.kind();
+  auto tokens = Tokenizer::Tokenize(literal);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("selection word has no indexable token: " +
+                                   literal);
+  }
+  if (kind == ExprKind::kSelectMatches && tokens.size() > 1) {
+    kind = ExprKind::kSelectPhrase;
+  }
+
+  std::vector<Region> out;
+  if (kind == ExprKind::kSelectNear) {
+    // PAT proximity: the region holds an occurrence of each word at most
+    // `param` bytes apart (start-to-start distance).
+    auto t2 = Tokenizer::Tokenize(expr.word2());
+    if (tokens.size() != 1 || t2.size() != 1) {
+      return Status::InvalidArgument(
+          "near expects two single words: " + expr.ToString());
+    }
+    const std::vector<TextPos>& p1 =
+        words_->Lookup(std::string(tokens[0].text));
+    const std::vector<TextPos>& p2 =
+        words_->Lookup(std::string(t2[0].text));
+    const uint64_t d = expr.param();
+    for (const Region& r : child) {
+      auto lo1 = std::lower_bound(p1.begin(), p1.end(), r.start);
+      bool hit = false;
+      for (auto it = lo1; !hit && it != p1.end() && *it < r.end; ++it) {
+        // Closest w2 occurrence inside r to *it.
+        auto lo2 = std::lower_bound(p2.begin(), p2.end(),
+                                    *it >= d ? *it - d : 0);
+        for (auto jt = lo2; jt != p2.end() && *jt <= *it + d; ++jt) {
+          if (*jt >= r.start && *jt < r.end) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectAtLeast) {
+    // PAT frequency: at least `param` occurrences of the word inside.
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(
+          "atleast expects a single word: " + expr.ToString());
+    }
+    const std::vector<TextPos>& postings =
+        words_->Lookup(std::string(tokens[0].text));
+    const uint64_t len = tokens[0].text.size();
+    const uint64_t need = expr.param();
+    for (const Region& r : child) {
+      auto lo = std::lower_bound(postings.begin(), postings.end(),
+                                 r.start);
+      auto hi = std::upper_bound(lo, postings.end(),
+                                 r.end >= len ? r.end - len : 0);
+      if (static_cast<uint64_t>(hi - lo) >= need) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectStartsWith ||
+      kind == ExprKind::kSelectContainsPrefix) {
+    // PAT-style lexical search: all postings of words with the prefix.
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(
+          "prefix selection expects a single word fragment: " + literal);
+    }
+    const std::string prefix(tokens[0].text);
+    std::vector<TextPos> postings = words_->LookupPrefix(prefix);
+    if (kind == ExprKind::kSelectStartsWith) {
+      // A prefixed word begins exactly where the region begins.
+      for (const Region& r : child) {
+        if (std::binary_search(postings.begin(), postings.end(),
+                               r.start)) {
+          out.push_back(r);
+        }
+      }
+    } else {
+      const uint64_t len = prefix.size();
+      for (const Region& r : child) {
+        if (r.length() < len) continue;
+        auto it =
+            std::lower_bound(postings.begin(), postings.end(), r.start);
+        if (it != postings.end() && *it + len <= r.end) out.push_back(r);
+      }
+    }
+  } else if (kind == ExprKind::kSelectMatches) {
+    // Region spans that coincide with an occurrence of the word.
+    const std::string word(tokens[0].text);
+    const std::vector<TextPos>& postings = words_->Lookup(word);
+    const uint64_t len = word.size();
+    for (const Region& r : child) {
+      if (r.length() != len) continue;
+      if (std::binary_search(postings.begin(), postings.end(), r.start)) {
+        out.push_back(r);
+      }
+    }
+  } else if (kind == ExprKind::kSelectContains && tokens.size() == 1) {
+    const std::string word(tokens[0].text);
+    const std::vector<TextPos>& postings = words_->Lookup(word);
+    const uint64_t len = word.size();
+    for (const Region& r : child) {
+      if (r.length() < len) continue;
+      auto it = std::lower_bound(postings.begin(), postings.end(), r.start);
+      if (it != postings.end() && *it + len <= r.end) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectContains) {
+    // Phrase containment: an occurrence of the whole literal inside the
+    // region, anchored at the first word's postings and verified against
+    // the text (the verification scan is charged, as for kSelectPhrase).
+    if (corpus_ == nullptr) {
+      return Status::InvalidArgument(
+          "phrase containment requires corpus access: " + expr.ToString());
+    }
+    std::string trimmed(TrimView(literal));
+    const std::string first(tokens[0].text);
+    const std::vector<TextPos>& postings = words_->Lookup(first);
+    const uint64_t first_off = tokens[0].start;
+    const uint64_t len = trimmed.size();
+    for (const Region& r : child) {
+      if (r.length() < len) continue;
+      auto it = std::lower_bound(postings.begin(), postings.end(),
+                                 r.start + first_off);
+      bool hit = false;
+      for (; !hit && it != postings.end() && *it + len - first_off <= r.end;
+           ++it) {
+        TextPos begin = *it - first_off;
+        if (begin < r.start) continue;
+        std::string_view text = corpus_->ScanText(begin, begin + len);
+        if (stats) stats->bytes_scanned += text.size();
+        hit = text == trimmed;
+      }
+      if (hit) out.push_back(r);
+    }
+  } else {
+    // Phrase: candidate regions start at an occurrence of the first word
+    // (index-located), then the full span is verified against the text.
+    // The verification scan is the only text access in the algebra.
+    if (corpus_ == nullptr) {
+      return Status::InvalidArgument(
+          "phrase selection requires corpus access: " + expr.ToString());
+    }
+    const std::string first(tokens[0].text);
+    const std::vector<TextPos>& postings = words_->Lookup(first);
+    for (const Region& r : child) {
+      if (r.length() != literal.size()) continue;
+      // The first word starts where the region starts (field spans are
+      // trimmed by the parser, as are phrase literals by convention).
+      TextPos word_start = r.start + tokens[0].start;
+      if (!std::binary_search(postings.begin(), postings.end(),
+                              word_start)) {
+        continue;
+      }
+      std::string_view text = corpus_->ScanText(r.start, r.end);
+      if (stats) stats->bytes_scanned += text.size();
+      if (text == literal) out.push_back(r);
+    }
+  }
+  RegionSet result = RegionSet::FromSortedUnique(std::move(out));
+  Record(stats, result);
+  return result;
+}
+
+}  // namespace qof

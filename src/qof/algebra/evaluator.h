@@ -1,0 +1,83 @@
+#ifndef QOF_ALGEBRA_EVALUATOR_H_
+#define QOF_ALGEBRA_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "qof/algebra/expr.h"
+#include "qof/region/region_index.h"
+#include "qof/region/region_set.h"
+#include "qof/text/corpus.h"
+#include "qof/text/word_index.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Execution statistics of one expression evaluation; the experiments
+/// report these alongside wall time.
+struct EvalStats {
+  uint64_t set_ops = 0;        // ∪ ∩ −
+  uint64_t select_ops = 0;     // σ / contains / phrase
+  uint64_t nest_ops = 0;       // ι ω
+  uint64_t simple_incl_ops = 0;  // ⊃ ⊂
+  uint64_t direct_incl_ops = 0;  // ⊃d ⊂d
+  uint64_t regions_produced = 0;   // summed over all intermediate results
+  uint64_t max_intermediate = 0;   // largest intermediate result
+  uint64_t bytes_scanned = 0;      // text bytes read (phrase verification)
+
+  uint64_t total_ops() const {
+    return set_ops + select_ops + nest_ops + simple_incl_ops +
+           direct_incl_ops;
+  }
+};
+
+/// How ⊃d/⊂d are computed.
+enum class DirectAlgorithm {
+  /// Innermost-strict-encloser sweep (see region_set.h) — the default.
+  kFast,
+  /// The paper's §3.1 layer-by-layer ω program; kept for the E3 cost
+  /// experiment. Assumes the right operand's region name is not
+  /// self-nested (true for every natural structuring schema here).
+  kLayered,
+};
+
+/// Evaluates region-algebra expressions against a region index, word index
+/// and (for phrase verification only) the corpus. The evaluator itself
+/// never scans file text except in kSelectPhrase, which is exactly the
+/// engine's contract: queries run on indices, not on files.
+class ExprEvaluator {
+ public:
+  /// `word_index` may be null if the expression uses no selections;
+  /// `corpus` may be null if it uses no phrase selections.
+  ExprEvaluator(const RegionIndex* region_index,
+                const WordIndex* word_index, const Corpus* corpus,
+                DirectAlgorithm direct = DirectAlgorithm::kFast)
+      : index_(region_index),
+        words_(word_index),
+        corpus_(corpus),
+        direct_(direct) {}
+
+  /// Evaluates `expr`; accumulates statistics into `stats` if non-null.
+  Result<RegionSet> Evaluate(const RegionExpr& expr,
+                             EvalStats* stats = nullptr) const;
+
+ private:
+  Result<RegionSet> Eval(const RegionExpr& expr, EvalStats* stats) const;
+  Result<RegionSet> EvalSelect(const RegionExpr& expr,
+                               EvalStats* stats) const;
+  Result<RegionSet> EvalDirect(const RegionExpr& expr, RegionSet left,
+                               RegionSet right, EvalStats* stats) const;
+
+  /// The region name feeding `expr` through selections, or "" when the
+  /// operand is composite (needed by the layered ⊃d program's "I − {S}").
+  static std::string SourceName(const RegionExpr& expr);
+
+  const RegionIndex* index_;
+  const WordIndex* words_;
+  const Corpus* corpus_;
+  DirectAlgorithm direct_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_ALGEBRA_EVALUATOR_H_

@@ -1,0 +1,208 @@
+#include "qof/algebra/expr.h"
+
+namespace qof {
+
+#define QOF_EXPR_NEW(kind, text, l, r) \
+  RegionExprPtr(new RegionExpr((kind), (text), (l), (r)))
+
+RegionExprPtr RegionExpr::Name(std::string name) {
+  return QOF_EXPR_NEW(ExprKind::kName, std::move(name), nullptr, nullptr);
+}
+
+RegionExprPtr RegionExpr::Union(RegionExprPtr l, RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kUnion, "", std::move(l), std::move(r));
+}
+
+RegionExprPtr RegionExpr::Intersect(RegionExprPtr l, RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kIntersect, "", std::move(l), std::move(r));
+}
+
+RegionExprPtr RegionExpr::Difference(RegionExprPtr l, RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kDifference, "", std::move(l),
+                      std::move(r));
+}
+
+RegionExprPtr RegionExpr::Including(RegionExprPtr l, RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kIncluding, "", std::move(l), std::move(r));
+}
+
+RegionExprPtr RegionExpr::Included(RegionExprPtr l, RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kIncluded, "", std::move(l), std::move(r));
+}
+
+RegionExprPtr RegionExpr::DirectlyIncluding(RegionExprPtr l,
+                                            RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kDirectlyIncluding, "", std::move(l),
+                      std::move(r));
+}
+
+RegionExprPtr RegionExpr::DirectlyIncluded(RegionExprPtr l,
+                                           RegionExprPtr r) {
+  return QOF_EXPR_NEW(ExprKind::kDirectlyIncluded, "", std::move(l),
+                      std::move(r));
+}
+
+RegionExprPtr RegionExpr::SelectMatches(std::string word,
+                                        RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kSelectMatches, std::move(word),
+                      std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::SelectContains(std::string word,
+                                         RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kSelectContains, std::move(word),
+                      std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::SelectPhrase(std::string phrase,
+                                       RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kSelectPhrase, std::move(phrase),
+                      std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::SelectStartsWith(std::string prefix,
+                                           RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kSelectStartsWith, std::move(prefix),
+                      std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::SelectContainsPrefix(std::string prefix,
+                                               RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kSelectContainsPrefix, std::move(prefix),
+                      std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::SelectNear(std::string word, std::string word2,
+                                     uint64_t distance,
+                                     RegionExprPtr child) {
+  auto* e = new RegionExpr(ExprKind::kSelectNear, std::move(word),
+                           std::move(child), nullptr);
+  e->text2_ = std::move(word2);
+  e->param_ = distance;
+  return RegionExprPtr(e);
+}
+
+RegionExprPtr RegionExpr::SelectAtLeast(std::string word, uint64_t count,
+                                        RegionExprPtr child) {
+  auto* e = new RegionExpr(ExprKind::kSelectAtLeast, std::move(word),
+                           std::move(child), nullptr);
+  e->param_ = count;
+  return RegionExprPtr(e);
+}
+
+RegionExprPtr RegionExpr::Innermost(RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kInnermost, "", std::move(child), nullptr);
+}
+
+RegionExprPtr RegionExpr::Outermost(RegionExprPtr child) {
+  return QOF_EXPR_NEW(ExprKind::kOutermost, "", std::move(child), nullptr);
+}
+
+#undef QOF_EXPR_NEW
+
+bool IsBinaryKind(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kUnion:
+    case ExprKind::kIntersect:
+    case ExprKind::kDifference:
+    case ExprKind::kIncluding:
+    case ExprKind::kIncluded:
+    case ExprKind::kDirectlyIncluding:
+    case ExprKind::kDirectlyIncluded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSelectKind(ExprKind kind) {
+  return kind == ExprKind::kSelectMatches ||
+         kind == ExprKind::kSelectContains ||
+         kind == ExprKind::kSelectPhrase ||
+         kind == ExprKind::kSelectStartsWith ||
+         kind == ExprKind::kSelectContainsPrefix ||
+         kind == ExprKind::kSelectNear ||
+         kind == ExprKind::kSelectAtLeast;
+}
+
+bool IsInclusionKind(ExprKind kind) {
+  return kind == ExprKind::kIncluding || kind == ExprKind::kIncluded ||
+         kind == ExprKind::kDirectlyIncluding ||
+         kind == ExprKind::kDirectlyIncluded;
+}
+
+bool RegionExpr::Equals(const RegionExpr& other) const {
+  if (kind_ != other.kind_ || text_ != other.text_ ||
+      text2_ != other.text2_ || param_ != other.param_) {
+    return false;
+  }
+  if ((left_ == nullptr) != (other.left_ == nullptr)) return false;
+  if ((right_ == nullptr) != (other.right_ == nullptr)) return false;
+  if (left_ && !left_->Equals(*other.left_)) return false;
+  if (right_ && !right_->Equals(*other.right_)) return false;
+  return true;
+}
+
+size_t RegionExpr::Size() const {
+  size_t n = 1;
+  if (left_) n += left_->Size();
+  if (right_) n += right_->Size();
+  return n;
+}
+
+size_t RegionExpr::CountInclusionOps(bool direct_only) const {
+  size_t n = 0;
+  if (kind_ == ExprKind::kDirectlyIncluding ||
+      kind_ == ExprKind::kDirectlyIncluded) {
+    n = 1;
+  } else if (!direct_only && IsInclusionKind(kind_)) {
+    n = 1;
+  }
+  if (left_) n += left_->CountInclusionOps(direct_only);
+  if (right_) n += right_->CountInclusionOps(direct_only);
+  return n;
+}
+
+std::string RegionExpr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kName:
+      return text_;
+    case ExprKind::kUnion:
+      return "(" + left_->ToString() + " | " + right_->ToString() + ")";
+    case ExprKind::kIntersect:
+      return "(" + left_->ToString() + " & " + right_->ToString() + ")";
+    case ExprKind::kDifference:
+      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+    case ExprKind::kIncluding:
+      return "(" + left_->ToString() + " > " + right_->ToString() + ")";
+    case ExprKind::kIncluded:
+      return "(" + left_->ToString() + " < " + right_->ToString() + ")";
+    case ExprKind::kDirectlyIncluding:
+      return "(" + left_->ToString() + " >> " + right_->ToString() + ")";
+    case ExprKind::kDirectlyIncluded:
+      return "(" + left_->ToString() + " << " + right_->ToString() + ")";
+    case ExprKind::kSelectMatches:
+      return "sigma(\"" + text_ + "\", " + left_->ToString() + ")";
+    case ExprKind::kSelectContains:
+      return "contains(\"" + text_ + "\", " + left_->ToString() + ")";
+    case ExprKind::kSelectPhrase:
+      return "phrase(\"" + text_ + "\", " + left_->ToString() + ")";
+    case ExprKind::kSelectStartsWith:
+      return "starts(\"" + text_ + "\", " + left_->ToString() + ")";
+    case ExprKind::kSelectContainsPrefix:
+      return "hasprefix(\"" + text_ + "\", " + left_->ToString() + ")";
+    case ExprKind::kSelectNear:
+      return "near(\"" + text_ + "\", \"" + text2_ + "\", " +
+             std::to_string(param_) + ", " + left_->ToString() + ")";
+    case ExprKind::kSelectAtLeast:
+      return "atleast(\"" + text_ + "\", " + std::to_string(param_) +
+             ", " + left_->ToString() + ")";
+    case ExprKind::kInnermost:
+      return "innermost(" + left_->ToString() + ")";
+    case ExprKind::kOutermost:
+      return "outermost(" + left_->ToString() + ")";
+  }
+  return "<invalid>";
+}
+
+}  // namespace qof

@@ -1,0 +1,130 @@
+#ifndef QOF_ALGEBRA_EXPR_H_
+#define QOF_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace qof {
+
+/// Node kinds of the region algebra (paper §3.1):
+///   e ::= Ri | e ∪ e | e ∩ e | e − e | σw(e) | ι(e) | ω(e)
+///       | e ⊃ e | e ⊂ e | e ⊃d e | e ⊂d e
+/// plus engineering extensions used by the query compiler:
+///   kSelectContains — regions containing an occurrence of w anywhere
+///     (σw proper selects regions that *are* the word w);
+///   kSelectPhrase — regions whose whole text equals a multi-word literal
+///     (resolved via the word index for the first word, then a verifying
+///     scan; the scan is charged to the query's byte budget);
+///   kSelectStartsWith / kSelectContainsPrefix — PAT-style lexical
+///     (prefix) search, resolved via the word index's sorted directory;
+///   kSelectNear / kSelectAtLeast — PAT's proximity and frequency search
+///     over a region set's members.
+enum class ExprKind {
+  kName,
+  kUnion,
+  kIntersect,
+  kDifference,
+  kSelectMatches,   // σw: region text is exactly the word w
+  kSelectContains,  // region contains the word w
+  kSelectPhrase,    // region text equals a (possibly multi-word) literal
+  kSelectStartsWith,      // region text begins with a word having prefix w
+  kSelectContainsPrefix,  // region contains a word having prefix w
+  kSelectNear,     // region contains w and w2 within `param` bytes (PAT
+                   // proximity search)
+  kSelectAtLeast,  // region contains >= `param` occurrences of w (PAT
+                   // frequency search)
+  kInnermost,       // ι
+  kOutermost,       // ω
+  kIncluding,          // ⊃
+  kIncluded,           // ⊂
+  kDirectlyIncluding,  // ⊃d
+  kDirectlyIncluded,   // ⊂d
+};
+
+bool IsBinaryKind(ExprKind kind);
+bool IsSelectKind(ExprKind kind);
+bool IsInclusionKind(ExprKind kind);
+
+class RegionExpr;
+using RegionExprPtr = std::shared_ptr<const RegionExpr>;
+
+/// An immutable region-algebra expression tree. Shared subtrees are
+/// permitted (common-subexpression reuse, §5.2).
+class RegionExpr {
+ public:
+  static RegionExprPtr Name(std::string name);
+
+  static RegionExprPtr Union(RegionExprPtr l, RegionExprPtr r);
+  static RegionExprPtr Intersect(RegionExprPtr l, RegionExprPtr r);
+  static RegionExprPtr Difference(RegionExprPtr l, RegionExprPtr r);
+
+  static RegionExprPtr Including(RegionExprPtr l, RegionExprPtr r);
+  static RegionExprPtr Included(RegionExprPtr l, RegionExprPtr r);
+  static RegionExprPtr DirectlyIncluding(RegionExprPtr l, RegionExprPtr r);
+  static RegionExprPtr DirectlyIncluded(RegionExprPtr l, RegionExprPtr r);
+
+  static RegionExprPtr SelectMatches(std::string word, RegionExprPtr child);
+  static RegionExprPtr SelectContains(std::string word, RegionExprPtr child);
+  static RegionExprPtr SelectPhrase(std::string phrase, RegionExprPtr child);
+  static RegionExprPtr SelectStartsWith(std::string prefix,
+                                        RegionExprPtr child);
+  static RegionExprPtr SelectContainsPrefix(std::string prefix,
+                                            RegionExprPtr child);
+  static RegionExprPtr SelectNear(std::string word, std::string word2,
+                                  uint64_t distance, RegionExprPtr child);
+  static RegionExprPtr SelectAtLeast(std::string word, uint64_t count,
+                                     RegionExprPtr child);
+
+  static RegionExprPtr Innermost(RegionExprPtr child);
+  static RegionExprPtr Outermost(RegionExprPtr child);
+
+  ExprKind kind() const { return kind_; }
+
+  /// For kName nodes.
+  const std::string& name() const { return text_; }
+  /// For selection nodes: the word / phrase operand.
+  const std::string& word() const { return text_; }
+  /// kSelectNear: the second word.
+  const std::string& word2() const { return text2_; }
+  /// kSelectNear: byte distance; kSelectAtLeast: occurrence count.
+  uint64_t param() const { return param_; }
+
+  /// Children: binary nodes use left()/right(); unary nodes use child().
+  const RegionExprPtr& left() const { return left_; }
+  const RegionExprPtr& right() const { return right_; }
+  const RegionExprPtr& child() const { return left_; }
+
+  /// Structural equality.
+  bool Equals(const RegionExpr& other) const;
+
+  /// Number of nodes in the tree.
+  size_t Size() const;
+
+  /// Number of inclusion operators, counting ⊃d/⊂d separately (the
+  /// optimizer's efficiency measure: fewer operators, fewer direct ones).
+  size_t CountInclusionOps(bool direct_only) const;
+
+  /// Re-parseable textual form using the parser's surface syntax
+  /// (see algebra/parser.h).
+  std::string ToString() const;
+
+ private:
+  RegionExpr(ExprKind kind, std::string text, RegionExprPtr l,
+             RegionExprPtr r)
+      : kind_(kind),
+        text_(std::move(text)),
+        left_(std::move(l)),
+        right_(std::move(r)) {}
+
+  ExprKind kind_;
+  std::string text_;
+  std::string text2_;   // kSelectNear only
+  uint64_t param_ = 0;  // kSelectNear / kSelectAtLeast
+  RegionExprPtr left_;
+  RegionExprPtr right_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_ALGEBRA_EXPR_H_

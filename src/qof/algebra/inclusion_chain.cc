@@ -1,0 +1,167 @@
+#include "qof/algebra/inclusion_chain.h"
+
+namespace qof {
+namespace {
+
+// Peels selections off a leaf; fails when the underlying node is not a
+// plain region name (chains cannot nest arbitrary subexpressions).
+Status PeelLeaf(const RegionExpr& expr, std::string* name,
+                std::optional<ChainSelection>* sel) {
+  const RegionExpr* e = &expr;
+  *sel = std::nullopt;
+  while (IsSelectKind(e->kind())) {
+    if (sel->has_value()) {
+      return Status::InvalidArgument(
+          "inclusion chain position with stacked selections: " +
+          expr.ToString());
+    }
+    *sel = ChainSelection{e->kind(), e->word(), e->word2(), e->param()};
+    e = e->child().get();
+  }
+  if (e->kind() != ExprKind::kName) {
+    return Status::InvalidArgument(
+        "inclusion chain operand is not a region name: " + expr.ToString());
+  }
+  *name = e->name();
+  return Status::OK();
+}
+
+bool IsContainsKind(ExprKind k) {
+  return k == ExprKind::kIncluding || k == ExprKind::kDirectlyIncluding;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> InclusionChain::Link(size_t i) const {
+  if (orientation == Orientation::kContains) {
+    return {names[i], names[i + 1]};
+  }
+  return {names[i + 1], names[i]};
+}
+
+Result<InclusionChain> InclusionChain::FromExpr(const RegionExpr& expr) {
+  InclusionChain chain;
+  const RegionExpr* e = &expr;
+
+  if (!IsInclusionKind(e->kind())) {
+    // A chain of length one: a bare (possibly selected) name.
+    std::string name;
+    std::optional<ChainSelection> sel;
+    QOF_RETURN_IF_ERROR(PeelLeaf(*e, &name, &sel));
+    chain.names.push_back(std::move(name));
+    chain.sels.push_back(std::move(sel));
+    return chain;
+  }
+
+  chain.orientation = IsContainsKind(e->kind()) ? Orientation::kContains
+                                                : Orientation::kContained;
+  // Walk the right spine: each node contributes its left operand as a
+  // chain position; the final right operand closes the chain.
+  while (IsInclusionKind(e->kind())) {
+    bool contains_kind = IsContainsKind(e->kind());
+    if (contains_kind !=
+        (chain.orientation == Orientation::kContains)) {
+      return Status::InvalidArgument(
+          "inclusion chain mixes ⊃ and ⊂ orientations: " + expr.ToString());
+    }
+    std::string name;
+    std::optional<ChainSelection> sel;
+    if (IsInclusionKind(e->left()->kind())) {
+      return Status::InvalidArgument(
+          "inclusion chain is not right-grouped: " + expr.ToString());
+    }
+    QOF_RETURN_IF_ERROR(PeelLeaf(*e->left(), &name, &sel));
+    chain.names.push_back(std::move(name));
+    chain.sels.push_back(std::move(sel));
+    chain.direct.push_back(e->kind() == ExprKind::kDirectlyIncluding ||
+                           e->kind() == ExprKind::kDirectlyIncluded);
+    e = e->right().get();
+  }
+  std::string name;
+  std::optional<ChainSelection> sel;
+  QOF_RETURN_IF_ERROR(PeelLeaf(*e, &name, &sel));
+  chain.names.push_back(std::move(name));
+  chain.sels.push_back(std::move(sel));
+  return chain;
+}
+
+RegionExprPtr InclusionChain::ToExpr() const {
+  auto leaf = [this](size_t i) -> RegionExprPtr {
+    RegionExprPtr e = RegionExpr::Name(names[i]);
+    if (sels[i].has_value()) {
+      switch (sels[i]->kind) {
+        case ExprKind::kSelectMatches:
+          e = RegionExpr::SelectMatches(sels[i]->word, std::move(e));
+          break;
+        case ExprKind::kSelectContains:
+          e = RegionExpr::SelectContains(sels[i]->word, std::move(e));
+          break;
+        case ExprKind::kSelectStartsWith:
+          e = RegionExpr::SelectStartsWith(sels[i]->word, std::move(e));
+          break;
+        case ExprKind::kSelectContainsPrefix:
+          e = RegionExpr::SelectContainsPrefix(sels[i]->word,
+                                               std::move(e));
+          break;
+        case ExprKind::kSelectNear:
+          e = RegionExpr::SelectNear(sels[i]->word, sels[i]->word2,
+                                     sels[i]->param, std::move(e));
+          break;
+        case ExprKind::kSelectAtLeast:
+          e = RegionExpr::SelectAtLeast(sels[i]->word, sels[i]->param,
+                                        std::move(e));
+          break;
+        default:
+          e = RegionExpr::SelectPhrase(sels[i]->word, std::move(e));
+          break;
+      }
+    }
+    return e;
+  };
+
+  RegionExprPtr expr = leaf(names.size() - 1);
+  for (size_t i = names.size() - 1; i-- > 0;) {
+    bool d = direct[i];
+    if (orientation == Orientation::kContains) {
+      expr = d ? RegionExpr::DirectlyIncluding(leaf(i), std::move(expr))
+               : RegionExpr::Including(leaf(i), std::move(expr));
+    } else {
+      expr = d ? RegionExpr::DirectlyIncluded(leaf(i), std::move(expr))
+               : RegionExpr::Included(leaf(i), std::move(expr));
+    }
+  }
+  return expr;
+}
+
+size_t InclusionChain::CountDirectOps() const {
+  size_t n = 0;
+  for (bool d : direct) n += d ? 1 : 0;
+  return n;
+}
+
+std::string InclusionChain::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      bool d = direct[i - 1];
+      if (orientation == Orientation::kContains) {
+        out += d ? " >> " : " > ";
+      } else {
+        out += d ? " << " : " < ";
+      }
+    }
+    if (sels[i].has_value()) {
+      // Render through the expression printer so every selection kind
+      // (including near/atleast with their extra operands) prints once.
+      InclusionChain one;
+      one.names = {names[i]};
+      one.sels = {sels[i]};
+      out += one.ToExpr()->ToString();
+    } else {
+      out += names[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace qof

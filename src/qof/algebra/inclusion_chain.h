@@ -1,0 +1,75 @@
+#ifndef QOF_ALGEBRA_INCLUSION_CHAIN_H_
+#define QOF_ALGEBRA_INCLUSION_CHAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qof/algebra/expr.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// A selection attached to one position of an inclusion chain.
+struct ChainSelection {
+  ExprKind kind;  // any kSelect* kind
+  std::string word;
+  std::string word2;   // kSelectNear
+  uint64_t param = 0;  // kSelectNear / kSelectAtLeast
+
+  friend bool operator==(const ChainSelection& a, const ChainSelection& b) {
+    return a.kind == b.kind && a.word == b.word && a.word2 == b.word2 &&
+           a.param == b.param;
+  }
+};
+
+/// The paper's *inclusion expressions* (§3.2): right-grouped chains
+///   R1 o1 R2 o2 ... on-1 Rn      with oi ∈ {⊃, ⊃d}   (kContains), or
+///   R1 o1 R2 o2 ... on-1 Rn      with oi ∈ {⊂, ⊂d}   (kContained),
+/// where any position may carry a σ/contains/phrase selection. This is the
+/// normal form the optimizer rewrites; FromExpr/ToExpr convert to and from
+/// general expression trees.
+struct InclusionChain {
+  enum class Orientation {
+    kContains,   // ⊃ chains: names run outermost → innermost
+    kContained,  // ⊂ chains: names run innermost → outermost
+  };
+
+  Orientation orientation = Orientation::kContains;
+  std::vector<std::string> names;
+  /// direct[i] == true means the operator between names[i] and names[i+1]
+  /// is the direct variant (⊃d / ⊂d). Size: names.size() - 1.
+  std::vector<bool> direct;
+  /// sels[i] is the selection applied to names[i], if any. Size: names.
+  std::vector<std::optional<ChainSelection>> sels;
+
+  size_t length() const { return names.size(); }
+
+  /// In RIG orientation (container, containee) for link i: the pair whose
+  /// edge/path the optimizer must consult. For kContains chains this is
+  /// (names[i], names[i+1]); for kContained it is flipped, because a
+  /// ⊂-chain lists the contained side first.
+  std::pair<std::string, std::string> Link(size_t i) const;
+
+  /// Extracts a chain from an expression tree; fails if the tree is not a
+  /// right-grouped single-orientation inclusion chain over (optionally
+  /// selected) region names.
+  static Result<InclusionChain> FromExpr(const RegionExpr& expr);
+
+  /// Rebuilds the right-grouped expression tree.
+  RegionExprPtr ToExpr() const;
+
+  /// Number of direct operators (the dominant cost, §3.1–3.2).
+  size_t CountDirectOps() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const InclusionChain& a, const InclusionChain& b) {
+    return a.orientation == b.orientation && a.names == b.names &&
+           a.direct == b.direct && a.sels == b.sels;
+  }
+};
+
+}  // namespace qof
+
+#endif  // QOF_ALGEBRA_INCLUSION_CHAIN_H_

@@ -1,0 +1,213 @@
+#include "qof/algebra/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace qof {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<RegionExprPtr> Parse() {
+    QOF_ASSIGN_OR_RETURN(RegionExprPtr e, ParseExpr());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Error("trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  Status Error(std::string msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in region expression");
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // expr ::= incl (('|' | '&' | '-') incl)*
+  Result<RegionExprPtr> ParseExpr() {
+    QOF_ASSIGN_OR_RETURN(RegionExprPtr lhs, ParseIncl());
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (c != '|' && c != '&' && c != '-') break;
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr rhs, ParseIncl());
+      if (c == '|') {
+        lhs = RegionExpr::Union(std::move(lhs), std::move(rhs));
+      } else if (c == '&') {
+        lhs = RegionExpr::Intersect(std::move(lhs), std::move(rhs));
+      } else {
+        lhs = RegionExpr::Difference(std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  // incl ::= primary (op incl)?  — right-associative.
+  Result<RegionExprPtr> ParseIncl() {
+    QOF_ASSIGN_OR_RETURN(RegionExprPtr lhs, ParsePrimary());
+    SkipSpace();
+    if (pos_ >= input_.size()) return lhs;
+    char c = input_[pos_];
+    if (c != '>' && c != '<') return lhs;
+    bool direct = pos_ + 1 < input_.size() && input_[pos_ + 1] == c;
+    pos_ += direct ? 2 : 1;
+    QOF_ASSIGN_OR_RETURN(RegionExprPtr rhs, ParseIncl());
+    if (c == '>') {
+      return direct
+                 ? RegionExpr::DirectlyIncluding(std::move(lhs),
+                                                 std::move(rhs))
+                 : RegionExpr::Including(std::move(lhs), std::move(rhs));
+    }
+    return direct ? RegionExpr::DirectlyIncluded(std::move(lhs),
+                                                 std::move(rhs))
+                  : RegionExpr::Included(std::move(lhs), std::move(rhs));
+  }
+
+  Result<uint64_t> ParseNumber() {
+    SkipSpace();
+    size_t b = pos_;
+    while (pos_ < input_.size() && input_[pos_] >= '0' &&
+           input_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (b == pos_) return Error("expected number");
+    uint64_t v = 0;
+    for (size_t i = b; i < pos_; ++i) {
+      v = v * 10 + static_cast<uint64_t>(input_[i] - '0');
+    }
+    return v;
+  }
+
+  Result<RegionExprPtr> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Error("expected expression");
+    if (input_[pos_] == '(') {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr e, ParseExpr());
+      if (!ConsumeChar(')')) return Error("expected ')'");
+      return e;
+    }
+    QOF_ASSIGN_OR_RETURN(std::string name, ParseName());
+    // Function forms.
+    if (name == "sigma" || name == "matches" || name == "contains" ||
+        name == "phrase" || name == "starts" || name == "hasprefix") {
+      if (!ConsumeChar('(')) return Error("expected '(' after " + name);
+      QOF_ASSIGN_OR_RETURN(std::string word, ParseString());
+      if (!ConsumeChar(',')) return Error("expected ',' in " + name);
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr child, ParseExpr());
+      if (!ConsumeChar(')')) return Error("expected ')' closing " + name);
+      if (name == "contains") {
+        return RegionExpr::SelectContains(std::move(word),
+                                          std::move(child));
+      }
+      if (name == "phrase") {
+        return RegionExpr::SelectPhrase(std::move(word), std::move(child));
+      }
+      if (name == "starts") {
+        return RegionExpr::SelectStartsWith(std::move(word),
+                                            std::move(child));
+      }
+      if (name == "hasprefix") {
+        return RegionExpr::SelectContainsPrefix(std::move(word),
+                                                std::move(child));
+      }
+      return RegionExpr::SelectMatches(std::move(word), std::move(child));
+    }
+    if (name == "near") {
+      // near("w1", "w2", distance, expr)
+      if (!ConsumeChar('(')) return Error("expected '(' after near");
+      QOF_ASSIGN_OR_RETURN(std::string w1, ParseString());
+      if (!ConsumeChar(',')) return Error("expected ',' in near");
+      QOF_ASSIGN_OR_RETURN(std::string w2, ParseString());
+      if (!ConsumeChar(',')) return Error("expected ',' in near");
+      QOF_ASSIGN_OR_RETURN(uint64_t distance, ParseNumber());
+      if (!ConsumeChar(',')) return Error("expected ',' in near");
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr child, ParseExpr());
+      if (!ConsumeChar(')')) return Error("expected ')' closing near");
+      return RegionExpr::SelectNear(std::move(w1), std::move(w2),
+                                    distance, std::move(child));
+    }
+    if (name == "atleast") {
+      // atleast("w", count, expr)
+      if (!ConsumeChar('(')) return Error("expected '(' after atleast");
+      QOF_ASSIGN_OR_RETURN(std::string word, ParseString());
+      if (!ConsumeChar(',')) return Error("expected ',' in atleast");
+      QOF_ASSIGN_OR_RETURN(uint64_t count, ParseNumber());
+      if (!ConsumeChar(',')) return Error("expected ',' in atleast");
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr child, ParseExpr());
+      if (!ConsumeChar(')')) return Error("expected ')' closing atleast");
+      return RegionExpr::SelectAtLeast(std::move(word), count,
+                                       std::move(child));
+    }
+    if (name == "innermost" || name == "outermost") {
+      if (!ConsumeChar('(')) return Error("expected '(' after " + name);
+      QOF_ASSIGN_OR_RETURN(RegionExprPtr child, ParseExpr());
+      if (!ConsumeChar(')')) return Error("expected ')' closing " + name);
+      return name == "innermost" ? RegionExpr::Innermost(std::move(child))
+                                 : RegionExpr::Outermost(std::move(child));
+    }
+    return RegionExpr::Name(std::move(name));
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    size_t b = pos_;
+    if (pos_ < input_.size() &&
+        (std::isalpha(static_cast<unsigned char>(input_[pos_])) ||
+         input_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+    }
+    if (b == pos_) return Error("expected region name");
+    return std::string(input_.substr(b, pos_ - b));
+  }
+
+  Result<std::string> ParseString() {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '"') {
+      return Error("expected string literal");
+    }
+    ++pos_;
+    size_t b = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+    if (pos_ >= input_.size()) return Error("unterminated string literal");
+    std::string s(input_.substr(b, pos_ - b));
+    ++pos_;
+    return s;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegionExprPtr> ParseRegionExpr(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace qof

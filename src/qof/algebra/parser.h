@@ -1,0 +1,40 @@
+#ifndef QOF_ALGEBRA_PARSER_H_
+#define QOF_ALGEBRA_PARSER_H_
+
+#include <string_view>
+
+#include "qof/algebra/expr.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Parses the textual form of region-algebra expressions. Grammar
+/// (ASCII rendering of the paper's operators):
+///
+///   expr    ::= incl (('|' | '&' | '-') incl)*          (left-assoc)
+///   incl    ::= primary (('>' | '>>' | '<' | '<<') incl)?   (right-assoc,
+///               matching the paper's "operations are grouped from the
+///               right")
+///   primary ::= NAME
+///             | 'sigma'    '(' STRING ',' expr ')'   — σw, region is w
+///             | 'matches'  '(' STRING ',' expr ')'   — alias of sigma
+///             | 'contains' '(' STRING ',' expr ')'   — region contains w
+///             | 'phrase'   '(' STRING ',' expr ')'   — region text == lit
+///             | 'starts'   '(' STRING ',' expr ')'   — region begins with
+///                                                      a word having the
+///                                                      given prefix
+///             | 'hasprefix' '(' STRING ',' expr ')'  — region contains a
+///                                                      word with prefix
+///             | 'innermost' '(' expr ')' | 'outermost' '(' expr ')'
+///             | '(' expr ')'
+///   NAME    ::= [A-Za-z_][A-Za-z0-9_]*
+///   STRING  ::= '"' chars '"'  (no escapes; quotes cannot be queried)
+///
+/// '>' is ⊃ (including), '>>' is ⊃d, '<' is ⊂, '<<' is ⊂d.
+/// Example (§3.2 e1):
+///   Reference >> Authors >> Name >> sigma("Chang", Last_Name)
+Result<RegionExprPtr> ParseRegionExpr(std::string_view input);
+
+}  // namespace qof
+
+#endif  // QOF_ALGEBRA_PARSER_H_

@@ -1,0 +1,52 @@
+#ifndef QOF_COMPILER_EXACTNESS_H_
+#define QOF_COMPILER_EXACTNESS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "qof/algebra/inclusion_chain.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Result of projecting a full-RIG inclusion chain onto a partial index
+/// (paper §6.1) together with the §6.3 exactness verdict.
+struct ChainProjection {
+  /// The candidate chain over indexed names only. When the chain's final
+  /// (selected) name is unindexed, the selection degrades to a
+  /// word-containment test on the deepest indexed name — still a valid
+  /// superset, never exact.
+  InclusionChain chain;
+
+  /// False when the view (first) name is unindexed: the index cannot even
+  /// locate candidates and the engine must fall back to a full scan.
+  bool view_indexed = true;
+
+  /// §6.3: true iff evaluating `chain` on the indices yields exactly the
+  /// original chain's result — every all-direct segment between kept
+  /// names matches a *unique* full-RIG path through unindexed interiors,
+  /// and the selection was not degraded.
+  bool exact = true;
+};
+
+/// Projects `chain` (orientation kContains, names from the full RIG) onto
+/// `indexed_names`. Segments between consecutive kept names become one
+/// link: direct iff the whole segment was direct, plain otherwise.
+///
+/// `within` carries contextual indexing restrictions (§7): a name with
+/// `within[N] = A` is only indexed inside A regions, so it counts as
+/// indexed at a chain position only when A appears *earlier in the
+/// chain* — the chain then guarantees every touched N region lies in an
+/// A region, where the instance is complete. Elsewhere the name is
+/// treated as unindexed (the instance would be missing out-of-context
+/// regions and produce undersets).
+Result<ChainProjection> ProjectChain(
+    const Rig& full_rig, const std::set<std::string>& indexed_names,
+    const InclusionChain& chain,
+    const std::map<std::string, std::string>& within = {});
+
+}  // namespace qof
+
+#endif  // QOF_COMPILER_EXACTNESS_H_

@@ -1,0 +1,181 @@
+#include "qof/compiler/index_advisor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "qof/compiler/exactness.h"
+#include "qof/compiler/path_mapper.h"
+#include "qof/optimizer/optimizer.h"
+
+namespace qof {
+namespace {
+
+// All simple paths from `from` to `to` (interior node lists), capped.
+void SimplePaths(const Rig& rig, Rig::NodeId cur, Rig::NodeId to,
+                 std::vector<Rig::NodeId>* interior,
+                 std::vector<bool>* on_path,
+                 std::vector<std::vector<Rig::NodeId>>* out, size_t cap) {
+  if (out->size() >= cap) return;
+  for (Rig::NodeId next : rig.out_edges(cur)) {
+    if (next == to) {
+      out->push_back(*interior);
+      if (out->size() >= cap) return;
+      continue;
+    }
+    if ((*on_path)[next]) continue;
+    (*on_path)[next] = true;
+    interior->push_back(next);
+    SimplePaths(rig, next, to, interior, on_path, out, cap);
+    interior->pop_back();
+    (*on_path)[next] = false;
+  }
+}
+
+}  // namespace
+
+Result<IndexAdvice> AdviseIndexes(
+    const Rig& full_rig, const std::string& view_region,
+    const std::vector<InclusionChain>& workload) {
+  IndexAdvice advice;
+  advice.names.insert(view_region);
+
+  ChainOptimizer full_optimizer(&full_rig);
+  std::vector<InclusionChain> optimized;
+  for (const InclusionChain& chain : workload) {
+    QOF_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
+                         full_optimizer.Optimize(chain));
+    if (outcome.trivially_empty) {
+      advice.notes.push_back("workload chain trivially empty, skipped: " +
+                             chain.ToString());
+      continue;
+    }
+    optimized.push_back(outcome.chain);
+    advice.notes.push_back("optimized workload chain: " +
+                           outcome.chain.ToString());
+    // (i) names explicitly mentioned.
+    for (const std::string& name : outcome.chain.names) {
+      advice.names.insert(name);
+    }
+  }
+
+  // (ii) for each remaining ⊃d link, block every alternate derivation by
+  // indexing one interior per path (greedy cover across paths).
+  for (const InclusionChain& chain : optimized) {
+    for (size_t op = 0; op + 1 < chain.names.size(); ++op) {
+      if (!chain.direct[op]) continue;
+      auto [parent, child] = chain.Link(op);
+      Rig::NodeId p = full_rig.FindNode(parent);
+      Rig::NodeId c = full_rig.FindNode(child);
+      if (p == Rig::kInvalidNode || c == Rig::kInvalidNode) continue;
+      std::vector<std::vector<Rig::NodeId>> paths;
+      std::vector<Rig::NodeId> interior;
+      std::vector<bool> on_path(full_rig.num_nodes(), false);
+      SimplePaths(full_rig, p, c, &interior, &on_path, &paths, 256);
+      // Greedy: repeatedly pick the interior name covering the most
+      // uncovered non-edge paths.
+      auto covered = [&](const std::vector<Rig::NodeId>& path) {
+        if (path.empty()) return true;  // the edge itself
+        for (Rig::NodeId mid : path) {
+          if (advice.names.count(full_rig.name(mid)) > 0) return true;
+        }
+        return false;
+      };
+      while (true) {
+        std::map<Rig::NodeId, int> gain;
+        for (const auto& path : paths) {
+          if (covered(path)) continue;
+          for (Rig::NodeId mid : path) ++gain[mid];
+        }
+        if (gain.empty()) break;
+        Rig::NodeId best = gain.begin()->first;
+        for (const auto& [node, count] : gain) {
+          if (count > gain[best]) best = node;
+        }
+        advice.names.insert(full_rig.name(best));
+        advice.notes.push_back("blocking interior for " + parent + " ⊃d " +
+                               child + ": " + full_rig.name(best));
+      }
+    }
+  }
+
+  // Verification: every workload chain must now project exactly; add the
+  // chain's full name set when the guideline was not sufficient.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QOF_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
+                         full_optimizer.Optimize(workload[i]));
+    if (outcome.trivially_empty) continue;
+    QOF_ASSIGN_OR_RETURN(ChainProjection projection,
+                         ProjectChain(full_rig, advice.names, outcome.chain));
+    if (!projection.exact) {
+      for (const std::string& name : workload[i].names) {
+        advice.names.insert(name);
+      }
+      advice.notes.push_back(
+          "guideline insufficient; indexed all names of: " +
+          workload[i].ToString());
+    }
+  }
+  return advice;
+}
+
+namespace {
+
+// Collects the chains of every path mentioned in a condition tree.
+Status CollectChains(const Rig& full_rig, const std::string& view_region,
+                     const Condition& cond,
+                     std::vector<InclusionChain>* out) {
+  auto add_path = [&](const PathExpr& path) -> Status {
+    QOF_ASSIGN_OR_RETURN(
+        MappedPath mapped,
+        MapPathToChains(full_rig, view_region, path, std::nullopt));
+    for (InclusionChain& chain : mapped.alternatives) {
+      out->push_back(std::move(chain));
+    }
+    return Status::OK();
+  };
+  switch (cond.kind()) {
+    case Condition::Kind::kEqualsLiteral:
+    case Condition::Kind::kContainsWord:
+    case Condition::Kind::kStartsWith:
+      return add_path(cond.path());
+    case Condition::Kind::kEqualsPath: {
+      QOF_RETURN_IF_ERROR(add_path(cond.path()));
+      return add_path(cond.rhs_path());
+    }
+    case Condition::Kind::kNot:
+      return CollectChains(full_rig, view_region, *cond.child(), out);
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr: {
+      QOF_RETURN_IF_ERROR(
+          CollectChains(full_rig, view_region, *cond.left(), out));
+      return CollectChains(full_rig, view_region, *cond.right(), out);
+    }
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
+}  // namespace
+
+Result<IndexAdvice> AdviseIndexesForQueries(
+    const Rig& full_rig, const std::string& view_region,
+    const std::vector<SelectQuery>& queries) {
+  std::vector<InclusionChain> workload;
+  for (const SelectQuery& query : queries) {
+    if (query.where != nullptr) {
+      QOF_RETURN_IF_ERROR(CollectChains(full_rig, view_region,
+                                        *query.where, &workload));
+    }
+    if (query.IsProjection()) {
+      QOF_ASSIGN_OR_RETURN(
+          MappedPath mapped,
+          MapPathToChains(full_rig, view_region, query.target,
+                          std::nullopt));
+      for (InclusionChain& chain : mapped.alternatives) {
+        workload.push_back(std::move(chain));
+      }
+    }
+  }
+  return AdviseIndexes(full_rig, view_region, workload);
+}
+
+}  // namespace qof

@@ -1,0 +1,45 @@
+#ifndef QOF_COMPILER_INDEX_ADVISOR_H_
+#define QOF_COMPILER_INDEX_ADVISOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qof/algebra/inclusion_chain.h"
+#include "qof/query/ast.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Output of the §7 index-selection procedure.
+struct IndexAdvice {
+  /// Region names to index: sufficient for the workload's full
+  /// computation on the indices, usually far fewer than full indexing.
+  std::set<std::string> names;
+  std::vector<std::string> notes;
+};
+
+/// The paper's §7 guideline, mechanized. For each workload chain,
+/// optimized as under full indexing:
+///   (i)  index every name the optimized expression mentions, and
+///   (ii) for every remaining ⊃d link (Ai, Aj), index one interior name on
+///        each full-RIG path Ai ⇝ Aj, so that foreign derivations are
+///        blocked and the direct-inclusion test stays faithful.
+/// Interior picks are greedy (cover as many alternate paths as possible).
+/// The result is verified with the §6.3 exactness test; if a chain would
+/// still be inexact, its remaining names are added outright.
+Result<IndexAdvice> AdviseIndexes(const Rig& full_rig,
+                                  const std::string& view_region,
+                                  const std::vector<InclusionChain>& workload);
+
+/// Convenience wrapper: maps each FQL query's WHERE paths onto chains
+/// (including wildcard expansion and join predicates' two sides) and
+/// advises for the combined workload.
+Result<IndexAdvice> AdviseIndexesForQueries(
+    const Rig& full_rig, const std::string& view_region,
+    const std::vector<SelectQuery>& queries);
+
+}  // namespace qof
+
+#endif  // QOF_COMPILER_INDEX_ADVISOR_H_

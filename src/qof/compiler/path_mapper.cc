@@ -1,0 +1,184 @@
+#include "qof/compiler/path_mapper.h"
+
+namespace qof {
+namespace {
+
+// Partial chain under construction.
+struct Partial {
+  std::vector<std::string> names;
+  std::vector<bool> direct;
+};
+
+// Appends, to `out`, every interior-node sequence of length k such that
+// from -> i1 -> ... -> ik -> to are RIG edges. Bounded by `cap`.
+void EnumerateInteriors(const Rig& rig, Rig::NodeId from, Rig::NodeId to,
+                        int k, std::vector<std::string>* current,
+                        std::vector<std::vector<std::string>>* out,
+                        size_t cap) {
+  if (out->size() >= cap) return;
+  if (k == 0) {
+    if (rig.HasEdge(from, to)) out->push_back(*current);
+    return;
+  }
+  for (Rig::NodeId mid : rig.out_edges(from)) {
+    current->push_back(rig.name(mid));
+    EnumerateInteriors(rig, mid, to, k - 1, current, out, cap);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<MappedPath> MapPathToChains(
+    const Rig& full_rig, const std::string& view_name, const PathExpr& path,
+    std::optional<ChainSelection> selection,
+    const PathMapOptions& options) {
+  if (full_rig.FindNode(view_name) == Rig::kInvalidNode) {
+    return Status::InvalidArgument("view is not a grammar non-terminal: " +
+                                   view_name);
+  }
+  std::vector<Partial> partials = {{{view_name}, {}}};
+
+  size_t i = 0;
+  while (i < path.steps.size()) {
+    const PathStep& step = path.steps[i];
+    switch (step.kind) {
+      case PathStep::Kind::kAttr: {
+        Rig::NodeId attr = full_rig.FindNode(step.name);
+        if (attr == Rig::kInvalidNode) {
+          return Status::InvalidArgument(
+              "attribute is not a grammar non-terminal: " + step.name);
+        }
+        std::vector<Partial> next;
+        for (Partial& p : partials) {
+          Rig::NodeId cur = full_rig.FindNode(p.names.back());
+          if (!full_rig.HasEdge(cur, attr)) continue;
+          Partial np = p;
+          np.names.push_back(step.name);
+          np.direct.push_back(true);
+          next.push_back(std::move(np));
+        }
+        if (next.empty()) {
+          return Status::InvalidArgument(
+              "path step ." + step.name +
+              " does not follow the schema (no RIG edge) in " +
+              path.ToString());
+        }
+        partials = std::move(next);
+        ++i;
+        break;
+      }
+      case PathStep::Kind::kWildStar: {
+        if (i + 1 >= path.steps.size() ||
+            path.steps[i + 1].kind != PathStep::Kind::kAttr) {
+          return Status::InvalidArgument(
+              "wildcard *" + step.name +
+              " must be followed by an attribute in " + path.ToString());
+        }
+        const std::string& attr_name = path.steps[i + 1].name;
+        if (full_rig.FindNode(attr_name) == Rig::kInvalidNode) {
+          return Status::InvalidArgument(
+              "attribute is not a grammar non-terminal: " + attr_name);
+        }
+        // One plain-inclusion link; unreachable pairs are left for the
+        // optimizer's triviality test.
+        for (Partial& p : partials) {
+          p.names.push_back(attr_name);
+          p.direct.push_back(false);
+        }
+        i += 2;
+        break;
+      }
+      case PathStep::Kind::kWildOne: {
+        int k = 0;
+        size_t j = i;
+        while (j < path.steps.size() &&
+               path.steps[j].kind == PathStep::Kind::kWildOne) {
+          ++k;
+          ++j;
+        }
+        if (j >= path.steps.size() ||
+            path.steps[j].kind != PathStep::Kind::kAttr) {
+          return Status::InvalidArgument(
+              "wildcard ?" + step.name +
+              " must be followed by an attribute in " + path.ToString());
+        }
+        const std::string& attr_name = path.steps[j].name;
+        Rig::NodeId attr = full_rig.FindNode(attr_name);
+        if (attr == Rig::kInvalidNode) {
+          return Status::InvalidArgument(
+              "attribute is not a grammar non-terminal: " + attr_name);
+        }
+        std::vector<Partial> next;
+        for (Partial& p : partials) {
+          Rig::NodeId cur = full_rig.FindNode(p.names.back());
+          std::vector<std::vector<std::string>> interiors;
+          std::vector<std::string> scratch;
+          EnumerateInteriors(full_rig, cur, attr, k, &scratch, &interiors,
+                             options.max_alternatives + 1);
+          for (const auto& seq : interiors) {
+            Partial np = p;
+            for (const std::string& mid : seq) {
+              np.names.push_back(mid);
+              np.direct.push_back(true);
+            }
+            np.names.push_back(attr_name);
+            np.direct.push_back(true);
+            next.push_back(std::move(np));
+            if (next.size() > options.max_alternatives) {
+              return Status::InvalidArgument(
+                  "wildcard expansion exceeds " +
+                  std::to_string(options.max_alternatives) +
+                  " alternatives in " + path.ToString());
+            }
+          }
+        }
+        if (next.empty()) {
+          return Status::InvalidArgument(
+              "no schema derivation of length " + std::to_string(k + 1) +
+              " matches wildcard run before ." + attr_name + " in " +
+              path.ToString());
+        }
+        partials = std::move(next);
+        i = j + 1;
+        break;
+      }
+    }
+  }
+
+  MappedPath mapped;
+  for (Partial& p : partials) {
+    InclusionChain chain;
+    chain.orientation = InclusionChain::Orientation::kContains;
+    chain.names = std::move(p.names);
+    chain.direct = std::move(p.direct);
+    chain.sels.resize(chain.names.size());
+    if (selection.has_value()) {
+      chain.sels.back() = selection;
+    }
+    mapped.alternatives.push_back(std::move(chain));
+  }
+  return mapped;
+}
+
+Result<std::vector<std::vector<NavStep>>> MapPathToNavSteps(
+    const Rig& full_rig, const std::string& view_name, const PathExpr& path,
+    const PathMapOptions& options) {
+  // Reuse the chain mapping for validation and ?X expansion; then project
+  // each alternative back onto navigation steps. *X links become AnyStar.
+  QOF_ASSIGN_OR_RETURN(
+      MappedPath mapped,
+      MapPathToChains(full_rig, view_name, path, std::nullopt, options));
+  std::vector<std::vector<NavStep>> out;
+  for (const InclusionChain& chain : mapped.alternatives) {
+    std::vector<NavStep> steps;
+    for (size_t i = 1; i < chain.names.size(); ++i) {
+      if (!chain.direct[i - 1]) steps.push_back(NavStep::AnyStar());
+      steps.push_back(NavStep::Attr(chain.names[i]));
+    }
+    out.push_back(std::move(steps));
+  }
+  return out;
+}
+
+}  // namespace qof

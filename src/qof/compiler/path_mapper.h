@@ -1,0 +1,55 @@
+#ifndef QOF_COMPILER_PATH_MAPPER_H_
+#define QOF_COMPILER_PATH_MAPPER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qof/algebra/inclusion_chain.h"
+#include "qof/db/evaluator.h"
+#include "qof/query/ast.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Mapping of FQL paths onto the RIG (paper §5.1/§5.3). Under a natural
+/// structuring schema, attribute names coincide with non-terminal names,
+/// so a path expression matches path(s) in the RIG:
+///  - an attribute step must follow a RIG edge → one ⊃d link;
+///  - `*X` (any sequence) → one plain ⊃ link to the next attribute —
+///    this is the case where files make wildcards *cheaper* than OODBs;
+///  - a run of k `?X` steps followed by attribute A → every RIG path of
+///    length k+1 from the current name to A, one all-direct chain each
+///    (the union of alternatives implements "exactly k nested regions").
+struct MappedPath {
+  /// One inclusion chain per RIG-path alternative; the query result is
+  /// their union. Chains run view → attribute (kContains orientation).
+  std::vector<InclusionChain> alternatives;
+};
+
+/// Options bounding wildcard expansion.
+struct PathMapOptions {
+  /// Maximum number of `?X`-expansion alternatives before giving up.
+  size_t max_alternatives = 64;
+};
+
+/// Maps `path` (rooted at the view's non-terminal `view_name`) onto RIG
+/// chains, attaching `selection` to each chain's final position.
+/// InvalidArgument when an attribute step does not follow a RIG edge, or a
+/// wildcard has no following attribute.
+Result<MappedPath> MapPathToChains(
+    const Rig& full_rig, const std::string& view_name, const PathExpr& path,
+    std::optional<ChainSelection> selection,
+    const PathMapOptions& options = {});
+
+/// Translates `path` into database navigation steps for residual / baseline
+/// evaluation, expanding `?X` runs through the RIG (each alternative is one
+/// NavStep sequence).
+Result<std::vector<std::vector<NavStep>>> MapPathToNavSteps(
+    const Rig& full_rig, const std::string& view_name, const PathExpr& path,
+    const PathMapOptions& options = {});
+
+}  // namespace qof
+
+#endif  // QOF_COMPILER_PATH_MAPPER_H_

@@ -1,0 +1,109 @@
+#ifndef QOF_COMPILER_QUERY_COMPILER_H_
+#define QOF_COMPILER_QUERY_COMPILER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qof/algebra/expr.h"
+#include "qof/compiler/exactness.h"
+#include "qof/compiler/path_mapper.h"
+#include "qof/optimizer/optimizer.h"
+#include "qof/query/ast.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// The compiled form of an FQL query (paper §5–§6): a region expression
+/// locating *candidate* view regions, exactness information deciding
+/// whether a second (parse + database filter) phase is needed, and
+/// optional index-level projection / join expressions.
+struct QueryPlan {
+  SelectQuery query;
+
+  /// The view's region name (the non-terminal whose regions are answers).
+  std::string view_region;
+
+  /// Candidate expression over the region indices; null when the view
+  /// itself is unindexed (full scan required) or the query is trivially
+  /// empty.
+  RegionExprPtr candidates;
+
+  /// Candidates are exactly the answer (§6.3 holds for every leaf and no
+  /// residual comparison remains).
+  bool exact = false;
+
+  /// The RIG proves the result empty on every conforming file
+  /// (Prop. 3.3 at some mandatory leaf).
+  bool trivially_empty = false;
+
+  /// View region name is indexed — candidates can be located at all.
+  bool view_indexed = true;
+
+  /// Set when WHERE is exactly one path = path predicate whose two
+  /// attribute chains are index-computable: the engine can run the §5.2
+  /// index-assisted join (read only the attribute regions' text).
+  bool index_join = false;
+  RegionExprPtr join_lhs_attrs;  // ⊂-chains yielding lhs attribute regions
+  RegionExprPtr join_rhs_attrs;
+
+  /// Index-level projection for SELECT r.path: an expression yielding the
+  /// target attribute regions (to be intersected with candidates); null
+  /// when the target is unindexed or inexact.
+  RegionExprPtr projection;
+  bool projection_exact = false;
+
+  /// Human-readable compilation trace (optimizations applied, fallbacks).
+  std::vector<std::string> notes;
+};
+
+/// Compiles FQL queries against a schema's full RIG and a concrete set of
+/// indexed region names. Each WHERE leaf becomes optimized inclusion
+/// chains (§5.1), projected onto the indices (§6.1), with AND/OR/NOT
+/// combined by ∩/∪/− (§5.2).
+class QueryCompiler {
+ public:
+  /// `view_region` is the non-terminal whose regions answer the query
+  /// (schema view symbol); `indexed_names` the region names actually
+  /// indexed; `within` any contextual restrictions on them (§7).
+  QueryCompiler(const Rig* full_rig, std::set<std::string> indexed_names,
+                std::string view_region,
+                std::map<std::string, std::string> within = {});
+
+  Result<QueryPlan> Compile(const SelectQuery& query) const;
+
+  const Rig& partial_rig() const { return partial_rig_; }
+
+ private:
+  struct Leaf {
+    RegionExprPtr expr;  // null means "provably empty"
+    bool exact = true;
+  };
+
+  /// Locates view regions satisfying a path selection; `selection`
+  /// nullopt locates view regions merely *containing* the attribute.
+  Result<Leaf> CompilePathLeaf(const PathExpr& path,
+                               std::optional<ChainSelection> selection,
+                               std::vector<std::string>* notes) const;
+
+  /// Builds the reversed (⊂-oriented) attribute-region expression for a
+  /// path, used by projections and index joins; null when not
+  /// index-computable exactly.
+  Result<RegionExprPtr> CompileAttrRegions(
+      const PathExpr& path, std::vector<std::string>* notes) const;
+
+  Result<Leaf> CompileCondition(const Condition& cond,
+                                std::vector<std::string>* notes) const;
+
+  const Rig* full_rig_;
+  std::set<std::string> indexed_names_;
+  std::string view_region_;
+  std::map<std::string, std::string> within_;
+  Rig partial_rig_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_COMPILER_QUERY_COMPILER_H_

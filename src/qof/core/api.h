@@ -1,0 +1,38 @@
+#ifndef QOF_CORE_API_H_
+#define QOF_CORE_API_H_
+
+/// Umbrella header: everything a downstream user of the library needs.
+///
+/// Layering (bottom-up):
+///   text      — corpus, tokenizer, word index
+///   region    — region sets, the §3.1 region algebra primitives
+///   algebra   — region expressions, textual syntax, evaluator
+///   rig       — region inclusion graphs (§3.2, Def. 3.1)
+///   optimizer — Prop. 3.3 / 3.5 rewrites, Theorem 3.6 normal forms
+///   schema    — structuring schemas (§4.1), RIG derivation (§4.2)
+///   parse     — schema-driven parsing, region extraction, DB images
+///   db        — values, object store, path navigation
+///   query     — FQL (XSQL-flavoured SELECT/FROM/WHERE)
+///   compiler  — query → optimized inclusion expressions (§5–§6)
+///   engine    — FileQuerySystem facade, execution strategies
+///   datagen   — synthetic BibTeX / mail / log corpora + their schemas
+
+#include "qof/algebra/evaluator.h"
+#include "qof/algebra/parser.h"
+#include "qof/compiler/index_advisor.h"
+#include "qof/compiler/query_compiler.h"
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/outline_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/index_io.h"
+#include "qof/engine/system.h"
+#include "qof/engine/workspace.h"
+#include "qof/optimizer/optimizer.h"
+#include "qof/query/parser.h"
+#include "qof/schema/rig_derivation.h"
+#include "qof/schema/schema_text.h"
+#include "qof/schema/structuring_schema.h"
+
+#endif  // QOF_CORE_API_H_

@@ -1,0 +1,158 @@
+#include "qof/datagen/bibtex_gen.h"
+
+#include <random>
+#include <vector>
+
+namespace qof {
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "G. F.", "Y. F.", "A.",  "J. R.", "Mary",  "Chen",  "K.",
+    "L. M.", "Tova",  "P.",  "S. A.", "Diane", "R. W.", "Hugo",
+    "N.",    "E. C.", "Ana", "T. J.", "Vera",  "M.",
+};
+
+constexpr const char* kLastNames[] = {
+    "Corliss",  "Griewank", "Milo",    "Abiteboul", "Consens",
+    "Tompa",    "Salminen", "Gonnet",  "Mendelzon", "Kifer",
+    "Sagiv",    "Lamport",  "Sethi",   "Burkowski", "Salton",
+    "McGill",   "Paepcke",  "Schwartz", "Goldberg",  "Nichols",
+    "Hadzilacos", "Kilpelainen", "Yeung", "Bertino", "Delobel",
+};
+
+constexpr const char* kTitleWords[] = {
+    "Solving",   "Ordinary",  "Differential", "Equations",  "Using",
+    "Taylor",    "Series",    "Automatic",    "Queries",    "Files",
+    "Indexing",  "Regions",   "Databases",    "Optimizing", "Text",
+    "Retrieval", "Grammars",  "Structured",   "Algorithms", "Parallel",
+};
+
+constexpr const char* kKeywords[] = {
+    "point algorithm", "Taylor series",  "radius of convergence",
+    "text indexing",   "region algebra", "query optimization",
+    "semi-structured", "file systems",   "inverted files",
+    "parsing",         "bibliographies", "object databases",
+};
+
+constexpr const char* kPublishers[] = {"SIAM", "ACM Press", "Springer",
+                                       "North-Holland", "Morgan Kaufmann"};
+
+constexpr const char* kAddresses[] = {
+    "Philadelphia, Penn.", "New York, NY", "Berlin", "Amsterdam",
+    "San Mateo, CA"};
+
+constexpr const char* kAbstractWords[] = {
+    "a",        "Fortran",   "pre-processor", "uses",     "automatic",
+    "differentiation", "to", "write",   "programs", "that",
+    "solve",    "the",       "system",  "of",       "equations",
+    "with",     "series",    "methods", "and",      "interval",
+    "bounds",   "derived",   "from",    "truncated", "expansions",
+};
+
+class Gen {
+ public:
+  explicit Gen(const BibtexGenOptions& options)
+      : opt_(options), rng_(options.seed) {}
+
+  std::string Run() {
+    std::string out;
+    // Rough per-entry size; avoids repeated reallocation on big corpora.
+    out.reserve(static_cast<size_t>(opt_.num_references) * 480);
+    for (int i = 0; i < opt_.num_references; ++i) {
+      EmitReference(i, &out);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  template <size_t N>
+  const char* Pick(const char* const (&pool)[N]) {
+    return pool[std::uniform_int_distribution<size_t>(0, N - 1)(rng_)];
+  }
+
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(rng_);
+  }
+
+  // names: "First Last and First Last"; optionally forces the probe
+  // surname into one slot.
+  void EmitNames(int count, bool force_probe, std::string* out) {
+    int probe_slot = force_probe ? Range(0, count - 1) : -1;
+    for (int i = 0; i < count; ++i) {
+      if (i > 0) *out += " and ";
+      *out += Pick(kFirstNames);
+      *out += " ";
+      *out += i == probe_slot ? opt_.probe_surname : Pick(kLastNames);
+    }
+  }
+
+  void EmitReference(int index, std::string* out) {
+    *out += "@INCOLLECTION{";
+    *out += "Ref";
+    *out += std::to_string(index);
+    *out += ",\n  AUTHOR = \"";
+    EmitNames(Range(opt_.min_authors, opt_.max_authors),
+              Chance(opt_.probe_author_rate), out);
+    *out += "\",\n  TITLE = \"";
+    int title_words = Range(3, 7);
+    for (int i = 0; i < title_words; ++i) {
+      if (i > 0) *out += " ";
+      *out += Pick(kTitleWords);
+    }
+    *out += "\",\n  BOOKTITLE = \"";
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) *out += " ";
+      *out += Pick(kTitleWords);
+    }
+    *out += "\",\n  YEAR = \"";
+    *out += std::to_string(Range(1970, 1994));
+    *out += "\",\n  EDITOR = \"";
+    EmitNames(Range(opt_.min_editors, opt_.max_editors),
+              Chance(opt_.probe_editor_rate), out);
+    *out += "\",\n  PUBLISHER = \"";
+    *out += Pick(kPublishers);
+    *out += "\",\n  ADDRESS = \"";
+    *out += Pick(kAddresses);
+    *out += "\",\n  PAGES = \"";
+    int first_page = Range(1, 400);
+    *out += std::to_string(first_page);
+    *out += "--";
+    *out += std::to_string(first_page + Range(5, 40));
+    *out += "\",\n  REFERRED = \"";
+    int refs = Range(0, 3);
+    for (int i = 0; i < refs; ++i) {
+      if (i > 0) *out += "; ";
+      *out += "[Ref";
+      *out += std::to_string(Range(0, opt_.num_references - 1));
+      *out += "]";
+    }
+    *out += "\",\n  KEYWORDS = \"";
+    int kw = Range(opt_.min_keywords, opt_.max_keywords);
+    for (int i = 0; i < kw; ++i) {
+      if (i > 0) *out += "; ";
+      *out += Pick(kKeywords);
+    }
+    *out += "\",\n  ABSTRACT = \"";
+    for (int i = 0; i < opt_.abstract_words; ++i) {
+      if (i > 0) *out += " ";
+      *out += Pick(kAbstractWords);
+    }
+    *out += "\"\n}\n";
+  }
+
+  const BibtexGenOptions& opt_;
+  std::mt19937 rng_;
+};
+
+}  // namespace
+
+std::string GenerateBibtex(const BibtexGenOptions& options) {
+  return Gen(options).Run();
+}
+
+}  // namespace qof

@@ -1,0 +1,38 @@
+#ifndef QOF_DATAGEN_BIBTEX_GEN_H_
+#define QOF_DATAGEN_BIBTEX_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qof {
+
+/// Parameters of the synthetic BibTeX corpus generator. The generator
+/// stands in for the shared bibliography files the paper's experiments
+/// used (not available): it emits Figure-1-shaped @INCOLLECTION entries
+/// with controllable scale and controllable author/editor name collisions
+/// — the property the paper's flagship query ("Chang as author, not
+/// editor") depends on.
+struct BibtexGenOptions {
+  int num_references = 100;
+  uint32_t seed = 42;
+  int min_authors = 1;
+  int max_authors = 3;
+  int min_editors = 1;
+  int max_editors = 2;
+  int min_keywords = 1;
+  int max_keywords = 4;
+  int abstract_words = 25;
+  /// Probability that a reference gets the probe surname among its author
+  /// last names / editor last names.
+  double probe_author_rate = 0.05;
+  double probe_editor_rate = 0.05;
+  /// The probe surname ("Chang" in the paper's example).
+  std::string probe_surname = "Chang";
+};
+
+/// Generates one BibTeX file parseable by BibtexSchema().
+std::string GenerateBibtex(const BibtexGenOptions& options);
+
+}  // namespace qof
+
+#endif  // QOF_DATAGEN_BIBTEX_GEN_H_

@@ -1,0 +1,87 @@
+#include "qof/datagen/log_gen.h"
+
+#include <random>
+
+namespace qof {
+namespace {
+
+constexpr const char* kComponents[] = {"auth",    "storage", "network",
+                                       "planner", "cache",   "api"};
+
+constexpr const char* kInfoWords[] = {
+    "request", "completed", "in",     "time",     "cache",  "hit",
+    "for",     "key",       "opened", "connection", "to",   "peer",
+    "flushed", "buffer",    "pages",  "scheduled", "job",   "done"};
+
+constexpr const char* kErrorWords[] = {
+    "connection", "refused",  "by",      "upstream", "timeout",
+    "waiting",    "for",      "lock",    "disk",     "full",
+    "while",      "writing",  "segment", "checksum", "mismatch"};
+
+class Gen {
+ public:
+  explicit Gen(const LogGenOptions& options)
+      : opt_(options), rng_(options.seed) {}
+
+  std::string Run() {
+    std::string out;
+    out.reserve(static_cast<size_t>(opt_.num_entries) * 120);
+    int64_t clock = 0;
+    for (int i = 0; i < opt_.num_entries; ++i) {
+      clock += Range(1, 30);
+      EmitEntry(clock, &out);
+    }
+    return out;
+  }
+
+ private:
+  template <size_t N>
+  const char* Pick(const char* const (&pool)[N]) {
+    return pool[std::uniform_int_distribution<size_t>(0, N - 1)(rng_)];
+  }
+
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  bool Chance(double p) { return std::bernoulli_distribution(p)(rng_); }
+
+  void EmitEntry(int64_t clock, std::string* out) {
+    bool error = Chance(opt_.error_rate);
+    *out += "[1994-05-24T";
+    int64_t secs = clock % 86400;
+    auto two = [&](int64_t v) {
+      if (v < 10) *out += "0";
+      *out += std::to_string(v);
+    };
+    two(secs / 3600);
+    *out += ":";
+    two((secs / 60) % 60);
+    *out += ":";
+    two(secs % 60);
+    *out += "] ";
+    *out += error ? (Chance(0.3) ? "FATAL" : "ERROR")
+                  : (Chance(0.2) ? "WARN" : "INFO");
+    *out += " (";
+    *out += Pick(kComponents);
+    *out += ") sid=";
+    *out += std::to_string(Range(1, opt_.num_sessions));
+    *out += " : ";
+    for (int i = 0; i < opt_.message_words; ++i) {
+      if (i > 0) *out += " ";
+      *out += error ? Pick(kErrorWords) : Pick(kInfoWords);
+    }
+    *out += " ;;\n";
+  }
+
+  const LogGenOptions& opt_;
+  std::mt19937 rng_;
+};
+
+}  // namespace
+
+std::string GenerateLog(const LogGenOptions& options) {
+  return Gen(options).Run();
+}
+
+}  // namespace qof

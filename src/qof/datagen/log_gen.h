@@ -1,0 +1,23 @@
+#ifndef QOF_DATAGEN_LOG_GEN_H_
+#define QOF_DATAGEN_LOG_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qof {
+
+/// Synthetic structured-log generator (the paper's log-file motivating
+/// example, §1). Emits files parseable by LogSchema().
+struct LogGenOptions {
+  int num_entries = 1000;
+  uint32_t seed = 11;
+  double error_rate = 0.05;
+  int num_sessions = 50;
+  int message_words = 8;
+};
+
+std::string GenerateLog(const LogGenOptions& options);
+
+}  // namespace qof
+
+#endif  // QOF_DATAGEN_LOG_GEN_H_

@@ -1,0 +1,135 @@
+#include "qof/datagen/mail_gen.h"
+
+#include <random>
+
+namespace qof {
+namespace {
+
+struct Person {
+  const char* name;
+  const char* email;
+};
+
+constexpr Person kPeople[] = {
+    {"Alice Zhou", "azhou@example.org"},
+    {"Bob Tanaka", "btanaka@example.org"},
+    {"Carol Iverson", "carol@example.com"},
+    {"Deepak Rao", "drao@example.net"},
+    {"Elena Petrova", "elena@example.org"},
+    {"Frank Mills", "fmills@example.com"},
+    {"Grace Okafor", "gokafor@example.net"},
+    {"Henrik Olsen", "holsen@example.org"},
+    {"Ines Castro", "icastro@example.com"},
+    {"Jonas Weber", "jweber@example.net"},
+};
+
+constexpr const char* kSubjectWords[] = {
+    "meeting", "notes",   "draft",  "review", "schedule", "budget",
+    "release", "plan",    "agenda", "report", "update",   "question",
+    "paper",   "figures", "deadline"};
+
+constexpr const char* kTags[] = {"work",   "urgent", "personal",
+                                 "travel", "admin",  "archive"};
+
+constexpr const char* kBodyWords[] = {
+    "please", "find",    "attached", "the",     "latest", "version",
+    "of",     "our",     "document", "and",     "send",   "comments",
+    "before", "friday",  "thanks",   "we",      "should", "discuss",
+    "next",   "steps",   "budget",   "numbers", "look",   "fine",
+    "to",     "me",      "see",      "you",     "at",     "lunch"};
+
+class Gen {
+ public:
+  explicit Gen(const MailGenOptions& options)
+      : opt_(options), rng_(options.seed) {}
+
+  std::string Run() {
+    std::string out;
+    out.reserve(static_cast<size_t>(opt_.num_messages) * 360);
+    for (int i = 0; i < opt_.num_messages; ++i) EmitMessage(i, &out);
+    return out;
+  }
+
+ private:
+  template <size_t N>
+  const char* Pick(const char* const (&pool)[N]) {
+    return pool[std::uniform_int_distribution<size_t>(0, N - 1)(rng_)];
+  }
+
+  const Person& PickPerson() {
+    return kPeople[std::uniform_int_distribution<size_t>(
+        0, std::size(kPeople) - 1)(rng_)];
+  }
+
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  bool Chance(double p) { return std::bernoulli_distribution(p)(rng_); }
+
+  void EmitAddress(bool probe, std::string* out) {
+    if (probe) {
+      *out += opt_.probe_name;
+      *out += " <";
+      *out += opt_.probe_email;
+      *out += ">";
+      return;
+    }
+    const Person& p = PickPerson();
+    *out += p.name;
+    *out += " <";
+    *out += p.email;
+    *out += ">";
+  }
+
+  void EmitMessage(int index, std::string* out) {
+    *out += "MESSAGE {\n  FROM [";
+    EmitAddress(Chance(opt_.probe_sender_rate), out);
+    *out += "]\n  TO [";
+    int recipients = Range(opt_.min_recipients, opt_.max_recipients);
+    int probe_slot =
+        Chance(opt_.probe_recipient_rate) ? Range(0, recipients - 1) : -1;
+    for (int i = 0; i < recipients; ++i) {
+      if (i > 0) *out += "; ";
+      EmitAddress(i == probe_slot, out);
+    }
+    *out += "]\n  SUBJECT [";
+    int subject_words = Range(2, 5);
+    for (int i = 0; i < subject_words; ++i) {
+      if (i > 0) *out += " ";
+      *out += Pick(kSubjectWords);
+    }
+    *out += "]\n  DATE [1994-";
+    int month = Range(1, 12);
+    if (month < 10) *out += "0";
+    *out += std::to_string(month);
+    *out += "-";
+    int day = Range(1, 28);
+    if (day < 10) *out += "0";
+    *out += std::to_string(day);
+    *out += "]\n  TAGS [";
+    int tags = Range(0, opt_.max_tags);
+    for (int i = 0; i < tags; ++i) {
+      if (i > 0) *out += "; ";
+      *out += Pick(kTags);
+    }
+    *out += "]\n  BODY [msg";
+    *out += std::to_string(index);
+    for (int i = 0; i < opt_.body_words; ++i) {
+      *out += " ";
+      *out += Pick(kBodyWords);
+    }
+    *out += "]\n}\n";
+  }
+
+  const MailGenOptions& opt_;
+  std::mt19937 rng_;
+};
+
+}  // namespace
+
+std::string GenerateMailbox(const MailGenOptions& options) {
+  return Gen(options).Run();
+}
+
+}  // namespace qof

@@ -1,0 +1,30 @@
+#ifndef QOF_DATAGEN_MAIL_GEN_H_
+#define QOF_DATAGEN_MAIL_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qof {
+
+/// Synthetic mailbox generator (the paper's e-mail motivating example,
+/// §1). Emits files parseable by MailSchema().
+struct MailGenOptions {
+  int num_messages = 100;
+  uint32_t seed = 7;
+  int min_recipients = 1;
+  int max_recipients = 3;
+  int max_tags = 3;
+  int body_words = 30;
+  /// Probability that a message involves the probe person as sender /
+  /// as a recipient (the mail analogue of the Chang author/editor split).
+  double probe_sender_rate = 0.05;
+  double probe_recipient_rate = 0.08;
+  std::string probe_name = "Dana Chang";
+  std::string probe_email = "dchang@example.org";
+};
+
+std::string GenerateMailbox(const MailGenOptions& options);
+
+}  // namespace qof
+
+#endif  // QOF_DATAGEN_MAIL_GEN_H_

@@ -1,0 +1,83 @@
+#include "qof/datagen/outline_gen.h"
+
+#include <random>
+
+namespace qof {
+namespace {
+
+constexpr const char* kTitleWords[] = {
+    "Introduction", "Background", "Design",    "Evaluation",
+    "Indexing",     "Regions",    "Algebra",   "Grammars",
+    "Parsing",      "Results",    "Discussion", "Conclusions",
+};
+
+constexpr const char* kProseWords[] = {
+    "this",    "section", "describes", "the",      "approach", "in",
+    "detail",  "and",     "relates",   "it",       "to",       "previous",
+    "work",    "on",      "indexed",   "text",     "files",    "with",
+    "regions", "queries", "evaluated", "without",  "scanning",
+};
+
+class Gen {
+ public:
+  explicit Gen(const OutlineGenOptions& options)
+      : opt_(options), rng_(options.seed) {}
+
+  std::string Run() {
+    std::string out;
+    out.reserve(static_cast<size_t>(opt_.num_top_sections) * 600);
+    for (int i = 0; i < opt_.num_top_sections; ++i) {
+      EmitSection(opt_.max_depth, &out);
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  template <size_t N>
+  const char* Pick(const char* const (&pool)[N]) {
+    return pool[std::uniform_int_distribution<size_t>(0, N - 1)(rng_)];
+  }
+
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  bool Chance(double p) { return std::bernoulli_distribution(p)(rng_); }
+
+  void EmitSection(int depth_budget, std::string* out) {
+    *out += "<sec [";
+    if (Chance(opt_.probe_title_rate)) {
+      *out += opt_.probe_title;
+    } else {
+      *out += Pick(kTitleWords);
+      *out += " ";
+      *out += Pick(kTitleWords);
+    }
+    *out += "] ";
+    for (int i = 0; i < opt_.prose_words; ++i) {
+      *out += Pick(kProseWords);
+      *out += " ";
+    }
+    *out += "{ ";
+    if (depth_budget > 0) {
+      int children = Range(0, opt_.max_children);
+      for (int c = 0; c < children; ++c) {
+        EmitSection(depth_budget - 1, out);
+        *out += " ";
+      }
+    }
+    *out += "} sec>";
+  }
+
+  const OutlineGenOptions& opt_;
+  std::mt19937 rng_;
+};
+
+}  // namespace
+
+std::string GenerateOutline(const OutlineGenOptions& options) {
+  return Gen(options).Run();
+}
+
+}  // namespace qof

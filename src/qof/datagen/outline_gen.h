@@ -1,0 +1,27 @@
+#ifndef QOF_DATAGEN_OUTLINE_GEN_H_
+#define QOF_DATAGEN_OUTLINE_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qof {
+
+/// Synthetic recursive document outlines, parseable by OutlineSchema().
+/// The probe title is planted at controlled depths so closure queries
+/// (s.*X.SecTitle) have known answers at every nesting level.
+struct OutlineGenOptions {
+  int num_top_sections = 20;
+  uint32_t seed = 19;
+  int max_depth = 4;
+  int max_children = 3;
+  int prose_words = 12;
+  /// Probability that a section's title is the probe title.
+  double probe_title_rate = 0.05;
+  std::string probe_title = "Optimization";
+};
+
+std::string GenerateOutline(const OutlineGenOptions& options);
+
+}  // namespace qof
+
+#endif  // QOF_DATAGEN_OUTLINE_GEN_H_

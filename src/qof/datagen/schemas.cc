@@ -1,0 +1,155 @@
+#include "qof/datagen/schemas.h"
+
+namespace qof {
+
+Result<StructuringSchema> BibtexSchema() {
+  SchemaBuilder b("BibTeX", "Ref_Set", "Reference");
+  b.Star("Ref_Set", "Reference", "", Action::CollectSet());
+  b.Sequence(
+      "Reference",
+      {
+          b.Lit("@INCOLLECTION{"), b.NT("Key"), b.Lit(","),
+          b.Lit("AUTHOR ="), b.NT("Authors"), b.Lit(","),
+          b.Lit("TITLE = \""), b.NT("Title"), b.Lit("\","),
+          b.Lit("BOOKTITLE = \""), b.NT("BookTitle"), b.Lit("\","),
+          b.Lit("YEAR = \""), b.NT("Year"), b.Lit("\","),
+          b.Lit("EDITOR ="), b.NT("Editors"), b.Lit(","),
+          b.Lit("PUBLISHER = \""), b.NT("Publisher"), b.Lit("\","),
+          b.Lit("ADDRESS = \""), b.NT("Address"), b.Lit("\","),
+          b.Lit("PAGES = \""), b.NT("Pages"), b.Lit("\","),
+          b.Lit("REFERRED ="), b.NT("Referred"), b.Lit(","),
+          b.Lit("KEYWORDS ="), b.NT("Keywords"), b.Lit(","),
+          b.Lit("ABSTRACT = \""), b.NT("Abstract"), b.Lit("\""),
+          b.Lit("}"),
+      },
+      Action::Object("Reference", {{"Key", 1},
+                                   {"Authors", 2},
+                                   {"Title", 3},
+                                   {"BookTitle", 4},
+                                   {"Year", 5},
+                                   {"Editors", 6},
+                                   {"Publisher", 7},
+                                   {"Address", 8},
+                                   {"Pages", 9},
+                                   {"Referred", 10},
+                                   {"Keywords", 11},
+                                   {"Abstract", 12}}));
+  // Composite fields carry their quotes so their spans strictly contain
+  // their children's.
+  b.Sequence("Authors",
+             {b.Lit("\""), b.StarOf("Name", "and ", /*min_count=*/1),
+              b.Lit("\"")},
+             Action::CollectSet());
+  b.Sequence("Editors",
+             {b.Lit("\""), b.StarOf("Name", "and ", /*min_count=*/1),
+              b.Lit("\"")},
+             Action::CollectSet());
+  b.Sequence("Name", {b.NT("First_Name"), b.NT("Last_Name")},
+             Action::Tuple({{"First_Name", 1}, {"Last_Name", 2}}));
+  b.Sequence("Keywords",
+             {b.Lit("\""), b.StarOf("Keyword", ";"), b.Lit("\"")},
+             Action::CollectSet());
+  b.Sequence("Referred",
+             {b.Lit("\""), b.StarOf("RefKey", ";"), b.Lit("\"")},
+             Action::CollectSet());
+  b.Token("Key", TokenKind::kUntil, {","});
+  b.Token("Title", TokenKind::kUntil, {"\""});
+  b.Token("BookTitle", TokenKind::kUntil, {"\""});
+  b.Token("Year", TokenKind::kNumber, {}, Action::Int());
+  b.Token("Publisher", TokenKind::kUntil, {"\""});
+  b.Token("Address", TokenKind::kUntil, {"\""});
+  b.Token("Pages", TokenKind::kUntil, {"\""});
+  b.Token("Abstract", TokenKind::kUntil, {"\""});
+  b.Token("Keyword", TokenKind::kUntil, {";", "\""});
+  b.Token("RefKey", TokenKind::kUntil, {";", "\""});
+  b.Token("First_Name", TokenKind::kUntilLastWord, {" and ", "\""});
+  b.Token("Last_Name", TokenKind::kWord);
+  return b.Build();
+}
+
+Result<StructuringSchema> MailSchema() {
+  SchemaBuilder b("Mail", "Mailbox", "Message");
+  b.Star("Mailbox", "Message", "", Action::CollectSet());
+  b.Sequence("Message",
+             {
+                 b.Lit("MESSAGE {"),
+                 b.Lit("FROM"), b.NT("Sender"),
+                 b.Lit("TO"), b.NT("Recipients"),
+                 b.Lit("SUBJECT ["), b.NT("Subject"), b.Lit("]"),
+                 b.Lit("DATE ["), b.NT("Date"), b.Lit("]"),
+                 b.Lit("TAGS"), b.NT("Tags"),
+                 b.Lit("BODY ["), b.NT("Body"), b.Lit("]"),
+                 b.Lit("}"),
+             },
+             Action::Object("Message", {{"Sender", 1},
+                                        {"Recipients", 2},
+                                        {"Subject", 3},
+                                        {"Date", 4},
+                                        {"Tags", 5},
+                                        {"Body", 6}}));
+  b.Sequence("Sender", {b.Lit("["), b.NT("Address"), b.Lit("]")},
+             Action::Child(1));
+  b.Sequence("Recipients",
+             {b.Lit("["), b.StarOf("Address", ";", /*min_count=*/1),
+              b.Lit("]")},
+             Action::CollectSet());
+  b.Sequence("Address",
+             {b.NT("Addr_Name"), b.Lit("<"), b.NT("Email"), b.Lit(">")},
+             Action::Tuple({{"Addr_Name", 1}, {"Email", 2}}));
+  b.Sequence("Tags", {b.Lit("["), b.StarOf("Tag", ";"), b.Lit("]")},
+             Action::CollectSet());
+  b.Token("Addr_Name", TokenKind::kUntil, {"<"});
+  b.Token("Email", TokenKind::kUntil, {">"});
+  b.Token("Subject", TokenKind::kUntil, {"]"});
+  b.Token("Date", TokenKind::kUntil, {"]"});
+  b.Token("Tag", TokenKind::kUntil, {";", "]"});
+  b.Token("Body", TokenKind::kUntil, {"]"});
+  return b.Build();
+}
+
+Result<StructuringSchema> LogSchema() {
+  SchemaBuilder b("Log", "LogFile", "Entry");
+  b.Star("LogFile", "Entry", "", Action::CollectSet());
+  b.Sequence("Entry",
+             {
+                 b.Lit("["), b.NT("Timestamp"), b.Lit("]"),
+                 b.NT("Level"),
+                 b.Lit("("), b.NT("Component"), b.Lit(")"),
+                 b.Lit("sid="), b.NT("SessionId"),
+                 b.Lit(":"), b.NT("Message"), b.Lit(";;"),
+             },
+             Action::Object("Entry", {{"Timestamp", 1},
+                                      {"Level", 2},
+                                      {"Component", 3},
+                                      {"SessionId", 4},
+                                      {"Message", 5}}));
+  b.Token("Timestamp", TokenKind::kUntil, {"]"});
+  b.Token("Level", TokenKind::kWord);
+  b.Token("Component", TokenKind::kWord);
+  b.Token("SessionId", TokenKind::kNumber, {}, Action::Int());
+  b.Token("Message", TokenKind::kUntil, {";;"});
+  return b.Build();
+}
+
+Result<StructuringSchema> OutlineSchema() {
+  SchemaBuilder b("Outline", "Document", "Section");
+  b.Star("Document", "Section", "", Action::CollectSet());
+  b.Sequence("Section",
+             {
+                 b.Lit("<sec ["), b.NT("SecTitle"), b.Lit("]"),
+                 b.NT("Prose"),
+                 b.NT("Subsections"),
+                 b.Lit("sec>"),
+             },
+             Action::Object("Section", {{"SecTitle", 1},
+                                        {"Prose", 2},
+                                        {"Subsections", 3}}));
+  b.Sequence("Subsections",
+             {b.Lit("{"), b.StarOf("Section", ""), b.Lit("}")},
+             Action::CollectSet());
+  b.Token("SecTitle", TokenKind::kUntil, {"]"});
+  b.Token("Prose", TokenKind::kUntil, {"{"});
+  return b.Build();
+}
+
+}  // namespace qof

@@ -1,0 +1,42 @@
+#ifndef QOF_DATAGEN_SCHEMAS_H_
+#define QOF_DATAGEN_SCHEMAS_H_
+
+#include "qof/schema/structuring_schema.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// The paper's running example (§2, §4.1): BibTeX files. View symbol:
+/// Reference. RIG shape matches the paper's §3.2 diagram —
+///   Reference -> {Key, Title, BookTitle, Year, Publisher, Address, Pages,
+///                 Abstract, Authors, Editors, Keywords, Referred}
+///   Authors -> Name, Editors -> Name, Name -> {First_Name, Last_Name},
+///   Keywords -> Keyword, Referred -> RefKey.
+/// Composite regions (Authors, Editors, Keywords, Referred) include their
+/// surrounding quotes, mirroring §2's "regions starting with AUTHOR= and
+/// ending with a comma": a parent's span strictly contains its children's.
+Result<StructuringSchema> BibtexSchema();
+
+/// A mailbox of structured messages (the paper's motivating e-mail files,
+/// §1). View symbol: Message.
+///   Message -> {Sender, Recipients, Subject, Date, Tags, Body}
+///   Sender -> Address, Recipients -> Address,
+///   Address -> {Addr_Name, Email}, Tags -> Tag.
+Result<StructuringSchema> MailSchema();
+
+/// A structured application log (the paper's log files, §1). View symbol:
+/// Entry.
+///   Entry -> {Timestamp, Level, Component, SessionId, Message}
+Result<StructuringSchema> LogSchema();
+
+/// A recursive document outline: sections nest inside sections, giving a
+/// *cyclic* RIG (Section -> Subsections -> Section) — the self-nested
+/// regions of §3.2 and the transitive-closure paths of §5.3. View symbol:
+/// Section (every nesting level is a view object).
+///   Section -> {SecTitle, Prose, Subsections}, Subsections -> Section
+/// Text shape: <sec [Title] prose words { <sec ...> ... } sec>
+Result<StructuringSchema> OutlineSchema();
+
+}  // namespace qof
+
+#endif  // QOF_DATAGEN_SCHEMAS_H_

@@ -1,0 +1,92 @@
+#include "qof/db/evaluator.h"
+
+namespace qof {
+namespace {
+
+// Resolves a reference chain to the stored object's state.
+Value Resolve(const ObjectStore& store, const Value& v) {
+  Value cur = v;
+  int fuel = 16;  // defensive: reference cycles cannot occur, but cap anyway
+  while (cur.kind() == Value::Kind::kRef && fuel-- > 0) {
+    auto obj = store.Get(cur.ref_id());
+    if (!obj.ok()) return Value::Null();
+    cur = (*obj)->state;
+  }
+  return cur;
+}
+
+void StepInto(const ObjectStore& store, const Value& value,
+              const std::string& name, std::vector<Value>* out) {
+  Value v = Resolve(store, value);
+  switch (v.kind()) {
+    case Value::Kind::kTuple: {
+      if (const Value* f = v.Field(name)) {
+        out->push_back(*f);
+      } else if (v.type_name() == name) {
+        out->push_back(v);
+      }
+      return;
+    }
+    case Value::Kind::kSet:
+    case Value::Kind::kList: {
+      if (v.type_name() == name) {
+        out->push_back(v);
+        return;
+      }
+      for (const Value& e : v.elements()) StepInto(store, e, name, out);
+      return;
+    }
+    default:
+      if (v.type_name() == name) out->push_back(v);
+      return;
+  }
+}
+
+void Descend(const ObjectStore& store, const Value& value,
+             std::vector<Value>* out) {
+  Value v = Resolve(store, value);
+  out->push_back(v);
+  switch (v.kind()) {
+    case Value::Kind::kTuple:
+      for (const auto& [attr, field] : v.fields()) {
+        Descend(store, field, out);
+      }
+      return;
+    case Value::Kind::kSet:
+    case Value::Kind::kList:
+      for (const Value& e : v.elements()) Descend(store, e, out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<Value> NavigatePath(const ObjectStore& store, const Value& root,
+                                const std::vector<NavStep>& steps) {
+  std::vector<Value> current = {root};
+  for (const NavStep& step : steps) {
+    std::vector<Value> next;
+    for (const Value& v : current) {
+      if (step.kind == NavStep::Kind::kAttr) {
+        StepInto(store, v, step.name, &next);
+      } else {
+        Descend(store, v, &next);
+      }
+    }
+    current = std::move(next);
+  }
+  // Resolve any trailing references so callers compare object state.
+  for (Value& v : current) v = Resolve(store, v);
+  return current;
+}
+
+std::vector<Value> CollectDescendants(const ObjectStore& store,
+                                      const Value& root) {
+  std::vector<Value> out;
+  Descend(store, root, &out);
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,48 @@
+#ifndef QOF_DB_EVALUATOR_H_
+#define QOF_DB_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "qof/db/object_store.h"
+#include "qof/db/value.h"
+
+namespace qof {
+
+/// One step of a database navigation path.
+struct NavStep {
+  enum class Kind {
+    kAttr,     // named attribute / typed element step
+    kAnyStar,  // any (possibly empty) attribute sequence — XSQL's *X
+  };
+  Kind kind = Kind::kAttr;
+  std::string name;  // kAttr
+
+  static NavStep Attr(std::string name) {
+    return {Kind::kAttr, std::move(name)};
+  }
+  static NavStep AnyStar() { return {Kind::kAnyStar, ""}; }
+};
+
+/// Navigates values the way XSQL paths do (paper §2, §5.3):
+///  - an attribute step on a tuple yields the field of that name;
+///  - sets and lists are traversed implicitly, element-wise;
+///  - a step naming a value's *type tag* yields the value itself (this is
+///    how `r.Authors.Name....` crosses from the Authors set into its
+///    Name-typed elements);
+///  - object references resolve through the store;
+///  - kAnyStar yields every value reachable by any attribute sequence,
+///    including the empty one.
+/// The result preserves discovery order and keeps duplicates (multiple
+/// authors named Chang are two hits).
+std::vector<Value> NavigatePath(const ObjectStore& store, const Value& root,
+                                const std::vector<NavStep>& steps);
+
+/// All values reachable from `root` (including itself) by attribute/
+/// element traversal.
+std::vector<Value> CollectDescendants(const ObjectStore& store,
+                                      const Value& root);
+
+}  // namespace qof
+
+#endif  // QOF_DB_EVALUATOR_H_

@@ -1,0 +1,36 @@
+#include "qof/db/object_store.h"
+
+namespace qof {
+
+ObjectId ObjectStore::Insert(std::string class_name, Value state) {
+  ObjectId id = objects_.size() + 1;
+  extents_[class_name].push_back(id);
+  objects_.push_back(StoredObject{id, std::move(class_name),
+                                  std::move(state)});
+  return id;
+}
+
+Result<const StoredObject*> ObjectStore::Get(ObjectId id) const {
+  if (id == 0 || id > objects_.size()) {
+    return Status::NotFound("no object with id " + std::to_string(id));
+  }
+  return &objects_[id - 1];
+}
+
+const std::vector<ObjectId>& ObjectStore::Extent(
+    std::string_view class_name) const {
+  static const std::vector<ObjectId> kEmpty;
+  auto it = extents_.find(class_name);
+  return it == extents_.end() ? kEmpty : it->second;
+}
+
+uint64_t ObjectStore::ApproxBytes() const {
+  // A rough, stable proxy: rendered size of every object state.
+  uint64_t bytes = 0;
+  for (const StoredObject& o : objects_) {
+    bytes += o.class_name.size() + o.state.ToString().size() + 32;
+  }
+  return bytes;
+}
+
+}  // namespace qof

@@ -1,0 +1,54 @@
+#ifndef QOF_DB_OBJECT_STORE_H_
+#define QOF_DB_OBJECT_STORE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/db/value.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// A stored object: identity + class + state (a tuple value, typically).
+struct StoredObject {
+  ObjectId id = 0;
+  std::string class_name;
+  Value state;
+};
+
+/// The object repository of the mini-OODB. Objects are immutable once
+/// inserted; class extents record insertion order. The baseline query plan
+/// materializes every parsed object here; index plans only the candidates.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+
+  // The store owns object identity; copying would fork ids silently.
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+  ObjectStore(ObjectStore&&) = default;
+  ObjectStore& operator=(ObjectStore&&) = default;
+
+  /// Inserts an object and returns its id (ids start at 1; 0 is invalid).
+  ObjectId Insert(std::string class_name, Value state);
+
+  Result<const StoredObject*> Get(ObjectId id) const;
+
+  /// Ids of all objects of a class, in insertion order.
+  const std::vector<ObjectId>& Extent(std::string_view class_name) const;
+
+  size_t size() const { return objects_.size(); }
+
+  /// Approximate bytes held (experiment reporting).
+  uint64_t ApproxBytes() const;
+
+ private:
+  std::vector<StoredObject> objects_;
+  std::map<std::string, std::vector<ObjectId>, std::less<>> extents_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_DB_OBJECT_STORE_H_

@@ -1,0 +1,200 @@
+#include "qof/db/value.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qof {
+
+struct Value::Rep {
+  Kind kind = Kind::kNull;
+  std::string type_name;
+  std::string str;
+  int64_t int_value = 0;
+  ObjectId ref_id = 0;
+  std::vector<std::pair<std::string, Value>> fields;
+  std::vector<Value> elements;
+};
+
+Value::Value() : rep_(nullptr) {}
+
+Value Value::Str(std::string s) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kString;
+  rep->str = std::move(s);
+  return Value(std::move(rep));
+}
+
+Value Value::Int(int64_t v) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kInt;
+  rep->int_value = v;
+  return Value(std::move(rep));
+}
+
+Value Value::MakeTuple(
+    std::vector<std::pair<std::string, Value>> fields) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kTuple;
+  rep->fields = std::move(fields);
+  return Value(std::move(rep));
+}
+
+Value Value::MakeSet(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  elements.erase(std::unique(elements.begin(), elements.end(),
+                             [](const Value& a, const Value& b) {
+                               return Compare(a, b) == 0;
+                             }),
+                 elements.end());
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kSet;
+  rep->elements = std::move(elements);
+  return Value(std::move(rep));
+}
+
+Value Value::MakeList(std::vector<Value> elements) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kList;
+  rep->elements = std::move(elements);
+  return Value(std::move(rep));
+}
+
+Value Value::Ref(ObjectId id) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kRef;
+  rep->ref_id = id;
+  return Value(std::move(rep));
+}
+
+Value::Kind Value::kind() const {
+  return rep_ ? rep_->kind : Kind::kNull;
+}
+
+const std::string& Value::str() const {
+  assert(kind() == Kind::kString);
+  return rep_->str;
+}
+
+int64_t Value::int_value() const {
+  assert(kind() == Kind::kInt);
+  return rep_->int_value;
+}
+
+ObjectId Value::ref_id() const {
+  assert(kind() == Kind::kRef);
+  return rep_->ref_id;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::fields() const {
+  assert(kind() == Kind::kTuple);
+  return rep_->fields;
+}
+
+const std::vector<Value>& Value::elements() const {
+  assert(kind() == Kind::kSet || kind() == Kind::kList);
+  return rep_->elements;
+}
+
+const Value* Value::Field(std::string_view name) const {
+  if (kind() != Kind::kTuple) return nullptr;
+  for (const auto& [attr, value] : rep_->fields) {
+    if (attr == name) return &value;
+  }
+  return nullptr;
+}
+
+Value Value::WithType(std::string type_name) const {
+  auto rep = rep_ ? std::make_shared<Rep>(*rep_) : std::make_shared<Rep>();
+  rep->type_name = std::move(type_name);
+  return Value(std::move(rep));
+}
+
+const std::string& Value::type_name() const {
+  static const std::string kEmpty;
+  return rep_ ? rep_->type_name : kEmpty;
+}
+
+bool Value::Equals(const Value& other) const {
+  return Compare(*this, other) == 0;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  Kind ka = a.kind();
+  Kind kb = b.kind();
+  if (ka != kb) return ka < kb ? -1 : 1;
+  switch (ka) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kString:
+      return a.rep_->str.compare(b.rep_->str);
+    case Kind::kInt:
+      return a.rep_->int_value < b.rep_->int_value
+                 ? -1
+                 : (a.rep_->int_value > b.rep_->int_value ? 1 : 0);
+    case Kind::kRef:
+      return a.rep_->ref_id < b.rep_->ref_id
+                 ? -1
+                 : (a.rep_->ref_id > b.rep_->ref_id ? 1 : 0);
+    case Kind::kTuple: {
+      const auto& fa = a.rep_->fields;
+      const auto& fb = b.rep_->fields;
+      if (fa.size() != fb.size()) return fa.size() < fb.size() ? -1 : 1;
+      for (size_t i = 0; i < fa.size(); ++i) {
+        int c = fa[i].first.compare(fb[i].first);
+        if (c != 0) return c;
+        c = Compare(fa[i].second, fb[i].second);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+    case Kind::kSet:
+    case Kind::kList: {
+      const auto& ea = a.rep_->elements;
+      const auto& eb = b.rep_->elements;
+      if (ea.size() != eb.size()) return ea.size() < eb.size() ? -1 : 1;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        int c = Compare(ea[i], eb[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kString:
+      return "\"" + rep_->str + "\"";
+    case Kind::kInt:
+      return std::to_string(rep_->int_value);
+    case Kind::kRef:
+      return "@" + std::to_string(rep_->ref_id);
+    case Kind::kTuple: {
+      std::string out = "{";
+      for (size_t i = 0; i < rep_->fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rep_->fields[i].first + ": " +
+               rep_->fields[i].second.ToString();
+      }
+      out += "}";
+      return out;
+    }
+    case Kind::kSet:
+    case Kind::kList: {
+      std::string out = kind() == Kind::kSet ? "{" : "[";
+      for (size_t i = 0; i < rep_->elements.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rep_->elements[i].ToString();
+      }
+      out += kind() == Kind::kSet ? "}" : "]";
+      return out;
+    }
+  }
+  return "null";
+}
+
+}  // namespace qof

@@ -1,0 +1,80 @@
+#ifndef QOF_DB_VALUE_H_
+#define QOF_DB_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qof {
+
+/// Identifier of an object in an ObjectStore.
+using ObjectId = uint64_t;
+
+/// The database value model of the mini-OODB substrate (paper §2 assumes
+/// an object-oriented database in the style of O2/XSQL): atomic strings
+/// and integers, tuples with named attributes, sets, lists, and object
+/// references. Values are immutable and cheap to copy (shared
+/// representation).
+///
+/// A value may carry a *type tag* — the non-terminal/class name it was
+/// built from ("Name", "Reference"). Path navigation uses tags to resolve
+/// steps like `.Name` over set elements (XSQL's typed path components).
+/// Equality and ordering compare content only, never tags.
+class Value {
+ public:
+  enum class Kind { kNull, kString, kInt, kTuple, kSet, kList, kRef };
+
+  /// Constructs the null value.
+  Value();
+
+  static Value Null() { return Value(); }
+  static Value Str(std::string s);
+  static Value Int(int64_t v);
+  /// Field order is preserved (it mirrors the file's layout).
+  static Value MakeTuple(std::vector<std::pair<std::string, Value>> fields);
+  /// Deduplicates and canonically orders the elements.
+  static Value MakeSet(std::vector<Value> elements);
+  static Value MakeList(std::vector<Value> elements);
+  static Value Ref(ObjectId id);
+
+  Kind kind() const;
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  /// Accessors; each requires the matching kind.
+  const std::string& str() const;
+  int64_t int_value() const;
+  ObjectId ref_id() const;
+  const std::vector<std::pair<std::string, Value>>& fields() const;
+  const std::vector<Value>& elements() const;
+
+  /// Tuple field by name, or nullptr.
+  const Value* Field(std::string_view name) const;
+
+  /// Returns a copy of this value carrying `type_name` as its tag.
+  Value WithType(std::string type_name) const;
+  const std::string& type_name() const;
+
+  /// Content equality (tags ignored). Ref values compare by id.
+  bool Equals(const Value& other) const;
+  /// Total order for canonical set layout; consistent with Equals.
+  static int Compare(const Value& a, const Value& b);
+
+  /// JSON-like rendering, e.g. {Key: "Corl82a", Authors: {...}}.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Equals(b);
+  }
+
+ private:
+  struct Rep;
+  explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_DB_VALUE_H_

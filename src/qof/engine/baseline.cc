@@ -1,0 +1,69 @@
+#include "qof/engine/baseline.h"
+
+#include "qof/engine/condition_eval.h"
+#include "qof/parse/parser.h"
+#include "qof/parse/value_builder.h"
+
+namespace qof {
+namespace {
+
+void CollectViewNodes(const ParseNode& node, SymbolId view,
+                      std::vector<const ParseNode*>* out) {
+  if (node.symbol == view) out->push_back(&node);
+  // Recurse even below a view node: recursive schemas (self-nested
+  // sections) make every nesting level a view object of its own.
+  for (const auto& child : node.children) {
+    CollectViewNodes(*child, view, out);
+  }
+}
+
+}  // namespace
+
+Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
+                                   const Corpus& corpus,
+                                   const SelectQuery& query,
+                                   const Rig& full_rig,
+                                   ObjectStore* store) {
+  BaselineResult result;
+  SchemaParser parser(&schema);
+  for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+    TextPos begin = corpus.document_start(doc);
+    TextPos end = corpus.document_end(doc);
+    // The baseline scans the document text to parse it.
+    std::string_view text = corpus.ScanText(begin, end);
+    auto tree = parser.ParseDocument(text, begin);
+    if (!tree.ok()) {
+      return Status::ParseError("document '" + corpus.document_name(doc) +
+                                "': " + tree.status().message());
+    }
+    std::vector<const ParseNode*> views;
+    CollectViewNodes(**tree, schema.view(), &views);
+    for (const ParseNode* node : views) {
+      QOF_ASSIGN_OR_RETURN(ObjectId id,
+                           BuildObject(schema, corpus, *node, store));
+      ++result.objects_built;
+      QOF_ASSIGN_OR_RETURN(const StoredObject* obj, store->Get(id));
+      Value root = Value::Ref(id).WithType(obj->class_name);
+      bool keep = true;
+      if (query.where != nullptr) {
+        QOF_ASSIGN_OR_RETURN(
+            keep, EvaluateCondition(*store, root, *query.where, full_rig,
+                                    schema.view_name()));
+      }
+      if (!keep) continue;
+      result.regions.push_back(node->span);
+      result.objects.push_back(id);
+      if (query.IsProjection()) {
+        QOF_ASSIGN_OR_RETURN(
+            std::vector<Value> values,
+            EvaluateTarget(*store, root, query.target, full_rig,
+                           schema.view_name()));
+        result.projected.insert(result.projected.end(), values.begin(),
+                                values.end());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qof

@@ -1,0 +1,38 @@
+#ifndef QOF_ENGINE_BASELINE_H_
+#define QOF_ENGINE_BASELINE_H_
+
+#include <vector>
+
+#include "qof/db/object_store.h"
+#include "qof/query/ast.h"
+#include "qof/region/region.h"
+#include "qof/rig/rig.h"
+#include "qof/schema/structuring_schema.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Output of the full-scan plan.
+struct BaselineResult {
+  /// Spans and ids of matching view objects, aligned.
+  std::vector<Region> regions;
+  std::vector<ObjectId> objects;
+  /// Projected values when the query has a target path.
+  std::vector<Value> projected;
+  uint64_t objects_built = 0;
+};
+
+/// The "standard database implementation" of §1/§4.1: scan and parse the
+/// *whole* corpus, construct the database image of every view region, and
+/// evaluate the query over the objects. This is the comparator the
+/// paper's speedups are measured against; all its text reads go through
+/// Corpus::ScanText and show up in bytes_read().
+Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
+                                   const Corpus& corpus,
+                                   const SelectQuery& query,
+                                   const Rig& full_rig, ObjectStore* store);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_BASELINE_H_

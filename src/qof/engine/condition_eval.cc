@@ -1,0 +1,170 @@
+#include "qof/engine/condition_eval.h"
+
+#include "qof/compiler/path_mapper.h"
+#include "qof/text/tokenizer.h"
+#include "qof/util/string_util.h"
+
+namespace qof {
+namespace {
+
+void FlattenInto(const ObjectStore& store, const Value& value,
+                 std::string* out) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      return;
+    case Value::Kind::kString:
+      if (!out->empty()) *out += " ";
+      *out += value.str();
+      return;
+    case Value::Kind::kInt:
+      if (!out->empty()) *out += " ";
+      *out += std::to_string(value.int_value());
+      return;
+    case Value::Kind::kRef: {
+      auto obj = store.Get(value.ref_id());
+      if (obj.ok()) FlattenInto(store, (*obj)->state, out);
+      return;
+    }
+    case Value::Kind::kTuple:
+      for (const auto& [attr, field] : value.fields()) {
+        FlattenInto(store, field, out);
+      }
+      return;
+    case Value::Kind::kSet:
+    case Value::Kind::kList:
+      for (const Value& e : value.elements()) FlattenInto(store, e, out);
+      return;
+  }
+}
+
+// Navigates every expanded alternative of `path` from `root`.
+Result<std::vector<Value>> Navigate(const ObjectStore& store,
+                                    const Value& root, const PathExpr& path,
+                                    const Rig& full_rig,
+                                    const std::string& view_region) {
+  QOF_ASSIGN_OR_RETURN(
+      std::vector<std::vector<NavStep>> alternatives,
+      MapPathToNavSteps(full_rig, view_region, path));
+  std::vector<Value> out;
+  for (const std::vector<NavStep>& steps : alternatives) {
+    std::vector<Value> hits = NavigatePath(store, root, steps);
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FlattenText(const ObjectStore& store, const Value& value) {
+  std::string out;
+  FlattenInto(store, value, &out);
+  return out;
+}
+
+bool ValueMatchesLiteral(const ObjectStore& store, const Value& value,
+                         const std::string& literal) {
+  return TrimView(FlattenText(store, value)) == TrimView(literal);
+}
+
+bool ValueContainsWord(const ObjectStore& store, const Value& value,
+                       const std::string& word) {
+  std::string text = FlattenText(store, value);
+  std::string needle(TrimView(word));
+  auto needle_tokens = Tokenizer::Tokenize(needle);
+  if (needle_tokens.size() > 1) {
+    // Multi-word containment: the literal occurs verbatim in the text.
+    return text.find(needle) != std::string::npos;
+  }
+  bool found = false;
+  Tokenizer::ForEachToken(text, 0, [&](const WordToken& t) {
+    found = found || t.text == needle;
+  });
+  return found;
+}
+
+Result<bool> EvaluateCondition(const ObjectStore& store, const Value& root,
+                               const Condition& cond, const Rig& full_rig,
+                               const std::string& view_region) {
+  switch (cond.kind()) {
+    case Condition::Kind::kEqualsLiteral: {
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          Navigate(store, root, cond.path(), full_rig, view_region));
+      for (const Value& v : values) {
+        if (ValueMatchesLiteral(store, v, cond.literal())) return true;
+      }
+      return false;
+    }
+    case Condition::Kind::kContainsWord: {
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          Navigate(store, root, cond.path(), full_rig, view_region));
+      for (const Value& v : values) {
+        if (ValueContainsWord(store, v, cond.literal())) return true;
+      }
+      return false;
+    }
+    case Condition::Kind::kStartsWith: {
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          Navigate(store, root, cond.path(), full_rig, view_region));
+      std::string prefix(TrimView(cond.literal()));
+      for (const Value& v : values) {
+        std::string text(TrimView(FlattenText(store, v)));
+        if (text.size() >= prefix.size() &&
+            text.compare(0, prefix.size(), prefix) == 0) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Condition::Kind::kEqualsPath: {
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> lhs,
+          Navigate(store, root, cond.path(), full_rig, view_region));
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> rhs,
+          Navigate(store, root, cond.rhs_path(), full_rig, view_region));
+      for (const Value& a : lhs) {
+        for (const Value& b : rhs) {
+          if (a.Equals(b)) return true;
+        }
+      }
+      return false;
+    }
+    case Condition::Kind::kAnd: {
+      QOF_ASSIGN_OR_RETURN(
+          bool l, EvaluateCondition(store, root, *cond.left(), full_rig,
+                                    view_region));
+      if (!l) return false;
+      return EvaluateCondition(store, root, *cond.right(), full_rig,
+                               view_region);
+    }
+    case Condition::Kind::kOr: {
+      QOF_ASSIGN_OR_RETURN(
+          bool l, EvaluateCondition(store, root, *cond.left(), full_rig,
+                                    view_region));
+      if (l) return true;
+      return EvaluateCondition(store, root, *cond.right(), full_rig,
+                               view_region);
+    }
+    case Condition::Kind::kNot: {
+      QOF_ASSIGN_OR_RETURN(
+          bool c, EvaluateCondition(store, root, *cond.child(), full_rig,
+                                    view_region));
+      return !c;
+    }
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
+Result<std::vector<Value>> EvaluateTarget(const ObjectStore& store,
+                                          const Value& root,
+                                          const PathExpr& target,
+                                          const Rig& full_rig,
+                                          const std::string& view_region) {
+  if (target.steps.empty()) return std::vector<Value>{root};
+  return Navigate(store, root, target, full_rig, view_region);
+}
+
+}  // namespace qof

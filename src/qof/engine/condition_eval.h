@@ -1,0 +1,47 @@
+#ifndef QOF_ENGINE_CONDITION_EVAL_H_
+#define QOF_ENGINE_CONDITION_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "qof/db/evaluator.h"
+#include "qof/db/object_store.h"
+#include "qof/query/ast.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Database-side evaluation of WHERE conditions over a materialized view
+/// object — the paper's "apply the query on the resulting database
+/// objects" (§6.2). Used by the baseline plan (on every object) and by
+/// two-phase plans (on candidates only). `full_rig` expands ?X wildcards
+/// into concrete attribute sequences.
+Result<bool> EvaluateCondition(const ObjectStore& store, const Value& root,
+                               const Condition& cond, const Rig& full_rig,
+                               const std::string& view_region);
+
+/// Values reached by the SELECT target path (projection); an empty path
+/// yields {root}.
+Result<std::vector<Value>> EvaluateTarget(const ObjectStore& store,
+                                          const Value& root,
+                                          const PathExpr& target,
+                                          const Rig& full_rig,
+                                          const std::string& view_region);
+
+/// Renders a value the way its file text reads: atoms verbatim, composite
+/// values as their atoms joined by single spaces ("Y. F. Chang" for a
+/// Name tuple). This is the text form FQL equality compares against.
+std::string FlattenText(const ObjectStore& store, const Value& value);
+
+/// True when the value's flattened text equals `literal` (both trimmed).
+bool ValueMatchesLiteral(const ObjectStore& store, const Value& value,
+                         const std::string& literal);
+
+/// True when any word token of the value's flattened text equals `word`.
+bool ValueContainsWord(const ObjectStore& store, const Value& value,
+                       const std::string& word);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_CONDITION_EVAL_H_

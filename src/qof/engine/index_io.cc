@@ -1,0 +1,226 @@
+#include "qof/engine/index_io.h"
+
+#include <cstring>
+#include <vector>
+
+namespace qof {
+namespace {
+
+constexpr char kMagic[] = "QOFIDX1\n";
+constexpr size_t kMagicLen = 8;
+
+// --- little-endian primitives ----------------------------------------------
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<std::string> String() {
+    QOF_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > data_.size()) return Truncated();
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Truncated() const {
+    return Status::InvalidArgument("truncated index blob at offset " +
+                                   std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+uint64_t CorpusFingerprint(std::string_view text) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<std::string> SerializeIndexes(const BuiltIndexes& built,
+                                     const IndexSpec& spec,
+                                     std::string_view corpus_text) {
+  if (spec.word_options.token_filter) {
+    return Status::InvalidArgument(
+        "word-index token filters are code and cannot be serialized; "
+        "rebuild instead of loading");
+  }
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  PutU64(corpus_text.size(), &out);
+  PutU64(CorpusFingerprint(corpus_text), &out);
+
+  // Spec.
+  out.push_back(spec.mode == IndexSpec::Mode::kFull ? 0 : 1);
+  out.push_back(spec.word_options.fold_case ? 1 : 0);
+  PutU32(static_cast<uint32_t>(spec.names.size()), &out);
+  for (const std::string& name : spec.names) PutString(name, &out);
+  PutU32(static_cast<uint32_t>(spec.within.size()), &out);
+  for (const auto& [name, ancestor] : spec.within) {
+    PutString(name, &out);
+    PutString(ancestor, &out);
+  }
+
+  // Region instances.
+  std::vector<std::string> names = built.regions.Names();
+  PutU32(static_cast<uint32_t>(names.size()), &out);
+  for (const std::string& name : names) {
+    PutString(name, &out);
+    auto set = built.regions.Get(name);
+    if (!set.ok()) return set.status();
+    PutU64((*set)->size(), &out);
+    for (const Region& r : **set) {
+      PutU64(r.start, &out);
+      PutU64(r.end, &out);
+    }
+  }
+
+  // Word postings.
+  PutU64(built.words.num_distinct_words(), &out);
+  built.words.ForEachWord(
+      [&out](const std::string& word, const std::vector<TextPos>& posts) {
+        PutString(word, &out);
+        PutU64(posts.size(), &out);
+        for (TextPos p : posts) PutU64(p, &out);
+      });
+
+  PutU64(built.documents, &out);
+  return out;
+}
+
+Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
+                                             std::string_view corpus_text) {
+  if (blob.size() < kMagicLen ||
+      std::memcmp(blob.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not a qof index blob (bad magic)");
+  }
+  Reader reader(blob.substr(kMagicLen));
+  QOF_ASSIGN_OR_RETURN(uint64_t size, reader.U64());
+  QOF_ASSIGN_OR_RETURN(uint64_t fingerprint, reader.U64());
+  if (size != corpus_text.size() ||
+      fingerprint != CorpusFingerprint(corpus_text)) {
+    return Status::InvalidArgument(
+        "index blob was built for a different corpus "
+        "(fingerprint mismatch); rebuild the indexes");
+  }
+
+  SerializedIndexes out;
+  // Spec.
+  QOF_ASSIGN_OR_RETURN(uint8_t mode, reader.U8());
+  out.spec.mode = mode == 0 ? IndexSpec::Mode::kFull
+                            : IndexSpec::Mode::kPartial;
+  QOF_ASSIGN_OR_RETURN(uint8_t fold_case, reader.U8());
+  out.spec.word_options.fold_case = fold_case != 0;
+  QOF_ASSIGN_OR_RETURN(uint32_t num_spec_names, reader.U32());
+  for (uint32_t i = 0; i < num_spec_names; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
+    out.spec.names.insert(std::move(name));
+  }
+  QOF_ASSIGN_OR_RETURN(uint32_t num_within, reader.U32());
+  for (uint32_t i = 0; i < num_within; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
+    QOF_ASSIGN_OR_RETURN(std::string ancestor, reader.String());
+    out.spec.within.emplace(std::move(name), std::move(ancestor));
+  }
+
+  // Region instances.
+  QOF_ASSIGN_OR_RETURN(uint32_t num_region_names, reader.U32());
+  for (uint32_t i = 0; i < num_region_names; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
+    QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+    std::vector<Region> regions;
+    regions.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      QOF_ASSIGN_OR_RETURN(uint64_t start, reader.U64());
+      QOF_ASSIGN_OR_RETURN(uint64_t end, reader.U64());
+      if (end < start || end > corpus_text.size()) {
+        return Status::InvalidArgument("corrupt region span in blob");
+      }
+      regions.push_back({start, end});
+    }
+    out.indexes.regions.Add(std::move(name),
+                            RegionSet::FromUnsorted(std::move(regions)));
+  }
+
+  // Word postings.
+  QOF_ASSIGN_OR_RETURN(uint64_t num_words, reader.U64());
+  std::vector<std::pair<std::string, std::vector<TextPos>>> entries;
+  entries.reserve(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string word, reader.String());
+    QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+    std::vector<TextPos> postings;
+    postings.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      QOF_ASSIGN_OR_RETURN(uint64_t p, reader.U64());
+      postings.push_back(p);
+    }
+    entries.emplace_back(std::move(word), std::move(postings));
+  }
+  out.indexes.words = WordIndex::FromEntries(
+      std::move(entries), out.spec.word_options.fold_case);
+
+  QOF_ASSIGN_OR_RETURN(out.indexes.documents, reader.U64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after index blob");
+  }
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,45 @@
+#ifndef QOF_ENGINE_INDEX_IO_H_
+#define QOF_ENGINE_INDEX_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "qof/engine/index_spec.h"
+#include "qof/engine/indexer.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Serialization of built indexes (the paper treats index construction as
+/// a pre-processing service; persisting its output lets a session reuse
+/// it without re-parsing the corpus).
+///
+/// Format: a little-endian binary blob —
+///   magic "QOFIDX1\n", corpus size + FNV-1a fingerprint (so stale
+///   indexes are rejected at load), the index spec (mode, names, within),
+///   region instances (name, spans) and word postings (word, positions).
+/// A WordIndexOptions::token_filter is code and cannot round-trip; specs
+/// using one must rebuild instead of loading.
+struct SerializedIndexes {
+  BuiltIndexes indexes;
+  IndexSpec spec;
+};
+
+/// Serializes `built` (+ the spec that produced it) for a corpus whose
+/// full text is `corpus_text` (only its fingerprint is stored).
+Result<std::string> SerializeIndexes(const BuiltIndexes& built,
+                                     const IndexSpec& spec,
+                                     std::string_view corpus_text);
+
+/// Deserializes; fails with InvalidArgument on a corrupted/foreign blob
+/// and with a clear message when the fingerprint does not match
+/// `corpus_text` (the corpus changed since the indexes were built).
+Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
+                                             std::string_view corpus_text);
+
+/// The corpus fingerprint used by the format (FNV-1a over the text).
+uint64_t CorpusFingerprint(std::string_view text);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_INDEX_IO_H_

@@ -1,0 +1,37 @@
+#include "qof/engine/index_spec.h"
+
+namespace qof {
+
+ExtractionFilter IndexSpec::ToFilter() const {
+  ExtractionFilter filter;
+  if (mode == Mode::kPartial) filter.include = names;
+  filter.within = within;
+  return filter;
+}
+
+std::set<std::string> IndexSpec::IndexedNames(
+    const StructuringSchema& schema) const {
+  if (mode == Mode::kPartial) return names;
+  std::set<std::string> all;
+  for (const std::string& name : schema.IndexableNames()) {
+    all.insert(name);
+  }
+  return all;
+}
+
+std::string IndexSpec::ToString() const {
+  if (mode == Mode::kFull) return "full";
+  std::string out = "partial{";
+  bool first = true;
+  for (const std::string& name : names) {
+    if (!first) out += ", ";
+    out += name;
+    auto it = within.find(name);
+    if (it != within.end()) out += " within " + it->second;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,35 @@
+#include "qof/engine/indexer.h"
+
+#include <chrono>
+
+#include "qof/parse/parser.h"
+
+namespace qof {
+
+Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
+                                  const Corpus& corpus,
+                                  const IndexSpec& spec) {
+  auto start = std::chrono::steady_clock::now();
+  BuiltIndexes built;
+  SchemaParser parser(&schema);
+  ExtractionFilter filter = spec.ToFilter();
+  for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+    TextPos begin = corpus.document_start(doc);
+    TextPos end = corpus.document_end(doc);
+    auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
+    if (!tree.ok()) {
+      return Status::ParseError("document '" + corpus.document_name(doc) +
+                                "': " + tree.status().message());
+    }
+    ExtractRegions(schema, **tree, filter, &built.regions);
+    ++built.documents;
+  }
+  built.words = WordIndex::Build(corpus, spec.word_options);
+  built.build_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return built;
+}
+
+}  // namespace qof

@@ -1,0 +1,31 @@
+#ifndef QOF_ENGINE_INDEXER_H_
+#define QOF_ENGINE_INDEXER_H_
+
+#include <cstdint>
+
+#include "qof/engine/index_spec.h"
+#include "qof/region/region_index.h"
+#include "qof/text/corpus.h"
+#include "qof/text/word_index.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// The pre-processing the paper delegates to the text-indexing system
+/// (§1: "we assume that this is a service given by the underlying text
+/// indexing system"): parse every document once, record region spans per
+/// the spec, and build the word index.
+struct BuiltIndexes {
+  RegionIndex regions;
+  WordIndex words;
+  uint64_t build_micros = 0;
+  uint64_t documents = 0;
+};
+
+Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
+                                  const Corpus& corpus,
+                                  const IndexSpec& spec);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_INDEXER_H_

@@ -1,0 +1,54 @@
+#include "qof/engine/join.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "qof/util/string_util.h"
+
+namespace qof {
+namespace {
+
+// Texts of the members of `attrs` contained in `parent`.
+std::set<std::string> GroupTexts(const Corpus& corpus, const Region& parent,
+                                 const RegionSet& attrs) {
+  std::set<std::string> out;
+  const std::vector<Region>& v = attrs.regions();
+  auto it = std::lower_bound(
+      v.begin(), v.end(), parent.start,
+      [](const Region& r, uint64_t start) { return r.start < start; });
+  for (; it != v.end() && it->start < parent.end; ++it) {
+    if (!parent.Contains(*it)) continue;
+    out.insert(std::string(TrimView(corpus.ScanText(it->start, it->end))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Region>> RunIndexJoin(const Corpus& corpus,
+                                         const RegionSet& candidates,
+                                         const RegionSet& lhs_attrs,
+                                         const RegionSet& rhs_attrs) {
+  std::vector<Region> out;
+  // Candidates are view regions (disjoint in natural schemas); a simple
+  // per-candidate scan over the sorted attribute sets suffices. The
+  // containment filter in GroupTexts makes this correct even for
+  // overlapping inputs; the early break keeps it near-linear.
+  for (const Region& candidate : candidates) {
+    std::set<std::string> lhs = GroupTexts(corpus, candidate, lhs_attrs);
+    if (lhs.empty()) continue;
+    std::set<std::string> rhs = GroupTexts(corpus, candidate, rhs_attrs);
+    bool match = false;
+    for (const std::string& s : rhs) {
+      if (lhs.count(s) > 0) {
+        match = true;
+        break;
+      }
+    }
+    if (match) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace qof

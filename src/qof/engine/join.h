@@ -1,0 +1,25 @@
+#ifndef QOF_ENGINE_JOIN_H_
+#define QOF_ENGINE_JOIN_H_
+
+#include <vector>
+
+#include "qof/region/region_set.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// The §5.2 index-assisted join for `path = path` predicates: instead of
+/// parsing whole candidate regions, the region index locates both
+/// attribute-region sets; only *their* text is loaded (the "reduce the
+/// amount of information loaded to the database" step), grouped per
+/// candidate, and compared. Returns the candidates whose two groups share
+/// a (whitespace-trimmed) string.
+Result<std::vector<Region>> RunIndexJoin(const Corpus& corpus,
+                                         const RegionSet& candidates,
+                                         const RegionSet& lhs_attrs,
+                                         const RegionSet& rhs_attrs);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_JOIN_H_

@@ -1,0 +1,300 @@
+#include "qof/engine/system.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "qof/engine/baseline.h"
+#include "qof/engine/condition_eval.h"
+#include "qof/engine/index_io.h"
+#include "qof/engine/join.h"
+#include "qof/engine/two_phase.h"
+
+namespace qof {
+namespace {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  uint64_t Micros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::vector<std::string> QueryResult::RenderedValues() const {
+  // Rendering projections needs no store: projected values are fully
+  // materialized (object refs were resolved during navigation).
+  ObjectStore empty;
+  std::vector<std::string> out;
+  out.reserve(values.size());
+  for (const Value& v : values) out.push_back(FlattenText(empty, v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FileQuerySystem::FileQuerySystem(StructuringSchema schema)
+    : schema_(std::move(schema)), full_rig_(DeriveFullRig(schema_)) {
+  const std::string& view = schema_.view_name();
+  view_aliases_.insert(view);
+  view_aliases_.insert(view + "s");
+  if (!view.empty() && view.back() == 'y') {
+    view_aliases_.insert(view.substr(0, view.size() - 1) + "ies");
+  }
+}
+
+Status FileQuerySystem::AddFile(std::string name, std::string_view text) {
+  QOF_ASSIGN_OR_RETURN(DocId id,
+                       corpus_.AddDocument(std::move(name), text));
+  (void)id;
+  built_.reset();
+  compiler_.reset();
+  return Status::OK();
+}
+
+Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
+  QOF_ASSIGN_OR_RETURN(BuiltIndexes built,
+                       qof::BuildIndexes(schema_, corpus_, spec));
+  built_ = std::make_unique<BuiltIndexes>(std::move(built));
+  spec_ = spec;
+  compiler_ = std::make_unique<QueryCompiler>(
+      &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
+      spec.within);
+  return Status::OK();
+}
+
+void FileQuerySystem::AddViewAlias(std::string alias) {
+  view_aliases_.insert(std::move(alias));
+}
+
+Status FileQuerySystem::CheckView(const std::string& view) const {
+  if (view_aliases_.count(view) > 0) return Status::OK();
+  return Status::InvalidArgument("unknown view '" + view +
+                                 "' (expected " + schema_.view_name() +
+                                 ")");
+}
+
+Result<QueryPlan> FileQuerySystem::Plan(std::string_view fql) const {
+  QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
+  QOF_RETURN_IF_ERROR(CheckView(query.view));
+  if (compiler_ == nullptr) {
+    return Status::InvalidArgument(
+        "indexes not built; call BuildIndexes() first");
+  }
+  return compiler_->Compile(query);
+}
+
+Result<std::string> FileQuerySystem::Explain(std::string_view fql) const {
+  QOF_ASSIGN_OR_RETURN(QueryPlan plan, Plan(fql));
+  std::string out = "query:     " + plan.query.ToString() + "\n";
+  if (plan.trivially_empty) {
+    out += "strategy:  empty (Prop. 3.3: no conforming file has results)\n";
+    return out;
+  }
+  if (!plan.view_indexed) {
+    out += "strategy:  baseline (view region not indexed)\n";
+    return out;
+  }
+  const bool wants_projection = plan.query.IsProjection();
+  std::string strategy;
+  if (plan.exact && (!wants_projection || plan.projection != nullptr)) {
+    strategy = "index-only (exact, no file access)";
+  } else if (plan.index_join && !wants_projection) {
+    strategy = "index-join (attribute text reads only)";
+  } else {
+    strategy = "two-phase (parse candidates, filter in database)";
+  }
+  out += "strategy:  " + strategy + "\n";
+
+  CostEstimator estimator(&built_->regions, &built_->words);
+  out += "candidates: " + plan.candidates->ToString() + "\n";
+  auto est = estimator.Estimate(*plan.candidates);
+  if (est.ok()) out += "            " + est->ToString() + "\n";
+  if (plan.projection != nullptr) {
+    out += "projection: " + plan.projection->ToString() + "\n";
+  }
+  if (plan.index_join) {
+    out += "join lhs:   " + plan.join_lhs_attrs->ToString() + "\n";
+    out += "join rhs:   " + plan.join_rhs_attrs->ToString() + "\n";
+  }
+  out += std::string("exact:      ") + (plan.exact ? "yes" : "no") + "\n";
+  for (const std::string& note : plan.notes) {
+    out += "note:       " + note + "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
+                                             ExecutionMode mode) {
+  QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
+  return ExecuteQuery(query, mode);
+}
+
+Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
+                                                  ExecutionMode mode) {
+  QOF_RETURN_IF_ERROR(CheckView(query.view));
+  Timer timer;
+  corpus_.ResetBytesRead();
+  QueryResult result;
+  result.stats.corpus_bytes = corpus_.size();
+
+  // The baseline needs no indices at all.
+  if (mode == ExecutionMode::kBaseline) {
+    ObjectStore store;
+    QOF_ASSIGN_OR_RETURN(
+        BaselineResult baseline,
+        RunBaseline(schema_, corpus_, query, full_rig_, &store));
+    result.regions = std::move(baseline.regions);
+    result.values = std::move(baseline.projected);
+    result.stats.strategy = "baseline";
+    result.stats.exact = true;
+    result.stats.objects_built = baseline.objects_built;
+    result.stats.results = result.regions.size();
+    result.stats.bytes_scanned = corpus_.bytes_read();
+    result.stats.micros = timer.Micros();
+    return result;
+  }
+
+  if (compiler_ == nullptr || built_ == nullptr) {
+    return Status::InvalidArgument(
+        "indexes not built; call BuildIndexes() first (or use "
+        "ExecutionMode::kBaseline)");
+  }
+  QOF_ASSIGN_OR_RETURN(QueryPlan plan, compiler_->Compile(query));
+  result.stats.notes = plan.notes;
+
+  if (plan.trivially_empty) {
+    result.stats.strategy = "empty";
+    result.stats.exact = true;
+    result.stats.micros = timer.Micros();
+    return result;
+  }
+
+  if (!plan.view_indexed) {
+    if (mode == ExecutionMode::kIndexOnly ||
+        mode == ExecutionMode::kTwoPhase) {
+      return Status::InvalidArgument(
+          "view region is not indexed; only baseline execution can "
+          "answer this query");
+    }
+    result.stats.notes.push_back("auto: baseline (view not indexed)");
+    QOF_ASSIGN_OR_RETURN(QueryResult fallback,
+                         ExecuteQuery(query, ExecutionMode::kBaseline));
+    fallback.stats.notes.insert(fallback.stats.notes.end(),
+                                result.stats.notes.begin(),
+                                result.stats.notes.end());
+    return fallback;
+  }
+
+  // Phase 1: evaluate the candidate expression on the indices.
+  ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_);
+  QOF_ASSIGN_OR_RETURN(
+      RegionSet candidates,
+      evaluator.Evaluate(*plan.candidates, &result.stats.algebra));
+  result.stats.candidates = candidates.size();
+
+  const bool wants_projection = query.IsProjection();
+  const bool index_serves_projection =
+      !wants_projection || plan.projection != nullptr;
+
+  if (plan.exact && index_serves_projection &&
+      mode != ExecutionMode::kTwoPhase) {
+    // Full computation on the indexing engine (§5): no parsing at all.
+    result.regions.assign(candidates.begin(), candidates.end());
+    if (wants_projection) {
+      QOF_ASSIGN_OR_RETURN(
+          RegionSet attrs,
+          evaluator.Evaluate(*plan.projection, &result.stats.algebra));
+      RegionSet within = IncludedIn(attrs, candidates);
+      result.regions.assign(candidates.begin(), candidates.end());
+      std::vector<Value> values;
+      for (const Region& r : within) {
+        values.push_back(
+            Value::Str(std::string(corpus_.ScanText(r.start, r.end))));
+      }
+      result.values = std::move(values);
+      result.stats.notes.push_back(
+          "projection served by region index (attribute text reads only)");
+    }
+    result.stats.strategy = "index-only";
+    result.stats.exact = true;
+    result.stats.results =
+        wants_projection ? result.values.size() : result.regions.size();
+    result.stats.bytes_scanned = corpus_.bytes_read();
+    result.stats.micros = timer.Micros();
+    return result;
+  }
+
+  if (mode == ExecutionMode::kIndexOnly) {
+    return Status::InvalidArgument(
+        "plan is not exact (" + std::string(plan.exact ? "projection" :
+        "candidates") + " need the database); index-only mode cannot "
+        "answer this query");
+  }
+
+  // §5.2 index-assisted join: compare attribute text without parsing.
+  if (plan.index_join && !wants_projection &&
+      mode != ExecutionMode::kTwoPhase) {
+    QOF_ASSIGN_OR_RETURN(
+        RegionSet lhs,
+        evaluator.Evaluate(*plan.join_lhs_attrs, &result.stats.algebra));
+    QOF_ASSIGN_OR_RETURN(
+        RegionSet rhs,
+        evaluator.Evaluate(*plan.join_rhs_attrs, &result.stats.algebra));
+    QOF_ASSIGN_OR_RETURN(result.regions,
+                         RunIndexJoin(corpus_, candidates, lhs, rhs));
+    result.stats.strategy = "index-join";
+    result.stats.exact = true;
+    result.stats.results = result.regions.size();
+    result.stats.bytes_scanned = corpus_.bytes_read();
+    result.stats.micros = timer.Micros();
+    return result;
+  }
+
+  // Phase 2 (§6.2): parse candidates, filter in the database.
+  ObjectStore store;
+  QOF_ASSIGN_OR_RETURN(
+      TwoPhaseResult two_phase,
+      RunTwoPhase(schema_, corpus_, plan, candidates, full_rig_, &store));
+  result.regions = std::move(two_phase.regions);
+  result.values = std::move(two_phase.projected);
+  result.stats.strategy = "two-phase";
+  result.stats.exact = true;  // after filtering, the answer is exact
+  result.stats.objects_built = two_phase.candidates_parsed;
+  result.stats.results =
+      wants_projection ? result.values.size() : result.regions.size();
+  result.stats.bytes_scanned = corpus_.bytes_read();
+  result.stats.micros = timer.Micros();
+  return result;
+}
+
+uint64_t FileQuerySystem::IndexBytes() const {
+  if (built_ == nullptr) return 0;
+  return built_->regions.ApproxBytes() + built_->words.ApproxBytes();
+}
+
+Result<std::string> FileQuerySystem::ExportIndexes() const {
+  if (built_ == nullptr) {
+    return Status::InvalidArgument("indexes not built; nothing to export");
+  }
+  return SerializeIndexes(*built_, spec_, corpus_.full_text());
+}
+
+Status FileQuerySystem::ImportIndexes(std::string_view blob) {
+  QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
+                       DeserializeIndexes(blob, corpus_.full_text()));
+  built_ = std::make_unique<BuiltIndexes>(std::move(loaded.indexes));
+  spec_ = loaded.spec;
+  compiler_ = std::make_unique<QueryCompiler>(
+      &full_rig_, spec_.IndexedNames(schema_), schema_.view_name(),
+      spec_.within);
+  return Status::OK();
+}
+
+}  // namespace qof

@@ -1,0 +1,145 @@
+#ifndef QOF_ENGINE_SYSTEM_H_
+#define QOF_ENGINE_SYSTEM_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/algebra/cost_model.h"
+#include "qof/algebra/evaluator.h"
+#include "qof/compiler/query_compiler.h"
+#include "qof/engine/index_spec.h"
+#include "qof/engine/indexer.h"
+#include "qof/query/parser.h"
+#include "qof/schema/rig_derivation.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// How a query was (or must be) executed.
+enum class ExecutionMode {
+  kAuto,      // pick the cheapest sound strategy
+  kIndexOnly, // require full computation on indices; error when unsound
+  kTwoPhase,  // force candidates + parse + filter
+  kBaseline,  // force the full-scan "standard database" plan
+};
+
+/// Per-query execution report; every experiment in EXPERIMENTS.md reads
+/// these fields.
+struct QueryStats {
+  std::string strategy;  // "index-only" | "two-phase" | "index-join" |
+                         // "baseline" | "empty"
+  bool exact = false;
+  uint64_t candidates = 0;       // phase-1 candidate count
+  uint64_t results = 0;
+  uint64_t bytes_scanned = 0;    // file bytes read during execution
+  uint64_t corpus_bytes = 0;     // total corpus size, for comparison
+  uint64_t objects_built = 0;    // database objects materialized
+  EvalStats algebra;             // region-algebra operation counts
+  uint64_t micros = 0;
+  std::vector<std::string> notes;  // compiler + engine decisions
+};
+
+/// The answer to a query: matching view regions (SELECT r) or projected
+/// values (SELECT r.path), plus the stats.
+struct QueryResult {
+  std::vector<Region> regions;
+  std::vector<Value> values;  // projections only
+  QueryStats stats;
+
+  /// Projected values rendered as text (atoms verbatim, composites
+  /// space-joined), sorted — convenient for assertions and display.
+  std::vector<std::string> RenderedValues() const;
+};
+
+/// The user-facing facade: a database view over files (paper §1's
+/// "uniform framework"). Register a structuring schema, add files, build
+/// indices, run FQL.
+///
+///   auto schema = BibtexSchema();
+///   FileQuerySystem system(*schema);
+///   system.AddFile("refs.bib", text);
+///   system.BuildIndexes(IndexSpec::Full());
+///   auto result = system.Execute(
+///       "SELECT r FROM References r "
+///       "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+class FileQuerySystem {
+ public:
+  explicit FileQuerySystem(StructuringSchema schema);
+
+  /// Adds a file's text; invalidates any previously built indices.
+  Status AddFile(std::string name, std::string_view text);
+
+  /// (Re)parses all files and builds word + region indices per the spec.
+  Status BuildIndexes(const IndexSpec& spec = IndexSpec::Full());
+
+  /// Parses and runs an FQL query. `mode` kAuto picks: empty plans
+  /// short-circuit; exact plans (with index-served projection) run
+  /// index-only; single join predicates with indexed attributes use the
+  /// index-assisted join; everything else runs two-phase. kBaseline
+  /// always works, indices or not.
+  Result<QueryResult> Execute(std::string_view fql,
+                              ExecutionMode mode = ExecutionMode::kAuto);
+  Result<QueryResult> ExecuteQuery(const SelectQuery& query,
+                                   ExecutionMode mode);
+
+  /// The compiled plan for a query (for inspection / tests / benches).
+  Result<QueryPlan> Plan(std::string_view fql) const;
+
+  /// Human-readable plan report: the strategy kAuto would pick, the
+  /// candidate/projection/join expressions with cost estimates, exactness
+  /// and the compiler's notes. Requires built indexes.
+  Result<std::string> Explain(std::string_view fql) const;
+
+  /// Accepts "<View>" and "<View>s" ("Reference", "References") plus any
+  /// alias registered here.
+  void AddViewAlias(std::string alias);
+
+  /// True when this system answers queries on `view` (it is the schema's
+  /// view name or a registered alias). Used by Workspace routing.
+  bool HandlesView(const std::string& view) const {
+    return view_aliases_.count(view) > 0;
+  }
+
+  const StructuringSchema& schema() const { return schema_; }
+  const Rig& full_rig() const { return full_rig_; }
+  const Corpus& corpus() const { return corpus_; }
+  bool indexes_built() const { return built_ != nullptr; }
+  const RegionIndex& region_index() const { return built_->regions; }
+  const WordIndex& word_index() const { return built_->words; }
+  const IndexSpec& index_spec() const { return spec_; }
+  uint64_t index_build_micros() const {
+    return built_ ? built_->build_micros : 0;
+  }
+
+  /// Approximate index footprint (regions + words), for the §6/§7
+  /// space-vs-speed tradeoff experiments.
+  uint64_t IndexBytes() const;
+
+  /// Serializes the built indexes (plus their spec) to a blob bound to
+  /// the current corpus fingerprint. Fails if indexes are not built or
+  /// the spec has a non-serializable token filter.
+  Result<std::string> ExportIndexes() const;
+
+  /// Installs previously exported indexes, skipping the parse/build step.
+  /// Fails when the blob was built for a different corpus.
+  Status ImportIndexes(std::string_view blob);
+
+ private:
+  Status CheckView(const std::string& view) const;
+
+  StructuringSchema schema_;
+  Rig full_rig_;
+  Corpus corpus_;
+  IndexSpec spec_;
+  std::unique_ptr<BuiltIndexes> built_;
+  std::unique_ptr<QueryCompiler> compiler_;
+  std::set<std::string> view_aliases_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_SYSTEM_H_

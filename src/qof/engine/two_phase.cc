@@ -1,0 +1,53 @@
+#include "qof/engine/two_phase.h"
+
+#include "qof/engine/condition_eval.h"
+#include "qof/parse/parser.h"
+#include "qof/parse/value_builder.h"
+
+namespace qof {
+
+Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
+                                   const Corpus& corpus,
+                                   const QueryPlan& plan,
+                                   const RegionSet& candidates,
+                                   const Rig& full_rig,
+                                   ObjectStore* store) {
+  TwoPhaseResult result;
+  SchemaParser parser(&schema);
+  const SelectQuery& query = plan.query;
+  for (const Region& candidate : candidates) {
+    // Parsing a candidate reads its text.
+    std::string_view text =
+        corpus.ScanText(candidate.start, candidate.end);
+    auto tree = parser.Parse(text, candidate.start, schema.view());
+    if (!tree.ok()) {
+      return Status::ParseError("candidate region " + candidate.ToString() +
+                                ": " + tree.status().message());
+    }
+    ++result.candidates_parsed;
+    QOF_ASSIGN_OR_RETURN(ObjectId id,
+                         BuildObject(schema, corpus, **tree, store));
+    QOF_ASSIGN_OR_RETURN(const StoredObject* obj, store->Get(id));
+    Value root = Value::Ref(id).WithType(obj->class_name);
+    bool keep = true;
+    if (query.where != nullptr) {
+      QOF_ASSIGN_OR_RETURN(
+          keep, EvaluateCondition(*store, root, *query.where, full_rig,
+                                  schema.view_name()));
+    }
+    if (!keep) continue;
+    result.regions.push_back(candidate);
+    result.objects.push_back(id);
+    if (query.IsProjection()) {
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          EvaluateTarget(*store, root, query.target, full_rig,
+                         schema.view_name()));
+      result.projected.insert(result.projected.end(), values.begin(),
+                              values.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace qof

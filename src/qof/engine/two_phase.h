@@ -1,0 +1,37 @@
+#ifndef QOF_ENGINE_TWO_PHASE_H_
+#define QOF_ENGINE_TWO_PHASE_H_
+
+#include <vector>
+
+#include "qof/compiler/query_compiler.h"
+#include "qof/db/object_store.h"
+#include "qof/region/region_set.h"
+#include "qof/rig/rig.h"
+#include "qof/schema/structuring_schema.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Output of phase 2 over candidate regions.
+struct TwoPhaseResult {
+  std::vector<Region> regions;   // candidates that survived the filter
+  std::vector<ObjectId> objects;
+  std::vector<Value> projected;
+  uint64_t candidates_parsed = 0;
+};
+
+/// Phase 2 of partial-index evaluation (§6.2): parse each *candidate*
+/// region with the structuring schema (rooted at the view symbol),
+/// construct its database image, and re-evaluate the WHERE clause on the
+/// object to filter out false positives. Scanned bytes are exactly the
+/// candidates' text — the saving the paper claims over whole-file scans.
+Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
+                                   const Corpus& corpus,
+                                   const QueryPlan& plan,
+                                   const RegionSet& candidates,
+                                   const Rig& full_rig, ObjectStore* store);
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_TWO_PHASE_H_

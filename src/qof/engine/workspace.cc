@@ -1,0 +1,80 @@
+#include "qof/engine/workspace.h"
+
+namespace qof {
+
+Status Workspace::AddSchema(StructuringSchema schema) {
+  for (const Entry& entry : systems_) {
+    if (entry.name == schema.name()) {
+      return Status::AlreadyExists("schema already registered: " +
+                                   schema.name());
+    }
+    if (entry.system->HandlesView(schema.view_name())) {
+      return Status::AlreadyExists(
+          "view name '" + schema.view_name() +
+          "' collides with schema '" + entry.name + "'");
+    }
+  }
+  Entry entry;
+  entry.name = schema.name();
+  entry.system = std::make_unique<FileQuerySystem>(std::move(schema));
+  systems_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status Workspace::AddFile(std::string_view schema_name,
+                          std::string file_name, std::string_view text) {
+  QOF_ASSIGN_OR_RETURN(FileQuerySystem * system, System(schema_name));
+  return system->AddFile(std::move(file_name), text);
+}
+
+Status Workspace::BuildIndexes(std::string_view schema_name,
+                               const IndexSpec& spec) {
+  QOF_ASSIGN_OR_RETURN(FileQuerySystem * system, System(schema_name));
+  return system->BuildIndexes(spec);
+}
+
+Status Workspace::BuildAllIndexes() {
+  for (Entry& entry : systems_) {
+    QOF_RETURN_IF_ERROR(entry.system->BuildIndexes());
+  }
+  return Status::OK();
+}
+
+Result<FileQuerySystem*> Workspace::System(std::string_view schema_name) {
+  for (Entry& entry : systems_) {
+    if (entry.name == schema_name) return entry.system.get();
+  }
+  return Status::NotFound("no schema named '" + std::string(schema_name) +
+                          "' in workspace");
+}
+
+Result<FileQuerySystem*> Workspace::Route(std::string_view fql) const {
+  QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
+  for (const Entry& entry : systems_) {
+    if (entry.system->HandlesView(query.view)) {
+      return entry.system.get();
+    }
+  }
+  return Status::NotFound("no schema in the workspace answers view '" +
+                          query.view + "'");
+}
+
+Result<QueryResult> Workspace::Execute(std::string_view fql,
+                                       ExecutionMode mode) {
+  QOF_ASSIGN_OR_RETURN(FileQuerySystem * system, Route(fql));
+  return system->Execute(fql, mode);
+}
+
+Result<std::string> Workspace::Explain(std::string_view fql) const {
+  QOF_ASSIGN_OR_RETURN(FileQuerySystem * system, Route(fql));
+  return system->Explain(fql);
+}
+
+std::vector<std::string> Workspace::SchemaNames() const {
+  std::vector<std::string> names;
+  names.reserve(systems_.size());
+  for (const Entry& entry : systems_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace qof

@@ -1,0 +1,77 @@
+#ifndef QOF_ENGINE_WORKSPACE_H_
+#define QOF_ENGINE_WORKSPACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/engine/system.h"
+
+namespace qof {
+
+/// The paper's §1 promise is a *uniform* framework over heterogeneous
+/// files. A Workspace holds one FileQuerySystem per structuring schema
+/// (BibTeX next to mailboxes next to logs) and routes each FQL query to
+/// the system whose view it names:
+///
+///   Workspace ws;
+///   ws.AddSchema(*BibtexSchema());
+///   ws.AddSchema(*MailSchema());
+///   ws.AddFile("BibTeX", "refs.bib", bibtex_text);
+///   ws.AddFile("Mail", "inbox.mail", mailbox_text);
+///   ws.BuildAllIndexes();
+///   ws.Execute("SELECT r FROM References r WHERE ...");   // → BibTeX
+///   ws.Execute("SELECT m FROM Messages m WHERE ...");     // → Mail
+///
+/// Cross-schema joins are out of scope (as in the paper, which performs
+/// joins inside one database view at a time).
+class Workspace {
+ public:
+  Workspace() = default;
+
+  // Systems own their corpora; a workspace is not copyable.
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Registers a schema (by its schema name). Rejects duplicates and
+  /// view-name collisions with already-registered schemas.
+  Status AddSchema(StructuringSchema schema);
+
+  /// Adds a file to the named schema's corpus.
+  Status AddFile(std::string_view schema_name, std::string file_name,
+                 std::string_view text);
+
+  /// Builds indexes for one schema.
+  Status BuildIndexes(std::string_view schema_name,
+                      const IndexSpec& spec = IndexSpec::Full());
+
+  /// Builds full indexes for every schema.
+  Status BuildAllIndexes();
+
+  /// Routes the query to the system handling its FROM view.
+  Result<QueryResult> Execute(std::string_view fql,
+                              ExecutionMode mode = ExecutionMode::kAuto);
+
+  /// Routes an EXPLAIN the same way.
+  Result<std::string> Explain(std::string_view fql) const;
+
+  /// Access to one schema's system (NotFound if missing).
+  Result<FileQuerySystem*> System(std::string_view schema_name);
+
+  size_t num_schemas() const { return systems_.size(); }
+  std::vector<std::string> SchemaNames() const;
+
+ private:
+  Result<FileQuerySystem*> Route(std::string_view fql) const;
+
+  struct Entry {
+    std::string name;
+    std::unique_ptr<FileQuerySystem> system;
+  };
+  std::vector<Entry> systems_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_ENGINE_WORKSPACE_H_

@@ -1,0 +1,155 @@
+#include "qof/optimizer/optimizer.h"
+
+namespace qof {
+
+std::string ChainRewrite::ToString() const {
+  if (kind == Kind::kRelaxDirect) {
+    return "relax-direct@" + std::to_string(position);
+  }
+  return "drop-middle@" + std::to_string(position);
+}
+
+bool ChainOptimizer::IsTriviallyEmpty(const InclusionChain& chain) const {
+  // Names absent from the RIG denote region sets that are empty on every
+  // conforming instance.
+  for (const std::string& name : chain.names) {
+    if (rig_->FindNode(name) == Rig::kInvalidNode) return true;
+  }
+  for (size_t i = 0; i + 1 < chain.names.size(); ++i) {
+    auto [parent, child] = chain.Link(i);
+    Rig::NodeId p = rig_->FindNode(parent);
+    Rig::NodeId c = rig_->FindNode(child);
+    if (chain.direct[i]) {
+      // Prop. 3.3(i): Ri ⊃d Rj with (Ri,Rj) ∉ E is empty.
+      if (!rig_->HasEdge(p, c)) return true;
+    } else {
+      // Prop. 3.3(ii): Ri ⊃ Rj with no path is empty. A link between the
+      // same name is self-satisfied under weak inclusion (every region
+      // weakly contains itself), so it is never trivial.
+      if (p != c && !rig_->Reachable(p, c)) return true;
+    }
+  }
+  return false;
+}
+
+bool ChainOptimizer::CanRelaxDirect(const InclusionChain& chain,
+                                    size_t op_index) const {
+  if (!chain.direct[op_index]) return false;
+  auto [parent, child] = chain.Link(op_index);
+  Rig::NodeId p = rig_->FindNode(parent);
+  Rig::NodeId c = rig_->FindNode(child);
+  if (p == Rig::kInvalidNode || c == Rig::kInvalidNode) return false;
+  // Prop. 3.5(a), first disjunct.
+  if (rig_->IsOnlyPath(p, c)) return true;
+  // Second disjunct: Rj is the rightmost region of the expression and
+  // every path starts with the edge. The argument is existential on the
+  // *contained* side (any deeper Rj under an Ri implies a shallower,
+  // directly-included one), which is only the result-preserving direction
+  // for ⊃-oriented chains; for ⊂-chains the contained side is the result
+  // itself, so the shortcut would add spurious deep regions and we do not
+  // apply it.
+  if (chain.orientation == InclusionChain::Orientation::kContains &&
+      op_index + 2 == chain.names.size()) {
+    return rig_->EveryPathStartsWithEdge(p, c);
+  }
+  return false;
+}
+
+bool ChainOptimizer::CanDropMiddle(const InclusionChain& chain,
+                                   size_t name_index) const {
+  if (name_index == 0 || name_index + 1 >= chain.names.size()) return false;
+  // Both surrounding operators must already be simple (paper step 2 runs
+  // after step 1), and a selected position cannot be dropped — its filter
+  // contributes to the result.
+  if (chain.direct[name_index - 1] || chain.direct[name_index]) return false;
+  if (chain.sels[name_index].has_value()) return false;
+  Rig::NodeId mid = rig_->FindNode(chain.names[name_index]);
+  Rig::NodeId from, to;
+  if (chain.orientation == InclusionChain::Orientation::kContains) {
+    from = rig_->FindNode(chain.names[name_index - 1]);
+    to = rig_->FindNode(chain.names[name_index + 1]);
+  } else {
+    from = rig_->FindNode(chain.names[name_index + 1]);
+    to = rig_->FindNode(chain.names[name_index - 1]);
+  }
+  if (from == Rig::kInvalidNode || to == Rig::kInvalidNode ||
+      mid == Rig::kInvalidNode) {
+    return false;
+  }
+  // Prop. 3.5(b): every containment r_from ⊇ r_to traverses a parse chain
+  // whose names form a RIG path; if every such path passes through the
+  // middle name, some region on the chain instantiates it.
+  return rig_->EveryPathThrough(from, to, mid);
+}
+
+std::vector<ChainRewrite> ChainOptimizer::ApplicableRewrites(
+    const InclusionChain& chain) const {
+  std::vector<ChainRewrite> out;
+  for (size_t i = 0; i + 1 < chain.names.size(); ++i) {
+    if (CanRelaxDirect(chain, i)) {
+      out.push_back({ChainRewrite::Kind::kRelaxDirect, i});
+    }
+  }
+  for (size_t j = 1; j + 1 < chain.names.size(); ++j) {
+    if (CanDropMiddle(chain, j)) {
+      out.push_back({ChainRewrite::Kind::kDropMiddle, j});
+    }
+  }
+  return out;
+}
+
+InclusionChain ChainOptimizer::ApplyRewrite(
+    const InclusionChain& chain, const ChainRewrite& rewrite) const {
+  InclusionChain out = chain;
+  if (rewrite.kind == ChainRewrite::Kind::kRelaxDirect) {
+    out.direct[rewrite.position] = false;
+    return out;
+  }
+  size_t j = rewrite.position;
+  out.names.erase(out.names.begin() + j);
+  out.sels.erase(out.sels.begin() + j);
+  // Merge the two simple operators around the dropped name into one.
+  out.direct.erase(out.direct.begin() + j);
+  return out;
+}
+
+Result<OptimizeOutcome> ChainOptimizer::Optimize(
+    const InclusionChain& chain) const {
+  if (rig_ == nullptr) {
+    return Status::InvalidArgument("optimizer has no RIG");
+  }
+  OptimizeOutcome outcome;
+  outcome.chain = chain;
+  if (IsTriviallyEmpty(chain)) {
+    outcome.trivially_empty = true;
+    return outcome;
+  }
+  // Step 1: relax every ⊃d that Prop. 3.5(a) allows.
+  for (size_t i = 0; i + 1 < outcome.chain.names.size(); ++i) {
+    if (CanRelaxDirect(outcome.chain, i)) {
+      ChainRewrite rw{ChainRewrite::Kind::kRelaxDirect, i};
+      outcome.chain = ApplyRewrite(outcome.chain, rw);
+      outcome.applied.push_back(rw);
+    }
+  }
+  // Step 2: shorten until no Prop. 3.5(b) drop applies. Each drop removes
+  // a name, so this loop is linear in the chain length; with the
+  // per-position graph tests the whole algorithm is polynomial
+  // (Theorem 3.6(ii)).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t j = 1; j + 1 < outcome.chain.names.size(); ++j) {
+      if (CanDropMiddle(outcome.chain, j)) {
+        ChainRewrite rw{ChainRewrite::Kind::kDropMiddle, j};
+        outcome.chain = ApplyRewrite(outcome.chain, rw);
+        outcome.applied.push_back(rw);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace qof

@@ -1,0 +1,70 @@
+#ifndef QOF_OPTIMIZER_OPTIMIZER_H_
+#define QOF_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "qof/algebra/inclusion_chain.h"
+#include "qof/rig/rig.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// One applicable rewrite of the paper's replacement system (Prop. 3.5).
+struct ChainRewrite {
+  enum class Kind {
+    kRelaxDirect,  // Ri ⊃d Rj  →  Ri ⊃ Rj       (Prop. 3.5(a))
+    kDropMiddle,   // Ri ⊃ Rj ⊃ Rk  →  Ri ⊃ Rk   (Prop. 3.5(b))
+  };
+  Kind kind;
+  /// kRelaxDirect: index of the operator; kDropMiddle: index of the
+  /// dropped (middle) name.
+  size_t position;
+
+  std::string ToString() const;
+};
+
+/// Outcome of optimizing one inclusion expression.
+struct OptimizeOutcome {
+  InclusionChain chain;       // the most efficient equivalent version
+  bool trivially_empty = false;  // Prop. 3.3 fired: result is ∅ on every
+                                 // instance satisfying the RIG
+  std::vector<ChainRewrite> applied;  // rewrites, in application order
+};
+
+/// The paper's polynomial-time optimizer (§3.2, Theorem 3.6). Given a RIG
+/// G, it rewrites an inclusion expression to its unique most efficient
+/// version: first every ⊃d that Prop. 3.5(a) allows becomes ⊃, then
+/// Prop. 3.5(b) repeatedly shortens ⊃-⊃ runs until fixpoint. The rewrite
+/// system is finite Church-Rosser, so application order is irrelevant —
+/// a property the tests exercise via ApplicableRewrites/ApplyRewrite.
+class ChainOptimizer {
+ public:
+  explicit ChainOptimizer(const Rig* rig) : rig_(rig) {}
+
+  /// Full optimization: triviality test, then rewrite to normal form.
+  Result<OptimizeOutcome> Optimize(const InclusionChain& chain) const;
+
+  /// Prop. 3.3: the expression evaluates to ∅ on every instance
+  /// satisfying the RIG iff some ⊃d link is a missing edge or some ⊃ link
+  /// has no path. Names absent from the RIG count as unreachable.
+  bool IsTriviallyEmpty(const InclusionChain& chain) const;
+
+  /// All single rewrites applicable to `chain` right now.
+  std::vector<ChainRewrite> ApplicableRewrites(
+      const InclusionChain& chain) const;
+
+  /// Applies one rewrite (which must be applicable).
+  InclusionChain ApplyRewrite(const InclusionChain& chain,
+                              const ChainRewrite& rewrite) const;
+
+ private:
+  bool CanRelaxDirect(const InclusionChain& chain, size_t op_index) const;
+  bool CanDropMiddle(const InclusionChain& chain, size_t name_index) const;
+
+  const Rig* rig_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,62 @@
+#ifndef QOF_PARSE_PARSER_H_
+#define QOF_PARSE_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "qof/region/region.h"
+#include "qof/schema/structuring_schema.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// A node of the parse tree: the non-terminal, its byte span in corpus
+/// space, and its non-terminal children in rule order. Literal matches are
+/// part of the parent's span but produce no nodes — which is what makes a
+/// parent's span strictly contain its children's whenever the rule has
+/// delimiters, the property direct inclusion relies on.
+struct ParseNode {
+  SymbolId symbol = kInvalidSymbol;
+  Region span;
+  std::vector<std::unique_ptr<ParseNode>> children;
+};
+
+/// Deterministic top-down parser for structuring-schema grammars. This
+/// plays the role of the paper's Yacc-generated parser [AJ74]: it turns
+/// file text into a parse tree whose node spans become region-index
+/// instances, and whose shape drives database-image construction.
+class SchemaParser {
+ public:
+  explicit SchemaParser(const StructuringSchema* schema)
+      : schema_(schema) {}
+
+  /// Parses `text` as one derivation of `symbol`. Offsets in the returned
+  /// tree are relative to `base` (pass the document's corpus offset).
+  /// The whole text must be consumed up to trailing whitespace.
+  Result<std::unique_ptr<ParseNode>> Parse(std::string_view text,
+                                           TextPos base,
+                                           SymbolId symbol) const;
+
+  /// Convenience: parse with the schema's root symbol.
+  Result<std::unique_ptr<ParseNode>> ParseDocument(std::string_view text,
+                                                   TextPos base) const;
+
+  /// Number of bytes consumed by the last successful Parse (before
+  /// trailing whitespace). Useful for region re-parsing.
+  const StructuringSchema& schema() const { return *schema_; }
+
+ private:
+  class Run;
+  const StructuringSchema* schema_;
+};
+
+/// Renders a parse tree (symbols + spans), one node per line, indented —
+/// the Figure 2 / Figure 3 reproduction format.
+std::string ParseTreeToString(const StructuringSchema& schema,
+                              const ParseNode& node);
+
+}  // namespace qof
+
+#endif  // QOF_PARSE_PARSER_H_

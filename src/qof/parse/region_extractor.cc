@@ -1,0 +1,71 @@
+#include "qof/parse/region_extractor.h"
+
+#include <vector>
+
+namespace qof {
+namespace {
+
+void Walk(const StructuringSchema& schema, const ParseNode& node,
+          const ExtractionFilter& filter,
+          std::vector<SymbolId>* ancestors,
+          std::map<std::string, std::vector<Region>>* collected) {
+  const Grammar& g = schema.grammar();
+  const std::string& name = g.SymbolName(node.symbol);
+  bool included;
+  if (filter.include.empty()) {
+    included = node.symbol != schema.root();
+  } else {
+    included = filter.include.count(name) > 0;
+  }
+  if (included) {
+    auto within = filter.within.find(name);
+    if (within != filter.within.end()) {
+      SymbolId required = g.FindSymbol(within->second);
+      bool found = false;
+      for (SymbolId a : *ancestors) {
+        if (a == required) {
+          found = true;
+          break;
+        }
+      }
+      included = found;
+    }
+  }
+  if (included && node.span.length() > 0) {
+    (*collected)[name].push_back(node.span);
+  }
+  ancestors->push_back(node.symbol);
+  for (const auto& child : node.children) {
+    Walk(schema, *child, filter, ancestors, collected);
+  }
+  ancestors->pop_back();
+}
+
+}  // namespace
+
+void ExtractRegions(const StructuringSchema& schema, const ParseNode& root,
+                    const ExtractionFilter& filter, RegionIndex* out) {
+  std::map<std::string, std::vector<Region>> collected;
+  std::vector<SymbolId> ancestors;
+  Walk(schema, root, filter, &ancestors, &collected);
+  // Register every selected name, even when no region matched, so that
+  // later lookups see an empty instance rather than NotFound.
+  if (filter.include.empty()) {
+    for (const std::string& name : schema.IndexableNames()) {
+      if (collected.find(name) == collected.end()) {
+        collected[name] = {};
+      }
+    }
+  } else {
+    for (const std::string& name : filter.include) {
+      if (collected.find(name) == collected.end()) {
+        collected[name] = {};
+      }
+    }
+  }
+  for (auto& [name, regions] : collected) {
+    out->Add(name, RegionSet::FromUnsorted(std::move(regions)));
+  }
+}
+
+}  // namespace qof

@@ -1,0 +1,40 @@
+#ifndef QOF_PARSE_REGION_EXTRACTOR_H_
+#define QOF_PARSE_REGION_EXTRACTOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "qof/parse/parser.h"
+#include "qof/region/region_index.h"
+
+namespace qof {
+
+/// Which parse-tree regions become region-index instances.
+struct ExtractionFilter {
+  /// Names to index. Empty means "every non-terminal except the root"
+  /// (full indexing, §5). A subset gives partial indexing (§6).
+  std::set<std::string> include;
+
+  /// Contextual (selective) indexing, §7: when `within[N] = A`, regions of
+  /// N are indexed only when some strict ancestor in the parse tree is an
+  /// A region — e.g. index Name only inside Authors.
+  std::map<std::string, std::string> within;
+
+  static ExtractionFilter Full() { return {}; }
+  static ExtractionFilter Partial(std::set<std::string> names) {
+    return {std::move(names), {}};
+  }
+};
+
+/// Walks a parse tree and appends each selected node's span to the region
+/// index under its non-terminal's name. Zero-length spans (empty matches)
+/// are skipped — they carry no text and would only pollute direct
+/// inclusion. Filtered-out names still get (possibly empty) instances so
+/// lookups distinguish "indexed but absent" from "not indexed".
+void ExtractRegions(const StructuringSchema& schema, const ParseNode& root,
+                    const ExtractionFilter& filter, RegionIndex* out);
+
+}  // namespace qof
+
+#endif  // QOF_PARSE_REGION_EXTRACTOR_H_

@@ -1,0 +1,122 @@
+#include "qof/parse/value_builder.h"
+
+#include <string>
+#include <vector>
+
+#include "qof/util/string_util.h"
+
+namespace qof {
+namespace {
+
+Result<Value> Build(const StructuringSchema& schema, const Corpus& corpus,
+                    const ParseNode& node, ObjectStore* store) {
+  const Grammar& g = schema.grammar();
+  const std::string& symbol_name = g.SymbolName(node.symbol);
+  const Action& action = schema.ActionFor(node.symbol);
+
+  auto child_value = [&](int k) -> Result<Value> {
+    if (k < 1 || static_cast<size_t>(k) > node.children.size()) {
+      return Status::OutOfRange("action $" + std::to_string(k) +
+                                " exceeds children of " + symbol_name);
+    }
+    return Build(schema, corpus, *node.children[k - 1], store);
+  };
+
+  switch (action.kind) {
+    case Action::Kind::kString: {
+      // RawText, not ScanText: the span was already charged when the
+      // executing plan acquired the enclosing text (whole document for
+      // the baseline, candidate region for two-phase plans).
+      std::string_view text = corpus.RawText(node.span.start,
+                                             node.span.end);
+      return Value::Str(std::string(TrimView(text)))
+          .WithType(symbol_name);
+    }
+    case Action::Kind::kInt: {
+      std::string_view text =
+          TrimView(corpus.RawText(node.span.start, node.span.end));
+      int64_t v = 0;
+      bool any = false;
+      bool neg = false;
+      size_t i = 0;
+      if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+        neg = text[0] == '-';
+        i = 1;
+      }
+      for (; i < text.size(); ++i) {
+        if (text[i] < '0' || text[i] > '9') {
+          return Status::ParseError("non-numeric text for int action in " +
+                                    symbol_name + ": \"" +
+                                    std::string(text) + "\"");
+        }
+        v = v * 10 + (text[i] - '0');
+        any = true;
+      }
+      if (!any) {
+        return Status::ParseError("empty text for int action in " +
+                                  symbol_name);
+      }
+      return Value::Int(neg ? -v : v).WithType(symbol_name);
+    }
+    case Action::Kind::kChild: {
+      // "$$ := $k" passes the child's image through untouched — including
+      // its type tag, so typed path steps still see the child's type.
+      return child_value(action.child);
+    }
+    case Action::Kind::kCollectSet:
+    case Action::Kind::kCollectList: {
+      std::vector<Value> elements;
+      elements.reserve(node.children.size());
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        QOF_ASSIGN_OR_RETURN(Value v,
+                             child_value(static_cast<int>(i + 1)));
+        elements.push_back(std::move(v));
+      }
+      Value v = action.kind == Action::Kind::kCollectSet
+                    ? Value::MakeSet(std::move(elements))
+                    : Value::MakeList(std::move(elements));
+      return v.WithType(symbol_name);
+    }
+    case Action::Kind::kTuple:
+    case Action::Kind::kObject: {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(action.fields.size());
+      for (const auto& [attr, k] : action.fields) {
+        QOF_ASSIGN_OR_RETURN(Value v, child_value(k));
+        fields.emplace_back(attr, std::move(v));
+      }
+      if (action.kind == Action::Kind::kTuple) {
+        return Value::MakeTuple(std::move(fields)).WithType(symbol_name);
+      }
+      if (store == nullptr) {
+        return Status::InvalidArgument(
+            "object action requires an object store (rule " + symbol_name +
+            ")");
+      }
+      Value state = Value::MakeTuple(std::move(fields))
+                        .WithType(action.class_name);
+      ObjectId id = store->Insert(action.class_name, std::move(state));
+      return Value::Ref(id).WithType(action.class_name);
+    }
+  }
+  return Status::Internal("unhandled action kind");
+}
+
+}  // namespace
+
+Result<Value> BuildValue(const StructuringSchema& schema,
+                         const Corpus& corpus, const ParseNode& node,
+                         ObjectStore* store) {
+  return Build(schema, corpus, node, store);
+}
+
+Result<ObjectId> BuildObject(const StructuringSchema& schema,
+                             const Corpus& corpus, const ParseNode& node,
+                             ObjectStore* store) {
+  QOF_ASSIGN_OR_RETURN(Value v, Build(schema, corpus, node, store));
+  if (v.kind() == Value::Kind::kRef) return v.ref_id();
+  const std::string& name = schema.grammar().SymbolName(node.symbol);
+  return store->Insert(name, v);
+}
+
+}  // namespace qof

@@ -1,0 +1,35 @@
+#ifndef QOF_PARSE_VALUE_BUILDER_H_
+#define QOF_PARSE_VALUE_BUILDER_H_
+
+#include "qof/db/object_store.h"
+#include "qof/db/value.h"
+#include "qof/parse/parser.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Evaluates a parse tree's annotations bottom-up, producing the database
+/// image of the parsed word (paper §4.1). Leaf reads use Corpus::RawText:
+/// the executing plan already charged the enclosing text to the
+/// scanned-byte counter when it acquired it (the whole document for the
+/// baseline, just the candidate region for two-phase plans).
+///
+/// kObject actions insert into `store` (required if any rule uses them)
+/// and evaluate to a tagged Ref. Every value is tagged with its rule's
+/// non-terminal name (or class name) for typed path navigation.
+Result<Value> BuildValue(const StructuringSchema& schema,
+                         const Corpus& corpus, const ParseNode& node,
+                         ObjectStore* store);
+
+/// Builds the value of `node` and, when the action is not already an
+/// object, wraps it into a stored object of the node's symbol name.
+/// Returns the object id. This is how view-symbol candidates become
+/// queryable objects.
+Result<ObjectId> BuildObject(const StructuringSchema& schema,
+                             const Corpus& corpus, const ParseNode& node,
+                             ObjectStore* store);
+
+}  // namespace qof
+
+#endif  // QOF_PARSE_VALUE_BUILDER_H_

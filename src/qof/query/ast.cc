@@ -1,0 +1,100 @@
+#include "qof/query/ast.h"
+
+namespace qof {
+
+std::string PathExpr::ToString() const {
+  std::string out = var;
+  for (const PathStep& s : steps) {
+    out += ".";
+    switch (s.kind) {
+      case PathStep::Kind::kAttr:
+        out += s.name;
+        break;
+      case PathStep::Kind::kWildStar:
+        out += "*" + s.name;
+        break;
+      case PathStep::Kind::kWildOne:
+        out += "?" + s.name;
+        break;
+    }
+  }
+  return out;
+}
+
+ConditionPtr Condition::EqualsLiteral(PathExpr path, std::string literal) {
+  auto c = std::shared_ptr<Condition>(
+      new Condition(Kind::kEqualsLiteral));
+  c->path_ = std::move(path);
+  c->literal_ = std::move(literal);
+  return c;
+}
+
+ConditionPtr Condition::ContainsWord(PathExpr path, std::string word) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kContainsWord));
+  c->path_ = std::move(path);
+  c->literal_ = std::move(word);
+  return c;
+}
+
+ConditionPtr Condition::StartsWith(PathExpr path, std::string prefix) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kStartsWith));
+  c->path_ = std::move(path);
+  c->literal_ = std::move(prefix);
+  return c;
+}
+
+ConditionPtr Condition::EqualsPath(PathExpr lhs, PathExpr rhs) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kEqualsPath));
+  c->path_ = std::move(lhs);
+  c->rhs_path_ = std::move(rhs);
+  return c;
+}
+
+ConditionPtr Condition::And(ConditionPtr l, ConditionPtr r) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kAnd));
+  c->left_ = std::move(l);
+  c->right_ = std::move(r);
+  return c;
+}
+
+ConditionPtr Condition::Or(ConditionPtr l, ConditionPtr r) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kOr));
+  c->left_ = std::move(l);
+  c->right_ = std::move(r);
+  return c;
+}
+
+ConditionPtr Condition::Not(ConditionPtr child) {
+  auto c = std::shared_ptr<Condition>(new Condition(Kind::kNot));
+  c->left_ = std::move(child);
+  return c;
+}
+
+std::string Condition::ToString() const {
+  switch (kind_) {
+    case Kind::kEqualsLiteral:
+      return path_.ToString() + " = \"" + literal_ + "\"";
+    case Kind::kContainsWord:
+      return path_.ToString() + " CONTAINS \"" + literal_ + "\"";
+    case Kind::kStartsWith:
+      return path_.ToString() + " STARTS \"" + literal_ + "\"";
+    case Kind::kEqualsPath:
+      return path_.ToString() + " = " + rhs_path_.ToString();
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + left_->ToString() + ")";
+  }
+  return "<invalid>";
+}
+
+std::string SelectQuery::ToString() const {
+  std::string out = "SELECT " + target.ToString() + " FROM " + view + " " +
+                    var;
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+}  // namespace qof

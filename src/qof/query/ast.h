@@ -1,0 +1,108 @@
+#ifndef QOF_QUERY_AST_H_
+#define QOF_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qof {
+
+/// One step of an FQL path expression (the XSQL-style paths of §2/§5).
+struct PathStep {
+  enum class Kind {
+    kAttr,      // named attribute: .Authors
+    kWildStar,  // *X — any (possibly empty) attribute sequence (§5.3)
+    kWildOne,   // ?X — exactly one attribute of any name (§5.3's X1..Xn)
+  };
+  Kind kind = Kind::kAttr;
+  std::string name;  // attribute name, or the variable's name
+
+  static PathStep Attr(std::string name) {
+    return {Kind::kAttr, std::move(name)};
+  }
+  static PathStep WildStar(std::string var) {
+    return {Kind::kWildStar, std::move(var)};
+  }
+  static PathStep WildOne(std::string var) {
+    return {Kind::kWildOne, std::move(var)};
+  }
+
+  friend bool operator==(const PathStep& a, const PathStep& b) {
+    return a.kind == b.kind && a.name == b.name;
+  }
+};
+
+/// `r.Authors.Name.Last_Name` — a tuple variable plus steps.
+struct PathExpr {
+  std::string var;
+  std::vector<PathStep> steps;
+
+  std::string ToString() const;
+
+  friend bool operator==(const PathExpr& a, const PathExpr& b) {
+    return a.var == b.var && a.steps == b.steps;
+  }
+};
+
+class Condition;
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+/// WHERE-clause tree. Leaves compare a path against a string literal
+/// (kEqualsLiteral), test word containment (kContainsWord), or compare two
+/// paths (kEqualsPath — the select–join shape of §5.2). Inner nodes are
+/// AND / OR / NOT.
+class Condition {
+ public:
+  enum class Kind {
+    kEqualsLiteral,
+    kContainsWord,
+    kStartsWith,  // path STARTS "prefix" — PAT-style lexical search
+    kEqualsPath,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  static ConditionPtr EqualsLiteral(PathExpr path, std::string literal);
+  static ConditionPtr ContainsWord(PathExpr path, std::string word);
+  static ConditionPtr StartsWith(PathExpr path, std::string prefix);
+  static ConditionPtr EqualsPath(PathExpr lhs, PathExpr rhs);
+  static ConditionPtr And(ConditionPtr l, ConditionPtr r);
+  static ConditionPtr Or(ConditionPtr l, ConditionPtr r);
+  static ConditionPtr Not(ConditionPtr child);
+
+  Kind kind() const { return kind_; }
+  const PathExpr& path() const { return path_; }       // leaf kinds
+  const PathExpr& rhs_path() const { return rhs_path_; }  // kEqualsPath
+  const std::string& literal() const { return literal_; }
+  const ConditionPtr& left() const { return left_; }
+  const ConditionPtr& right() const { return right_; }
+  const ConditionPtr& child() const { return left_; }
+
+  std::string ToString() const;
+
+ private:
+  Condition(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  PathExpr path_;
+  PathExpr rhs_path_;
+  std::string literal_;
+  ConditionPtr left_;
+  ConditionPtr right_;
+};
+
+/// SELECT <target> FROM <view> <var> [WHERE <condition>].
+struct SelectQuery {
+  PathExpr target;   // bare variable or a projection path
+  std::string view;  // class/view name, e.g. References
+  std::string var;
+  ConditionPtr where;  // may be null
+
+  bool IsProjection() const { return !target.steps.empty(); }
+  std::string ToString() const;
+};
+
+}  // namespace qof
+
+#endif  // QOF_QUERY_AST_H_

@@ -1,0 +1,83 @@
+#include "qof/query/lexer.h"
+
+#include <cctype>
+
+namespace qof {
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<FqlToken>> LexFql(std::string_view input) {
+  std::vector<FqlToken> out;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    size_t start = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      ++pos;
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '_')) {
+        ++pos;
+      }
+      std::string word(input.substr(start, pos - start));
+      std::string upper = ToUpper(word);
+      FqlTokenKind kind = FqlTokenKind::kIdent;
+      if (upper == "SELECT") kind = FqlTokenKind::kSelect;
+      else if (upper == "FROM") kind = FqlTokenKind::kFrom;
+      else if (upper == "WHERE") kind = FqlTokenKind::kWhere;
+      else if (upper == "AND") kind = FqlTokenKind::kAnd;
+      else if (upper == "OR") kind = FqlTokenKind::kOr;
+      else if (upper == "NOT") kind = FqlTokenKind::kNot;
+      else if (upper == "CONTAINS") kind = FqlTokenKind::kContains;
+      else if (upper == "STARTS") kind = FqlTokenKind::kStarts;
+      out.push_back({kind, std::move(word), start});
+      continue;
+    }
+    if (c == '"') {
+      ++pos;
+      size_t b = pos;
+      while (pos < input.size() && input[pos] != '"') ++pos;
+      if (pos >= input.size()) {
+        return Status::ParseError(
+            "unterminated string literal at offset " +
+            std::to_string(start));
+      }
+      out.push_back({FqlTokenKind::kString,
+                     std::string(input.substr(b, pos - b)), start});
+      ++pos;
+      continue;
+    }
+    FqlTokenKind kind;
+    switch (c) {
+      case '.': kind = FqlTokenKind::kDot; break;
+      case '=': kind = FqlTokenKind::kEquals; break;
+      case '(': kind = FqlTokenKind::kLParen; break;
+      case ')': kind = FqlTokenKind::kRParen; break;
+      case '*': kind = FqlTokenKind::kStar; break;
+      case '?': kind = FqlTokenKind::kQuestion; break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(pos));
+    }
+    out.push_back({kind, std::string(1, c), pos});
+    ++pos;
+  }
+  out.push_back({FqlTokenKind::kEnd, "", input.size()});
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,44 @@
+#ifndef QOF_QUERY_LEXER_H_
+#define QOF_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// FQL token kinds. Keywords are case-insensitive; identifiers keep case.
+enum class FqlTokenKind {
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kContains,
+  kStarts,
+  kIdent,
+  kString,   // "..."
+  kDot,
+  kEquals,
+  kLParen,
+  kRParen,
+  kStar,     // * (wildcard-path marker)
+  kQuestion, // ? (single-step wildcard marker)
+  kEnd,
+};
+
+struct FqlToken {
+  FqlTokenKind kind;
+  std::string text;   // ident / string contents
+  size_t offset = 0;  // byte offset for error messages
+};
+
+/// Tokenizes an FQL query string.
+Result<std::vector<FqlToken>> LexFql(std::string_view input);
+
+}  // namespace qof
+
+#endif  // QOF_QUERY_LEXER_H_

@@ -1,0 +1,199 @@
+#include "qof/query/parser.h"
+
+#include <functional>
+
+#include "qof/query/lexer.h"
+
+namespace qof {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<FqlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Parse() {
+    QOF_RETURN_IF_ERROR(Expect(FqlTokenKind::kSelect, "SELECT"));
+    SelectQuery query;
+    QOF_ASSIGN_OR_RETURN(query.target, ParsePath());
+    QOF_RETURN_IF_ERROR(Expect(FqlTokenKind::kFrom, "FROM"));
+    QOF_ASSIGN_OR_RETURN(query.view, ExpectIdent("view name"));
+    QOF_ASSIGN_OR_RETURN(query.var, ExpectIdent("tuple variable"));
+    if (Peek().kind == FqlTokenKind::kWhere) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(query.where, ParseCondition());
+    }
+    if (Peek().kind != FqlTokenKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    if (query.target.var != query.var) {
+      return Status::ParseError("SELECT target '" + query.target.var +
+                                "' does not match FROM variable '" +
+                                query.var + "'");
+    }
+    QOF_RETURN_IF_ERROR(ValidateVars(query));
+    return query;
+  }
+
+ private:
+  const FqlToken& Peek() const { return tokens_[pos_]; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset) +
+                              " in FQL query");
+  }
+
+  Status Expect(FqlTokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + what);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != FqlTokenKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return tokens_[pos_++].text;
+  }
+
+  Result<PathExpr> ParsePath() {
+    PathExpr path;
+    QOF_ASSIGN_OR_RETURN(path.var, ExpectIdent("path variable"));
+    while (Peek().kind == FqlTokenKind::kDot) {
+      ++pos_;
+      if (Peek().kind == FqlTokenKind::kStar) {
+        ++pos_;
+        QOF_ASSIGN_OR_RETURN(std::string var,
+                             ExpectIdent("wildcard variable"));
+        path.steps.push_back(PathStep::WildStar(std::move(var)));
+      } else if (Peek().kind == FqlTokenKind::kQuestion) {
+        ++pos_;
+        QOF_ASSIGN_OR_RETURN(std::string var,
+                             ExpectIdent("wildcard variable"));
+        path.steps.push_back(PathStep::WildOne(std::move(var)));
+      } else {
+        QOF_ASSIGN_OR_RETURN(std::string attr,
+                             ExpectIdent("attribute name"));
+        path.steps.push_back(PathStep::Attr(std::move(attr)));
+      }
+    }
+    return path;
+  }
+
+  // condition ::= and_cond (OR and_cond)*
+  Result<ConditionPtr> ParseCondition() {
+    QOF_ASSIGN_OR_RETURN(ConditionPtr lhs, ParseAnd());
+    while (Peek().kind == FqlTokenKind::kOr) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(ConditionPtr rhs, ParseAnd());
+      lhs = Condition::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ConditionPtr> ParseAnd() {
+    QOF_ASSIGN_OR_RETURN(ConditionPtr lhs, ParseUnary());
+    while (Peek().kind == FqlTokenKind::kAnd) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(ConditionPtr rhs, ParseUnary());
+      lhs = Condition::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ConditionPtr> ParseUnary() {
+    if (Peek().kind == FqlTokenKind::kNot) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(ConditionPtr child, ParseUnary());
+      return Condition::Not(std::move(child));
+    }
+    if (Peek().kind == FqlTokenKind::kLParen) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(ConditionPtr inner, ParseCondition());
+      QOF_RETURN_IF_ERROR(Expect(FqlTokenKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<ConditionPtr> ParsePredicate() {
+    QOF_ASSIGN_OR_RETURN(PathExpr lhs, ParsePath());
+    if (Peek().kind == FqlTokenKind::kEquals) {
+      ++pos_;
+      if (Peek().kind == FqlTokenKind::kString) {
+        std::string literal = tokens_[pos_++].text;
+        return Condition::EqualsLiteral(std::move(lhs),
+                                        std::move(literal));
+      }
+      QOF_ASSIGN_OR_RETURN(PathExpr rhs, ParsePath());
+      return Condition::EqualsPath(std::move(lhs), std::move(rhs));
+    }
+    if (Peek().kind == FqlTokenKind::kContains) {
+      ++pos_;
+      if (Peek().kind != FqlTokenKind::kString) {
+        return Error("expected string literal after CONTAINS");
+      }
+      std::string word = tokens_[pos_++].text;
+      return Condition::ContainsWord(std::move(lhs), std::move(word));
+    }
+    if (Peek().kind == FqlTokenKind::kStarts) {
+      ++pos_;
+      if (Peek().kind != FqlTokenKind::kString) {
+        return Error("expected string literal after STARTS");
+      }
+      std::string prefix = tokens_[pos_++].text;
+      return Condition::StartsWith(std::move(lhs), std::move(prefix));
+    }
+    return Error("expected '=', CONTAINS or STARTS in predicate");
+  }
+
+  // Every path in the WHERE clause must start with the FROM variable.
+  Status ValidateVars(const SelectQuery& query) const {
+    Status ok;
+    std::function<Status(const Condition&)> check =
+        [&](const Condition& c) -> Status {
+      switch (c.kind()) {
+        case Condition::Kind::kEqualsLiteral:
+        case Condition::Kind::kContainsWord:
+        case Condition::Kind::kStartsWith:
+          if (c.path().var != query.var) {
+            return Status::ParseError("unknown tuple variable '" +
+                                      c.path().var + "'");
+          }
+          return Status::OK();
+        case Condition::Kind::kEqualsPath:
+          if (c.path().var != query.var ||
+              c.rhs_path().var != query.var) {
+            return Status::ParseError(
+                "join predicates must use the FROM variable");
+          }
+          return Status::OK();
+        case Condition::Kind::kNot:
+          return check(*c.child());
+        case Condition::Kind::kAnd:
+        case Condition::Kind::kOr: {
+          QOF_RETURN_IF_ERROR(check(*c.left()));
+          return check(*c.right());
+        }
+      }
+      return Status::OK();
+    };
+    if (query.where) return check(*query.where);
+    return Status::OK();
+  }
+
+  std::vector<FqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseFql(std::string_view input) {
+  QOF_ASSIGN_OR_RETURN(std::vector<FqlToken> tokens, LexFql(input));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace qof

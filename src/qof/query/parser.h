@@ -1,0 +1,36 @@
+#ifndef QOF_QUERY_PARSER_H_
+#define QOF_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "qof/query/ast.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Parses FQL, the library's XSQL-flavoured query language:
+///
+///   query     ::= SELECT path FROM IDENT IDENT [WHERE condition]
+///   condition ::= and_cond (OR and_cond)*
+///   and_cond  ::= unary (AND unary)*
+///   unary     ::= NOT unary | '(' condition ')' | predicate
+///   predicate ::= path '=' STRING        — attribute equality
+///               | path '=' path          — join-style comparison (§5.2)
+///               | path CONTAINS STRING   — word containment
+///               | path STARTS STRING     — lexical prefix search
+///   path      ::= IDENT ('.' step)*
+///   step      ::= IDENT                  — attribute
+///               | '*' IDENT              — any attribute sequence (§5.3)
+///               | '?' IDENT              — exactly one attribute (§5.3)
+///
+/// Keywords are case-insensitive. Examples (paper §2, §5):
+///   SELECT r FROM References r
+///       WHERE r.Authors.Name.Last_Name = "Chang"
+///   SELECT r.Authors.Name.Last_Name FROM References r
+///   SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"
+///   SELECT r FROM References r WHERE r.Editors.Name = r.Authors.Name
+Result<SelectQuery> ParseFql(std::string_view input);
+
+}  // namespace qof
+
+#endif  // QOF_QUERY_PARSER_H_

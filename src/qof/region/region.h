@@ -1,0 +1,58 @@
+#ifndef QOF_REGION_REGION_H_
+#define QOF_REGION_REGION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qof {
+
+/// A contiguous substring of the indexed text, identified by its byte span
+/// [start, end) in the corpus-wide address space (paper §3.1: "each region
+/// is ... defined by a pair of positions in the text").
+struct Region {
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  uint64_t length() const { return end - start; }
+
+  /// Weak containment: the endpoints of `other` lie within this region's
+  /// (paper's `r ⊇ s`). A region contains itself.
+  bool Contains(const Region& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  /// Strict containment: contains `other` and differs from it. This is the
+  /// relation that matters for "directly includes" (a region is never
+  /// directly included in itself).
+  bool StrictlyContains(const Region& other) const {
+    return Contains(other) && *this != other;
+  }
+
+  bool Overlaps(const Region& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  friend bool operator==(const Region& a, const Region& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+
+  /// Canonical order: by start ascending, then by end *descending*, so that
+  /// an enclosing region sorts before every region it contains.
+  friend bool operator<(const Region& a, const Region& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end > b.end;
+  }
+
+  std::string ToString() const {
+    std::string out = "[";
+    out += std::to_string(start);
+    out += ",";
+    out += std::to_string(end);
+    out += ")";
+    return out;
+  }
+};
+
+}  // namespace qof
+
+#endif  // QOF_REGION_REGION_H_

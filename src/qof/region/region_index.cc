@@ -1,0 +1,67 @@
+#include "qof/region/region_index.h"
+
+namespace qof {
+
+void RegionIndex::Add(std::string name, RegionSet regions) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    sets_.emplace(std::move(name), std::move(regions));
+  } else {
+    it->second = Union(it->second, regions);
+  }
+  universe_valid_ = false;
+}
+
+bool RegionIndex::Has(std::string_view name) const {
+  return sets_.find(name) != sets_.end();
+}
+
+Result<const RegionSet*> RegionIndex::Get(std::string_view name) const {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) {
+    return Status::NotFound("region name not indexed: " + std::string(name));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> RegionIndex::Names() const {
+  std::vector<std::string> names;
+  names.reserve(sets_.size());
+  for (const auto& [name, set] : sets_) names.push_back(name);
+  return names;
+}
+
+const RegionSet& RegionIndex::Universe() const {
+  if (!universe_valid_) {
+    RegionSet u;
+    for (const auto& [name, set] : sets_) u = Union(u, set);
+    universe_ = std::move(u);
+    universe_valid_ = true;
+  }
+  return universe_;
+}
+
+std::vector<const RegionSet*> RegionIndex::AllExcept(
+    std::string_view excluded) const {
+  std::vector<const RegionSet*> out;
+  for (const auto& [name, set] : sets_) {
+    if (name != excluded) out.push_back(&set);
+  }
+  return out;
+}
+
+uint64_t RegionIndex::num_regions() const {
+  uint64_t n = 0;
+  for (const auto& [name, set] : sets_) n += set.size();
+  return n;
+}
+
+uint64_t RegionIndex::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [name, set] : sets_) {
+    bytes += name.size() + set.size() * sizeof(Region) + 64;
+  }
+  return bytes;
+}
+
+}  // namespace qof

@@ -1,0 +1,58 @@
+#ifndef QOF_REGION_REGION_INDEX_H_
+#define QOF_REGION_REGION_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/region/region_set.h"
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// An *instance* of a region index (paper §3.1): a mapping from region
+/// names R1..Rn to sets of regions. The union of all instances is the
+/// "universe" of indexed regions, which defines direct inclusion (⊃d/⊂d:
+/// no *indexed* region strictly in between).
+class RegionIndex {
+ public:
+  RegionIndex() = default;
+
+  /// Registers (or extends) the instance of a region name.
+  void Add(std::string name, RegionSet regions);
+
+  bool Has(std::string_view name) const;
+
+  /// The instance of `name`; NotFound if the name was never registered.
+  Result<const RegionSet*> Get(std::string_view name) const;
+
+  /// Region names in registration-independent (sorted) order.
+  std::vector<std::string> Names() const;
+
+  /// Union of every instance — the indexed-region universe. Computed
+  /// lazily and cached; invalidated by Add().
+  const RegionSet& Universe() const;
+
+  /// All instances except `excluded` — the paper's "I − {S}" used by the
+  /// layered ⊃d program.
+  std::vector<const RegionSet*> AllExcept(std::string_view excluded) const;
+
+  size_t num_names() const { return sets_.size(); }
+  uint64_t num_regions() const;
+
+  /// Approximate memory footprint (for the indexing-amount tradeoff
+  /// experiments, §6–§7).
+  uint64_t ApproxBytes() const;
+
+ private:
+  std::map<std::string, RegionSet, std::less<>> sets_;
+  mutable RegionSet universe_;
+  mutable bool universe_valid_ = false;
+};
+
+}  // namespace qof
+
+#endif  // QOF_REGION_REGION_INDEX_H_

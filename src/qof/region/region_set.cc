@@ -1,0 +1,329 @@
+#include "qof/region/region_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qof {
+namespace {
+
+// Sparse table for O(1) range-min queries over member end offsets; built
+// per algebra operation, so construction is O(n log n) on the operand only.
+class MinEndTable {
+ public:
+  explicit MinEndTable(const std::vector<Region>& regions) {
+    size_t n = regions.size();
+    if (n == 0) return;
+    size_t levels = 1;
+    while ((size_t{1} << levels) <= n) ++levels;
+    table_.resize(levels);
+    table_[0].resize(n);
+    for (size_t i = 0; i < n; ++i) table_[0][i] = regions[i].end;
+    for (size_t k = 1; k < levels; ++k) {
+      size_t len = size_t{1} << k;
+      table_[k].resize(n - len + 1);
+      for (size_t i = 0; i + len <= n; ++i) {
+        table_[k][i] =
+            std::min(table_[k - 1][i], table_[k - 1][i + len / 2]);
+      }
+    }
+  }
+
+  // Minimum end over [lo, hi); UINT64_MAX when empty.
+  uint64_t Min(size_t lo, size_t hi) const {
+    if (lo >= hi) return UINT64_MAX;
+    size_t k = 0;
+    while ((size_t{2} << k) <= hi - lo) ++k;
+    return std::min(table_[k][lo], table_[k][hi - (size_t{1} << k)]);
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> table_;
+};
+
+// Index range [lo, hi) of members whose start lies in [min_start, max_start].
+std::pair<size_t, size_t> StartWindow(const std::vector<Region>& v,
+                                      uint64_t min_start,
+                                      uint64_t max_start) {
+  auto lo = std::lower_bound(
+      v.begin(), v.end(), min_start,
+      [](const Region& r, uint64_t s) { return r.start < s; });
+  auto hi = std::upper_bound(
+      v.begin(), v.end(), max_start,
+      [](uint64_t s, const Region& r) { return s < r.start; });
+  return {static_cast<size_t>(lo - v.begin()),
+          static_cast<size_t>(hi - v.begin())};
+}
+
+// Index of the exact span in a canonical vector, or npos.
+size_t FindExact(const std::vector<Region>& v, const Region& r) {
+  auto it = std::lower_bound(v.begin(), v.end(), r);
+  if (it != v.end() && *it == r) return static_cast<size_t>(it - v.begin());
+  return static_cast<size_t>(-1);
+}
+
+// Shared implementation of R ⊃ S (strict=false) and its strict variant.
+RegionSet IncludingImpl(const RegionSet& r, const RegionSet& s, bool strict) {
+  std::vector<Region> out;
+  if (r.empty() || s.empty()) return RegionSet();
+  const std::vector<Region>& sv = s.regions();
+  MinEndTable min_end(sv);
+  for (const Region& cand : r) {
+    auto [lo, hi] = StartWindow(sv, cand.start, cand.end);
+    bool hit;
+    if (!strict) {
+      hit = min_end.Min(lo, hi) <= cand.end;
+    } else {
+      size_t self = FindExact(sv, cand);
+      if (self >= lo && self < hi) {
+        hit = std::min(min_end.Min(lo, self), min_end.Min(self + 1, hi)) <=
+              cand.end;
+      } else {
+        hit = min_end.Min(lo, hi) <= cand.end;
+      }
+    }
+    if (hit) out.push_back(cand);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+// Shared implementation of R ⊂ S and its strict variant.
+RegionSet IncludedInImpl(const RegionSet& r, const RegionSet& s,
+                         bool strict) {
+  std::vector<Region> out;
+  if (r.empty() || s.empty()) return RegionSet();
+  const std::vector<Region>& sv = s.regions();
+  // prefix_max[i] = max end over sv[0..i).
+  std::vector<uint64_t> prefix_max(sv.size() + 1, 0);
+  for (size_t i = 0; i < sv.size(); ++i) {
+    prefix_max[i + 1] = std::max(prefix_max[i], sv[i].end);
+  }
+  for (const Region& cand : r) {
+    // Candidates that may contain `cand` have start <= cand.start, i.e.
+    // indices [0, hi).
+    auto hi_it = std::upper_bound(
+        sv.begin(), sv.end(), cand.start,
+        [](uint64_t p, const Region& x) { return p < x.start; });
+    size_t hi = static_cast<size_t>(hi_it - sv.begin());
+    bool hit = prefix_max[hi] >= cand.end;
+    if (hit && strict) {
+      // The only member of sv[0,hi) that weakly-but-not-strictly contains
+      // `cand` is the identical span; re-check excluding it.
+      size_t self = FindExact(sv, cand);
+      if (self < hi) {
+        uint64_t best = prefix_max[self];  // max over [0, self)
+        for (size_t j = self + 1; j < hi && sv[j].start == cand.start; ++j) {
+          best = std::max(best, sv[j].end);
+        }
+        // Members after `self` with the same start have smaller ends (and
+        // cannot contain cand); members with larger start are not in [0,hi).
+        hit = best >= cand.end;
+      }
+    }
+    if (hit) out.push_back(cand);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+}  // namespace
+
+RegionSet RegionSet::FromUnsorted(std::vector<Region> regions) {
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  RegionSet set;
+  set.regions_ = std::move(regions);
+  return set;
+}
+
+RegionSet RegionSet::FromSortedUnique(std::vector<Region> regions) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < regions.size(); ++i) {
+    assert(regions[i - 1] < regions[i] && "regions not canonically sorted");
+  }
+#endif
+  RegionSet set;
+  set.regions_ = std::move(regions);
+  return set;
+}
+
+bool RegionSet::ContainsRegion(const Region& r) const {
+  return FindExact(regions_, r) != static_cast<size_t>(-1);
+}
+
+uint64_t RegionSet::TotalLength() const {
+  uint64_t total = 0;
+  for (const Region& r : regions_) total += r.length();
+  return total;
+}
+
+bool RegionSet::IsLaminar() const {
+  std::vector<Region> stack;
+  for (const Region& r : regions_) {
+    while (!stack.empty() && stack.back().end <= r.start) stack.pop_back();
+    if (!stack.empty() && !stack.back().Contains(r)) return false;
+    stack.push_back(r);
+  }
+  return true;
+}
+
+std::string RegionSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += regions_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+RegionSet Union(const RegionSet& a, const RegionSet& b) {
+  std::vector<Region> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Intersect(const RegionSet& a, const RegionSet& b) {
+  std::vector<Region> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Difference(const RegionSet& a, const RegionSet& b) {
+  std::vector<Region> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Innermost(const RegionSet& r) {
+  std::vector<Region> out;
+  const std::vector<Region>& v = r.regions();
+  MinEndTable min_end(v);
+  for (size_t i = 0; i < v.size(); ++i) {
+    // Any member contained in v[i] appears after i (canonical order) with
+    // start <= v[i].end; it is contained iff its end <= v[i].end.
+    auto hi_it = std::upper_bound(
+        v.begin() + i + 1, v.end(), v[i].end,
+        [](uint64_t p, const Region& x) { return p < x.start; });
+    size_t hi = static_cast<size_t>(hi_it - v.begin());
+    if (min_end.Min(i + 1, hi) > v[i].end) out.push_back(v[i]);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Outermost(const RegionSet& r) {
+  std::vector<Region> out;
+  const std::vector<Region>& v = r.regions();
+  uint64_t max_end = 0;
+  for (const Region& cand : v) {
+    // Any member containing cand appears before it (canonical order) and
+    // contains it iff its end >= cand.end.
+    if (max_end < cand.end) out.push_back(cand);
+    max_end = std::max(max_end, cand.end);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet Including(const RegionSet& r, const RegionSet& s) {
+  return IncludingImpl(r, s, /*strict=*/false);
+}
+
+RegionSet IncludedIn(const RegionSet& r, const RegionSet& s) {
+  return IncludedInImpl(r, s, /*strict=*/false);
+}
+
+RegionSet IncludingStrict(const RegionSet& r, const RegionSet& s) {
+  return IncludingImpl(r, s, /*strict=*/true);
+}
+
+RegionSet IncludedInStrict(const RegionSet& r, const RegionSet& s) {
+  return IncludedInImpl(r, s, /*strict=*/true);
+}
+
+std::vector<Region> InnermostStrictEnclosers(const RegionSet& queries,
+                                             const RegionSet& universe) {
+  assert(universe.IsLaminar() &&
+         "direct inclusion requires a laminar universe");
+  std::vector<Region> result(queries.size(), Region{0, 0});
+  const std::vector<Region>& uv = universe.regions();
+  std::vector<Region> stack;
+  size_t ui = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Region& q = queries[qi];
+    // Push universe members that precede (or equal) q in canonical order;
+    // exactly those can enclose q.
+    while (ui < uv.size() && (uv[ui] < q || uv[ui] == q)) {
+      while (!stack.empty() && stack.back().end <= uv[ui].start) {
+        stack.pop_back();
+      }
+      stack.push_back(uv[ui]);
+      ++ui;
+    }
+    while (!stack.empty() && stack.back().end <= q.start) stack.pop_back();
+    // The stack is now the chain of universe members covering q.start,
+    // outermost first. The innermost strict encloser is the deepest entry
+    // that strictly contains q (at most the identical span needs skipping).
+    for (size_t d = stack.size(); d-- > 0;) {
+      if (stack[d] == q) continue;
+      if (stack[d].Contains(q)) {
+        result[qi] = stack[d];
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+RegionSet DirectlyIncluding(const RegionSet& r, const RegionSet& s,
+                            const RegionSet& universe) {
+  // r ⊃d s  ⟺  r is the innermost strict encloser of s within the
+  // universe of indexed regions (see region_set.h preconditions): any
+  // shallower encloser has that innermost one strictly between itself and
+  // s, and any member of `r` strictly containing s *is* an encloser.
+  std::vector<Region> enclosers = InnermostStrictEnclosers(s, universe);
+  std::vector<Region> valid;
+  valid.reserve(enclosers.size());
+  for (const Region& e : enclosers) {
+    if (e.end > e.start || e.start > 0) valid.push_back(e);
+  }
+  return Intersect(r, RegionSet::FromUnsorted(std::move(valid)));
+}
+
+RegionSet DirectlyIncluded(const RegionSet& r, const RegionSet& s,
+                           const RegionSet& universe) {
+  std::vector<Region> enclosers = InnermostStrictEnclosers(r, universe);
+  std::vector<Region> out;
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Region& e = enclosers[i];
+    bool has_encloser = e.end > e.start || e.start > 0;
+    if (has_encloser && s.ContainsRegion(e)) out.push_back(r[i]);
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+RegionSet DirectlyIncludingLayered(
+    const RegionSet& r, const RegionSet& s,
+    const std::vector<const RegionSet*>& other_indices) {
+  // Faithful transcription of the paper's §3.1 program. Each iteration
+  // peels the outermost layer of `r` and keeps the layer members that
+  // include an `s` member with no other indexed region in between.
+  RegionSet layer = Outermost(r);
+  RegionSet rest = Difference(r, layer);
+  RegionSet result;
+  while (!Including(layer, s).empty()) {
+    RegionSet blocked;
+    for (const RegionSet* t : other_indices) {
+      blocked = Union(
+          blocked, IncludedInStrict(s, IncludedInStrict(*t, layer)));
+    }
+    result = Union(result, IncludingStrict(layer, Difference(s, blocked)));
+    if (rest.empty()) break;
+    layer = Outermost(rest);
+    rest = Difference(rest, layer);
+  }
+  return result;
+}
+
+}  // namespace qof

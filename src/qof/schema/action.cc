@@ -1,0 +1,33 @@
+#include "qof/schema/action.h"
+
+namespace qof {
+
+std::string Action::ToString() const {
+  switch (kind) {
+    case Kind::kString:
+      return "$$ := text";
+    case Kind::kInt:
+      return "$$ := int(text)";
+    case Kind::kChild:
+      return "$$ := $" + std::to_string(child);
+    case Kind::kCollectSet:
+      return "$$ := U $i";
+    case Kind::kCollectList:
+      return "$$ := [$i...]";
+    case Kind::kTuple:
+    case Kind::kObject: {
+      std::string out = kind == Kind::kObject
+                            ? "$$ := new(" + class_name + ", tuple("
+                            : "$$ := tuple(";
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields[i].first + ": $" + std::to_string(fields[i].second);
+      }
+      out += kind == Kind::kObject ? "))" : ")";
+      return out;
+    }
+  }
+  return "<invalid>";
+}
+
+}  // namespace qof

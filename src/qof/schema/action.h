@@ -1,0 +1,57 @@
+#ifndef QOF_SCHEMA_ACTION_H_
+#define QOF_SCHEMA_ACTION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qof {
+
+/// The annotation attached to a grammar rule: how the database image of a
+/// word derived from the rule is constructed from its children's images
+/// (paper §4.1). This is the structured equivalent of the paper's
+/// Yacc-style statements:
+///   kString       $$ := <matched text>                (leaf rules)
+///   kInt          $$ := <matched text as integer>
+///   kChild        $$ := $k
+///   kCollectSet   $$ := ∪ $i                           (star rules)
+///   kCollectList  $$ := [$1, ..., $n]
+///   kTuple        $$ := tuple(a1: $k1, ..., am: $km)
+///   kObject       $$ := new(Class, tuple(a1: $k1, ...))
+/// Child indices $k are 1-based and count only non-terminal elements,
+/// matching the paper's examples.
+struct Action {
+  enum class Kind {
+    kString,
+    kInt,
+    kChild,
+    kCollectSet,
+    kCollectList,
+    kTuple,
+    kObject,
+  };
+
+  Kind kind = Kind::kString;
+  int child = 1;                  // kChild
+  std::string class_name;        // kObject
+  std::vector<std::pair<std::string, int>> fields;  // kTuple / kObject
+
+  static Action String() { return {Kind::kString, 1, "", {}}; }
+  static Action Int() { return {Kind::kInt, 1, "", {}}; }
+  static Action Child(int k) { return {Kind::kChild, k, "", {}}; }
+  static Action CollectSet() { return {Kind::kCollectSet, 1, "", {}}; }
+  static Action CollectList() { return {Kind::kCollectList, 1, "", {}}; }
+  static Action Tuple(std::vector<std::pair<std::string, int>> fields) {
+    return {Kind::kTuple, 1, "", std::move(fields)};
+  }
+  static Action Object(std::string class_name,
+                       std::vector<std::pair<std::string, int>> fields) {
+    return {Kind::kObject, 1, std::move(class_name), std::move(fields)};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace qof
+
+#endif  // QOF_SCHEMA_ACTION_H_

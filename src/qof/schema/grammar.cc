@@ -1,0 +1,154 @@
+#include "qof/schema/grammar.h"
+
+#include <deque>
+
+namespace qof {
+
+SymbolId Grammar::AddSymbol(std::string_view name) {
+  SymbolId existing = FindSymbol(name);
+  if (existing != kInvalidSymbol) return existing;
+  names_.emplace_back(name);
+  rules_.emplace_back(SequenceBody{});
+  has_rule_.push_back(false);
+  return static_cast<SymbolId>(names_.size() - 1);
+}
+
+SymbolId Grammar::FindSymbol(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<SymbolId>(i);
+  }
+  return kInvalidSymbol;
+}
+
+Status Grammar::SetRule(SymbolId lhs, RuleBody body) {
+  if (lhs < 0 || static_cast<size_t>(lhs) >= names_.size()) {
+    return Status::InvalidArgument("rule for unknown symbol id");
+  }
+  if (has_rule_[lhs]) {
+    return Status::AlreadyExists("symbol already has a rule: " +
+                                 names_[lhs]);
+  }
+  rules_[lhs] = std::move(body);
+  has_rule_[lhs] = true;
+  return Status::OK();
+}
+
+bool Grammar::HasRule(SymbolId id) const {
+  return id >= 0 && static_cast<size_t>(id) < has_rule_.size() &&
+         has_rule_[id];
+}
+
+std::vector<SymbolId> Grammar::RuleChildren(SymbolId id) const {
+  std::vector<SymbolId> out;
+  const RuleBody& body = rules_[id];
+  if (const auto* seq = std::get_if<SequenceBody>(&body)) {
+    for (const GrammarElement& e : seq->elements) {
+      if (e.kind != GrammarElement::Kind::kLiteral) {
+        out.push_back(e.symbol);
+      }
+    }
+  } else if (const auto* star = std::get_if<StarBody>(&body)) {
+    out.push_back(star->item);
+  }
+  return out;
+}
+
+Status Grammar::Validate(SymbolId root) const {
+  if (root < 0 || static_cast<size_t>(root) >= names_.size()) {
+    return Status::InvalidArgument("unknown root symbol");
+  }
+  std::vector<bool> seen(names_.size(), false);
+  std::deque<SymbolId> frontier = {root};
+  seen[root] = true;
+  while (!frontier.empty()) {
+    SymbolId s = frontier.front();
+    frontier.pop_front();
+    if (!has_rule_[s]) {
+      return Status::InvalidArgument("non-terminal has no rule: " +
+                                     names_[s]);
+    }
+    const RuleBody& body = rules_[s];
+    if (const auto* seq = std::get_if<SequenceBody>(&body)) {
+      size_t nts = 0;
+      size_t lits = 0;
+      size_t stars = 0;
+      for (const GrammarElement& e : seq->elements) {
+        if (e.kind != GrammarElement::Kind::kLiteral) {
+          if (e.kind == GrammarElement::Kind::kStar) {
+            ++stars;
+            if (e.min_count < 0) {
+              return Status::InvalidArgument("negative min_count in " +
+                                             names_[s]);
+            }
+          } else {
+            ++nts;
+          }
+          if (e.symbol < 0 ||
+              static_cast<size_t>(e.symbol) >= names_.size()) {
+            return Status::InvalidArgument(
+                "sequence rule references unknown symbol in " + names_[s]);
+          }
+          if (!seen[e.symbol]) {
+            seen[e.symbol] = true;
+            frontier.push_back(e.symbol);
+          }
+        } else {
+          if (e.literal.empty()) {
+            return Status::InvalidArgument("empty literal in rule for " +
+                                           names_[s]);
+          }
+          ++lits;
+        }
+      }
+      if (seq->elements.empty()) {
+        return Status::InvalidArgument("empty sequence rule for " +
+                                       names_[s]);
+      }
+      if (stars > 0 && (stars > 1 || nts > 0)) {
+        // Inline stars produce a variable number of children; mixing them
+        // with fixed non-terminals would make $i indices ambiguous.
+        return Status::InvalidArgument(
+            "rule '" + names_[s] +
+            "' mixes an inline star with other non-terminals");
+      }
+      if (nts == 1 && lits == 0) {
+        return Status::InvalidArgument(
+            "rule '" + names_[s] +
+            " -> <single non-terminal>' gives parent and child identical "
+            "spans; direct inclusion cannot separate them — add a "
+            "delimiter literal or inline the child");
+      }
+    } else if (const auto* star = std::get_if<StarBody>(&body)) {
+      if (star->item < 0 ||
+          static_cast<size_t>(star->item) >= names_.size()) {
+        return Status::InvalidArgument("star rule with unknown item in " +
+                                       names_[s]);
+      }
+      if (star->min_count < 0) {
+        return Status::InvalidArgument("negative min_count in " +
+                                       names_[s]);
+      }
+      if (!seen[star->item]) {
+        seen[star->item] = true;
+        frontier.push_back(star->item);
+      }
+    } else {
+      const auto& tok = std::get<TokenBody>(body);
+      if ((tok.kind == TokenKind::kUntil ||
+           tok.kind == TokenKind::kUntilLastWord) &&
+          tok.stops.empty()) {
+        return Status::InvalidArgument(
+            "until-token rule needs at least one stop in " + names_[s]);
+      }
+      for (const std::string& stop : tok.stops) {
+        if (stop.empty()) {
+          return Status::InvalidArgument("empty stop string in " +
+                                         names_[s]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qof

@@ -1,0 +1,127 @@
+#ifndef QOF_SCHEMA_GRAMMAR_H_
+#define QOF_SCHEMA_GRAMMAR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Non-terminal identifier within a Grammar.
+using SymbolId = int32_t;
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+/// Leaf token kinds a non-terminal can match (grammar terminals).
+enum class TokenKind {
+  /// A maximal run of word characters (same character class as the word
+  /// index's tokenizer, so σw selections line up with parsed regions).
+  kWord,
+  /// A run of ASCII digits.
+  kNumber,
+  /// Everything up to (excluding) the earliest occurrence of any stop
+  /// string; the match is trimmed of surrounding whitespace. The stop
+  /// itself is not consumed.
+  kUntil,
+  /// Like kUntil, but stops *before the last word* preceding the earliest
+  /// stop, leaving that word for the next element. This supports the
+  /// "first names ... last name" shape of natural schemas ("G. F." +
+  /// "Corliss"). Matches empty when only one word remains.
+  kUntilLastWord,
+};
+
+/// One element of a sequence rule: a literal to match, a non-terminal to
+/// recurse into, or an inline separated repetition of a non-terminal.
+/// Inline stars let composite regions carry their own delimiters —
+/// `Authors -> '"' Name (" and " Name)* '"'` — so a parent's span strictly
+/// contains its children's even with a single child.
+struct GrammarElement {
+  enum class Kind { kLiteral, kNonTerminal, kStar };
+  Kind kind;
+  std::string literal;   // kLiteral: the text; kStar: the separator
+  SymbolId symbol = kInvalidSymbol;  // kNonTerminal / kStar
+  int min_count = 0;     // kStar
+
+  static GrammarElement Lit(std::string text) {
+    return {Kind::kLiteral, std::move(text), kInvalidSymbol, 0};
+  }
+  static GrammarElement NT(SymbolId s) {
+    return {Kind::kNonTerminal, "", s, 0};
+  }
+  static GrammarElement Star(SymbolId s, std::string separator,
+                             int min_count = 0) {
+    return {Kind::kStar, std::move(separator), s, min_count};
+  }
+};
+
+/// A → e1 e2 ... en.
+struct SequenceBody {
+  std::vector<GrammarElement> elements;
+};
+
+/// A → B (sep B)*  — at least `min_count` items; `separator` may be empty,
+/// in which case items are tried back-to-back with backtracking.
+struct StarBody {
+  SymbolId item = kInvalidSymbol;
+  std::string separator;
+  int min_count = 0;
+};
+
+/// A → token.
+struct TokenBody {
+  TokenKind kind = TokenKind::kWord;
+  std::vector<std::string> stops;  // kUntil / kUntilLastWord
+};
+
+using RuleBody = std::variant<SequenceBody, StarBody, TokenBody>;
+
+/// A context-free grammar in the restricted shape structuring schemas use
+/// (paper §4.1): every non-terminal has exactly one rule, and rules are
+/// sequences, separated repetitions, or token leaves. This is sufficient
+/// for "natural" schemas and parses deterministically top-down.
+///
+/// Region-soundness guideline: a rule whose body is a bare single
+/// non-terminal (no literals) gives parent and child identical spans,
+/// which makes the pair indistinguishable to the region algebra's direct
+/// inclusion. Validate() reports such rules.
+class Grammar {
+ public:
+  Grammar() = default;
+
+  /// Adds (or finds) a non-terminal by name.
+  SymbolId AddSymbol(std::string_view name);
+  SymbolId FindSymbol(std::string_view name) const;
+  const std::string& SymbolName(SymbolId id) const { return names_[id]; }
+  size_t num_symbols() const { return names_.size(); }
+
+  /// Installs the rule for `lhs`; each non-terminal may have only one.
+  Status SetRule(SymbolId lhs, RuleBody body);
+
+  bool HasRule(SymbolId id) const;
+  const RuleBody& RuleFor(SymbolId id) const { return rules_[id]; }
+
+  /// Non-terminal children of a rule, in element order (the $i operands of
+  /// the annotation language; literals do not count).
+  std::vector<SymbolId> RuleChildren(SymbolId id) const;
+
+  /// Checks that every reachable non-terminal has a rule, star items and
+  /// sequence symbols are defined, and reports single-non-terminal rules
+  /// (span-collision hazard, see class comment).
+  Status Validate(SymbolId root) const;
+
+  /// All symbol names, id order.
+  std::vector<std::string> SymbolNames() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<RuleBody> rules_;
+  std::vector<bool> has_rule_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_SCHEMA_GRAMMAR_H_

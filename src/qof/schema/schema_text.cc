@@ -1,0 +1,407 @@
+#include "qof/schema/schema_text.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qof {
+namespace {
+
+// --- token layer ------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,    // schema, root, word, rule names, ...
+  kString,   // "..." or '...'
+  kDefine,   // ::=
+  kArrow,    // =>
+  kSemi,     // ;
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kSlash,
+  kStar,
+  kPlus,
+  kDollar,
+  kNumber,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  size_t line = 1;
+};
+
+Result<std::vector<Tok>> Lex(std::string_view input) {
+  std::vector<Tok> out;
+  size_t pos = 0;
+  size_t line = 1;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              " of schema text");
+  };
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '-' && pos + 1 < input.size() && input[pos + 1] == '-') {
+      while (pos < input.size() && input[pos] != '\n') ++pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = pos;
+      while (pos < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '_' || input[pos] == '-')) {
+        ++pos;
+      }
+      out.push_back({TokKind::kIdent,
+                     std::string(input.substr(b, pos - b)), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t b = pos;
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[pos]))) {
+        ++pos;
+      }
+      out.push_back({TokKind::kNumber,
+                     std::string(input.substr(b, pos - b)), line});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos;
+      size_t b = pos;
+      while (pos < input.size() && input[pos] != quote) {
+        if (input[pos] == '\n') ++line;
+        ++pos;
+      }
+      if (pos >= input.size()) return error("unterminated string literal");
+      out.push_back({TokKind::kString,
+                     std::string(input.substr(b, pos - b)), line});
+      ++pos;
+      continue;
+    }
+    if (c == ':' && input.compare(pos, 3, "::=") == 0) {
+      out.push_back({TokKind::kDefine, "::=", line});
+      pos += 3;
+      continue;
+    }
+    if (c == '=' && pos + 1 < input.size() && input[pos + 1] == '>') {
+      out.push_back({TokKind::kArrow, "=>", line});
+      pos += 2;
+      continue;
+    }
+    TokKind kind;
+    switch (c) {
+      case ';': kind = TokKind::kSemi; break;
+      case '(': kind = TokKind::kLParen; break;
+      case ')': kind = TokKind::kRParen; break;
+      case ',': kind = TokKind::kComma; break;
+      case ':': kind = TokKind::kColon; break;
+      case '/': kind = TokKind::kSlash; break;
+      case '*': kind = TokKind::kStar; break;
+      case '+': kind = TokKind::kPlus; break;
+      case '$': kind = TokKind::kDollar; break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back({kind, std::string(1, c), line});
+    ++pos;
+  }
+  out.push_back({TokKind::kEnd, "", line});
+  return out;
+}
+
+// --- parser layer -----------------------------------------------------------
+
+// Parsed pieces before assembly through SchemaBuilder.
+struct StarSpec {
+  std::string item;
+  std::string separator;
+  int min_count = 0;
+};
+
+struct TokenSpec {
+  TokenKind kind;
+  std::vector<std::string> stops;
+};
+
+struct ElementSpec {
+  enum class Kind { kLiteral, kNonTerminal, kStar };
+  Kind kind;
+  std::string text;  // literal / NT name
+  StarSpec star;
+};
+
+struct RuleSpec {
+  std::string lhs;
+  // Exactly one of these is set.
+  std::optional<StarSpec> star_body;
+  std::optional<TokenSpec> token_body;
+  std::vector<ElementSpec> elements;
+  std::optional<Action> action;
+  size_t line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<StructuringSchema> Parse() {
+    QOF_RETURN_IF_ERROR(ExpectKeyword("schema"));
+    QOF_ASSIGN_OR_RETURN(std::string schema_name, ExpectIdent("name"));
+    QOF_RETURN_IF_ERROR(ExpectKeyword("root"));
+    QOF_ASSIGN_OR_RETURN(std::string root, ExpectIdent("root symbol"));
+    QOF_RETURN_IF_ERROR(ExpectKeyword("view"));
+    QOF_ASSIGN_OR_RETURN(std::string view, ExpectIdent("view symbol"));
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kSemi, "';'"));
+
+    std::vector<RuleSpec> rules;
+    while (Peek().kind != TokKind::kEnd) {
+      QOF_ASSIGN_OR_RETURN(RuleSpec rule, ParseRule());
+      rules.push_back(std::move(rule));
+    }
+
+    // Assemble through the builder (which also validates).
+    SchemaBuilder builder(schema_name, root, view);
+    for (const RuleSpec& rule : rules) {
+      if (rule.star_body.has_value()) {
+        builder.Star(rule.lhs, rule.star_body->item,
+                     rule.star_body->separator,
+                     rule.action.value_or(Action::CollectSet()),
+                     rule.star_body->min_count);
+      } else if (rule.token_body.has_value()) {
+        builder.Token(rule.lhs, rule.token_body->kind,
+                      rule.token_body->stops,
+                      rule.action.value_or(Action::String()));
+      } else {
+        if (!rule.action.has_value()) {
+          return Status::ParseError(
+              "sequence rule for '" + rule.lhs +
+              "' needs an explicit => action (line " +
+              std::to_string(rule.line) + ")");
+        }
+        std::vector<GrammarElement> elements;
+        for (const ElementSpec& e : rule.elements) {
+          switch (e.kind) {
+            case ElementSpec::Kind::kLiteral:
+              elements.push_back(builder.Lit(e.text));
+              break;
+            case ElementSpec::Kind::kNonTerminal:
+              elements.push_back(builder.NT(e.text));
+              break;
+            case ElementSpec::Kind::kStar:
+              elements.push_back(builder.StarOf(
+                  e.star.item, e.star.separator, e.star.min_count));
+              break;
+          }
+        }
+        builder.Sequence(rule.lhs, std::move(elements), *rule.action);
+      }
+    }
+    return builder.Build();
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " at line " +
+                              std::to_string(Peek().line) +
+                              " of schema text");
+  }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + what);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* word) {
+    if (Peek().kind != TokKind::kIdent || Peek().text != word) {
+      return Error(std::string("expected keyword '") + word + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return toks_[pos_++].text;
+  }
+
+  // star ::= '(' IDENT ('/' STRING)? ')' ('*' | '+')
+  Result<StarSpec> ParseStar() {
+    StarSpec star;
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    QOF_ASSIGN_OR_RETURN(star.item, ExpectIdent("repeated symbol"));
+    if (Peek().kind == TokKind::kSlash) {
+      ++pos_;
+      if (Peek().kind != TokKind::kString) {
+        return Error("expected separator string after '/'");
+      }
+      star.separator = toks_[pos_++].text;
+    }
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    if (Peek().kind == TokKind::kStar) {
+      star.min_count = 0;
+    } else if (Peek().kind == TokKind::kPlus) {
+      star.min_count = 1;
+    } else {
+      return Error("expected '*' or '+' after repetition");
+    }
+    ++pos_;
+    return star;
+  }
+
+  Result<std::vector<std::string>> ParseStops() {
+    std::vector<std::string> stops;
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    while (true) {
+      if (Peek().kind != TokKind::kString) {
+        return Error("expected stop string");
+      }
+      stops.push_back(toks_[pos_++].text);
+      if (Peek().kind != TokKind::kComma) break;
+      ++pos_;
+    }
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    return stops;
+  }
+
+  Result<std::vector<std::pair<std::string, int>>> ParseFields() {
+    std::vector<std::pair<std::string, int>> fields;
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    while (true) {
+      QOF_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("field name"));
+      QOF_RETURN_IF_ERROR(Expect(TokKind::kColon, "':'"));
+      QOF_RETURN_IF_ERROR(Expect(TokKind::kDollar, "'$'"));
+      if (Peek().kind != TokKind::kNumber) {
+        return Error("expected child index after '$'");
+      }
+      fields.emplace_back(std::move(attr), std::stoi(toks_[pos_++].text));
+      if (Peek().kind != TokKind::kComma) break;
+      ++pos_;
+    }
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+    return fields;
+  }
+
+  Result<Action> ParseAction() {
+    if (Peek().kind == TokKind::kDollar) {
+      ++pos_;
+      if (Peek().kind != TokKind::kNumber) {
+        return Error("expected child index after '$'");
+      }
+      return Action::Child(std::stoi(toks_[pos_++].text));
+    }
+    QOF_ASSIGN_OR_RETURN(std::string word, ExpectIdent("action"));
+    if (word == "text") return Action::String();
+    if (word == "int") return Action::Int();
+    if (word == "collect") {
+      QOF_ASSIGN_OR_RETURN(std::string kind, ExpectIdent("set|list"));
+      if (kind == "set") return Action::CollectSet();
+      if (kind == "list") return Action::CollectList();
+      return Error("expected 'set' or 'list' after collect");
+    }
+    if (word == "tuple") {
+      QOF_ASSIGN_OR_RETURN(auto fields, ParseFields());
+      return Action::Tuple(std::move(fields));
+    }
+    if (word == "object") {
+      QOF_ASSIGN_OR_RETURN(std::string class_name,
+                           ExpectIdent("class name"));
+      QOF_ASSIGN_OR_RETURN(auto fields, ParseFields());
+      return Action::Object(std::move(class_name), std::move(fields));
+    }
+    return Error("unknown action '" + word + "'");
+  }
+
+  Result<RuleSpec> ParseRule() {
+    RuleSpec rule;
+    rule.line = Peek().line;
+    QOF_ASSIGN_OR_RETURN(rule.lhs, ExpectIdent("rule name"));
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kDefine, "'::='"));
+
+    // Token bodies.
+    if (Peek().kind == TokKind::kIdent &&
+        (Peek().text == "word" || Peek().text == "number" ||
+         Peek().text == "until" || Peek().text == "until-last-word")) {
+      std::string word = toks_[pos_++].text;
+      TokenSpec token;
+      if (word == "word") {
+        token.kind = TokenKind::kWord;
+      } else if (word == "number") {
+        token.kind = TokenKind::kNumber;
+      } else {
+        token.kind = word == "until" ? TokenKind::kUntil
+                                     : TokenKind::kUntilLastWord;
+        QOF_ASSIGN_OR_RETURN(token.stops, ParseStops());
+      }
+      rule.token_body = std::move(token);
+    } else {
+      // Elements until '=>' or ';'.
+      while (Peek().kind != TokKind::kArrow &&
+             Peek().kind != TokKind::kSemi) {
+        ElementSpec element;
+        if (Peek().kind == TokKind::kString) {
+          element.kind = ElementSpec::Kind::kLiteral;
+          element.text = toks_[pos_++].text;
+        } else if (Peek().kind == TokKind::kIdent) {
+          element.kind = ElementSpec::Kind::kNonTerminal;
+          element.text = toks_[pos_++].text;
+        } else if (Peek().kind == TokKind::kLParen) {
+          element.kind = ElementSpec::Kind::kStar;
+          QOF_ASSIGN_OR_RETURN(element.star, ParseStar());
+        } else {
+          return Error("expected literal, symbol or repetition");
+        }
+        rule.elements.push_back(std::move(element));
+      }
+      if (rule.elements.empty()) {
+        return Error("empty rule body for '" + rule.lhs + "'");
+      }
+      // A body that is exactly one repetition is a star rule.
+      if (rule.elements.size() == 1 &&
+          rule.elements[0].kind == ElementSpec::Kind::kStar) {
+        rule.star_body = rule.elements[0].star;
+        rule.elements.clear();
+      }
+    }
+
+    if (Peek().kind == TokKind::kArrow) {
+      ++pos_;
+      QOF_ASSIGN_OR_RETURN(Action action, ParseAction());
+      rule.action = std::move(action);
+    }
+    QOF_RETURN_IF_ERROR(Expect(TokKind::kSemi, "';' closing rule"));
+    return rule;
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StructuringSchema> ParseSchemaText(std::string_view input) {
+  QOF_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(input));
+  return Parser(std::move(toks)).Parse();
+}
+
+}  // namespace qof

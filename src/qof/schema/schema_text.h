@@ -1,0 +1,55 @@
+#ifndef QOF_SCHEMA_SCHEMA_TEXT_H_
+#define QOF_SCHEMA_SCHEMA_TEXT_H_
+
+#include <string_view>
+
+#include "qof/schema/structuring_schema.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Parses the textual structuring-schema format — the file-based
+/// counterpart of SchemaBuilder, mirroring how the paper presents
+/// annotated grammars (§4.1):
+///
+///   schema BibTeX root Ref_Set view Reference;
+///
+///   Ref_Set   ::= (Reference)*                => collect set;
+///   Reference ::= "@INCOLLECTION{" Key ","
+///                 "AUTHOR =" Authors ","
+///                 "}"                         => object Reference(
+///                                                  Key: $1, Authors: $2);
+///   Authors   ::= '"' (Name / "and ")+ '"'    => collect set;
+///   Name      ::= First_Name Last_Name        => tuple(First_Name: $1,
+///                                                      Last_Name: $2);
+///   Key       ::= until(",");
+///   Year      ::= number                      => int;
+///   First_Name ::= until-last-word(" and ", '"');
+///   Last_Name ::= word;
+///
+/// Grammar of the format:
+///   schema_file ::= header rule* ;
+///   header      ::= 'schema' IDENT 'root' IDENT 'view' IDENT ';'
+///   rule        ::= IDENT '::=' body ('=>' action)? ';'
+///   body        ::= star_body | token_body | element+
+///   star_body   ::= star            (the whole body is one repetition)
+///   element     ::= STRING | IDENT | star
+///   star        ::= '(' IDENT ('/' STRING)? ')' ('*' | '+')
+///   token_body  ::= 'word' | 'number'
+///                 | 'until' '(' STRING (',' STRING)* ')'
+///                 | 'until-last-word' '(' STRING (',' STRING)* ')'
+///   action      ::= 'text' | 'int' | '$' NUMBER
+///                 | 'collect' ('set' | 'list')
+///                 | 'tuple' '(' fields ')'
+///                 | 'object' IDENT '(' fields ')'
+///   fields      ::= IDENT ':' '$' NUMBER (',' IDENT ':' '$' NUMBER)*
+///
+/// String literals use double or single quotes (no escapes: pick the
+/// quote the literal does not contain). `--` starts a comment to end of
+/// line. Default actions: `text` for token rules, `collect set` for
+/// repetitions; sequence rules must state their action.
+Result<StructuringSchema> ParseSchemaText(std::string_view input);
+
+}  // namespace qof
+
+#endif  // QOF_SCHEMA_SCHEMA_TEXT_H_

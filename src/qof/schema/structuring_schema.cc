@@ -1,0 +1,112 @@
+#include "qof/schema/structuring_schema.h"
+
+namespace qof {
+
+std::vector<std::string> StructuringSchema::IndexableNames() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < grammar_.num_symbols(); ++i) {
+    if (static_cast<SymbolId>(i) == root_) continue;
+    out.push_back(grammar_.SymbolName(static_cast<SymbolId>(i)));
+  }
+  return out;
+}
+
+SchemaBuilder::SchemaBuilder(std::string schema_name, std::string root,
+                             std::string view) {
+  schema_.name_ = std::move(schema_name);
+  schema_.root_ = schema_.grammar_.AddSymbol(root);
+  view_name_ = std::move(view);
+}
+
+GrammarElement SchemaBuilder::Lit(std::string text) {
+  return GrammarElement::Lit(std::move(text));
+}
+
+GrammarElement SchemaBuilder::NT(std::string_view name) {
+  return GrammarElement::NT(schema_.grammar_.AddSymbol(name));
+}
+
+GrammarElement SchemaBuilder::StarOf(std::string_view item,
+                                     std::string separator, int min_count) {
+  return GrammarElement::Star(schema_.grammar_.AddSymbol(item),
+                              std::move(separator), min_count);
+}
+
+SchemaBuilder& SchemaBuilder::Sequence(std::string_view lhs,
+                                       std::vector<GrammarElement> elements,
+                                       Action action) {
+  SymbolId id = schema_.grammar_.AddSymbol(lhs);
+  Status s = schema_.grammar_.SetRule(id, SequenceBody{std::move(elements)});
+  if (!s.ok() && deferred_error_.ok()) deferred_error_ = s;
+  schema_.actions_[id] = std::move(action);
+  if (view_name_.empty()) view_name_ = std::string(lhs);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Star(std::string_view lhs,
+                                   std::string_view item,
+                                   std::string separator, Action action,
+                                   int min_count) {
+  SymbolId id = schema_.grammar_.AddSymbol(lhs);
+  SymbolId item_id = schema_.grammar_.AddSymbol(item);
+  Status s = schema_.grammar_.SetRule(
+      id, StarBody{item_id, std::move(separator), min_count});
+  if (!s.ok() && deferred_error_.ok()) deferred_error_ = s;
+  schema_.actions_[id] = std::move(action);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Token(std::string_view lhs, TokenKind kind,
+                                    std::vector<std::string> stops,
+                                    Action action) {
+  SymbolId id = schema_.grammar_.AddSymbol(lhs);
+  Status s = schema_.grammar_.SetRule(id, TokenBody{kind, std::move(stops)});
+  if (!s.ok() && deferred_error_.ok()) deferred_error_ = s;
+  schema_.actions_[id] = std::move(action);
+  return *this;
+}
+
+Result<StructuringSchema> SchemaBuilder::Build() {
+  QOF_RETURN_IF_ERROR(deferred_error_);
+  QOF_RETURN_IF_ERROR(schema_.grammar_.Validate(schema_.root_));
+  if (view_name_.empty()) {
+    return Status::InvalidArgument("schema has no view symbol");
+  }
+  schema_.view_ = schema_.grammar_.FindSymbol(view_name_);
+  if (schema_.view_ == kInvalidSymbol) {
+    return Status::InvalidArgument("view symbol not in grammar: " +
+                                   view_name_);
+  }
+  // Every non-terminal with a rule needs an action; default leaves to
+  // kString (harmless) but sequences/stars must be explicit.
+  for (size_t i = 0; i < schema_.grammar_.num_symbols(); ++i) {
+    SymbolId id = static_cast<SymbolId>(i);
+    if (!schema_.grammar_.HasRule(id)) continue;
+    if (schema_.actions_.find(id) == schema_.actions_.end()) {
+      schema_.actions_[id] = Action::String();
+    }
+    // Action child indices must be within the rule's child count.
+    const Action& a = schema_.actions_[id];
+    size_t n_children = schema_.grammar_.RuleChildren(id).size();
+    auto check = [&](int k) {
+      return k >= 1 && static_cast<size_t>(k) <= n_children;
+    };
+    if (a.kind == Action::Kind::kChild && !check(a.child)) {
+      return Status::InvalidArgument(
+          "action $" + std::to_string(a.child) + " out of range in rule " +
+          schema_.grammar_.SymbolName(id));
+    }
+    if (a.kind == Action::Kind::kTuple || a.kind == Action::Kind::kObject) {
+      for (const auto& [attr, k] : a.fields) {
+        if (!check(k)) {
+          return Status::InvalidArgument(
+              "action field " + attr + ": $" + std::to_string(k) +
+              " out of range in rule " + schema_.grammar_.SymbolName(id));
+        }
+      }
+    }
+  }
+  return schema_;
+}
+
+}  // namespace qof

@@ -1,0 +1,98 @@
+#ifndef QOF_SCHEMA_STRUCTURING_SCHEMA_H_
+#define QOF_SCHEMA_STRUCTURING_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/schema/action.h"
+#include "qof/schema/grammar.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// A structuring schema (paper §4.1, after [ACM93]): a grammar annotated
+/// with database-construction actions, describing how a file's text maps
+/// to a database view. The paper's BibTeX example becomes:
+///
+///   SchemaBuilder b("BibTeX", "Ref_Set");
+///   b.Star("Ref_Set", "Reference", "", Action::CollectSet());
+///   b.Sequence("Reference",
+///              {b.Lit("@INCOLLECTION{"), b.NT("Key"), b.Lit(","), ...},
+///              Action::Object("Reference", {{"Key", 1}, ...}));
+///   ...
+///   auto schema = b.Build();
+///
+/// The *view symbol* is the non-terminal whose database images populate
+/// the queryable class extent (Reference in the example); the root symbol
+/// spans the whole file.
+class StructuringSchema {
+ public:
+  const std::string& name() const { return name_; }
+  const Grammar& grammar() const { return grammar_; }
+  SymbolId root() const { return root_; }
+  SymbolId view() const { return view_; }
+  const std::string& view_name() const {
+    return grammar_.SymbolName(view_);
+  }
+
+  const Action& ActionFor(SymbolId id) const { return actions_.at(id); }
+
+  /// Non-terminal names except the root (the default set of region
+  /// indices under "full indexing", §5: the root region is the whole file
+  /// and is never worth indexing).
+  std::vector<std::string> IndexableNames() const;
+
+ private:
+  friend class SchemaBuilder;
+
+  std::string name_;
+  Grammar grammar_;
+  SymbolId root_ = kInvalidSymbol;
+  SymbolId view_ = kInvalidSymbol;
+  std::map<SymbolId, Action> actions_;
+};
+
+/// Fluent construction of structuring schemas; Build() validates.
+class SchemaBuilder {
+ public:
+  /// `view` defaults to the first sequence rule added if left empty.
+  SchemaBuilder(std::string schema_name, std::string root,
+                std::string view = "");
+
+  GrammarElement Lit(std::string text);
+  GrammarElement NT(std::string_view name);
+  /// Inline repetition element: item (separator item)*.
+  GrammarElement StarOf(std::string_view item, std::string separator,
+                        int min_count = 0);
+
+  /// lhs -> elements, with the given construction action.
+  SchemaBuilder& Sequence(std::string_view lhs,
+                          std::vector<GrammarElement> elements,
+                          Action action);
+
+  /// lhs -> item (sep item)*; default action collects a set.
+  SchemaBuilder& Star(std::string_view lhs, std::string_view item,
+                      std::string separator,
+                      Action action = Action::CollectSet(),
+                      int min_count = 0);
+
+  /// lhs -> token leaf.
+  SchemaBuilder& Token(std::string_view lhs, TokenKind kind,
+                       std::vector<std::string> stops = {},
+                       Action action = Action::String());
+
+  /// Validates and returns the schema. Errors from rule definitions are
+  /// deferred to here.
+  Result<StructuringSchema> Build();
+
+ private:
+  StructuringSchema schema_;
+  std::string view_name_;
+  Status deferred_error_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_SCHEMA_STRUCTURING_SCHEMA_H_

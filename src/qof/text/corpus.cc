@@ -1,0 +1,35 @@
+#include "qof/text/corpus.h"
+
+#include <algorithm>
+
+namespace qof {
+
+Result<DocId> Corpus::AddDocument(std::string name, std::string_view text) {
+  for (const Doc& d : docs_) {
+    if (d.name == name) {
+      return Status::AlreadyExists("document already in corpus: " + name);
+    }
+  }
+  if (!text_.empty()) text_.push_back('\n');
+  TextPos start = text_.size();
+  text_.append(text);
+  docs_.push_back(Doc{std::move(name), start, text_.size()});
+  return static_cast<DocId>(docs_.size() - 1);
+}
+
+Result<DocId> Corpus::DocumentAt(TextPos pos) const {
+  // Binary search over document start offsets.
+  auto it = std::upper_bound(
+      docs_.begin(), docs_.end(), pos,
+      [](TextPos p, const Doc& d) { return p < d.start; });
+  if (it == docs_.begin()) {
+    return Status::OutOfRange("position before first document");
+  }
+  --it;
+  if (pos >= it->end) {
+    return Status::OutOfRange("position falls between documents");
+  }
+  return static_cast<DocId>(it - docs_.begin());
+}
+
+}  // namespace qof

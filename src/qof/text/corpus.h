@@ -1,0 +1,90 @@
+#ifndef QOF_TEXT_CORPUS_H_
+#define QOF_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Identifies a document within a Corpus.
+using DocId = uint32_t;
+
+/// A byte offset into the corpus-wide virtual address space (all documents
+/// concatenated in insertion order, separated by a single '\n' so that word
+/// tokens never straddle documents).
+using TextPos = uint64_t;
+
+/// Corpus owns the raw text of every file handed to the system and exposes a
+/// single flat address space over it. Region and word indices store offsets
+/// into this space; TextOf() maps a span back to bytes.
+///
+/// This stands in for "the file system" in the paper: the engine's goal is to
+/// touch as few of these bytes as possible when answering a query, and the
+/// Corpus keeps a counter of bytes actually read so experiments can report
+/// scanned-byte savings.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  // Corpus is the unique owner of the text; copies would silently duplicate
+  // megabytes, so it is move-only.
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  /// Appends a document; returns its id. Rejects duplicate names.
+  Result<DocId> AddDocument(std::string name, std::string_view text);
+
+  size_t num_documents() const { return docs_.size(); }
+  /// Total size of the virtual address space, separators included.
+  TextPos size() const { return text_.size(); }
+
+  const std::string& document_name(DocId id) const { return docs_[id].name; }
+  /// [start, end) span of a document in the corpus address space.
+  TextPos document_start(DocId id) const { return docs_[id].start; }
+  TextPos document_end(DocId id) const { return docs_[id].end; }
+
+  /// The document containing `pos`, or an error for separator/out-of-range
+  /// positions.
+  Result<DocId> DocumentAt(TextPos pos) const;
+
+  /// Raw bytes of [start, end). Does not count towards bytes_read().
+  std::string_view RawText(TextPos start, TextPos end) const {
+    return std::string_view(text_).substr(start, end - start);
+  }
+
+  /// Bytes of [start, end), *accounted* as scanned: experiments use
+  /// bytes_read() to compare how much text each query plan had to touch.
+  std::string_view ScanText(TextPos start, TextPos end) const {
+    bytes_read_ += end - start;
+    return RawText(start, end);
+  }
+
+  /// Full corpus view (used by index builders; indexing cost is reported
+  /// separately from query-time scanning, so this is unaccounted).
+  std::string_view full_text() const { return text_; }
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  void ResetBytesRead() { bytes_read_ = 0; }
+
+ private:
+  struct Doc {
+    std::string name;
+    TextPos start;
+    TextPos end;
+  };
+
+  std::string text_;
+  std::vector<Doc> docs_;
+  mutable uint64_t bytes_read_ = 0;
+};
+
+}  // namespace qof
+
+#endif  // QOF_TEXT_CORPUS_H_

@@ -1,0 +1,12 @@
+#include "qof/text/tokenizer.h"
+
+namespace qof {
+
+std::vector<WordToken> Tokenizer::Tokenize(std::string_view text,
+                                           TextPos base) {
+  std::vector<WordToken> out;
+  ForEachToken(text, base, [&out](const WordToken& t) { out.push_back(t); });
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,65 @@
+#ifndef QOF_TEXT_TOKENIZER_H_
+#define QOF_TEXT_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "qof/text/corpus.h"
+
+namespace qof {
+
+/// A word occurrence in the corpus: [start, end) bytes of one token.
+struct WordToken {
+  TextPos start;
+  TextPos end;
+  std::string_view text;
+};
+
+/// Splits text into maximal runs of word characters (see IsWordChar), the
+/// same tokenization a PAT-style word index applies when it is built.
+/// Punctuation attached to a word is trimmed from both ends so that
+/// "Chang\"," indexes as "Chang".
+class Tokenizer {
+ public:
+  /// Tokenizes `text`, reporting offsets relative to `base` (pass the
+  /// document/corpus start so offsets land in corpus space).
+  static std::vector<WordToken> Tokenize(std::string_view text,
+                                         TextPos base = 0);
+
+  /// Invokes `fn(WordToken)` per token without materializing a vector.
+  template <typename Fn>
+  static void ForEachToken(std::string_view text, TextPos base, Fn&& fn);
+};
+
+template <typename Fn>
+void Tokenizer::ForEachToken(std::string_view text, TextPos base, Fn&& fn) {
+  size_t i = 0;
+  const size_t n = text.size();
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '\'' || c == '-' ||
+           c == '.';
+  };
+  auto is_core = [](char c) {
+    // Token cores exclude the trimmable punctuation ('.', '-', '\'').
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  while (i < n) {
+    while (i < n && !is_word(text[i])) ++i;
+    size_t b = i;
+    while (i < n && is_word(text[i])) ++i;
+    if (b == i) continue;
+    // Trim leading/trailing punctuation so "Penn." indexes as "Penn".
+    size_t tb = b;
+    size_t te = i;
+    while (tb < te && !is_core(text[tb])) ++tb;
+    while (te > tb && !is_core(text[te - 1])) --te;
+    if (tb == te) continue;
+    fn(WordToken{base + tb, base + te, text.substr(tb, te - tb)});
+  }
+}
+
+}  // namespace qof
+
+#endif  // QOF_TEXT_TOKENIZER_H_

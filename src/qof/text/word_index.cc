@@ -1,0 +1,96 @@
+#include "qof/text/word_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qof {
+namespace {
+
+std::string FoldCase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options) {
+  WordIndex index;
+  index.options_ = options;
+  Tokenizer::ForEachToken(
+      corpus.full_text(), /*base=*/0, [&](const WordToken& t) {
+        if (options.token_filter && !options.token_filter(t)) return;
+        std::string key = options.fold_case ? FoldCase(t.text)
+                                            : std::string(t.text);
+        index.postings_[std::move(key)].push_back(t.start);
+        ++index.num_postings_;
+      });
+  // Tokens are produced in text order, so postings are already sorted;
+  // keep an assertion-friendly invariant anyway.
+  for (auto& [word, list] : index.postings_) {
+    (void)word;
+    if (!std::is_sorted(list.begin(), list.end())) {
+      std::sort(list.begin(), list.end());
+    }
+  }
+  return index;
+}
+
+const std::vector<TextPos>& WordIndex::Lookup(std::string_view word) const {
+  static const std::vector<TextPos> kEmpty;
+  std::string key = options_.fold_case ? FoldCase(word) : std::string(word);
+  auto it = postings_.find(key);
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+std::vector<TextPos> WordIndex::LookupPrefix(
+    std::string_view prefix) const {
+  std::string key = options_.fold_case ? FoldCase(prefix)
+                                       : std::string(prefix);
+  if (sorted_words_.empty() && !postings_.empty()) {
+    sorted_words_.reserve(postings_.size());
+    for (const auto& [word, list] : postings_) {
+      sorted_words_.push_back(&word);
+    }
+    std::sort(sorted_words_.begin(), sorted_words_.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+  }
+  auto lo = std::lower_bound(
+      sorted_words_.begin(), sorted_words_.end(), key,
+      [](const std::string* w, const std::string& k) { return *w < k; });
+  std::vector<TextPos> out;
+  for (auto it = lo; it != sorted_words_.end(); ++it) {
+    if ((*it)->compare(0, key.size(), key) != 0) break;
+    const std::vector<TextPos>& list = postings_.at(**it);
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+WordIndex WordIndex::FromEntries(
+    std::vector<std::pair<std::string, std::vector<TextPos>>> entries,
+    bool fold_case) {
+  WordIndex index;
+  index.options_.fold_case = fold_case;
+  for (auto& [word, postings] : entries) {
+    index.num_postings_ += postings.size();
+    index.postings_.emplace(std::move(word), std::move(postings));
+  }
+  return index;
+}
+
+uint64_t WordIndex::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [word, list] : postings_) {
+    bytes += word.size() + sizeof(std::string) +
+             list.size() * sizeof(TextPos) + sizeof(list);
+  }
+  return bytes;
+}
+
+}  // namespace qof

@@ -1,0 +1,83 @@
+#ifndef QOF_TEXT_WORD_INDEX_H_
+#define QOF_TEXT_WORD_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "qof/text/corpus.h"
+#include "qof/text/tokenizer.h"
+
+namespace qof {
+
+/// Options controlling word-index construction.
+struct WordIndexOptions {
+  /// Fold tokens to lower case before indexing and lookup.
+  bool fold_case = false;
+  /// When set, only tokens for which the filter returns true are indexed
+  /// (the paper's "selective indexing can also be done for words", §2/§7).
+  std::function<bool(const WordToken&)> token_filter;
+};
+
+/// The word index of the paper's PAT-like engine: for every word in the
+/// corpus, the sorted list of its occurrence start positions ("match
+/// points"). All postings for a word share the word's byte length, so a
+/// posting `p` denotes the corpus span [p, p + word.size()).
+class WordIndex {
+ public:
+  /// Builds the index over the whole corpus.
+  static WordIndex Build(const Corpus& corpus,
+                         WordIndexOptions options = {});
+
+  /// Sorted start positions of `word`'s occurrences (empty if absent).
+  const std::vector<TextPos>& Lookup(std::string_view word) const;
+
+  /// Merged, sorted start positions of every indexed word beginning with
+  /// `prefix` — PAT's lexical/prefix search. Uses a lazily built sorted
+  /// word directory; O(log W + hits).
+  std::vector<TextPos> LookupPrefix(std::string_view prefix) const;
+
+  /// True when the word occurs at least once.
+  bool Contains(std::string_view word) const {
+    return !Lookup(word).empty();
+  }
+
+  size_t num_distinct_words() const { return postings_.size(); }
+  uint64_t num_postings() const { return num_postings_; }
+
+  /// Approximate memory footprint in bytes (keys + postings), used by the
+  /// index-size/efficiency tradeoff experiments.
+  uint64_t ApproxBytes() const;
+
+  const WordIndexOptions& options() const { return options_; }
+
+  /// Iterates (word, postings) pairs in unspecified order — serialization
+  /// support.
+  template <typename Fn>
+  void ForEachWord(Fn&& fn) const {
+    for (const auto& [word, postings] : postings_) fn(word, postings);
+  }
+
+  /// Reassembles an index from serialized entries. Postings must be
+  /// sorted; `fold_case` must match the original build options (a
+  /// token_filter, being code, is not serializable and is dropped).
+  static WordIndex FromEntries(
+      std::vector<std::pair<std::string, std::vector<TextPos>>> entries,
+      bool fold_case);
+
+ private:
+  std::unordered_map<std::string, std::vector<TextPos>> postings_;
+  uint64_t num_postings_ = 0;
+  WordIndexOptions options_;
+  // Lazily built sorted directory of the words in postings_, for prefix
+  // lookups. Indexes are immutable after construction, so building once
+  // is safe.
+  mutable std::vector<const std::string*> sorted_words_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_TEXT_WORD_INDEX_H_

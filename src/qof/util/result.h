@@ -1,0 +1,87 @@
+#ifndef QOF_UTIL_RESULT_H_
+#define QOF_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+/// It is the library's analogue of arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK: an OK
+  /// status carries no value, which would leave the Result unusable.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qof
+
+// Propagates a non-OK Status from an expression evaluating to Status.
+#define QOF_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::qof::Status _qof_status = (expr);             \
+    if (!_qof_status.ok()) return _qof_status;      \
+  } while (false)
+
+#define QOF_CONCAT_IMPL(a, b) a##b
+#define QOF_CONCAT(a, b) QOF_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define QOF_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  QOF_ASSIGN_OR_RETURN_IMPL(QOF_CONCAT(_qof_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define QOF_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // QOF_UTIL_RESULT_H_

@@ -1,0 +1,64 @@
+#ifndef QOF_UTIL_STRING_UTIL_H_
+#define QOF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qof {
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+inline std::string_view TrimView(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' ||
+                   s[b] == '\r')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' ||
+                   s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Splits on a separator string; empty pieces are kept.
+inline std::vector<std::string_view> SplitView(std::string_view s,
+                                               std::string_view sep) {
+  std::vector<std::string_view> out;
+  size_t pos = 0;
+  while (true) {
+    size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+  return out;
+}
+
+/// Joins the pieces with a separator.
+inline std::string Join(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+/// True when `c` belongs to a word token ([A-Za-z0-9_'.-]). The apostrophe,
+/// period and hyphen keep abbreviated names ("G. F.", "O'Neil", "Smith-Lee")
+/// as single words, matching what a PAT-style word index would record.
+inline bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '\'' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace qof
+
+#endif  // QOF_UTIL_STRING_UTIL_H_

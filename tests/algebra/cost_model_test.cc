@@ -1,0 +1,100 @@
+#include "qof/algebra/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/indexer.h"
+
+namespace qof {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    BibtexGenOptions gen;
+    gen.num_references = 100;
+    gen.probe_author_rate = 0.1;
+    gen.probe_editor_rate = 0.1;
+    ASSERT_TRUE(
+        corpus_.AddDocument("gen.bib", GenerateBibtex(gen)).ok());
+    auto built = BuildIndexes(*schema, corpus_, IndexSpec::Full());
+    ASSERT_TRUE(built.ok());
+    built_ = std::make_unique<BuiltIndexes>(std::move(*built));
+  }
+
+  CostEstimate Estimate(const char* text) {
+    auto expr = ParseRegionExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    CostEstimator estimator(&built_->regions, &built_->words);
+    auto est = estimator.Estimate(**expr);
+    EXPECT_TRUE(est.ok()) << est.status().ToString();
+    return est.ok() ? *est : CostEstimate{};
+  }
+
+  Corpus corpus_;
+  std::unique_ptr<BuiltIndexes> built_;
+};
+
+TEST_F(CostModelTest, NameCardinalityIsInstanceSize) {
+  CostEstimate est = Estimate("Reference");
+  EXPECT_DOUBLE_EQ(est.cardinality, 100.0);
+  CostEstimate unknown = Estimate("Nonexistent");
+  EXPECT_DOUBLE_EQ(unknown.cardinality, 0.0);
+}
+
+TEST_F(CostModelTest, SelectionBoundedByPostings) {
+  CostEstimate est = Estimate("sigma(\"Chang\", Last_Name)");
+  auto& postings = built_->words.Lookup("Chang");
+  EXPECT_LE(est.cardinality, static_cast<double>(postings.size()));
+  EXPECT_GT(est.cardinality, 0.0);
+  // A word that never occurs estimates to zero.
+  CostEstimate none = Estimate("sigma(\"Zweig\", Last_Name)");
+  EXPECT_DOUBLE_EQ(none.cardinality, 0.0);
+}
+
+TEST_F(CostModelTest, DirectInclusionCostsMoreThanSimple) {
+  CostEstimate direct = Estimate("Reference >> Authors");
+  CostEstimate simple = Estimate("Reference > Authors");
+  EXPECT_GT(direct.work, simple.work);
+  EXPECT_DOUBLE_EQ(direct.cardinality, simple.cardinality);
+}
+
+TEST_F(CostModelTest, OptimizedFormCostsLess) {
+  // The §3.2 rewrite should be an improvement under the model too.
+  CostEstimate raw = Estimate(
+      "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)");
+  CostEstimate optimized =
+      Estimate("Reference > Authors > sigma(\"Chang\", Last_Name)");
+  EXPECT_LT(optimized.work, raw.work);
+}
+
+TEST_F(CostModelTest, SetOperatorCardinalities) {
+  CostEstimate u = Estimate("Authors | Editors");
+  CostEstimate i = Estimate("Authors & Editors");
+  CostEstimate d = Estimate("Authors - Editors");
+  CostEstimate a = Estimate("Authors");
+  CostEstimate e = Estimate("Editors");
+  EXPECT_DOUBLE_EQ(u.cardinality, a.cardinality + e.cardinality);
+  EXPECT_DOUBLE_EQ(i.cardinality,
+                   std::min(a.cardinality, e.cardinality));
+  EXPECT_DOUBLE_EQ(d.cardinality, a.cardinality);
+}
+
+TEST_F(CostModelTest, PhrasePaysVerification) {
+  CostEstimate phrase = Estimate("phrase(\"Taylor Series\", Title)");
+  CostEstimate word = Estimate("contains(\"Taylor\", Title)");
+  EXPECT_GE(phrase.work, word.work);
+}
+
+TEST_F(CostModelTest, ToStringReadable) {
+  CostEstimate est = Estimate("Reference");
+  EXPECT_NE(est.ToString().find("regions"), std::string::npos);
+  EXPECT_NE(est.ToString().find("work"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qof

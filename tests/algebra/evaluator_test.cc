@@ -1,0 +1,307 @@
+#include "qof/algebra/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+// Builds a two-reference corpus with hand-tracked region spans, mirroring
+// the paper's BibTeX example:
+//   ref 1: authors {Alice Chang, Bob Smith},   editors {Carol Chang}
+//   ref 2: authors {Dana Corliss},             editors {Eve Chang}
+class Fixture {
+ public:
+  Fixture() {
+    BeginRegion("Reference");
+    Raw("@R{ ");
+    BeginRegion("Authors");
+    Raw("AUTHORS \"");
+    Name("Alice", "Chang");
+    Raw(" and ");
+    Name("Bob", "Smith");
+    Raw("\"");
+    EndRegion("Authors");
+    Raw(" ");
+    BeginRegion("Editors");
+    Raw("EDITORS \"");
+    Name("Carol", "Chang");
+    Raw("\"");
+    EndRegion("Editors");
+    Raw(" }");
+    EndRegion("Reference");
+    Raw("  ");
+    BeginRegion("Reference");
+    Raw("@R{ ");
+    BeginRegion("Authors");
+    Raw("AUTHORS \"");
+    Name("Dana", "Corliss");
+    Raw("\"");
+    EndRegion("Authors");
+    Raw(" ");
+    BeginRegion("Editors");
+    Raw("EDITORS \"");
+    Name("Eve", "Chang");
+    Raw("\"");
+    EndRegion("Editors");
+    Raw(" }");
+    EndRegion("Reference");
+
+    EXPECT_TRUE(corpus_.AddDocument("refs.bib", text_).ok());
+    for (auto& [name, regions] : spans_) {
+      index_.Add(name, RegionSet::FromUnsorted(regions));
+    }
+    words_ = WordIndex::Build(corpus_);
+  }
+
+  // Span of the i-th (0-based) recorded region of `name`.
+  Region Span(const std::string& name, size_t i) const {
+    return spans_.at(name)[i];
+  }
+  RegionSet Set(const std::string& name,
+                std::vector<size_t> indices) const {
+    std::vector<Region> v;
+    for (size_t i : indices) v.push_back(Span(name, i));
+    return RegionSet::FromUnsorted(std::move(v));
+  }
+
+  RegionSet Eval(std::string_view expr_text, EvalStats* stats = nullptr,
+                 DirectAlgorithm algo = DirectAlgorithm::kFast) const {
+    auto expr = ParseRegionExpr(expr_text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    ExprEvaluator eval(&index_, &words_, &corpus_, algo);
+    auto result = eval.Evaluate(**expr, stats);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : RegionSet();
+  }
+
+  const RegionIndex& index() const { return index_; }
+  const WordIndex& words() const { return words_; }
+  const Corpus& corpus() const { return corpus_; }
+
+ private:
+  void Raw(std::string_view s) { text_ += s; }
+
+  void BeginRegion(const std::string& name) {
+    open_.push_back({name, text_.size()});
+  }
+  void EndRegion(const std::string& name) {
+    ASSERT_EQ(open_.back().first, name);
+    spans_[name].push_back({open_.back().second, text_.size()});
+    open_.pop_back();
+  }
+
+  void Name(const std::string& first, const std::string& last) {
+    BeginRegion("Name");
+    BeginRegion("First_Name");
+    Raw(first);
+    EndRegion("First_Name");
+    Raw(" ");
+    BeginRegion("Last_Name");
+    Raw(last);
+    EndRegion("Last_Name");
+    EndRegion("Name");
+  }
+
+  std::string text_;
+  std::vector<std::pair<std::string, uint64_t>> open_;
+  std::map<std::string, std::vector<Region>> spans_;
+  Corpus corpus_;
+  RegionIndex index_;
+  WordIndex words_;
+};
+
+TEST(EvaluatorTest, NameLookup) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("Reference").size(), 2u);
+  EXPECT_EQ(f.Eval("Name").size(), 5u);
+  EXPECT_EQ(f.Eval("Last_Name").size(), 5u);
+}
+
+TEST(EvaluatorTest, UnknownNameIsNotFound) {
+  Fixture f;
+  auto expr = ParseRegionExpr("Nonexistent");
+  ASSERT_TRUE(expr.ok());
+  ExprEvaluator eval(&f.index(), &f.words(), &f.corpus());
+  auto r = eval.Evaluate(**expr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(EvaluatorTest, SigmaSelectsRegionsThatAreTheWord) {
+  Fixture f;
+  // Chang appears as last name of Alice (ref1 author), Carol (ref1
+  // editor), Eve (ref2 editor); Last_Name order: Alice-Chang, Bob-Smith,
+  // Carol-Chang, Dana-Corliss, Eve-Chang.
+  RegionSet changs = f.Eval("sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(changs, f.Set("Last_Name", {0, 2, 4}));
+  // Not every Last_Name: Smith and Corliss are excluded.
+  EXPECT_EQ(f.Eval("sigma(\"Smith\", Last_Name)"),
+            f.Set("Last_Name", {1}));
+  EXPECT_EQ(f.Eval("sigma(\"Zweig\", Last_Name)"), RegionSet());
+  // First names are never "Chang".
+  EXPECT_EQ(f.Eval("sigma(\"Chang\", First_Name)"), RegionSet());
+}
+
+TEST(EvaluatorTest, PaperQueryFullChain) {
+  Fixture f;
+  // References where Chang is an *author*: only reference 1.
+  RegionSet result = f.Eval(
+      "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(result, f.Set("Reference", {0}));
+  // The optimized form from §3.2 gives the same answer.
+  RegionSet opt =
+      f.Eval("Reference > Authors > sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(opt, result);
+}
+
+TEST(EvaluatorTest, PartialChainYieldsSuperset) {
+  Fixture f;
+  // Without the Authors test, editors qualify too (§2's superset).
+  RegionSet all = f.Eval("Reference > sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(all, f.Set("Reference", {0, 1}));
+}
+
+TEST(EvaluatorTest, UnionOfTwoChains) {
+  Fixture f;
+  // §3.1's example: Chang-as-author or Corliss-as-editor references.
+  RegionSet r = f.Eval(
+      "(Reference > Authors > sigma(\"Chang\", Last_Name)) | "
+      "(Reference > Editors > sigma(\"Corliss\", Last_Name))");
+  EXPECT_EQ(r, f.Set("Reference", {0}));
+  RegionSet r2 = f.Eval(
+      "(Reference > Authors > sigma(\"Corliss\", Last_Name)) | "
+      "(Reference > Editors > sigma(\"Chang\", Last_Name))");
+  EXPECT_EQ(r2, f.Set("Reference", {0, 1}));
+}
+
+TEST(EvaluatorTest, IntersectionAndDifference) {
+  Fixture f;
+  RegionSet both = f.Eval(
+      "(Reference > Authors > sigma(\"Chang\", Last_Name)) & "
+      "(Reference > Editors > sigma(\"Chang\", Last_Name))");
+  EXPECT_EQ(both, f.Set("Reference", {0}));
+  RegionSet only_editor = f.Eval(
+      "(Reference > Editors > sigma(\"Chang\", Last_Name)) - "
+      "(Reference > Authors > sigma(\"Chang\", Last_Name))");
+  EXPECT_EQ(only_editor, f.Set("Reference", {1}));
+}
+
+TEST(EvaluatorTest, DirectVersusSimpleInclusion) {
+  Fixture f;
+  // Reference directly includes Authors/Editors but not Name.
+  EXPECT_EQ(f.Eval("Reference >> Authors"), f.Set("Reference", {0, 1}));
+  EXPECT_EQ(f.Eval("Reference >> Name"), RegionSet());
+  EXPECT_EQ(f.Eval("Reference > Name"), f.Set("Reference", {0, 1}));
+}
+
+TEST(EvaluatorTest, ContainedChains) {
+  Fixture f;
+  // Last names within Authors within Reference — the projection shape.
+  RegionSet author_last_names =
+      f.Eval("Last_Name < Authors < Reference");
+  EXPECT_EQ(author_last_names, f.Set("Last_Name", {0, 1, 3}));
+  RegionSet direct = f.Eval("Last_Name << Name << Authors << Reference");
+  // ⊂d chain: Last_Name directly in Name directly in Authors... but
+  // Authors is directly in Reference, Name directly in Authors, Last_Name
+  // directly in Name: all hold for author names.
+  EXPECT_EQ(direct, f.Set("Last_Name", {0, 1, 3}));
+  // Editors' last names are *not* within Authors.
+  EXPECT_EQ(Intersect(author_last_names, f.Set("Last_Name", {2, 4})),
+            RegionSet());
+}
+
+TEST(EvaluatorTest, ContainsSelection) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("contains(\"Chang\", Authors)"), f.Set("Authors", {0}));
+  EXPECT_EQ(f.Eval("contains(\"Chang\", Editors)"),
+            f.Set("Editors", {0, 1}));
+  EXPECT_EQ(f.Eval("contains(\"Corliss\", Reference)"),
+            f.Set("Reference", {1}));
+}
+
+TEST(EvaluatorTest, PhraseSelectionScansBytes) {
+  Fixture f;
+  EvalStats stats;
+  RegionSet names = f.Eval("phrase(\"Alice Chang\", Name)", &stats);
+  EXPECT_EQ(names, f.Set("Name", {0}));
+  EXPECT_GT(stats.bytes_scanned, 0u);
+  EXPECT_EQ(stats.select_ops, 1u);
+}
+
+TEST(EvaluatorTest, MultiWordSigmaActsAsPhrase) {
+  Fixture f;
+  EvalStats stats;
+  RegionSet names = f.Eval("sigma(\"Dana Corliss\", Name)", &stats);
+  EXPECT_EQ(names, f.Set("Name", {3}));
+  EXPECT_GT(stats.bytes_scanned, 0u);
+}
+
+TEST(EvaluatorTest, InnermostOutermost) {
+  Fixture f;
+  RegionSet inner = f.Eval("innermost(Reference | Authors)");
+  EXPECT_EQ(inner, f.Set("Authors", {0, 1}));
+  RegionSet outer = f.Eval("outermost(Reference | Authors)");
+  EXPECT_EQ(outer, f.Set("Reference", {0, 1}));
+}
+
+TEST(EvaluatorTest, StatsCountOperations) {
+  Fixture f;
+  EvalStats stats;
+  f.Eval("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)",
+         &stats);
+  EXPECT_EQ(stats.direct_incl_ops, 3u);
+  EXPECT_EQ(stats.select_ops, 1u);
+  EXPECT_EQ(stats.simple_incl_ops, 0u);
+  EXPECT_GT(stats.regions_produced, 0u);
+  EXPECT_GT(stats.max_intermediate, 0u);
+
+  EvalStats stats2;
+  f.Eval("Reference > Authors > sigma(\"Chang\", Last_Name)", &stats2);
+  EXPECT_EQ(stats2.direct_incl_ops, 0u);
+  EXPECT_EQ(stats2.simple_incl_ops, 2u);
+  EXPECT_EQ(stats2.total_ops(), 3u);
+}
+
+TEST(EvaluatorTest, LayeredAlgorithmAgrees) {
+  Fixture f;
+  const char* exprs[] = {
+      "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)",
+      "Reference >> Authors",
+      "Reference >> Name",
+      "Authors >> Name",
+      "Name >> sigma(\"Chang\", Last_Name)",
+      "Last_Name << Name << Authors << Reference",
+  };
+  for (const char* e : exprs) {
+    EXPECT_EQ(f.Eval(e, nullptr, DirectAlgorithm::kLayered),
+              f.Eval(e, nullptr, DirectAlgorithm::kFast))
+        << e;
+  }
+}
+
+TEST(EvaluatorTest, SelectionRequiresWordIndex) {
+  Fixture f;
+  auto expr = ParseRegionExpr("sigma(\"Chang\", Last_Name)");
+  ASSERT_TRUE(expr.ok());
+  ExprEvaluator eval(&f.index(), nullptr, nullptr);
+  auto r = eval.Evaluate(**expr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(EvaluatorTest, EmptyWordRejected) {
+  Fixture f;
+  auto expr = ParseRegionExpr("sigma(\"\", Last_Name)");
+  ASSERT_TRUE(expr.ok());
+  ExprEvaluator eval(&f.index(), &f.words(), &f.corpus());
+  EXPECT_FALSE(eval.Evaluate(**expr).ok());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,82 @@
+#include "qof/algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+TEST(ExprTest, NameLeaf) {
+  auto e = RegionExpr::Name("Reference");
+  EXPECT_EQ(e->kind(), ExprKind::kName);
+  EXPECT_EQ(e->name(), "Reference");
+  EXPECT_EQ(e->Size(), 1u);
+  EXPECT_EQ(e->ToString(), "Reference");
+}
+
+TEST(ExprTest, PaperExpressionE1) {
+  // Reference ⊃d Authors ⊃d Name ⊃d σ"Chang"(Last_Name), grouped right.
+  auto e = RegionExpr::DirectlyIncluding(
+      RegionExpr::Name("Reference"),
+      RegionExpr::DirectlyIncluding(
+          RegionExpr::Name("Authors"),
+          RegionExpr::DirectlyIncluding(
+              RegionExpr::Name("Name"),
+              RegionExpr::SelectMatches("Chang",
+                                        RegionExpr::Name("Last_Name")))));
+  EXPECT_EQ(e->ToString(),
+            "(Reference >> (Authors >> (Name >> sigma(\"Chang\", "
+            "Last_Name))))");
+  EXPECT_EQ(e->CountInclusionOps(/*direct_only=*/true), 3u);
+  EXPECT_EQ(e->CountInclusionOps(/*direct_only=*/false), 3u);
+  EXPECT_EQ(e->Size(), 8u);
+}
+
+TEST(ExprTest, MixedOpsCounting) {
+  auto e = RegionExpr::Including(
+      RegionExpr::Name("A"),
+      RegionExpr::DirectlyIncluding(RegionExpr::Name("B"),
+                                    RegionExpr::Name("C")));
+  EXPECT_EQ(e->CountInclusionOps(true), 1u);
+  EXPECT_EQ(e->CountInclusionOps(false), 2u);
+}
+
+TEST(ExprTest, StructuralEquality) {
+  auto a = RegionExpr::Union(RegionExpr::Name("A"), RegionExpr::Name("B"));
+  auto b = RegionExpr::Union(RegionExpr::Name("A"), RegionExpr::Name("B"));
+  auto c = RegionExpr::Union(RegionExpr::Name("B"), RegionExpr::Name("A"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  auto s1 = RegionExpr::SelectMatches("x", RegionExpr::Name("A"));
+  auto s2 = RegionExpr::SelectMatches("y", RegionExpr::Name("A"));
+  auto s3 = RegionExpr::SelectContains("x", RegionExpr::Name("A"));
+  EXPECT_FALSE(s1->Equals(*s2));
+  EXPECT_FALSE(s1->Equals(*s3));
+}
+
+TEST(ExprTest, KindPredicates) {
+  EXPECT_TRUE(IsBinaryKind(ExprKind::kUnion));
+  EXPECT_TRUE(IsBinaryKind(ExprKind::kDirectlyIncluded));
+  EXPECT_FALSE(IsBinaryKind(ExprKind::kName));
+  EXPECT_FALSE(IsBinaryKind(ExprKind::kInnermost));
+  EXPECT_TRUE(IsSelectKind(ExprKind::kSelectPhrase));
+  EXPECT_FALSE(IsSelectKind(ExprKind::kIncluding));
+  EXPECT_TRUE(IsInclusionKind(ExprKind::kIncluded));
+  EXPECT_FALSE(IsInclusionKind(ExprKind::kUnion));
+}
+
+TEST(ExprTest, AllFormsPrint) {
+  auto n = RegionExpr::Name("A");
+  EXPECT_EQ(RegionExpr::Intersect(n, n)->ToString(), "(A & A)");
+  EXPECT_EQ(RegionExpr::Difference(n, n)->ToString(), "(A - A)");
+  EXPECT_EQ(RegionExpr::Included(n, n)->ToString(), "(A < A)");
+  EXPECT_EQ(RegionExpr::DirectlyIncluded(n, n)->ToString(), "(A << A)");
+  EXPECT_EQ(RegionExpr::Innermost(n)->ToString(), "innermost(A)");
+  EXPECT_EQ(RegionExpr::Outermost(n)->ToString(), "outermost(A)");
+  EXPECT_EQ(RegionExpr::SelectContains("w", n)->ToString(),
+            "contains(\"w\", A)");
+  EXPECT_EQ(RegionExpr::SelectPhrase("a b", n)->ToString(),
+            "phrase(\"a b\", A)");
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,105 @@
+#include "qof/algebra/inclusion_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+InclusionChain Chain(std::string_view text) {
+  auto expr = ParseRegionExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto chain = InclusionChain::FromExpr(**expr);
+  EXPECT_TRUE(chain.ok()) << chain.status().ToString() << " for " << text;
+  return chain.ok() ? *chain : InclusionChain{};
+}
+
+TEST(InclusionChainTest, FromPaperE1) {
+  InclusionChain c =
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(c.orientation, InclusionChain::Orientation::kContains);
+  EXPECT_EQ(c.names,
+            (std::vector<std::string>{"Reference", "Authors", "Name",
+                                      "Last_Name"}));
+  EXPECT_EQ(c.direct, (std::vector<bool>{true, true, true}));
+  EXPECT_FALSE(c.sels[0].has_value());
+  ASSERT_TRUE(c.sels[3].has_value());
+  EXPECT_EQ(c.sels[3]->word, "Chang");
+  EXPECT_EQ(c.CountDirectOps(), 3u);
+}
+
+TEST(InclusionChainTest, MixedOperators) {
+  InclusionChain c = Chain("A > B >> C");
+  EXPECT_EQ(c.direct, (std::vector<bool>{false, true}));
+  EXPECT_EQ(c.CountDirectOps(), 1u);
+}
+
+TEST(InclusionChainTest, ContainedOrientation) {
+  InclusionChain c = Chain("Last_Name << Name << Authors << Reference");
+  EXPECT_EQ(c.orientation, InclusionChain::Orientation::kContained);
+  EXPECT_EQ(c.names,
+            (std::vector<std::string>{"Last_Name", "Name", "Authors",
+                                      "Reference"}));
+  // Link(i) reports (container, containee) in RIG orientation.
+  auto [p0, c0] = c.Link(0);
+  EXPECT_EQ(p0, "Name");
+  EXPECT_EQ(c0, "Last_Name");
+}
+
+TEST(InclusionChainTest, LinkOrientationContains) {
+  InclusionChain c = Chain("Reference > Authors");
+  auto [p, ch] = c.Link(0);
+  EXPECT_EQ(p, "Reference");
+  EXPECT_EQ(ch, "Authors");
+}
+
+TEST(InclusionChainTest, SingleNameChain) {
+  InclusionChain c = Chain("sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(c.length(), 1u);
+  ASSERT_TRUE(c.sels[0].has_value());
+  EXPECT_EQ(c.sels[0]->kind, ExprKind::kSelectMatches);
+}
+
+TEST(InclusionChainTest, RoundTripsThroughExpr) {
+  const char* cases[] = {
+      "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)",
+      "Reference > Authors > sigma(\"Chang\", Last_Name)",
+      "Last_Name << Name << Authors << Reference",
+      "A > B",
+      "contains(\"x\", A) > B >> phrase(\"y z\", C)",
+      "Last_Name",
+  };
+  for (const char* text : cases) {
+    InclusionChain c = Chain(text);
+    auto expr = c.ToExpr();
+    auto back = InclusionChain::FromExpr(*expr);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(*back, c) << text;
+  }
+}
+
+TEST(InclusionChainTest, ToStringReadable) {
+  InclusionChain c =
+      Chain("Reference > Authors > sigma(\"Chang\", Last_Name)");
+  EXPECT_EQ(c.ToString(),
+            "Reference > Authors > sigma(\"Chang\", Last_Name)");
+}
+
+TEST(InclusionChainTest, RejectsMixedOrientation) {
+  auto expr = ParseRegionExpr("A > B < C");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(InclusionChain::FromExpr(**expr).ok());
+}
+
+TEST(InclusionChainTest, RejectsNonChainShapes) {
+  for (const char* text :
+       {"A | B", "(A > B) > C", "A > (B | C)", "innermost(A) > B"}) {
+    auto expr = ParseRegionExpr(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    EXPECT_FALSE(InclusionChain::FromExpr(**expr).ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,119 @@
+#include "qof/algebra/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+// Parses, expecting success.
+RegionExprPtr Parse(std::string_view s) {
+  auto r = ParseRegionExpr(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(AlgebraParserTest, BareName) {
+  auto e = Parse("Reference");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kName);
+  EXPECT_EQ(e->name(), "Reference");
+}
+
+TEST(AlgebraParserTest, PaperE1RoundTrips) {
+  auto e = Parse(
+      "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kDirectlyIncluding);
+  // Right-grouping: left child is the bare name Reference.
+  EXPECT_EQ(e->left()->kind(), ExprKind::kName);
+  auto round = Parse(e->ToString());
+  ASSERT_NE(round, nullptr);
+  EXPECT_TRUE(e->Equals(*round));
+}
+
+TEST(AlgebraParserTest, PaperSection31Example) {
+  // (Reference ⊃ Authors ⊃ σChang(Last_Name)) ∪
+  // (Reference ⊃ Editors ⊃ σCorliss(Last_Name))
+  auto e = Parse(
+      "(Reference > Authors > sigma(\"Chang\", Last_Name)) | "
+      "(Reference > Editors > sigma(\"Corliss\", Last_Name))");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kUnion);
+  EXPECT_EQ(e->left()->kind(), ExprKind::kIncluding);
+  EXPECT_EQ(e->right()->kind(), ExprKind::kIncluding);
+}
+
+TEST(AlgebraParserTest, InclusionIsRightAssociative) {
+  auto e = Parse("A > B > C");
+  ASSERT_NE(e, nullptr);
+  // A > (B > C)
+  EXPECT_EQ(e->left()->kind(), ExprKind::kName);
+  EXPECT_EQ(e->right()->kind(), ExprKind::kIncluding);
+}
+
+TEST(AlgebraParserTest, SetOpsAreLeftAssociative) {
+  auto e = Parse("A | B - C");
+  ASSERT_NE(e, nullptr);
+  // (A | B) - C
+  EXPECT_EQ(e->kind(), ExprKind::kDifference);
+  EXPECT_EQ(e->left()->kind(), ExprKind::kUnion);
+}
+
+TEST(AlgebraParserTest, InclusionBindsTighterThanSetOps) {
+  auto e = Parse("A > B | C > D");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kUnion);
+  EXPECT_EQ(e->left()->kind(), ExprKind::kIncluding);
+  EXPECT_EQ(e->right()->kind(), ExprKind::kIncluding);
+}
+
+TEST(AlgebraParserTest, ContainedChains) {
+  auto e = Parse("Last_Name << Name << Authors << Reference");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind(), ExprKind::kDirectlyIncluded);
+  auto e2 = Parse("Last_Name < Authors < Reference");
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->kind(), ExprKind::kIncluded);
+}
+
+TEST(AlgebraParserTest, FunctionForms) {
+  EXPECT_EQ(Parse("matches(\"w\", A)")->kind(), ExprKind::kSelectMatches);
+  EXPECT_EQ(Parse("sigma(\"w\", A)")->kind(), ExprKind::kSelectMatches);
+  EXPECT_EQ(Parse("contains(\"w\", A)")->kind(),
+            ExprKind::kSelectContains);
+  EXPECT_EQ(Parse("phrase(\"a b c\", A)")->kind(),
+            ExprKind::kSelectPhrase);
+  EXPECT_EQ(Parse("innermost(A)")->kind(), ExprKind::kInnermost);
+  EXPECT_EQ(Parse("outermost(A | B)")->kind(), ExprKind::kOutermost);
+}
+
+TEST(AlgebraParserTest, WhitespaceInsensitive) {
+  auto a = Parse("A>>B");
+  auto b = Parse("  A  >>  B  ");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->Equals(*b));
+}
+
+TEST(AlgebraParserTest, Errors) {
+  EXPECT_FALSE(ParseRegionExpr("").ok());
+  EXPECT_FALSE(ParseRegionExpr("A >").ok());
+  EXPECT_FALSE(ParseRegionExpr("A B").ok());
+  EXPECT_FALSE(ParseRegionExpr("(A").ok());
+  EXPECT_FALSE(ParseRegionExpr("sigma(Chang, A)").ok());   // unquoted word
+  EXPECT_FALSE(ParseRegionExpr("sigma(\"w\" A)").ok());    // missing comma
+  EXPECT_FALSE(ParseRegionExpr("sigma(\"w, A)").ok());     // unterminated
+  EXPECT_FALSE(ParseRegionExpr("innermost A").ok());
+  EXPECT_FALSE(ParseRegionExpr("123abc").ok());
+  EXPECT_TRUE(ParseRegionExpr("_x9").ok());
+}
+
+TEST(AlgebraParserTest, ErrorsReportOffset) {
+  auto r = ParseRegionExpr("A > ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,113 @@
+// Tests of PAT's proximity (near) and frequency (atleast) selections.
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/evaluator.h"
+#include "qof/algebra/inclusion_chain.h"
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+class ProximityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Word starts: taylor@0, series@7, here@14, taylor@23, far@30,
+    // away@34, series@39. Text length 45.
+    const char* text = "taylor series here ... taylor far away series";
+    ASSERT_TRUE(corpus_.AddDocument("t", text).ok());
+    // Three regions: whole text, the tight first phrase, the far tail.
+    index_.Add("Doc", RegionSet::FromUnsorted({{0, 45}}));
+    index_.Add("Head", RegionSet::FromUnsorted({{0, 18}}));
+    index_.Add("Tail", RegionSet::FromUnsorted({{23, 45}}));
+    words_ = WordIndex::Build(corpus_);
+  }
+
+  RegionSet Eval(const char* text) {
+    auto expr = ParseRegionExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    ExprEvaluator eval(&index_, &words_, &corpus_);
+    auto r = eval.Evaluate(**expr);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : RegionSet();
+  }
+
+  Corpus corpus_;
+  RegionIndex index_;
+  WordIndex words_;
+};
+
+TEST_F(ProximityTest, NearWithinWindow) {
+  // "taylor"(0) and "series"(7): 7 bytes apart.
+  EXPECT_EQ(Eval("near(\"taylor\", \"series\", 10, Head)").size(), 1u);
+  EXPECT_EQ(Eval("near(\"taylor\", \"series\", 5, Head)").size(), 0u);
+  // In the tail, taylor(23) and series(39) are 16 apart.
+  EXPECT_EQ(Eval("near(\"taylor\", \"series\", 16, Tail)").size(), 1u);
+  EXPECT_EQ(Eval("near(\"taylor\", \"series\", 15, Tail)").size(), 0u);
+  // The whole doc qualifies via the head pair even with a small window.
+  EXPECT_EQ(Eval("near(\"taylor\", \"series\", 10, Doc)").size(), 1u);
+}
+
+TEST_F(ProximityTest, NearIsSymmetricInDistance) {
+  EXPECT_EQ(Eval("near(\"series\", \"taylor\", 10, Head)").size(), 1u);
+  EXPECT_EQ(Eval("near(\"series\", \"taylor\", 5, Head)").size(), 0u);
+}
+
+TEST_F(ProximityTest, NearMissingWordSelectsNothing) {
+  EXPECT_EQ(Eval("near(\"taylor\", \"zebra\", 100, Doc)").size(), 0u);
+}
+
+TEST_F(ProximityTest, NearBothOccurrencesMustBeInside) {
+  // Head contains taylor+series; Tail's series(40) is outside Head.
+  EXPECT_EQ(Eval("near(\"far\", \"series\", 50, Head)").size(), 0u);
+}
+
+TEST_F(ProximityTest, AtLeastCountsOccurrences) {
+  EXPECT_EQ(Eval("atleast(\"taylor\", 1, Doc)").size(), 1u);
+  EXPECT_EQ(Eval("atleast(\"taylor\", 2, Doc)").size(), 1u);
+  EXPECT_EQ(Eval("atleast(\"taylor\", 3, Doc)").size(), 0u);
+  EXPECT_EQ(Eval("atleast(\"taylor\", 2, Head)").size(), 0u);
+  EXPECT_EQ(Eval("atleast(\"series\", 1, Tail)").size(), 1u);
+}
+
+TEST_F(ProximityTest, AtLeastZeroSelectsAll) {
+  EXPECT_EQ(Eval("atleast(\"zebra\", 0, Doc)").size(), 1u);
+}
+
+TEST_F(ProximityTest, ParserRoundTrip) {
+  auto e = ParseRegionExpr("near(\"a\", \"b\", 12, Doc)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), ExprKind::kSelectNear);
+  EXPECT_EQ((*e)->word(), "a");
+  EXPECT_EQ((*e)->word2(), "b");
+  EXPECT_EQ((*e)->param(), 12u);
+  auto round = ParseRegionExpr((*e)->ToString());
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE((*e)->Equals(**round));
+
+  auto a = ParseRegionExpr("atleast(\"w\", 3, Doc)");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->param(), 3u);
+  auto around = ParseRegionExpr((*a)->ToString());
+  ASSERT_TRUE(around.ok());
+  EXPECT_TRUE((*a)->Equals(**around));
+}
+
+TEST_F(ProximityTest, ParserErrors) {
+  EXPECT_FALSE(ParseRegionExpr("near(\"a\", \"b\", Doc)").ok());
+  EXPECT_FALSE(ParseRegionExpr("near(\"a\", 3, Doc)").ok());
+  EXPECT_FALSE(ParseRegionExpr("atleast(\"a\", \"b\", Doc)").ok());
+  EXPECT_FALSE(ParseRegionExpr("atleast(3, \"a\", Doc)").ok());
+}
+
+TEST_F(ProximityTest, ChainsSupportProximitySelections) {
+  auto e = ParseRegionExpr("Doc > near(\"taylor\", \"series\", 10, Head)");
+  ASSERT_TRUE(e.ok());
+  auto chain = InclusionChain::FromExpr(**e);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_TRUE(chain->ToExpr()->Equals(**e));
+  EXPECT_NE(chain->ToString().find("near("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,71 @@
+// Property test: ToString of any region expression re-parses to a
+// structurally identical tree (the textual algebra is a faithful,
+// precedence-correct surface syntax).
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+RegionExprPtr RandomExpr(std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> name_dist(0, 5);
+  auto name = [&] {
+    static const char* kNames[] = {"Reference", "Authors", "Editors",
+                                   "Name", "Last_Name", "Key"};
+    return RegionExpr::Name(kNames[name_dist(rng)]);
+  };
+  if (depth <= 0) return name();
+  std::uniform_int_distribution<int> kind_dist(0, 11);
+  auto child = [&] { return RandomExpr(rng, depth - 1); };
+  switch (kind_dist(rng)) {
+    case 0:
+      return RegionExpr::Union(child(), child());
+    case 1:
+      return RegionExpr::Intersect(child(), child());
+    case 2:
+      return RegionExpr::Difference(child(), child());
+    case 3:
+      return RegionExpr::Including(child(), child());
+    case 4:
+      return RegionExpr::Included(child(), child());
+    case 5:
+      return RegionExpr::DirectlyIncluding(child(), child());
+    case 6:
+      return RegionExpr::DirectlyIncluded(child(), child());
+    case 7:
+      return RegionExpr::SelectMatches("Chang", child());
+    case 8:
+      return RegionExpr::SelectContains("Taylor", child());
+    case 9:
+      return RegionExpr::SelectPhrase("point algorithm", child());
+    case 10:
+      return RegionExpr::Innermost(child());
+    default:
+      return RegionExpr::Outermost(child());
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(0u, 10u));
+
+TEST_P(RoundTripTest, ToStringReparsesEqual) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    RegionExprPtr expr = RandomExpr(rng, 4);
+    std::string text = expr->ToString();
+    auto reparsed = ParseRegionExpr(text);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\n  text: " << text;
+    EXPECT_TRUE(expr->Equals(**reparsed)) << text;
+    // And printing again is a fixpoint.
+    EXPECT_EQ((*reparsed)->ToString(), text);
+  }
+}
+
+}  // namespace
+}  // namespace qof

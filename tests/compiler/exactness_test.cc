@@ -1,0 +1,121 @@
+#include "qof/compiler/exactness.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+#include "qof/datagen/schemas.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+class ExactnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    rig_ = DeriveFullRig(*schema);
+  }
+
+  InclusionChain Chain(std::string_view text) {
+    auto expr = ParseRegionExpr(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto chain = InclusionChain::FromExpr(**expr);
+    EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+    return chain.ok() ? *chain : InclusionChain{};
+  }
+
+  Rig rig_;
+};
+
+TEST_F(ExactnessTest, FullIndexKeepsChainExact) {
+  auto schema = BibtexSchema();
+  std::set<std::string> all;
+  for (const std::string& n : schema->IndexableNames()) all.insert(n);
+  auto p = ProjectChain(
+      rig_, all,
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->view_indexed);
+  EXPECT_TRUE(p->exact);
+  EXPECT_EQ(p->chain.names.size(), 4u);
+}
+
+TEST_F(ExactnessTest, PaperPartialIndexIsInexact) {
+  // §6.1's Ip = {Reference, Key, Last_Name}: the Authors test is lost and
+  // editors slip into the candidates.
+  std::set<std::string> ip = {"Reference", "Key", "Last_Name"};
+  auto p = ProjectChain(
+      rig_, ip,
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->view_indexed);
+  EXPECT_FALSE(p->exact);
+  EXPECT_EQ(p->chain.ToString(),
+            "Reference >> sigma(\"Chang\", Last_Name)");
+}
+
+TEST_F(ExactnessTest, IndexingAuthorsRestoresExactness) {
+  // §6.3: with Authors indexed, Reference ⊃d Authors matches a unique
+  // path and Authors ⊃d Last_Name matches only Authors->Name->Last_Name.
+  std::set<std::string> ip = {"Reference", "Authors", "Last_Name"};
+  auto p = ProjectChain(
+      rig_, ip,
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->exact);
+  EXPECT_EQ(p->chain.ToString(),
+            "Reference >> Authors >> sigma(\"Chang\", Last_Name)");
+}
+
+TEST_F(ExactnessTest, BypassThroughUnindexedBreaksExactness) {
+  // Index Reference and Name only: Reference ⊃d Name matches two
+  // derivations (via Authors and via Editors) — candidates remain a
+  // superset for an Authors-specific query... but for a query on Name
+  // itself both derivations are wanted. Exactness of the *link* is about
+  // unique derivation; multiplicity 2 ⇒ inexact.
+  std::set<std::string> ip = {"Reference", "Name"};
+  auto p = ProjectChain(rig_, ip, Chain("Reference >> Authors >> Name"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->exact);
+  EXPECT_EQ(p->chain.ToString(), "Reference >> Name");
+}
+
+TEST_F(ExactnessTest, WildcardLinkStaysExact) {
+  std::set<std::string> ip = {"Reference", "Last_Name"};
+  // Reference > σ(Last_Name) — the *X form: ⊃ means "any derivation",
+  // which the index answers exactly.
+  auto p = ProjectChain(rig_, ip,
+                        Chain("Reference > sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->exact);
+}
+
+TEST_F(ExactnessTest, UnindexedViewReported) {
+  std::set<std::string> ip = {"Authors", "Last_Name"};
+  auto p = ProjectChain(rig_, ip, Chain("Reference >> Authors"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->view_indexed);
+  EXPECT_FALSE(p->exact);
+}
+
+TEST_F(ExactnessTest, SelectionOnDroppedNameDegradesToContains) {
+  std::set<std::string> ip = {"Reference", "Authors"};
+  auto p = ProjectChain(
+      rig_, ip,
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->exact);
+  // The σ moves to Authors as a containment test.
+  EXPECT_EQ(p->chain.ToString(),
+            "Reference >> contains(\"Chang\", Authors)");
+}
+
+TEST_F(ExactnessTest, RejectsContainedChains) {
+  std::set<std::string> ip = {"Reference"};
+  auto chain = Chain("Last_Name << Reference");
+  EXPECT_FALSE(ProjectChain(rig_, ip, chain).ok());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,132 @@
+#include "qof/compiler/index_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+#include "qof/compiler/exactness.h"
+#include "qof/datagen/schemas.h"
+#include "qof/optimizer/optimizer.h"
+#include "qof/query/parser.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+class IndexAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    rig_ = DeriveFullRig(*schema);
+  }
+
+  InclusionChain Chain(std::string_view text) {
+    auto expr = ParseRegionExpr(text);
+    EXPECT_TRUE(expr.ok());
+    auto chain = InclusionChain::FromExpr(**expr);
+    EXPECT_TRUE(chain.ok());
+    return chain.ok() ? *chain : InclusionChain{};
+  }
+
+  Rig rig_;
+};
+
+TEST_F(IndexAdvisorTest, FlagshipWorkloadNeedsFewIndexes) {
+  auto advice = AdviseIndexes(
+      rig_, "Reference",
+      {Chain(
+          "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)")});
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  // Optimized form is Reference > Authors > σ(Last_Name): three names,
+  // no ⊃d left, so nothing more is needed.
+  EXPECT_EQ(advice->names, (std::set<std::string>{"Reference", "Authors",
+                                                  "Last_Name"}));
+}
+
+TEST_F(IndexAdvisorTest, AdvisedSetIsSufficient) {
+  std::vector<InclusionChain> workload = {
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"),
+      Chain("Reference >> Editors >> Name >> sigma(\"Corliss\", "
+            "Last_Name)"),
+      Chain("Reference >> Key"),
+  };
+  auto advice = AdviseIndexes(rig_, "Reference", workload);
+  ASSERT_TRUE(advice.ok());
+  ChainOptimizer full(&rig_);
+  for (const InclusionChain& chain : workload) {
+    auto outcome = full.Optimize(chain);
+    ASSERT_TRUE(outcome.ok());
+    auto projection = ProjectChain(rig_, advice->names, outcome->chain);
+    ASSERT_TRUE(projection.ok());
+    EXPECT_TRUE(projection->exact) << chain.ToString();
+  }
+}
+
+TEST_F(IndexAdvisorTest, AdvisedSetIsSmallerThanFullIndexing) {
+  auto schema = BibtexSchema();
+  auto advice = AdviseIndexes(
+      rig_, "Reference",
+      {Chain(
+          "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)")});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_LT(advice->names.size(), schema->IndexableNames().size());
+}
+
+TEST_F(IndexAdvisorTest, DirectLinkGetsBlockingInterior) {
+  // Workload keeps a ⊃d: Reference ⊃d Key (only path, relaxes — pick one
+  // that cannot relax). Use a RIG with an alternate derivation.
+  Rig g;
+  g.AddEdge("A", "B");
+  g.AddEdge("A", "X");
+  g.AddEdge("X", "B");
+  // A ⊃d B cannot relax (two paths); advising must index a blocker on
+  // A -> X -> B, i.e. X.
+  auto advice = AdviseIndexes(g, "A", {Chain("A >> B")});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->names.count("X") == 1) << [&] {
+    std::string s;
+    for (const auto& n : advice->names) s += n + " ";
+    return s;
+  }();
+}
+
+TEST_F(IndexAdvisorTest, TrivialWorkloadChainSkipped) {
+  auto advice =
+      AdviseIndexes(rig_, "Reference", {Chain("Key > Last_Name")});
+  ASSERT_TRUE(advice.ok());
+  // Only the view itself is required.
+  EXPECT_EQ(advice->names, (std::set<std::string>{"Reference"}));
+}
+
+TEST_F(IndexAdvisorTest, AdviseFromFqlQueries) {
+  std::vector<SelectQuery> queries;
+  for (const char* fql :
+       {"SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+        "\"Chang\" AND r.Year = \"1982\"",
+        "SELECT r.Editors.Name.Last_Name FROM References r",
+        "SELECT r FROM References r WHERE r.Editors.Name = "
+        "r.Authors.Name"}) {
+    auto q = ParseFql(fql);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    queries.push_back(*q);
+  }
+  auto advice = AdviseIndexesForQueries(rig_, "Reference", queries);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  // Everything the three queries need — and the editor-side Name for the
+  // projection chain.
+  for (const char* name :
+       {"Reference", "Authors", "Editors", "Last_Name", "Year", "Name"}) {
+    EXPECT_TRUE(advice->names.count(name) == 1) << name;
+  }
+  auto schema = BibtexSchema();
+  EXPECT_LT(advice->names.size(), schema->IndexableNames().size());
+}
+
+TEST_F(IndexAdvisorTest, EmptyWorkloadJustViews) {
+  auto advice = AdviseIndexes(rig_, "Reference", {});
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->names, (std::set<std::string>{"Reference"}));
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,235 @@
+#include "qof/compiler/query_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/schemas.h"
+#include "qof/query/parser.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+class QueryCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    rig_ = DeriveFullRig(*schema);
+    all_names_ = std::set<std::string>();
+    for (const std::string& n : schema->IndexableNames()) {
+      all_names_.insert(n);
+    }
+  }
+
+  QueryPlan Compile(std::string_view fql,
+                    const std::set<std::string>& indexed) {
+    auto q = ParseFql(fql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    QueryCompiler compiler(&rig_, indexed, "Reference");
+    auto plan = compiler.Compile(*q);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : QueryPlan{};
+  }
+
+  Rig rig_;
+  std::set<std::string> all_names_;
+};
+
+TEST_F(QueryCompilerTest, FlagshipQueryFullIndexIsExact) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_FALSE(plan.trivially_empty);
+  // The optimizer produced the §3.2 e2 form.
+  EXPECT_EQ(plan.candidates->ToString(),
+            "(Reference > (Authors > sigma(\"Chang\", Last_Name)))");
+}
+
+TEST_F(QueryCompilerTest, PartialIndexYieldsSupersetPlan) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      {"Reference", "Key", "Last_Name"});
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_FALSE(plan.exact);
+  // §6.1 candidate expression (⊃d relaxes to ⊃: in the partial RIG the
+  // edge Reference->Last_Name is the only path).
+  EXPECT_EQ(plan.candidates->ToString(),
+            "(Reference > sigma(\"Chang\", Last_Name))");
+}
+
+TEST_F(QueryCompilerTest, UnindexedViewFallsBack) {
+  QueryPlan plan = Compile("SELECT r FROM References r",
+                           {"Key", "Last_Name"});
+  EXPECT_FALSE(plan.view_indexed);
+  EXPECT_EQ(plan.candidates, nullptr);
+}
+
+TEST_F(QueryCompilerTest, NoWhereSelectsAllViewRegions) {
+  QueryPlan plan = Compile("SELECT r FROM References r", all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.candidates->ToString(), "Reference");
+}
+
+TEST_F(QueryCompilerTest, TrivialQueryDetected) {
+  // Key regions never contain Last_Name regions at any depth: the ⊃ link
+  // from the wildcard has no RIG path (Prop. 3.3(ii), the paper's e3).
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Key.*X.Last_Name = \"x\"",
+      all_names_);
+  EXPECT_TRUE(plan.trivially_empty);
+  EXPECT_EQ(plan.candidates, nullptr);
+}
+
+TEST_F(QueryCompilerTest, NonSchemaPathIsAnError) {
+  // A plain attribute step that follows no RIG edge is a semantic error,
+  // not an empty result.
+  auto q = ParseFql(
+      "SELECT r FROM References r WHERE r.Key.Last_Name = \"x\"");
+  ASSERT_TRUE(q.ok());
+  QueryCompiler compiler(&rig_, all_names_, "Reference");
+  EXPECT_FALSE(compiler.Compile(*q).ok());
+}
+
+TEST_F(QueryCompilerTest, AndOrNotCombination) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Year = \"1982\" AND NOT "
+      "r.Publisher = \"SIAM\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  std::string s = plan.candidates->ToString();
+  EXPECT_NE(s.find("&"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST_F(QueryCompilerTest, NotOverInexactChildFallsBackToAll) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      {"Reference", "Last_Name"});
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_FALSE(plan.exact);
+  EXPECT_EQ(plan.candidates->ToString(), "Reference");
+}
+
+TEST_F(QueryCompilerTest, OrOfExactLeavesStaysExact) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE "
+      "r.Authors.Name.Last_Name = \"Chang\" OR "
+      "r.Editors.Name.Last_Name = \"Corliss\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.candidates->kind(), ExprKind::kUnion);
+}
+
+TEST_F(QueryCompilerTest, WildcardStarCompilesToPlainInclusion) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.candidates->ToString(),
+            "(Reference > sigma(\"Chang\", Last_Name))");
+}
+
+TEST_F(QueryCompilerTest, WildcardOneCompilesToUnion) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.?A.Name.Last_Name = \"Chang\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.candidates->kind(), ExprKind::kUnion);
+}
+
+TEST_F(QueryCompilerTest, PhraseLiteralCompilesToPhraseSelection) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Title = \"Solving Equations\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_NE(plan.candidates->ToString().find("phrase(\"Solving"),
+            std::string::npos);
+}
+
+TEST_F(QueryCompilerTest, JoinPlanGetsAttrExpressions) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Editors.Name = r.Authors.Name",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_FALSE(plan.exact);
+  EXPECT_TRUE(plan.index_join);
+  ASSERT_NE(plan.join_lhs_attrs, nullptr);
+  ASSERT_NE(plan.join_rhs_attrs, nullptr);
+  // Attr chains run bottom-up.
+  EXPECT_EQ(plan.join_rhs_attrs->ToString(),
+            "(Name < (Authors < Reference))");
+}
+
+TEST_F(QueryCompilerTest, JoinWithoutAttrIndexFallsBackToTwoPhase) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Editors.Name = r.Authors.Name",
+      {"Reference", "Authors", "Editors"});
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_FALSE(plan.index_join);
+}
+
+TEST_F(QueryCompilerTest, ProjectionCompilesContainedChain) {
+  QueryPlan plan = Compile(
+      "SELECT r.Authors.Name.Last_Name FROM References r", all_names_);
+  ASSERT_NE(plan.projection, nullptr);
+  EXPECT_TRUE(plan.projection_exact);
+  // §5.2's optimized projection: Last_Name ⊂ Authors ⊂ Reference.
+  EXPECT_EQ(plan.projection->ToString(),
+            "(Last_Name < (Authors < Reference))");
+}
+
+TEST_F(QueryCompilerTest, ProjectionOnPartialIndexFallsBack) {
+  QueryPlan plan = Compile(
+      "SELECT r.Authors.Name.Last_Name FROM References r",
+      {"Reference", "Last_Name"});
+  EXPECT_EQ(plan.projection, nullptr);
+  EXPECT_FALSE(plan.projection_exact);
+}
+
+TEST_F(QueryCompilerTest, ContainsCompilesToContainsSelection) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Abstract CONTAINS \"Fortran\"",
+      all_names_);
+  ASSERT_NE(plan.candidates, nullptr);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_NE(plan.candidates->ToString().find("contains(\"Fortran\""),
+            std::string::npos);
+}
+
+TEST_F(QueryCompilerTest, MultiWordContainsUsesPhraseContainment) {
+  auto q = ParseFql(
+      "SELECT r FROM References r WHERE r.Abstract CONTAINS \"two "
+      "words\"");
+  ASSERT_TRUE(q.ok());
+  QueryCompiler compiler(&rig_, all_names_, "Reference");
+  auto plan = compiler.Compile(*q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->candidates->ToString().find("contains(\"two words\""),
+            std::string::npos);
+  // Empty/punctuation-only literals are still rejected.
+  auto bad = ParseFql(
+      "SELECT r FROM References r WHERE r.Abstract CONTAINS \"...\"");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(compiler.Compile(*bad).ok());
+}
+
+TEST_F(QueryCompilerTest, NotesExplainCompilation) {
+  QueryPlan plan = Compile(
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      all_names_);
+  EXPECT_FALSE(plan.notes.empty());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/parse/parser.h"
+
+namespace qof {
+namespace {
+
+TEST(BibtexGenTest, DeterministicForSeed) {
+  BibtexGenOptions opt;
+  opt.num_references = 10;
+  opt.seed = 123;
+  EXPECT_EQ(GenerateBibtex(opt), GenerateBibtex(opt));
+  opt.seed = 124;
+  std::string other = GenerateBibtex(opt);
+  opt.seed = 123;
+  EXPECT_NE(GenerateBibtex(opt), other);
+}
+
+TEST(BibtexGenTest, GeneratedCorpusParses) {
+  BibtexGenOptions opt;
+  opt.num_references = 50;
+  std::string text = GenerateBibtex(opt);
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  SchemaParser parser(&*schema);
+  auto tree = parser.ParseDocument(text, 0);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->children.size(), 50u);
+}
+
+TEST(BibtexGenTest, ProbeRatesControlChangMentions) {
+  BibtexGenOptions opt;
+  opt.num_references = 300;
+  opt.probe_author_rate = 1.0;
+  opt.probe_editor_rate = 0.0;
+  std::string all = GenerateBibtex(opt);
+  // Every reference mentions Chang at least once.
+  size_t count = 0;
+  for (size_t p = all.find("Chang"); p != std::string::npos;
+       p = all.find("Chang", p + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 300u);
+
+  opt.probe_author_rate = 0.0;
+  std::string none = GenerateBibtex(opt);
+  EXPECT_EQ(none.find("Chang"), std::string::npos);
+}
+
+TEST(BibtexGenTest, SizeScalesLinearly) {
+  BibtexGenOptions opt;
+  opt.num_references = 10;
+  size_t s10 = GenerateBibtex(opt).size();
+  opt.num_references = 100;
+  size_t s100 = GenerateBibtex(opt).size();
+  EXPECT_GT(s100, 8 * s10);
+  EXPECT_LT(s100, 13 * s10);
+}
+
+TEST(MailGenTest, GeneratedMailboxParses) {
+  MailGenOptions opt;
+  opt.num_messages = 40;
+  std::string text = GenerateMailbox(opt);
+  auto schema = MailSchema();
+  ASSERT_TRUE(schema.ok());
+  SchemaParser parser(&*schema);
+  auto tree = parser.ParseDocument(text, 0);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->children.size(), 40u);
+}
+
+TEST(MailGenTest, ProbePersonAppears) {
+  MailGenOptions opt;
+  opt.num_messages = 100;
+  opt.probe_sender_rate = 1.0;
+  std::string text = GenerateMailbox(opt);
+  EXPECT_NE(text.find("Dana Chang"), std::string::npos);
+}
+
+TEST(LogGenTest, GeneratedLogParses) {
+  LogGenOptions opt;
+  opt.num_entries = 200;
+  std::string text = GenerateLog(opt);
+  auto schema = LogSchema();
+  ASSERT_TRUE(schema.ok());
+  SchemaParser parser(&*schema);
+  auto tree = parser.ParseDocument(text, 0);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->children.size(), 200u);
+}
+
+TEST(LogGenTest, ErrorRateRoughlyRespected) {
+  LogGenOptions opt;
+  opt.num_entries = 1000;
+  opt.error_rate = 0.2;
+  std::string text = GenerateLog(opt);
+  size_t errors = 0;
+  for (size_t p = text.find("ERROR"); p != std::string::npos;
+       p = text.find("ERROR", p + 1)) {
+    ++errors;
+  }
+  size_t fatals = 0;
+  for (size_t p = text.find("FATAL"); p != std::string::npos;
+       p = text.find("FATAL", p + 1)) {
+    ++fatals;
+  }
+  double rate = static_cast<double>(errors + fatals) / 1000.0;
+  EXPECT_GT(rate, 0.12);
+  EXPECT_LT(rate, 0.28);
+}
+
+}  // namespace
+}  // namespace qof

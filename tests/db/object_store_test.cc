@@ -1,0 +1,50 @@
+#include "qof/db/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+TEST(ObjectStoreTest, InsertAndGet) {
+  ObjectStore store;
+  ObjectId id = store.Insert(
+      "Reference", Value::MakeTuple({{"Key", Value::Str("Corl82a")}}));
+  EXPECT_EQ(id, 1u);
+  auto obj = store.Get(id);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->class_name, "Reference");
+  EXPECT_EQ((*obj)->state.Field("Key")->str(), "Corl82a");
+}
+
+TEST(ObjectStoreTest, GetInvalidId) {
+  ObjectStore store;
+  EXPECT_FALSE(store.Get(0).ok());
+  EXPECT_FALSE(store.Get(1).ok());
+  store.Insert("X", Value::Null());
+  EXPECT_TRUE(store.Get(1).ok());
+  EXPECT_FALSE(store.Get(2).ok());
+}
+
+TEST(ObjectStoreTest, ExtentsByClassInInsertionOrder) {
+  ObjectStore store;
+  ObjectId a = store.Insert("A", Value::Int(1));
+  ObjectId b = store.Insert("B", Value::Int(2));
+  ObjectId a2 = store.Insert("A", Value::Int(3));
+  EXPECT_EQ(store.Extent("A"), (std::vector<ObjectId>{a, a2}));
+  EXPECT_EQ(store.Extent("B"), (std::vector<ObjectId>{b}));
+  EXPECT_TRUE(store.Extent("C").empty());
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(ObjectStoreTest, ApproxBytesGrows) {
+  ObjectStore small;
+  small.Insert("A", Value::Str("x"));
+  ObjectStore big;
+  for (int i = 0; i < 10; ++i) {
+    big.Insert("A", Value::Str("a longer string value here"));
+  }
+  EXPECT_LT(small.ApproxBytes(), big.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace qof

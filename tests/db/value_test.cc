@@ -1,0 +1,100 @@
+#include "qof/db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+TEST(ValueTest, NullValue) {
+  Value v;
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+  EXPECT_TRUE(v.Equals(Value::Null()));
+}
+
+TEST(ValueTest, Atoms) {
+  Value s = Value::Str("Chang");
+  EXPECT_EQ(s.kind(), Value::Kind::kString);
+  EXPECT_EQ(s.str(), "Chang");
+  EXPECT_EQ(s.ToString(), "\"Chang\"");
+
+  Value i = Value::Int(1982);
+  EXPECT_EQ(i.kind(), Value::Kind::kInt);
+  EXPECT_EQ(i.int_value(), 1982);
+  EXPECT_EQ(i.ToString(), "1982");
+
+  Value r = Value::Ref(7);
+  EXPECT_EQ(r.kind(), Value::Kind::kRef);
+  EXPECT_EQ(r.ref_id(), 7u);
+  EXPECT_EQ(r.ToString(), "@7");
+}
+
+TEST(ValueTest, TuplePreservesFieldOrder) {
+  Value t = Value::MakeTuple({{"First_Name", Value::Str("Y. F.")},
+                              {"Last_Name", Value::Str("Chang")}});
+  EXPECT_EQ(t.kind(), Value::Kind::kTuple);
+  ASSERT_NE(t.Field("Last_Name"), nullptr);
+  EXPECT_EQ(t.Field("Last_Name")->str(), "Chang");
+  EXPECT_EQ(t.Field("Missing"), nullptr);
+  EXPECT_EQ(t.ToString(),
+            "{First_Name: \"Y. F.\", Last_Name: \"Chang\"}");
+}
+
+TEST(ValueTest, SetDeduplicatesAndOrdersCanonically) {
+  Value s = Value::MakeSet(
+      {Value::Str("b"), Value::Str("a"), Value::Str("b")});
+  ASSERT_EQ(s.elements().size(), 2u);
+  EXPECT_EQ(s.elements()[0].str(), "a");
+  EXPECT_EQ(s.elements()[1].str(), "b");
+}
+
+TEST(ValueTest, ListKeepsOrderAndDuplicates) {
+  Value l = Value::MakeList(
+      {Value::Str("b"), Value::Str("a"), Value::Str("b")});
+  ASSERT_EQ(l.elements().size(), 3u);
+  EXPECT_EQ(l.elements()[0].str(), "b");
+  EXPECT_EQ(l.ToString(), "[\"b\", \"a\", \"b\"]");
+}
+
+TEST(ValueTest, EqualityIgnoresTypeTags) {
+  Value a = Value::Str("Chang").WithType("Last_Name");
+  Value b = Value::Str("Chang");
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.type_name(), "Last_Name");
+  EXPECT_EQ(b.type_name(), "");
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  Value n1 = Value::MakeTuple({{"First_Name", Value::Str("A.")},
+                               {"Last_Name", Value::Str("Chang")}});
+  Value n2 = Value::MakeTuple({{"First_Name", Value::Str("A.")},
+                               {"Last_Name", Value::Str("Chang")}});
+  Value n3 = Value::MakeTuple({{"First_Name", Value::Str("B.")},
+                               {"Last_Name", Value::Str("Chang")}});
+  EXPECT_TRUE(n1.Equals(n2));
+  EXPECT_FALSE(n1.Equals(n3));
+}
+
+TEST(ValueTest, CompareIsTotalOrder) {
+  std::vector<Value> vals = {
+      Value::Null(),         Value::Str("a"),  Value::Str("b"),
+      Value::Int(1),         Value::Int(2),    Value::Ref(1),
+      Value::MakeSet({}),    Value::MakeList({}),
+      Value::MakeTuple({{"x", Value::Int(1)}}),
+  };
+  for (const Value& a : vals) {
+    EXPECT_EQ(Value::Compare(a, a), 0);
+    for (const Value& b : vals) {
+      EXPECT_EQ(Value::Compare(a, b), -Value::Compare(b, a));
+    }
+  }
+}
+
+TEST(ValueTest, KindsCompareDisjoint) {
+  EXPECT_NE(Value::Compare(Value::Str("1"), Value::Int(1)), 0);
+  EXPECT_NE(Value::Compare(Value::MakeSet({}), Value::MakeList({})), 0);
+}
+
+}  // namespace
+}  // namespace qof

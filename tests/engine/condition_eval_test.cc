@@ -1,0 +1,140 @@
+#include "qof/engine/condition_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/schemas.h"
+#include "qof/query/parser.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+class ConditionEvalTest : public ::testing::Test {
+ protected:
+  static Value Name(const char* first, const char* last) {
+    return Value::MakeTuple({{"First_Name", Value::Str(first)},
+                             {"Last_Name", Value::Str(last)}})
+        .WithType("Name");
+  }
+
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    rig_ = DeriveFullRig(*schema);
+    Value state =
+        Value::MakeTuple(
+            {{"Key", Value::Str("Corl82a")},
+             {"Title", Value::Str("Solving Ordinary Equations")},
+             {"Year", Value::Int(1982)},
+             {"Authors", Value::MakeSet({Name("Y. F.", "Chang"),
+                                         Name("G. F.", "Corliss")})
+                             .WithType("Authors")},
+             {"Editors",
+              Value::MakeSet({Name("A.", "Griewank")}).WithType("Editors")},
+             {"Keywords",
+              Value::MakeSet({Value::Str("Taylor series"),
+                              Value::Str("point algorithm")})
+                  .WithType("Keywords")}})
+            .WithType("Reference");
+    id_ = store_.Insert("Reference", state);
+    root_ = Value::Ref(id_).WithType("Reference");
+  }
+
+  bool Eval(const char* where) {
+    auto q = ParseFql(std::string("SELECT r FROM References r WHERE ") +
+                      where);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto r = EvaluateCondition(store_, root_, *q->where, rig_,
+                               "Reference");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && *r;
+  }
+
+  Rig rig_;
+  ObjectStore store_;
+  ObjectId id_ = 0;
+  Value root_;
+};
+
+TEST_F(ConditionEvalTest, FlattenText) {
+  EXPECT_EQ(FlattenText(store_, Value::Str("abc")), "abc");
+  EXPECT_EQ(FlattenText(store_, Value::Int(42)), "42");
+  EXPECT_EQ(FlattenText(store_, Name("Y. F.", "Chang")), "Y. F. Chang");
+  EXPECT_EQ(FlattenText(store_, Value::Null()), "");
+  // Refs flatten through the store.
+  std::string whole = FlattenText(store_, root_);
+  EXPECT_NE(whole.find("Corl82a"), std::string::npos);
+  EXPECT_NE(whole.find("1982"), std::string::npos);
+}
+
+TEST_F(ConditionEvalTest, ValueMatchesLiteralTrims) {
+  EXPECT_TRUE(ValueMatchesLiteral(store_, Value::Str("Chang"), "Chang"));
+  EXPECT_TRUE(
+      ValueMatchesLiteral(store_, Value::Str("Chang"), "  Chang  "));
+  EXPECT_FALSE(ValueMatchesLiteral(store_, Value::Str("Chang"), "Chan"));
+  EXPECT_TRUE(ValueMatchesLiteral(store_, Name("Y. F.", "Chang"),
+                                  "Y. F. Chang"));
+}
+
+TEST_F(ConditionEvalTest, ValueContainsWordTokenizes) {
+  Value title = Value::Str("Solving Ordinary Equations");
+  EXPECT_TRUE(ValueContainsWord(store_, title, "Ordinary"));
+  EXPECT_FALSE(ValueContainsWord(store_, title, "Ordinar"));
+  EXPECT_FALSE(ValueContainsWord(store_, title, "ordinary"));  // case
+}
+
+TEST_F(ConditionEvalTest, EqualityLeaves) {
+  EXPECT_TRUE(Eval("r.Key = \"Corl82a\""));
+  EXPECT_FALSE(Eval("r.Key = \"Other\""));
+  EXPECT_TRUE(Eval("r.Year = \"1982\""));
+  EXPECT_TRUE(Eval("r.Authors.Name.Last_Name = \"Chang\""));
+  EXPECT_FALSE(Eval("r.Editors.Name.Last_Name = \"Chang\""));
+}
+
+TEST_F(ConditionEvalTest, BooleanOperators) {
+  EXPECT_TRUE(Eval("r.Key = \"Corl82a\" AND r.Year = \"1982\""));
+  EXPECT_FALSE(Eval("r.Key = \"Corl82a\" AND r.Year = \"1983\""));
+  EXPECT_TRUE(Eval("r.Year = \"1983\" OR r.Year = \"1982\""));
+  EXPECT_TRUE(Eval("NOT r.Year = \"1983\""));
+  EXPECT_FALSE(Eval("NOT r.Year = \"1982\""));
+}
+
+TEST_F(ConditionEvalTest, WildcardPaths) {
+  EXPECT_TRUE(Eval("r.*X.Last_Name = \"Chang\""));
+  EXPECT_TRUE(Eval("r.*X.Last_Name = \"Griewank\""));
+  EXPECT_FALSE(Eval("r.*X.Last_Name = \"Milo\""));
+  EXPECT_TRUE(Eval("r.?A.Name.Last_Name = \"Griewank\""));
+}
+
+TEST_F(ConditionEvalTest, ContainsLeaf) {
+  EXPECT_TRUE(Eval("r.Title CONTAINS \"Ordinary\""));
+  EXPECT_TRUE(Eval("r.Keywords CONTAINS \"Taylor\""));
+  EXPECT_FALSE(Eval("r.Title CONTAINS \"Fortran\""));
+}
+
+TEST_F(ConditionEvalTest, JoinLeaf) {
+  // No editor is an author in this object.
+  EXPECT_FALSE(Eval("r.Editors.Name = r.Authors.Name"));
+  EXPECT_TRUE(Eval("r.Authors.Name = r.Authors.Name"));
+  EXPECT_FALSE(
+      Eval("r.Editors.Name.Last_Name = r.Authors.Name.Last_Name"));
+}
+
+TEST_F(ConditionEvalTest, EvaluateTargetProjection) {
+  auto q = ParseFql("SELECT r.Authors.Name.Last_Name FROM References r");
+  ASSERT_TRUE(q.ok());
+  auto values =
+      EvaluateTarget(store_, root_, q->target, rig_, "Reference");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 2u);
+  // Empty target path yields the object itself.
+  PathExpr bare;
+  bare.var = "r";
+  auto self = EvaluateTarget(store_, root_, bare, rig_, "Reference");
+  ASSERT_TRUE(self.ok());
+  ASSERT_EQ(self->size(), 1u);
+  EXPECT_EQ((*self)[0].kind(), Value::Kind::kRef);
+}
+
+}  // namespace
+}  // namespace qof

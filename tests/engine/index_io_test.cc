@@ -1,0 +1,128 @@
+#include "qof/engine/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+constexpr const char* kFlagship =
+    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+    "\"Chang\"";
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    BibtexGenOptions gen;
+    gen.num_references = 40;
+    gen.probe_author_rate = 0.2;
+    text_ = GenerateBibtex(gen);
+    system_ = std::make_unique<FileQuerySystem>(*schema);
+    ASSERT_TRUE(system_->AddFile("gen.bib", text_).ok());
+  }
+
+  std::string text_;
+  std::unique_ptr<FileQuerySystem> system_;
+};
+
+TEST_F(IndexIoTest, RoundTripPreservesAnswers) {
+  ASSERT_TRUE(system_->BuildIndexes(IndexSpec::Full()).ok());
+  auto before = system_->Execute(kFlagship);
+  ASSERT_TRUE(before.ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_GT(blob->size(), 1000u);
+
+  // A fresh system over the same corpus imports the blob and answers
+  // identically, without ever parsing for index construction.
+  auto schema = BibtexSchema();
+  FileQuerySystem fresh(*schema);
+  ASSERT_TRUE(fresh.AddFile("gen.bib", text_).ok());
+  ASSERT_TRUE(fresh.ImportIndexes(*blob).ok());
+  EXPECT_TRUE(fresh.indexes_built());
+  auto after = fresh.Execute(kFlagship);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->stats.strategy, "index-only");
+  EXPECT_EQ(after->regions.size(), before->regions.size());
+  for (size_t i = 0; i < after->regions.size(); ++i) {
+    EXPECT_EQ(after->regions[i], before->regions[i]);
+  }
+}
+
+TEST_F(IndexIoTest, RoundTripPreservesSpec) {
+  IndexSpec spec = IndexSpec::Partial({"Reference", "Authors", "Name",
+                                       "Last_Name"});
+  spec.within["Name"] = "Authors";
+  spec.within["Last_Name"] = "Authors";
+  spec.word_options.fold_case = true;
+  ASSERT_TRUE(system_->BuildIndexes(spec).ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok());
+
+  auto loaded = DeserializeIndexes(*blob, text_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->spec.mode, IndexSpec::Mode::kPartial);
+  EXPECT_EQ(loaded->spec.names, spec.names);
+  EXPECT_EQ(loaded->spec.within, spec.within);
+  EXPECT_TRUE(loaded->spec.word_options.fold_case);
+  EXPECT_EQ(loaded->indexes.regions.num_names(),
+            system_->region_index().num_names());
+  EXPECT_EQ(loaded->indexes.regions.num_regions(),
+            system_->region_index().num_regions());
+  EXPECT_EQ(loaded->indexes.words.num_postings(),
+            system_->word_index().num_postings());
+}
+
+TEST_F(IndexIoTest, RejectsChangedCorpus) {
+  ASSERT_TRUE(system_->BuildIndexes().ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok());
+
+  auto schema = BibtexSchema();
+  FileQuerySystem other(*schema);
+  ASSERT_TRUE(other.AddFile("gen.bib", text_ + " ").ok());
+  auto s = other.ImportIndexes(*blob);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("fingerprint"), std::string::npos);
+}
+
+TEST_F(IndexIoTest, RejectsGarbage) {
+  ASSERT_TRUE(system_->BuildIndexes().ok());
+  EXPECT_FALSE(system_->ImportIndexes("not an index").ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok());
+  // Truncation at every eighth of the blob fails cleanly.
+  for (size_t frac = 1; frac < 8; ++frac) {
+    std::string truncated = blob->substr(0, blob->size() * frac / 8);
+    EXPECT_FALSE(system_->ImportIndexes(truncated).ok()) << frac;
+  }
+  // Trailing junk is rejected too.
+  EXPECT_FALSE(system_->ImportIndexes(*blob + "x").ok());
+}
+
+TEST_F(IndexIoTest, ExportRequiresBuiltIndexes) {
+  EXPECT_FALSE(system_->ExportIndexes().ok());
+}
+
+TEST_F(IndexIoTest, TokenFilterIsNotSerializable) {
+  IndexSpec spec;
+  spec.word_options.token_filter = [](const WordToken&) { return true; };
+  ASSERT_TRUE(system_->BuildIndexes(spec).ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_FALSE(blob.ok());
+  EXPECT_TRUE(blob.status().IsInvalidArgument());
+}
+
+TEST_F(IndexIoTest, FingerprintIsStable) {
+  EXPECT_EQ(CorpusFingerprint("abc"), CorpusFingerprint("abc"));
+  EXPECT_NE(CorpusFingerprint("abc"), CorpusFingerprint("abd"));
+  EXPECT_NE(CorpusFingerprint(""), CorpusFingerprint(" "));
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,281 @@
+// End-to-end property tests: on generated corpora, every index-backed
+// execution strategy must agree with the baseline full scan, under every
+// index spec — the system's core soundness property.
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+std::set<std::string> Spans(const QueryResult& result) {
+  std::set<std::string> out;
+  for (const Region& r : result.regions) out.insert(r.ToString());
+  return out;
+}
+
+class BibtexIntegrationTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    system_ = std::make_unique<FileQuerySystem>(*schema);
+    BibtexGenOptions opt;
+    opt.num_references = 60;
+    opt.seed = GetParam();
+    opt.probe_author_rate = 0.2;
+    opt.probe_editor_rate = 0.2;
+    ASSERT_TRUE(system_->AddFile("gen.bib", GenerateBibtex(opt)).ok());
+  }
+
+  void CheckAgreement(const std::string& fql, const IndexSpec& spec) {
+    ASSERT_TRUE(system_->BuildIndexes(spec).ok());
+    auto indexed = system_->Execute(fql);
+    ASSERT_TRUE(indexed.ok())
+        << indexed.status().ToString() << "\n  " << fql;
+    auto baseline = system_->Execute(fql, ExecutionMode::kBaseline);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    EXPECT_EQ(Spans(*indexed), Spans(*baseline))
+        << fql << "\n  spec: " << spec.ToString()
+        << "\n  strategy: " << indexed->stats.strategy;
+  }
+
+  std::unique_ptr<FileQuerySystem> system_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BibtexIntegrationTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST_P(BibtexIntegrationTest, StrategiesAgreeAcrossIndexSpecs) {
+  const std::string queries[] = {
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "
+      "\"Chang\"",
+      "SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"",
+      "SELECT r FROM References r WHERE r.Publisher = \"SIAM\"",
+      "SELECT r FROM References r WHERE r.Keywords CONTAINS \"Taylor\"",
+      "SELECT r FROM References r WHERE r.Keywords CONTAINS "
+      "\"Taylor series\"",
+      "SELECT r FROM References r WHERE r.Title STARTS \"Sol\"",
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\" AND NOT r.Editors.Name.Last_Name = \"Chang\"",
+      "SELECT r FROM References r WHERE r.Year = \"1982\" OR r.Year = "
+      "\"1983\"",
+      "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "
+      "r.Authors.Name.Last_Name",
+      "SELECT r FROM References r WHERE r.?A.Name.Last_Name = \"Chang\"",
+  };
+  const IndexSpec specs[] = {
+      IndexSpec::Full(),
+      IndexSpec::Partial({"Reference", "Key", "Last_Name"}),
+      IndexSpec::Partial({"Reference", "Authors", "Editors", "Name",
+                          "Last_Name"}),
+      IndexSpec::Partial({"Reference", "Authors", "Last_Name"}),
+      IndexSpec::Partial({"Reference", "Publisher", "Year", "Keywords",
+                          "Keyword"}),
+      IndexSpec::Partial({"Reference"}),
+  };
+  for (const IndexSpec& spec : specs) {
+    for (const std::string& fql : queries) {
+      CheckAgreement(fql, spec);
+    }
+  }
+}
+
+TEST_P(BibtexIntegrationTest, TwoPhaseInvariants) {
+  // Candidates are a superset of results, and (for word-level
+  // selections) the bytes scanned equal the candidates' total length.
+  ASSERT_TRUE(system_
+                  ->BuildIndexes(IndexSpec::Partial(
+                      {"Reference", "Key", "Last_Name"}))
+                  .ok());
+  auto r = system_->Execute(
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->stats.strategy, "two-phase");
+  EXPECT_GE(r->stats.candidates, r->stats.results);
+  EXPECT_EQ(r->stats.objects_built, r->stats.candidates);
+  EXPECT_LE(r->stats.bytes_scanned, r->stats.corpus_bytes);
+  // Exact plans never scan.
+  ASSERT_TRUE(system_->BuildIndexes().ok());
+  auto exact = system_->Execute(
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->stats.bytes_scanned, 0u);
+  EXPECT_EQ(exact->stats.objects_built, 0u);
+}
+
+TEST_P(BibtexIntegrationTest, ProjectionAgreesWithBaseline) {
+  ASSERT_TRUE(system_->BuildIndexes(IndexSpec::Full()).ok());
+  const std::string fql =
+      "SELECT r.Authors.Name.Last_Name FROM References r WHERE "
+      "r.Publisher = \"SIAM\"";
+  auto indexed = system_->Execute(fql);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  auto baseline = system_->Execute(fql, ExecutionMode::kBaseline);
+  ASSERT_TRUE(baseline.ok());
+  // Index projection returns attribute-region texts; baseline returns
+  // navigated values. Compare multisets of rendered strings.
+  EXPECT_EQ(indexed->RenderedValues(), baseline->RenderedValues()) << fql;
+}
+
+TEST(MailIntegrationTest, SenderVersusRecipientRoles) {
+  auto schema = MailSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  MailGenOptions opt;
+  opt.num_messages = 80;
+  opt.probe_sender_rate = 0.15;
+  opt.probe_recipient_rate = 0.15;
+  ASSERT_TRUE(system.AddFile("box.mail", GenerateMailbox(opt)).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+
+  auto sender = system.Execute(
+      "SELECT m FROM Messages m "
+      "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"");
+  ASSERT_TRUE(sender.ok()) << sender.status().ToString();
+  auto recipient = system.Execute(
+      "SELECT m FROM Messages m "
+      "WHERE m.Recipients.Address.Addr_Name = \"Dana Chang\"");
+  ASSERT_TRUE(recipient.ok()) << recipient.status().ToString();
+  auto any = system.Execute(
+      "SELECT m FROM Messages m WHERE m.*X.Addr_Name = \"Dana Chang\"");
+  ASSERT_TRUE(any.ok());
+  EXPECT_GT(sender->regions.size(), 0u);
+  EXPECT_GT(recipient->regions.size(), 0u);
+  // The union of roles equals the wildcard query.
+  std::set<std::string> role_union = Spans(*sender);
+  for (const auto& s : Spans(*recipient)) role_union.insert(s);
+  EXPECT_EQ(role_union, Spans(*any));
+
+  // Baseline agreement.
+  auto base = system.Execute(
+      "SELECT m FROM Messages m "
+      "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*base), Spans(*sender));
+}
+
+TEST(MailIntegrationTest, TagAndSubjectQueries) {
+  auto schema = MailSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  MailGenOptions opt;
+  opt.num_messages = 50;
+  ASSERT_TRUE(system.AddFile("box.mail", GenerateMailbox(opt)).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto urgent = system.Execute(
+      "SELECT m FROM Messages m WHERE m.Tags.Tag = \"urgent\"");
+  ASSERT_TRUE(urgent.ok()) << urgent.status().ToString();
+  auto base = system.Execute(
+      "SELECT m FROM Messages m WHERE m.Tags.Tag = \"urgent\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*urgent), Spans(*base));
+  EXPECT_GT(urgent->regions.size(), 0u);
+}
+
+TEST(LogIntegrationTest, ErrorsByComponent) {
+  auto schema = LogSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  LogGenOptions opt;
+  opt.num_entries = 400;
+  opt.error_rate = 0.1;
+  ASSERT_TRUE(system.AddFile("app.log", GenerateLog(opt)).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+
+  auto errors = system.Execute(
+      "SELECT e FROM Entries e WHERE e.Level = \"ERROR\"");
+  ASSERT_TRUE(errors.ok()) << errors.status().ToString();
+  EXPECT_EQ(errors->stats.strategy, "index-only");
+  EXPECT_GT(errors->regions.size(), 0u);
+
+  auto auth_errors = system.Execute(
+      "SELECT e FROM Entries e WHERE e.Level = \"ERROR\" AND "
+      "e.Component = \"auth\"");
+  ASSERT_TRUE(auth_errors.ok());
+  EXPECT_LE(auth_errors->regions.size(), errors->regions.size());
+
+  auto base = system.Execute(
+      "SELECT e FROM Entries e WHERE e.Level = \"ERROR\" AND "
+      "e.Component = \"auth\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*auth_errors), Spans(*base));
+}
+
+TEST(SelectiveIndexIntegrationTest, OutOfContextQueriesStaySound) {
+  // Regression: Name/Last_Name indexed only within Authors. Queries on
+  // the *editor* side must not trust those instances (they are missing
+  // editor-side regions) — the compiler treats them as unindexed there
+  // and the engine falls back to a verified superset.
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  BibtexGenOptions opt;
+  opt.num_references = 80;
+  opt.probe_author_rate = 0.2;
+  opt.probe_editor_rate = 0.2;
+  ASSERT_TRUE(system.AddFile("gen.bib", GenerateBibtex(opt)).ok());
+  IndexSpec spec = IndexSpec::Partial(
+      {"Reference", "Authors", "Editors", "Name", "Last_Name"});
+  spec.within["Name"] = "Authors";
+  spec.within["Last_Name"] = "Authors";
+  ASSERT_TRUE(system.BuildIndexes(spec).ok());
+  const char* queries[] = {
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      "SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "
+      "\"Chang\"",
+      "SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"",
+  };
+  for (const char* fql : queries) {
+    auto indexed = system.Execute(fql);
+    ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+    auto base = system.Execute(fql, ExecutionMode::kBaseline);
+    ASSERT_TRUE(base.ok());
+    EXPECT_EQ(Spans(*indexed), Spans(*base)) << fql;
+  }
+  // The in-context query is still answered purely on the indices.
+  auto author_plan = system.Plan(queries[0]);
+  ASSERT_TRUE(author_plan.ok());
+  EXPECT_TRUE(author_plan->exact);
+  auto editor_plan = system.Plan(queries[1]);
+  ASSERT_TRUE(editor_plan.ok());
+  EXPECT_FALSE(editor_plan->exact);
+}
+
+TEST(LogIntegrationTest, MessageWordSearch) {
+  auto schema = LogSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  LogGenOptions opt;
+  opt.num_entries = 300;
+  ASSERT_TRUE(system.AddFile("app.log", GenerateLog(opt)).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto timeouts = system.Execute(
+      "SELECT e FROM Entries e WHERE e.Message CONTAINS \"timeout\"");
+  ASSERT_TRUE(timeouts.ok()) << timeouts.status().ToString();
+  auto base = system.Execute(
+      "SELECT e FROM Entries e WHERE e.Message CONTAINS \"timeout\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*timeouts), Spans(*base));
+}
+
+}  // namespace
+}  // namespace qof

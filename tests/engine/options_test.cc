@@ -1,0 +1,96 @@
+// Coverage of engine-level options: case-folded word indexing end to end,
+// IndexSpec rendering, and stats/notes plumbing.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+constexpr const char* kDoc =
+    "@INCOLLECTION{K1,\n  AUTHOR = \"Y. F. CHANG\",\n"
+    "  TITLE = \"T\",\n  BOOKTITLE = \"B\",\n  YEAR = \"1982\",\n"
+    "  EDITOR = \"A. Editor\",\n  PUBLISHER = \"P\",\n"
+    "  ADDRESS = \"A\",\n  PAGES = \"1--2\",\n  REFERRED = \"\",\n"
+    "  KEYWORDS = \"k\",\n  ABSTRACT = \"x\"\n}\n";
+
+TEST(EngineOptionsTest, FoldCaseMatchesAnyCasing) {
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("doc.bib", kDoc).ok());
+
+  // Case-sensitive (default): lowercase query misses "CHANG".
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto miss = system.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->regions.empty());
+
+  // Folded: any casing matches at the index level.
+  IndexSpec folded;
+  folded.word_options.fold_case = true;
+  ASSERT_TRUE(system.BuildIndexes(folded).ok());
+  auto plan = system.Plan(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"chang\"");
+  ASSERT_TRUE(plan.ok());
+  // Candidates find the region; note: the db-side equality remains
+  // case-sensitive, so run the raw candidate expression.
+  ExprEvaluator eval(&system.region_index(), &system.word_index(),
+                     &system.corpus());
+  auto set = eval.Evaluate(*plan->candidates);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 1u);
+}
+
+TEST(EngineOptionsTest, IndexSpecToString) {
+  EXPECT_EQ(IndexSpec::Full().ToString(), "full");
+  IndexSpec partial = IndexSpec::Partial({"A", "B"});
+  EXPECT_EQ(partial.ToString(), "partial{A, B}");
+  partial.within["B"] = "A";
+  EXPECT_EQ(partial.ToString(), "partial{A, B within A}");
+}
+
+TEST(EngineOptionsTest, NotesSurfaceCompilerDecisions) {
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("doc.bib", kDoc).ok());
+  ASSERT_TRUE(system
+                  .BuildIndexes(IndexSpec::Partial(
+                      {"Reference", "Key", "Last_Name"}))
+                  .ok());
+  auto r = system.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"CHANG\"");
+  ASSERT_TRUE(r.ok());
+  bool saw_superset_note = false;
+  for (const std::string& note : r->stats.notes) {
+    saw_superset_note =
+        saw_superset_note || note.find("superset") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_superset_note);
+}
+
+TEST(EngineOptionsTest, StatsTimingsAndAlgebraCountsPopulated) {
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("doc.bib", kDoc).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto r = system.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"CHANG\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.algebra.total_ops(), 0u);
+  EXPECT_EQ(r->stats.corpus_bytes, system.corpus().size());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,169 @@
+// End-to-end tests of the recursive outline schema: cyclic RIG
+// (Section -> Subsections -> Section), nested view regions, and the
+// §5.3 transitive-closure queries.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/outline_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+// A hand-written outline with known structure:
+//   A { B { D } C }   E { F }
+// where C and F carry the probe title "Optimization".
+constexpr const char* kDoc =
+    "<sec [Alpha] intro words { "
+    "<sec [Beta] more words { "
+    "<sec [Delta] deep words { } sec> } sec> "
+    "<sec [Optimization] tuning words { } sec> } sec>\n"
+    "<sec [Epsilon] other words { "
+    "<sec [Optimization] also tuning { } sec> } sec>\n";
+
+class OutlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = OutlineSchema();
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    system_ = std::make_unique<FileQuerySystem>(*schema);
+    ASSERT_TRUE(system_->AddFile("doc.outline", kDoc).ok());
+    ASSERT_TRUE(system_->BuildIndexes().ok());
+  }
+
+  // Titles of the result sections.
+  std::set<std::string> Titles(const QueryResult& result) {
+    std::set<std::string> out;
+    for (const Region& r : result.regions) {
+      std::string_view text = system_->corpus().RawText(r.start, r.end);
+      size_t b = text.find('[') + 1;
+      size_t e = text.find(']');
+      out.insert(std::string(text.substr(b, e - b)));
+    }
+    return out;
+  }
+
+  QueryResult Run(std::string_view fql,
+                  ExecutionMode mode = ExecutionMode::kAuto) {
+    auto r = system_->Execute(fql, mode);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n  " << fql;
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<FileQuerySystem> system_;
+};
+
+TEST_F(OutlineTest, RigHasCycle) {
+  const Rig& rig = system_->full_rig();
+  auto section = rig.FindNode("Section");
+  ASSERT_NE(section, Rig::kInvalidNode);
+  EXPECT_TRUE(rig.Reachable(section, section));  // via Subsections
+  EXPECT_TRUE(rig.HasEdge("Subsections", "Section"));
+  EXPECT_TRUE(rig.HasEdge("Section", "Subsections"));
+}
+
+TEST_F(OutlineTest, AllNestingLevelsAreViewObjects) {
+  QueryResult all = Run("SELECT s FROM Sections s");
+  EXPECT_EQ(all.regions.size(), 6u);  // A, B, D, C, E, F
+  QueryResult base =
+      Run("SELECT s FROM Sections s", ExecutionMode::kBaseline);
+  EXPECT_EQ(base.regions.size(), 6u);
+}
+
+TEST_F(OutlineTest, DirectTitleQuery) {
+  QueryResult r =
+      Run("SELECT s FROM Sections s WHERE s.SecTitle = \"Optimization\"");
+  EXPECT_EQ(Titles(r), (std::set<std::string>{"Optimization"}));
+  EXPECT_EQ(r.regions.size(), 2u);  // C and F
+  EXPECT_EQ(r.stats.strategy, "index-only");
+}
+
+TEST_F(OutlineTest, ClosureQueryFindsAncestors) {
+  // Sections having an "Optimization" section anywhere below (or being
+  // one): A (via C), E (via F), C and F themselves — §5.3's transitive
+  // closure as a single plain-inclusion expression.
+  QueryResult r = Run(
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"Optimization\"");
+  EXPECT_EQ(Titles(r),
+            (std::set<std::string>{"Alpha", "Epsilon", "Optimization"}));
+  EXPECT_EQ(r.regions.size(), 4u);
+  EXPECT_EQ(r.stats.strategy, "index-only");
+}
+
+TEST_F(OutlineTest, OneLevelQueryViaConcretePath) {
+  // Sections with a *direct* subsection titled Optimization: only A and E.
+  QueryResult r = Run(
+      "SELECT s FROM Sections s "
+      "WHERE s.Subsections.Section.SecTitle = \"Optimization\"");
+  EXPECT_EQ(Titles(r), (std::set<std::string>{"Alpha", "Epsilon"}));
+  EXPECT_EQ(r.regions.size(), 2u);
+}
+
+TEST_F(OutlineTest, DeepConcretePath) {
+  // Grandchild title Delta: only Alpha qualifies (A -> B -> D).
+  QueryResult r = Run(
+      "SELECT s FROM Sections s WHERE "
+      "s.Subsections.Section.Subsections.Section.SecTitle = \"Delta\"");
+  EXPECT_EQ(Titles(r), (std::set<std::string>{"Alpha"}));
+}
+
+TEST_F(OutlineTest, StrategiesAgreeOnRecursiveSchema) {
+  const char* queries[] = {
+      "SELECT s FROM Sections s WHERE s.SecTitle = \"Optimization\"",
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"Optimization\"",
+      "SELECT s FROM Sections s WHERE "
+      "s.Subsections.Section.SecTitle = \"Optimization\"",
+      "SELECT s FROM Sections s WHERE s.Prose CONTAINS \"tuning\"",
+  };
+  for (const char* fql : queries) {
+    QueryResult indexed = Run(fql);
+    QueryResult base = Run(fql, ExecutionMode::kBaseline);
+    EXPECT_EQ(Titles(indexed), Titles(base)) << fql;
+    EXPECT_EQ(indexed.regions.size(), base.regions.size()) << fql;
+  }
+}
+
+TEST_F(OutlineTest, PartialIndexOnRecursiveSchema) {
+  ASSERT_TRUE(
+      system_->BuildIndexes(IndexSpec::Partial({"Section", "SecTitle"}))
+          .ok());
+  QueryResult indexed = Run(
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"Optimization\"");
+  QueryResult base = Run(
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"Optimization\"",
+      ExecutionMode::kBaseline);
+  EXPECT_EQ(Titles(indexed), Titles(base));
+  EXPECT_EQ(indexed.regions.size(), base.regions.size());
+}
+
+TEST(OutlineGenTest, GeneratedOutlinesParse) {
+  OutlineGenOptions opt;
+  opt.num_top_sections = 15;
+  opt.probe_title_rate = 0.2;
+  std::string text = GenerateOutline(opt);
+  auto schema = OutlineSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("gen.outline", text).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto all = system.Execute("SELECT s FROM Sections s");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_GE(all->regions.size(), 15u);  // nested sections add more
+
+  // Closure query agrees with baseline on generated data.
+  const char* fql =
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"Optimization\"";
+  auto indexed = system.Execute(fql);
+  ASSERT_TRUE(indexed.ok());
+  auto base = system.Execute(fql, ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(indexed->regions.size(), base->regions.size());
+}
+
+}  // namespace
+}  // namespace qof

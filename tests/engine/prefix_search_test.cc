@@ -1,0 +1,169 @@
+// Tests of the PAT-style lexical (prefix) search: word-index prefix
+// lookups, the starts/hasprefix algebra selections, and the FQL STARTS
+// predicate end-to-end.
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+TEST(WordIndexPrefixTest, MergesAllPrefixedWords) {
+  Corpus c;
+  ASSERT_TRUE(
+      c.AddDocument("t", "char chart charm cat chart zebra").ok());
+  WordIndex idx = WordIndex::Build(c);
+  auto hits = idx.LookupPrefix("char");
+  // char(0), chart(5), charm(11), chart(22) — sorted positions.
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+  EXPECT_EQ(idx.LookupPrefix("cha").size(), 4u);
+  EXPECT_EQ(idx.LookupPrefix("c").size(), 5u);  // + cat
+  EXPECT_TRUE(idx.LookupPrefix("zz").empty());
+  // Exact word as a prefix of itself.
+  EXPECT_EQ(idx.LookupPrefix("zebra").size(), 1u);
+}
+
+TEST(WordIndexPrefixTest, FoldCaseApplies) {
+  Corpus c;
+  ASSERT_TRUE(c.AddDocument("t", "Chang CHART chip").ok());
+  WordIndexOptions opts;
+  opts.fold_case = true;
+  WordIndex idx = WordIndex::Build(c, opts);
+  EXPECT_EQ(idx.LookupPrefix("ch").size(), 3u);
+  EXPECT_EQ(idx.LookupPrefix("CH").size(), 3u);
+}
+
+class PrefixSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = BibtexSchema();
+    ASSERT_TRUE(schema.ok());
+    system_ = std::make_unique<FileQuerySystem>(*schema);
+    BibtexGenOptions gen;
+    gen.num_references = 60;
+    gen.probe_author_rate = 0.3;  // plants "Chang"
+    ASSERT_TRUE(system_->AddFile("gen.bib", GenerateBibtex(gen)).ok());
+    ASSERT_TRUE(system_->BuildIndexes().ok());
+  }
+
+  std::set<std::string> Spans(const QueryResult& r) {
+    std::set<std::string> out;
+    for (const Region& reg : r.regions) out.insert(reg.ToString());
+    return out;
+  }
+
+  std::unique_ptr<FileQuerySystem> system_;
+};
+
+TEST_F(PrefixSearchTest, AlgebraStartsSelection) {
+  ExprEvaluator eval(&system_->region_index(), &system_->word_index(),
+                     &system_->corpus());
+  auto starts = ParseRegionExpr("starts(\"Cha\", Last_Name)");
+  ASSERT_TRUE(starts.ok());
+  auto hit = eval.Evaluate(**starts);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_GT(hit->size(), 0u);
+  // Every Chang is a Cha-prefixed last name.
+  auto exact = ParseRegionExpr("sigma(\"Chang\", Last_Name)");
+  auto exact_set = eval.Evaluate(**exact);
+  ASSERT_TRUE(exact_set.ok());
+  EXPECT_EQ(Intersect(*hit, *exact_set), *exact_set);
+}
+
+TEST_F(PrefixSearchTest, AlgebraHasPrefixSelection) {
+  ExprEvaluator eval(&system_->region_index(), &system_->word_index(),
+                     &system_->corpus());
+  auto e = ParseRegionExpr("hasprefix(\"Cha\", Reference)");
+  ASSERT_TRUE(e.ok());
+  auto refs = eval.Evaluate(**e);
+  ASSERT_TRUE(refs.ok()) << refs.status().ToString();
+  // At least the references with Chang authors qualify.
+  auto via_sigma = eval.Evaluate(
+      **ParseRegionExpr("Reference > sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(via_sigma.ok());
+  EXPECT_EQ(Intersect(*refs, *via_sigma), *via_sigma);
+}
+
+TEST_F(PrefixSearchTest, FqlStartsEndToEnd) {
+  const char* fql =
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name STARTS \"Cha\"";
+  auto indexed = system_->Execute(fql);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  EXPECT_EQ(indexed->stats.strategy, "index-only");
+  EXPECT_GT(indexed->regions.size(), 0u);
+  auto base = system_->Execute(fql, ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*indexed), Spans(*base));
+  // The prefix hits are a superset of the exact-match hits.
+  auto exact = system_->Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  ASSERT_TRUE(exact.ok());
+  for (const auto& span : Spans(*exact)) {
+    EXPECT_TRUE(Spans(*indexed).count(span) == 1) << span;
+  }
+}
+
+TEST_F(PrefixSearchTest, StartsOnMultiWordField) {
+  // Title STARTS anchors on the title's first word.
+  auto r = system_->Execute(
+      "SELECT r FROM References r WHERE r.Title STARTS \"Sol\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto base = system_->Execute(
+      "SELECT r FROM References r WHERE r.Title STARTS \"Sol\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*r), Spans(*base));
+}
+
+TEST_F(PrefixSearchTest, StartsUnderPartialIndexDegradesSoundly) {
+  ASSERT_TRUE(system_
+                  ->BuildIndexes(IndexSpec::Partial(
+                      {"Reference", "Key", "Last_Name"}))
+                  .ok());
+  const char* fql =
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name STARTS \"Cha\"";
+  auto indexed = system_->Execute(fql);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  auto base = system_->Execute(fql, ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(Spans(*indexed), Spans(*base));
+  // Under {Reference, Key}, the selection degrades to hasprefix on the
+  // Reference itself (superset) and two-phase filters it.
+  ASSERT_TRUE(
+      system_->BuildIndexes(IndexSpec::Partial({"Reference", "Key"}))
+          .ok());
+  auto degraded = system_->Execute(fql);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded->stats.strategy, "two-phase");
+  EXPECT_EQ(Spans(*degraded), Spans(*base));
+}
+
+TEST_F(PrefixSearchTest, MultiWordPrefixRejected) {
+  auto r = system_->Execute(
+      "SELECT r FROM References r WHERE r.Title STARTS \"two words\"");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(PrefixSearchTest, RoundTripsThroughToString) {
+  auto q = ParseFql(
+      "SELECT r FROM References r WHERE r.Title STARTS \"Sol\"");
+  ASSERT_TRUE(q.ok());
+  auto round = ParseFql(q->ToString());
+  ASSERT_TRUE(round.ok()) << q->ToString();
+  EXPECT_EQ(round->ToString(), q->ToString());
+}
+
+}  // namespace
+}  // namespace qof

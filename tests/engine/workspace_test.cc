@@ -1,0 +1,116 @@
+#include "qof/engine/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/schemas.h"
+
+namespace qof {
+namespace {
+
+class WorkspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ws_.AddSchema(*BibtexSchema()).ok());
+    ASSERT_TRUE(ws_.AddSchema(*MailSchema()).ok());
+    ASSERT_TRUE(ws_.AddSchema(*LogSchema()).ok());
+    BibtexGenOptions bib;
+    bib.num_references = 30;
+    bib.probe_author_rate = 0.3;
+    ASSERT_TRUE(
+        ws_.AddFile("BibTeX", "refs.bib", GenerateBibtex(bib)).ok());
+    MailGenOptions mail;
+    mail.num_messages = 30;
+    mail.probe_sender_rate = 0.3;
+    ASSERT_TRUE(
+        ws_.AddFile("Mail", "inbox.mail", GenerateMailbox(mail)).ok());
+    LogGenOptions log;
+    log.num_entries = 100;
+    ASSERT_TRUE(ws_.AddFile("Log", "app.log", GenerateLog(log)).ok());
+    ASSERT_TRUE(ws_.BuildAllIndexes().ok());
+  }
+
+  Workspace ws_;
+};
+
+TEST_F(WorkspaceTest, RoutesByViewName) {
+  auto refs = ws_.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  ASSERT_TRUE(refs.ok()) << refs.status().ToString();
+  EXPECT_GT(refs->regions.size(), 0u);
+
+  auto mail = ws_.Execute(
+      "SELECT m FROM Messages m "
+      "WHERE m.Sender.Address.Addr_Name = \"Dana Chang\"");
+  ASSERT_TRUE(mail.ok()) << mail.status().ToString();
+  EXPECT_GT(mail->regions.size(), 0u);
+
+  auto logs =
+      ws_.Execute("SELECT e FROM Entries e WHERE e.Level = \"INFO\"");
+  ASSERT_TRUE(logs.ok()) << logs.status().ToString();
+  EXPECT_GT(logs->regions.size(), 0u);
+}
+
+TEST_F(WorkspaceTest, UnknownViewIsNotFound) {
+  auto r = ws_.Execute("SELECT x FROM Ghosts x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(WorkspaceTest, ExplainRoutesToo) {
+  auto text = ws_.Explain(
+      "SELECT e FROM Entries e WHERE e.Level = \"ERROR\"");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("strategy:"), std::string::npos);
+}
+
+TEST_F(WorkspaceTest, PerSchemaIndexSpecs) {
+  ASSERT_TRUE(
+      ws_.BuildIndexes("BibTeX",
+                       IndexSpec::Partial({"Reference", "Last_Name"}))
+          .ok());
+  auto refs = ws_.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(refs->stats.strategy, "two-phase");
+  // Other schemas untouched.
+  auto logs =
+      ws_.Execute("SELECT e FROM Entries e WHERE e.Level = \"INFO\"");
+  ASSERT_TRUE(logs.ok());
+  EXPECT_EQ(logs->stats.strategy, "index-only");
+}
+
+TEST_F(WorkspaceTest, DuplicateSchemaRejected) {
+  EXPECT_FALSE(ws_.AddSchema(*BibtexSchema()).ok());
+}
+
+TEST_F(WorkspaceTest, SchemaNamesAndSystemAccess) {
+  EXPECT_EQ(ws_.num_schemas(), 3u);
+  EXPECT_EQ(ws_.SchemaNames(),
+            (std::vector<std::string>{"BibTeX", "Mail", "Log"}));
+  auto system = ws_.System("Mail");
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ((*system)->schema().view_name(), "Message");
+  EXPECT_FALSE(ws_.System("Nope").ok());
+}
+
+TEST(WorkspaceCollisionTest, ViewNameCollisionRejected) {
+  Workspace ws;
+  ASSERT_TRUE(ws.AddSchema(*BibtexSchema()).ok());
+  // A second schema whose view is also "Reference".
+  SchemaBuilder b("Clone", "Top", "Reference");
+  b.Star("Top", "Reference", "", Action::CollectSet());
+  b.Sequence("Reference", {b.Lit("<"), b.NT("W"), b.Lit(">")},
+             Action::Child(1));
+  b.Token("W", TokenKind::kWord);
+  auto clone = b.Build();
+  ASSERT_TRUE(clone.ok());
+  EXPECT_FALSE(ws.AddSchema(*clone).ok());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,239 @@
+// Property tests for Theorem 3.6: on randomized RIGs and randomized
+// conforming instances, the optimized chain is (a) semantically equivalent
+// to the original, (b) never more expensive, (c) a fixpoint. Confluence of
+// the rewrite system is exercised on the BibTeX RIG by applying rewrites
+// in random orders.
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/evaluator.h"
+#include "qof/optimizer/optimizer.h"
+
+namespace qof {
+namespace {
+
+Rig BibRig() {
+  Rig g;
+  g.AddEdge("Reference", "Key");
+  g.AddEdge("Reference", "Title");
+  g.AddEdge("Reference", "Authors");
+  g.AddEdge("Reference", "Editors");
+  g.AddEdge("Authors", "Name");
+  g.AddEdge("Editors", "Name");
+  g.AddEdge("Name", "First_Name");
+  g.AddEdge("Name", "Last_Name");
+  return g;
+}
+
+Rig RandomDag(std::mt19937& rng, int num_nodes, double edge_prob) {
+  Rig g;
+  for (int i = 0; i < num_nodes; ++i) g.AddNode("N" + std::to_string(i));
+  std::bernoulli_distribution coin(edge_prob);
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int j = i + 1; j < num_nodes; ++j) {
+      if (coin(rng)) {
+        g.AddEdge(static_cast<Rig::NodeId>(i),
+                  static_cast<Rig::NodeId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+// Generates a random instance satisfying the RIG: regions of each node are
+// carved strictly inside their parent's span, so every *direct* inclusion
+// in the instance corresponds to a RIG edge (Def. 3.1).
+RegionIndex RandomInstance(const Rig& g, std::mt19937& rng,
+                           uint64_t root_span) {
+  std::map<std::string, std::vector<Region>> inst;
+  std::function<void(Rig::NodeId, uint64_t, uint64_t, int)> build =
+      [&](Rig::NodeId node, uint64_t lo, uint64_t hi, int depth) {
+        inst[g.name(node)].push_back({lo, hi});
+        if (depth <= 0 || hi - lo < 10) return;
+        const std::vector<Rig::NodeId>& out = g.out_edges(node);
+        if (out.empty()) return;
+        std::uniform_int_distribution<int> num_children(0, 3);
+        int k = num_children(rng);
+        if (k == 0) return;
+        uint64_t width = (hi - lo - 2) / static_cast<uint64_t>(k);
+        if (width < 4) return;
+        std::uniform_int_distribution<size_t> pick(0, out.size() - 1);
+        for (int c = 0; c < k; ++c) {
+          uint64_t a = lo + 1 + static_cast<uint64_t>(c) * width;
+          uint64_t b = a + width - 2;
+          build(out[pick(rng)], a, b, depth - 1);
+        }
+      };
+  // Instantiate every node as a root a few times so that sparse nodes
+  // still get members.
+  uint64_t base = 0;
+  for (Rig::NodeId n = 0; n < static_cast<Rig::NodeId>(g.num_nodes());
+       ++n) {
+    build(n, base, base + root_span, 5);
+    base += root_span + 3;
+  }
+  RegionIndex index;
+  for (auto& [name, regions] : inst) {
+    index.Add(name, RegionSet::FromUnsorted(std::move(regions)));
+  }
+  // Ensure every node has an (empty) instance so evaluation never 404s.
+  for (Rig::NodeId n = 0; n < static_cast<Rig::NodeId>(g.num_nodes());
+       ++n) {
+    if (!index.Has(g.name(n))) index.Add(g.name(n), RegionSet());
+  }
+  return index;
+}
+
+// A random inclusion chain: usually a downward walk in the RIG (so it has
+// a chance of being non-trivial), sometimes a fully random name sequence.
+InclusionChain RandomChain(const Rig& g, std::mt19937& rng) {
+  InclusionChain chain;
+  std::bernoulli_distribution contained(0.3);
+  std::bernoulli_distribution random_names(0.2);
+  std::bernoulli_distribution direct(0.5);
+  std::uniform_int_distribution<int> len_dist(2, 5);
+  std::uniform_int_distribution<size_t> node_dist(0, g.num_nodes() - 1);
+  int len = len_dist(rng);
+
+  std::vector<std::string> names;
+  if (random_names(rng)) {
+    for (int i = 0; i < len; ++i) {
+      names.push_back(g.name(static_cast<Rig::NodeId>(node_dist(rng))));
+    }
+  } else {
+    Rig::NodeId cur = static_cast<Rig::NodeId>(node_dist(rng));
+    names.push_back(g.name(cur));
+    for (int i = 1; i < len; ++i) {
+      const std::vector<Rig::NodeId>& out = g.out_edges(cur);
+      if (out.empty()) break;
+      std::uniform_int_distribution<size_t> pick(0, out.size() - 1);
+      cur = out[pick(rng)];
+      names.push_back(g.name(cur));
+    }
+  }
+  chain.orientation = contained(rng)
+                          ? InclusionChain::Orientation::kContained
+                          : InclusionChain::Orientation::kContains;
+  if (chain.orientation == InclusionChain::Orientation::kContained) {
+    std::reverse(names.begin(), names.end());
+  }
+  chain.names = std::move(names);
+  chain.sels.resize(chain.names.size());
+  for (size_t i = 0; i + 1 < chain.names.size(); ++i) {
+    chain.direct.push_back(direct(rng));
+  }
+  return chain;
+}
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
+                         ::testing::Range(0u, 20u));
+
+TEST_P(OptimizerPropertyTest, OptimizedChainIsEquivalentOnInstances) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    Rig g = RandomDag(rng, 8, 0.3);
+    ChainOptimizer opt(&g);
+    RegionIndex index = RandomInstance(g, rng, 700);
+    ExprEvaluator eval(&index, nullptr, nullptr);
+    for (int q = 0; q < 12; ++q) {
+      InclusionChain chain = RandomChain(g, rng);
+      auto outcome = opt.Optimize(chain);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      auto original = eval.Evaluate(*chain.ToExpr());
+      ASSERT_TRUE(original.ok()) << original.status().ToString();
+      if (outcome->trivially_empty) {
+        EXPECT_TRUE(original->empty())
+            << "chain declared trivial but evaluates non-empty: "
+            << chain.ToString();
+        continue;
+      }
+      auto optimized = eval.Evaluate(*outcome->chain.ToExpr());
+      ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+      EXPECT_EQ(*original, *optimized)
+          << "chain: " << chain.ToString()
+          << "\noptimized: " << outcome->chain.ToString();
+    }
+  }
+}
+
+TEST_P(OptimizerPropertyTest, OptimizationNeverIncreasesCost) {
+  std::mt19937 rng(GetParam() + 100);
+  Rig g = RandomDag(rng, 10, 0.25);
+  ChainOptimizer opt(&g);
+  for (int q = 0; q < 50; ++q) {
+    InclusionChain chain = RandomChain(g, rng);
+    auto outcome = opt.Optimize(chain);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->trivially_empty) continue;
+    EXPECT_LE(outcome->chain.length(), chain.length());
+    EXPECT_LE(outcome->chain.CountDirectOps(), chain.CountDirectOps());
+  }
+}
+
+TEST_P(OptimizerPropertyTest, NormalFormIsFixpoint) {
+  std::mt19937 rng(GetParam() + 200);
+  Rig g = RandomDag(rng, 10, 0.25);
+  ChainOptimizer opt(&g);
+  for (int q = 0; q < 30; ++q) {
+    InclusionChain chain = RandomChain(g, rng);
+    auto outcome = opt.Optimize(chain);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->trivially_empty) continue;
+    EXPECT_TRUE(opt.ApplicableRewrites(outcome->chain).empty())
+        << outcome->chain.ToString();
+  }
+}
+
+// Random application orders reach the same normal form on the BibTeX RIG
+// (finite Church-Rosser, Thm. 3.6(i) via [Set74]).
+TEST_P(OptimizerPropertyTest, ConfluenceOnBibRig) {
+  std::mt19937 rng(GetParam() + 300);
+  Rig g = BibRig();
+  ChainOptimizer opt(&g);
+  for (int q = 0; q < 25; ++q) {
+    InclusionChain chain = RandomChain(g, rng);
+    auto outcome = opt.Optimize(chain);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->trivially_empty) continue;
+    // Random-order rewriting.
+    InclusionChain current = chain;
+    while (true) {
+      auto rewrites = opt.ApplicableRewrites(current);
+      if (rewrites.empty()) break;
+      std::uniform_int_distribution<size_t> pick(0, rewrites.size() - 1);
+      current = opt.ApplyRewrite(current, rewrites[pick(rng)]);
+    }
+    EXPECT_EQ(current, outcome->chain)
+        << "original: " << chain.ToString()
+        << "\nrandom-order: " << current.ToString()
+        << "\ncanonical: " << outcome->chain.ToString();
+  }
+}
+
+// Trivially-empty detection agrees with evaluation on conforming
+// instances.
+TEST_P(OptimizerPropertyTest, TrivialityIsSound) {
+  std::mt19937 rng(GetParam() + 400);
+  for (int round = 0; round < 5; ++round) {
+    Rig g = RandomDag(rng, 7, 0.35);
+    ChainOptimizer opt(&g);
+    RegionIndex index = RandomInstance(g, rng, 600);
+    ExprEvaluator eval(&index, nullptr, nullptr);
+    for (int q = 0; q < 20; ++q) {
+      InclusionChain chain = RandomChain(g, rng);
+      if (!opt.IsTriviallyEmpty(chain)) continue;
+      auto result = eval.Evaluate(*chain.ToExpr());
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(result->empty()) << chain.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qof

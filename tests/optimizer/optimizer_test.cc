@@ -1,0 +1,179 @@
+#include "qof/optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+Rig BibRig() {
+  Rig g;
+  g.AddEdge("Reference", "Key");
+  g.AddEdge("Reference", "Title");
+  g.AddEdge("Reference", "Authors");
+  g.AddEdge("Reference", "Editors");
+  g.AddEdge("Authors", "Name");
+  g.AddEdge("Editors", "Name");
+  g.AddEdge("Name", "First_Name");
+  g.AddEdge("Name", "Last_Name");
+  return g;
+}
+
+InclusionChain Chain(std::string_view text) {
+  auto expr = ParseRegionExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto chain = InclusionChain::FromExpr(**expr);
+  EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+  return chain.ok() ? *chain : InclusionChain{};
+}
+
+std::string Optimized(const Rig& g, std::string_view text) {
+  ChainOptimizer opt(&g);
+  auto out = opt.Optimize(Chain(text));
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "";
+  if (out->trivially_empty) return "<empty>";
+  return out->chain.ToString();
+}
+
+// The paper's flagship rewrite (§3.2): e1 → e2.
+TEST(OptimizerTest, PaperE1BecomesE2) {
+  Rig g = BibRig();
+  EXPECT_EQ(
+      Optimized(
+          g, "Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"),
+      "Reference > Authors > sigma(\"Chang\", Last_Name)");
+}
+
+// §5.2: the projection chain optimizes symmetrically.
+TEST(OptimizerTest, PaperProjectionChain) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Last_Name << Name << Authors << Reference"),
+            "Last_Name < Authors < Reference");
+}
+
+// Authors cannot be dropped: Reference reaches Last_Name via Editors too.
+TEST(OptimizerTest, AuthorsTestSurvives) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Reference > Authors > Last_Name"),
+            "Reference > Authors > Last_Name");
+  // But Name can be dropped: every Authors-to-Last_Name path passes it.
+  EXPECT_EQ(Optimized(g, "Reference > Authors > Name > Last_Name"),
+            "Reference > Authors > Last_Name");
+}
+
+// Editors-side chain gets the same treatment.
+TEST(OptimizerTest, EditorsChain) {
+  Rig g = BibRig();
+  EXPECT_EQ(
+      Optimized(
+          g, "Reference >> Editors >> Name >> sigma(\"Chang\", Last_Name)"),
+      "Reference > Editors > sigma(\"Chang\", Last_Name)");
+}
+
+// Prop. 3.3(i): a ⊃d over a missing edge is trivially empty.
+TEST(OptimizerTest, TrivialDirectEdge) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Reference >> Last_Name"), "<empty>");
+  EXPECT_EQ(Optimized(g, "Authors >> Last_Name"), "<empty>");
+}
+
+// Prop. 3.3(ii): a ⊃ with no RIG path is trivially empty
+// (§3.2's e3 = Reference ⊃ Title ⊃ Last_Name).
+TEST(OptimizerTest, TrivialNoPath) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Reference > Title > Last_Name"), "<empty>");
+  EXPECT_EQ(Optimized(g, "Last_Name > Reference"), "<empty>");
+  EXPECT_EQ(Optimized(g, "Key > Title"), "<empty>");
+}
+
+TEST(OptimizerTest, UnknownNameIsTrivial) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Reference > Nonexistent"), "<empty>");
+}
+
+// The rightmost ⊃d may relax by the every-path-starts-with-edge rule even
+// when the edge is not the only path (cycle below the target).
+TEST(OptimizerTest, RightmostSpecialCase) {
+  Rig g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  g.AddEdge("C", "B");  // cycle B -> C -> B
+  // Interior position: A >> B inside A >> B >> C cannot relax by the
+  // only-path rule (edge extends via the cycle)... but it is rightmost in
+  // "A >> B" alone:
+  EXPECT_EQ(Optimized(g, "A >> B"), "A > B");
+  // As an interior operator it must stay direct.
+  EXPECT_EQ(Optimized(g, "A >> B >> C"), "A >> B > C");
+}
+
+// For ⊂-chains the rightmost special case is not applied (see
+// optimizer.cc); only the only-path rule fires.
+TEST(OptimizerTest, ContainedChainNoRightmostShortcut) {
+  Rig g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  g.AddEdge("C", "B");
+  // Chain B << A: edge (A,B) with every path starting with it, but B is on
+  // a cycle, so the only-path rule fails and no relaxation happens.
+  EXPECT_EQ(Optimized(g, "B << A"), "B << A");
+}
+
+TEST(OptimizerTest, SelectionBlocksDrop) {
+  Rig g = BibRig();
+  // Name carries a selection: it cannot be dropped even though every
+  // Authors-to-Last_Name path passes through it.
+  EXPECT_EQ(
+      Optimized(
+          g,
+          "Reference > Authors > contains(\"Chang\", Name) > Last_Name"),
+      "Reference > Authors > contains(\"Chang\", Name) > Last_Name");
+}
+
+TEST(OptimizerTest, LongChainCollapses) {
+  // A linear grammar: A -> B -> C -> D -> E, all only-paths.
+  Rig g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  g.AddEdge("C", "D");
+  g.AddEdge("D", "E");
+  EXPECT_EQ(Optimized(g, "A >> B >> C >> D >> sigma(\"w\", E)"),
+            "A > sigma(\"w\", E)");
+}
+
+TEST(OptimizerTest, AppliedRewritesAreReported) {
+  Rig g = BibRig();
+  ChainOptimizer opt(&g);
+  auto out = opt.Optimize(
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(out.ok());
+  // 3 relaxations + 1 drop.
+  EXPECT_EQ(out->applied.size(), 4u);
+  EXPECT_EQ(out->applied[0].kind, ChainRewrite::Kind::kRelaxDirect);
+  EXPECT_EQ(out->applied[3].kind, ChainRewrite::Kind::kDropMiddle);
+  EXPECT_FALSE(out->applied[3].ToString().empty());
+}
+
+TEST(OptimizerTest, SingleNameChainUntouched) {
+  Rig g = BibRig();
+  EXPECT_EQ(Optimized(g, "Reference"), "Reference");
+  EXPECT_EQ(Optimized(g, "sigma(\"Chang\", Last_Name)"),
+            "sigma(\"Chang\", Last_Name)");
+}
+
+TEST(OptimizerTest, OptimizedFormIsFixpoint) {
+  Rig g = BibRig();
+  ChainOptimizer opt(&g);
+  auto out = opt.Optimize(
+      Chain("Reference >> Authors >> Name >> sigma(\"Chang\", Last_Name)"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(opt.ApplicableRewrites(out->chain).empty());
+  auto again = opt.Optimize(out->chain);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->chain, out->chain);
+  EXPECT_TRUE(again->applied.empty());
+}
+
+}  // namespace
+}  // namespace qof

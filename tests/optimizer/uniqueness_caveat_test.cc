@@ -1,0 +1,110 @@
+// Documents (as an executable fact) the Theorem 3.6 uniqueness caveat
+// described in DESIGN.md: on RIGs where two overlapping drop-middle
+// rewrites apply, the rewrite system has two distinct normal forms. Both
+// are equivalent to the input — soundness holds — and the optimizer picks
+// one deterministically.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "qof/algebra/evaluator.h"
+#include "qof/algebra/parser.h"
+#include "qof/optimizer/optimizer.h"
+
+namespace qof {
+namespace {
+
+// Edges: A->B->C->D plus a bypass A->X->D.
+//  - every path A ⇝ C passes through B   (drop B in A⊃B⊃C is legal)
+//  - every path B ⇝ D passes through C   (drop C in B⊃C⊃D is legal)
+//  - but not every path A ⇝ D passes through B or C (the bypass), so
+//    after either drop the other middle cannot be dropped.
+Rig CaveatRig() {
+  Rig g;
+  g.AddEdge("A", "B");
+  g.AddEdge("B", "C");
+  g.AddEdge("C", "D");
+  g.AddEdge("A", "X");
+  g.AddEdge("X", "D");
+  return g;
+}
+
+InclusionChain Chain(const char* text) {
+  auto expr = ParseRegionExpr(text);
+  EXPECT_TRUE(expr.ok());
+  auto chain = InclusionChain::FromExpr(**expr);
+  EXPECT_TRUE(chain.ok());
+  return chain.ok() ? *chain : InclusionChain{};
+}
+
+TEST(UniquenessCaveatTest, TwoDistinctNormalFormsExist) {
+  Rig g = CaveatRig();
+  ChainOptimizer opt(&g);
+  InclusionChain original = Chain("A > B > C > D");
+
+  // Both single drops are applicable...
+  auto rewrites = opt.ApplicableRewrites(original);
+  ASSERT_EQ(rewrites.size(), 2u);
+  InclusionChain drop_b = opt.ApplyRewrite(original, rewrites[0]);
+  InclusionChain drop_c = opt.ApplyRewrite(original, rewrites[1]);
+  EXPECT_EQ(drop_b.ToString(), "A > C > D");
+  EXPECT_EQ(drop_c.ToString(), "A > B > D");
+  // ...and each result is a fixpoint: two distinct normal forms.
+  EXPECT_TRUE(opt.ApplicableRewrites(drop_b).empty());
+  EXPECT_TRUE(opt.ApplicableRewrites(drop_c).empty());
+  EXPECT_FALSE(drop_b == drop_c);
+
+  // The optimizer is deterministic: left-most drop first.
+  auto outcome = opt.Optimize(original);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->chain.ToString(), "A > C > D");
+}
+
+TEST(UniquenessCaveatTest, BothNormalFormsAreEquivalent) {
+  // Soundness is what matters: on every instance conforming to the RIG,
+  // all three expressions agree.
+  Rig g = CaveatRig();
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    // Random conforming instance: chains A ⊃ B ⊃ C ⊃ D and A ⊃ X ⊃ D
+    // instantiated at random offsets.
+    std::map<std::string, std::vector<Region>> inst;
+    std::uniform_int_distribution<int> count(0, 4);
+    uint64_t base = 0;
+    int n = count(rng) + 1;
+    std::bernoulli_distribution with_d(0.7);
+    for (int i = 0; i < n; ++i) {
+      inst["A"].push_back({base, base + 100});
+      if (with_d(rng)) {
+        inst["B"].push_back({base + 2, base + 60});
+        inst["C"].push_back({base + 4, base + 40});
+        if (with_d(rng)) inst["D"].push_back({base + 6, base + 20});
+      }
+      if (with_d(rng)) {
+        inst["X"].push_back({base + 62, base + 98});
+        if (with_d(rng)) inst["D"].push_back({base + 64, base + 90});
+      }
+      base += 128;
+    }
+    RegionIndex index;
+    for (const char* name : {"A", "B", "C", "D", "X"}) {
+      auto it = inst.find(name);
+      index.Add(name, it == inst.end()
+                          ? RegionSet()
+                          : RegionSet::FromUnsorted(it->second));
+    }
+    ExprEvaluator eval(&index, nullptr, nullptr);
+    auto original = eval.Evaluate(**ParseRegionExpr("A > B > C > D"));
+    auto form1 = eval.Evaluate(**ParseRegionExpr("A > C > D"));
+    auto form2 = eval.Evaluate(**ParseRegionExpr("A > B > D"));
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(form1.ok());
+    ASSERT_TRUE(form2.ok());
+    EXPECT_EQ(*original, *form1);
+    EXPECT_EQ(*original, *form2);
+  }
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,108 @@
+// Robustness: the parser and the indexing pipeline must fail cleanly (a
+// ParseError naming the file, never a crash or hang) on truncated and
+// corrupted inputs.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/outline_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+class RobustnessTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest, ::testing::Range(0u, 5u));
+
+void CheckTruncations(const StructuringSchema& schema,
+                      const std::string& text, std::mt19937& rng) {
+  SchemaParser parser(&schema);
+  std::uniform_int_distribution<size_t> cut(0, text.size());
+  for (int i = 0; i < 40; ++i) {
+    std::string truncated = text.substr(0, cut(rng));
+    auto tree = parser.ParseDocument(truncated, 0);
+    // Either it parses (cut fell on an entry boundary) or it reports a
+    // parse error; both are fine — crashing or OOMing is not.
+    if (!tree.ok()) {
+      EXPECT_TRUE(tree.status().IsParseError())
+          << tree.status().ToString();
+    }
+  }
+}
+
+void CheckMutations(const StructuringSchema& schema,
+                    const std::string& text, std::mt19937& rng) {
+  SchemaParser parser(&schema);
+  std::uniform_int_distribution<size_t> pos(0, text.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = text;
+    // Flip a handful of characters.
+    for (int k = 0; k < 5; ++k) {
+      mutated[pos(rng)] = static_cast<char>(ch(rng));
+    }
+    auto tree = parser.ParseDocument(mutated, 0);
+    if (!tree.ok()) {
+      EXPECT_TRUE(tree.status().IsParseError());
+    }
+  }
+}
+
+TEST_P(RobustnessTest, BibtexTruncationsAndMutations) {
+  std::mt19937 rng(GetParam());
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  BibtexGenOptions gen;
+  gen.num_references = 8;
+  gen.seed = GetParam();
+  std::string text = GenerateBibtex(gen);
+  CheckTruncations(*schema, text, rng);
+  CheckMutations(*schema, text, rng);
+}
+
+TEST_P(RobustnessTest, MailTruncations) {
+  std::mt19937 rng(GetParam() + 100);
+  auto schema = MailSchema();
+  ASSERT_TRUE(schema.ok());
+  MailGenOptions gen;
+  gen.num_messages = 8;
+  gen.seed = GetParam();
+  std::string text = GenerateMailbox(gen);
+  CheckTruncations(*schema, text, rng);
+  CheckMutations(*schema, text, rng);
+}
+
+TEST_P(RobustnessTest, OutlineTruncations) {
+  std::mt19937 rng(GetParam() + 200);
+  auto schema = OutlineSchema();
+  ASSERT_TRUE(schema.ok());
+  OutlineGenOptions gen;
+  gen.num_top_sections = 5;
+  gen.seed = GetParam();
+  std::string text = GenerateOutline(gen);
+  CheckTruncations(*schema, text, rng);
+  CheckMutations(*schema, text, rng);
+}
+
+TEST(RobustnessTest2, EngineSurvivesBadFileThenGoodFile) {
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok());
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("bad.bib", "@INCOLLECTION{broken").ok());
+  auto s = system.BuildIndexes();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad.bib"), std::string::npos);
+  // The system remains usable: baseline also reports the error cleanly.
+  auto r = system.Execute("SELECT r FROM References r",
+                          ExecutionMode::kBaseline);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,73 @@
+#include "qof/query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+std::vector<FqlTokenKind> Kinds(std::string_view s) {
+  auto r = LexFql(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<FqlTokenKind> out;
+  if (r.ok()) {
+    for (const FqlToken& t : *r) out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(FqlLexerTest, KeywordsCaseInsensitive) {
+  auto kinds = Kinds("SELECT select SeLeCt FROM where AND or NOT contains");
+  EXPECT_EQ(kinds,
+            (std::vector<FqlTokenKind>{
+                FqlTokenKind::kSelect, FqlTokenKind::kSelect,
+                FqlTokenKind::kSelect, FqlTokenKind::kFrom,
+                FqlTokenKind::kWhere, FqlTokenKind::kAnd,
+                FqlTokenKind::kOr, FqlTokenKind::kNot,
+                FqlTokenKind::kContains, FqlTokenKind::kEnd}));
+}
+
+TEST(FqlLexerTest, IdentifiersKeepCase) {
+  auto r = LexFql("Last_Name references");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, FqlTokenKind::kIdent);
+  EXPECT_EQ((*r)[0].text, "Last_Name");
+  EXPECT_EQ((*r)[1].text, "references");
+}
+
+TEST(FqlLexerTest, SymbolsAndStrings) {
+  auto r = LexFql("r.Authors = \"Chang Lee\" (*X) ?Y");
+  ASSERT_TRUE(r.ok());
+  std::vector<FqlTokenKind> kinds;
+  for (const FqlToken& t : *r) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<FqlTokenKind>{
+                       FqlTokenKind::kIdent, FqlTokenKind::kDot,
+                       FqlTokenKind::kIdent, FqlTokenKind::kEquals,
+                       FqlTokenKind::kString, FqlTokenKind::kLParen,
+                       FqlTokenKind::kStar, FqlTokenKind::kIdent,
+                       FqlTokenKind::kRParen, FqlTokenKind::kQuestion,
+                       FqlTokenKind::kIdent, FqlTokenKind::kEnd}));
+  EXPECT_EQ((*r)[4].text, "Chang Lee");
+}
+
+TEST(FqlLexerTest, OffsetsReported) {
+  auto r = LexFql("SELECT r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].offset, 0u);
+  EXPECT_EQ((*r)[1].offset, 7u);
+}
+
+TEST(FqlLexerTest, Errors) {
+  EXPECT_FALSE(LexFql("\"unterminated").ok());
+  EXPECT_FALSE(LexFql("a # b").ok());
+  EXPECT_FALSE(LexFql("a > b").ok());
+}
+
+TEST(FqlLexerTest, EmptyInputIsJustEnd) {
+  auto r = LexFql("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].kind, FqlTokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,134 @@
+#include "qof/query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+SelectQuery Parse(std::string_view s) {
+  auto r = ParseFql(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return r.ok() ? *r : SelectQuery{};
+}
+
+TEST(FqlParserTest, PaperFlagshipQuery) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  EXPECT_EQ(q.view, "References");
+  EXPECT_EQ(q.var, "r");
+  EXPECT_FALSE(q.IsProjection());
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), Condition::Kind::kEqualsLiteral);
+  EXPECT_EQ(q.where->literal(), "Chang");
+  EXPECT_EQ(q.where->path().ToString(), "r.Authors.Name.Last_Name");
+}
+
+TEST(FqlParserTest, ProjectionQuery) {
+  SelectQuery q =
+      Parse("SELECT r.Authors.Name.Last_Name FROM References r");
+  EXPECT_TRUE(q.IsProjection());
+  EXPECT_EQ(q.target.steps.size(), 3u);
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(FqlParserTest, WildcardStar) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r WHERE r.*X.Last_Name = \"Chang\"");
+  ASSERT_NE(q.where, nullptr);
+  const PathExpr& p = q.where->path();
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].kind, PathStep::Kind::kWildStar);
+  EXPECT_EQ(p.steps[0].name, "X");
+  EXPECT_EQ(p.steps[1].kind, PathStep::Kind::kAttr);
+}
+
+TEST(FqlParserTest, WildcardOne) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r WHERE r.?X1.?X2.Last_Name = \"Chang\"");
+  const PathExpr& p = q.where->path();
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].kind, PathStep::Kind::kWildOne);
+  EXPECT_EQ(p.steps[1].kind, PathStep::Kind::kWildOne);
+  EXPECT_EQ(p.ToString(), "r.?X1.?X2.Last_Name");
+}
+
+TEST(FqlParserTest, JoinPredicate) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r "
+      "WHERE r.Editors.Name = r.Authors.Name");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), Condition::Kind::kEqualsPath);
+  EXPECT_EQ(q.where->path().ToString(), "r.Editors.Name");
+  EXPECT_EQ(q.where->rhs_path().ToString(), "r.Authors.Name");
+}
+
+TEST(FqlParserTest, BooleanStructureAndPrecedence) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r WHERE "
+      "r.Year = \"1982\" OR r.Year = \"1983\" AND NOT r.Publisher = "
+      "\"SIAM\"");
+  // OR is lowest: Or(eq, And(eq, Not(eq))).
+  ASSERT_EQ(q.where->kind(), Condition::Kind::kOr);
+  EXPECT_EQ(q.where->left()->kind(), Condition::Kind::kEqualsLiteral);
+  ASSERT_EQ(q.where->right()->kind(), Condition::Kind::kAnd);
+  EXPECT_EQ(q.where->right()->right()->kind(), Condition::Kind::kNot);
+}
+
+TEST(FqlParserTest, ParenthesesOverridePrecedence) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r WHERE "
+      "(r.Year = \"1982\" OR r.Year = \"1983\") AND r.Publisher = "
+      "\"SIAM\"");
+  ASSERT_EQ(q.where->kind(), Condition::Kind::kAnd);
+  EXPECT_EQ(q.where->left()->kind(), Condition::Kind::kOr);
+}
+
+TEST(FqlParserTest, ContainsPredicate) {
+  SelectQuery q = Parse(
+      "SELECT r FROM References r WHERE r.Abstract CONTAINS \"Fortran\"");
+  EXPECT_EQ(q.where->kind(), Condition::Kind::kContainsWord);
+  EXPECT_EQ(q.where->literal(), "Fortran");
+}
+
+TEST(FqlParserTest, ToStringRoundTrips) {
+  const char* queries[] = {
+      "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+      "\"Chang\"",
+      "SELECT r.Key FROM References r",
+      "SELECT r FROM References r WHERE (r.Year = \"1982\" AND "
+      "r.Publisher = \"SIAM\")",
+      "SELECT m FROM Messages m WHERE m.*X.Addr_Name = \"Dana Chang\"",
+  };
+  for (const char* text : queries) {
+    SelectQuery q = Parse(text);
+    SelectQuery round = Parse(q.ToString());
+    EXPECT_EQ(round.ToString(), q.ToString()) << text;
+  }
+}
+
+TEST(FqlParserTest, Errors) {
+  EXPECT_FALSE(ParseFql("").ok());
+  EXPECT_FALSE(ParseFql("SELECT FROM References r").ok());
+  EXPECT_FALSE(ParseFql("SELECT r References r").ok());
+  EXPECT_FALSE(ParseFql("SELECT r FROM References").ok());
+  EXPECT_FALSE(ParseFql("SELECT r FROM References r WHERE").ok());
+  EXPECT_FALSE(
+      ParseFql("SELECT r FROM References r WHERE r.Year =").ok());
+  EXPECT_FALSE(
+      ParseFql("SELECT r FROM References r WHERE r.Year 1982").ok());
+  EXPECT_FALSE(ParseFql(
+                   "SELECT r FROM References r WHERE r.Year = \"1\" extra")
+                   .ok());
+  // SELECT variable must match FROM variable.
+  EXPECT_FALSE(ParseFql("SELECT x FROM References r").ok());
+  // WHERE paths must use the FROM variable.
+  EXPECT_FALSE(
+      ParseFql("SELECT r FROM References r WHERE x.Year = \"1\"").ok());
+  // CONTAINS needs a string.
+  EXPECT_FALSE(
+      ParseFql("SELECT r FROM References r WHERE r.A CONTAINS x").ok());
+}
+
+}  // namespace
+}  // namespace qof

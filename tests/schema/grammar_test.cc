@@ -1,0 +1,119 @@
+#include "qof/schema/grammar.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+TEST(GrammarTest, AddSymbolIdempotent) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  EXPECT_EQ(g.AddSymbol("A"), a);
+  EXPECT_EQ(g.num_symbols(), 1u);
+  EXPECT_EQ(g.SymbolName(a), "A");
+  EXPECT_EQ(g.FindSymbol("A"), a);
+  EXPECT_EQ(g.FindSymbol("B"), kInvalidSymbol);
+}
+
+TEST(GrammarTest, OneRulePerSymbol) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  EXPECT_TRUE(g.SetRule(a, TokenBody{TokenKind::kWord, {}}).ok());
+  EXPECT_TRUE(g.HasRule(a));
+  auto s = g.SetRule(a, TokenBody{TokenKind::kNumber, {}});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GrammarTest, RuleChildrenSkipLiterals) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  SymbolId c = g.AddSymbol("C");
+  ASSERT_TRUE(g.SetRule(a, SequenceBody{{GrammarElement::Lit("["),
+                                         GrammarElement::NT(b),
+                                         GrammarElement::Lit(","),
+                                         GrammarElement::NT(c),
+                                         GrammarElement::Lit("]")}})
+                  .ok());
+  EXPECT_EQ(g.RuleChildren(a), (std::vector<SymbolId>{b, c}));
+}
+
+TEST(GrammarTest, RuleChildrenIncludeInlineStar) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  ASSERT_TRUE(g.SetRule(a, SequenceBody{{GrammarElement::Lit("\""),
+                                         GrammarElement::Star(b, ";"),
+                                         GrammarElement::Lit("\"")}})
+                  .ok());
+  EXPECT_EQ(g.RuleChildren(a), (std::vector<SymbolId>{b}));
+}
+
+TEST(GrammarTest, ValidateRejectsMissingRule) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  ASSERT_TRUE(
+      g.SetRule(a, SequenceBody{{GrammarElement::Lit("x"),
+                                 GrammarElement::NT(b)}})
+          .ok());
+  auto s = g.Validate(a);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("B"), std::string::npos);
+}
+
+TEST(GrammarTest, ValidateRejectsSpanCollision) {
+  // A -> B alone: parent and child spans coincide.
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  ASSERT_TRUE(g.SetRule(a, SequenceBody{{GrammarElement::NT(b)}}).ok());
+  ASSERT_TRUE(g.SetRule(b, TokenBody{TokenKind::kWord, {}}).ok());
+  auto s = g.Validate(a);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("identical spans"), std::string::npos);
+}
+
+TEST(GrammarTest, ValidateRejectsMixedStarAndNT) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  SymbolId c = g.AddSymbol("C");
+  ASSERT_TRUE(g.SetRule(a, SequenceBody{{GrammarElement::NT(b),
+                                         GrammarElement::Star(c, ";")}})
+                  .ok());
+  ASSERT_TRUE(g.SetRule(b, TokenBody{TokenKind::kWord, {}}).ok());
+  ASSERT_TRUE(g.SetRule(c, TokenBody{TokenKind::kWord, {}}).ok());
+  EXPECT_FALSE(g.Validate(a).ok());
+}
+
+TEST(GrammarTest, ValidateRejectsUntilWithoutStops) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  ASSERT_TRUE(g.SetRule(a, TokenBody{TokenKind::kUntil, {}}).ok());
+  EXPECT_FALSE(g.Validate(a).ok());
+
+  Grammar h;
+  SymbolId x = h.AddSymbol("X");
+  ASSERT_TRUE(h.SetRule(x, TokenBody{TokenKind::kUntil, {""}}).ok());
+  EXPECT_FALSE(h.Validate(x).ok());
+}
+
+TEST(GrammarTest, ValidateRejectsEmptyLiteral) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  ASSERT_TRUE(g.SetRule(a, SequenceBody{{GrammarElement::Lit("")}}).ok());
+  EXPECT_FALSE(g.Validate(a).ok());
+}
+
+TEST(GrammarTest, ValidateAcceptsStarRule) {
+  Grammar g;
+  SymbolId a = g.AddSymbol("A");
+  SymbolId b = g.AddSymbol("B");
+  ASSERT_TRUE(g.SetRule(a, StarBody{b, "", 0}).ok());
+  ASSERT_TRUE(g.SetRule(b, TokenBody{TokenKind::kWord, {}}).ok());
+  EXPECT_TRUE(g.Validate(a).ok());
+}
+
+}  // namespace
+}  // namespace qof

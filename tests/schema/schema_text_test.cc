@@ -1,0 +1,232 @@
+#include "qof/schema/schema_text.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+#include "qof/schema/rig_derivation.h"
+
+namespace qof {
+namespace {
+
+// The full BibTeX structuring schema, written in the textual format.
+constexpr const char* kBibtexText = R"qq(
+schema BibTeX root Ref_Set view Reference;
+
+-- one file = a set of references (paper Figure 1 shape)
+Ref_Set   ::= (Reference)*  => collect set;
+
+Reference ::= "@INCOLLECTION{" Key ","
+              "AUTHOR =" Authors ","
+              "TITLE = " '"' Title '",'
+              "BOOKTITLE = " '"' BookTitle '",'
+              "YEAR = " '"' Year '",'
+              "EDITOR =" Editors ","
+              "PUBLISHER = " '"' Publisher '",'
+              "ADDRESS = " '"' Address '",'
+              "PAGES = " '"' Pages '",'
+              "REFERRED =" Referred ","
+              "KEYWORDS =" Keywords ","
+              "ABSTRACT = " '"' Abstract '"'
+              "}"
+  => object Reference(Key: $1, Authors: $2, Title: $3, BookTitle: $4,
+                      Year: $5, Editors: $6, Publisher: $7, Address: $8,
+                      Pages: $9, Referred: $10, Keywords: $11,
+                      Abstract: $12);
+
+Authors   ::= '"' (Name / "and ")+ '"'   => collect set;
+Editors   ::= '"' (Name / "and ")+ '"'   => collect set;
+Name      ::= First_Name Last_Name
+  => tuple(First_Name: $1, Last_Name: $2);
+Keywords  ::= '"' (Keyword / ";")* '"'   => collect set;
+Referred  ::= '"' (RefKey / ";")* '"'    => collect set;
+
+Key        ::= until(",");
+Title      ::= until('"');
+BookTitle  ::= until('"');
+Year       ::= number                     => int;
+Publisher  ::= until('"');
+Address    ::= until('"');
+Pages      ::= until('"');
+Abstract   ::= until('"');
+Keyword    ::= until(";", '"');
+RefKey     ::= until(";", '"');
+First_Name ::= until-last-word(" and ", '"');
+Last_Name  ::= word;
+)qq";
+
+TEST(SchemaTextTest, ParsesFullBibtexSchema) {
+  auto schema = ParseSchemaText(kBibtexText);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name(), "BibTeX");
+  EXPECT_EQ(schema->view_name(), "Reference");
+}
+
+TEST(SchemaTextTest, TextualSchemaMatchesBuilderSchema) {
+  auto text_schema = ParseSchemaText(kBibtexText);
+  ASSERT_TRUE(text_schema.ok()) << text_schema.status().ToString();
+  auto builder_schema = BibtexSchema();
+  ASSERT_TRUE(builder_schema.ok());
+  // Same symbols and same RIG.
+  Rig text_rig = DeriveFullRig(*text_schema);
+  Rig builder_rig = DeriveFullRig(*builder_schema);
+  EXPECT_EQ(text_rig.num_nodes(), builder_rig.num_nodes());
+  EXPECT_EQ(text_rig.num_edges(), builder_rig.num_edges());
+  for (const std::string& from : builder_rig.NodeNames()) {
+    for (const std::string& to : builder_rig.NodeNames()) {
+      EXPECT_EQ(text_rig.HasEdge(from, to), builder_rig.HasEdge(from, to))
+          << from << " -> " << to;
+    }
+  }
+}
+
+TEST(SchemaTextTest, TextualSchemaAnswersQueries) {
+  auto schema = ParseSchemaText(kBibtexText);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  BibtexGenOptions gen;
+  gen.num_references = 50;
+  gen.probe_author_rate = 0.3;
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system.AddFile("gen.bib", GenerateBibtex(gen)).ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto indexed = system.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"");
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  EXPECT_EQ(indexed->stats.strategy, "index-only");
+  auto base = system.Execute(
+      "SELECT r FROM References r "
+      "WHERE r.Authors.Name.Last_Name = \"Chang\"",
+      ExecutionMode::kBaseline);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(indexed->regions.size(), base->regions.size());
+  EXPECT_GT(indexed->regions.size(), 0u);
+}
+
+TEST(SchemaTextTest, MinimalSchema) {
+  auto schema = ParseSchemaText(R"qq(
+    schema Tiny root File view Item;
+    File ::= (Item)* => collect set;
+    Item ::= "(" Word ")" => $1;
+    Word ::= word;
+  )qq");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->grammar().num_symbols(), 3u);
+}
+
+TEST(SchemaTextTest, DefaultActions) {
+  // Star rules default to collect set; token rules to text.
+  auto schema = ParseSchemaText(R"qq(
+    schema D root F view I;
+    F ::= (I)*;
+    I ::= "[" W "]" => $1;
+    W ::= word;
+  )qq");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  SymbolId f = schema->grammar().FindSymbol("F");
+  EXPECT_EQ(schema->ActionFor(f).kind, Action::Kind::kCollectSet);
+  SymbolId w = schema->grammar().FindSymbol("W");
+  EXPECT_EQ(schema->ActionFor(w).kind, Action::Kind::kString);
+}
+
+TEST(SchemaTextTest, CommentsAndWhitespace) {
+  auto schema = ParseSchemaText(
+      "-- header comment\n"
+      "schema C root F view I; -- trailing\n"
+      "F ::= (I)*; -- star\n"
+      "I ::= \"<\" W \">\" => $1;\n"
+      "W ::= word;\n");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+}
+
+TEST(SchemaTextTest, QuoteStyles) {
+  // Double-quoted literal containing a single quote and vice versa.
+  auto schema = ParseSchemaText(R"qq(
+    schema Q root F view I;
+    F ::= (I)*;
+    I ::= "it's" W '"quoted"' => $1;
+    W ::= word;
+  )qq");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+}
+
+TEST(SchemaTextTest, RecursiveSchemaInTextFormat) {
+  // The self-nested outline schema expressed textually; the RIG must
+  // carry the Section -> Subsections -> Section cycle.
+  auto schema = ParseSchemaText(R"qq(
+    schema Outline root Document view Section;
+    Document    ::= (Section)*;
+    Section     ::= "<sec [" SecTitle "]" Prose Subsections "sec>"
+      => object Section(SecTitle: $1, Prose: $2, Subsections: $3);
+    Subsections ::= "{" (Section)* "}"  => collect set;
+    SecTitle    ::= until("]");
+    Prose       ::= until("{");
+  )qq");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  Rig rig = DeriveFullRig(*schema);
+  auto section = rig.FindNode("Section");
+  ASSERT_NE(section, Rig::kInvalidNode);
+  EXPECT_TRUE(rig.Reachable(section, section));
+
+  FileQuerySystem system(*schema);
+  ASSERT_TRUE(system
+                  .AddFile("d.outline",
+                           "<sec [A] p { <sec [B] q { } sec> } sec>")
+                  .ok());
+  ASSERT_TRUE(system.BuildIndexes().ok());
+  auto r = system.Execute(
+      "SELECT s FROM Sections s WHERE s.*X.SecTitle = \"B\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->regions.size(), 2u);  // A (ancestor) and B itself
+}
+
+TEST(SchemaTextTest, Errors) {
+  // Missing header.
+  EXPECT_FALSE(ParseSchemaText("F ::= word;").ok());
+  // Missing semicolon.
+  EXPECT_FALSE(
+      ParseSchemaText("schema X root F view F; F ::= word").ok());
+  // Sequence without action.
+  EXPECT_FALSE(ParseSchemaText(R"qq(
+    schema X root F view I;
+    F ::= (I)*;
+    I ::= "<" W ">";
+    W ::= word;
+  )qq").ok());
+  // Unknown action.
+  EXPECT_FALSE(ParseSchemaText(R"qq(
+    schema X root F view I;
+    F ::= (I)* => gather;
+    I ::= word;
+  )qq").ok());
+  // Unterminated string.
+  EXPECT_FALSE(ParseSchemaText("schema X root F view F; F ::= \"oops;")
+                   .ok());
+  // Bad repetition marker.
+  EXPECT_FALSE(ParseSchemaText(R"qq(
+    schema X root F view I;
+    F ::= (I)?;
+    I ::= word;
+  )qq").ok());
+  // Builder-level validation still applies (span collision).
+  EXPECT_FALSE(ParseSchemaText(R"qq(
+    schema X root F view I;
+    F ::= (I)*;
+    I ::= W => $1;
+    W ::= word;
+  )qq").ok());
+}
+
+TEST(SchemaTextTest, ErrorsCarryLineNumbers) {
+  auto r = ParseSchemaText(
+      "schema X root F view F;\n"
+      "F ::= word\n"
+      "G ::= word;\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+}  // namespace
+}  // namespace qof

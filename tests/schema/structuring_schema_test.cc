@@ -1,0 +1,108 @@
+#include "qof/schema/structuring_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/schemas.h"
+
+namespace qof {
+namespace {
+
+TEST(SchemaBuilderTest, MinimalSchema) {
+  SchemaBuilder b("Tiny", "File", "Item");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Sequence("Item", {b.Lit("("), b.NT("Word"), b.Lit(")")},
+             Action::Child(1));
+  b.Token("Word", TokenKind::kWord);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name(), "Tiny");
+  EXPECT_EQ(schema->view_name(), "Item");
+  EXPECT_NE(schema->root(), kInvalidSymbol);
+  EXPECT_NE(schema->root(), schema->view());
+}
+
+TEST(SchemaBuilderTest, IndexableNamesExcludeRoot) {
+  SchemaBuilder b("Tiny", "File", "Item");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Sequence("Item", {b.Lit("("), b.NT("Word"), b.Lit(")")},
+             Action::Child(1));
+  b.Token("Word", TokenKind::kWord);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  auto names = schema->IndexableNames();
+  EXPECT_EQ(names.size(), 2u);
+  for (const auto& n : names) EXPECT_NE(n, "File");
+}
+
+TEST(SchemaBuilderTest, ActionIndexOutOfRangeRejected) {
+  SchemaBuilder b("Bad", "File", "Item");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Sequence("Item", {b.Lit("("), b.NT("Word"), b.Lit(")")},
+             Action::Child(2));  // only one child
+  b.Token("Word", TokenKind::kWord);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, ObjectFieldIndexOutOfRangeRejected) {
+  SchemaBuilder b("Bad", "File", "Item");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Sequence("Item", {b.Lit("("), b.NT("Word"), b.Lit(")")},
+             Action::Object("Item", {{"W", 1}, {"X", 3}}));
+  b.Token("Word", TokenKind::kWord);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, UnknownViewRejected) {
+  SchemaBuilder b("Bad", "File", "Ghost");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Sequence("Item", {b.Lit("("), b.NT("Word"), b.Lit(")")},
+             Action::Child(1));
+  b.Token("Word", TokenKind::kWord);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, DuplicateRuleRejected) {
+  SchemaBuilder b("Bad", "File", "Item");
+  b.Star("File", "Item", "", Action::CollectSet());
+  b.Token("Item", TokenKind::kWord);
+  b.Token("Item", TokenKind::kNumber);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(BuiltinSchemasTest, BibtexSchemaBuilds) {
+  auto schema = BibtexSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->view_name(), "Reference");
+  const Grammar& g = schema->grammar();
+  for (const char* name :
+       {"Ref_Set", "Reference", "Key", "Authors", "Editors", "Name",
+        "First_Name", "Last_Name", "Title", "Year", "Keywords", "Keyword",
+        "Abstract", "Referred", "RefKey"}) {
+    EXPECT_NE(g.FindSymbol(name), kInvalidSymbol) << name;
+  }
+}
+
+TEST(BuiltinSchemasTest, MailSchemaBuilds) {
+  auto schema = MailSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->view_name(), "Message");
+}
+
+TEST(BuiltinSchemasTest, LogSchemaBuilds) {
+  auto schema = LogSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->view_name(), "Entry");
+}
+
+TEST(ActionTest, ToStringForms) {
+  EXPECT_EQ(Action::String().ToString(), "$$ := text");
+  EXPECT_EQ(Action::Int().ToString(), "$$ := int(text)");
+  EXPECT_EQ(Action::Child(2).ToString(), "$$ := $2");
+  EXPECT_EQ(Action::CollectSet().ToString(), "$$ := U $i");
+  EXPECT_EQ(Action::Tuple({{"A", 1}}).ToString(), "$$ := tuple(A: $1)");
+  EXPECT_EQ(Action::Object("C", {{"A", 1}, {"B", 2}}).ToString(),
+            "$$ := new(C, tuple(A: $1, B: $2))");
+}
+
+}  // namespace
+}  // namespace qof

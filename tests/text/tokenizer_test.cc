@@ -1,0 +1,76 @@
+#include "qof/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+std::vector<std::string> Words(std::string_view text) {
+  std::vector<std::string> out;
+  for (const WordToken& t : Tokenizer::Tokenize(text)) {
+    out.emplace_back(t.text);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  EXPECT_EQ(Words("hello world"), (std::vector<std::string>{"hello",
+                                                            "world"}));
+  EXPECT_EQ(Words("a,b;c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TokenizerTest, EmptyAndNoWordInputs) {
+  EXPECT_TRUE(Words("").empty());
+  EXPECT_TRUE(Words("  \t\n ;,{}=\"\"").empty());
+}
+
+TEST(TokenizerTest, KeepsInnerPunctuationTrimsOuter) {
+  // "G. F." style initials keep the inner dot; trailing dots are trimmed.
+  EXPECT_EQ(Words("G. F. Corliss"),
+            (std::vector<std::string>{"G", "F", "Corliss"}));
+  EXPECT_EQ(Words("Philadelphia, Penn.\""),
+            (std::vector<std::string>{"Philadelphia", "Penn"}));
+  EXPECT_EQ(Words("O'Neil self-test"),
+            (std::vector<std::string>{"O'Neil", "self-test"}));
+}
+
+TEST(TokenizerTest, OffsetsAreExactSpans) {
+  std::string text = "  Chang and Corliss";
+  auto toks = Tokenizer::Tokenize(text);
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].start, 2u);
+  EXPECT_EQ(toks[0].end, 7u);
+  EXPECT_EQ(text.substr(toks[0].start, toks[0].end - toks[0].start),
+            "Chang");
+  EXPECT_EQ(toks[2].text, "Corliss");
+  EXPECT_EQ(toks[2].start, 12u);
+}
+
+TEST(TokenizerTest, BaseOffsetShiftsPositions) {
+  auto toks = Tokenizer::Tokenize("ab cd", /*base=*/100);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].start, 100u);
+  EXPECT_EQ(toks[1].start, 103u);
+}
+
+TEST(TokenizerTest, NumbersAreWords) {
+  EXPECT_EQ(Words("YEAR = \"1982\""),
+            (std::vector<std::string>{"YEAR", "1982"}));
+}
+
+TEST(TokenizerTest, ForEachTokenMatchesTokenize) {
+  std::string text = "The quick, brown fox; 1994.";
+  auto expected = Tokenizer::Tokenize(text, 7);
+  std::vector<WordToken> got;
+  Tokenizer::ForEachToken(text, 7,
+                          [&](const WordToken& t) { got.push_back(t); });
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].start, expected[i].start);
+    EXPECT_EQ(got[i].end, expected[i].end);
+    EXPECT_EQ(got[i].text, expected[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,84 @@
+#include "qof/text/word_index.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/text/corpus.h"
+
+namespace qof {
+namespace {
+
+Corpus MakeCorpus(std::string_view text) {
+  Corpus c;
+  EXPECT_TRUE(c.AddDocument("doc", text).ok());
+  return c;
+}
+
+TEST(WordIndexTest, RecordsAllOccurrences) {
+  Corpus c = MakeCorpus("the cat and the dog and the bird");
+  WordIndex idx = WordIndex::Build(c);
+  EXPECT_EQ(idx.Lookup("the").size(), 3u);
+  EXPECT_EQ(idx.Lookup("and").size(), 2u);
+  EXPECT_EQ(idx.Lookup("cat").size(), 1u);
+  EXPECT_TRUE(idx.Lookup("fish").empty());
+  EXPECT_EQ(idx.num_distinct_words(), 5u);
+  EXPECT_EQ(idx.num_postings(), 8u);
+}
+
+TEST(WordIndexTest, PostingsAreSortedStartOffsets) {
+  Corpus c = MakeCorpus("ab ab ab");
+  WordIndex idx = WordIndex::Build(c);
+  auto& p = idx.Lookup("ab");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 3u);
+  EXPECT_EQ(p[2], 6u);
+}
+
+TEST(WordIndexTest, SpansMultipleDocuments) {
+  Corpus c;
+  ASSERT_TRUE(c.AddDocument("a", "Chang wrote").ok());
+  ASSERT_TRUE(c.AddDocument("b", "Chang edited").ok());
+  WordIndex idx = WordIndex::Build(c);
+  auto& p = idx.Lookup("Chang");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 12u);  // "Chang wrote" (11) + '\n'
+}
+
+TEST(WordIndexTest, CaseSensitiveByDefault) {
+  Corpus c = MakeCorpus("Chang chang CHANG");
+  WordIndex idx = WordIndex::Build(c);
+  EXPECT_EQ(idx.Lookup("Chang").size(), 1u);
+  EXPECT_EQ(idx.Lookup("chang").size(), 1u);
+}
+
+TEST(WordIndexTest, CaseFoldingOption) {
+  Corpus c = MakeCorpus("Chang chang CHANG");
+  WordIndexOptions opts;
+  opts.fold_case = true;
+  WordIndex idx = WordIndex::Build(c, opts);
+  EXPECT_EQ(idx.Lookup("chang").size(), 3u);
+  EXPECT_EQ(idx.Lookup("Chang").size(), 3u);
+}
+
+TEST(WordIndexTest, SelectiveTokenFilter) {
+  Corpus c = MakeCorpus("aaa bbb aaa ccc");
+  WordIndexOptions opts;
+  // Index only tokens in the first half of the corpus (selective word
+  // indexing, paper §2).
+  opts.token_filter = [](const WordToken& t) { return t.start < 8; };
+  WordIndex idx = WordIndex::Build(c, opts);
+  EXPECT_EQ(idx.Lookup("aaa").size(), 1u);
+  EXPECT_EQ(idx.Lookup("bbb").size(), 1u);
+  EXPECT_TRUE(idx.Lookup("ccc").empty());
+}
+
+TEST(WordIndexTest, ApproxBytesGrowsWithContent) {
+  Corpus small = MakeCorpus("a b");
+  Corpus big = MakeCorpus("alpha beta gamma delta epsilon zeta eta theta");
+  EXPECT_LT(WordIndex::Build(small).ApproxBytes(),
+            WordIndex::Build(big).ApproxBytes());
+}
+
+}  // namespace
+}  // namespace qof

@@ -1,0 +1,108 @@
+#include "qof/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/util/result.h"
+
+namespace qof {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad path");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad path");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad path");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::ParseError("line 3");
+  Status t = s;
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(t.message(), "line 3");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalve(int x, int* out) {
+  QOF_ASSIGN_OR_RETURN(int h, Halve(x));
+  QOF_ASSIGN_OR_RETURN(h, Halve(h));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_TRUE(UseHalve(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  Status s = UseHalve(6, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  QOF_RETURN_IF_ERROR(FailIfNegative(x));
+  QOF_RETURN_IF_ERROR(FailIfNegative(x - 10));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(15).ok());
+  EXPECT_EQ(Chain(5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace qof
