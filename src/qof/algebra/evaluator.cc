@@ -21,7 +21,11 @@ Result<RegionSet> ExprEvaluator::Evaluate(const RegionExpr& expr,
   if (index_ == nullptr) {
     return Status::InvalidArgument("evaluator has no region index");
   }
-  return Eval(expr, stats);
+  QOF_ASSIGN_OR_RETURN(EvalResult result, Eval(expr, stats));
+  // A borrowed result (the expression was a bare region name) is copied
+  // once here at the API boundary; every internal leaf lookup is free.
+  if (result.borrowed != nullptr) return *result.borrowed;
+  return std::move(result.owned);
 }
 
 std::string ExprEvaluator::SourceName(const RegionExpr& expr) {
@@ -33,34 +37,36 @@ std::string ExprEvaluator::SourceName(const RegionExpr& expr) {
   return e->kind() == ExprKind::kName ? e->name() : std::string();
 }
 
-Result<RegionSet> ExprEvaluator::Eval(const RegionExpr& expr,
-                                      EvalStats* stats) const {
+Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
+    const RegionExpr& expr, EvalStats* stats) const {
   switch (expr.kind()) {
     case ExprKind::kName: {
       QOF_ASSIGN_OR_RETURN(const RegionSet* set, index_->Get(expr.name()));
-      return *set;
+      return EvalResult::Borrowed(set);
     }
     case ExprKind::kUnion:
     case ExprKind::kIntersect:
     case ExprKind::kDifference: {
-      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
-      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult r, Eval(*expr.right(), stats));
       if (stats) ++stats->set_ops;
-      RegionSet out = expr.kind() == ExprKind::kUnion ? Union(l, r)
+      RegionSet out = expr.kind() == ExprKind::kUnion
+                          ? Union(l.set(), r.set())
                       : expr.kind() == ExprKind::kIntersect
-                          ? Intersect(l, r)
-                          : Difference(l, r);
+                          ? Intersect(l.set(), r.set())
+                          : Difference(l.set(), r.set());
       Record(stats, out);
-      return out;
+      return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kInnermost:
     case ExprKind::kOutermost: {
-      QOF_ASSIGN_OR_RETURN(RegionSet c, Eval(*expr.child(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult c, Eval(*expr.child(), stats));
       if (stats) ++stats->nest_ops;
-      RegionSet out = expr.kind() == ExprKind::kInnermost ? Innermost(c)
-                                                          : Outermost(c);
+      RegionSet out = expr.kind() == ExprKind::kInnermost
+                          ? Innermost(c.set())
+                          : Outermost(c.set());
       Record(stats, out);
-      return out;
+      return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kSelectMatches:
     case ExprKind::kSelectContains:
@@ -72,28 +78,28 @@ Result<RegionSet> ExprEvaluator::Eval(const RegionExpr& expr,
       return EvalSelect(expr, stats);
     case ExprKind::kIncluding:
     case ExprKind::kIncluded: {
-      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
-      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult r, Eval(*expr.right(), stats));
       if (stats) ++stats->simple_incl_ops;
       RegionSet out = expr.kind() == ExprKind::kIncluding
-                          ? Including(l, r)
-                          : IncludedIn(l, r);
+                          ? Including(l.set(), r.set())
+                          : IncludedIn(l.set(), r.set());
       Record(stats, out);
-      return out;
+      return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kDirectlyIncluding:
     case ExprKind::kDirectlyIncluded: {
-      QOF_ASSIGN_OR_RETURN(RegionSet l, Eval(*expr.left(), stats));
-      QOF_ASSIGN_OR_RETURN(RegionSet r, Eval(*expr.right(), stats));
-      return EvalDirect(expr, std::move(l), std::move(r), stats);
+      QOF_ASSIGN_OR_RETURN(EvalResult l, Eval(*expr.left(), stats));
+      QOF_ASSIGN_OR_RETURN(EvalResult r, Eval(*expr.right(), stats));
+      return EvalDirect(expr, l.set(), r.set(), stats);
     }
   }
   return Status::Internal("unhandled expression kind");
 }
 
-Result<RegionSet> ExprEvaluator::EvalDirect(const RegionExpr& expr,
-                                            RegionSet left, RegionSet right,
-                                            EvalStats* stats) const {
+Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalDirect(
+    const RegionExpr& expr, const RegionSet& left, const RegionSet& right,
+    EvalStats* stats) const {
   if (stats) ++stats->direct_incl_ops;
   const bool including = expr.kind() == ExprKind::kDirectlyIncluding;
   RegionSet out;
@@ -117,12 +123,13 @@ Result<RegionSet> ExprEvaluator::EvalDirect(const RegionExpr& expr,
                     : DirectlyIncluded(left, right, index_->Universe());
   }
   Record(stats, out);
-  return out;
+  return EvalResult::Owned(std::move(out));
 }
 
-Result<RegionSet> ExprEvaluator::EvalSelect(const RegionExpr& expr,
-                                            EvalStats* stats) const {
-  QOF_ASSIGN_OR_RETURN(RegionSet child, Eval(*expr.child(), stats));
+Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
+    const RegionExpr& expr, EvalStats* stats) const {
+  QOF_ASSIGN_OR_RETURN(EvalResult child_result, Eval(*expr.child(), stats));
+  const RegionSet& child = child_result.set();
   if (stats) ++stats->select_ops;
   if (words_ == nullptr) {
     return Status::InvalidArgument(
@@ -291,7 +298,7 @@ Result<RegionSet> ExprEvaluator::EvalSelect(const RegionExpr& expr,
   }
   RegionSet result = RegionSet::FromSortedUnique(std::move(out));
   Record(stats, result);
-  return result;
+  return EvalResult::Owned(std::move(result));
 }
 
 }  // namespace qof

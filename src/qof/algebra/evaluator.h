@@ -62,11 +62,26 @@ class ExprEvaluator {
                              EvalStats* stats = nullptr) const;
 
  private:
-  Result<RegionSet> Eval(const RegionExpr& expr, EvalStats* stats) const;
-  Result<RegionSet> EvalSelect(const RegionExpr& expr,
-                               EvalStats* stats) const;
-  Result<RegionSet> EvalDirect(const RegionExpr& expr, RegionSet left,
-                               RegionSet right, EvalStats* stats) const;
+  /// Internal evaluation result: either a computed set (owned) or a
+  /// borrowed view of an index instance. kName leaves borrow, so looking
+  /// a leaf up costs O(1) instead of copying the whole instance — only
+  /// the public Evaluate() boundary copies, and only when the entire
+  /// expression is a bare name.
+  struct EvalResult {
+    RegionSet owned;
+    const RegionSet* borrowed = nullptr;
+    const RegionSet& set() const { return borrowed ? *borrowed : owned; }
+    static EvalResult Owned(RegionSet s) { return {std::move(s), nullptr}; }
+    static EvalResult Borrowed(const RegionSet* s) { return {{}, s}; }
+  };
+
+  Result<EvalResult> Eval(const RegionExpr& expr, EvalStats* stats) const;
+  Result<EvalResult> EvalSelect(const RegionExpr& expr,
+                                EvalStats* stats) const;
+  Result<EvalResult> EvalDirect(const RegionExpr& expr,
+                                const RegionSet& left,
+                                const RegionSet& right,
+                                EvalStats* stats) const;
 
   /// The region name feeding `expr` through selections, or "" when the
   /// operand is composite (needed by the layered ⊃d program's "I − {S}").

@@ -1,6 +1,8 @@
 #include "qof/engine/index_io.h"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 namespace qof {
@@ -131,14 +133,25 @@ Result<std::string> SerializeIndexes(const BuiltIndexes& built,
     }
   }
 
-  // Word postings.
-  PutU64(built.words.num_distinct_words(), &out);
+  // Word postings, in sorted word order: the posting map iterates in an
+  // unspecified order, and a canonical blob lets byte comparison stand in
+  // for index equality (the parallel-vs-serial determinism tests rely on
+  // this).
+  std::vector<std::pair<const std::string*, const std::vector<TextPos>*>>
+      words;
+  words.reserve(built.words.num_distinct_words());
   built.words.ForEachWord(
-      [&out](const std::string& word, const std::vector<TextPos>& posts) {
-        PutString(word, &out);
-        PutU64(posts.size(), &out);
-        for (TextPos p : posts) PutU64(p, &out);
+      [&words](const std::string& word, const std::vector<TextPos>& posts) {
+        words.emplace_back(&word, &posts);
       });
+  std::sort(words.begin(), words.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  PutU64(words.size(), &out);
+  for (const auto& [word, posts] : words) {
+    PutString(*word, &out);
+    PutU64(posts->size(), &out);
+    for (TextPos p : *posts) PutU64(p, &out);
+  }
 
   PutU64(built.documents, &out);
   return out;

@@ -1,30 +1,96 @@
 #include "qof/engine/indexer.h"
 
 #include <chrono>
+#include <map>
+#include <vector>
 
 #include "qof/parse/parser.h"
+#include "qof/parse/region_extractor.h"
+#include "qof/util/thread_pool.h"
 
 namespace qof {
+namespace {
 
-Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
-                                  const Corpus& corpus,
-                                  const IndexSpec& spec) {
-  auto start = std::chrono::steady_clock::now();
-  BuiltIndexes built;
+Status ParseFailure(const Corpus& corpus, DocId doc, const Status& status) {
+  return Status::ParseError("document '" + corpus.document_name(doc) +
+                            "': " + status.message());
+}
+
+/// Parses every document on the pool and merges the per-document region
+/// contributions in document order, producing the same canonical
+/// RegionSets as the serial per-document Union path (both reduce to
+/// sort + dedup over the identical span multiset).
+Status ParallelRegionPass(const StructuringSchema& schema,
+                          const Corpus& corpus,
+                          const ExtractionFilter& filter, ThreadPool* pool,
+                          BuiltIndexes* built) {
+  const size_t num_docs = corpus.num_documents();
   SchemaParser parser(&schema);
-  ExtractionFilter filter = spec.ToFilter();
-  for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+  std::vector<std::map<std::string, std::vector<Region>>> collected(
+      num_docs);
+  std::vector<Status> statuses(num_docs, Status::OK());
+  pool->ParallelFor(num_docs, [&](int, size_t d) {
+    DocId doc = static_cast<DocId>(d);
     TextPos begin = corpus.document_start(doc);
     TextPos end = corpus.document_end(doc);
     auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
     if (!tree.ok()) {
-      return Status::ParseError("document '" + corpus.document_name(doc) +
-                                "': " + tree.status().message());
+      statuses[d] = tree.status();
+      return;
     }
-    ExtractRegions(schema, **tree, filter, &built.regions);
-    ++built.documents;
+    CollectRegions(schema, **tree, filter, &collected[d]);
+  });
+  // Scan in document order so the reported error is the same one the
+  // serial build would have hit first.
+  for (size_t d = 0; d < num_docs; ++d) {
+    if (!statuses[d].ok()) {
+      return ParseFailure(corpus, static_cast<DocId>(d), statuses[d]);
+    }
   }
-  built.words = WordIndex::Build(corpus, spec.word_options);
+  std::map<std::string, std::vector<Region>> merged;
+  for (auto& doc : collected) {
+    for (auto& [name, regions] : doc) {
+      std::vector<Region>& all = merged[name];
+      if (all.empty()) {
+        all = std::move(regions);
+      } else {
+        all.insert(all.end(), regions.begin(), regions.end());
+      }
+    }
+  }
+  RegisterIndexedNames(schema, filter, &merged);
+  for (auto& [name, regions] : merged) {
+    built->regions.Add(name, RegionSet::FromUnsorted(std::move(regions)));
+  }
+  built->documents = num_docs;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
+                                  const Corpus& corpus,
+                                  const IndexSpec& spec, ThreadPool* pool) {
+  auto start = std::chrono::steady_clock::now();
+  BuiltIndexes built;
+  ExtractionFilter filter = spec.ToFilter();
+  if (pool != nullptr && pool->size() > 1 && corpus.num_documents() > 1) {
+    QOF_RETURN_IF_ERROR(
+        ParallelRegionPass(schema, corpus, filter, pool, &built));
+  } else {
+    SchemaParser parser(&schema);
+    for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+      TextPos begin = corpus.document_start(doc);
+      TextPos end = corpus.document_end(doc);
+      auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
+      if (!tree.ok()) {
+        return ParseFailure(corpus, doc, tree.status());
+      }
+      ExtractRegions(schema, **tree, filter, &built.regions);
+      ++built.documents;
+    }
+  }
+  built.words = WordIndex::Build(corpus, spec.word_options, pool);
   built.build_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)

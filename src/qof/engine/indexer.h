@@ -8,6 +8,7 @@
 #include "qof/text/corpus.h"
 #include "qof/text/word_index.h"
 #include "qof/util/result.h"
+#include "qof/util/thread_pool.h"
 
 namespace qof {
 
@@ -22,9 +23,13 @@ struct BuiltIndexes {
   uint64_t documents = 0;
 };
 
+/// When `pool` is non-null with more than one worker, documents are
+/// parsed and tokenized in parallel; the merge is deterministic, so the
+/// built indexes are identical to a serial build's.
 Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
                                   const Corpus& corpus,
-                                  const IndexSpec& spec);
+                                  const IndexSpec& spec,
+                                  ThreadPool* pool = nullptr);
 
 }  // namespace qof
 

@@ -58,9 +58,21 @@ Status FileQuerySystem::AddFile(std::string name, std::string_view text) {
   return Status::OK();
 }
 
+ThreadPool* FileQuerySystem::EnsurePool(int threads) {
+  threads = EffectiveParallelism(threads);
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->size() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
 Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
+  // spec.parallelism == 0 defers to the system-wide knob.
+  ThreadPool* pool = EnsurePool(
+      spec.parallelism != 0 ? spec.parallelism : parallelism_);
   QOF_ASSIGN_OR_RETURN(BuiltIndexes built,
-                       qof::BuildIndexes(schema_, corpus_, spec));
+                       qof::BuildIndexes(schema_, corpus_, spec, pool));
   built_ = std::make_unique<BuiltIndexes>(std::move(built));
   spec_ = spec;
   compiler_ = std::make_unique<QueryCompiler>(
@@ -136,30 +148,40 @@ Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
   return ExecuteQuery(query, mode);
 }
 
-Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
-                                                  ExecutionMode mode) {
-  QOF_RETURN_IF_ERROR(CheckView(query.view));
+Result<QueryResult> FileQuerySystem::RunBaselinePlan(
+    const SelectQuery& query) {
   Timer timer;
   corpus_.ResetBytesRead();
   QueryResult result;
   result.stats.corpus_bytes = corpus_.size();
+  ObjectStore store;
+  QOF_ASSIGN_OR_RETURN(
+      BaselineResult baseline,
+      RunBaseline(schema_, corpus_, query, full_rig_, &store));
+  result.regions = std::move(baseline.regions);
+  result.values = std::move(baseline.projected);
+  result.stats.strategy = "baseline";
+  result.stats.exact = true;
+  result.stats.objects_built = baseline.objects_built;
+  result.stats.results = result.regions.size();
+  result.stats.bytes_scanned = corpus_.bytes_read();
+  result.stats.micros = timer.Micros();
+  return result;
+}
+
+Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
+                                                  ExecutionMode mode) {
+  QOF_RETURN_IF_ERROR(CheckView(query.view));
 
   // The baseline needs no indices at all.
   if (mode == ExecutionMode::kBaseline) {
-    ObjectStore store;
-    QOF_ASSIGN_OR_RETURN(
-        BaselineResult baseline,
-        RunBaseline(schema_, corpus_, query, full_rig_, &store));
-    result.regions = std::move(baseline.regions);
-    result.values = std::move(baseline.projected);
-    result.stats.strategy = "baseline";
-    result.stats.exact = true;
-    result.stats.objects_built = baseline.objects_built;
-    result.stats.results = result.regions.size();
-    result.stats.bytes_scanned = corpus_.bytes_read();
-    result.stats.micros = timer.Micros();
-    return result;
+    return RunBaselinePlan(query);
   }
+
+  Timer timer;
+  corpus_.ResetBytesRead();
+  QueryResult result;
+  result.stats.corpus_bytes = corpus_.size();
 
   if (compiler_ == nullptr || built_ == nullptr) {
     return Status::InvalidArgument(
@@ -184,9 +206,11 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
           "answer this query");
     }
     result.stats.notes.push_back("auto: baseline (view not indexed)");
-    QOF_ASSIGN_OR_RETURN(QueryResult fallback,
-                         ExecuteQuery(query, ExecutionMode::kBaseline));
-    fallback.stats.notes.insert(fallback.stats.notes.end(),
+    // The query is already parsed and view-checked; run the baseline
+    // plan directly. The compiler's notes (ending in the fallback
+    // decision) come before any notes the plan itself adds.
+    QOF_ASSIGN_OR_RETURN(QueryResult fallback, RunBaselinePlan(query));
+    fallback.stats.notes.insert(fallback.stats.notes.begin(),
                                 result.stats.notes.begin(),
                                 result.stats.notes.end());
     return fallback;
@@ -261,7 +285,8 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
   ObjectStore store;
   QOF_ASSIGN_OR_RETURN(
       TwoPhaseResult two_phase,
-      RunTwoPhase(schema_, corpus_, plan, candidates, full_rig_, &store));
+      RunTwoPhase(schema_, corpus_, plan, candidates, full_rig_, &store,
+                  EnsurePool(parallelism_)));
   result.regions = std::move(two_phase.regions);
   result.values = std::move(two_phase.projected);
   result.stats.strategy = "two-phase";

@@ -16,6 +16,7 @@
 #include "qof/schema/rig_derivation.h"
 #include "qof/text/corpus.h"
 #include "qof/util/result.h"
+#include "qof/util/thread_pool.h"
 
 namespace qof {
 
@@ -74,7 +75,18 @@ class FileQuerySystem {
   Status AddFile(std::string name, std::string_view text);
 
   /// (Re)parses all files and builds word + region indices per the spec.
+  /// Documents are processed in parallel on the system's thread pool
+  /// (see SetParallelism; `spec.parallelism` overrides per build); the
+  /// result is identical at any worker count.
   Status BuildIndexes(const IndexSpec& spec = IndexSpec::Full());
+
+  /// Sets the worker count shared by index builds and two-phase query
+  /// execution: 0 (the default) means one worker per hardware thread,
+  /// 1 forces the serial code paths, n > 1 uses n workers. Results are
+  /// deterministic — identical indexes, regions, values and stats at any
+  /// setting; only wall time changes.
+  void SetParallelism(int threads) { parallelism_ = threads; }
+  int parallelism() const { return parallelism_; }
 
   /// Parses and runs an FQL query. `mode` kAuto picks: empty plans
   /// short-circuit; exact plans (with index-served projection) run
@@ -131,10 +143,21 @@ class FileQuerySystem {
  private:
   Status CheckView(const std::string& view) const;
 
+  /// The baseline plan body, shared by ExecuteQuery(kBaseline) and the
+  /// auto-mode fallback (which has already parsed and view-checked the
+  /// query, so it must not pay for either again).
+  Result<QueryResult> RunBaselinePlan(const SelectQuery& query);
+
+  /// The shared worker pool, lazily (re)built for `threads` workers;
+  /// nullptr when `threads` <= 1 so serial paths take no pool detour.
+  ThreadPool* EnsurePool(int threads);
+
   StructuringSchema schema_;
   Rig full_rig_;
   Corpus corpus_;
   IndexSpec spec_;
+  int parallelism_ = 0;  // 0 = hardware concurrency
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<BuiltIndexes> built_;
   std::unique_ptr<QueryCompiler> compiler_;
   std::set<std::string> view_aliases_;

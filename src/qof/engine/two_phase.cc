@@ -5,16 +5,104 @@
 #include "qof/parse/value_builder.h"
 
 namespace qof {
+namespace {
+
+/// Phase-2 outcome for one candidate, filled by whichever worker drew it.
+/// Slots are indexed by candidate position, so assembling them in order
+/// preserves the serial output order exactly.
+struct CandidateOutcome {
+  Status status = Status::OK();
+  bool keep = false;
+  std::vector<Value> projected;
+};
+
+void ProcessCandidate(const StructuringSchema& schema, const Corpus& corpus,
+                      const SelectQuery& query, const Rig& full_rig,
+                      const SchemaParser& parser, const Region& candidate,
+                      ObjectStore* store, CandidateOutcome* out) {
+  // Parsing a candidate reads its text.
+  std::string_view text = corpus.ScanText(candidate.start, candidate.end);
+  auto tree = parser.Parse(text, candidate.start, schema.view());
+  if (!tree.ok()) {
+    out->status = Status::ParseError("candidate region " +
+                                     candidate.ToString() + ": " +
+                                     tree.status().message());
+    return;
+  }
+  auto id = BuildObject(schema, corpus, **tree, store);
+  if (!id.ok()) {
+    out->status = id.status();
+    return;
+  }
+  auto obj = store->Get(*id);
+  if (!obj.ok()) {
+    out->status = obj.status();
+    return;
+  }
+  Value root = Value::Ref(*id).WithType((*obj)->class_name);
+  bool keep = true;
+  if (query.where != nullptr) {
+    auto kept = EvaluateCondition(*store, root, *query.where, full_rig,
+                                  schema.view_name());
+    if (!kept.ok()) {
+      out->status = kept.status();
+      return;
+    }
+    keep = *kept;
+  }
+  if (!keep) return;
+  out->keep = true;
+  if (query.IsProjection()) {
+    auto values = EvaluateTarget(*store, root, query.target, full_rig,
+                                 schema.view_name());
+    if (!values.ok()) {
+      out->status = values.status();
+      return;
+    }
+    out->projected = std::move(*values);
+  }
+}
+
+}  // namespace
 
 Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
                                    const Corpus& corpus,
                                    const QueryPlan& plan,
                                    const RegionSet& candidates,
-                                   const Rig& full_rig,
-                                   ObjectStore* store) {
+                                   const Rig& full_rig, ObjectStore* store,
+                                   ThreadPool* pool) {
   TwoPhaseResult result;
   SchemaParser parser(&schema);
   const SelectQuery& query = plan.query;
+
+  if (pool != nullptr && pool->size() > 1 && candidates.size() > 1) {
+    // Parallel phase 2: each worker parses and filters candidates into
+    // its own scratch store; per-candidate outcomes are assembled in
+    // candidate order below, so results match the serial path.
+    std::vector<ObjectStore> scratch(static_cast<size_t>(pool->size()));
+    std::vector<CandidateOutcome> outcomes(candidates.size());
+    pool->ParallelFor(candidates.size(), [&](int worker, size_t i) {
+      ProcessCandidate(schema, corpus, query, full_rig, parser,
+                       candidates[i], &scratch[worker], &outcomes[i]);
+    });
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      // First failing candidate in order — the same error the serial
+      // loop reports.
+      if (!outcomes[i].status.ok()) return outcomes[i].status;
+    }
+    result.candidates_parsed = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      CandidateOutcome& outcome = outcomes[i];
+      if (!outcome.keep) continue;
+      result.regions.push_back(candidates[i]);
+      result.projected.insert(
+          result.projected.end(),
+          std::make_move_iterator(outcome.projected.begin()),
+          std::make_move_iterator(outcome.projected.end()));
+    }
+    return result;
+  }
+
   for (const Region& candidate : candidates) {
     // Parsing a candidate reads its text.
     std::string_view text =

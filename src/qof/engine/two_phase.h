@@ -10,14 +10,18 @@
 #include "qof/schema/structuring_schema.h"
 #include "qof/text/corpus.h"
 #include "qof/util/result.h"
+#include "qof/util/thread_pool.h"
 
 namespace qof {
 
 /// Output of phase 2 over candidate regions.
 struct TwoPhaseResult {
   std::vector<Region> regions;   // candidates that survived the filter
+  /// Ids of the surviving objects in the caller's store. Populated by the
+  /// serial path only: parallel workers materialize candidates in
+  /// per-worker scratch stores that are discarded on return.
   std::vector<ObjectId> objects;
-  std::vector<Value> projected;
+  std::vector<Value> projected;  // fully materialized, store-independent
   uint64_t candidates_parsed = 0;
 };
 
@@ -26,11 +30,17 @@ struct TwoPhaseResult {
 /// construct its database image, and re-evaluate the WHERE clause on the
 /// object to filter out false positives. Scanned bytes are exactly the
 /// candidates' text — the saving the paper claims over whole-file scans.
+///
+/// When `pool` is non-null with more than one worker, candidates are
+/// parsed and filtered in parallel (each worker building objects in its
+/// own scratch store); output order, surviving regions, projected values
+/// and the reported error are identical to the serial path.
 Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
                                    const Corpus& corpus,
                                    const QueryPlan& plan,
                                    const RegionSet& candidates,
-                                   const Rig& full_rig, ObjectStore* store);
+                                   const Rig& full_rig, ObjectStore* store,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace qof
 

@@ -43,26 +43,38 @@ void Walk(const StructuringSchema& schema, const ParseNode& node,
 
 }  // namespace
 
-void ExtractRegions(const StructuringSchema& schema, const ParseNode& root,
-                    const ExtractionFilter& filter, RegionIndex* out) {
-  std::map<std::string, std::vector<Region>> collected;
+void CollectRegions(const StructuringSchema& schema, const ParseNode& root,
+                    const ExtractionFilter& filter,
+                    std::map<std::string, std::vector<Region>>* collected) {
   std::vector<SymbolId> ancestors;
-  Walk(schema, root, filter, &ancestors, &collected);
+  Walk(schema, root, filter, &ancestors, collected);
+}
+
+void RegisterIndexedNames(
+    const StructuringSchema& schema, const ExtractionFilter& filter,
+    std::map<std::string, std::vector<Region>>* collected) {
   // Register every selected name, even when no region matched, so that
   // later lookups see an empty instance rather than NotFound.
   if (filter.include.empty()) {
     for (const std::string& name : schema.IndexableNames()) {
-      if (collected.find(name) == collected.end()) {
-        collected[name] = {};
+      if (collected->find(name) == collected->end()) {
+        (*collected)[name] = {};
       }
     }
   } else {
     for (const std::string& name : filter.include) {
-      if (collected.find(name) == collected.end()) {
-        collected[name] = {};
+      if (collected->find(name) == collected->end()) {
+        (*collected)[name] = {};
       }
     }
   }
+}
+
+void ExtractRegions(const StructuringSchema& schema, const ParseNode& root,
+                    const ExtractionFilter& filter, RegionIndex* out) {
+  std::map<std::string, std::vector<Region>> collected;
+  CollectRegions(schema, root, filter, &collected);
+  RegisterIndexedNames(schema, filter, &collected);
   for (auto& [name, regions] : collected) {
     out->Add(name, RegionSet::FromUnsorted(std::move(regions)));
   }

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "qof/parse/parser.h"
 #include "qof/region/region_index.h"
@@ -26,6 +27,23 @@ struct ExtractionFilter {
     return {std::move(names), {}};
   }
 };
+
+/// Walks a parse tree and appends each selected node's span to
+/// `collected[name]`. This is the per-document step of index
+/// construction; it registers nothing for absent names — use
+/// RegisterIndexedNames/ExtractRegions for that. Spans are appended in
+/// tree order, so collecting documents in corpus order keeps each name's
+/// vector sorted by position.
+void CollectRegions(const StructuringSchema& schema, const ParseNode& root,
+                    const ExtractionFilter& filter,
+                    std::map<std::string, std::vector<Region>>* collected);
+
+/// Ensures `collected` has an entry (possibly empty) for every name the
+/// filter selects, so later lookups distinguish "indexed but absent"
+/// from "not indexed".
+void RegisterIndexedNames(const StructuringSchema& schema,
+                          const ExtractionFilter& filter,
+                          std::map<std::string, std::vector<Region>>* collected);
 
 /// Walks a parse tree and appends each selected node's span to the region
 /// index under its non-terminal's name. Zero-length spans (empty matches)

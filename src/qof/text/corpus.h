@@ -1,6 +1,7 @@
 #ifndef QOF_TEXT_CORPUS_H_
 #define QOF_TEXT_CORPUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -35,8 +36,20 @@ class Corpus {
   // megabytes, so it is move-only.
   Corpus(const Corpus&) = delete;
   Corpus& operator=(const Corpus&) = delete;
-  Corpus(Corpus&&) = default;
-  Corpus& operator=(Corpus&&) = default;
+  // Hand-written moves: the scanned-byte counter is atomic (parallel
+  // two-phase workers scan candidates concurrently), and atomics are not
+  // movable by default.
+  Corpus(Corpus&& other) noexcept
+      : text_(std::move(other.text_)),
+        docs_(std::move(other.docs_)),
+        bytes_read_(other.bytes_read_.load(std::memory_order_relaxed)) {}
+  Corpus& operator=(Corpus&& other) noexcept {
+    text_ = std::move(other.text_);
+    docs_ = std::move(other.docs_);
+    bytes_read_.store(other.bytes_read_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Appends a document; returns its id. Rejects duplicate names.
   Result<DocId> AddDocument(std::string name, std::string_view text);
@@ -62,7 +75,7 @@ class Corpus {
   /// Bytes of [start, end), *accounted* as scanned: experiments use
   /// bytes_read() to compare how much text each query plan had to touch.
   std::string_view ScanText(TextPos start, TextPos end) const {
-    bytes_read_ += end - start;
+    bytes_read_.fetch_add(end - start, std::memory_order_relaxed);
     return RawText(start, end);
   }
 
@@ -70,8 +83,12 @@ class Corpus {
   /// separately from query-time scanning, so this is unaccounted).
   std::string_view full_text() const { return text_; }
 
-  uint64_t bytes_read() const { return bytes_read_; }
-  void ResetBytesRead() { bytes_read_ = 0; }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  void ResetBytesRead() {
+    bytes_read_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   struct Doc {
@@ -82,7 +99,7 @@ class Corpus {
 
   std::string text_;
   std::vector<Doc> docs_;
-  mutable uint64_t bytes_read_ = 0;
+  mutable std::atomic<uint64_t> bytes_read_{0};
 };
 
 }  // namespace qof

@@ -14,19 +14,68 @@ std::string FoldCase(std::string_view s) {
   return out;
 }
 
+/// Per-document postings in first-occurrence key order, so that merging
+/// shards in document order reproduces the serial build's insertion
+/// sequence exactly.
+struct DocPostings {
+  std::unordered_map<std::string, std::vector<TextPos>> map;
+  std::vector<const std::string*> order;  // keys in first-occurrence order
+};
+
+void TokenizeInto(std::string_view text, TextPos base,
+                  const WordIndexOptions& options, DocPostings* out) {
+  Tokenizer::ForEachToken(text, base, [&](const WordToken& t) {
+    if (options.token_filter && !options.token_filter(t)) return;
+    std::string key =
+        options.fold_case ? FoldCase(t.text) : std::string(t.text);
+    auto [it, inserted] = out->map.try_emplace(std::move(key));
+    if (inserted) out->order.push_back(&it->first);
+    it->second.push_back(t.start);
+  });
+}
+
 }  // namespace
 
-WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options) {
+WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options,
+                           ThreadPool* pool) {
   WordIndex index;
   index.options_ = options;
-  Tokenizer::ForEachToken(
-      corpus.full_text(), /*base=*/0, [&](const WordToken& t) {
-        if (options.token_filter && !options.token_filter(t)) return;
-        std::string key = options.fold_case ? FoldCase(t.text)
-                                            : std::string(t.text);
-        index.postings_[std::move(key)].push_back(t.start);
-        ++index.num_postings_;
-      });
+  if (pool == nullptr || pool->size() <= 1 || corpus.num_documents() < 2) {
+    // Serial build: one pass over the whole corpus.
+    Tokenizer::ForEachToken(
+        corpus.full_text(), /*base=*/0, [&](const WordToken& t) {
+          if (options.token_filter && !options.token_filter(t)) return;
+          std::string key = options.fold_case ? FoldCase(t.text)
+                                              : std::string(t.text);
+          index.postings_[std::move(key)].push_back(t.start);
+          ++index.num_postings_;
+        });
+  } else {
+    // Parallel build: tokenize each document on the pool, then merge in
+    // document order. Documents are contiguous ascending spans, so
+    // appending a document's postings after its predecessors' keeps
+    // every list sorted, and inserting keys in (document, first
+    // occurrence) order matches the serial insertion sequence.
+    std::vector<DocPostings> docs(corpus.num_documents());
+    pool->ParallelFor(corpus.num_documents(), [&](int, size_t d) {
+      DocId doc = static_cast<DocId>(d);
+      TextPos begin = corpus.document_start(doc);
+      TokenizeInto(corpus.RawText(begin, corpus.document_end(doc)), begin,
+                   options, &docs[d]);
+    });
+    for (DocPostings& doc : docs) {
+      for (const std::string* key : doc.order) {
+        std::vector<TextPos>& shard = doc.map.at(*key);
+        index.num_postings_ += shard.size();
+        std::vector<TextPos>& list = index.postings_[*key];
+        if (list.empty()) {
+          list = std::move(shard);
+        } else {
+          list.insert(list.end(), shard.begin(), shard.end());
+        }
+      }
+    }
+  }
   // Tokens are produced in text order, so postings are already sorted;
   // keep an assertion-friendly invariant anyway.
   for (auto& [word, list] : index.postings_) {

@@ -10,6 +10,7 @@
 
 #include "qof/text/corpus.h"
 #include "qof/text/tokenizer.h"
+#include "qof/util/thread_pool.h"
 
 namespace qof {
 
@@ -19,6 +20,8 @@ struct WordIndexOptions {
   bool fold_case = false;
   /// When set, only tokens for which the filter returns true are indexed
   /// (the paper's "selective indexing can also be done for words", §2/§7).
+  /// Parallel builds call the filter from several worker threads at once,
+  /// so it must be thread-safe (pure predicates are).
   std::function<bool(const WordToken&)> token_filter;
 };
 
@@ -28,9 +31,13 @@ struct WordIndexOptions {
 /// posting `p` denotes the corpus span [p, p + word.size()).
 class WordIndex {
  public:
-  /// Builds the index over the whole corpus.
-  static WordIndex Build(const Corpus& corpus,
-                         WordIndexOptions options = {});
+  /// Builds the index over the whole corpus. When `pool` is non-null and
+  /// has more than one worker, documents are tokenized in parallel and
+  /// the per-document postings merged in document order; the result is
+  /// identical to the serial build (documents never share a token — the
+  /// corpus separates them with '\n').
+  static WordIndex Build(const Corpus& corpus, WordIndexOptions options = {},
+                         ThreadPool* pool = nullptr);
 
   /// Sorted start positions of `word`'s occurrences (empty if absent).
   const std::vector<TextPos>& Lookup(std::string_view word) const;

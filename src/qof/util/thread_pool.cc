@@ -1,0 +1,83 @@
+#include "qof/util/thread_pool.h"
+
+namespace qof {
+
+int EffectiveParallelism(int requested) {
+  if (requested >= 1) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(EffectiveParallelism(num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t num_items,
+                             const std::function<void(int, size_t)>& fn) {
+  if (num_items == 0) return;
+  if (workers_.empty() || num_items == 1) {
+    for (size_t i = 0; i < num_items; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_items_ = num_items;
+    next_index_.store(0, std::memory_order_relaxed);
+    workers_active_ = static_cast<int>(workers_.size());
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+  RunJob(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+    }
+    RunJob(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunJob(int worker) {
+  // job_fn_/job_items_ were published under mu_ before this worker woke
+  // (or before the caller entered RunJob), and are not cleared until
+  // every worker has decremented workers_active_.
+  const std::function<void(int, size_t)>& fn = *job_fn_;
+  const size_t n = job_items_;
+  for (;;) {
+    size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    fn(worker, i);
+  }
+}
+
+}  // namespace qof

@@ -1,0 +1,74 @@
+#ifndef QOF_UTIL_THREAD_POOL_H_
+#define QOF_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qof {
+
+/// Resolves a parallelism request: n >= 1 is taken literally; 0 (or a
+/// negative value) means "one worker per hardware thread". Always >= 1.
+int EffectiveParallelism(int requested);
+
+/// A fixed-size worker pool whose only operation is a blocking
+/// parallel-for. Index construction and two-phase execution are
+/// per-document / per-candidate independent loops, so this is the whole
+/// concurrency surface the engine needs: no futures, no task graph.
+///
+/// The calling thread participates as worker 0, so a pool of size N uses
+/// N-1 background threads and `ParallelFor` never deadlocks on a pool of
+/// size 1 (it simply runs inline, preserving exact serial behavior).
+///
+/// ParallelFor is not reentrant and must not be called from two threads
+/// at once; the engine serializes builds and queries per system, which
+/// satisfies this by construction. `fn` must not throw — error handling
+/// is done by writing a Status into a per-item slot and scanning the
+/// slots in order afterwards, which also keeps "first error" reporting
+/// deterministic.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread; it is resolved through
+  /// EffectiveParallelism, so 0 means hardware concurrency.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count, calling thread included.
+  int size() const { return num_threads_; }
+
+  /// Invokes `fn(worker, index)` for every index in [0, num_items),
+  /// distributing indices dynamically across workers; blocks until every
+  /// invocation returned. `worker` is in [0, size()) and is stable within
+  /// one invocation of `fn`, so it can address per-worker scratch state.
+  void ParallelFor(size_t num_items,
+                   const std::function<void(int, size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  void RunJob(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for the next job
+  std::condition_variable done_cv_;  // the caller waits for completion
+  uint64_t job_generation_ = 0;
+  int workers_active_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(int, size_t)>* job_fn_ = nullptr;
+  size_t job_items_ = 0;
+  std::atomic<size_t> next_index_{0};
+};
+
+}  // namespace qof
+
+#endif  // QOF_UTIL_THREAD_POOL_H_

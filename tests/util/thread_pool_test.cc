@@ -1,0 +1,89 @@
+#include "qof/util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qof {
+namespace {
+
+TEST(EffectiveParallelismTest, PositiveIsLiteral) {
+  EXPECT_EQ(EffectiveParallelism(1), 1);
+  EXPECT_EQ(EffectiveParallelism(7), 7);
+}
+
+TEST(EffectiveParallelismTest, ZeroAndNegativeMeanHardware) {
+  EXPECT_GE(EffectiveParallelism(0), 1);
+  EXPECT_GE(EffectiveParallelism(-3), 1);
+  EXPECT_EQ(EffectiveParallelism(0), EffectiveParallelism(-1));
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr size_t kItems = 10000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.ParallelFor(kItems, [&](int, size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](int, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](int worker, size_t i) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, WorkerIdsAddressDistinctScratch) {
+  ThreadPool pool(3);
+  std::vector<uint64_t> per_worker(3, 0);
+  constexpr size_t kItems = 5000;
+  pool.ParallelFor(kItems, [&](int worker, size_t i) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 3);
+    per_worker[static_cast<size_t>(worker)] += i + 1;
+  });
+  uint64_t total =
+      std::accumulate(per_worker.begin(), per_worker.end(), uint64_t{0});
+  EXPECT_EQ(total, kItems * (kItems + 1) / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(100, [&](int, size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 100u * 99u / 2u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, [&](int, size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace qof
