@@ -41,8 +41,27 @@ class Parser {
     return false;
   }
 
+  // Both '(' groups / function forms (through ParseExpr) and the
+  // right-recursive inclusion chain (ParseIncl calling itself) nest one
+  // C++ stack frame per source token, so adversarial input controls the
+  // recursion depth; fail before it reaches the stack guard page.
+  Status EnterNesting() {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Error("expression too deeply nested");
+    }
+    return Status::OK();
+  }
+
   // expr ::= incl (('|' | '&' | '-') incl)*
   Result<RegionExprPtr> ParseExpr() {
+    QOF_RETURN_IF_ERROR(EnterNesting());
+    Result<RegionExprPtr> out = ParseExprInner();
+    --depth_;
+    return out;
+  }
+
+  Result<RegionExprPtr> ParseExprInner() {
     QOF_ASSIGN_OR_RETURN(RegionExprPtr lhs, ParseIncl());
     while (true) {
       SkipSpace();
@@ -64,6 +83,13 @@ class Parser {
 
   // incl ::= primary (op incl)?  — right-associative.
   Result<RegionExprPtr> ParseIncl() {
+    QOF_RETURN_IF_ERROR(EnterNesting());
+    Result<RegionExprPtr> out = ParseInclInner();
+    --depth_;
+    return out;
+  }
+
+  Result<RegionExprPtr> ParseInclInner() {
     QOF_ASSIGN_OR_RETURN(RegionExprPtr lhs, ParsePrimary());
     SkipSpace();
     if (pos_ >= input_.size()) return lhs;
@@ -200,8 +226,11 @@ class Parser {
     return s;
   }
 
+  static constexpr int kMaxNestingDepth = 256;
+
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -96,6 +96,22 @@ Result<RegionExprPtr> QueryCompiler::CompileAttrRegions(
   ChainOptimizer optimizer(&partial_rig_);
   std::vector<RegionExprPtr> exprs;
   for (const InclusionChain& full_chain : mapped.alternatives) {
+    // Attribute regions are recovered by an innermost-strict-encloser
+    // sweep against the candidate view regions. When any chain node lies
+    // on a RIG cycle (a self-nested schema), a nested instance's
+    // attributes sit inside *several* view regions and the sweep assigns
+    // them to whichever candidate survives filtering — wrong once the
+    // candidate set is a strict subset. Fall back to database
+    // navigation, which walks the parse structure and cannot confuse
+    // nesting levels.
+    for (const std::string& name : full_chain.names) {
+      Rig::NodeId id = full_rig_->FindNode(name);
+      if (id != Rig::kInvalidNode && full_rig_->Reachable(id, id)) {
+        notes->push_back("attr path touches self-nested region '" + name +
+                         "': database navigation");
+        return RegionExprPtr(nullptr);
+      }
+    }
     QOF_ASSIGN_OR_RETURN(
         ChainProjection projection,
         ProjectChain(*full_rig_, indexed_names_, full_chain, within_));

@@ -40,13 +40,12 @@ Value Value::MakeTuple(
 }
 
 Value Value::MakeSet(std::vector<Value> elements) {
+  // Canonical order, but duplicates stay: each element is a distinct
+  // occurrence in the file ("parsing; parsing" is two keyword regions),
+  // and collapsing them would make database answers disagree with
+  // index-computed ones, which count text regions.
   std::sort(elements.begin(), elements.end(),
             [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
-  elements.erase(std::unique(elements.begin(), elements.end(),
-                             [](const Value& a, const Value& b) {
-                               return Compare(a, b) == 0;
-                             }),
-                 elements.end());
   auto rep = std::make_shared<Rep>();
   rep->kind = Kind::kSet;
   rep->elements = std::move(elements);

@@ -25,6 +25,11 @@ Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
                                    const Rig& full_rig,
                                    ObjectStore* store) {
   BaselineResult result;
+  // Diagnose malformed paths before scanning: lazy AND/OR evaluation
+  // could otherwise mask them on data where the sibling predicate
+  // already decides, and plan kinds must agree on which queries error.
+  QOF_RETURN_IF_ERROR(
+      ValidateQueryPaths(query, full_rig, schema.view_name()));
   SchemaParser parser(&schema);
   for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
     TextPos begin = corpus.document_start(doc);

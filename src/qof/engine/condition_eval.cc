@@ -53,7 +53,44 @@ Result<std::vector<Value>> Navigate(const ObjectStore& store,
   return out;
 }
 
+// Maps each path once (discarding the expansion) so malformed paths are
+// diagnosed before any data is consulted.
+Status ValidateConditionPaths(const Condition& cond, const Rig& full_rig,
+                              const std::string& view_region) {
+  switch (cond.kind()) {
+    case Condition::Kind::kEqualsLiteral:
+    case Condition::Kind::kContainsWord:
+    case Condition::Kind::kStartsWith:
+      return MapPathToNavSteps(full_rig, view_region, cond.path()).status();
+    case Condition::Kind::kEqualsPath:
+      QOF_RETURN_IF_ERROR(
+          MapPathToNavSteps(full_rig, view_region, cond.path()).status());
+      return MapPathToNavSteps(full_rig, view_region, cond.rhs_path())
+          .status();
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+      QOF_RETURN_IF_ERROR(
+          ValidateConditionPaths(*cond.left(), full_rig, view_region));
+      return ValidateConditionPaths(*cond.right(), full_rig, view_region);
+    case Condition::Kind::kNot:
+      return ValidateConditionPaths(*cond.child(), full_rig, view_region);
+  }
+  return Status::Internal("unhandled condition kind");
+}
+
 }  // namespace
+
+Status ValidateQueryPaths(const SelectQuery& query, const Rig& full_rig,
+                          const std::string& view_region) {
+  if (query.where != nullptr) {
+    QOF_RETURN_IF_ERROR(
+        ValidateConditionPaths(*query.where, full_rig, view_region));
+  }
+  if (query.IsProjection()) {
+    return MapPathToNavSteps(full_rig, view_region, query.target).status();
+  }
+  return Status::OK();
+}
 
 std::string FlattenText(const ObjectStore& store, const Value& value) {
   std::string out;

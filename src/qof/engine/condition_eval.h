@@ -21,6 +21,15 @@ Result<bool> EvaluateCondition(const ObjectStore& store, const Value& root,
                                const Condition& cond, const Rig& full_rig,
                                const std::string& view_region);
 
+/// Statically validates every path in the query (WHERE leaves and the
+/// projection target) against the schema, exactly as the compiler's path
+/// mapper would. The baseline plan runs this before scanning so that a
+/// malformed path is diagnosed even when lazy AND/OR evaluation would
+/// never reach it on the given data — all plan kinds must agree on which
+/// queries are errors, independent of corpus content.
+Status ValidateQueryPaths(const SelectQuery& query, const Rig& full_rig,
+                          const std::string& view_region);
+
 /// Values reached by the SELECT target path (projection); an empty path
 /// yields {root}.
 Result<std::vector<Value>> EvaluateTarget(const ObjectStore& store,

@@ -73,6 +73,22 @@ class Reader {
 
   bool AtEnd() const { return pos_ == data_.size(); }
 
+  size_t Remaining() const { return data_.size() - pos_; }
+
+  /// Rejects a claimed element count that the remaining bytes cannot
+  /// possibly hold. Counts gate reserve() calls, so a corrupt count
+  /// would otherwise turn into a multi-gigabyte allocation before the
+  /// per-element reads ever notice the truncation.
+  Status CheckCount(uint64_t count, size_t min_bytes_each) {
+    if (count > Remaining() / min_bytes_each) {
+      return Status::InvalidArgument(
+          "corrupt index blob: count " + std::to_string(count) +
+          " at offset " + std::to_string(pos_) + " exceeds the " +
+          std::to_string(Remaining()) + " bytes that follow");
+    }
+    return Status::OK();
+  }
+
  private:
   Status Truncated() const {
     return Status::InvalidArgument("truncated index blob at offset " +
@@ -197,6 +213,7 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
   for (uint32_t i = 0; i < num_region_names; ++i) {
     QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
     QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+    QOF_RETURN_IF_ERROR(reader.CheckCount(count, 16));  // two u64 each
     std::vector<Region> regions;
     regions.reserve(count);
     for (uint64_t j = 0; j < count; ++j) {
@@ -213,11 +230,14 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
 
   // Word postings.
   QOF_ASSIGN_OR_RETURN(uint64_t num_words, reader.U64());
+  // Smallest possible entry: empty word (4-byte length) + posting count.
+  QOF_RETURN_IF_ERROR(reader.CheckCount(num_words, 12));
   std::vector<std::pair<std::string, std::vector<TextPos>>> entries;
   entries.reserve(num_words);
   for (uint64_t i = 0; i < num_words; ++i) {
     QOF_ASSIGN_OR_RETURN(std::string word, reader.String());
     QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+    QOF_RETURN_IF_ERROR(reader.CheckCount(count, 8));
     std::vector<TextPos> postings;
     postings.reserve(count);
     for (uint64_t j = 0; j < count; ++j) {

@@ -89,6 +89,14 @@ Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
       ExtractRegions(schema, **tree, filter, &built.regions);
       ++built.documents;
     }
+    // A zero-document corpus registers every indexed name anyway, so
+    // lookups distinguish "indexed but absent" from "not indexed" — the
+    // parallel path gets this from RegisterIndexedNames.
+    std::map<std::string, std::vector<Region>> registered;
+    RegisterIndexedNames(schema, filter, &registered);
+    for (auto& [name, regions] : registered) {
+      if (!built.regions.Has(name)) built.regions.Add(name, RegionSet());
+    }
   }
   built.words = WordIndex::Build(corpus, spec.word_options, pool);
   built.build_micros = static_cast<uint64_t>(

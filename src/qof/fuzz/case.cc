@@ -1,0 +1,21 @@
+#include "qof/fuzz/case.h"
+
+namespace qof {
+
+ConcreteCase Concretize(const FuzzCase& fuzz_case) {
+  ConcreteCase out;
+  out.canned = fuzz_case.canned;
+  out.canned_seed = fuzz_case.canned_seed;
+  out.canned_entries = fuzz_case.canned_entries;
+  if (fuzz_case.canned.empty()) {
+    out.schema_text = fuzz_case.schema.Render();
+    out.docs = RenderDocs(fuzz_case.schema, fuzz_case.corpus);
+  }
+  out.fql = fuzz_case.raw_fql.empty() ? fuzz_case.query.Render()
+                                      : fuzz_case.raw_fql;
+  out.expect_valid = fuzz_case.expect_valid;
+  out.subsets = fuzz_case.subsets;
+  return out;
+}
+
+}  // namespace qof

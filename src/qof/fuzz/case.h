@@ -1,0 +1,60 @@
+#ifndef QOF_FUZZ_CASE_H_
+#define QOF_FUZZ_CASE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qof/fuzz/grammar_model.h"
+#include "qof/fuzz/query_gen.h"
+
+namespace qof {
+
+/// A fully concrete (schema, corpus, query) triple plus the index subsets
+/// to try — everything the oracle needs, with no model-level structure.
+/// Repro files serialize exactly this, so a replayed failure runs the
+/// same code path as a fresh one.
+struct ConcreteCase {
+  /// Non-empty selects a datagen corpus ("bibtex" | "mail" | "log" |
+  /// "outline") regenerated from (canned_seed, canned_entries); empty
+  /// means schema_text/docs carry a random schema.
+  std::string canned;
+  uint32_t canned_seed = 0;
+  int canned_entries = 0;
+
+  std::string schema_text;
+  std::vector<std::pair<std::string, std::string>> docs;
+
+  std::string fql;
+  /// False for the invalid-query class: the parser may reject fql (with a
+  /// diagnostic, never a crash); if it happens to parse, the differential
+  /// checks still apply.
+  bool expect_valid = true;
+
+  std::vector<std::vector<std::string>> subsets;
+};
+
+/// The model-level form the generator produces and the shrinker reduces.
+struct FuzzCase {
+  std::string canned;  // same convention as ConcreteCase
+  uint32_t canned_seed = 0;
+  int canned_entries = 0;
+
+  SchemaModel schema;
+  CorpusModel corpus;
+
+  QueryModel query;
+  std::string raw_fql;  // set for mutated (invalid-class) queries
+  bool expect_valid = true;
+
+  std::vector<std::vector<std::string>> subsets;
+};
+
+/// Renders the model to the concrete triple (schema text, documents,
+/// FQL). Deterministic: the same case always concretizes to the same
+/// bytes.
+ConcreteCase Concretize(const FuzzCase& fuzz_case);
+
+}  // namespace qof
+
+#endif  // QOF_FUZZ_CASE_H_

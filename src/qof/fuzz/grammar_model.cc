@@ -1,0 +1,323 @@
+#include "qof/fuzz/grammar_model.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qof {
+namespace {
+
+const std::vector<std::string>& FieldNamePool() {
+  static const std::vector<std::string> kPool = {
+      "Alpha", "Beta", "Gamma", "Delta", "Epsi", "Zeta"};
+  return kPool;
+}
+
+const std::vector<std::string>& SubNamePool() {
+  static const std::vector<std::string> kPool = {"ItemA", "ItemB", "ItemC"};
+  return kPool;
+}
+
+std::string FieldOpen(size_t index) {
+  return "f" + std::to_string(index + 1) + "<";
+}
+
+/// The token rule body for a leaf, given the stop characters the leaf
+/// runs up against in its grammatical context.
+std::string LeafBody(LeafKind kind, const std::string& stops) {
+  switch (kind) {
+    case LeafKind::kWord:
+      return "word";
+    case LeafKind::kNumber:
+      return "number => int";
+    case LeafKind::kUntil:
+      return "until(" + stops + ")";
+  }
+  return "word";
+}
+
+LeafKind PickLeaf(FuzzRng& rng, double number_rate) {
+  if (rng.Chance(number_rate)) return LeafKind::kNumber;
+  return rng.Chance(0.3) ? LeafKind::kWord : LeafKind::kUntil;
+}
+
+/// Leaf content honoring the leaf kind's lexical constraints. `stops`
+/// never appear: content words are alphanumeric and space-separated.
+std::string LeafContent(LeafKind kind, FuzzRng& rng, double probe_rate) {
+  if (kind == LeafKind::kNumber) return std::to_string(rng.Range(1, 40));
+  auto word = [&]() -> std::string {
+    if (rng.Chance(probe_rate)) return kFuzzProbeWord;
+    return rng.Pick(FuzzVocab());
+  };
+  if (kind == LeafKind::kWord) return word();
+  std::string out = word();
+  if (rng.Chance(0.4)) out += " " + word();
+  return out;
+}
+
+void EmitObject(const SchemaModel& schema, const CorpusModel& corpus,
+                FuzzRng& rng, int depth, std::string* out) {
+  out->append("obj{");
+  for (size_t i = 0; i < schema.fields.size(); ++i) {
+    const FieldSpec& f = schema.fields[i];
+    out->append(FieldOpen(i));
+    switch (f.kind) {
+      case FieldSpec::Kind::kLeaf:
+        out->append(LeafContent(f.leaf, rng, corpus.probe_rate));
+        break;
+      case FieldSpec::Kind::kSet: {
+        const SubSpec& sub = schema.subs[f.sub];
+        // Never empty: an until-leaf key scans for its stop without
+        // regard to the collection's closer, so "()" would desync the
+        // parse. One item is always unambiguous.
+        int count = rng.Range(1, std::max(1, corpus.max_items));
+        out->push_back('(');
+        for (int k = 0; k < count; ++k) {
+          if (k > 0) out->push_back(';');
+          if (sub.tuple) {
+            out->append(LeafContent(sub.key_leaf, rng, corpus.probe_rate));
+            out->push_back('=');
+            out->append(LeafContent(sub.val_leaf, rng, corpus.probe_rate));
+          } else {
+            out->append(LeafContent(sub.leaf, rng, corpus.probe_rate));
+          }
+        }
+        out->push_back(')');
+        break;
+      }
+      case FieldSpec::Kind::kRecurse: {
+        out->push_back('{');
+        int count = depth < corpus.max_depth ? rng.Range(0, 2) : 0;
+        for (int k = 0; k < count; ++k) {
+          if (k > 0) out->push_back(' ');
+          EmitObject(schema, corpus, rng, depth + 1, out);
+        }
+        out->push_back('}');
+        break;
+      }
+    }
+    out->push_back('>');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+const std::vector<std::string>& FuzzVocab() {
+  static const std::vector<std::string> kVocab = {
+      "apple", "baker", "cedar",   "delta", "ember",
+      "falcon", "grove", "harbor", "iris",  "juniper"};
+  return kVocab;
+}
+
+std::string SchemaModel::Render() const {
+  std::string out = "schema Fuzz root File view Obj;\n";
+  out += "File ::= (Obj)* => collect set;\n";
+
+  std::string body;
+  std::string field_list;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    body += "\"" + FieldOpen(i) + "\" " + fields[i].name + " \">\" ";
+    if (i > 0) field_list += ", ";
+    field_list += fields[i].name + ": $" + std::to_string(i + 1);
+  }
+  out += "Obj ::= \"obj{\" " + body + "\"}\" => object Obj(" + field_list +
+         ");\n";
+
+  for (const FieldSpec& f : fields) {
+    switch (f.kind) {
+      case FieldSpec::Kind::kLeaf:
+        out += f.name + " ::= " + LeafBody(f.leaf, "\">\"") + ";\n";
+        break;
+      case FieldSpec::Kind::kSet:
+        out += f.name + " ::= \"(\" (" + subs[f.sub].name + " / \";\")" +
+               (f.min_count > 0 ? "+" : "*") + " \")\" => collect set;\n";
+        break;
+      case FieldSpec::Kind::kRecurse:
+        out += f.name + " ::= \"{\" (Obj)* \"}\" => collect set;\n";
+        break;
+    }
+  }
+
+  for (int si : UsedSubs()) {
+    const SubSpec& s = subs[si];
+    if (s.tuple) {
+      out += s.name + " ::= " + s.KeyName() + " \"=\" " + s.ValName() +
+             " => tuple(" + s.KeyName() + ": $1, " + s.ValName() +
+             ": $2);\n";
+      out += s.KeyName() + " ::= " + LeafBody(s.key_leaf, "\"=\"") + ";\n";
+      out += s.ValName() + " ::= " +
+             LeafBody(s.val_leaf, "\";\", \")\"") + ";\n";
+    } else {
+      out += s.name + " ::= " + LeafBody(s.leaf, "\";\", \")\"") + ";\n";
+    }
+  }
+  return out;
+}
+
+std::vector<int> SchemaModel::UsedSubs() const {
+  std::set<int> used;
+  for (const FieldSpec& f : fields) {
+    if (f.kind == FieldSpec::Kind::kSet) used.insert(f.sub);
+  }
+  return std::vector<int>(used.begin(), used.end());
+}
+
+int SchemaModel::NumProductions() const {
+  int n = 1 + static_cast<int>(fields.size());  // Obj + field rules
+  for (int si : UsedSubs()) n += subs[si].tuple ? 3 : 1;
+  return n;
+}
+
+std::vector<std::string> SchemaModel::SinkNames() const {
+  std::vector<std::string> out;
+  for (const FieldSpec& f : fields) {
+    if (f.kind == FieldSpec::Kind::kLeaf) out.push_back(f.name);
+  }
+  for (int si : UsedSubs()) {
+    const SubSpec& s = subs[si];
+    if (s.tuple) {
+      out.push_back(s.KeyName());
+      out.push_back(s.ValName());
+    } else {
+      out.push_back(s.name);
+    }
+  }
+  return out;
+}
+
+bool SchemaModel::HasRecursion() const {
+  for (const FieldSpec& f : fields) {
+    if (f.kind == FieldSpec::Kind::kRecurse) return true;
+  }
+  return false;
+}
+
+SchemaModel GenerateSchemaModel(FuzzRng& rng,
+                                const SchemaGenOptions& options) {
+  SchemaModel model;
+
+  int num_subs = 1;
+  if (options.max_subs > 1 && rng.Chance(0.35)) num_subs = 2;
+  for (int i = 0; i < num_subs; ++i) {
+    SubSpec sub;
+    sub.name = SubNamePool()[i];
+    sub.tuple = rng.Chance(options.tuple_rate);
+    sub.leaf = PickLeaf(rng, options.number_rate);
+    sub.key_leaf = rng.Chance(0.5) ? LeafKind::kWord : LeafKind::kUntil;
+    sub.val_leaf = PickLeaf(rng, options.number_rate);
+    model.subs.push_back(std::move(sub));
+  }
+
+  int num_fields = rng.Range(options.min_fields, options.max_fields);
+  int shared_sub = -1;  // the sub collection fields gravitate toward
+  for (int i = 0; i < num_fields; ++i) {
+    FieldSpec field;
+    field.name = FieldNamePool()[i];
+    if (rng.Chance(options.set_rate)) {
+      field.kind = FieldSpec::Kind::kSet;
+      if (shared_sub >= 0 && rng.Chance(options.ambiguity_rate)) {
+        field.sub = shared_sub;  // two paths to one name (§6.3 shape)
+      } else {
+        field.sub = static_cast<int>(rng.Below(model.subs.size()));
+        shared_sub = field.sub;
+      }
+      field.min_count = rng.Chance(0.3) ? 1 : 0;
+    } else {
+      field.kind = FieldSpec::Kind::kLeaf;
+      field.leaf = PickLeaf(rng, options.number_rate);
+    }
+    model.fields.push_back(std::move(field));
+  }
+
+  if (rng.Chance(options.recursion_rate)) {
+    FieldSpec nest;
+    nest.kind = FieldSpec::Kind::kRecurse;
+    nest.name = "Nest";
+    model.fields.push_back(std::move(nest));
+  }
+  return model;
+}
+
+std::vector<SchemaModel> SchemaReductions(const SchemaModel& model) {
+  std::vector<SchemaModel> out;
+  // Drop one field (a view object needs at least one attribute).
+  if (model.fields.size() > 1) {
+    for (size_t i = 0; i < model.fields.size(); ++i) {
+      SchemaModel reduced = model;
+      reduced.fields.erase(reduced.fields.begin() + i);
+      out.push_back(std::move(reduced));
+    }
+  }
+  // Collapse a collection or recursive field to a plain leaf.
+  for (size_t i = 0; i < model.fields.size(); ++i) {
+    if (model.fields[i].kind == FieldSpec::Kind::kLeaf) continue;
+    SchemaModel reduced = model;
+    reduced.fields[i].kind = FieldSpec::Kind::kLeaf;
+    reduced.fields[i].leaf = LeafKind::kUntil;
+    out.push_back(std::move(reduced));
+  }
+  // Collapse a tuple sub to a leaf sub.
+  for (size_t i = 0; i < model.subs.size(); ++i) {
+    if (!model.subs[i].tuple) continue;
+    SchemaModel reduced = model;
+    reduced.subs[i].tuple = false;
+    out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+CorpusModel GenerateCorpusModel(FuzzRng& rng) {
+  CorpusModel corpus;
+  int docs = rng.Range(1, 2);
+  for (int i = 0; i < docs; ++i) {
+    corpus.doc_objects.push_back(rng.Range(0, 5));
+  }
+  corpus.max_depth = rng.Range(1, 2);
+  corpus.max_items = rng.Range(1, 3);
+  corpus.probe_rate = 0.35;
+  return corpus;
+}
+
+std::vector<CorpusModel> CorpusReductions(const CorpusModel& model) {
+  std::vector<CorpusModel> out;
+  for (size_t i = 0; i < model.doc_objects.size(); ++i) {
+    CorpusModel reduced = model;
+    reduced.doc_objects.erase(reduced.doc_objects.begin() + i);
+    out.push_back(std::move(reduced));
+  }
+  for (size_t i = 0; i < model.doc_objects.size(); ++i) {
+    if (model.doc_objects[i] == 0) continue;
+    CorpusModel reduced = model;
+    reduced.doc_objects[i] /= 2;
+    out.push_back(std::move(reduced));
+  }
+  if (model.max_depth > 1) {
+    CorpusModel reduced = model;
+    reduced.max_depth -= 1;
+    out.push_back(std::move(reduced));
+  }
+  if (model.max_items > 1) {
+    CorpusModel reduced = model;
+    reduced.max_items = 1;
+    out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> RenderDocs(
+    const SchemaModel& schema, const CorpusModel& corpus) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (size_t d = 0; d < corpus.doc_objects.size(); ++d) {
+    FuzzRng rng(static_cast<uint64_t>(corpus.content_seed) * 0x9e3779b9ull +
+                d * 0x85ebca6bull + 1);
+    std::string text;
+    for (int o = 0; o < corpus.doc_objects[d]; ++o) {
+      if (o > 0) text.push_back('\n');
+      EmitObject(schema, corpus, rng, 0, &text);
+    }
+    out.emplace_back("doc" + std::to_string(d) + ".txt", std::move(text));
+  }
+  return out;
+}
+
+}  // namespace qof

@@ -1,0 +1,396 @@
+#include "qof/fuzz/oracle.h"
+
+#include <algorithm>
+#include <set>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/outline_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+#include "qof/fuzz/rng.h"
+#include "qof/optimizer/optimizer.h"
+#include "qof/schema/rig_derivation.h"
+#include "qof/schema/schema_text.h"
+
+namespace qof {
+namespace {
+
+Result<StructuringSchema> MaterializeSchema(const ConcreteCase& c) {
+  if (c.canned.empty()) return ParseSchemaText(c.schema_text);
+  if (c.canned == "bibtex") return BibtexSchema();
+  if (c.canned == "mail") return MailSchema();
+  if (c.canned == "log") return LogSchema();
+  if (c.canned == "outline") return OutlineSchema();
+  return Status::InvalidArgument("unknown canned corpus: " + c.canned);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> MaterializeDocs(
+    const ConcreteCase& c) {
+  if (c.canned.empty()) return c.docs;
+  int entries = std::max(1, c.canned_entries);
+  if (c.canned == "bibtex") {
+    BibtexGenOptions o;
+    o.num_references = entries;
+    o.seed = c.canned_seed;
+    o.probe_author_rate = 0.3;
+    o.probe_editor_rate = 0.2;
+    return std::vector<std::pair<std::string, std::string>>{
+        {"corpus.bib", GenerateBibtex(o)}};
+  }
+  if (c.canned == "mail") {
+    MailGenOptions o;
+    o.num_messages = entries;
+    o.seed = c.canned_seed;
+    o.probe_sender_rate = 0.3;
+    o.probe_recipient_rate = 0.3;
+    return std::vector<std::pair<std::string, std::string>>{
+        {"corpus.mbox", GenerateMailbox(o)}};
+  }
+  if (c.canned == "log") {
+    LogGenOptions o;
+    o.num_entries = entries * 4;
+    o.seed = c.canned_seed;
+    o.error_rate = 0.2;
+    o.num_sessions = 4;
+    return std::vector<std::pair<std::string, std::string>>{
+        {"corpus.log", GenerateLog(o)}};
+  }
+  if (c.canned == "outline") {
+    OutlineGenOptions o;
+    o.num_top_sections = entries;
+    o.seed = c.canned_seed;
+    o.max_depth = 3;
+    o.probe_title_rate = 0.25;
+    return std::vector<std::pair<std::string, std::string>>{
+        {"corpus.outline", GenerateOutline(o)}};
+  }
+  return Status::InvalidArgument("unknown canned corpus: " + c.canned);
+}
+
+/// A query execution reduced to what the differential check compares.
+struct CanonExec {
+  bool ok = false;
+  std::string error;
+  std::vector<Region> regions;       // sorted
+  std::vector<std::string> values;   // RenderedValues (already sorted)
+};
+
+CanonExec Canon(const Result<QueryResult>& r) {
+  CanonExec out;
+  if (!r.ok()) {
+    out.error = r.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.regions = r->regions;
+  std::sort(out.regions.begin(), out.regions.end(),
+            [](const Region& a, const Region& b) {
+              return a.start != b.start ? a.start < b.start : a.end < b.end;
+            });
+  out.values = r->RenderedValues();
+  return out;
+}
+
+std::string Describe(const CanonExec& e) {
+  if (!e.ok) return "error{" + e.error + "}";
+  return "ok{regions=" + std::to_string(e.regions.size()) +
+         ", values=" + std::to_string(e.values.size()) + "}";
+}
+
+/// Compares one plan's execution against the baseline; fills `failure`
+/// and returns false on mismatch. Consistent errors (both sides reject
+/// the query) count as agreement.
+bool Agrees(const std::string& label, const CanonExec& baseline,
+            const CanonExec& got, const ConcreteCase& c,
+            std::string* failure) {
+  auto fail = [&](const std::string& what) {
+    *failure = "[" + label + "] " + what + "; baseline=" +
+               Describe(baseline) + " got=" + Describe(got) +
+               " (fql: " + c.fql + ")";
+    return false;
+  };
+  if (baseline.ok != got.ok) return fail("ok/error status mismatch");
+  if (!baseline.ok) return true;
+  if (baseline.regions != got.regions) return fail("regions differ");
+  if (baseline.values != got.values) return fail("rendered values differ");
+  return true;
+}
+
+/// Inclusion chains enumerated from the RIG: every edge as a ⊃d pair,
+/// every length-2 path under all four direct-flag combinations, plus a
+/// few seeded longer chains carrying selections. Deterministic given
+/// (rig, seed).
+std::vector<InclusionChain> EnumerateChains(const Rig& rig, uint64_t seed,
+                                            size_t max_chains) {
+  std::vector<InclusionChain> out;
+  auto add = [&](std::vector<std::string> names, std::vector<bool> direct) {
+    InclusionChain chain;
+    chain.orientation = InclusionChain::Orientation::kContains;
+    chain.names = std::move(names);
+    chain.direct = std::move(direct);
+    chain.sels.assign(chain.names.size(), std::nullopt);
+    out.push_back(std::move(chain));
+  };
+  size_t n = rig.num_nodes();
+  for (size_t i = 0; i < n && out.size() < max_chains; ++i) {
+    Rig::NodeId a = static_cast<Rig::NodeId>(i);
+    for (Rig::NodeId b : rig.out_edges(a)) {
+      add({rig.name(a), rig.name(b)}, {true});
+      for (Rig::NodeId c : rig.out_edges(b)) {
+        for (bool d1 : {true, false}) {
+          for (bool d2 : {true, false}) {
+            add({rig.name(a), rig.name(b), rig.name(c)}, {d1, d2});
+          }
+        }
+        if (out.size() >= max_chains) break;
+      }
+      if (out.size() >= max_chains) break;
+    }
+  }
+  // Seeded chains: longer, random flags, a selection at the end —
+  // exercises triviality (random names may be unreachable) and the
+  // selection-preserving rewrites.
+  FuzzRng rng(seed ^ 0x5eedc4a15ull);
+  std::vector<std::string> names = rig.NodeNames();
+  if (!names.empty()) {
+    for (int k = 0; k < 4; ++k) {
+      size_t len = 2 + rng.Below(3);
+      std::vector<std::string> cn;
+      std::vector<bool> cd;
+      for (size_t j = 0; j < len; ++j) {
+        cn.push_back(rng.Pick(names));
+        if (j > 0) cd.push_back(rng.Chance(0.6));
+      }
+      InclusionChain chain;
+      chain.orientation = InclusionChain::Orientation::kContains;
+      chain.names = std::move(cn);
+      chain.direct = std::move(cd);
+      chain.sels.assign(chain.names.size(), std::nullopt);
+      chain.sels.back() =
+          ChainSelection{ExprKind::kSelectContains, kFuzzProbeWord, "", 0};
+      out.push_back(std::move(chain));
+    }
+  }
+  return out;
+}
+
+bool HasRewrite(const std::vector<ChainRewrite>& rewrites, size_t position) {
+  for (const ChainRewrite& r : rewrites) {
+    if (r.kind == ChainRewrite::Kind::kRelaxDirect &&
+        r.position == position) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Thm. 3.6 check: random-order rewrite walks (buggy or not) must land on
+/// Optimize()'s normal form, and so must re-optimizing any intermediate.
+Status CheckChainConvergence(const Rig& rig, const OracleOptions& options,
+                             uint64_t seed, std::string* failure) {
+  ChainOptimizer optimizer(&rig);
+  FuzzRng rng(seed * 0x9e3779b97f4a7c15ull + 0xc4a5ull);
+  for (const InclusionChain& chain :
+       EnumerateChains(rig, seed, options.max_chains)) {
+    auto outcome = optimizer.Optimize(chain);
+    if (!outcome.ok()) return outcome.status();
+    if (outcome->trivially_empty) continue;
+
+    InclusionChain cur = chain;
+    for (int step = 0; step < 64; ++step) {
+      std::vector<ChainRewrite> rewrites = optimizer.ApplicableRewrites(cur);
+      size_t legit = rewrites.size();
+      if (options.bug == InjectedBug::kRelaxDirect) {
+        // The injected bug: every ⊃d is treated as relaxable, guard or no
+        // guard.
+        for (size_t i = 0; i + 1 < cur.names.size(); ++i) {
+          if (cur.direct[i] && !HasRewrite(rewrites, i)) {
+            rewrites.push_back(
+                {ChainRewrite::Kind::kRelaxDirect, i});
+          }
+        }
+      }
+      if (rewrites.empty()) break;
+      size_t pick = rng.Below(rewrites.size());
+      if (pick < legit) {
+        cur = optimizer.ApplyRewrite(cur, rewrites[pick]);
+      } else {
+        cur.direct[rewrites[pick].position] = false;  // unguarded relax
+      }
+      auto re = optimizer.Optimize(cur);
+      if (!re.ok()) return re.status();
+      if (!re->trivially_empty && !(re->chain == outcome->chain)) {
+        *failure = "[optimizer] Thm 3.6 normal form divergence: chain " +
+                   chain.ToString() + " rewrote to " + cur.ToString() +
+                   " which re-optimizes to " + re->chain.ToString() +
+                   " instead of " + outcome->chain.ToString();
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OracleOutcome> RunOracle(const ConcreteCase& c,
+                                const OracleOptions& options,
+                                uint64_t seed) {
+  OracleOutcome outcome;
+  auto fail = [&](std::string message) {
+    outcome.failed = true;
+    outcome.failure = std::move(message);
+    return outcome;
+  };
+
+  QOF_ASSIGN_OR_RETURN(StructuringSchema schema, MaterializeSchema(c));
+  QOF_ASSIGN_OR_RETURN(auto docs, MaterializeDocs(c));
+
+  // Parse once up front: the invalid-query class ends here when the
+  // parser (correctly) rejects with a diagnostic.
+  auto parsed = ParseFql(c.fql);
+  if (!parsed.ok()) {
+    if (c.expect_valid) {
+      return fail("[parse] generated query failed to parse: " +
+                  parsed.status().ToString() + " (fql: " + c.fql + ")");
+    }
+    if (parsed.status().message().empty()) {
+      return fail("[parse] rejection without a diagnostic (fql: " + c.fql +
+                  ")");
+    }
+    return outcome;  // rejected with a diagnostic — exactly right
+  }
+  const bool is_projection = parsed->IsProjection();
+
+  auto make_system = [&]() {
+    FileQuerySystem system(schema);
+    for (const auto& [name, text] : docs) {
+      (void)system.AddFile(name, text);
+    }
+    return system;
+  };
+
+  // 1. Baseline scan: the ground truth.
+  FileQuerySystem base_system = make_system();
+  CanonExec baseline =
+      Canon(base_system.Execute(c.fql, ExecutionMode::kBaseline));
+
+  // 2. Full indexing, serial and parallel.
+  FileQuerySystem full = make_system();
+  full.SetParallelism(1);
+  Status built = full.BuildIndexes(IndexSpec::Full());
+  if (!built.ok()) {
+    return fail("[index] full index build failed: " + built.ToString());
+  }
+  if (!Agrees("auto/full p=1", baseline,
+              Canon(full.Execute(c.fql, ExecutionMode::kAuto)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+  if (!Agrees("two-phase/full p=1", baseline,
+              Canon(full.Execute(c.fql, ExecutionMode::kTwoPhase)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+  auto full_plan = full.Plan(c.fql);
+  if (full_plan.ok() && full_plan->exact &&
+      (!is_projection || full_plan->projection != nullptr)) {
+    if (!Agrees("index-only/full", baseline,
+                Canon(full.Execute(c.fql, ExecutionMode::kIndexOnly)), c,
+                &outcome.failure)) {
+      outcome.failed = true;
+      return outcome;
+    }
+  }
+
+  full.SetParallelism(options.workers);
+  IndexSpec parallel_spec = IndexSpec::Full();
+  parallel_spec.parallelism = options.workers;
+  built = full.BuildIndexes(parallel_spec);
+  if (!built.ok()) {
+    return fail("[index] parallel index build failed: " + built.ToString());
+  }
+  if (!Agrees("auto/full p=" + std::to_string(options.workers), baseline,
+              Canon(full.Execute(c.fql, ExecutionMode::kAuto)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+  if (!Agrees("two-phase/full p=" + std::to_string(options.workers),
+              baseline,
+              Canon(full.Execute(c.fql, ExecutionMode::kTwoPhase)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 3. Random index subsets (§6): exact or not, answers must match.
+  for (size_t si = 0; si < c.subsets.size(); ++si) {
+    std::set<std::string> names(c.subsets[si].begin(), c.subsets[si].end());
+    FileQuerySystem partial = make_system();
+    partial.SetParallelism(1);
+    built = partial.BuildIndexes(IndexSpec::Partial(names));
+    if (!built.ok()) {
+      return fail("[index] partial build " + std::to_string(si) +
+                  " failed: " + built.ToString());
+    }
+    std::string label = "subset " + std::to_string(si);
+    if (!Agrees("auto/" + label, baseline,
+                Canon(partial.Execute(c.fql, ExecutionMode::kAuto)), c,
+                &outcome.failure)) {
+      outcome.failed = true;
+      return outcome;
+    }
+    auto plan = partial.Plan(c.fql);
+    if (plan.ok() && plan->view_indexed && !plan->trivially_empty) {
+      if (!Agrees("two-phase/" + label, baseline,
+                  Canon(partial.Execute(c.fql, ExecutionMode::kTwoPhase)),
+                  c, &outcome.failure)) {
+        outcome.failed = true;
+        return outcome;
+      }
+      if (options.bug == InjectedBug::kExactSkip && baseline.ok &&
+          !is_projection && !plan->exact && plan->candidates != nullptr) {
+        // The injected bug: trust phase-1 candidates as the final answer
+        // even though the plan is inexact (§6.3 violated).
+        ExprEvaluator evaluator(&partial.region_index(),
+                                &partial.word_index(), &partial.corpus());
+        auto candidates = evaluator.Evaluate(*plan->candidates);
+        if (candidates.ok()) {
+          std::vector<Region> got(candidates->begin(), candidates->end());
+          std::sort(got.begin(), got.end(),
+                    [](const Region& a, const Region& b) {
+                      return a.start != b.start ? a.start < b.start
+                                                : a.end < b.end;
+                    });
+          if (got != baseline.regions) {
+            return fail(
+                "[exact-skip/" + label +
+                "] injected bug detected: unfiltered phase-1 candidates (" +
+                std::to_string(got.size()) + ") differ from baseline (" +
+                std::to_string(baseline.regions.size()) +
+                ") on an inexact plan (fql: " + c.fql + ")");
+          }
+        }
+      }
+    }
+  }
+
+  // 4. Thm. 3.6: rewrite walks converge to the unique normal form.
+  if (options.check_chains) {
+    Rig rig = DeriveFullRig(schema);
+    QOF_RETURN_IF_ERROR(
+        CheckChainConvergence(rig, options, seed, &outcome.failure));
+    if (!outcome.failure.empty()) {
+      outcome.failed = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace qof

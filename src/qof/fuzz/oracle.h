@@ -1,0 +1,61 @@
+#ifndef QOF_FUZZ_ORACLE_H_
+#define QOF_FUZZ_ORACLE_H_
+
+#include <string>
+
+#include "qof/fuzz/case.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Deliberate bugs the oracle can simulate, to prove the harness catches
+/// (and the shrinker minimizes) real plan-equivalence defects:
+///  - kRelaxDirect drops the Prop. 3.5(a) guard: the rewrite walk treats
+///    every ⊃d as relaxable, so it can leave the legitimate rewrite
+///    system's equivalence class and diverge from the Thm. 3.6 normal
+///    form.
+///  - kExactSkip returns phase-1 candidates as the final answer even for
+///    inexact plans — skipping the §6.2 filter the §6.3 condition exists
+///    to justify.
+enum class InjectedBug { kNone, kRelaxDirect, kExactSkip };
+
+struct OracleOptions {
+  InjectedBug bug = InjectedBug::kNone;
+  /// Parallel worker count for the parallelism ∈ {1, workers} leg.
+  int workers = 4;
+  /// Cap on inclusion chains enumerated for the normal-form check.
+  size_t max_chains = 160;
+  bool check_chains = true;
+};
+
+/// The oracle's verdict on one case. `failed` means the invariants were
+/// violated (a differential mismatch or a normal-form divergence) —
+/// distinct from the Result-level error, which means the harness itself
+/// could not run the case (e.g. an unparseable generated schema) and
+/// indicates a fuzzer bug.
+struct OracleOutcome {
+  bool failed = false;
+  std::string failure;
+};
+
+/// Runs one case through every plan kind and checks the invariants:
+///  1. baseline scan, full-index auto, forced two-phase, and (when the
+///     plan is exact) index-only all return identical regions and
+///     RenderedValues, at parallelism 1 and `workers`;
+///  2. each index subset's auto and forced two-phase runs agree with the
+///     baseline (§6.3 exact subsets answer on the index, inexact ones
+///     must filter — either way the answers match);
+///  3. errors are consistent: if one plan rejects the query, all do;
+///  4. for inclusion chains enumerated from the schema's RIG, every
+///     random-order rewrite walk converges to Optimize()'s normal form,
+///     and re-optimizing any intermediate chain yields the same normal
+///     form (Thm. 3.6).
+/// `seed` drives the walk order and chain sampling only — the case
+/// itself is fixed by `concrete_case`.
+Result<OracleOutcome> RunOracle(const ConcreteCase& concrete_case,
+                                const OracleOptions& options,
+                                uint64_t seed);
+
+}  // namespace qof
+
+#endif  // QOF_FUZZ_ORACLE_H_

@@ -1,0 +1,337 @@
+#include "qof/fuzz/query_gen.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace qof {
+namespace {
+
+bool IsSink(const Rig& rig, Rig::NodeId n) {
+  return rig.out_edges(n).empty();
+}
+
+/// Per-node distance to the nearest sink (BFS over reverse edges), or -1
+/// when no sink is reachable. A random walk past its budget follows
+/// decreasing distances, so it always terminates at a sink even on
+/// cyclic RIGs.
+std::vector<int> SinkDistances(const Rig& rig) {
+  size_t n = rig.num_nodes();
+  std::vector<std::vector<Rig::NodeId>> rev(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (Rig::NodeId j : rig.out_edges(static_cast<Rig::NodeId>(i))) {
+      rev[j].push_back(static_cast<Rig::NodeId>(i));
+    }
+  }
+  std::vector<int> dist(n, -1);
+  std::queue<Rig::NodeId> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsSink(rig, static_cast<Rig::NodeId>(i))) {
+      dist[i] = 0;
+      queue.push(static_cast<Rig::NodeId>(i));
+    }
+  }
+  while (!queue.empty()) {
+    Rig::NodeId cur = queue.front();
+    queue.pop();
+    for (Rig::NodeId p : rev[cur]) {
+      if (dist[p] < 0) {
+        dist[p] = dist[cur] + 1;
+        queue.push(p);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Random RIG walk from `from` ending at a sink; empty when no sink is
+/// reachable.
+std::vector<std::string> WalkToSink(FuzzRng& rng, const Rig& rig,
+                                    Rig::NodeId from,
+                                    const std::vector<int>& dist,
+                                    int max_len) {
+  if (dist[from] < 0) return {};
+  std::vector<std::string> steps;
+  Rig::NodeId cur = from;
+  int budget = rng.Range(1, max_len);
+  while (!IsSink(rig, cur)) {
+    const std::vector<Rig::NodeId>& outs = rig.out_edges(cur);
+    Rig::NodeId next;
+    if (static_cast<int>(steps.size()) < budget) {
+      next = outs[rng.Below(outs.size())];
+      if (dist[next] < 0) {
+        // A dead branch (sink-free cycle): fall through to the guided
+        // choice below instead.
+        next = Rig::kInvalidNode;
+      }
+    } else {
+      next = Rig::kInvalidNode;
+    }
+    if (next == Rig::kInvalidNode) {
+      for (Rig::NodeId candidate : outs) {
+        if (dist[candidate] >= 0 && dist[candidate] < dist[cur]) {
+          next = candidate;
+          break;
+        }
+      }
+      if (next == Rig::kInvalidNode) return {};  // shouldn't happen
+    }
+    steps.push_back(rig.name(next));
+    cur = next;
+  }
+  return steps;
+}
+
+std::vector<PathStep> MakePath(FuzzRng& rng,
+                               const std::vector<std::string>& names,
+                               const QueryGenOptions& options) {
+  std::vector<PathStep> steps;
+  size_t start = 0;
+  if (names.size() >= 2 && rng.Chance(options.wildcard_rate)) {
+    // Replace a proper prefix with *X: the closure contains the original
+    // path, so both engines must agree on the (larger) answer.
+    start = 1 + rng.Below(names.size() - 1);
+    steps.push_back(PathStep::WildStar("X"));
+  } else if (!names.empty() && rng.Chance(options.wildcard_rate * 0.5)) {
+    // Replace the first step with ?Y (exactly one attribute of any name).
+    start = 1;
+    steps.push_back(PathStep::WildOne("Y"));
+  }
+  for (size_t i = start; i < names.size(); ++i) {
+    steps.push_back(PathStep::Attr(names[i]));
+  }
+  if (rng.Chance(options.bogus_rate)) {
+    // Off-schema attribute: every plan kind must report the same
+    // diagnostic (the path mapper is shared).
+    steps.push_back(PathStep::Attr("Zog"));
+  }
+  return steps;
+}
+
+QueryAtom MakeAtom(FuzzRng& rng, const Rig& rig, Rig::NodeId view,
+                   const std::vector<int>& dist,
+                   const std::vector<std::string>& literals,
+                   const QueryGenOptions& options) {
+  QueryAtom atom;
+  std::vector<std::string> walk =
+      WalkToSink(rng, rig, view, dist, options.max_path_len);
+  atom.lhs = MakePath(rng, walk, options);
+  if (rng.Chance(options.join_rate)) {
+    std::vector<std::string> rhs_walk =
+        WalkToSink(rng, rig, view, dist, options.max_path_len);
+    if (!rhs_walk.empty()) {
+      atom.op = QueryAtom::Op::kEqPath;
+      // Join paths stay wildcard-free: plain attribute chains are the
+      // §5.2 index-join shape.
+      atom.lhs.clear();
+      for (const std::string& name : walk) {
+        atom.lhs.push_back(PathStep::Attr(name));
+      }
+      atom.rhs.clear();
+      for (const std::string& name : rhs_walk) {
+        atom.rhs.push_back(PathStep::Attr(name));
+      }
+      return atom;
+    }
+  }
+  uint64_t kind = rng.Below(3);
+  if (kind == 0) {
+    atom.op = QueryAtom::Op::kEqLiteral;
+    atom.literal = rng.Pick(literals);
+    if (rng.Chance(0.25)) atom.literal += " " + rng.Pick(literals);
+  } else if (kind == 1) {
+    atom.op = QueryAtom::Op::kContains;
+    atom.literal = rng.Pick(literals);
+  } else {
+    atom.op = QueryAtom::Op::kStarts;
+    std::string word = rng.Pick(literals);
+    atom.literal = word.substr(0, std::min<size_t>(word.size(), 3));
+  }
+  return atom;
+}
+
+QueryNode MakeNode(FuzzRng& rng, const Rig& rig, Rig::NodeId view,
+                   const std::vector<int>& dist,
+                   const std::vector<std::string>& literals,
+                   const QueryGenOptions& options, int depth) {
+  QueryNode node;
+  if (depth >= options.max_tree_depth || rng.Chance(0.55)) {
+    node.kind = QueryNode::Kind::kAtom;
+    node.atom = MakeAtom(rng, rig, view, dist, literals, options);
+    return node;
+  }
+  uint64_t kind = rng.Below(3);
+  if (kind == 2) {
+    node.kind = QueryNode::Kind::kNot;
+    node.kids.push_back(
+        MakeNode(rng, rig, view, dist, literals, options, depth + 1));
+  } else {
+    node.kind = kind == 0 ? QueryNode::Kind::kAnd : QueryNode::Kind::kOr;
+    node.kids.push_back(
+        MakeNode(rng, rig, view, dist, literals, options, depth + 1));
+    node.kids.push_back(
+        MakeNode(rng, rig, view, dist, literals, options, depth + 1));
+  }
+  return node;
+}
+
+std::string RenderPath(const std::string& var,
+                       const std::vector<PathStep>& steps) {
+  std::string out = var;
+  for (const PathStep& s : steps) {
+    out += ".";
+    if (s.kind == PathStep::Kind::kWildStar) out += "*";
+    if (s.kind == PathStep::Kind::kWildOne) out += "?";
+    out += s.name;
+  }
+  return out;
+}
+
+std::string RenderNode(const std::string& var, const QueryNode& node) {
+  switch (node.kind) {
+    case QueryNode::Kind::kAtom: {
+      const QueryAtom& a = node.atom;
+      std::string lhs = RenderPath(var, a.lhs);
+      switch (a.op) {
+        case QueryAtom::Op::kEqLiteral:
+          return lhs + " = \"" + a.literal + "\"";
+        case QueryAtom::Op::kContains:
+          return lhs + " CONTAINS \"" + a.literal + "\"";
+        case QueryAtom::Op::kStarts:
+          return lhs + " STARTS \"" + a.literal + "\"";
+        case QueryAtom::Op::kEqPath:
+          return lhs + " = " + RenderPath(var, a.rhs);
+      }
+      return lhs;
+    }
+    case QueryNode::Kind::kAnd:
+      return "(" + RenderNode(var, node.kids[0]) + " AND " +
+             RenderNode(var, node.kids[1]) + ")";
+    case QueryNode::Kind::kOr:
+      return "(" + RenderNode(var, node.kids[0]) + " OR " +
+             RenderNode(var, node.kids[1]) + ")";
+    case QueryNode::Kind::kNot:
+      return "NOT (" + RenderNode(var, node.kids[0]) + ")";
+  }
+  return "";
+}
+
+int CountAtoms(const QueryNode& node) {
+  if (node.kind == QueryNode::Kind::kAtom) return 1;
+  int n = 0;
+  for (const QueryNode& kid : node.kids) n += CountAtoms(kid);
+  return n;
+}
+
+/// Appends every tree obtained from `root` by replacing one composite
+/// node with one of its children.
+void NodeReductions(const QueryNode& root, const QueryNode& node,
+                    const std::vector<size_t>& path,
+                    std::vector<QueryNode>* out) {
+  auto rebuild = [&](const QueryNode& replacement) {
+    QueryNode copy = root;
+    QueryNode* cur = &copy;
+    for (size_t idx : path) cur = &cur->kids[idx];
+    *cur = replacement;
+    return copy;
+  };
+  for (size_t i = 0; i < node.kids.size(); ++i) {
+    out->push_back(rebuild(node.kids[i]));
+    std::vector<size_t> child_path = path;
+    child_path.push_back(i);
+    NodeReductions(root, node.kids[i], child_path, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryModel::Render() const {
+  std::string out = "SELECT " + RenderPath(var, target) + " FROM " + view +
+                    " " + var;
+  if (where.has_value()) out += " WHERE " + RenderNode(var, *where);
+  return out;
+}
+
+int QueryModel::AtomCount() const {
+  return where.has_value() ? CountAtoms(*where) : 0;
+}
+
+QueryModel GenerateQuery(FuzzRng& rng, const Rig& rig,
+                         const std::string& view_node,
+                         const std::string& view_name,
+                         const std::vector<std::string>& literals,
+                         const QueryGenOptions& options) {
+  QueryModel model;
+  model.view = view_name;
+  Rig::NodeId view = rig.FindNode(view_node);
+  std::vector<int> dist = SinkDistances(rig);
+
+  if (view != Rig::kInvalidNode && rng.Chance(options.projection_rate)) {
+    std::vector<std::string> walk =
+        WalkToSink(rng, rig, view, dist, options.max_path_len);
+    for (const std::string& name : walk) {
+      model.target.push_back(PathStep::Attr(name));
+    }
+  }
+  if (view != Rig::kInvalidNode && dist[view] >= 0 &&
+      rng.Chance(options.where_rate)) {
+    model.where = MakeNode(rng, rig, view, dist, literals, options, 0);
+  }
+  return model;
+}
+
+std::vector<QueryModel> QueryReductions(const QueryModel& model) {
+  std::vector<QueryModel> out;
+  if (model.where.has_value()) {
+    QueryModel reduced = model;
+    reduced.where.reset();
+    out.push_back(std::move(reduced));
+    std::vector<QueryNode> trees;
+    NodeReductions(*model.where, *model.where, {}, &trees);
+    for (QueryNode& tree : trees) {
+      QueryModel variant = model;
+      variant.where = std::move(tree);
+      out.push_back(std::move(variant));
+    }
+  }
+  if (!model.target.empty()) {
+    QueryModel reduced = model;
+    reduced.target.clear();
+    out.push_back(std::move(reduced));
+  }
+  return out;
+}
+
+std::string MutateToInvalid(FuzzRng& rng, const std::string& fql) {
+  std::string out = fql;
+  int mutations = rng.Range(1, 2);
+  for (int m = 0; m < mutations && !out.empty(); ++m) {
+    switch (rng.Below(6)) {
+      case 0:  // truncate
+        out = out.substr(0, rng.Below(out.size()));
+        break;
+      case 1:  // delete one character
+        out.erase(rng.Below(out.size()), 1);
+        break;
+      case 2: {  // insert a structural character
+        static const char kChars[] = "().*?=.\"";
+        out.insert(out.begin() + static_cast<long>(rng.Below(out.size())),
+                   kChars[rng.Below(sizeof(kChars) - 1)]);
+        break;
+      }
+      case 3:  // duplicate an operator keyword
+        out.insert(rng.Below(out.size()), " AND ");
+        break;
+      case 4: {  // unbalance: drop a closing parenthesis or quote
+        size_t pos = out.find_last_of(")\"");
+        if (pos != std::string::npos) out.erase(pos, 1);
+        break;
+      }
+      case 5:  // unknown view / garbage keyword
+        out.insert(rng.Below(out.size()), " Zzz ");
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace qof

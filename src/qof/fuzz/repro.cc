@@ -1,0 +1,179 @@
+#include "qof/fuzz/repro.h"
+
+#include <sstream>
+
+namespace qof {
+namespace {
+
+constexpr char kMagic[] = "qof-fuzz-repro v1";
+
+void WriteHeredoc(std::ostringstream& out, const std::string& body) {
+  // Always one '\n' between body and END: a body that itself ends in
+  // '\n' then shows an explicit empty line before END, and the reader's
+  // join-with-'\n' recovers every body byte-exactly (schema text ends
+  // with a newline, document text does not — both must round-trip).
+  out << " <<END\n" << body << "\nEND\n";
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+}  // namespace
+
+std::string InjectedBugName(InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::kNone:
+      return "none";
+    case InjectedBug::kRelaxDirect:
+      return "relax-direct";
+    case InjectedBug::kExactSkip:
+      return "exact-skip";
+  }
+  return "none";
+}
+
+Result<InjectedBug> InjectedBugFromName(std::string_view name) {
+  if (name == "none") return InjectedBug::kNone;
+  if (name == "relax-direct") return InjectedBug::kRelaxDirect;
+  if (name == "exact-skip") return InjectedBug::kExactSkip;
+  return Status::InvalidArgument("unknown injected bug name: " +
+                                 std::string(name));
+}
+
+std::string WriteRepro(const ReproFile& repro) {
+  const ConcreteCase& c = repro.concrete_case;
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "seed: " << repro.seed << "\n";
+  out << "inject: " << InjectedBugName(repro.bug) << "\n";
+  out << "expect-valid: " << (c.expect_valid ? 1 : 0) << "\n";
+  if (!c.canned.empty()) {
+    out << "canned: " << c.canned << " " << c.canned_seed << " "
+        << c.canned_entries << "\n";
+  }
+  for (const std::vector<std::string>& subset : c.subsets) {
+    out << "subset:";
+    for (const std::string& name : subset) out << " " << name;
+    out << "\n";
+  }
+  out << "query: " << c.fql << "\n";
+  if (c.canned.empty()) {
+    out << "schema";
+    WriteHeredoc(out, c.schema_text);
+    for (const auto& [name, text] : c.docs) {
+      out << "doc " << name;
+      WriteHeredoc(out, text);
+    }
+  }
+  return out.str();
+}
+
+Result<ReproFile> ParseRepro(std::string_view text) {
+  ReproFile repro;
+  ConcreteCase& c = repro.concrete_case;
+
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(pos));
+      break;
+    }
+    lines.emplace_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  // A trailing newline produces one empty final line; drop it.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+
+  if (lines.empty() || lines[0] != kMagic) {
+    return Status::ParseError("repro: missing '" + std::string(kMagic) +
+                              "' header");
+  }
+
+  // Reads a heredoc starting after the "... <<END" line at index i;
+  // returns the index of the line after the closing END.
+  auto read_heredoc = [&](size_t i, std::string* body) -> Result<size_t> {
+    std::string out;
+    bool first = true;
+    for (; i < lines.size(); ++i) {
+      if (lines[i] == "END") {
+        *body = std::move(out);
+        return i + 1;
+      }
+      if (!first) out += "\n";
+      out += lines[i];
+      first = false;
+    }
+    return Status::ParseError("repro: unterminated heredoc");
+  };
+
+  bool saw_query = false;
+  size_t i = 1;
+  while (i < lines.size()) {
+    const std::string& line = lines[i];
+    if (line.empty()) {
+      ++i;
+      continue;
+    }
+    if (line.rfind("seed: ", 0) == 0) {
+      repro.seed = std::stoull(line.substr(6));
+      ++i;
+    } else if (line.rfind("inject: ", 0) == 0) {
+      QOF_ASSIGN_OR_RETURN(repro.bug, InjectedBugFromName(line.substr(8)));
+      ++i;
+    } else if (line.rfind("expect-valid: ", 0) == 0) {
+      c.expect_valid = line.substr(14) != "0";
+      ++i;
+    } else if (line.rfind("canned: ", 0) == 0) {
+      std::vector<std::string> words = SplitWords(line.substr(8));
+      if (words.size() != 3) {
+        return Status::ParseError("repro: canned wants <kind> <seed> <n>");
+      }
+      c.canned = words[0];
+      c.canned_seed = static_cast<uint32_t>(std::stoul(words[1]));
+      c.canned_entries = std::stoi(words[2]);
+      ++i;
+    } else if (line.rfind("subset:", 0) == 0) {
+      c.subsets.push_back(SplitWords(line.substr(7)));
+      ++i;
+    } else if (line.rfind("query: ", 0) == 0) {
+      c.fql = line.substr(7);
+      saw_query = true;
+      ++i;
+    } else if (line == "schema <<END") {
+      QOF_ASSIGN_OR_RETURN(i, read_heredoc(i + 1, &c.schema_text));
+    } else if (line.rfind("doc ", 0) == 0) {
+      size_t marker = line.rfind(" <<END");
+      if (marker == std::string::npos || marker <= 4) {
+        return Status::ParseError("repro: doc wants 'doc <name> <<END'");
+      }
+      std::string name = line.substr(4, marker - 4);
+      std::string body;
+      QOF_ASSIGN_OR_RETURN(i, read_heredoc(i + 1, &body));
+      c.docs.emplace_back(std::move(name), std::move(body));
+    } else {
+      return Status::ParseError("repro: unrecognized line: " + line);
+    }
+  }
+  if (!saw_query) return Status::ParseError("repro: missing query line");
+  if (c.canned.empty() && c.schema_text.empty()) {
+    return Status::ParseError("repro: neither canned nor schema present");
+  }
+  return repro;
+}
+
+Result<OracleOutcome> ReplayRepro(std::string_view text, int workers) {
+  QOF_ASSIGN_OR_RETURN(ReproFile repro, ParseRepro(text));
+  OracleOptions options;
+  options.bug = repro.bug;
+  if (workers > 0) options.workers = workers;
+  return RunOracle(repro.concrete_case, options, repro.seed);
+}
+
+}  // namespace qof

@@ -1,0 +1,52 @@
+#ifndef QOF_FUZZ_RNG_H_
+#define QOF_FUZZ_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qof {
+
+/// Deterministic splitmix64 stream. The fuzzer guarantees that a seeded
+/// run is byte-reproducible across platforms and standard libraries, which
+/// rules out <random>: std::uniform_int_distribution's mapping is
+/// implementation-defined. Every derived quantity below is fully
+/// specified instead.
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Value in [0, n); n must be > 0. The modulo bias is irrelevant for
+  /// fuzzing (n is always tiny relative to 2^64).
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Value in [lo, hi], inclusive.
+  int Range(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability ~p.
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) *
+               (1.0 / 9007199254740992.0) <
+           p;
+  }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_FUZZ_RNG_H_

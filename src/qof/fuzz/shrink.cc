@@ -1,0 +1,79 @@
+#include "qof/fuzz/shrink.h"
+
+namespace qof {
+namespace {
+
+bool StillFails(const FuzzCase& candidate, const OracleOptions& options,
+                uint64_t seed, ShrinkStats* stats) {
+  if (stats != nullptr) ++stats->oracle_runs;
+  auto outcome = RunOracle(Concretize(candidate), options, seed);
+  // A Result-level error means the reduction broke the harness's own
+  // preconditions (not the bug under investigation) — never adopt it.
+  return outcome.ok() && outcome->failed;
+}
+
+}  // namespace
+
+std::vector<FuzzCase> CaseReductions(const FuzzCase& fuzz_case) {
+  std::vector<FuzzCase> out;
+
+  for (size_t i = 0; i < fuzz_case.subsets.size(); ++i) {
+    FuzzCase reduced = fuzz_case;
+    reduced.subsets.erase(reduced.subsets.begin() + static_cast<long>(i));
+    out.push_back(std::move(reduced));
+  }
+
+  if (!fuzz_case.canned.empty()) {
+    if (fuzz_case.canned_entries > 1) {
+      FuzzCase reduced = fuzz_case;
+      reduced.canned_entries = fuzz_case.canned_entries / 2;
+      out.push_back(std::move(reduced));
+    }
+  } else {
+    for (CorpusModel& corpus : CorpusReductions(fuzz_case.corpus)) {
+      FuzzCase reduced = fuzz_case;
+      reduced.corpus = std::move(corpus);
+      out.push_back(std::move(reduced));
+    }
+  }
+
+  if (fuzz_case.raw_fql.empty()) {
+    for (QueryModel& query : QueryReductions(fuzz_case.query)) {
+      FuzzCase reduced = fuzz_case;
+      reduced.query = std::move(query);
+      out.push_back(std::move(reduced));
+    }
+  }
+
+  if (fuzz_case.canned.empty()) {
+    for (SchemaModel& schema : SchemaReductions(fuzz_case.schema)) {
+      FuzzCase reduced = fuzz_case;
+      reduced.schema = std::move(schema);
+      out.push_back(std::move(reduced));
+    }
+  }
+  return out;
+}
+
+FuzzCase Shrink(const FuzzCase& failing, const OracleOptions& options,
+                uint64_t seed, int budget, ShrinkStats* stats) {
+  ShrinkStats local;
+  if (stats == nullptr) stats = &local;
+  FuzzCase current = failing;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const FuzzCase& candidate : CaseReductions(current)) {
+      if (stats->oracle_runs >= budget) return current;
+      if (StillFails(candidate, options, seed, stats)) {
+        current = candidate;
+        ++stats->steps_taken;
+        progressed = true;
+        break;  // restart from the smaller case
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace qof

@@ -1,0 +1,31 @@
+#ifndef QOF_FUZZ_SHRINK_H_
+#define QOF_FUZZ_SHRINK_H_
+
+#include <vector>
+
+#include "qof/fuzz/case.h"
+#include "qof/fuzz/oracle.h"
+
+namespace qof {
+
+/// All single-step reductions of a failing case, cheapest-to-verify
+/// first: drop an index subset, shrink the canned corpus, drop or halve
+/// documents, simplify the query (skipped for raw mutated queries — they
+/// have no model), then drop grammar productions.
+std::vector<FuzzCase> CaseReductions(const FuzzCase& fuzz_case);
+
+struct ShrinkStats {
+  int oracle_runs = 0;
+  int steps_taken = 0;
+};
+
+/// Greedy first-improvement shrink: repeatedly adopt the first reduction
+/// that still fails the oracle (any failure counts, not just the original
+/// one) until none does or `budget` oracle runs are spent. The input must
+/// be a failing case; the result is failing too.
+FuzzCase Shrink(const FuzzCase& failing, const OracleOptions& options,
+                uint64_t seed, int budget, ShrinkStats* stats = nullptr);
+
+}  // namespace qof
+
+#endif  // QOF_FUZZ_SHRINK_H_

@@ -105,6 +105,20 @@ class Parser {
   }
 
   Result<ConditionPtr> ParseUnary() {
+    // NOT and '(' both recurse without consuming a predicate, so a long
+    // prefix of them is the one FQL shape whose recursion depth is not
+    // bounded by the number of predicates — cap it before the C++ stack
+    // caps it for us.
+    if (++depth_ > kMaxConditionDepth) {
+      --depth_;
+      return Error("condition too deeply nested");
+    }
+    Result<ConditionPtr> out = ParseUnaryInner();
+    --depth_;
+    return out;
+  }
+
+  Result<ConditionPtr> ParseUnaryInner() {
     if (Peek().kind == FqlTokenKind::kNot) {
       ++pos_;
       QOF_ASSIGN_OR_RETURN(ConditionPtr child, ParseUnary());
@@ -185,8 +199,11 @@ class Parser {
     return Status::OK();
   }
 
+  static constexpr int kMaxConditionDepth = 128;
+
   std::vector<FqlToken> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -115,5 +115,35 @@ TEST(AlgebraParserTest, ErrorsReportOffset) {
   EXPECT_NE(r.status().message().find("offset"), std::string::npos);
 }
 
+TEST(AlgebraParserTest, DeepNestingIsAnErrorNotACrash) {
+  // Parens, selection functions, and the right-recursive inclusion chain
+  // all burn one stack frame per token; each must hit the depth cap, not
+  // the stack guard page.
+  std::string parens(100000, '(');
+  parens += "A";
+  parens += std::string(100000, ')');
+  std::string funcs;
+  for (int i = 0; i < 100000; ++i) funcs += "sigma(\"w\", ";
+  funcs += "A";
+  for (int i = 0; i < 100000; ++i) funcs += ")";
+  std::string chain = "A";
+  for (int i = 0; i < 100000; ++i) chain += " < A";
+  for (const std::string& input : {parens, funcs, chain}) {
+    auto r = ParseRegionExpr(input);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsParseError());
+    EXPECT_NE(r.status().message().find("deeply nested"),
+              std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(AlgebraParserTest, ModeratelyNestedExpressionsStillParse) {
+  std::string input(100, '(');
+  input += "sigma(\"w\", A < B)";
+  input += std::string(100, ')');
+  EXPECT_TRUE(ParseRegionExpr(input).ok());
+}
+
 }  // namespace
 }  // namespace qof

@@ -4,6 +4,7 @@
 
 #include "qof/algebra/parser.h"
 #include "qof/datagen/schemas.h"
+#include "qof/fuzz/rng.h"
 #include "qof/schema/rig_derivation.h"
 
 namespace qof {
@@ -115,6 +116,75 @@ TEST_F(ExactnessTest, RejectsContainedChains) {
   std::set<std::string> ip = {"Reference"};
   auto chain = Chain("Last_Name << Reference");
   EXPECT_FALSE(ProjectChain(rig_, ip, chain).ok());
+}
+
+// §6.3 exactness as an independent property: the projected chain is
+// exact iff the view and the selected attribute stay indexed and every
+// collapsed link matches a *unique* full-RIG derivation through
+// unindexed interiors. Rig::PathMultiplicity states that second
+// condition directly, without going through the exactness code under
+// test, so the two implementations check each other across a fuzzed
+// population of index subsets.
+bool PredictExact(const Rig& rig,
+                  const std::vector<std::string>& chain_names,
+                  const std::set<std::string>& indexed) {
+  if (indexed.count(chain_names.front()) == 0) return false;
+  if (indexed.count(chain_names.back()) == 0) return false;
+  std::vector<std::string> kept;
+  for (const std::string& n : chain_names) {
+    if (indexed.count(n) > 0) kept.push_back(n);
+  }
+  auto interior_unindexed = [&](Rig::NodeId v) {
+    return indexed.count(rig.name(v)) == 0;
+  };
+  for (size_t i = 0; i + 1 < kept.size(); ++i) {
+    if (rig.PathMultiplicity(rig.FindNode(kept[i]),
+                             rig.FindNode(kept[i + 1]),
+                             interior_unindexed) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_F(ExactnessTest, FuzzedSubsetsAgreeWithPathMultiplicity) {
+  const std::vector<std::string> chain_names = {"Reference", "Authors",
+                                                "Name", "Last_Name"};
+  const std::vector<std::string> all_names = rig_.NodeNames();
+  FuzzRng rng(20260806);
+  int exact_seen = 0;
+  int inexact_seen = 0;
+  int view_unindexed_seen = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::set<std::string> indexed;
+    if (rng.Chance(0.85)) indexed.insert("Reference");
+    if (rng.Chance(0.6)) indexed.insert("Last_Name");
+    for (const std::string& name : all_names) {
+      if (rng.Chance(0.45)) indexed.insert(name);
+    }
+    auto p = ProjectChain(
+        rig_, indexed,
+        Chain("Reference >> Authors >> Name >> "
+              "sigma(\"Chang\", Last_Name)"));
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    std::string label;
+    for (const std::string& n : indexed) label += n + " ";
+    EXPECT_EQ(p->view_indexed, indexed.count("Reference") > 0)
+        << "subset: " << label;
+    EXPECT_EQ(p->exact, PredictExact(rig_, chain_names, indexed))
+        << "subset: " << label << " projected: " << p->chain.ToString();
+    if (!p->view_indexed) {
+      ++view_unindexed_seen;
+    } else if (p->exact) {
+      ++exact_seen;
+    } else {
+      ++inexact_seen;
+    }
+  }
+  // The sample must actually exercise every verdict.
+  EXPECT_GE(exact_seen, 5);
+  EXPECT_GE(inexact_seen, 5);
+  EXPECT_GE(view_unindexed_seen, 3);
 }
 
 }  // namespace

@@ -105,6 +105,72 @@ TEST_F(IndexIoTest, RejectsGarbage) {
   EXPECT_FALSE(system_->ImportIndexes(*blob + "x").ok());
 }
 
+TEST_F(IndexIoTest, TruncationAtEveryByteFailsCleanly) {
+  // Exhaustive truncation: every prefix of the blob must be rejected
+  // with a Status, never a crash or a silent partial load.
+  ASSERT_TRUE(system_->BuildIndexes().ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok());
+  for (size_t len = 0; len < blob->size(); ++len) {
+    auto loaded = DeserializeIndexes(blob->substr(0, len), text_);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+}
+
+TEST_F(IndexIoTest, CorruptCountsAreRejectedBeforeAllocation) {
+  ASSERT_TRUE(system_->BuildIndexes().ok());
+  auto blob = system_->ExportIndexes();
+  ASSERT_TRUE(blob.ok());
+  // Overwrite each 8-byte window with an absurd count. Whatever field
+  // the window lands on — a region count, word count, or posting count —
+  // deserialization must fail by bounds-checking the count against the
+  // bytes remaining, not by attempting a 2^60-element reserve.
+  for (size_t at = 24; at + 8 <= blob->size();
+       at += std::max<size_t>(1, blob->size() / 97)) {
+    std::string corrupt = *blob;
+    for (size_t i = 0; i < 8; ++i) corrupt[at + i] = '\x7f';
+    auto loaded = DeserializeIndexes(corrupt, text_);
+    // Some windows only touch region coordinates or posting payloads;
+    // those may still load or fail the span check. The requirement is no
+    // crash and no over-allocation, which running to completion shows.
+    (void)loaded;
+  }
+  // The pristine blob still loads.
+  auto spec_ok = DeserializeIndexes(*blob, text_);
+  ASSERT_TRUE(spec_ok.ok());
+}
+
+TEST_F(IndexIoTest, AbsurdRegionCountFailsWithCountDiagnostic) {
+  // Hand-built blob claiming 2^62 regions for one name: the count check
+  // must reject it against the (tiny) remaining byte budget.
+  auto put32 = [](uint32_t v, std::string* out) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto put64 = [](uint64_t v, std::string* out) {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  std::string corpus = "x";
+  std::string blob = "QOFIDX1\n";
+  put64(corpus.size(), &blob);
+  put64(CorpusFingerprint(corpus), &blob);
+  blob.push_back(0);  // mode: full
+  blob.push_back(0);  // fold_case: off
+  put32(0, &blob);    // no spec names
+  put32(0, &blob);    // no within entries
+  put32(1, &blob);    // one region name
+  put32(1, &blob);
+  blob.push_back('A');
+  put64(uint64_t{1} << 62, &blob);  // absurd region count
+  auto loaded = DeserializeIndexes(blob, corpus);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("count"), std::string::npos)
+      << loaded.status().message();
+}
+
 TEST_F(IndexIoTest, ExportRequiresBuiltIndexes) {
   EXPECT_FALSE(system_->ExportIndexes().ok());
 }

@@ -1,0 +1,165 @@
+#include "qof/fuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include "qof/fuzz/repro.h"
+#include "qof/fuzz/shrink.h"
+
+namespace qof {
+namespace {
+
+FuzzOptions FastOptions() {
+  FuzzOptions options;
+  options.workers = 2;
+  options.max_chains = 60;  // keep the convergence check cheap in tests
+  return options;
+}
+
+TEST(FuzzTest, CleanRunHoldsAllInvariants) {
+  FuzzOptions options = FastOptions();
+  options.iterations = 50;
+  options.seed = 3;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->failed) << report->failure;
+  EXPECT_EQ(report->iterations_run, 50);
+  EXPECT_NE(report->case_hash, 0u);
+  EXPECT_TRUE(report->repro.empty());
+}
+
+TEST(FuzzTest, SeededRunsAreByteReproducible) {
+  FuzzOptions options = FastOptions();
+  options.iterations = 30;
+  options.seed = 17;
+  auto first = RunFuzz(options);
+  auto second = RunFuzz(options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // The case hash folds every byte of every generated case, so equal
+  // hashes mean the two runs generated identical work.
+  EXPECT_EQ(first->case_hash, second->case_hash);
+
+  options.seed = 18;
+  auto other = RunFuzz(options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(first->case_hash, other->case_hash);
+}
+
+TEST(FuzzTest, GeneratedCasesAreDeterministic) {
+  FuzzOptions options = FastOptions();
+  options.seed = 5;
+  for (int i = 0; i < 10; ++i) {
+    ConcreteCase a = Concretize(GenerateCase(options, i));
+    ConcreteCase b = Concretize(GenerateCase(options, i));
+    EXPECT_EQ(a.schema_text, b.schema_text);
+    EXPECT_EQ(a.docs, b.docs);
+    EXPECT_EQ(a.fql, b.fql);
+    EXPECT_EQ(a.subsets, b.subsets);
+  }
+}
+
+TEST(FuzzTest, InjectedRelaxDirectBugIsCaughtAndShrunkSmall) {
+  // Dropping the ⊃d→⊃ rewrite guard (Prop. 3.5) breaks normal-form
+  // convergence on self-nested schemas. The fuzzer must catch it and the
+  // shrinker must reduce the witness to a near-minimal case.
+  FuzzOptions options = FastOptions();
+  options.iterations = 40;
+  options.seed = 2;
+  options.bug = InjectedBug::kRelaxDirect;
+  options.canned_fraction = 0.0;
+  options.invalid_fraction = 0.0;
+  options.schema_gen.recursion_rate = 1.0;  // cycles make the guard load-bearing
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected optimizer bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("chain"), std::string::npos)
+      << report->failure;
+  // Near-minimal: a couple of grammar productions and at most a couple
+  // of query atoms suffice to witness the broken rewrite.
+  EXPECT_LE(report->shrunk.schema.NumProductions(), 3)
+      << "schema:\n"
+      << report->shrunk.schema.Render();
+  EXPECT_LE(report->shrunk.query.AtomCount(), 2);
+  ASSERT_FALSE(report->repro.empty());
+
+  // The written repro replays to the same failure under the same bug.
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed);
+}
+
+TEST(FuzzTest, InjectedExactSkipBugIsCaught) {
+  // Treating a superset candidate set as exact (skipping phase 2) must
+  // surface as a differential failure against the baseline.
+  FuzzOptions options = FastOptions();
+  options.iterations = 120;
+  options.seed = 6;
+  options.bug = InjectedBug::kExactSkip;
+  options.invalid_fraction = 0.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->failed) << "injected exactness bug survived "
+                              << report->iterations_run << " iterations";
+}
+
+TEST(FuzzTest, InvalidQueryClassNeverCrashes) {
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 9;
+  options.invalid_fraction = 1.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->failed) << report->failure;
+}
+
+TEST(FuzzTest, ReproRoundTripIsByteIdentical) {
+  FuzzOptions options = FastOptions();
+  options.seed = 11;
+  for (int i = 0; i < 8; ++i) {
+    ReproFile repro;
+    repro.concrete_case = Concretize(GenerateCase(options, i));
+    repro.bug = InjectedBug::kNone;
+    repro.seed = 42 + i;
+    std::string text = WriteRepro(repro);
+    auto parsed = ParseRepro(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(WriteRepro(*parsed), text);
+    EXPECT_EQ(parsed->concrete_case.schema_text,
+              repro.concrete_case.schema_text);
+    EXPECT_EQ(parsed->concrete_case.docs, repro.concrete_case.docs);
+    EXPECT_EQ(parsed->concrete_case.fql, repro.concrete_case.fql);
+    EXPECT_EQ(parsed->concrete_case.subsets, repro.concrete_case.subsets);
+    EXPECT_EQ(parsed->seed, repro.seed);
+  }
+}
+
+TEST(FuzzTest, ShrinkerReductionsShrinkTheCase) {
+  FuzzOptions options = FastOptions();
+  options.seed = 13;
+  FuzzCase fuzz_case = GenerateCase(options, 0);
+  for (const FuzzCase& reduced : CaseReductions(fuzz_case)) {
+    ConcreteCase a = Concretize(fuzz_case);
+    ConcreteCase b = Concretize(reduced);
+    size_t size_a = a.schema_text.size() + a.fql.size() +
+                    a.subsets.size() * 8;
+    size_t size_b = b.schema_text.size() + b.fql.size() +
+                    b.subsets.size() * 8;
+    for (const auto& [name, text] : a.docs) size_a += text.size() + 16;
+    for (const auto& [name, text] : b.docs) size_b += text.size() + 16;
+    EXPECT_LE(size_b, size_a);
+  }
+}
+
+TEST(FuzzTest, InjectedBugNamesRoundTrip) {
+  for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kRelaxDirect,
+                          InjectedBug::kExactSkip}) {
+    auto parsed = InjectedBugFromName(InjectedBugName(bug));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, bug);
+  }
+  EXPECT_FALSE(InjectedBugFromName("no-such-bug").ok());
+}
+
+}  // namespace
+}  // namespace qof

@@ -130,5 +130,32 @@ TEST(FqlParserTest, Errors) {
       ParseFql("SELECT r FROM References r WHERE r.A CONTAINS x").ok());
 }
 
+TEST(FqlParserTest, DeepNestingIsAnErrorNotACrash) {
+  // NOT and '(' recurse per token; a pathological prefix must be turned
+  // away with a diagnostic before it exhausts the C++ stack.
+  for (const auto& [open, close] : std::initializer_list<
+           std::pair<std::string, std::string>>{{"NOT ", ""},
+                                                {"(", ")"}}) {
+    std::string q = "SELECT r FROM References r WHERE ";
+    for (int i = 0; i < 100000; ++i) q += open;
+    q += "r.Year = \"1\"";
+    for (int i = 0; i < 100000; ++i) q += close;
+    auto result = ParseFql(q);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsParseError());
+    EXPECT_NE(result.status().message().find("deeply nested"),
+              std::string::npos)
+        << result.status().message();
+  }
+}
+
+TEST(FqlParserTest, ModeratelyNestedConditionsStillParse) {
+  std::string q = "SELECT r FROM References r WHERE ";
+  for (int i = 0; i < 40; ++i) q += "NOT (";
+  q += "r.Year = \"1\"";
+  for (int i = 0; i < 40; ++i) q += ")";
+  EXPECT_TRUE(ParseFql(q).ok());
+}
+
 }  // namespace
 }  // namespace qof
