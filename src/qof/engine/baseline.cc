@@ -32,6 +32,7 @@ Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
       ValidateQueryPaths(query, full_rig, schema.view_name()));
   SchemaParser parser(&schema);
   for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+    if (!corpus.is_live(doc)) continue;
     TextPos begin = corpus.document_start(doc);
     TextPos end = corpus.document_end(doc);
     // The baseline scans the document text to parse it.

@@ -5,154 +5,53 @@
 #include <utility>
 #include <vector>
 
+#include "qof/util/wire.h"
+
 namespace qof {
 namespace {
 
-constexpr char kMagic[] = "QOFIDX1\n";
+constexpr char kMagicV1[] = "QOFIDX1\n";
+constexpr char kMagicV2[] = "QOFIDX2\n";
 constexpr size_t kMagicLen = 8;
 
-// --- little-endian primitives ----------------------------------------------
-
-void PutU64(uint64_t v, std::string* out) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
+bool HasMagic(std::string_view blob, const char* magic) {
+  return blob.size() >= kMagicLen &&
+         std::memcmp(blob.data(), magic, kMagicLen) == 0;
 }
 
-void PutU32(uint32_t v, std::string* out) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
+// --- shared body (spec + regions + words + documents) ----------------------
 
-void PutString(std::string_view s, std::string* out) {
-  PutU32(static_cast<uint32_t>(s.size()), out);
-  out->append(s);
-}
-
-class Reader {
- public:
-  explicit Reader(std::string_view data) : data_(data) {}
-
-  Result<uint64_t> U64() {
-    if (pos_ + 8 > data_.size()) return Truncated();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  Result<uint32_t> U32() {
-    if (pos_ + 4 > data_.size()) return Truncated();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  Result<uint8_t> U8() {
-    if (pos_ + 1 > data_.size()) return Truncated();
-    return static_cast<uint8_t>(data_[pos_++]);
-  }
-
-  Result<std::string> String() {
-    QOF_ASSIGN_OR_RETURN(uint32_t len, U32());
-    if (pos_ + len > data_.size()) return Truncated();
-    std::string s(data_.substr(pos_, len));
-    pos_ += len;
-    return s;
-  }
-
-  bool AtEnd() const { return pos_ == data_.size(); }
-
-  size_t Remaining() const { return data_.size() - pos_; }
-
-  /// Rejects a claimed element count that the remaining bytes cannot
-  /// possibly hold. Counts gate reserve() calls, so a corrupt count
-  /// would otherwise turn into a multi-gigabyte allocation before the
-  /// per-element reads ever notice the truncation.
-  Status CheckCount(uint64_t count, size_t min_bytes_each) {
-    if (count > Remaining() / min_bytes_each) {
-      return Status::InvalidArgument(
-          "corrupt index blob: count " + std::to_string(count) +
-          " at offset " + std::to_string(pos_) + " exceeds the " +
-          std::to_string(Remaining()) + " bytes that follow");
-    }
-    return Status::OK();
-  }
-
- private:
-  Status Truncated() const {
-    return Status::InvalidArgument("truncated index blob at offset " +
-                                   std::to_string(pos_));
-  }
-
-  std::string_view data_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
-
-uint64_t CorpusFingerprint(std::string_view text) {
-  // FNV-1a.
-  uint64_t h = 1469598103934665603ull;
-  for (char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-Result<std::string> SerializeIndexes(const BuiltIndexes& built,
-                                     const IndexSpec& spec,
-                                     std::string_view corpus_text) {
-  if (spec.word_options.token_filter) {
-    return Status::InvalidArgument(
-        "word-index token filters are code and cannot be serialized; "
-        "rebuild instead of loading");
-  }
-  std::string out;
-  out.append(kMagic, kMagicLen);
-  PutU64(corpus_text.size(), &out);
-  PutU64(CorpusFingerprint(corpus_text), &out);
-
+Status AppendBody(const BuiltIndexes& built, const IndexSpec& spec,
+                  std::string* out) {
   // Spec.
-  out.push_back(spec.mode == IndexSpec::Mode::kFull ? 0 : 1);
-  out.push_back(spec.word_options.fold_case ? 1 : 0);
-  PutU32(static_cast<uint32_t>(spec.names.size()), &out);
-  for (const std::string& name : spec.names) PutString(name, &out);
-  PutU32(static_cast<uint32_t>(spec.within.size()), &out);
+  out->push_back(spec.mode == IndexSpec::Mode::kFull ? 0 : 1);
+  out->push_back(spec.word_options.fold_case ? 1 : 0);
+  PutU32(static_cast<uint32_t>(spec.names.size()), out);
+  for (const std::string& name : spec.names) PutString(name, out);
+  PutU32(static_cast<uint32_t>(spec.within.size()), out);
   for (const auto& [name, ancestor] : spec.within) {
-    PutString(name, &out);
-    PutString(ancestor, &out);
+    PutString(name, out);
+    PutString(ancestor, out);
   }
 
   // Region instances.
   std::vector<std::string> names = built.regions.Names();
-  PutU32(static_cast<uint32_t>(names.size()), &out);
+  PutU32(static_cast<uint32_t>(names.size()), out);
   for (const std::string& name : names) {
-    PutString(name, &out);
+    PutString(name, out);
     auto set = built.regions.Get(name);
     if (!set.ok()) return set.status();
-    PutU64((*set)->size(), &out);
+    PutU64((*set)->size(), out);
     for (const Region& r : **set) {
-      PutU64(r.start, &out);
-      PutU64(r.end, &out);
+      PutU64(r.start, out);
+      PutU64(r.end, out);
     }
   }
 
   // Word postings, in sorted word order: the posting map iterates in an
   // unspecified order, and a canonical blob lets byte comparison stand in
-  // for index equality (the parallel-vs-serial determinism tests rely on
-  // this).
+  // for index equality (the parallel-vs-serial determinism tests and the
+  // incremental-vs-rebuild fuzz oracle rely on this).
   std::vector<std::pair<const std::string*, const std::vector<TextPos>*>>
       words;
   words.reserve(built.words.num_distinct_words());
@@ -162,98 +61,321 @@ Result<std::string> SerializeIndexes(const BuiltIndexes& built,
       });
   std::sort(words.begin(), words.end(),
             [](const auto& a, const auto& b) { return *a.first < *b.first; });
-  PutU64(words.size(), &out);
+  PutU64(words.size(), out);
   for (const auto& [word, posts] : words) {
-    PutString(*word, &out);
-    PutU64(posts->size(), &out);
-    for (TextPos p : *posts) PutU64(p, &out);
+    PutString(*word, out);
+    PutU64(posts->size(), out);
+    for (TextPos p : *posts) PutU64(p, out);
   }
 
-  PutU64(built.documents, &out);
+  PutU64(built.documents, out);
+  return Status::OK();
+}
+
+Status DecodeBody(WireReader* reader, uint64_t corpus_size,
+                  SerializedIndexes* out) {
+  // Spec.
+  QOF_ASSIGN_OR_RETURN(uint8_t mode, reader->U8());
+  out->spec.mode =
+      mode == 0 ? IndexSpec::Mode::kFull : IndexSpec::Mode::kPartial;
+  QOF_ASSIGN_OR_RETURN(uint8_t fold_case, reader->U8());
+  out->spec.word_options.fold_case = fold_case != 0;
+  QOF_ASSIGN_OR_RETURN(uint32_t num_spec_names, reader->U32());
+  for (uint32_t i = 0; i < num_spec_names; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
+    out->spec.names.insert(std::move(name));
+  }
+  QOF_ASSIGN_OR_RETURN(uint32_t num_within, reader->U32());
+  for (uint32_t i = 0; i < num_within; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
+    QOF_ASSIGN_OR_RETURN(std::string ancestor, reader->String());
+    out->spec.within.emplace(std::move(name), std::move(ancestor));
+  }
+
+  // Region instances.
+  QOF_ASSIGN_OR_RETURN(uint32_t num_region_names, reader->U32());
+  for (uint32_t i = 0; i < num_region_names; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
+    QOF_ASSIGN_OR_RETURN(uint64_t count, reader->U64());
+    QOF_RETURN_IF_ERROR(reader->CheckCount(count, 16));  // two u64 each
+    std::vector<Region> regions;
+    regions.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      QOF_ASSIGN_OR_RETURN(uint64_t start, reader->U64());
+      QOF_ASSIGN_OR_RETURN(uint64_t end, reader->U64());
+      if (end < start || end > corpus_size) {
+        return Status::InvalidArgument("corrupt region span in blob");
+      }
+      regions.push_back({start, end});
+    }
+    out->indexes.regions.Add(std::move(name),
+                             RegionSet::FromUnsorted(std::move(regions)));
+  }
+
+  // Word postings.
+  QOF_ASSIGN_OR_RETURN(uint64_t num_words, reader->U64());
+  // Smallest possible entry: empty word (4-byte length) + posting count.
+  QOF_RETURN_IF_ERROR(reader->CheckCount(num_words, 12));
+  std::vector<std::pair<std::string, std::vector<TextPos>>> entries;
+  entries.reserve(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string word, reader->String());
+    QOF_ASSIGN_OR_RETURN(uint64_t count, reader->U64());
+    QOF_RETURN_IF_ERROR(reader->CheckCount(count, 8));
+    std::vector<TextPos> postings;
+    postings.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      QOF_ASSIGN_OR_RETURN(uint64_t p, reader->U64());
+      postings.push_back(p);
+    }
+    entries.emplace_back(std::move(word), std::move(postings));
+  }
+  out->indexes.words = WordIndex::FromEntries(
+      std::move(entries), out->spec.word_options.fold_case);
+
+  QOF_ASSIGN_OR_RETURN(out->indexes.documents, reader->U64());
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after index blob");
+  }
+  return Status::OK();
+}
+
+Status CheckSerializable(const IndexSpec& spec) {
+  if (spec.word_options.token_filter) {
+    return Status::InvalidArgument(
+        "word-index token filters are code and cannot be serialized; "
+        "rebuild instead of loading");
+  }
+  return Status::OK();
+}
+
+// --- v2 document table -----------------------------------------------------
+
+Result<std::vector<DocFingerprint>> DecodeDocTable(WireReader* reader) {
+  QOF_ASSIGN_OR_RETURN(uint32_t count, reader->U32());
+  // Smallest entry: empty name (4) + size (8) + fingerprint (8).
+  QOF_RETURN_IF_ERROR(reader->CheckCount(count, 20));
+  std::vector<DocFingerprint> docs;
+  docs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DocFingerprint doc;
+    QOF_ASSIGN_OR_RETURN(doc.name, reader->String());
+    QOF_ASSIGN_OR_RETURN(doc.size, reader->U64());
+    QOF_ASSIGN_OR_RETURN(doc.fnv1a, reader->U64());
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+/// Replays Corpus::AddDocument's layout rule over a document table: a
+/// '\n' separator precedes every document except when the text so far is
+/// empty. Returns each document's implied start plus the total size.
+struct ImpliedLayout {
+  std::vector<TextPos> starts;
+  uint64_t total = 0;
+};
+
+ImpliedLayout LayoutOf(const std::vector<DocFingerprint>& docs) {
+  ImpliedLayout layout;
+  layout.starts.reserve(docs.size());
+  uint64_t off = 0;
+  for (const DocFingerprint& doc : docs) {
+    TextPos start = off > 0 ? off + 1 : off;
+    layout.starts.push_back(start);
+    off = start + doc.size;
+  }
+  layout.total = off;
+  return layout;
+}
+
+std::string JoinStale(const std::vector<std::string>& stale) {
+  constexpr size_t kMaxNamed = 8;
+  std::string out;
+  for (size_t i = 0; i < stale.size() && i < kMaxNamed; ++i) {
+    if (i > 0) out += ", ";
+    out += stale[i];
+  }
+  if (stale.size() > kMaxNamed) {
+    out += ", … (" + std::to_string(stale.size()) + " total)";
+  }
   return out;
 }
 
-Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
-                                             std::string_view corpus_text) {
-  if (blob.size() < kMagicLen ||
-      std::memcmp(blob.data(), kMagic, kMagicLen) != 0) {
-    return Status::InvalidArgument("not a qof index blob (bad magic)");
-  }
-  Reader reader(blob.substr(kMagicLen));
+Result<SerializedIndexes> DeserializeV1(std::string_view blob,
+                                        std::string_view corpus_text) {
+  WireReader reader(blob.substr(kMagicLen), "index blob");
   QOF_ASSIGN_OR_RETURN(uint64_t size, reader.U64());
   QOF_ASSIGN_OR_RETURN(uint64_t fingerprint, reader.U64());
   if (size != corpus_text.size() ||
       fingerprint != CorpusFingerprint(corpus_text)) {
     return Status::InvalidArgument(
         "index blob was built for a different corpus "
-        "(fingerprint mismatch); rebuild the indexes");
+        "(fingerprint mismatch; v1 blobs cannot name the stale "
+        "documents); rebuild the indexes");
   }
-
   SerializedIndexes out;
-  // Spec.
-  QOF_ASSIGN_OR_RETURN(uint8_t mode, reader.U8());
-  out.spec.mode = mode == 0 ? IndexSpec::Mode::kFull
-                            : IndexSpec::Mode::kPartial;
-  QOF_ASSIGN_OR_RETURN(uint8_t fold_case, reader.U8());
-  out.spec.word_options.fold_case = fold_case != 0;
-  QOF_ASSIGN_OR_RETURN(uint32_t num_spec_names, reader.U32());
-  for (uint32_t i = 0; i < num_spec_names; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
-    out.spec.names.insert(std::move(name));
-  }
-  QOF_ASSIGN_OR_RETURN(uint32_t num_within, reader.U32());
-  for (uint32_t i = 0; i < num_within; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
-    QOF_ASSIGN_OR_RETURN(std::string ancestor, reader.String());
-    out.spec.within.emplace(std::move(name), std::move(ancestor));
-  }
-
-  // Region instances.
-  QOF_ASSIGN_OR_RETURN(uint32_t num_region_names, reader.U32());
-  for (uint32_t i = 0; i < num_region_names; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string name, reader.String());
-    QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
-    QOF_RETURN_IF_ERROR(reader.CheckCount(count, 16));  // two u64 each
-    std::vector<Region> regions;
-    regions.reserve(count);
-    for (uint64_t j = 0; j < count; ++j) {
-      QOF_ASSIGN_OR_RETURN(uint64_t start, reader.U64());
-      QOF_ASSIGN_OR_RETURN(uint64_t end, reader.U64());
-      if (end < start || end > corpus_text.size()) {
-        return Status::InvalidArgument("corrupt region span in blob");
-      }
-      regions.push_back({start, end});
-    }
-    out.indexes.regions.Add(std::move(name),
-                            RegionSet::FromUnsorted(std::move(regions)));
-  }
-
-  // Word postings.
-  QOF_ASSIGN_OR_RETURN(uint64_t num_words, reader.U64());
-  // Smallest possible entry: empty word (4-byte length) + posting count.
-  QOF_RETURN_IF_ERROR(reader.CheckCount(num_words, 12));
-  std::vector<std::pair<std::string, std::vector<TextPos>>> entries;
-  entries.reserve(num_words);
-  for (uint64_t i = 0; i < num_words; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string word, reader.String());
-    QOF_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
-    QOF_RETURN_IF_ERROR(reader.CheckCount(count, 8));
-    std::vector<TextPos> postings;
-    postings.reserve(count);
-    for (uint64_t j = 0; j < count; ++j) {
-      QOF_ASSIGN_OR_RETURN(uint64_t p, reader.U64());
-      postings.push_back(p);
-    }
-    entries.emplace_back(std::move(word), std::move(postings));
-  }
-  out.indexes.words = WordIndex::FromEntries(
-      std::move(entries), out.spec.word_options.fold_case);
-
-  QOF_ASSIGN_OR_RETURN(out.indexes.documents, reader.U64());
-  if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after index blob");
-  }
+  QOF_RETURN_IF_ERROR(DecodeBody(&reader, corpus_text.size(), &out));
   return out;
+}
+
+}  // namespace
+
+uint64_t CorpusFingerprint(std::string_view text) { return Fnv1a(text); }
+
+Result<std::string> SerializeIndexes(const BuiltIndexes& built,
+                                     const IndexSpec& spec,
+                                     std::string_view corpus_text) {
+  QOF_RETURN_IF_ERROR(CheckSerializable(spec));
+  std::string out;
+  out.append(kMagicV1, kMagicLen);
+  PutU64(corpus_text.size(), &out);
+  PutU64(CorpusFingerprint(corpus_text), &out);
+  QOF_RETURN_IF_ERROR(AppendBody(built, spec, &out));
+  return out;
+}
+
+Result<std::string> SerializeIndexes(const BuiltIndexes& built,
+                                     const IndexSpec& spec,
+                                     const Corpus& corpus,
+                                     uint64_t generation) {
+  QOF_RETURN_IF_ERROR(CheckSerializable(spec));
+  if (corpus.fragmented()) {
+    return Status::InvalidArgument(
+        "corpus has tombstoned spans — compact before serializing "
+        "(blob offsets must describe a dense layout)");
+  }
+  std::string out;
+  out.append(kMagicV2, kMagicLen);
+  PutU64(generation, &out);
+  PutU32(static_cast<uint32_t>(corpus.num_documents()), &out);
+  for (DocId id = 0; id < corpus.num_documents(); ++id) {
+    TextPos begin = corpus.document_start(id);
+    std::string_view text = corpus.RawText(begin, corpus.document_end(id));
+    PutString(corpus.document_name(id), &out);
+    PutU64(text.size(), &out);
+    PutU64(Fnv1a(text), &out);
+  }
+  QOF_RETURN_IF_ERROR(AppendBody(built, spec, &out));
+  return out;
+}
+
+Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
+                                             std::string_view corpus_text) {
+  if (HasMagic(blob, kMagicV1)) return DeserializeV1(blob, corpus_text);
+  if (!HasMagic(blob, kMagicV2)) {
+    return Status::InvalidArgument("not a qof index blob (bad magic)");
+  }
+  WireReader reader(blob.substr(kMagicLen), "index blob");
+  SerializedIndexes out;
+  QOF_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
+                       DecodeDocTable(&reader));
+  ImpliedLayout layout = LayoutOf(docs);
+  if (layout.total != corpus_text.size()) {
+    return Status::InvalidArgument(
+        "index blob was built for a different corpus layout (" +
+        std::to_string(layout.total) + " bytes indexed vs " +
+        std::to_string(corpus_text.size()) + " present); rebuild the "
+        "indexes");
+  }
+  std::vector<std::string> stale;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    std::string_view text =
+        corpus_text.substr(layout.starts[i], docs[i].size);
+    if (Fnv1a(text) != docs[i].fnv1a) stale.push_back(docs[i].name);
+  }
+  if (!stale.empty()) {
+    return Status::InvalidArgument(
+        "index blob is stale: " + std::to_string(stale.size()) +
+        " document(s) changed since indexing: " + JoinStale(stale) +
+        "; rebuild the indexes");
+  }
+  QOF_RETURN_IF_ERROR(DecodeBody(&reader, layout.total, &out));
+  return out;
+}
+
+Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
+                                             const Corpus& corpus,
+                                             DeserializeOptions options) {
+  if (corpus.fragmented()) {
+    return Status::InvalidArgument(
+        "corpus has tombstoned spans; compact before loading indexes");
+  }
+  if (HasMagic(blob, kMagicV1)) {
+    return DeserializeV1(blob, corpus.full_text());
+  }
+  if (!HasMagic(blob, kMagicV2)) {
+    return Status::InvalidArgument("not a qof index blob (bad magic)");
+  }
+  WireReader reader(blob.substr(kMagicLen), "index blob");
+  SerializedIndexes out;
+  QOF_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
+                       DecodeDocTable(&reader));
+
+  // Per-document staleness, by name: modified / missing / new, plus
+  // "moved" when the contents all match but the physical order differs
+  // (offsets are order-dependent).
+  std::vector<DocFingerprint> live;
+  live.reserve(corpus.num_documents());
+  for (DocId id = 0; id < corpus.num_documents(); ++id) {
+    TextPos begin = corpus.document_start(id);
+    std::string_view text = corpus.RawText(begin, corpus.document_end(id));
+    live.push_back({corpus.document_name(id), text.size(), Fnv1a(text)});
+  }
+  std::vector<std::string> stale;
+  auto find_by_name = [](const std::vector<DocFingerprint>& table,
+                         const std::string& name) -> const DocFingerprint* {
+    for (const DocFingerprint& d : table) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  };
+  for (const DocFingerprint& d : docs) {
+    const DocFingerprint* present = find_by_name(live, d.name);
+    if (present == nullptr) {
+      stale.push_back("missing: " + d.name);
+    } else if (present->size != d.size || present->fnv1a != d.fnv1a) {
+      stale.push_back("modified: " + d.name);
+    }
+  }
+  for (const DocFingerprint& d : live) {
+    if (find_by_name(docs, d.name) == nullptr) {
+      stale.push_back("new: " + d.name);
+    }
+  }
+  if (stale.empty() && docs.size() == live.size()) {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (docs[i].name != live[i].name) {
+        stale.push_back("moved: " + docs[i].name);
+      }
+    }
+  }
+
+  if (!stale.empty() && !options.allow_stale) {
+    return Status::InvalidArgument(
+        "index blob is stale: " + JoinStale(stale) +
+        "; rebuild the indexes (or load with allow_stale)");
+  }
+  QOF_RETURN_IF_ERROR(DecodeBody(&reader, LayoutOf(docs).total, &out));
+  out.stale_documents = std::move(stale);
+  return out;
+}
+
+Result<BlobInfo> ReadBlobInfo(std::string_view blob) {
+  BlobInfo info;
+  if (HasMagic(blob, kMagicV1)) {
+    info.version = 1;
+    return info;
+  }
+  if (!HasMagic(blob, kMagicV2)) {
+    return Status::InvalidArgument("not a qof index blob (bad magic)");
+  }
+  info.version = 2;
+  WireReader reader(blob.substr(kMagicLen), "index blob");
+  QOF_ASSIGN_OR_RETURN(info.generation, reader.U64());
+  QOF_ASSIGN_OR_RETURN(info.docs, DecodeDocTable(&reader));
+  return info;
 }
 
 }  // namespace qof

@@ -1,11 +1,14 @@
 #ifndef QOF_ENGINE_INDEX_IO_H_
 #define QOF_ENGINE_INDEX_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/text/corpus.h"
 #include "qof/util/result.h"
 
 namespace qof {
@@ -14,30 +17,90 @@ namespace qof {
 /// a pre-processing service; persisting its output lets a session reuse
 /// it without re-parsing the corpus).
 ///
-/// Format: a little-endian binary blob —
-///   magic "QOFIDX1\n", corpus size + FNV-1a fingerprint (so stale
-///   indexes are rejected at load), the index spec (mode, names, within),
-///   region instances (name, spans) and word postings (word, positions).
+/// Two little-endian formats share the spec/region/word body encoding:
+///
+///   v1 "QOFIDX1\n" — corpus size + whole-corpus FNV-1a fingerprint.
+///     Legacy; still read, no longer written by the system.
+///   v2 "QOFIDX2\n" — maintenance generation + a per-document table of
+///     (name, size, fingerprint). Staleness is diagnosed per document
+///     ("which files changed"), and the table is what the maintenance
+///     journal (src/qof/maintain/) replays against.
+///
 /// A WordIndexOptions::token_filter is code and cannot round-trip; specs
 /// using one must rebuild instead of loading.
+
+/// One document's identity in a v2 blob.
+struct DocFingerprint {
+  std::string name;
+  uint64_t size = 0;
+  uint64_t fnv1a = 0;
+
+  friend bool operator==(const DocFingerprint& a, const DocFingerprint& b) {
+    return a.name == b.name && a.size == b.size && a.fnv1a == b.fnv1a;
+  }
+};
+
 struct SerializedIndexes {
   BuiltIndexes indexes;
   IndexSpec spec;
+  /// Maintenance generation persisted in the blob (0 for v1 blobs).
+  uint64_t generation = 0;
+  /// With DeserializeOptions::allow_stale: human-readable entries naming
+  /// each stale document ("modified: a.bib", "missing: b.bib",
+  /// "new: c.bib", "moved: d.bib"). Empty when the blob matches.
+  std::vector<std::string> stale_documents;
 };
 
-/// Serializes `built` (+ the spec that produced it) for a corpus whose
-/// full text is `corpus_text` (only its fingerprint is stored).
+struct DeserializeOptions {
+  /// Load a v2 blob even when its document table does not match the
+  /// corpus, reporting the mismatches in `stale_documents` instead of
+  /// failing. The loaded offsets describe the blob's layout, not the
+  /// corpus's — callers must reconcile (see tools/qof_index).
+  bool allow_stale = false;
+};
+
+/// Serializes `built` as a v1 blob for a corpus whose full text is
+/// `corpus_text` (only its fingerprint is stored). Kept for format
+/// regression tests; new code uses the v2 overload.
 Result<std::string> SerializeIndexes(const BuiltIndexes& built,
                                      const IndexSpec& spec,
                                      std::string_view corpus_text);
 
-/// Deserializes; fails with InvalidArgument on a corrupted/foreign blob
-/// and with a clear message when the fingerprint does not match
-/// `corpus_text` (the corpus changed since the indexes were built).
+/// Serializes `built` as a v2 blob with per-document fingerprints from
+/// `corpus` and the given maintenance generation. Fails if the corpus has
+/// tombstoned spans (offsets would not describe a dense layout): compact
+/// first.
+Result<std::string> SerializeIndexes(const BuiltIndexes& built,
+                                     const IndexSpec& spec,
+                                     const Corpus& corpus,
+                                     uint64_t generation = 0);
+
+/// Deserializes a v1 or v2 blob, validating against `corpus_text` (the
+/// documents laid out exactly as a Corpus concatenates them). For v2
+/// blobs a mismatch names the stale documents; for v1 it can only report
+/// that the corpus changed.
 Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
                                              std::string_view corpus_text);
 
-/// The corpus fingerprint used by the format (FNV-1a over the text).
+/// Deserializes a v1 or v2 blob against a live Corpus (which must not be
+/// fragmented). v2 staleness is diagnosed per document by name; with
+/// `options.allow_stale` mismatches load anyway and are reported in
+/// `stale_documents`.
+Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
+                                             const Corpus& corpus,
+                                             DeserializeOptions options = {});
+
+/// Peeks at a blob's header without decoding the indexes: format version,
+/// generation, and (v2) the document table. Used by `qof_index inspect`
+/// and by journal-replay state reconstruction.
+struct BlobInfo {
+  int version = 0;
+  uint64_t generation = 0;
+  std::vector<DocFingerprint> docs;  // empty for v1
+};
+Result<BlobInfo> ReadBlobInfo(std::string_view blob);
+
+/// The corpus/document fingerprint used by both formats (FNV-1a).
 uint64_t CorpusFingerprint(std::string_view text);
 
 }  // namespace qof

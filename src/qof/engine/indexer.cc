@@ -31,6 +31,7 @@ Status ParallelRegionPass(const StructuringSchema& schema,
   std::vector<Status> statuses(num_docs, Status::OK());
   pool->ParallelFor(num_docs, [&](int, size_t d) {
     DocId doc = static_cast<DocId>(d);
+    if (!corpus.is_live(doc)) return;  // tombstoned span — nothing to index
     TextPos begin = corpus.document_start(doc);
     TextPos end = corpus.document_end(doc);
     auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
@@ -62,7 +63,7 @@ Status ParallelRegionPass(const StructuringSchema& schema,
   for (auto& [name, regions] : merged) {
     built->regions.Add(name, RegionSet::FromUnsorted(std::move(regions)));
   }
-  built->documents = num_docs;
+  built->documents = corpus.num_live_documents();
   return Status::OK();
 }
 
@@ -80,6 +81,7 @@ Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
   } else {
     SchemaParser parser(&schema);
     for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+      if (!corpus.is_live(doc)) continue;
       TextPos begin = corpus.document_start(doc);
       TextPos end = corpus.document_end(doc);
       auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);

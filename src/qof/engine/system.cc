@@ -50,12 +50,51 @@ FileQuerySystem::FileQuerySystem(StructuringSchema schema)
 }
 
 Status FileQuerySystem::AddFile(std::string name, std::string_view text) {
-  QOF_ASSIGN_OR_RETURN(DocId id,
-                       corpus_.AddDocument(std::move(name), text));
-  (void)id;
-  built_.reset();
-  compiler_.reset();
-  return Status::OK();
+  if (maintainer_ != nullptr) {
+    return maintainer_
+        ->AddDocument(std::move(name), text, EnsurePool(parallelism_))
+        .status();
+  }
+  return corpus_.AddDocument(std::move(name), text).status();
+}
+
+Status FileQuerySystem::UpdateFile(std::string_view name,
+                                   std::string_view text) {
+  if (maintainer_ != nullptr) {
+    return maintainer_->UpdateDocument(name, text, EnsurePool(parallelism_))
+        .status();
+  }
+  return corpus_.ReplaceDocument(name, text).status();
+}
+
+Status FileQuerySystem::RemoveFile(std::string_view name) {
+  if (maintainer_ != nullptr) {
+    return maintainer_->RemoveDocument(name, EnsurePool(parallelism_));
+  }
+  return corpus_.RemoveDocument(name).status();
+}
+
+Status FileQuerySystem::CompactIndexes() {
+  if (maintainer_ == nullptr) {
+    return Status::InvalidArgument(
+        "indexes not built; nothing to compact");
+  }
+  return maintainer_->Compact(EnsurePool(parallelism_));
+}
+
+void FileQuerySystem::SetMaintainOptions(const MaintainOptions& options) {
+  maintain_options_ = options;
+  if (maintainer_ != nullptr) maintainer_->options() = options;
+}
+
+MaintainStats FileQuerySystem::maintain_stats() const {
+  return maintainer_ != nullptr ? maintainer_->stats() : MaintainStats{};
+}
+
+void FileQuerySystem::ResetMaintainer(uint64_t generation) {
+  maintainer_ = std::make_unique<IndexMaintainer>(
+      &schema_, &corpus_, built_.get(), spec_, maintain_options_);
+  maintainer_->set_generation(generation);
 }
 
 ThreadPool* FileQuerySystem::EnsurePool(int threads) {
@@ -78,6 +117,7 @@ Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
   compiler_ = std::make_unique<QueryCompiler>(
       &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
       spec.within);
+  ResetMaintainer(/*generation=*/0);
   return Status::OK();
 }
 
@@ -190,6 +230,14 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
   }
   QOF_ASSIGN_OR_RETURN(QueryPlan plan, compiler_->Compile(query));
   result.stats.notes = plan.notes;
+  if (maintainer_ != nullptr && maintainer_->generation() > 0) {
+    MaintainStats ms = maintainer_->stats();
+    result.stats.notes.push_back(
+        "indexes maintained incrementally: generation " +
+        std::to_string(ms.generation) + ", " +
+        std::to_string(ms.tombstones) + " tombstone(s), " +
+        std::to_string(ms.compactions) + " compaction(s)");
+  }
 
   if (plan.trivially_empty) {
     result.stats.strategy = "empty";
@@ -304,21 +352,28 @@ uint64_t FileQuerySystem::IndexBytes() const {
   return built_->regions.ApproxBytes() + built_->words.ApproxBytes();
 }
 
-Result<std::string> FileQuerySystem::ExportIndexes() const {
+Result<std::string> FileQuerySystem::ExportIndexes() {
   if (built_ == nullptr) {
     return Status::InvalidArgument("indexes not built; nothing to export");
   }
-  return SerializeIndexes(*built_, spec_, corpus_.full_text());
+  if (corpus_.fragmented()) {
+    // Blob offsets must describe a dense layout; folding the tombstones
+    // away also makes the export canonical (byte-comparable to a fresh
+    // build's).
+    QOF_RETURN_IF_ERROR(CompactIndexes());
+  }
+  return SerializeIndexes(*built_, spec_, corpus_, index_generation());
 }
 
 Status FileQuerySystem::ImportIndexes(std::string_view blob) {
   QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
-                       DeserializeIndexes(blob, corpus_.full_text()));
+                       DeserializeIndexes(blob, corpus_));
   built_ = std::make_unique<BuiltIndexes>(std::move(loaded.indexes));
   spec_ = loaded.spec;
   compiler_ = std::make_unique<QueryCompiler>(
       &full_rig_, spec_.IndexedNames(schema_), schema_.view_name(),
       spec_.within);
+  ResetMaintainer(loaded.generation);
   return Status::OK();
 }
 

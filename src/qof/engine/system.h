@@ -12,6 +12,7 @@
 #include "qof/compiler/query_compiler.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/maintain/maintainer.h"
 #include "qof/query/parser.h"
 #include "qof/schema/rig_derivation.h"
 #include "qof/text/corpus.h"
@@ -71,8 +72,39 @@ class FileQuerySystem {
  public:
   explicit FileQuerySystem(StructuringSchema schema);
 
-  /// Adds a file's text; invalidates any previously built indices.
+  /// Adds a file's text. Before BuildIndexes this just registers the
+  /// document; after, the indexes are maintained *incrementally* — only
+  /// the new file is parsed and its contribution spliced in (see
+  /// src/qof/maintain/). Queries keep working across mutations and note
+  /// the maintenance generation in their stats.
   Status AddFile(std::string name, std::string_view text);
+
+  /// Replaces a file's text. With built indexes, only this file is
+  /// re-parsed; its old contribution is spliced out and the new one in.
+  /// Without built indexes the corpus entry is replaced in place.
+  Status UpdateFile(std::string_view name, std::string_view text);
+
+  /// Removes a file; with built indexes its contribution is spliced out
+  /// (the region names stay registered, possibly with empty instances).
+  Status RemoveFile(std::string_view name);
+
+  /// Folds tombstoned spans out of the corpus and rebases the indexes —
+  /// no re-parsing. After compaction the indexes are byte-identical
+  /// (under ExportIndexes) to a from-scratch build. Also runs
+  /// automatically once the MaintainOptions thresholds trip.
+  Status CompactIndexes();
+
+  /// Maintenance knobs (thresholds, fault injection for tests). Applies
+  /// to the current maintainer and to ones created by future builds.
+  void SetMaintainOptions(const MaintainOptions& options);
+
+  /// Maintenance counters; zeros before indexes are built.
+  MaintainStats maintain_stats() const;
+
+  /// Mutations applied since the indexes were built (0 = pristine).
+  uint64_t index_generation() const {
+    return maintainer_ != nullptr ? maintainer_->generation() : 0;
+  }
 
   /// (Re)parses all files and builds word + region indices per the spec.
   /// Documents are processed in parallel on the system's thread pool
@@ -131,17 +163,23 @@ class FileQuerySystem {
   /// space-vs-speed tradeoff experiments.
   uint64_t IndexBytes() const;
 
-  /// Serializes the built indexes (plus their spec) to a blob bound to
-  /// the current corpus fingerprint. Fails if indexes are not built or
-  /// the spec has a non-serializable token filter.
-  Result<std::string> ExportIndexes() const;
+  /// Serializes the built indexes (plus their spec and maintenance
+  /// generation) to a v2 blob with per-document fingerprints. Compacts
+  /// first if mutations left tombstoned spans. Fails if indexes are not
+  /// built or the spec has a non-serializable token filter.
+  Result<std::string> ExportIndexes();
 
-  /// Installs previously exported indexes, skipping the parse/build step.
-  /// Fails when the blob was built for a different corpus.
+  /// Installs previously exported indexes (v1 or v2 blobs), skipping the
+  /// parse/build step. Fails when the blob does not match the corpus —
+  /// for v2 blobs the error names the stale documents.
   Status ImportIndexes(std::string_view blob);
 
  private:
   Status CheckView(const std::string& view) const;
+
+  /// (Re)creates the maintainer over the current built_ + corpus_,
+  /// resuming from `generation` (non-zero after an import).
+  void ResetMaintainer(uint64_t generation);
 
   /// The baseline plan body, shared by ExecuteQuery(kBaseline) and the
   /// auto-mode fallback (which has already parsed and view-checked the
@@ -160,6 +198,8 @@ class FileQuerySystem {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<BuiltIndexes> built_;
   std::unique_ptr<QueryCompiler> compiler_;
+  MaintainOptions maintain_options_;
+  std::unique_ptr<IndexMaintainer> maintainer_;
   std::set<std::string> view_aliases_;
 };
 

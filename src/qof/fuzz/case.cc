@@ -15,6 +15,7 @@ ConcreteCase Concretize(const FuzzCase& fuzz_case) {
                                       : fuzz_case.raw_fql;
   out.expect_valid = fuzz_case.expect_valid;
   out.subsets = fuzz_case.subsets;
+  out.mutations = fuzz_case.mutations;
   return out;
 }
 

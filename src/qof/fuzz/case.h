@@ -10,6 +10,23 @@
 
 namespace qof {
 
+/// One corpus mutation applied after the indexes are built — the
+/// incremental-maintenance leg replays these through
+/// FileQuerySystem::{Add,Update,Remove}File and cross-checks against a
+/// from-scratch rebuild. Steps are stored fully concrete (the generator
+/// renders the text up front) so repro files replay byte-identically
+/// even after the schema model shrinks.
+struct MutationStep {
+  enum class Op { kAdd, kUpdate, kRemove };
+  Op op = Op::kAdd;
+  std::string name;
+  std::string text;  // empty for kRemove
+
+  bool operator==(const MutationStep& other) const {
+    return op == other.op && name == other.name && text == other.text;
+  }
+};
+
 /// A fully concrete (schema, corpus, query) triple plus the index subsets
 /// to try — everything the oracle needs, with no model-level structure.
 /// Repro files serialize exactly this, so a replayed failure runs the
@@ -32,6 +49,9 @@ struct ConcreteCase {
   bool expect_valid = true;
 
   std::vector<std::vector<std::string>> subsets;
+
+  /// Applied in order by the maintenance leg; empty skips that leg.
+  std::vector<MutationStep> mutations;
 };
 
 /// The model-level form the generator produces and the shrinker reduces.
@@ -48,6 +68,11 @@ struct FuzzCase {
   bool expect_valid = true;
 
   std::vector<std::vector<std::string>> subsets;
+
+  /// Concrete even at the model level: mutation texts are rendered from
+  /// the *generation-time* schema, so shrinking the schema model cannot
+  /// silently change them. The shrinker drops steps instead.
+  std::vector<MutationStep> mutations;
 };
 
 /// Renders the model to the concrete triple (schema text, documents,

@@ -3,6 +3,10 @@
 #include <set>
 #include <vector>
 
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/log_gen.h"
+#include "qof/datagen/mail_gen.h"
+#include "qof/datagen/outline_gen.h"
 #include "qof/datagen/schemas.h"
 #include "qof/datagen/seed.h"
 #include "qof/engine/index_spec.h"
@@ -66,6 +70,113 @@ std::vector<std::vector<std::string>> MakeSubsets(
   return out;
 }
 
+std::string CannedDocName(const std::string& kind) {
+  if (kind == "bibtex") return "corpus.bib";
+  if (kind == "mail") return "corpus.mbox";
+  if (kind == "log") return "corpus.log";
+  return "corpus.outline";
+}
+
+/// A small document that parses under the canned schema: one or two
+/// entries from the matching datagen generator with a derived seed.
+std::string CannedMutationText(const std::string& kind, uint32_t seed,
+                               int entries) {
+  if (kind == "bibtex") {
+    BibtexGenOptions o;
+    o.num_references = entries;
+    o.seed = seed;
+    o.probe_author_rate = 0.3;
+    return GenerateBibtex(o);
+  }
+  if (kind == "mail") {
+    MailGenOptions o;
+    o.num_messages = entries;
+    o.seed = seed;
+    o.probe_sender_rate = 0.3;
+    return GenerateMailbox(o);
+  }
+  if (kind == "log") {
+    LogGenOptions o;
+    o.num_entries = entries * 2;
+    o.seed = seed;
+    o.error_rate = 0.2;
+    o.num_sessions = 2;
+    return GenerateLog(o);
+  }
+  OutlineGenOptions o;
+  o.num_top_sections = entries;
+  o.seed = seed;
+  o.max_depth = 2;
+  o.probe_title_rate = 0.25;
+  return GenerateOutline(o);
+}
+
+/// Renders one document's worth of content for a mutation step. Texts
+/// are concrete from here on: they parse under the schema by
+/// construction, and occasionally come back empty (the update-to-empty
+/// edge the maintainer must splice cleanly).
+std::string MutationText(FuzzRng& rng, const FuzzCase& fuzz_case,
+                         uint32_t step_seed) {
+  if (rng.Chance(0.1)) return "";
+  if (!fuzz_case.canned.empty()) {
+    return CannedMutationText(fuzz_case.canned, step_seed, rng.Range(1, 2));
+  }
+  CorpusModel content;
+  content.doc_objects = {rng.Range(1, 3)};
+  content.content_seed = step_seed;
+  content.max_depth = fuzz_case.corpus.max_depth;
+  content.max_items = fuzz_case.corpus.max_items;
+  content.probe_rate = fuzz_case.corpus.probe_rate;
+  return RenderDocs(fuzz_case.schema, content)[0].second;
+}
+
+/// The mutation_gen stage: a short random add/update/remove sequence
+/// over the case's documents. Targets track liveness so every step
+/// applies cleanly (updates and removes always name a live document, a
+/// remove never empties the corpus — that edge lives in the unit tests).
+void GenerateMutations(FuzzRng& rng, const FuzzOptions& options, int i,
+                       FuzzCase* fuzz_case) {
+  std::vector<std::string> live;
+  if (!fuzz_case->canned.empty()) {
+    live.push_back(CannedDocName(fuzz_case->canned));
+  } else {
+    for (size_t d = 0; d < fuzz_case->corpus.doc_objects.size(); ++d) {
+      live.push_back("doc" + std::to_string(d) + ".txt");
+    }
+  }
+  int added = 0;
+  int count = rng.Range(1, options.max_mutations);
+  for (int step = 0; step < count; ++step) {
+    uint32_t step_seed =
+        WithSeed(static_cast<uint32_t>(options.seed),
+                 static_cast<uint32_t>(i) ^ 0x20000000u ^
+                     static_cast<uint32_t>(step) << 8);
+    MutationStep m;
+    uint64_t roll = live.empty() ? 0 : rng.Below(10);
+    if (roll < 4 || live.empty()) {
+      m.op = MutationStep::Op::kAdd;
+      m.name = "extra-" + std::to_string(added++) + ".txt";
+      m.text = MutationText(rng, *fuzz_case, step_seed);
+      live.push_back(m.name);
+    } else if (roll < 8 || live.size() < 2) {
+      m.op = MutationStep::Op::kUpdate;
+      size_t at = rng.Below(live.size());
+      m.name = live[at];
+      m.text = MutationText(rng, *fuzz_case, step_seed);
+      // The corpus appends replaced text at the tail; mirror that so the
+      // oracle can rebuild the post-mutation corpus in physical order.
+      live.erase(live.begin() + static_cast<long>(at));
+      live.push_back(m.name);
+    } else {
+      m.op = MutationStep::Op::kRemove;
+      size_t at = rng.Below(live.size());
+      m.name = live[at];
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+    fuzz_case->mutations.push_back(std::move(m));
+  }
+}
+
 }  // namespace
 
 FuzzCase GenerateCase(const FuzzOptions& options, int i) {
@@ -115,6 +226,9 @@ FuzzCase GenerateCase(const FuzzOptions& options, int i) {
                                     literals, options.query_gen);
     fuzz_case.subsets =
         MakeSubsets(rng, *schema, view_node, options.subsets_per_case);
+    if (rng.Chance(options.mutation_fraction)) {
+      GenerateMutations(rng, options, i, &fuzz_case);
+    }
   } else {
     // Should be unreachable (generated schemas are correct by
     // construction); emit a trivial query so the oracle reports the
@@ -162,6 +276,11 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
     for (const auto& subset : concrete.subsets) {
       for (const auto& name : subset) hash_bytes(name);
       hash_bytes("|");
+    }
+    for (const MutationStep& m : concrete.mutations) {
+      hash_bytes(std::to_string(static_cast<int>(m.op)));
+      hash_bytes(m.name);
+      hash_bytes(m.text);
     }
 
     uint64_t seed = IterationSeed(options, i);

@@ -24,6 +24,12 @@ struct FuzzOptions {
   /// Random index subsets tried per case, beyond the always-run
   /// baseline/full-index legs.
   int subsets_per_case = 2;
+  /// Fraction of cases that get a post-build mutation sequence (random
+  /// adds/updates/removes replayed through the incremental maintainer and
+  /// cross-checked against a from-scratch rebuild).
+  double mutation_fraction = 0.35;
+  /// Longest mutation sequence the generator appends.
+  int max_mutations = 4;
   InjectedBug bug = InjectedBug::kNone;
   bool shrink = true;
   int shrink_budget = 200;

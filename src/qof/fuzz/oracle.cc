@@ -176,6 +176,168 @@ std::vector<InclusionChain> EnumerateChains(const Rig& rig, uint64_t seed,
   return out;
 }
 
+/// Zeroes the maintenance-generation field (bytes [8, 16) of a v2 blob)
+/// so index blobs from different mutation histories compare byte-equal.
+std::string StripGeneration(std::string blob) {
+  if (blob.size() >= 16) {
+    std::fill(blob.begin() + 8, blob.begin() + 16, '\0');
+  }
+  return blob;
+}
+
+/// The maintenance leg: replay the case's mutation sequence through the
+/// incremental maintainer (serial and parallel) and cross-check against
+/// a from-scratch rebuild of the mutated corpus. A Status error means
+/// the harness broke its own preconditions (e.g. a shrink candidate
+/// whose mutation targets a dropped document); a filled `failure` means
+/// the maintainer violated an invariant — including compaction failures
+/// and blob divergence, which is exactly how kDropTombstone surfaces.
+Status CheckMaintenance(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const OracleOptions& options, bool is_projection,
+    std::string* failure) {
+  const bool injected = options.bug == InjectedBug::kDropTombstone;
+  auto fail = [&](const std::string& what) {
+    *failure = "[maintain] " + what + " (fql: " + c.fql + ")";
+    return Status::OK();
+  };
+
+  // The expected post-mutation document list, mirroring the maintainer's
+  // append-at-tail physical order: updates move the document to the
+  // tail, exactly as the corpus re-appends replaced text.
+  std::vector<std::pair<std::string, std::string>> live = docs;
+  for (const MutationStep& m : c.mutations) {
+    auto it = std::find_if(
+        live.begin(), live.end(),
+        [&](const auto& doc) { return doc.first == m.name; });
+    if (m.op != MutationStep::Op::kAdd && it != live.end()) live.erase(it);
+    if (m.op != MutationStep::Op::kRemove) live.emplace_back(m.name, m.text);
+  }
+
+  // From-scratch rebuild of the mutated corpus: the ground truth.
+  FileQuerySystem fresh(schema);
+  for (const auto& [name, text] : live) {
+    QOF_RETURN_IF_ERROR(fresh.AddFile(name, text));
+  }
+  fresh.SetParallelism(1);
+  QOF_RETURN_IF_ERROR(fresh.BuildIndexes(IndexSpec::Full()));
+  CanonExec rebuilt =
+      Canon(fresh.Execute(c.fql, ExecutionMode::kBaseline));
+  if (!Agrees("maintain/rebuild-auto", rebuilt,
+              Canon(fresh.Execute(c.fql, ExecutionMode::kAuto)), c,
+              failure)) {
+    return Status::OK();
+  }
+  auto fresh_blob = fresh.ExportIndexes();
+  if (!fresh_blob.ok()) return fresh_blob.status();
+
+  for (int parallelism : {1, options.workers}) {
+    std::string plabel = " p=" + std::to_string(parallelism);
+    FileQuerySystem maintained(schema);
+    for (const auto& [name, text] : docs) {
+      QOF_RETURN_IF_ERROR(maintained.AddFile(name, text));
+    }
+    maintained.SetParallelism(parallelism);
+    if (injected) {
+      MaintainOptions maintain_options;
+      maintain_options.inject_drop_tombstone = true;
+      maintained.SetMaintainOptions(maintain_options);
+    }
+    IndexSpec spec = IndexSpec::Full();
+    spec.parallelism = parallelism;
+    QOF_RETURN_IF_ERROR(maintained.BuildIndexes(spec));
+
+    for (size_t mi = 0; mi < c.mutations.size(); ++mi) {
+      const MutationStep& m = c.mutations[mi];
+      Status applied = Status::OK();
+      switch (m.op) {
+        case MutationStep::Op::kAdd:
+          applied = maintained.AddFile(m.name, m.text);
+          break;
+        case MutationStep::Op::kUpdate:
+          applied = maintained.UpdateFile(m.name, m.text);
+          break;
+        case MutationStep::Op::kRemove:
+          applied = maintained.RemoveFile(m.name);
+          break;
+      }
+      if (!applied.ok()) {
+        // With the injected tombstone drop, auto-compaction can trip over
+        // the lost splice mid-sequence — that is a detection. Otherwise
+        // the case itself is malformed (a shrink artifact), which must
+        // not be adopted as a failure.
+        if (injected) {
+          return fail("mutation " + std::to_string(mi) + plabel +
+                      " surfaced the dropped tombstone: " +
+                      applied.ToString());
+        }
+        return Status::Internal("mutation " + std::to_string(mi) + " (" +
+                                m.name + ") failed: " + applied.ToString());
+      }
+    }
+
+    // All execution modes must agree on the maintained system; the
+    // baseline scan re-parses the (tombstoned) corpus, so it is ground
+    // truth even when the indexes were maintained wrongly.
+    CanonExec m_base =
+        Canon(maintained.Execute(c.fql, ExecutionMode::kBaseline));
+    if (!Agrees("maintain/auto" + plabel, m_base,
+                Canon(maintained.Execute(c.fql, ExecutionMode::kAuto)), c,
+                failure)) {
+      return Status::OK();
+    }
+    if (!Agrees("maintain/two-phase" + plabel, m_base,
+                Canon(maintained.Execute(c.fql, ExecutionMode::kTwoPhase)),
+                c, failure)) {
+      return Status::OK();
+    }
+    auto plan = maintained.Plan(c.fql);
+    if (plan.ok() && plan->exact &&
+        (!is_projection || plan->projection != nullptr)) {
+      if (!Agrees(
+              "maintain/index-only" + plabel, m_base,
+              Canon(maintained.Execute(c.fql, ExecutionMode::kIndexOnly)),
+              c, failure)) {
+        return Status::OK();
+      }
+    }
+
+    // Values are offset-independent, so they must match the rebuild
+    // exactly; region coordinates shift with fragmentation, so only the
+    // count is comparable before compaction.
+    if (m_base.ok != rebuilt.ok ||
+        (m_base.ok && (m_base.values != rebuilt.values ||
+                       m_base.regions.size() != rebuilt.regions.size()))) {
+      return fail("maintained system" + plabel +
+                  " diverges from a from-scratch rebuild; maintained=" +
+                  Describe(m_base) + " rebuilt=" + Describe(rebuilt));
+    }
+
+    // Compaction must fold the tombstones into an index byte-identical
+    // to the from-scratch build. A compaction/export error here is the
+    // maintainer's own consistency check firing — a real defect (or the
+    // injected one), never a harness problem.
+    Status compacted = maintained.CompactIndexes();
+    if (!compacted.ok()) {
+      return fail("compaction" + plabel + " failed: " +
+                  compacted.ToString());
+    }
+    auto blob = maintained.ExportIndexes();
+    if (!blob.ok()) {
+      return fail("export after compaction" + plabel + " failed: " +
+                  blob.status().ToString());
+    }
+    if (StripGeneration(*blob) != StripGeneration(*fresh_blob)) {
+      return fail("compacted index blob" + plabel +
+                  " differs from the from-scratch build (" +
+                  std::to_string(blob->size()) + " vs " +
+                  std::to_string(fresh_blob->size()) + " bytes)");
+    }
+  }
+  return Status::OK();
+}
+
 bool HasRewrite(const std::vector<ChainRewrite>& rewrites, size_t position) {
   for (const ChainRewrite& r : rewrites) {
     if (r.kind == ChainRewrite::Kind::kRelaxDirect &&
@@ -380,7 +542,19 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
     }
   }
 
-  // 4. Thm. 3.6: rewrite walks converge to the unique normal form.
+  // 4. Incremental maintenance: replay the mutation sequence through the
+  // maintainer and cross-check against a from-scratch rebuild, down to
+  // the post-compaction index blob bytes.
+  if (!c.mutations.empty()) {
+    QOF_RETURN_IF_ERROR(CheckMaintenance(schema, docs, c, options,
+                                         is_projection, &outcome.failure));
+    if (!outcome.failure.empty()) {
+      outcome.failed = true;
+      return outcome;
+    }
+  }
+
+  // 5. Thm. 3.6: rewrite walks converge to the unique normal form.
   if (options.check_chains) {
     Rig rig = DeriveFullRig(schema);
     QOF_RETURN_IF_ERROR(

@@ -17,7 +17,12 @@ namespace qof {
 ///  - kExactSkip returns phase-1 candidates as the final answer even for
 ///    inexact plans — skipping the §6.2 filter the §6.3 condition exists
 ///    to justify.
-enum class InjectedBug { kNone, kRelaxDirect, kExactSkip };
+///  - kDropTombstone makes the incremental maintainer lose one
+///    tombstone's index splice (MaintainOptions::inject_drop_tombstone):
+///    the dead document's contribution survives in the indexes, so the
+///    maintenance leg's differential checks — and compaction's own
+///    consistency check — must flag it.
+enum class InjectedBug { kNone, kRelaxDirect, kExactSkip, kDropTombstone };
 
 struct OracleOptions {
   InjectedBug bug = InjectedBug::kNone;
@@ -46,7 +51,13 @@ struct OracleOutcome {
 ///     baseline (§6.3 exact subsets answer on the index, inexact ones
 ///     must filter — either way the answers match);
 ///  3. errors are consistent: if one plan rejects the query, all do;
-///  4. for inclusion chains enumerated from the schema's RIG, every
+///  4. when the case carries a mutation sequence, the sequence is applied
+///     to a *built* system (incremental maintenance, serial and parallel)
+///     and cross-checked: all execution modes agree on the maintained
+///     system, its answers match a from-scratch rebuild of the mutated
+///     corpus, and after compaction the exported index blobs are
+///     byte-identical to the rebuild's;
+///  5. for inclusion chains enumerated from the schema's RIG, every
 ///     random-order rewrite walk converges to Optimize()'s normal form,
 ///     and re-optimizing any intermediate chain yields the same normal
 ///     form (Thm. 3.6).

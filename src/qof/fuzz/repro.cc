@@ -33,6 +33,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "relax-direct";
     case InjectedBug::kExactSkip:
       return "exact-skip";
+    case InjectedBug::kDropTombstone:
+      return "drop-tombstone";
   }
   return "none";
 }
@@ -41,6 +43,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "none") return InjectedBug::kNone;
   if (name == "relax-direct") return InjectedBug::kRelaxDirect;
   if (name == "exact-skip") return InjectedBug::kExactSkip;
+  if (name == "drop-tombstone") return InjectedBug::kDropTombstone;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }
@@ -68,6 +71,21 @@ std::string WriteRepro(const ReproFile& repro) {
     for (const auto& [name, text] : c.docs) {
       out << "doc " << name;
       WriteHeredoc(out, text);
+    }
+  }
+  for (const MutationStep& m : c.mutations) {
+    switch (m.op) {
+      case MutationStep::Op::kAdd:
+        out << "mutate add " << m.name;
+        WriteHeredoc(out, m.text);
+        break;
+      case MutationStep::Op::kUpdate:
+        out << "mutate update " << m.name;
+        WriteHeredoc(out, m.text);
+        break;
+      case MutationStep::Op::kRemove:
+        out << "mutate remove " << m.name << "\n";
+        break;
     }
   }
   return out.str();
@@ -148,6 +166,33 @@ Result<ReproFile> ParseRepro(std::string_view text) {
       ++i;
     } else if (line == "schema <<END") {
       QOF_ASSIGN_OR_RETURN(i, read_heredoc(i + 1, &c.schema_text));
+    } else if (line.rfind("mutate ", 0) == 0) {
+      std::string rest = line.substr(7);
+      MutationStep m;
+      if (rest.rfind("remove ", 0) == 0) {
+        m.op = MutationStep::Op::kRemove;
+        m.name = rest.substr(7);
+        if (m.name.empty()) {
+          return Status::ParseError("repro: mutate remove wants a name");
+        }
+        ++i;
+      } else {
+        bool is_add = rest.rfind("add ", 0) == 0;
+        if (!is_add && rest.rfind("update ", 0) != 0) {
+          return Status::ParseError(
+              "repro: mutate wants add | update | remove");
+        }
+        m.op = is_add ? MutationStep::Op::kAdd : MutationStep::Op::kUpdate;
+        size_t skip = is_add ? 4 : 7;
+        size_t marker = rest.rfind(" <<END");
+        if (marker == std::string::npos || marker <= skip) {
+          return Status::ParseError(
+              "repro: mutate wants 'mutate <op> <name> <<END'");
+        }
+        m.name = rest.substr(skip, marker - skip);
+        QOF_ASSIGN_OR_RETURN(i, read_heredoc(i + 1, &m.text));
+      }
+      c.mutations.push_back(std::move(m));
     } else if (line.rfind("doc ", 0) == 0) {
       size_t marker = line.rfind(" <<END");
       if (marker == std::string::npos || marker <= 4) {

@@ -22,7 +22,7 @@ struct ReproFile {
 ///
 ///   qof-fuzz-repro v1
 ///   seed: 42
-///   inject: none | relax-direct | exact-skip
+///   inject: none | relax-direct | exact-skip | drop-tombstone
 ///   expect-valid: 1
 ///   canned: bibtex 7 4                  -- canned cases only
 ///   subset: Obj Alpha                   -- one line per index subset
@@ -33,6 +33,10 @@ struct ReproFile {
 ///   doc corpus-0.txt <<END
 ///   ...document text...
 ///   END
+///   mutate add extra-0.txt <<END      -- maintenance-leg mutations,
+///   ...document text...                  in application order
+///   END
+///   mutate remove doc0.txt
 ///
 /// Heredoc bodies are the lines between the markers joined with '\n';
 /// the writer always puts one '\n' between body and END, so a body with

@@ -23,6 +23,22 @@ std::vector<FuzzCase> CaseReductions(const FuzzCase& fuzz_case) {
     out.push_back(std::move(reduced));
   }
 
+  // Mutations shrink before the schema does: mutation texts were
+  // rendered under the generation-time schema, so a schema reduction
+  // with mutations still present usually fails to apply (and is
+  // rejected); dropping steps first unblocks the deeper reductions.
+  if (fuzz_case.mutations.size() > 1) {
+    FuzzCase reduced = fuzz_case;
+    reduced.mutations.clear();
+    out.push_back(std::move(reduced));
+  }
+  for (size_t i = 0; i < fuzz_case.mutations.size(); ++i) {
+    FuzzCase reduced = fuzz_case;
+    reduced.mutations.erase(reduced.mutations.begin() +
+                            static_cast<long>(i));
+    out.push_back(std::move(reduced));
+  }
+
   if (!fuzz_case.canned.empty()) {
     if (fuzz_case.canned_entries > 1) {
       FuzzCase reduced = fuzz_case;

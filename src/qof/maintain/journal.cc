@@ -1,0 +1,113 @@
+#include "qof/maintain/journal.h"
+
+#include <cstring>
+
+#include "qof/util/wire.h"
+
+namespace qof {
+namespace {
+
+Result<JournalRecord> DecodeRecordPayload(std::string_view payload) {
+  WireReader reader(payload, "journal record");
+  JournalRecord record;
+  QOF_ASSIGN_OR_RETURN(record.generation, reader.U64());
+  QOF_ASSIGN_OR_RETURN(uint8_t op, reader.U8());
+  if (op < static_cast<uint8_t>(JournalOp::kAdd) ||
+      op > static_cast<uint8_t>(JournalOp::kRemove)) {
+    return Status::InvalidArgument("journal record has unknown op " +
+                                   std::to_string(op));
+  }
+  record.op = static_cast<JournalOp>(op);
+  QOF_ASSIGN_OR_RETURN(record.name, reader.String());
+  QOF_ASSIGN_OR_RETURN(record.text, reader.String());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in journal record");
+  }
+  return record;
+}
+
+}  // namespace
+
+std::string JournalHeader() { return std::string(kJournalMagic); }
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  std::string payload;
+  PutU64(record.generation, &payload);
+  PutU8(static_cast<uint8_t>(record.op), &payload);
+  PutString(record.name, &payload);
+  PutString(record.text, &payload);
+
+  std::string frame;
+  PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  PutU64(Fnv1a(payload), &frame);
+  frame.append(payload);
+  return frame;
+}
+
+Result<ParsedJournal> ParseJournal(std::string_view data) {
+  if (data.size() < kJournalMagic.size() ||
+      std::memcmp(data.data(), kJournalMagic.data(),
+                  kJournalMagic.size()) != 0) {
+    return Status::InvalidArgument("not a qof journal (bad magic)");
+  }
+  ParsedJournal out;
+  out.valid_bytes = kJournalMagic.size();
+  size_t pos = kJournalMagic.size();
+  while (pos < data.size()) {
+    // Anything that fails from here on is a torn append: keep the intact
+    // prefix, flag the tail.
+    WireReader header(data.substr(pos), "journal frame");
+    auto size = header.U32();
+    auto checksum = header.U64();
+    if (!size.ok() || !checksum.ok() ||
+        header.Remaining() < static_cast<size_t>(*size)) {
+      out.truncated_tail = true;
+      return out;
+    }
+    std::string_view payload = data.substr(pos + 12, *size);
+    if (Fnv1a(payload) != *checksum) {
+      out.truncated_tail = true;
+      return out;
+    }
+    auto record = DecodeRecordPayload(payload);
+    if (!record.ok()) {
+      out.truncated_tail = true;
+      return out;
+    }
+    out.records.push_back(std::move(*record));
+    pos += 12 + *size;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+Status ReplayJournal(const std::vector<JournalRecord>& records,
+                     IndexMaintainer* maintainer) {
+  for (const JournalRecord& record : records) {
+    if (record.generation != maintainer->generation() + 1) {
+      return Status::InvalidArgument(
+          "journal generation " + std::to_string(record.generation) +
+          " does not continue from index generation " +
+          std::to_string(maintainer->generation()) +
+          " — blob and journal are from different histories");
+    }
+    switch (record.op) {
+      case JournalOp::kAdd: {
+        auto id = maintainer->AddDocument(record.name, record.text);
+        if (!id.ok()) return id.status();
+        break;
+      }
+      case JournalOp::kUpdate: {
+        auto id = maintainer->UpdateDocument(record.name, record.text);
+        if (!id.ok()) return id.status();
+        break;
+      }
+      case JournalOp::kRemove:
+        QOF_RETURN_IF_ERROR(maintainer->RemoveDocument(record.name));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qof

@@ -12,6 +12,23 @@ void RegionIndex::Add(std::string name, RegionSet regions) {
   universe_valid_ = false;
 }
 
+uint64_t RegionIndex::EraseSpan(uint64_t begin, uint64_t end) {
+  uint64_t erased = 0;
+  for (auto& [name, set] : sets_) {
+    erased += set.EraseStartsIn(begin, end);
+  }
+  if (erased > 0) universe_valid_ = false;
+  return erased;
+}
+
+void RegionIndex::InsertDocRegions(
+    const std::map<std::string, std::vector<Region>>& by_name) {
+  for (const auto& [name, run] : by_name) {
+    sets_[name].InsertRun(run);
+  }
+  universe_valid_ = false;
+}
+
 bool RegionIndex::Has(std::string_view name) const {
   return sets_.find(name) != sets_.end();
 }

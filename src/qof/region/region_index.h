@@ -24,6 +24,21 @@ class RegionIndex {
   /// Registers (or extends) the instance of a region name.
   void Add(std::string name, RegionSet regions);
 
+  // --- incremental maintenance (see src/qof/maintain/) ------------------
+
+  /// Erases from every instance the regions starting in [begin, end) — a
+  /// tombstoned document's contribution. Names stay registered (possibly
+  /// with empty instances): "indexed but absent" must survive removals.
+  /// Returns the number of regions erased.
+  uint64_t EraseSpan(uint64_t begin, uint64_t end);
+
+  /// Splices one document's contribution in: for each (name, run) the run
+  /// is inserted at its canonical position. Runs must be canonically
+  /// sorted, duplicate-free, and confined to a span no existing region
+  /// starts in. Unknown names are registered.
+  void InsertDocRegions(
+      const std::map<std::string, std::vector<Region>>& by_name);
+
   bool Has(std::string_view name) const;
 
   /// The instance of `name`; NotFound if the name was never registered.

@@ -149,6 +149,34 @@ bool RegionSet::ContainsRegion(const Region& r) const {
   return FindExact(regions_, r) != static_cast<size_t>(-1);
 }
 
+size_t RegionSet::EraseStartsIn(uint64_t begin, uint64_t end) {
+  auto lo = std::lower_bound(
+      regions_.begin(), regions_.end(), begin,
+      [](const Region& r, uint64_t s) { return r.start < s; });
+  auto hi = std::lower_bound(
+      lo, regions_.end(), end,
+      [](const Region& r, uint64_t s) { return r.start < s; });
+  size_t n = static_cast<size_t>(hi - lo);
+  regions_.erase(lo, hi);
+  return n;
+}
+
+void RegionSet::InsertRun(const std::vector<Region>& run) {
+  if (run.empty()) return;
+#ifndef NDEBUG
+  for (size_t i = 1; i < run.size(); ++i) {
+    assert(run[i - 1] < run[i] && "run not canonically sorted");
+  }
+#endif
+  auto at = std::lower_bound(regions_.begin(), regions_.end(), run.front());
+  assert((at == regions_.end() || run.back().start < at->start) &&
+         "run start window overlaps existing members");
+  assert((at == regions_.begin() ||
+          std::prev(at)->start < run.front().start) &&
+         "run start window overlaps existing members");
+  regions_.insert(at, run.begin(), run.end());
+}
+
 uint64_t RegionSet::TotalLength() const {
   uint64_t total = 0;
   for (const Region& r : regions_) total += r.length();

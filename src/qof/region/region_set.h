@@ -39,6 +39,19 @@ class RegionSet {
 
   bool ContainsRegion(const Region& r) const;
 
+  // --- incremental maintenance (see src/qof/maintain/) ------------------
+  // Parse-derived instances never cross document boundaries, so one
+  // document's members form a contiguous slice of the canonical order;
+  // document-level maintenance is a slice erase / slice insert.
+
+  /// Erases members whose start lies in [begin, end); returns how many.
+  size_t EraseStartsIn(uint64_t begin, uint64_t end);
+
+  /// Splices in a canonically sorted, duplicate-free run whose start
+  /// window is disjoint from every existing member's start (one
+  /// document's contribution). Debug-checked.
+  void InsertRun(const std::vector<Region>& run);
+
   /// Sum of member lengths (bytes covered, counting nested spans multiply).
   uint64_t TotalLength() const;
 

@@ -6,19 +6,46 @@ namespace qof {
 
 Result<DocId> Corpus::AddDocument(std::string name, std::string_view text) {
   for (const Doc& d : docs_) {
-    if (d.name == name) {
+    if (d.live && d.name == name) {
       return Status::AlreadyExists("document already in corpus: " + name);
     }
   }
   if (!text_.empty()) text_.push_back('\n');
   TextPos start = text_.size();
   text_.append(text);
-  docs_.push_back(Doc{std::move(name), start, text_.size()});
+  docs_.push_back(Doc{std::move(name), start, text_.size(), /*live=*/true});
   return static_cast<DocId>(docs_.size() - 1);
 }
 
+Result<DocId> Corpus::FindDocument(std::string_view name) const {
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    if (docs_[i].live && docs_[i].name == name) {
+      return static_cast<DocId>(i);
+    }
+  }
+  return Status::NotFound("no live document named '" + std::string(name) +
+                          "'");
+}
+
+Result<DocId> Corpus::RemoveDocument(std::string_view name) {
+  QOF_ASSIGN_OR_RETURN(DocId id, FindDocument(name));
+  Doc& doc = docs_[id];
+  doc.live = false;
+  ++dead_docs_;
+  dead_bytes_ += doc.end - doc.start;
+  return id;
+}
+
+Result<DocId> Corpus::ReplaceDocument(std::string_view name,
+                                      std::string_view text) {
+  QOF_ASSIGN_OR_RETURN(DocId old_id, RemoveDocument(name));
+  (void)old_id;
+  return AddDocument(std::string(name), text);
+}
+
 Result<DocId> Corpus::DocumentAt(TextPos pos) const {
-  // Binary search over document start offsets.
+  // Binary search over document start offsets (tombstoned entries keep
+  // their spans, so the table stays sorted by start).
   auto it = std::upper_bound(
       docs_.begin(), docs_.end(), pos,
       [](TextPos p, const Doc& d) { return p < d.start; });

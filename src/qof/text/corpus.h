@@ -28,6 +28,14 @@ using TextPos = uint64_t;
 /// touch as few of these bytes as possible when answering a query, and the
 /// Corpus keeps a counter of bytes actually read so experiments can report
 /// scanned-byte savings.
+///
+/// Mutation model (index maintenance, see src/qof/maintain/): the address
+/// space is append-only. Replacing or removing a document *tombstones* its
+/// span — the entry stays in the table (so the space stays laid out and
+/// DocumentAt stays a binary search) but is no longer live; a replacement
+/// appends the new text at the tail as a fresh entry under the same name.
+/// Dead bytes linger until the maintainer compacts the corpus. Everything
+/// that iterates documents must skip non-live entries.
 class Corpus {
  public:
   Corpus() = default;
@@ -42,29 +50,59 @@ class Corpus {
   Corpus(Corpus&& other) noexcept
       : text_(std::move(other.text_)),
         docs_(std::move(other.docs_)),
+        dead_docs_(other.dead_docs_),
+        dead_bytes_(other.dead_bytes_),
         bytes_read_(other.bytes_read_.load(std::memory_order_relaxed)) {}
   Corpus& operator=(Corpus&& other) noexcept {
     text_ = std::move(other.text_);
     docs_ = std::move(other.docs_);
+    dead_docs_ = other.dead_docs_;
+    dead_bytes_ = other.dead_bytes_;
     bytes_read_.store(other.bytes_read_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     return *this;
   }
 
-  /// Appends a document; returns its id. Rejects duplicate names.
+  /// Appends a document; returns its id. Rejects names of *live*
+  /// documents (a removed document's name may be reused).
   Result<DocId> AddDocument(std::string name, std::string_view text);
 
+  /// Tombstones the live document `name` and appends `text` under the
+  /// same name at the tail of the address space; returns the new id.
+  /// NotFound when no live document has that name.
+  Result<DocId> ReplaceDocument(std::string_view name,
+                                std::string_view text);
+
+  /// Tombstones the live document `name`. NotFound when absent.
+  Result<DocId> RemoveDocument(std::string_view name);
+
+  /// The live document named `name`, or NotFound.
+  Result<DocId> FindDocument(std::string_view name) const;
+
+  /// Entries in the table, dead ones included (iteration bound).
   size_t num_documents() const { return docs_.size(); }
+  size_t num_live_documents() const { return docs_.size() - dead_docs_; }
+  /// Tombstoned entries not yet compacted away.
+  size_t num_dead_documents() const { return dead_docs_; }
+  bool is_live(DocId id) const { return docs_[id].live; }
+  /// True once any document was tombstoned: the address space has dead
+  /// spans, full_text() is no longer equal to the live text, and whole-
+  /// corpus shortcuts must fall back to per-document iteration.
+  bool fragmented() const { return dead_docs_ > 0; }
+
   /// Total size of the virtual address space, separators included.
   TextPos size() const { return text_.size(); }
+  /// Bytes belonging to tombstoned documents (compaction would reclaim
+  /// them, separators excluded).
+  uint64_t dead_bytes() const { return dead_bytes_; }
 
   const std::string& document_name(DocId id) const { return docs_[id].name; }
   /// [start, end) span of a document in the corpus address space.
   TextPos document_start(DocId id) const { return docs_[id].start; }
   TextPos document_end(DocId id) const { return docs_[id].end; }
 
-  /// The document containing `pos`, or an error for separator/out-of-range
-  /// positions.
+  /// The document containing `pos` (live or tombstoned), or an error for
+  /// separator/out-of-range positions.
   Result<DocId> DocumentAt(TextPos pos) const;
 
   /// Raw bytes of [start, end). Does not count towards bytes_read().
@@ -80,7 +118,9 @@ class Corpus {
   }
 
   /// Full corpus view (used by index builders; indexing cost is reported
-  /// separately from query-time scanning, so this is unaccounted).
+  /// separately from query-time scanning, so this is unaccounted). On a
+  /// fragmented corpus this still includes dead spans — builders must
+  /// iterate live documents instead.
   std::string_view full_text() const { return text_; }
 
   uint64_t bytes_read() const {
@@ -95,10 +135,13 @@ class Corpus {
     std::string name;
     TextPos start;
     TextPos end;
+    bool live = true;
   };
 
   std::string text_;
   std::vector<Doc> docs_;
+  size_t dead_docs_ = 0;
+  uint64_t dead_bytes_ = 0;
   mutable std::atomic<uint64_t> bytes_read_{0};
 };
 

@@ -41,15 +41,27 @@ WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options,
   WordIndex index;
   index.options_ = options;
   if (pool == nullptr || pool->size() <= 1 || corpus.num_documents() < 2) {
-    // Serial build: one pass over the whole corpus.
-    Tokenizer::ForEachToken(
-        corpus.full_text(), /*base=*/0, [&](const WordToken& t) {
-          if (options.token_filter && !options.token_filter(t)) return;
-          std::string key = options.fold_case ? FoldCase(t.text)
-                                              : std::string(t.text);
-          index.postings_[std::move(key)].push_back(t.start);
-          ++index.num_postings_;
-        });
+    // Serial build: one pass over the whole corpus — unless tombstoned
+    // spans fragment it, in which case only live documents are read
+    // (identical output: the '\n' separators mean no token straddles a
+    // document boundary).
+    auto take = [&](const WordToken& t) {
+      if (options.token_filter && !options.token_filter(t)) return;
+      std::string key =
+          options.fold_case ? FoldCase(t.text) : std::string(t.text);
+      index.postings_[std::move(key)].push_back(t.start);
+      ++index.num_postings_;
+    };
+    if (!corpus.fragmented()) {
+      Tokenizer::ForEachToken(corpus.full_text(), /*base=*/0, take);
+    } else {
+      for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
+        if (!corpus.is_live(doc)) continue;
+        TextPos begin = corpus.document_start(doc);
+        Tokenizer::ForEachToken(
+            corpus.RawText(begin, corpus.document_end(doc)), begin, take);
+      }
+    }
   } else {
     // Parallel build: tokenize each document on the pool, then merge in
     // document order. Documents are contiguous ascending spans, so
@@ -59,6 +71,7 @@ WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options,
     std::vector<DocPostings> docs(corpus.num_documents());
     pool->ParallelFor(corpus.num_documents(), [&](int, size_t d) {
       DocId doc = static_cast<DocId>(d);
+      if (!corpus.is_live(doc)) return;
       TextPos begin = corpus.document_start(doc);
       TokenizeInto(corpus.RawText(begin, corpus.document_end(doc)), begin,
                    options, &docs[d]);
@@ -131,6 +144,74 @@ WordIndex WordIndex::FromEntries(
     index.postings_.emplace(std::move(word), std::move(postings));
   }
   return index;
+}
+
+void WordIndex::AddDocPostings(std::string_view doc_text, TextPos base) {
+  DocPostings doc;
+  TokenizeInto(doc_text, base, options_, &doc);
+  for (const std::string* key : doc.order) {
+    std::vector<TextPos>& run = doc.map.at(*key);
+    num_postings_ += run.size();
+    std::vector<TextPos>& list = postings_[*key];
+    if (list.empty() || list.back() < run.front()) {
+      list.insert(list.end(), run.begin(), run.end());
+    } else {
+      // The document's span is disjoint from every other document's, so
+      // the whole run lands at a single insertion point.
+      auto at = std::lower_bound(list.begin(), list.end(), run.front());
+      list.insert(at, run.begin(), run.end());
+    }
+  }
+  sorted_words_.clear();
+}
+
+void WordIndex::EraseDocPostings(std::string_view doc_text, TextPos begin,
+                                 TextPos end) {
+  DocPostings doc;
+  TokenizeInto(doc_text, begin, options_, &doc);
+  for (const std::string* key : doc.order) {
+    auto it = postings_.find(*key);
+    if (it == postings_.end()) continue;
+    std::vector<TextPos>& list = it->second;
+    auto lo = std::lower_bound(list.begin(), list.end(), begin);
+    auto hi = std::lower_bound(lo, list.end(), end);
+    num_postings_ -= static_cast<uint64_t>(hi - lo);
+    list.erase(lo, hi);
+    if (list.empty()) postings_.erase(it);
+  }
+  sorted_words_.clear();
+}
+
+void WordIndex::EraseSpanPostings(TextPos begin, TextPos end) {
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<TextPos>& list = it->second;
+    auto lo = std::lower_bound(list.begin(), list.end(), begin);
+    auto hi = std::lower_bound(lo, list.end(), end);
+    num_postings_ -= static_cast<uint64_t>(hi - lo);
+    list.erase(lo, hi);
+    it = list.empty() ? postings_.erase(it) : std::next(it);
+  }
+  sorted_words_.clear();
+}
+
+void WordIndex::RebasePostings(const std::function<TextPos(TextPos)>& map,
+                               ThreadPool* pool) {
+  std::vector<std::vector<TextPos>*> lists;
+  lists.reserve(postings_.size());
+  for (auto& [word, list] : postings_) lists.push_back(&list);
+  auto rebase_one = [&map](std::vector<TextPos>* list) {
+    for (TextPos& p : *list) p = map(p);
+    // A document moved toward the front of the address space can land its
+    // run below a physically earlier (but logically later) one.
+    std::sort(list->begin(), list->end());
+  };
+  if (pool != nullptr && pool->size() > 1 && lists.size() > 1) {
+    pool->ParallelFor(lists.size(),
+                      [&](int, size_t i) { rebase_one(lists[i]); });
+  } else {
+    for (auto* list : lists) rebase_one(list);
+  }
+  sorted_words_.clear();
 }
 
 uint64_t WordIndex::ApproxBytes() const {

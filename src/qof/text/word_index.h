@@ -75,6 +75,37 @@ class WordIndex {
       std::vector<std::pair<std::string, std::vector<TextPos>>> entries,
       bool fold_case);
 
+  // --- incremental maintenance (see src/qof/maintain/) ------------------
+  //
+  // Documents occupy disjoint spans of the corpus address space, so one
+  // document's postings form a contiguous run inside each word's sorted
+  // list: adding or removing a document is a per-word run insert/erase,
+  // never a rebuild. A word whose last posting is erased loses its entry
+  // entirely, so a maintained index stays indistinguishable from a fresh
+  // build over the live documents.
+
+  /// Tokenizes `doc_text` (with this index's options) and splices the
+  /// postings in; `base` is the document's corpus offset.
+  void AddDocPostings(std::string_view doc_text, TextPos base);
+
+  /// Erases the postings of a document whose text is known: tokenizes
+  /// `doc_text` to find the affected words, then range-erases each one's
+  /// [begin, end) run. Exact (erases precisely the document's postings).
+  void EraseDocPostings(std::string_view doc_text, TextPos begin,
+                        TextPos end);
+
+  /// Erases every posting in [begin, end) without knowing the document's
+  /// text — walks all words. Same result as EraseDocPostings, used by
+  /// journal replay when the tombstoned document's bytes are unknown.
+  void EraseSpanPostings(TextPos begin, TextPos end);
+
+  /// Compaction support: remaps every posting through `map` (documents
+  /// shift as dead spans are squeezed out) and restores per-word sorted
+  /// order. When `pool` has more than one worker, word lists are rebased
+  /// in parallel.
+  void RebasePostings(const std::function<TextPos(TextPos)>& map,
+                      ThreadPool* pool = nullptr);
+
  private:
   std::unordered_map<std::string, std::vector<TextPos>> postings_;
   uint64_t num_postings_ = 0;

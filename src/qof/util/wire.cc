@@ -1,0 +1,85 @@
+#include "qof/util/wire.h"
+
+namespace qof {
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<uint64_t> WireReader::U64() {
+  if (pos_ + 8 > data_.size()) return Truncated();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  if (pos_ + 4 > data_.size()) return Truncated();
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint8_t> WireReader::U8() {
+  if (pos_ + 1 > data_.size()) return Truncated();
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<std::string> WireReader::String() {
+  QOF_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (pos_ + len > data_.size()) return Truncated();
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Status WireReader::CheckCount(uint64_t count, size_t min_bytes_each) {
+  if (count > Remaining() / min_bytes_each) {
+    return Status::InvalidArgument(
+        "corrupt " + what_ + ": count " + std::to_string(count) +
+        " at offset " + std::to_string(pos_) + " exceeds the " +
+        std::to_string(Remaining()) + " bytes that follow");
+  }
+  return Status::OK();
+}
+
+Status WireReader::Truncated() const {
+  return Status::InvalidArgument("truncated " + what_ + " at offset " +
+                                 std::to_string(pos_));
+}
+
+}  // namespace qof

@@ -88,7 +88,10 @@ TEST_F(IndexIoTest, RejectsChangedCorpus) {
   ASSERT_TRUE(other.AddFile("gen.bib", text_ + " ").ok());
   auto s = other.ImportIndexes(*blob);
   ASSERT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("fingerprint"), std::string::npos);
+  // v2 blobs carry per-document fingerprints: the error names the
+  // document that changed.
+  EXPECT_NE(s.message().find("stale"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("gen.bib"), std::string::npos) << s.message();
 }
 
 TEST_F(IndexIoTest, RejectsGarbage) {

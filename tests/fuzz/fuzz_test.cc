@@ -103,6 +103,43 @@ TEST(FuzzTest, InjectedExactSkipBugIsCaught) {
                               << report->iterations_run << " iterations";
 }
 
+TEST(FuzzTest, InjectedDropTombstoneBugIsCaught) {
+  // Losing one tombstone's index splice leaves the dead document's
+  // contribution in the indexes. The maintenance leg must flag it —
+  // either as a differential mismatch against the baseline scan or as
+  // compaction's own consistency check firing.
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 4;
+  options.bug = InjectedBug::kDropTombstone;
+  options.invalid_fraction = 0.0;
+  options.mutation_fraction = 1.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected maintenance bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[maintain"), std::string::npos)
+      << report->failure;
+
+  // The written repro replays to the same failure under the same bug.
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
+TEST(FuzzTest, MutationSequencesHoldInvariants) {
+  // Every case gets a mutation sequence: incremental maintenance must
+  // match a from-scratch rebuild, down to the compacted blob bytes.
+  FuzzOptions options = FastOptions();
+  options.iterations = 40;
+  options.seed = 21;
+  options.invalid_fraction = 0.0;
+  options.mutation_fraction = 1.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->failed) << report->failure;
+}
+
 TEST(FuzzTest, InvalidQueryClassNeverCrashes) {
   FuzzOptions options = FastOptions();
   options.iterations = 60;
@@ -130,8 +167,34 @@ TEST(FuzzTest, ReproRoundTripIsByteIdentical) {
     EXPECT_EQ(parsed->concrete_case.docs, repro.concrete_case.docs);
     EXPECT_EQ(parsed->concrete_case.fql, repro.concrete_case.fql);
     EXPECT_EQ(parsed->concrete_case.subsets, repro.concrete_case.subsets);
+    EXPECT_EQ(parsed->concrete_case.mutations,
+              repro.concrete_case.mutations);
     EXPECT_EQ(parsed->seed, repro.seed);
   }
+}
+
+TEST(FuzzTest, MutationStepsRoundTripThroughRepro) {
+  // Force mutations on every case so the repro's mutate lines (add and
+  // update heredocs, bare removes, empty-text updates) all get exercised.
+  FuzzOptions options = FastOptions();
+  options.seed = 23;
+  options.mutation_fraction = 1.0;
+  bool saw_mutations = false;
+  for (int i = 0; i < 12; ++i) {
+    ReproFile repro;
+    repro.concrete_case = Concretize(GenerateCase(options, i));
+    repro.bug = InjectedBug::kDropTombstone;
+    repro.seed = 7 + i;
+    saw_mutations |= !repro.concrete_case.mutations.empty();
+    std::string text = WriteRepro(repro);
+    auto parsed = ParseRepro(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(WriteRepro(*parsed), text);
+    EXPECT_EQ(parsed->concrete_case.mutations,
+              repro.concrete_case.mutations);
+    EXPECT_EQ(parsed->bug, InjectedBug::kDropTombstone);
+  }
+  EXPECT_TRUE(saw_mutations);
 }
 
 TEST(FuzzTest, ShrinkerReductionsShrinkTheCase) {
@@ -153,7 +216,8 @@ TEST(FuzzTest, ShrinkerReductionsShrinkTheCase) {
 
 TEST(FuzzTest, InjectedBugNamesRoundTrip) {
   for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kRelaxDirect,
-                          InjectedBug::kExactSkip}) {
+                          InjectedBug::kExactSkip,
+                          InjectedBug::kDropTombstone}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);

@@ -22,8 +22,11 @@ void PrintUsage(std::ostream& out) {
          "  --invalid-fraction F  mutated-query fraction (default 0.15)\n"
          "  --canned-fraction F   canned-corpus fraction (default 0.2)\n"
          "  --subsets N           index subsets per case (default 2)\n"
+         "  --mutation-fraction F mutation-sequence fraction (default "
+         "0.35)\n"
          "  --workers N           parallel leg worker count (default 4)\n"
-         "  --inject KIND         none | relax-direct | exact-skip\n"
+         "  --inject KIND         none | relax-direct | exact-skip | "
+         "drop-tombstone\n"
          "  --no-shrink           report the unshrunk failing case\n"
          "  --repro FILE          replay a repro file instead of fuzzing\n"
          "  --repro-out FILE      write the repro of a failure here\n";
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
       options.canned_fraction = f;
     } else if (arg == "--subsets" && ParseInt(next(), &n)) {
       options.subsets_per_case = static_cast<int>(n);
+    } else if (arg == "--mutation-fraction" && ParseDouble(next(), &f)) {
+      options.mutation_fraction = f;
     } else if (arg == "--workers" && ParseInt(next(), &n)) {
       options.workers = static_cast<int>(n);
     } else if (arg == "--inject") {

@@ -1,0 +1,394 @@
+// On-disk index maintenance driver: builds a v2 index blob over a set of
+// files and keeps it current across mutations via the append-only
+// maintenance journal (see src/qof/maintain/ and DESIGN.md, "Index
+// maintenance"). State on disk is a directory holding
+//
+//   indexes.qofidx   the serialized base blob (spec + indexes + per-doc
+//                    fingerprints + generation)
+//   journal.qofj     mutations applied since the blob was written
+//   schema           the canned schema kind the corpus parses under
+//
+// Mutations (`add`, `update`, `remove`) reconstruct the maintainer as
+// base blob + journal replay, apply the change incrementally — only the
+// touched file is re-parsed — and append one journal frame; the blob is
+// rewritten only by `build` and `compact`. Files whose bytes changed (or
+// vanished) since the blob was written load as synthetic placeholders:
+// queries on their old content would be wrong, so `inspect` flags them
+// and `compact` refuses until they are updated or removed.
+//
+// Exit codes: 0 = success, 1 = operation failed, 2 = usage error.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "qof/datagen/schemas.h"
+#include "qof/engine/index_io.h"
+#include "qof/engine/index_spec.h"
+#include "qof/engine/indexer.h"
+#include "qof/maintain/journal.h"
+#include "qof/maintain/maintainer.h"
+#include "qof/text/corpus.h"
+#include "qof/util/result.h"
+#include "qof/util/thread_pool.h"
+
+namespace qof {
+namespace {
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: qof_index <command> --index DIR [args]\n"
+         "  build --schema KIND --index DIR FILE...   parse FILEs, build "
+         "full indexes,\n"
+         "                                            write blob + empty "
+         "journal\n"
+         "  add --index DIR FILE...      index new files incrementally\n"
+         "  update --index DIR FILE...   re-index changed files "
+         "incrementally\n"
+         "  remove --index DIR NAME...   drop files from the indexes\n"
+         "  compact --index DIR          fold tombstones, rewrite blob, "
+         "reset journal\n"
+         "  inspect --index DIR          show blob, journal and "
+         "maintenance state\n"
+         "KIND is a canned schema: bibtex | mail | log | outline\n";
+}
+
+Result<StructuringSchema> SchemaByKind(const std::string& kind) {
+  if (kind == "bibtex") return BibtexSchema();
+  if (kind == "mail") return MailSchema();
+  if (kind == "log") return LogSchema();
+  if (kind == "outline") return OutlineSchema();
+  return Status::InvalidArgument("unknown schema kind '" + kind +
+                                 "' (want bibtex | mail | log | outline)");
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+  if (!out) return Status::Internal("cannot write " + path);
+  return Status::OK();
+}
+
+struct Paths {
+  std::string blob;
+  std::string journal;
+  std::string schema;
+};
+
+Paths PathsFor(const std::string& dir) {
+  return {dir + "/indexes.qofidx", dir + "/journal.qofj", dir + "/schema"};
+}
+
+ThreadPool* SharedPool() {
+  static ThreadPool* pool = [] {
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 1 ? new ThreadPool(n) : nullptr;
+  }();
+  return pool;
+}
+
+/// The maintainer state reconstructed from disk: base blob + journal
+/// replay over a corpus re-read from the indexed files.
+struct State {
+  std::unique_ptr<StructuringSchema> schema;
+  std::string schema_kind;
+  Corpus corpus;
+  BuiltIndexes built;
+  IndexSpec spec;
+  std::unique_ptr<IndexMaintainer> maintainer;
+  std::vector<std::string> synthetic_names;  // placeholder-backed docs
+  size_t journal_records = 0;
+  bool journal_repaired = false;  // a torn tail was discarded
+};
+
+Result<std::unique_ptr<State>> LoadState(const std::string& dir) {
+  Paths paths = PathsFor(dir);
+  auto state = std::make_unique<State>();
+
+  QOF_ASSIGN_OR_RETURN(std::string kind, ReadFile(paths.schema));
+  while (!kind.empty() && (kind.back() == '\n' || kind.back() == ' ')) {
+    kind.pop_back();
+  }
+  state->schema_kind = kind;
+  QOF_ASSIGN_OR_RETURN(StructuringSchema schema, SchemaByKind(kind));
+  state->schema = std::make_unique<StructuringSchema>(std::move(schema));
+
+  QOF_ASSIGN_OR_RETURN(std::string blob, ReadFile(paths.blob));
+  QOF_ASSIGN_OR_RETURN(BlobInfo info, ReadBlobInfo(blob));
+  if (info.version < 2) {
+    return Status::InvalidArgument(
+        "v1 blobs carry no document table; rebuild with 'qof_index "
+        "build'");
+  }
+
+  // Re-read each indexed file; bytes that no longer match the blob's
+  // fingerprint become zero-filled placeholders (synthetic documents).
+  std::vector<DocId> synthetic;
+  for (const DocFingerprint& doc : info.docs) {
+    auto text = ReadFile(doc.name);
+    bool matches = text.ok() && text->size() == doc.size &&
+                   CorpusFingerprint(*text) == doc.fnv1a;
+    QOF_ASSIGN_OR_RETURN(
+        DocId id,
+        state->corpus.AddDocument(
+            doc.name, matches ? *text : std::string(doc.size, '\0')));
+    if (!matches) {
+      synthetic.push_back(id);
+      state->synthetic_names.push_back(doc.name);
+    }
+  }
+
+  DeserializeOptions options;
+  options.allow_stale = true;  // placeholders fail the fingerprint check
+  QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
+                       DeserializeIndexes(blob, state->corpus, options));
+  state->built = std::move(loaded.indexes);
+  state->spec = loaded.spec;
+
+  MaintainOptions maintain_options;
+  maintain_options.auto_compact = false;  // blob rewrites are explicit
+  state->maintainer = std::make_unique<IndexMaintainer>(
+      state->schema.get(), &state->corpus, &state->built, state->spec,
+      maintain_options);
+  state->maintainer->set_generation(loaded.generation);
+  for (DocId id : synthetic) state->maintainer->MarkDocumentSynthetic(id);
+
+  QOF_ASSIGN_OR_RETURN(std::string journal_bytes, ReadFile(paths.journal));
+  QOF_ASSIGN_OR_RETURN(ParsedJournal journal, ParseJournal(journal_bytes));
+  if (journal.truncated_tail) {
+    std::cerr << "warning: discarding torn journal tail ("
+              << journal_bytes.size() - journal.valid_bytes << " bytes)\n";
+    QOF_RETURN_IF_ERROR(WriteFile(
+        paths.journal, journal_bytes.substr(0, journal.valid_bytes)));
+    state->journal_repaired = true;
+  }
+  QOF_RETURN_IF_ERROR(
+      ReplayJournal(journal.records, state->maintainer.get()));
+  state->journal_records = journal.records.size();
+  return state;
+}
+
+Status AppendJournalRecord(const std::string& dir,
+                           const JournalRecord& record) {
+  std::ofstream out(PathsFor(dir).journal,
+                    std::ios::binary | std::ios::app);
+  out << EncodeJournalRecord(record);
+  if (!out) return Status::Internal("cannot append to journal");
+  return Status::OK();
+}
+
+Status RunBuild(const std::string& dir, const std::string& kind,
+                const std::vector<std::string>& files) {
+  QOF_ASSIGN_OR_RETURN(StructuringSchema schema, SchemaByKind(kind));
+  Corpus corpus;
+  for (const std::string& path : files) {
+    QOF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+    QOF_RETURN_IF_ERROR(corpus.AddDocument(path, text).status());
+  }
+  QOF_ASSIGN_OR_RETURN(
+      BuiltIndexes built,
+      BuildIndexes(schema, corpus, IndexSpec::Full(), SharedPool()));
+  QOF_ASSIGN_OR_RETURN(
+      std::string blob,
+      SerializeIndexes(built, IndexSpec::Full(), corpus, /*generation=*/0));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create index directory " + dir + ": " +
+                            ec.message());
+  }
+  Paths paths = PathsFor(dir);
+  QOF_RETURN_IF_ERROR(WriteFile(paths.blob, blob));
+  QOF_RETURN_IF_ERROR(WriteFile(paths.journal, JournalHeader()));
+  QOF_RETURN_IF_ERROR(WriteFile(paths.schema, kind + "\n"));
+  std::cout << "indexed " << files.size() << " file(s): "
+            << built.regions.num_regions() << " regions, "
+            << built.words.num_postings() << " postings, blob "
+            << blob.size() << " bytes\n";
+  return Status::OK();
+}
+
+Status RunMutate(const std::string& dir, const std::string& command,
+                 const std::vector<std::string>& args) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state, LoadState(dir));
+  for (const std::string& arg : args) {
+    JournalRecord record;
+    record.name = arg;
+    Status applied = Status::OK();
+    if (command == "add" || command == "update") {
+      QOF_ASSIGN_OR_RETURN(record.text, ReadFile(arg));
+      record.op =
+          command == "add" ? JournalOp::kAdd : JournalOp::kUpdate;
+      applied =
+          command == "add"
+              ? state->maintainer
+                    ->AddDocument(arg, record.text, SharedPool())
+                    .status()
+              : state->maintainer
+                    ->UpdateDocument(arg, record.text, SharedPool())
+                    .status();
+    } else {
+      record.op = JournalOp::kRemove;
+      applied = state->maintainer->RemoveDocument(arg, SharedPool());
+    }
+    if (!applied.ok()) {
+      return Status(applied.code(),
+                    command + " " + arg + ": " + applied.message());
+    }
+    record.generation = state->maintainer->generation();
+    QOF_RETURN_IF_ERROR(AppendJournalRecord(dir, record));
+  }
+  MaintainStats stats = state->maintainer->stats();
+  std::cout << command << " applied to " << args.size()
+            << " file(s); generation " << stats.generation << ", "
+            << stats.tombstones << " tombstone(s), " << stats.dead_bytes
+            << " dead byte(s)"
+            << (state->maintainer->NeedsCompaction()
+                    ? " — run 'qof_index compact'"
+                    : "")
+            << "\n";
+  return Status::OK();
+}
+
+Status RunCompact(const std::string& dir) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state, LoadState(dir));
+  uint64_t dead = state->maintainer->stats().dead_bytes;
+  QOF_RETURN_IF_ERROR(state->maintainer->Compact(SharedPool()));
+  QOF_ASSIGN_OR_RETURN(
+      std::string blob,
+      SerializeIndexes(state->built, state->spec, state->corpus,
+                       state->maintainer->generation()));
+  Paths paths = PathsFor(dir);
+  QOF_RETURN_IF_ERROR(WriteFile(paths.blob, blob));
+  QOF_RETURN_IF_ERROR(WriteFile(paths.journal, JournalHeader()));
+  std::cout << "compacted: reclaimed " << dead
+            << " dead byte(s); blob rewritten at generation "
+            << state->maintainer->generation() << ", journal reset\n";
+  return Status::OK();
+}
+
+Status RunInspect(const std::string& dir) {
+  Paths paths = PathsFor(dir);
+  QOF_ASSIGN_OR_RETURN(std::string blob, ReadFile(paths.blob));
+  QOF_ASSIGN_OR_RETURN(BlobInfo info, ReadBlobInfo(blob));
+  std::cout << "blob: v" << info.version << ", " << blob.size()
+            << " bytes, generation " << info.generation << ", "
+            << info.docs.size() << " document(s)\n";
+  for (const DocFingerprint& doc : info.docs) {
+    std::cout << "  " << doc.name << "  " << doc.size << " bytes\n";
+  }
+
+  QOF_ASSIGN_OR_RETURN(std::string journal_bytes, ReadFile(paths.journal));
+  QOF_ASSIGN_OR_RETURN(ParsedJournal journal, ParseJournal(journal_bytes));
+  std::cout << "journal: " << journal.records.size() << " record(s)"
+            << (journal.truncated_tail ? " + torn tail" : "") << "\n";
+  for (const JournalRecord& record : journal.records) {
+    const char* op = record.op == JournalOp::kAdd      ? "add"
+                     : record.op == JournalOp::kUpdate ? "update"
+                                                       : "remove";
+    std::cout << "  gen " << record.generation << ": " << op << " "
+              << record.name << " (" << record.text.size() << " bytes)\n";
+  }
+
+  auto state = LoadState(dir);
+  if (!state.ok()) {
+    std::cout << "state: UNRECOVERABLE — " << state.status().ToString()
+              << "\n";
+    return Status::OK();
+  }
+  MaintainStats stats = (*state)->maintainer->stats();
+  std::cout << "state: generation " << stats.generation << ", "
+            << stats.live_documents << " live document(s), "
+            << stats.tombstones << " tombstone(s), " << stats.dead_bytes
+            << " dead byte(s)\n";
+  for (const std::string& name : (*state)->synthetic_names) {
+    std::cout << "  stale on disk: " << name
+              << " (update or remove before compacting)\n";
+  }
+  if ((*state)->maintainer->NeedsCompaction()) {
+    std::cout << "compaction due: run 'qof_index compact'\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace qof
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    qof::PrintUsage(std::cerr);
+    return 2;
+  }
+  std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    qof::PrintUsage(std::cout);
+    return 0;
+  }
+
+  std::string dir;
+  std::string schema_kind;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--index" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--schema" && i + 1 < argc) {
+      schema_kind = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unrecognized option: " << arg << "\n";
+      qof::PrintUsage(std::cerr);
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "missing --index DIR\n";
+    qof::PrintUsage(std::cerr);
+    return 2;
+  }
+
+  qof::Status status = qof::Status::OK();
+  if (command == "build") {
+    if (schema_kind.empty() || args.empty()) {
+      std::cerr << "build wants --schema KIND and at least one file\n";
+      return 2;
+    }
+    status = qof::RunBuild(dir, schema_kind, args);
+  } else if (command == "add" || command == "update" ||
+             command == "remove") {
+    if (args.empty()) {
+      std::cerr << command << " wants at least one file\n";
+      return 2;
+    }
+    status = qof::RunMutate(dir, command, args);
+  } else if (command == "compact") {
+    status = qof::RunCompact(dir);
+  } else if (command == "inspect") {
+    status = qof::RunInspect(dir);
+  } else {
+    std::cerr << "unknown command: " << command << "\n";
+    qof::PrintUsage(std::cerr);
+    return 2;
+  }
+
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
