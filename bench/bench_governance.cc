@@ -1,0 +1,131 @@
+// Resource-governance overhead and responsiveness (src/qof/exec/):
+//
+//   1. Overhead: the per-operator governance checkpoints must be free
+//      when no limits are set (ExecContext stays inactive and every
+//      checked path takes its fast branch) and cheap when generous
+//      limits are armed. Measured on the bench_query_vs_baseline
+//      workloads — index-only, forced two-phase, and baseline — the
+//      no-limit overhead target is < 2%.
+//
+//   2. Responsiveness: a 5 ms deadline on a 20k-reference corpus must
+//      come back promptly (< 25 ms) on every strategy — either the
+//      query finished under the deadline or it returns the typed
+//      kDeadlineExceeded with partial-progress decoration.
+//
+// The corpus is split across many documents: governance checkpoints sit
+// at document granularity in the scan loops, so responsiveness depends
+// on per-document, not whole-corpus, parse time.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+constexpr const char* kFlagship =
+    "SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "
+    "\"Chang\"";
+constexpr int kDocs = 40;
+constexpr int kRefsPerDoc = 500;  // 40 x 500 = 20k references
+
+std::unique_ptr<qof::FileQuerySystem> MakeSystem() {
+  auto schema = qof::BibtexSchema();
+  auto system = std::make_unique<qof::FileQuerySystem>(*schema);
+  for (int d = 0; d < kDocs; ++d) {
+    qof::BibtexGenOptions gen;
+    gen.num_references = kRefsPerDoc;
+    gen.seed = static_cast<uint32_t>(d + 1);
+    gen.probe_author_rate = 0.05;
+    gen.probe_editor_rate = 0.05;
+    if (!system->AddFile("doc" + std::to_string(d) + ".bib",
+                         qof::GenerateBibtex(gen))
+             .ok()) {
+      std::fprintf(stderr, "bench fixture setup failed\n");
+      std::abort();
+    }
+  }
+  if (!system->BuildIndexes(qof::IndexSpec::Full()).ok()) {
+    std::fprintf(stderr, "bench index build failed\n");
+    std::abort();
+  }
+  return system;
+}
+
+struct Workload {
+  const char* name;
+  qof::ExecutionMode mode;
+  int runs;  // more runs for fast strategies to tame timer noise
+};
+
+double RunOnce(qof::FileQuerySystem& system, qof::ExecutionMode mode,
+               const qof::QueryOptions& options, int runs) {
+  return qof_bench::MedianMicros(runs, [&] {
+    auto result = system.Execute(kFlagship, mode, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "governed query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  auto system = MakeSystem();
+  system->SetParallelism(1);
+
+  const std::vector<Workload> workloads = {
+      {"index-only", qof::ExecutionMode::kIndexOnly, 31},
+      {"two-phase", qof::ExecutionMode::kTwoPhase, 15},
+      {"baseline", qof::ExecutionMode::kBaseline, 5},
+  };
+
+  // Generous limits: every checkpoint runs, none ever trips.
+  qof::QueryOptions generous;
+  generous.deadline_ms = 60 * 60 * 1000;
+  generous.max_bytes = 1ull << 60;
+  generous.max_regions = 1ull << 60;
+
+  std::printf("governance overhead, %d refs in %d documents (%s)\n",
+              kDocs * kRefsPerDoc, kDocs, kFlagship);
+  std::printf("%-12s %14s %14s %10s\n", "strategy", "ungoverned_us",
+              "governed_us", "overhead");
+  for (const Workload& w : workloads) {
+    double plain = RunOnce(*system, w.mode, qof::QueryOptions(), w.runs);
+    double governed = RunOnce(*system, w.mode, generous, w.runs);
+    std::printf("%-12s %14.1f %14.1f %9.2f%%\n", w.name, plain, governed,
+                (governed - plain) / plain * 100.0);
+  }
+
+  std::printf("\n5 ms deadline responsiveness (target: reply < 25 ms)\n");
+  std::printf("%-12s %12s %s\n", "strategy", "reply_ms", "outcome");
+  for (const Workload& w : workloads) {
+    qof::QueryOptions deadline;
+    deadline.deadline_ms = 5;
+    auto start = std::chrono::steady_clock::now();
+    auto result = system->Execute(kFlagship, w.mode, deadline);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    const char* outcome =
+        result.ok() ? "completed under deadline"
+        : result.status().IsDeadlineExceeded()
+            ? "kDeadlineExceeded (typed)"
+            : "UNEXPECTED ERROR";
+    std::printf("%-12s %12.2f %s\n", w.name, ms, outcome);
+    if (!result.ok() && !result.status().IsDeadlineExceeded()) {
+      std::fprintf(stderr, "unexpected: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (ms >= 25.0) {
+      std::fprintf(stderr, "governed reply took %.2f ms (>= 25 ms)\n", ms);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/util/string_util.h"
 
 namespace qof {
@@ -16,11 +17,19 @@ void Record(EvalStats* stats, const RegionSet& produced) {
 
 }  // namespace
 
+Status ExprEvaluator::Charge(EvalStats* stats,
+                             const RegionSet& produced) const {
+  Record(stats, produced);
+  if (ctx_ != nullptr) return ctx_->ChargeRegions(produced.size());
+  return Status::OK();
+}
+
 Result<RegionSet> ExprEvaluator::Evaluate(const RegionExpr& expr,
                                           EvalStats* stats) const {
   if (index_ == nullptr) {
     return Status::InvalidArgument("evaluator has no region index");
   }
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kAlgebraEval));
   QOF_ASSIGN_OR_RETURN(EvalResult result, Eval(expr, stats));
   // A borrowed result (the expression was a bare region name) is copied
   // once here at the API boundary; every internal leaf lookup is free.
@@ -39,6 +48,9 @@ std::string ExprEvaluator::SourceName(const RegionExpr& expr) {
 
 Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
     const RegionExpr& expr, EvalStats* stats) const {
+  // One governance checkpoint per algebra operator: operators are the
+  // natural unit of progress for index plans.
+  if (ctx_ != nullptr) QOF_RETURN_IF_ERROR(ctx_->Check());
   switch (expr.kind()) {
     case ExprKind::kName: {
       QOF_ASSIGN_OR_RETURN(const RegionSet* set, index_->Get(expr.name()));
@@ -55,7 +67,7 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
                       : expr.kind() == ExprKind::kIntersect
                           ? Intersect(l.set(), r.set())
                           : Difference(l.set(), r.set());
-      Record(stats, out);
+      QOF_RETURN_IF_ERROR(Charge(stats, out));
       return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kInnermost:
@@ -65,7 +77,7 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
       RegionSet out = expr.kind() == ExprKind::kInnermost
                           ? Innermost(c.set())
                           : Outermost(c.set());
-      Record(stats, out);
+      QOF_RETURN_IF_ERROR(Charge(stats, out));
       return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kSelectMatches:
@@ -84,7 +96,7 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
       RegionSet out = expr.kind() == ExprKind::kIncluding
                           ? Including(l.set(), r.set())
                           : IncludedIn(l.set(), r.set());
-      Record(stats, out);
+      QOF_RETURN_IF_ERROR(Charge(stats, out));
       return EvalResult::Owned(std::move(out));
     }
     case ExprKind::kDirectlyIncluding:
@@ -122,7 +134,7 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalDirect(
     out = including ? DirectlyIncluding(left, right, index_->Universe())
                     : DirectlyIncluded(left, right, index_->Universe());
   }
-  Record(stats, out);
+  QOF_RETURN_IF_ERROR(Charge(stats, out));
   return EvalResult::Owned(std::move(out));
 }
 
@@ -297,7 +309,7 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
     }
   }
   RegionSet result = RegionSet::FromSortedUnique(std::move(out));
-  Record(stats, result);
+  QOF_RETURN_IF_ERROR(Charge(stats, result));
   return EvalResult::Owned(std::move(result));
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "qof/algebra/expr.h"
+#include "qof/exec/exec_context.h"
 #include "qof/region/region_index.h"
 #include "qof/region/region_set.h"
 #include "qof/text/corpus.h"
@@ -48,14 +49,19 @@ enum class DirectAlgorithm {
 class ExprEvaluator {
  public:
   /// `word_index` may be null if the expression uses no selections;
-  /// `corpus` may be null if it uses no phrase selections.
+  /// `corpus` may be null if it uses no phrase selections. `ctx`
+  /// (optional, borrowed) is polled once per operator and charged for
+  /// every intermediate region produced, making index-plan evaluation
+  /// deadline-aware and budget-bounded.
   ExprEvaluator(const RegionIndex* region_index,
                 const WordIndex* word_index, const Corpus* corpus,
-                DirectAlgorithm direct = DirectAlgorithm::kFast)
+                DirectAlgorithm direct = DirectAlgorithm::kFast,
+                const ExecContext* ctx = nullptr)
       : index_(region_index),
         words_(word_index),
         corpus_(corpus),
-        direct_(direct) {}
+        direct_(direct),
+        ctx_(ctx) {}
 
   /// Evaluates `expr`; accumulates statistics into `stats` if non-null.
   Result<RegionSet> Evaluate(const RegionExpr& expr,
@@ -76,6 +82,9 @@ class ExprEvaluator {
   };
 
   Result<EvalResult> Eval(const RegionExpr& expr, EvalStats* stats) const;
+  /// Records `produced` into stats and charges it against the region
+  /// budget; fails with kBudgetExhausted once the budget is blown.
+  Status Charge(EvalStats* stats, const RegionSet& produced) const;
   Result<EvalResult> EvalSelect(const RegionExpr& expr,
                                 EvalStats* stats) const;
   Result<EvalResult> EvalDirect(const RegionExpr& expr,
@@ -91,6 +100,7 @@ class ExprEvaluator {
   const WordIndex* words_;
   const Corpus* corpus_;
   DirectAlgorithm direct_;
+  const ExecContext* ctx_ = nullptr;
 };
 
 }  // namespace qof

@@ -22,23 +22,43 @@ void CollectViewNodes(const ParseNode& node, SymbolId view,
 Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
                                    const Corpus& corpus,
                                    const SelectQuery& query,
-                                   const Rig& full_rig,
-                                   ObjectStore* store) {
+                                   const Rig& full_rig, ObjectStore* store,
+                                   const ExecContext* ctx, bool soft_fail) {
   BaselineResult result;
   // Diagnose malformed paths before scanning: lazy AND/OR evaluation
   // could otherwise mask them on data where the sibling predicate
   // already decides, and plan kinds must agree on which queries error.
   QOF_RETURN_IF_ERROR(
       ValidateQueryPaths(query, full_rig, schema.view_name()));
-  SchemaParser parser(&schema);
+  SchemaParser parser(&schema, ctx);
   for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
     if (!corpus.is_live(doc)) continue;
+    if (ctx != nullptr) {
+      Status limit = ctx->Check();
+      if (!limit.ok()) {
+        if (!soft_fail) return limit;
+        // Soft fail: keep the documents fully verified so far.
+        result.truncated = true;
+        result.interrupted = limit;
+        return result;
+      }
+    }
     TextPos begin = corpus.document_start(doc);
     TextPos end = corpus.document_end(doc);
     // The baseline scans the document text to parse it.
     std::string_view text = corpus.ScanText(begin, end);
     auto tree = parser.ParseDocument(text, begin);
     if (!tree.ok()) {
+      // A governance interrupt mid-parse is not a document defect.
+      if (IsGovernanceError(tree.status())) {
+        if (!soft_fail) return tree.status();
+        result.truncated = true;
+        result.interrupted = tree.status();
+        return result;
+      }
+      if (tree.status().code() != StatusCode::kParseError) {
+        return tree.status();
+      }
       return Status::ParseError("document '" + corpus.document_name(doc) +
                                 "': " + tree.status().message());
     }

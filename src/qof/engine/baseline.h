@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "qof/db/object_store.h"
+#include "qof/exec/exec_context.h"
 #include "qof/query/ast.h"
 #include "qof/region/region.h"
 #include "qof/rig/rig.h"
@@ -21,6 +22,10 @@ struct BaselineResult {
   /// Projected values when the query has a target path.
   std::vector<Value> projected;
   uint64_t objects_built = 0;
+  /// Soft-fail mode only: a governance limit tripped mid-scan and the
+  /// result holds the documents verified before `interrupted`.
+  bool truncated = false;
+  Status interrupted;
 };
 
 /// The "standard database implementation" of §1/§4.1: scan and parse the
@@ -28,10 +33,15 @@ struct BaselineResult {
 /// evaluate the query over the objects. This is the comparator the
 /// paper's speedups are measured against; all its text reads go through
 /// Corpus::ScanText and show up in bytes_read().
+/// `ctx` (optional) is checked per document (and inside document parses);
+/// a tripped limit returns the typed error — or, with `soft_fail`, the
+/// per-document-complete prefix scanned so far with `truncated` set.
 Result<BaselineResult> RunBaseline(const StructuringSchema& schema,
                                    const Corpus& corpus,
                                    const SelectQuery& query,
-                                   const Rig& full_rig, ObjectStore* store);
+                                   const Rig& full_rig, ObjectStore* store,
+                                   const ExecContext* ctx = nullptr,
+                                   bool soft_fail = false);
 
 }  // namespace qof
 

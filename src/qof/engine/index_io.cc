@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/util/wire.h"
 
 namespace qof {
@@ -12,7 +13,14 @@ namespace {
 
 constexpr char kMagicV1[] = "QOFIDX1\n";
 constexpr char kMagicV2[] = "QOFIDX2\n";
+constexpr char kMagicV3[] = "QOFIDX3\n";
 constexpr size_t kMagicLen = 8;
+
+// v3 header: magic | generation u64 | payload checksum u64. The checksum
+// covers everything after the header (doc table + body) but not the
+// generation, so blobs that differ only in maintenance history still
+// byte-compare after StripGeneration-style zeroing of bytes [8, 16).
+constexpr size_t kV3HeaderLen = kMagicLen + 16;
 
 bool HasMagic(std::string_view blob, const char* magic) {
   return blob.size() >= kMagicLen &&
@@ -201,6 +209,21 @@ std::string JoinStale(const std::vector<std::string>& stale) {
   return out;
 }
 
+/// Reads the u64 checksum field of a v3 header and verifies it against
+/// the payload. A mismatch means the blob was damaged after it was
+/// written — a bit flip anywhere in the doc table or index body is
+/// caught here, before any of it is decoded.
+Status VerifyPayloadChecksum(std::string_view blob, WireReader* reader) {
+  QOF_ASSIGN_OR_RETURN(uint64_t expected, reader->U64());
+  if (blob.size() < kV3HeaderLen ||
+      Fnv1a(blob.substr(kV3HeaderLen)) != expected) {
+    return Status::InvalidArgument(
+        "index blob corrupt (payload checksum mismatch); rebuild the "
+        "indexes");
+  }
+  return Status::OK();
+}
+
 Result<SerializedIndexes> DeserializeV1(std::string_view blob,
                                         std::string_view corpus_text) {
   WireReader reader(blob.substr(kMagicLen), "index blob");
@@ -225,6 +248,7 @@ uint64_t CorpusFingerprint(std::string_view text) { return Fnv1a(text); }
 Result<std::string> SerializeIndexes(const BuiltIndexes& built,
                                      const IndexSpec& spec,
                                      std::string_view corpus_text) {
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexIoSerialize));
   QOF_RETURN_IF_ERROR(CheckSerializable(spec));
   std::string out;
   out.append(kMagicV1, kMagicLen);
@@ -238,36 +262,46 @@ Result<std::string> SerializeIndexes(const BuiltIndexes& built,
                                      const IndexSpec& spec,
                                      const Corpus& corpus,
                                      uint64_t generation) {
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexIoSerialize));
   QOF_RETURN_IF_ERROR(CheckSerializable(spec));
   if (corpus.fragmented()) {
     return Status::InvalidArgument(
         "corpus has tombstoned spans — compact before serializing "
         "(blob offsets must describe a dense layout)");
   }
-  std::string out;
-  out.append(kMagicV2, kMagicLen);
-  PutU64(generation, &out);
-  PutU32(static_cast<uint32_t>(corpus.num_documents()), &out);
+  // Doc table + body are assembled first so the header can carry their
+  // checksum.
+  std::string payload;
+  PutU32(static_cast<uint32_t>(corpus.num_documents()), &payload);
   for (DocId id = 0; id < corpus.num_documents(); ++id) {
     TextPos begin = corpus.document_start(id);
     std::string_view text = corpus.RawText(begin, corpus.document_end(id));
-    PutString(corpus.document_name(id), &out);
-    PutU64(text.size(), &out);
-    PutU64(Fnv1a(text), &out);
+    PutString(corpus.document_name(id), &payload);
+    PutU64(text.size(), &payload);
+    PutU64(Fnv1a(text), &payload);
   }
-  QOF_RETURN_IF_ERROR(AppendBody(built, spec, &out));
+  QOF_RETURN_IF_ERROR(AppendBody(built, spec, &payload));
+  std::string out;
+  out.reserve(kV3HeaderLen + payload.size());
+  out.append(kMagicV3, kMagicLen);
+  PutU64(generation, &out);
+  PutU64(Fnv1a(payload), &out);
+  out += payload;
   return out;
 }
 
 Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
                                              std::string_view corpus_text) {
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexIoDeserialize));
   if (HasMagic(blob, kMagicV1)) return DeserializeV1(blob, corpus_text);
-  if (!HasMagic(blob, kMagicV2)) {
+  const bool v3 = HasMagic(blob, kMagicV3);
+  if (!v3 && !HasMagic(blob, kMagicV2)) {
     return Status::InvalidArgument("not a qof index blob (bad magic)");
   }
   WireReader reader(blob.substr(kMagicLen), "index blob");
   SerializedIndexes out;
   QOF_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  if (v3) QOF_RETURN_IF_ERROR(VerifyPayloadChecksum(blob, &reader));
   QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
                        DecodeDocTable(&reader));
   ImpliedLayout layout = LayoutOf(docs);
@@ -297,6 +331,7 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
 Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
                                              const Corpus& corpus,
                                              DeserializeOptions options) {
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexIoDeserialize));
   if (corpus.fragmented()) {
     return Status::InvalidArgument(
         "corpus has tombstoned spans; compact before loading indexes");
@@ -304,12 +339,14 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
   if (HasMagic(blob, kMagicV1)) {
     return DeserializeV1(blob, corpus.full_text());
   }
-  if (!HasMagic(blob, kMagicV2)) {
+  const bool v3 = HasMagic(blob, kMagicV3);
+  if (!v3 && !HasMagic(blob, kMagicV2)) {
     return Status::InvalidArgument("not a qof index blob (bad magic)");
   }
   WireReader reader(blob.substr(kMagicLen), "index blob");
   SerializedIndexes out;
   QOF_ASSIGN_OR_RETURN(out.generation, reader.U64());
+  if (v3) QOF_RETURN_IF_ERROR(VerifyPayloadChecksum(blob, &reader));
   QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
                        DecodeDocTable(&reader));
 
@@ -368,12 +405,14 @@ Result<BlobInfo> ReadBlobInfo(std::string_view blob) {
     info.version = 1;
     return info;
   }
-  if (!HasMagic(blob, kMagicV2)) {
+  const bool v3 = HasMagic(blob, kMagicV3);
+  if (!v3 && !HasMagic(blob, kMagicV2)) {
     return Status::InvalidArgument("not a qof index blob (bad magic)");
   }
-  info.version = 2;
+  info.version = v3 ? 3 : 2;
   WireReader reader(blob.substr(kMagicLen), "index blob");
   QOF_ASSIGN_OR_RETURN(info.generation, reader.U64());
+  if (v3) QOF_RETURN_IF_ERROR(VerifyPayloadChecksum(blob, &reader));
   QOF_ASSIGN_OR_RETURN(info.docs, DecodeDocTable(&reader));
   return info;
 }

@@ -17,14 +17,19 @@ namespace qof {
 /// a pre-processing service; persisting its output lets a session reuse
 /// it without re-parsing the corpus).
 ///
-/// Two little-endian formats share the spec/region/word body encoding:
+/// Three little-endian formats share the spec/region/word body encoding:
 ///
 ///   v1 "QOFIDX1\n" — corpus size + whole-corpus FNV-1a fingerprint.
 ///     Legacy; still read, no longer written by the system.
 ///   v2 "QOFIDX2\n" — maintenance generation + a per-document table of
 ///     (name, size, fingerprint). Staleness is diagnosed per document
 ///     ("which files changed"), and the table is what the maintenance
-///     journal (src/qof/maintain/) replays against.
+///     journal (src/qof/maintain/) replays against. Read-only.
+///   v3 "QOFIDX3\n" — v2 plus a header FNV-1a checksum over the payload
+///     (doc table + body), so a blob damaged at rest fails loudly at
+///     load instead of deserializing flipped postings. The generation
+///     stays outside the checksum: zeroing bytes [8, 16) still makes
+///     blobs from different maintenance histories byte-comparable.
 ///
 /// A WordIndexOptions::token_filter is code and cannot round-trip; specs
 /// using one must rebuild instead of loading.

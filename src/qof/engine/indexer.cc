@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/parse/parser.h"
 #include "qof/parse/region_extractor.h"
 #include "qof/util/thread_pool.h"
@@ -12,6 +13,9 @@ namespace qof {
 namespace {
 
 Status ParseFailure(const Corpus& corpus, DocId doc, const Status& status) {
+  // Governance interrupts and injected faults keep their code; only real
+  // parse failures get the per-document decoration.
+  if (status.code() != StatusCode::kParseError) return status;
   return Status::ParseError("document '" + corpus.document_name(doc) +
                             "': " + status.message());
 }
@@ -23,30 +27,45 @@ Status ParseFailure(const Corpus& corpus, DocId doc, const Status& status) {
 Status ParallelRegionPass(const StructuringSchema& schema,
                           const Corpus& corpus,
                           const ExtractionFilter& filter, ThreadPool* pool,
-                          BuiltIndexes* built) {
+                          const ExecContext* ctx, BuiltIndexes* built) {
   const size_t num_docs = corpus.num_documents();
-  SchemaParser parser(&schema);
+  SchemaParser parser(&schema, ctx);
   std::vector<std::map<std::string, std::vector<Region>>> collected(
       num_docs);
   std::vector<Status> statuses(num_docs, Status::OK());
-  pool->ParallelFor(num_docs, [&](int, size_t d) {
-    DocId doc = static_cast<DocId>(d);
-    if (!corpus.is_live(doc)) return;  // tombstoned span — nothing to index
-    TextPos begin = corpus.document_start(doc);
-    TextPos end = corpus.document_end(doc);
-    auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
-    if (!tree.ok()) {
-      statuses[d] = tree.status();
-      return;
-    }
-    CollectRegions(schema, **tree, filter, &collected[d]);
-  });
+  pool->ParallelFor(
+      num_docs,
+      [&](int, size_t d) {
+        DocId doc = static_cast<DocId>(d);
+        if (!corpus.is_live(doc)) return;  // tombstoned — nothing to index
+        Status fault = MaybeInjectFault(fault_site::kIndexerBuild);
+        if (!fault.ok()) {
+          statuses[d] = fault;
+          return;
+        }
+        TextPos begin = corpus.document_start(doc);
+        TextPos end = corpus.document_end(doc);
+        auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
+        if (!tree.ok()) {
+          statuses[d] = tree.status();
+          return;
+        }
+        CollectRegions(schema, **tree, filter, &collected[d]);
+      },
+      ctx != nullptr ? ctx->stop_flag() : nullptr);
   // Scan in document order so the reported error is the same one the
   // serial build would have hit first.
   for (size_t d = 0; d < num_docs; ++d) {
     if (!statuses[d].ok()) {
       return ParseFailure(corpus, static_cast<DocId>(d), statuses[d]);
     }
+  }
+  // An early stop may have left documents unclaimed with no per-document
+  // status recorded; re-derive the governance error rather than letting
+  // a partially built index escape.
+  if (ctx != nullptr && ctx->stopped()) {
+    QOF_RETURN_IF_ERROR(ctx->Check());
+    return Status::Internal("index build stopped without a recorded cause");
   }
   std::map<std::string, std::vector<Region>> merged;
   for (auto& doc : collected) {
@@ -71,17 +90,20 @@ Status ParallelRegionPass(const StructuringSchema& schema,
 
 Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
                                   const Corpus& corpus,
-                                  const IndexSpec& spec, ThreadPool* pool) {
+                                  const IndexSpec& spec, ThreadPool* pool,
+                                  const ExecContext* ctx) {
   auto start = std::chrono::steady_clock::now();
   BuiltIndexes built;
   ExtractionFilter filter = spec.ToFilter();
   if (pool != nullptr && pool->size() > 1 && corpus.num_documents() > 1) {
     QOF_RETURN_IF_ERROR(
-        ParallelRegionPass(schema, corpus, filter, pool, &built));
+        ParallelRegionPass(schema, corpus, filter, pool, ctx, &built));
   } else {
-    SchemaParser parser(&schema);
+    SchemaParser parser(&schema, ctx);
     for (DocId doc = 0; doc < corpus.num_documents(); ++doc) {
       if (!corpus.is_live(doc)) continue;
+      if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
+      QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexerBuild));
       TextPos begin = corpus.document_start(doc);
       TextPos end = corpus.document_end(doc);
       auto tree = parser.ParseDocument(corpus.RawText(begin, end), begin);
@@ -100,6 +122,9 @@ Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
       if (!built.regions.Has(name)) built.regions.Add(name, RegionSet());
     }
   }
+  // Checkpoint between the two passes; the word pass itself is a
+  // non-interruptible tail (it is the cheaper of the two).
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   built.words = WordIndex::Build(corpus, spec.word_options, pool);
   built.build_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "qof/engine/index_spec.h"
+#include "qof/exec/exec_context.h"
 #include "qof/region/region_index.h"
 #include "qof/text/corpus.h"
 #include "qof/text/word_index.h"
@@ -25,11 +26,15 @@ struct BuiltIndexes {
 
 /// When `pool` is non-null with more than one worker, documents are
 /// parsed and tokenized in parallel; the merge is deterministic, so the
-/// built indexes are identical to a serial build's.
+/// built indexes are identical to a serial build's. `ctx` (optional,
+/// borrowed) makes the build interruptible: a tripped deadline or
+/// cancellation aborts the whole build with a typed error — no partial
+/// BuiltIndexes ever escapes.
 Result<BuiltIndexes> BuildIndexes(const StructuringSchema& schema,
                                   const Corpus& corpus,
                                   const IndexSpec& spec,
-                                  ThreadPool* pool = nullptr);
+                                  ThreadPool* pool = nullptr,
+                                  const ExecContext* ctx = nullptr);
 
 }  // namespace qof
 

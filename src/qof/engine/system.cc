@@ -26,6 +26,21 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Decorates a governance error with partial-progress stats so a caller
+/// that hit a limit knows how far execution got. Other codes pass through.
+Status WithProgress(const Status& status, const char* phase,
+                    const Corpus& corpus, const ExecContext* ctx) {
+  if (!IsGovernanceError(status)) return status;
+  std::string msg = status.message() + " [" + phase + ": " +
+                    std::to_string(corpus.bytes_read()) + " bytes scanned";
+  if (ctx != nullptr && ctx->regions_charged() > 0) {
+    msg += ", " + std::to_string(ctx->regions_charged()) +
+           " index regions materialized";
+  }
+  msg += "]";
+  return Status(status.code(), std::move(msg));
+}
+
 }  // namespace
 
 std::vector<std::string> QueryResult::RenderedValues() const {
@@ -49,28 +64,41 @@ FileQuerySystem::FileQuerySystem(StructuringSchema schema)
   }
 }
 
-Status FileQuerySystem::AddFile(std::string name, std::string_view text) {
+Status FileQuerySystem::AddFile(std::string name, std::string_view text,
+                                const QueryOptions& options) {
+  ExecContext governed(options);
+  const ExecContext* ctx = governed.active() ? &governed : nullptr;
   if (maintainer_ != nullptr) {
     return maintainer_
-        ->AddDocument(std::move(name), text, EnsurePool(parallelism_))
+        ->AddDocument(std::move(name), text, EnsurePool(parallelism_), ctx)
         .status();
   }
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   return corpus_.AddDocument(std::move(name), text).status();
 }
 
 Status FileQuerySystem::UpdateFile(std::string_view name,
-                                   std::string_view text) {
+                                   std::string_view text,
+                                   const QueryOptions& options) {
+  ExecContext governed(options);
+  const ExecContext* ctx = governed.active() ? &governed : nullptr;
   if (maintainer_ != nullptr) {
-    return maintainer_->UpdateDocument(name, text, EnsurePool(parallelism_))
+    return maintainer_
+        ->UpdateDocument(name, text, EnsurePool(parallelism_), ctx)
         .status();
   }
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   return corpus_.ReplaceDocument(name, text).status();
 }
 
-Status FileQuerySystem::RemoveFile(std::string_view name) {
+Status FileQuerySystem::RemoveFile(std::string_view name,
+                                   const QueryOptions& options) {
+  ExecContext governed(options);
+  const ExecContext* ctx = governed.active() ? &governed : nullptr;
   if (maintainer_ != nullptr) {
-    return maintainer_->RemoveDocument(name, EnsurePool(parallelism_));
+    return maintainer_->RemoveDocument(name, EnsurePool(parallelism_), ctx);
   }
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   return corpus_.RemoveDocument(name).status();
 }
 
@@ -183,25 +211,31 @@ Result<std::string> FileQuerySystem::Explain(std::string_view fql) const {
 }
 
 Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
-                                             ExecutionMode mode) {
+                                             ExecutionMode mode,
+                                             const QueryOptions& options) {
   QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
-  return ExecuteQuery(query, mode);
+  return ExecuteQuery(query, mode, options);
 }
 
 Result<QueryResult> FileQuerySystem::RunBaselinePlan(
-    const SelectQuery& query) {
+    const SelectQuery& query, const ExecContext* ctx, bool soft_fail) {
   Timer timer;
-  corpus_.ResetBytesRead();
   QueryResult result;
   result.stats.corpus_bytes = corpus_.size();
   ObjectStore store;
   QOF_ASSIGN_OR_RETURN(
       BaselineResult baseline,
-      RunBaseline(schema_, corpus_, query, full_rig_, &store));
+      RunBaseline(schema_, corpus_, query, full_rig_, &store, ctx,
+                  soft_fail));
   result.regions = std::move(baseline.regions);
   result.values = std::move(baseline.projected);
   result.stats.strategy = "baseline";
-  result.stats.exact = true;
+  result.stats.exact = !baseline.truncated;
+  result.stats.truncated = baseline.truncated;
+  if (baseline.truncated) {
+    result.stats.notes.push_back("result truncated: " +
+                                 baseline.interrupted.message());
+  }
   result.stats.objects_built = baseline.objects_built;
   result.stats.results = result.regions.size();
   result.stats.bytes_scanned = corpus_.bytes_read();
@@ -210,16 +244,28 @@ Result<QueryResult> FileQuerySystem::RunBaselinePlan(
 }
 
 Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
-                                                  ExecutionMode mode) {
+                                                  ExecutionMode mode,
+                                                  const QueryOptions& options) {
   QOF_RETURN_IF_ERROR(CheckView(query.view));
+
+  // Arm governance. With no limits set `ctx` stays null and every checked
+  // path below takes its pre-governance fast path.
+  ExecContext governed(options);
+  const ExecContext* ctx = nullptr;
+  if (governed.active()) {
+    governed.set_scanned_bytes_counter(&corpus_.bytes_read_counter());
+    ctx = &governed;
+  }
+  corpus_.ResetBytesRead();
 
   // The baseline needs no indices at all.
   if (mode == ExecutionMode::kBaseline) {
-    return RunBaselinePlan(query);
+    auto out = RunBaselinePlan(query, ctx, options.soft_fail);
+    if (!out.ok()) return WithProgress(out.status(), "baseline", corpus_, ctx);
+    return out;
   }
 
   Timer timer;
-  corpus_.ResetBytesRead();
   QueryResult result;
   result.stats.corpus_bytes = corpus_.size();
 
@@ -246,6 +292,21 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
     return result;
   }
 
+  // Baseline fallback shared by the view-not-indexed case and the bottom
+  // rung of the degradation ladder: the query is already parsed and
+  // view-checked, and the accumulated notes (ending in the fallback
+  // decision) come before any notes the plan itself adds.
+  auto run_baseline_fallback = [&]() -> Result<QueryResult> {
+    auto fallback = RunBaselinePlan(query, ctx, options.soft_fail);
+    if (!fallback.ok()) {
+      return WithProgress(fallback.status(), "baseline", corpus_, ctx);
+    }
+    fallback->stats.notes.insert(fallback->stats.notes.begin(),
+                                 result.stats.notes.begin(),
+                                 result.stats.notes.end());
+    return fallback;
+  };
+
   if (!plan.view_indexed) {
     if (mode == ExecutionMode::kIndexOnly ||
         mode == ExecutionMode::kTwoPhase) {
@@ -254,53 +315,97 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
           "answer this query");
     }
     result.stats.notes.push_back("auto: baseline (view not indexed)");
-    // The query is already parsed and view-checked; run the baseline
-    // plan directly. The compiler's notes (ending in the fallback
-    // decision) come before any notes the plan itself adds.
-    QOF_ASSIGN_OR_RETURN(QueryResult fallback, RunBaselinePlan(query));
-    fallback.stats.notes.insert(fallback.stats.notes.begin(),
-                                result.stats.notes.begin(),
-                                result.stats.notes.end());
-    return fallback;
+    return run_baseline_fallback();
   }
-
-  // Phase 1: evaluate the candidate expression on the indices.
-  ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_);
-  QOF_ASSIGN_OR_RETURN(
-      RegionSet candidates,
-      evaluator.Evaluate(*plan.candidates, &result.stats.algebra));
-  result.stats.candidates = candidates.size();
 
   const bool wants_projection = query.IsProjection();
   const bool index_serves_projection =
       !wants_projection || plan.projection != nullptr;
 
+  // Graceful degradation (kAuto only): a corrupt or missing index
+  // mid-plan (kInternal / kNotFound) or a region budget blown by
+  // index-side materialization falls back one rung of the ladder
+  //   index strategy -> two-phase -> baseline
+  // with a note naming the trigger. Deadline, cancellation and the byte
+  // budget never degrade: a cheaper strategy cannot refund wall-clock
+  // time or bytes already scanned.
+  auto degradable = [&](const Status& status) {
+    if (mode != ExecutionMode::kAuto) return false;
+    if (status.code() == StatusCode::kInternal ||
+        status.code() == StatusCode::kNotFound) {
+      return true;
+    }
+    return status.IsBudgetExhausted() && ctx != nullptr &&
+           ctx->regions_exhausted();
+  };
+  auto degrade_to = [&](const char* rung, const Status& status) {
+    result.stats.notes.push_back(std::string("degraded to ") + rung + ": " +
+                                 status.message());
+    governed.ResetForFallback();
+  };
+
+  // Phase 1: evaluate the candidate expression on the indices.
+  ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_,
+                          DirectAlgorithm::kFast, ctx);
+  RegionSet candidates;
+  {
+    auto cand = evaluator.Evaluate(*plan.candidates, &result.stats.algebra);
+    if (!cand.ok()) {
+      // No index-backed rung can run without candidates (two-phase needs
+      // them too): kAuto degrades straight to the baseline.
+      if (!degradable(cand.status())) {
+        return WithProgress(cand.status(), "phase-1 candidates", corpus_,
+                            ctx);
+      }
+      degrade_to("baseline", cand.status());
+      return run_baseline_fallback();
+    }
+    candidates = std::move(*cand);
+  }
+  result.stats.candidates = candidates.size();
+
+  bool index_rung_degraded = false;
   if (plan.exact && index_serves_projection &&
       mode != ExecutionMode::kTwoPhase) {
     // Full computation on the indexing engine (§5): no parsing at all.
-    result.regions.assign(candidates.begin(), candidates.end());
+    // Built into locals and committed only on success, so a degradation
+    // leaves `result` clean for the next rung.
+    Status rung = Status::OK();
+    std::vector<Value> values;
     if (wants_projection) {
-      QOF_ASSIGN_OR_RETURN(
-          RegionSet attrs,
-          evaluator.Evaluate(*plan.projection, &result.stats.algebra));
-      RegionSet within = IncludedIn(attrs, candidates);
-      result.regions.assign(candidates.begin(), candidates.end());
-      std::vector<Value> values;
-      for (const Region& r : within) {
-        values.push_back(
-            Value::Str(std::string(corpus_.ScanText(r.start, r.end))));
+      auto attrs =
+          evaluator.Evaluate(*plan.projection, &result.stats.algebra);
+      if (!attrs.ok()) {
+        rung = attrs.status();
+      } else {
+        RegionSet within = IncludedIn(*attrs, candidates);
+        for (const Region& r : within) {
+          values.push_back(
+              Value::Str(std::string(corpus_.ScanText(r.start, r.end))));
+        }
       }
-      result.values = std::move(values);
-      result.stats.notes.push_back(
-          "projection served by region index (attribute text reads only)");
     }
-    result.stats.strategy = "index-only";
-    result.stats.exact = true;
-    result.stats.results =
-        wants_projection ? result.values.size() : result.regions.size();
-    result.stats.bytes_scanned = corpus_.bytes_read();
-    result.stats.micros = timer.Micros();
-    return result;
+    if (rung.ok()) {
+      result.regions.assign(candidates.begin(), candidates.end());
+      if (wants_projection) {
+        result.values = std::move(values);
+        result.stats.notes.push_back(
+            "projection served by region index (attribute text reads "
+            "only)");
+      }
+      result.stats.strategy = "index-only";
+      result.stats.exact = true;
+      result.stats.results =
+          wants_projection ? result.values.size() : result.regions.size();
+      result.stats.bytes_scanned = corpus_.bytes_read();
+      result.stats.micros = timer.Micros();
+      return result;
+    }
+    if (!degradable(rung)) {
+      return WithProgress(rung, "index-only", corpus_, ctx);
+    }
+    degrade_to("two-phase", rung);
+    index_rung_degraded = true;
   }
 
   if (mode == ExecutionMode::kIndexOnly) {
@@ -311,35 +416,68 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
   }
 
   // §5.2 index-assisted join: compare attribute text without parsing.
-  if (plan.index_join && !wants_projection &&
+  // Skipped once an index rung already degraded — the join reads the same
+  // indexes that just failed.
+  if (!index_rung_degraded && plan.index_join && !wants_projection &&
       mode != ExecutionMode::kTwoPhase) {
-    QOF_ASSIGN_OR_RETURN(
-        RegionSet lhs,
-        evaluator.Evaluate(*plan.join_lhs_attrs, &result.stats.algebra));
-    QOF_ASSIGN_OR_RETURN(
-        RegionSet rhs,
-        evaluator.Evaluate(*plan.join_rhs_attrs, &result.stats.algebra));
-    QOF_ASSIGN_OR_RETURN(result.regions,
-                         RunIndexJoin(corpus_, candidates, lhs, rhs));
-    result.stats.strategy = "index-join";
-    result.stats.exact = true;
-    result.stats.results = result.regions.size();
-    result.stats.bytes_scanned = corpus_.bytes_read();
-    result.stats.micros = timer.Micros();
-    return result;
+    Status rung = Status::OK();
+    std::vector<Region> joined;
+    auto lhs =
+        evaluator.Evaluate(*plan.join_lhs_attrs, &result.stats.algebra);
+    if (!lhs.ok()) rung = lhs.status();
+    if (rung.ok()) {
+      auto rhs =
+          evaluator.Evaluate(*plan.join_rhs_attrs, &result.stats.algebra);
+      if (!rhs.ok()) {
+        rung = rhs.status();
+      } else {
+        auto out = RunIndexJoin(corpus_, candidates, *lhs, *rhs);
+        if (!out.ok()) {
+          rung = out.status();
+        } else {
+          joined = std::move(*out);
+        }
+      }
+    }
+    if (rung.ok()) {
+      result.regions = std::move(joined);
+      result.stats.strategy = "index-join";
+      result.stats.exact = true;
+      result.stats.results = result.regions.size();
+      result.stats.bytes_scanned = corpus_.bytes_read();
+      result.stats.micros = timer.Micros();
+      return result;
+    }
+    if (!degradable(rung)) {
+      return WithProgress(rung, "index-join", corpus_, ctx);
+    }
+    degrade_to("two-phase", rung);
   }
 
   // Phase 2 (§6.2): parse candidates, filter in the database.
   ObjectStore store;
-  QOF_ASSIGN_OR_RETURN(
-      TwoPhaseResult two_phase,
+  auto two_phase =
       RunTwoPhase(schema_, corpus_, plan, candidates, full_rig_, &store,
-                  EnsurePool(parallelism_)));
-  result.regions = std::move(two_phase.regions);
-  result.values = std::move(two_phase.projected);
+                  EnsurePool(parallelism_), ctx, options.soft_fail);
+  if (!two_phase.ok()) {
+    if (!degradable(two_phase.status())) {
+      return WithProgress(two_phase.status(), "two-phase", corpus_, ctx);
+    }
+    degrade_to("baseline", two_phase.status());
+    return run_baseline_fallback();
+  }
+  result.regions = std::move(two_phase->regions);
+  result.values = std::move(two_phase->projected);
   result.stats.strategy = "two-phase";
-  result.stats.exact = true;  // after filtering, the answer is exact
-  result.stats.objects_built = two_phase.candidates_parsed;
+  // After filtering the answer is exact — unless soft-fail truncated it
+  // to the verified prefix.
+  result.stats.exact = !two_phase->truncated;
+  result.stats.truncated = two_phase->truncated;
+  if (two_phase->truncated) {
+    result.stats.notes.push_back("result truncated: " +
+                                 two_phase->interrupted.message());
+  }
+  result.stats.objects_built = two_phase->candidates_parsed;
   result.stats.results =
       wants_projection ? result.values.size() : result.regions.size();
   result.stats.bytes_scanned = corpus_.bytes_read();
@@ -366,14 +504,29 @@ Result<std::string> FileQuerySystem::ExportIndexes() {
 }
 
 Status FileQuerySystem::ImportIndexes(std::string_view blob) {
-  QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
-                       DeserializeIndexes(blob, corpus_));
-  built_ = std::make_unique<BuiltIndexes>(std::move(loaded.indexes));
-  spec_ = loaded.spec;
-  compiler_ = std::make_unique<QueryCompiler>(
-      &full_rig_, spec_.IndexedNames(schema_), schema_.view_name(),
-      spec_.within);
-  ResetMaintainer(loaded.generation);
+  // Stage everything the import will install before touching any member:
+  // a corrupt or stale blob (or an injected index_io fault) must leave
+  // previously installed indexes, spec, compiler and maintainer exactly
+  // as they were — still queryable.
+  struct Staged {
+    std::unique_ptr<BuiltIndexes> built;
+    std::unique_ptr<QueryCompiler> compiler;
+    uint64_t generation = 0;
+  } staged;
+  {
+    QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
+                         DeserializeIndexes(blob, corpus_));
+    staged.built = std::make_unique<BuiltIndexes>(std::move(loaded.indexes));
+    staged.compiler = std::make_unique<QueryCompiler>(
+        &full_rig_, loaded.spec.IndexedNames(schema_), schema_.view_name(),
+        loaded.spec.within);
+    staged.generation = loaded.generation;
+    // Commit: nothing past this point can fail.
+    spec_ = std::move(loaded.spec);
+  }
+  built_ = std::move(staged.built);
+  compiler_ = std::move(staged.compiler);
+  ResetMaintainer(staged.generation);
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "qof/compiler/query_compiler.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/exec/exec_context.h"
 #include "qof/maintain/maintainer.h"
 #include "qof/query/parser.h"
 #include "qof/schema/rig_derivation.h"
@@ -42,6 +43,10 @@ struct QueryStats {
   uint64_t objects_built = 0;    // database objects materialized
   EvalStats algebra;             // region-algebra operation counts
   uint64_t micros = 0;
+  /// QueryOptions::soft_fail only: a governance limit tripped and the
+  /// result is the verified prefix, not the full answer (`exact` is false
+  /// and a note records the limit that tripped).
+  bool truncated = false;
   std::vector<std::string> notes;  // compiler + engine decisions
 };
 
@@ -77,16 +82,24 @@ class FileQuerySystem {
   /// the new file is parsed and its contribution spliced in (see
   /// src/qof/maintain/). Queries keep working across mutations and note
   /// the maintenance generation in their stats.
-  Status AddFile(std::string name, std::string_view text);
+  ///
+  /// `options` (here and on Update/Remove) bounds the maintenance work
+  /// the same way it bounds queries: a deadline, cancellation or budget
+  /// trip aborts with the typed error *before* any state changes —
+  /// corpus and indexes stay exactly as they were.
+  Status AddFile(std::string name, std::string_view text,
+                 const QueryOptions& options = {});
 
   /// Replaces a file's text. With built indexes, only this file is
   /// re-parsed; its old contribution is spliced out and the new one in.
   /// Without built indexes the corpus entry is replaced in place.
-  Status UpdateFile(std::string_view name, std::string_view text);
+  Status UpdateFile(std::string_view name, std::string_view text,
+                    const QueryOptions& options = {});
 
   /// Removes a file; with built indexes its contribution is spliced out
   /// (the region names stay registered, possibly with empty instances).
-  Status RemoveFile(std::string_view name);
+  Status RemoveFile(std::string_view name,
+                    const QueryOptions& options = {});
 
   /// Folds tombstoned spans out of the corpus and rebases the indexes —
   /// no re-parsing. After compaction the indexes are byte-identical
@@ -125,10 +138,27 @@ class FileQuerySystem {
   /// index-only; single join predicates with indexed attributes use the
   /// index-assisted join; everything else runs two-phase. kBaseline
   /// always works, indices or not.
+  ///
+  /// `options` governs the execution (see qof/exec/exec_context.h): a
+  /// deadline, cooperative cancellation, and byte / region budgets,
+  /// enforced at document, candidate and algebra-operator granularity on
+  /// every strategy. A tripped limit returns the typed error
+  /// (kDeadlineExceeded / kCancelled / kBudgetExhausted) whose message
+  /// carries partial-progress stats — or, with `options.soft_fail`, the
+  /// verified-so-far prefix with `stats.truncated` set.
+  ///
+  /// Under kAuto the engine also degrades gracefully: a corrupt or
+  /// missing index mid-plan (kInternal / kNotFound) or a region budget
+  /// blown by index-side materialization falls back one rung
+  /// (index strategy -> two-phase -> baseline), appending an explanatory
+  /// note. Deadline, cancellation and the byte budget never degrade — a
+  /// cheaper strategy cannot refund time or bytes already spent.
   Result<QueryResult> Execute(std::string_view fql,
-                              ExecutionMode mode = ExecutionMode::kAuto);
+                              ExecutionMode mode = ExecutionMode::kAuto,
+                              const QueryOptions& options = {});
   Result<QueryResult> ExecuteQuery(const SelectQuery& query,
-                                   ExecutionMode mode);
+                                   ExecutionMode mode,
+                                   const QueryOptions& options = {});
 
   /// The compiled plan for a query (for inspection / tests / benches).
   Result<QueryPlan> Plan(std::string_view fql) const;
@@ -171,7 +201,11 @@ class FileQuerySystem {
 
   /// Installs previously exported indexes (v1 or v2 blobs), skipping the
   /// parse/build step. Fails when the blob does not match the corpus —
-  /// for v2 blobs the error names the stale documents.
+  /// for v2 blobs the error names the stale documents. The import is
+  /// all-or-nothing: the blob is decoded and validated into a staging
+  /// area first, and the system's indexes, spec, compiler and maintainer
+  /// are swapped only after every step succeeded — a corrupt blob leaves
+  /// previously imported (or built) indexes fully intact and queryable.
   Status ImportIndexes(std::string_view blob);
 
  private:
@@ -183,8 +217,12 @@ class FileQuerySystem {
 
   /// The baseline plan body, shared by ExecuteQuery(kBaseline) and the
   /// auto-mode fallback (which has already parsed and view-checked the
-  /// query, so it must not pay for either again).
-  Result<QueryResult> RunBaselinePlan(const SelectQuery& query);
+  /// query, so it must not pay for either again). Does not reset the
+  /// corpus byte counter: the caller owns it, so bytes accumulate across
+  /// fallback rungs and stay monotone for the byte budget.
+  Result<QueryResult> RunBaselinePlan(const SelectQuery& query,
+                                      const ExecContext* ctx,
+                                      bool soft_fail);
 
   /// The shared worker pool, lazily (re)built for `threads` workers;
   /// nullptr when `threads` <= 1 so serial paths take no pool detour.

@@ -1,6 +1,7 @@
 #include "qof/engine/two_phase.h"
 
 #include "qof/engine/condition_eval.h"
+#include "qof/exec/fault_injector.h"
 #include "qof/parse/parser.h"
 #include "qof/parse/value_builder.h"
 
@@ -12,21 +13,38 @@ namespace {
 /// preserves the serial output order exactly.
 struct CandidateOutcome {
   Status status = Status::OK();
+  /// False only when an early stop left the slot unclaimed — such a slot
+  /// must not be read as "candidate filtered out".
+  bool done = false;
   bool keep = false;
   std::vector<Value> projected;
 };
 
+/// Decorates a candidate parse failure; governance interrupts and
+/// injected faults keep their code untouched.
+Status CandidateParseFailure(const Region& candidate, const Status& status) {
+  if (status.code() != StatusCode::kParseError) return status;
+  return Status::ParseError("candidate region " + candidate.ToString() +
+                            ": " + status.message());
+}
+
 void ProcessCandidate(const StructuringSchema& schema, const Corpus& corpus,
                       const SelectQuery& query, const Rig& full_rig,
                       const SchemaParser& parser, const Region& candidate,
-                      ObjectStore* store, CandidateOutcome* out) {
+                      const ExecContext* ctx, ObjectStore* store,
+                      CandidateOutcome* out) {
+  out->done = true;
+  if (ctx != nullptr) {
+    out->status = ctx->Check();
+    if (!out->status.ok()) return;
+  }
+  out->status = MaybeInjectFault(fault_site::kTwoPhaseCandidate);
+  if (!out->status.ok()) return;
   // Parsing a candidate reads its text.
   std::string_view text = corpus.ScanText(candidate.start, candidate.end);
   auto tree = parser.Parse(text, candidate.start, schema.view());
   if (!tree.ok()) {
-    out->status = Status::ParseError("candidate region " +
-                                     candidate.ToString() + ": " +
-                                     tree.status().message());
+    out->status = CandidateParseFailure(candidate, tree.status());
     return;
   }
   auto id = BuildObject(schema, corpus, **tree, store);
@@ -70,9 +88,10 @@ Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
                                    const QueryPlan& plan,
                                    const RegionSet& candidates,
                                    const Rig& full_rig, ObjectStore* store,
-                                   ThreadPool* pool) {
+                                   ThreadPool* pool, const ExecContext* ctx,
+                                   bool soft_fail) {
   TwoPhaseResult result;
-  SchemaParser parser(&schema);
+  SchemaParser parser(&schema, ctx);
   const SelectQuery& query = plan.query;
 
   if (pool != nullptr && pool->size() > 1 && candidates.size() > 1) {
@@ -81,17 +100,38 @@ Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
     // candidate order below, so results match the serial path.
     std::vector<ObjectStore> scratch(static_cast<size_t>(pool->size()));
     std::vector<CandidateOutcome> outcomes(candidates.size());
-    pool->ParallelFor(candidates.size(), [&](int worker, size_t i) {
-      ProcessCandidate(schema, corpus, query, full_rig, parser,
-                       candidates[i], &scratch[worker], &outcomes[i]);
-    });
+    pool->ParallelFor(
+        candidates.size(),
+        [&](int worker, size_t i) {
+          ProcessCandidate(schema, corpus, query, full_rig, parser,
+                           candidates[i], ctx, &scratch[worker],
+                           &outcomes[i]);
+        },
+        ctx != nullptr ? ctx->stop_flag() : nullptr);
+    size_t complete = candidates.size();
     for (size_t i = 0; i < candidates.size(); ++i) {
       // First failing candidate in order — the same error the serial
-      // loop reports.
-      if (!outcomes[i].status.ok()) return outcomes[i].status;
+      // loop reports. A slot left unclaimed by an early stop re-derives
+      // the governance error that tripped the stop flag.
+      Status status = outcomes[i].status;
+      if (status.ok() && !outcomes[i].done) {
+        status = ctx != nullptr ? ctx->Check() : Status::OK();
+        if (status.ok()) {
+          status =
+              Status::Internal("candidate skipped without a recorded cause");
+        }
+      }
+      if (status.ok()) continue;
+      if (soft_fail && IsGovernanceError(status)) {
+        complete = i;
+        result.truncated = true;
+        result.interrupted = status;
+        break;
+      }
+      return status;
     }
-    result.candidates_parsed = candidates.size();
-    for (size_t i = 0; i < candidates.size(); ++i) {
+    result.candidates_parsed = complete;
+    for (size_t i = 0; i < complete; ++i) {
       CandidateOutcome& outcome = outcomes[i];
       if (!outcome.keep) continue;
       result.regions.push_back(candidates[i]);
@@ -104,13 +144,28 @@ Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
   }
 
   for (const Region& candidate : candidates) {
+    if (ctx != nullptr) {
+      Status limit = ctx->Check();
+      if (!limit.ok()) {
+        if (!soft_fail) return limit;
+        result.truncated = true;
+        result.interrupted = limit;
+        return result;
+      }
+    }
+    QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kTwoPhaseCandidate));
     // Parsing a candidate reads its text.
     std::string_view text =
         corpus.ScanText(candidate.start, candidate.end);
     auto tree = parser.Parse(text, candidate.start, schema.view());
     if (!tree.ok()) {
-      return Status::ParseError("candidate region " + candidate.ToString() +
-                                ": " + tree.status().message());
+      if (IsGovernanceError(tree.status())) {
+        if (!soft_fail) return tree.status();
+        result.truncated = true;
+        result.interrupted = tree.status();
+        return result;
+      }
+      return CandidateParseFailure(candidate, tree.status());
     }
     ++result.candidates_parsed;
     QOF_ASSIGN_OR_RETURN(ObjectId id,

@@ -1,0 +1,82 @@
+#include "qof/exec/exec_context.h"
+
+#include <string>
+
+namespace qof {
+
+ExecContext::ExecContext(const QueryOptions& options)
+    : active_(!options.unlimited()),
+      deadline_ms_(options.deadline_ms),
+      max_bytes_(options.max_bytes),
+      max_regions_(options.max_regions),
+      cancel_(options.cancel) {
+  if (deadline_ms_ > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms_);
+  }
+}
+
+Status ExecContext::Check() const {
+  if (!active_) return Status::OK();
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    stop_.store(true, std::memory_order_relaxed);
+    return Status::Cancelled("query cancelled by caller");
+  }
+  if (max_bytes_ > 0 && scanned_bytes_ != nullptr) {
+    uint64_t scanned = scanned_bytes_->load(std::memory_order_relaxed);
+    if (scanned > max_bytes_) {
+      stop_.store(true, std::memory_order_relaxed);
+      return Status::BudgetExhausted(
+          "byte budget exhausted: scanned " + std::to_string(scanned) +
+          " of at most " + std::to_string(max_bytes_) + " bytes");
+    }
+  }
+  if (max_regions_ > 0 &&
+      regions_.load(std::memory_order_relaxed) > max_regions_) {
+    stop_.store(true, std::memory_order_relaxed);
+    regions_exhausted_.store(true, std::memory_order_relaxed);
+    return Status::BudgetExhausted(
+        "region budget exhausted: produced " +
+        std::to_string(regions_.load(std::memory_order_relaxed)) +
+        " of at most " + std::to_string(max_regions_) + " regions");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    stop_.store(true, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("deadline exceeded (" +
+                                    std::to_string(deadline_ms_) + " ms)");
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ChargeRegions(uint64_t n) const {
+  if (!active_ || max_regions_ == 0) return Status::OK();
+  uint64_t total = regions_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (total > max_regions_) {
+    stop_.store(true, std::memory_order_relaxed);
+    regions_exhausted_.store(true, std::memory_order_relaxed);
+    return Status::BudgetExhausted(
+        "region budget exhausted: produced " + std::to_string(total) +
+        " of at most " + std::to_string(max_regions_) + " regions");
+  }
+  return Status::OK();
+}
+
+void ExecContext::ResetForFallback() const {
+  regions_.store(0, std::memory_order_relaxed);
+  regions_exhausted_.store(false, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+}
+
+bool IsGovernanceError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kBudgetExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace qof

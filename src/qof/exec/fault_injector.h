@@ -1,0 +1,101 @@
+#ifndef QOF_EXEC_FAULT_INJECTOR_H_
+#define QOF_EXEC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Canonical fault-site names. Instrumented code calls
+/// MaybeInjectFault(site) at each; the list is the contract the fuzzer
+/// and the governance tests iterate over.
+namespace fault_site {
+inline constexpr const char* kParseDocument = "parse.document";
+inline constexpr const char* kIndexerBuild = "indexer.build";
+inline constexpr const char* kIndexIoSerialize = "index_io.serialize";
+inline constexpr const char* kIndexIoDeserialize = "index_io.deserialize";
+inline constexpr const char* kJournalAppend = "journal.append";
+inline constexpr const char* kJournalReplay = "journal.replay";
+inline constexpr const char* kMaintainAdd = "maintain.add";
+inline constexpr const char* kMaintainUpdate = "maintain.update";
+inline constexpr const char* kMaintainRemove = "maintain.remove";
+inline constexpr const char* kMaintainCompact = "maintain.compact";
+inline constexpr const char* kAlgebraEval = "algebra.eval";
+inline constexpr const char* kTwoPhaseCandidate = "two_phase.candidate";
+}  // namespace fault_site
+
+/// Every registered site name, in a stable order. Tests and the fuzzer's
+/// random-site mode enumerate this.
+const std::vector<std::string>& FaultSites();
+
+/// Deterministic one-shot fault injection. A FaultInjector is installed
+/// process-wide (via Scoped); instrumented code consults it through
+/// MaybeInjectFault(site). The spec names a site and a hit ordinal: the
+/// hit-th time execution passes through that site, the call returns an
+/// injected kInternal error exactly once. All other sites (and later
+/// passes) are recorded but succeed, so a run with a given (site, hit)
+/// pair is reproducible bit-for-bit.
+class FaultInjector {
+ public:
+  struct Spec {
+    std::string site;   // one of FaultSites(); empty = record-only
+    uint64_t hit = 1;   // 1-based ordinal of the pass that fails
+  };
+
+  explicit FaultInjector(Spec spec) : spec_(std::move(spec)) {}
+
+  /// Called by MaybeInjectFault. Records the pass; fails if this is the
+  /// armed site's hit-th pass and the injector has not fired yet.
+  Status Fire(std::string_view site);
+
+  bool fired() const;
+  /// Passes observed per site so far (for tests asserting coverage).
+  std::vector<std::pair<std::string, uint64_t>> observed() const;
+
+  /// Currently installed injector, or nullptr. Lock-free read so the
+  /// uninstrumented (production) path costs one relaxed atomic load.
+  static FaultInjector* Current();
+
+ private:
+  const Spec spec_;
+  mutable std::mutex mu_;
+  bool fired_ = false;
+  uint64_t armed_site_passes_ = 0;
+  std::map<std::string, uint64_t, std::less<>> observed_;
+};
+
+/// Installs an injector for the current scope and restores the previous
+/// one (usually none) on destruction. Not reentrant across threads:
+/// tests and the fuzzer install one injector per case.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector::Spec spec);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* previous_;
+};
+
+/// Checkpoint placed at each named fault site. Returns OK (at one atomic
+/// load of cost) unless a FaultInjector is installed and decides this
+/// pass fails.
+inline Status MaybeInjectFault(const char* site) {
+  FaultInjector* injector = FaultInjector::Current();
+  if (injector == nullptr) return Status::OK();
+  return injector->Fire(site);
+}
+
+}  // namespace qof
+
+#endif  // QOF_EXEC_FAULT_INJECTOR_H_

@@ -10,6 +10,7 @@
 #include "qof/datagen/schemas.h"
 #include "qof/datagen/seed.h"
 #include "qof/engine/index_spec.h"
+#include "qof/exec/fault_injector.h"
 #include "qof/fuzz/repro.h"
 #include "qof/fuzz/rng.h"
 #include "qof/fuzz/shrink.h"
@@ -284,6 +285,19 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
     }
 
     uint64_t seed = IterationSeed(options, i);
+    if (!options.fault_site.empty()) {
+      // Resolve "random" / hit 0 deterministically from the iteration
+      // seed, so a run is reproducible from (options, i) alone and the
+      // repro file can pin the resolved pair.
+      FuzzRng fault_rng(seed ^ 0xfa017ull);
+      oracle_options.fault_site =
+          options.fault_site == "random"
+              ? FaultSites()[fault_rng.Below(FaultSites().size())]
+              : options.fault_site;
+      oracle_options.fault_hit = options.fault_hit != 0
+                                     ? options.fault_hit
+                                     : 1 + fault_rng.Below(3);
+    }
     QOF_ASSIGN_OR_RETURN(OracleOutcome outcome,
                          RunOracle(concrete, oracle_options, seed));
     ++report.iterations_run;
@@ -304,6 +318,8 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
     ReproFile repro;
     repro.concrete_case = Concretize(report.shrunk);
     repro.bug = options.bug;
+    repro.fault_site = oracle_options.fault_site;
+    repro.fault_hit = oracle_options.fault_hit;
     repro.seed = seed;
     report.repro = WriteRepro(repro);
     return report;

@@ -31,6 +31,14 @@ struct FuzzOptions {
   /// Longest mutation sequence the generator appends.
   int max_mutations = 4;
   InjectedBug bug = InjectedBug::kNone;
+  /// Fault-injection mode: "" runs the normal differential legs; a site
+  /// name from FaultSites() arms that site every iteration; "random"
+  /// draws a fresh (site, hit) pair per iteration. Either way the oracle
+  /// runs its fault leg instead of the differential legs (see
+  /// OracleOptions::fault_site).
+  std::string fault_site;
+  /// Hit ordinal for a fixed fault site; 0 draws 1..3 per iteration.
+  uint64_t fault_hit = 0;
   bool shrink = true;
   int shrink_budget = 200;
   int workers = 4;

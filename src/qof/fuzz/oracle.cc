@@ -1,6 +1,8 @@
 #include "qof/fuzz/oracle.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "qof/datagen/bibtex_gen.h"
@@ -8,8 +10,11 @@
 #include "qof/datagen/mail_gen.h"
 #include "qof/datagen/outline_gen.h"
 #include "qof/datagen/schemas.h"
+#include "qof/engine/index_io.h"
 #include "qof/engine/system.h"
+#include "qof/exec/fault_injector.h"
 #include "qof/fuzz/rng.h"
+#include "qof/maintain/journal.h"
 #include "qof/optimizer/optimizer.h"
 #include "qof/schema/rig_derivation.h"
 #include "qof/schema/schema_text.h"
@@ -338,6 +343,435 @@ Status CheckMaintenance(
   return Status::OK();
 }
 
+/// Journal sub-check of the fault leg, run for the journal.* sites: a
+/// mutation session journals every applied record through
+/// AppendJournalRecordToFile (where journal.append can tear a frame —
+/// the simulated crash mid-append), then a recovery session parses and
+/// replays the file (where journal.replay can abort mid-record). The
+/// invariants: a torn tail is detected and discarded, the replayable
+/// records are exactly the appended prefix, an aborted replay stops at a
+/// record boundary and resumes cleanly, and the replayed state is
+/// byte-identical (after compaction) to applying the same records
+/// directly.
+Status CheckJournalFault(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const FaultInjector::Spec& spec, uint64_t seed,
+    std::string* failure) {
+  if (c.mutations.empty()) return Status::OK();
+  auto fail = [&](const std::string& what) {
+    *failure = "[fault-journal " + spec.site + " hit " +
+               std::to_string(spec.hit) + "] " + what +
+               " (fql: " + c.fql + ")";
+    return Status::OK();
+  };
+
+  auto build_state = [&](Corpus* corpus) -> Result<BuiltIndexes> {
+    for (const auto& [name, text] : docs) {
+      QOF_RETURN_IF_ERROR(corpus->AddDocument(name, text).status());
+    }
+    return BuildIndexes(schema, *corpus, IndexSpec::Full());
+  };
+
+  namespace fs = std::filesystem;
+  fs::path path = fs::temp_directory_path() /
+                  ("qof-fuzz-journal-" + std::to_string(seed) + ".jnl");
+  std::error_code ec;
+  fs::remove(path, ec);
+
+  // Session 1: apply the mutations, journaling each applied record. A
+  // torn append is a simulated crash: the session ends on the spot.
+  Corpus corpus1;
+  QOF_ASSIGN_OR_RETURN(BuiltIndexes built1, build_state(&corpus1));
+  IndexMaintainer m1(&schema, &corpus1, &built1, IndexSpec::Full());
+  std::vector<JournalRecord> journaled;
+  bool torn = false;
+  {
+    ScopedFaultInjector inject(spec);
+    for (const MutationStep& m : c.mutations) {
+      JournalRecord record;
+      record.name = m.name;
+      record.text = m.text;
+      Status applied = Status::OK();
+      switch (m.op) {
+        case MutationStep::Op::kAdd:
+          record.op = JournalOp::kAdd;
+          applied = m1.AddDocument(m.name, m.text).status();
+          break;
+        case MutationStep::Op::kUpdate:
+          record.op = JournalOp::kUpdate;
+          applied = m1.UpdateDocument(m.name, m.text).status();
+          break;
+        case MutationStep::Op::kRemove:
+          record.op = JournalOp::kRemove;
+          record.text.clear();
+          applied = m1.RemoveDocument(m.name);
+          break;
+      }
+      if (!applied.ok()) {
+        return Status::Internal("journal leg: mutation on '" + m.name +
+                                "' failed: " + applied.ToString());
+      }
+      record.generation = m1.generation();
+      Status appended = AppendJournalRecordToFile(path.string(), record);
+      if (!appended.ok()) {
+        torn = true;
+        break;
+      }
+      journaled.push_back(std::move(record));
+    }
+  }
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  fs::remove(path, ec);
+
+  auto parsed = ParseJournal(data);
+  if (!parsed.ok()) {
+    return fail("journal failed to parse after the injected fault: " +
+                parsed.status().ToString());
+  }
+  if (torn && !parsed->truncated_tail) {
+    return fail("torn append was not detected as a truncated tail");
+  }
+  if (!torn && parsed->truncated_tail) {
+    return fail("intact journal reported a truncated tail");
+  }
+  if (parsed->records != journaled) {
+    return fail("replayable records differ from the appended prefix (" +
+                std::to_string(parsed->records.size()) + " vs " +
+                std::to_string(journaled.size()) + ")");
+  }
+
+  // Session 2: recovery by replay, with the same fault spec re-armed so
+  // journal.replay can abort mid-way. Mutations are atomic, so an abort
+  // leaves the maintainer exactly at the last replayed record and the
+  // remainder resumes cleanly once the one-shot fault has fired.
+  Corpus corpus2;
+  QOF_ASSIGN_OR_RETURN(BuiltIndexes built2, build_state(&corpus2));
+  IndexMaintainer m2(&schema, &corpus2, &built2, IndexSpec::Full());
+  {
+    ScopedFaultInjector inject(spec);
+    Status replayed = ReplayJournal(parsed->records, &m2);
+    if (!replayed.ok()) {
+      if (!inject.injector().fired()) {
+        return Status::Internal(
+            "journal leg: replay failed without the injected fault: " +
+            replayed.ToString());
+      }
+      uint64_t done = m2.generation();
+      if (done > parsed->records.size()) {
+        return fail("aborted replay overshot the record count");
+      }
+      std::vector<JournalRecord> rest(
+          parsed->records.begin() + static_cast<long>(done),
+          parsed->records.end());
+      Status resumed = ReplayJournal(rest, &m2);
+      if (!resumed.ok()) {
+        return fail("replay did not resume after the injected fault: " +
+                    resumed.ToString());
+      }
+    }
+  }
+  if (m2.generation() != journaled.size()) {
+    return fail("replayed generation " + std::to_string(m2.generation()) +
+                " != journaled record count " +
+                std::to_string(journaled.size()));
+  }
+
+  // Ground truth: the same records applied directly, fault-free.
+  Corpus corpus3;
+  QOF_ASSIGN_OR_RETURN(BuiltIndexes built3, build_state(&corpus3));
+  IndexMaintainer m3(&schema, &corpus3, &built3, IndexSpec::Full());
+  for (const JournalRecord& r : parsed->records) {
+    Status applied = Status::OK();
+    switch (r.op) {
+      case JournalOp::kAdd:
+        applied = m3.AddDocument(r.name, r.text).status();
+        break;
+      case JournalOp::kUpdate:
+        applied = m3.UpdateDocument(r.name, r.text).status();
+        break;
+      case JournalOp::kRemove:
+        applied = m3.RemoveDocument(r.name);
+        break;
+    }
+    if (!applied.ok()) {
+      return Status::Internal("journal leg: direct apply of '" + r.name +
+                              "' failed: " + applied.ToString());
+    }
+  }
+
+  Status c2 = m2.Compact();
+  if (!c2.ok()) return fail("replayed state failed to compact: " + c2.ToString());
+  Status c3 = m3.Compact();
+  if (!c3.ok()) {
+    return Status::Internal("journal leg: reference compaction failed: " +
+                            c3.ToString());
+  }
+  auto blob2 =
+      SerializeIndexes(built2, IndexSpec::Full(), corpus2, m2.generation());
+  auto blob3 =
+      SerializeIndexes(built3, IndexSpec::Full(), corpus3, m3.generation());
+  if (!blob2.ok()) return blob2.status();
+  if (!blob3.ok()) return blob3.status();
+  if (*blob2 != *blob3) {
+    return fail("replayed state diverges from direct application (" +
+                std::to_string(blob2->size()) + " vs " +
+                std::to_string(blob3->size()) + " blob bytes)");
+  }
+  return Status::OK();
+}
+
+/// The fault-injection leg (OracleOptions::fault_site): drives the full
+/// life cycle — build, query in every mode, export/import, mutations —
+/// with a one-shot fault armed, then verifies recovery: the system stays
+/// queryable, every surviving answer is correct, failed steps left no
+/// partial state behind, and after Compact() the index blob is
+/// byte-identical to a from-scratch rebuild of exactly the steps that
+/// succeeded.
+Result<OracleOutcome> RunFaultLeg(const ConcreteCase& c,
+                                  const OracleOptions& options,
+                                  uint64_t seed) {
+  OracleOutcome outcome;
+  auto fail = [&](std::string message) {
+    outcome.failed = true;
+    outcome.failure = "[fault " + options.fault_site + " hit " +
+                      std::to_string(options.fault_hit) + "] " +
+                      std::move(message) + " (fql: " + c.fql + ")";
+    return outcome;
+  };
+
+  QOF_ASSIGN_OR_RETURN(StructuringSchema schema, MaterializeSchema(c));
+  QOF_ASSIGN_OR_RETURN(auto docs, MaterializeDocs(c));
+
+  auto parsed_fql = ParseFql(c.fql);
+  if (!parsed_fql.ok()) {
+    // The invalid-query class ends at the parser; faults only matter on
+    // executable queries.
+    if (c.expect_valid) {
+      return fail("generated query failed to parse: " +
+                  parsed_fql.status().ToString());
+    }
+    return outcome;
+  }
+
+  FaultInjector::Spec spec{options.fault_site, options.fault_hit};
+
+  FileQuerySystem sys(schema);
+  for (const auto& [name, text] : docs) {
+    QOF_RETURN_IF_ERROR(sys.AddFile(name, text));
+  }
+  sys.SetParallelism(1);
+
+  // The fault-free answer on the pre-mutation corpus: any mode that still
+  // answers under injection must agree with it (a fault may fail a query
+  // or degrade its strategy, but never corrupt a returned answer).
+  CanonExec pre = Canon(sys.Execute(c.fql, ExecutionMode::kBaseline));
+
+  // Phase A: the life cycle under an armed injector. Nothing here may
+  // crash or hang, and every failure must carry a diagnostic.
+  std::vector<MutationStep> applied;
+  bool built = false;
+  {
+    ScopedFaultInjector inject(spec);
+    Status b = sys.BuildIndexes(IndexSpec::Full());
+    built = b.ok();
+    if (!built) {
+      if (!inject.injector().fired()) {
+        return Status::Internal(
+            "fault leg: build failed without the injected fault: " +
+            b.ToString());
+      }
+      if (b.message().empty()) {
+        return fail("failed build carried no diagnostic");
+      }
+      // A failed build must leave the system queryable (the baseline
+      // needs no indexes).
+      auto q = sys.Execute(c.fql, ExecutionMode::kBaseline);
+      CanonExec got = Canon(q);
+      if (got.ok &&
+          !Agrees("fault/baseline-after-failed-build", pre, got, c,
+                  &outcome.failure)) {
+        outcome.failed = true;
+        return outcome;
+      }
+    }
+    if (built) {
+      struct ModeCase {
+        ExecutionMode mode;
+        const char* label;
+      };
+      for (const ModeCase& mc :
+           {ModeCase{ExecutionMode::kAuto, "auto"},
+            ModeCase{ExecutionMode::kTwoPhase, "two-phase"},
+            ModeCase{ExecutionMode::kBaseline, "baseline"}}) {
+        auto r = sys.Execute(c.fql, mc.mode);
+        if (!r.ok()) {
+          if (r.status().message().empty()) {
+            return fail(std::string("mode ") + mc.label +
+                        " failed without a diagnostic");
+          }
+          continue;
+        }
+        if (!Agrees(std::string("fault/") + mc.label, pre, Canon(r), c,
+                    &outcome.failure)) {
+          outcome.failed = true;
+          return outcome;
+        }
+      }
+
+      // Export / import under injection: a failed import must leave the
+      // importing system intact and queryable.
+      auto blob = sys.ExportIndexes();
+      if (!blob.ok()) {
+        if (blob.status().message().empty()) {
+          return fail("export failure carried no diagnostic");
+        }
+      } else {
+        FileQuerySystem importer(schema);
+        for (const auto& [name, text] : docs) {
+          QOF_RETURN_IF_ERROR(importer.AddFile(name, text));
+        }
+        Status imported = importer.ImportIndexes(*blob);
+        if (!imported.ok()) {
+          if (imported.message().empty()) {
+            return fail("import failure carried no diagnostic");
+          }
+          CanonExec got =
+              Canon(importer.Execute(c.fql, ExecutionMode::kBaseline));
+          if (got.ok &&
+              !Agrees("fault/importer-after-failed-import", pre, got, c,
+                      &outcome.failure)) {
+            outcome.failed = true;
+            return outcome;
+          }
+        }
+      }
+
+      // Mutations: whether a step applied is read off the maintenance
+      // generation — auto-compaction can fail *after* a successful
+      // splice, which still counts as applied (compaction is atomic and
+      // simply did not happen).
+      for (const MutationStep& m : c.mutations) {
+        uint64_t before = sys.maintain_stats().generation;
+        Status s = Status::OK();
+        switch (m.op) {
+          case MutationStep::Op::kAdd:
+            s = sys.AddFile(m.name, m.text);
+            break;
+          case MutationStep::Op::kUpdate:
+            s = sys.UpdateFile(m.name, m.text);
+            break;
+          case MutationStep::Op::kRemove:
+            s = sys.RemoveFile(m.name);
+            break;
+        }
+        if (sys.maintain_stats().generation > before) {
+          applied.push_back(m);
+        }
+        if (!s.ok() && s.message().empty()) {
+          return fail("mutation on '" + m.name +
+                      "' failed without a diagnostic");
+        }
+      }
+    }
+  }
+
+  // Phase B: recovery, injector gone. A build that was failed by the
+  // fault must now succeed from the untouched corpus.
+  if (!built) {
+    Status again = sys.BuildIndexes(IndexSpec::Full());
+    if (!again.ok()) {
+      return fail("rebuild after the injected build failure failed: " +
+                  again.ToString());
+    }
+  }
+
+  // Ground truth: a fresh system over the documents plus exactly the
+  // mutations that applied, in the maintainer's append-at-tail order.
+  std::vector<std::pair<std::string, std::string>> live = docs;
+  for (const MutationStep& m : applied) {
+    auto it = std::find_if(
+        live.begin(), live.end(),
+        [&](const auto& doc) { return doc.first == m.name; });
+    if (m.op != MutationStep::Op::kAdd && it != live.end()) live.erase(it);
+    if (m.op != MutationStep::Op::kRemove) live.emplace_back(m.name, m.text);
+  }
+  FileQuerySystem fresh(schema);
+  for (const auto& [name, text] : live) {
+    QOF_RETURN_IF_ERROR(fresh.AddFile(name, text));
+  }
+  fresh.SetParallelism(1);
+  QOF_RETURN_IF_ERROR(fresh.BuildIndexes(IndexSpec::Full()));
+  CanonExec want = Canon(fresh.Execute(c.fql, ExecutionMode::kBaseline));
+
+  // Cross-mode agreement on the recovered system itself. Against the
+  // rebuild only values and the region count are comparable before
+  // compaction — region coordinates shift with corpus fragmentation
+  // (applied updates tombstone the old span and re-append).
+  CanonExec got = Canon(sys.Execute(c.fql, ExecutionMode::kBaseline));
+  if (!Agrees("fault/recovered-auto", got,
+              Canon(sys.Execute(c.fql, ExecutionMode::kAuto)), c,
+              &outcome.failure) ||
+      !Agrees("fault/recovered-two-phase", got,
+              Canon(sys.Execute(c.fql, ExecutionMode::kTwoPhase)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+  if (got.ok != want.ok ||
+      (got.ok && (got.values != want.values ||
+                  got.regions.size() != want.regions.size()))) {
+    return fail("recovered system diverges from a from-scratch rebuild; "
+                "recovered=" +
+                Describe(got) + " rebuilt=" + Describe(want));
+  }
+
+  // Compaction must fold the survivor to an index byte-identical to the
+  // from-scratch rebuild — the injected failure left no hidden
+  // divergence behind.
+  Status compacted = sys.CompactIndexes();
+  if (!compacted.ok()) {
+    return fail("compaction after recovery failed: " + compacted.ToString());
+  }
+  auto sys_blob = sys.ExportIndexes();
+  if (!sys_blob.ok()) {
+    return fail("export after recovery failed: " +
+                sys_blob.status().ToString());
+  }
+  auto fresh_blob = fresh.ExportIndexes();
+  if (!fresh_blob.ok()) return fresh_blob.status();
+  if (StripGeneration(*sys_blob) != StripGeneration(*fresh_blob)) {
+    return fail("post-recovery index blob differs from a from-scratch "
+                "rebuild (" +
+                std::to_string(sys_blob->size()) + " vs " +
+                std::to_string(fresh_blob->size()) + " bytes)");
+  }
+  // Compaction folded the corpus to the rebuild's layout, so the full
+  // region comparison is now meaningful.
+  if (!Agrees("fault/compacted-baseline", want,
+              Canon(sys.Execute(c.fql, ExecutionMode::kBaseline)), c,
+              &outcome.failure)) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  if (options.fault_site.rfind("journal.", 0) == 0) {
+    QOF_RETURN_IF_ERROR(CheckJournalFault(schema, docs, c, spec, seed,
+                                          &outcome.failure));
+    if (!outcome.failure.empty()) {
+      outcome.failed = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
 bool HasRewrite(const std::vector<ChainRewrite>& rewrites, size_t position) {
   for (const ChainRewrite& r : rewrites) {
     if (r.kind == ChainRewrite::Kind::kRelaxDirect &&
@@ -400,6 +834,7 @@ Status CheckChainConvergence(const Rig& rig, const OracleOptions& options,
 Result<OracleOutcome> RunOracle(const ConcreteCase& c,
                                 const OracleOptions& options,
                                 uint64_t seed) {
+  if (!options.fault_site.empty()) return RunFaultLeg(c, options, seed);
   OracleOutcome outcome;
   auto fail = [&](std::string message) {
     outcome.failed = true;

@@ -31,6 +31,18 @@ struct OracleOptions {
   /// Cap on inclusion chains enumerated for the normal-form check.
   size_t max_chains = 160;
   bool check_chains = true;
+
+  /// Fault-injection leg: when non-empty, the oracle skips the
+  /// differential legs and instead drives the full life cycle (build,
+  /// query in every mode, export/import, mutations, journal) with a
+  /// one-shot fault armed at this site (see qof/exec/fault_injector.h,
+  /// FaultSites()). The leg verifies the injected failure never crashes,
+  /// always surfaces a diagnosable error, leaves the system queryable,
+  /// and that after recovery the state compacts to an index blob
+  /// byte-identical to a from-scratch rebuild.
+  std::string fault_site;
+  /// 1-based ordinal of the pass through `fault_site` that fails.
+  uint64_t fault_hit = 1;
 };
 
 /// The oracle's verdict on one case. `failed` means the invariants were

@@ -54,6 +54,10 @@ std::string WriteRepro(const ReproFile& repro) {
   out << kMagic << "\n";
   out << "seed: " << repro.seed << "\n";
   out << "inject: " << InjectedBugName(repro.bug) << "\n";
+  if (!repro.fault_site.empty()) {
+    out << "inject-fault: " << repro.fault_site << " " << repro.fault_hit
+        << "\n";
+  }
   out << "expect-valid: " << (c.expect_valid ? 1 : 0) << "\n";
   if (!c.canned.empty()) {
     out << "canned: " << c.canned << " " << c.canned_seed << " "
@@ -145,6 +149,14 @@ Result<ReproFile> ParseRepro(std::string_view text) {
     } else if (line.rfind("inject: ", 0) == 0) {
       QOF_ASSIGN_OR_RETURN(repro.bug, InjectedBugFromName(line.substr(8)));
       ++i;
+    } else if (line.rfind("inject-fault: ", 0) == 0) {
+      std::vector<std::string> words = SplitWords(line.substr(14));
+      if (words.empty() || words.size() > 2) {
+        return Status::ParseError("repro: inject-fault wants <site> [hit]");
+      }
+      repro.fault_site = words[0];
+      repro.fault_hit = words.size() == 2 ? std::stoull(words[1]) : 1;
+      ++i;
     } else if (line.rfind("expect-valid: ", 0) == 0) {
       c.expect_valid = line.substr(14) != "0";
       ++i;
@@ -217,6 +229,8 @@ Result<OracleOutcome> ReplayRepro(std::string_view text, int workers) {
   QOF_ASSIGN_OR_RETURN(ReproFile repro, ParseRepro(text));
   OracleOptions options;
   options.bug = repro.bug;
+  options.fault_site = repro.fault_site;
+  options.fault_hit = repro.fault_hit;
   if (workers > 0) options.workers = workers;
   return RunOracle(repro.concrete_case, options, repro.seed);
 }

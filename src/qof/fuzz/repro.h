@@ -15,6 +15,11 @@ namespace qof {
 struct ReproFile {
   ConcreteCase concrete_case;
   InjectedBug bug = InjectedBug::kNone;
+  /// Fault-injection directive: when non-empty the replay runs the
+  /// oracle's fault leg with this site/hit instead of the differential
+  /// legs (serialized as an `inject-fault:` line).
+  std::string fault_site;
+  uint64_t fault_hit = 1;
   uint64_t seed = 0;
 };
 
@@ -23,6 +28,7 @@ struct ReproFile {
 ///   qof-fuzz-repro v1
 ///   seed: 42
 ///   inject: none | relax-direct | exact-skip | drop-tombstone
+///   inject-fault: journal.append 2      -- fault-leg cases only
 ///   expect-valid: 1
 ///   canned: bibtex 7 4                  -- canned cases only
 ///   subset: Obj Alpha                   -- one line per index subset

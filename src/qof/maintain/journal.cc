@@ -1,7 +1,9 @@
 #include "qof/maintain/journal.h"
 
 #include <cstring>
+#include <fstream>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/util/wire.h"
 
 namespace qof {
@@ -84,6 +86,7 @@ Result<ParsedJournal> ParseJournal(std::string_view data) {
 Status ReplayJournal(const std::vector<JournalRecord>& records,
                      IndexMaintainer* maintainer) {
   for (const JournalRecord& record : records) {
+    QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kJournalReplay));
     if (record.generation != maintainer->generation() + 1) {
       return Status::InvalidArgument(
           "journal generation " + std::to_string(record.generation) +
@@ -106,6 +109,37 @@ Status ReplayJournal(const std::vector<JournalRecord>& records,
         QOF_RETURN_IF_ERROR(maintainer->RemoveDocument(record.name));
         break;
     }
+  }
+  return Status::OK();
+}
+
+Status AppendJournalRecordToFile(const std::string& path,
+                                 const JournalRecord& record) {
+  std::string frame = EncodeJournalRecord(record);
+  Status fault = MaybeInjectFault(fault_site::kJournalAppend);
+  std::ofstream out;
+  {
+    // Start the file with the magic when it does not exist yet.
+    std::ifstream probe(path, std::ios::binary);
+    bool fresh = !probe.good();
+    out.open(path, std::ios::binary | std::ios::app);
+    if (!out) {
+      return Status::Internal("cannot open journal for append: " + path);
+    }
+    if (fresh) out << JournalHeader();
+  }
+  if (!fault.ok()) {
+    // Simulated crash mid-append: half the frame reaches the file, then
+    // the writer dies. ParseJournal must treat the result as a torn tail.
+    out.write(frame.data(),
+              static_cast<std::streamsize>(frame.size() / 2));
+    out.flush();
+    return fault;
+  }
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("journal append failed: " + path);
   }
   return Status::OK();
 }

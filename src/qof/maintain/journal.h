@@ -72,8 +72,19 @@ Result<ParsedJournal> ParseJournal(std::string_view data);
 /// blob and journal are from different histories. Callers replaying onto
 /// a blob-restored corpus should disable auto-compaction first (restored
 /// document bytes are placeholders; see MarkDocumentSynthetic).
+/// Mutations are atomic, so a replay aborted mid-way (error or injected
+/// "journal.replay" fault) leaves the maintainer at the state of the last
+/// successfully replayed record.
 Status ReplayJournal(const std::vector<JournalRecord>& records,
                      IndexMaintainer* maintainer);
+
+/// Appends one encoded frame to the journal file at `path` (creating it
+/// with the magic header when absent). The write is flushed before
+/// returning. The "journal.append" fault site simulates a crash mid-frame:
+/// an injected fault writes only a *prefix* of the frame and then fails —
+/// exactly the torn tail ParseJournal is built to detect and discard.
+Status AppendJournalRecordToFile(const std::string& path,
+                                 const JournalRecord& record);
 
 }  // namespace qof
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/parse/parser.h"
 
 namespace qof {
@@ -36,8 +37,8 @@ IndexMaintainer::IndexMaintainer(const StructuringSchema* schema,
       options_(options) {}
 
 Result<IndexMaintainer::Contribution> IndexMaintainer::ParseContribution(
-    std::string_view text) {
-  SchemaParser parser(schema_);
+    std::string_view text, const ExecContext* ctx) {
+  SchemaParser parser(schema_, ctx);
   auto tree = parser.ParseDocument(text, /*base=*/0);
   if (!tree.ok()) return tree.status();
   Contribution collected;
@@ -90,11 +91,17 @@ void IndexMaintainer::SpliceOut(DocId id) {
 
 Result<DocId> IndexMaintainer::AddDocument(std::string name,
                                            std::string_view text,
-                                           ThreadPool* pool) {
+                                           ThreadPool* pool,
+                                           const ExecContext* ctx) {
   if (corpus_->FindDocument(name).ok()) {
     return Status::AlreadyExists("document already in corpus: " + name);
   }
-  QOF_ASSIGN_OR_RETURN(Contribution fresh, ParseContribution(text));
+  // The fault site sits before any state change: an injected failure (or
+  // a governance interrupt inside the parse below) aborts with corpus and
+  // indexes untouched — the atomicity the fuzz fault leg verifies.
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainAdd));
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
+  QOF_ASSIGN_OR_RETURN(Contribution fresh, ParseContribution(text, ctx));
   QOF_ASSIGN_OR_RETURN(DocId id, corpus_->AddDocument(std::move(name), text));
   TextPos start = corpus_->document_start(id);
   SpliceIn(fresh, start, corpus_->RawText(start, corpus_->document_end(id)));
@@ -109,9 +116,12 @@ Result<DocId> IndexMaintainer::AddDocument(std::string name,
 
 Result<DocId> IndexMaintainer::UpdateDocument(std::string_view name,
                                               std::string_view text,
-                                              ThreadPool* pool) {
+                                              ThreadPool* pool,
+                                              const ExecContext* ctx) {
   QOF_ASSIGN_OR_RETURN(DocId old_id, corpus_->FindDocument(name));
-  QOF_ASSIGN_OR_RETURN(Contribution fresh, ParseContribution(text));
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainUpdate));
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
+  QOF_ASSIGN_OR_RETURN(Contribution fresh, ParseContribution(text, ctx));
   SpliceOut(old_id);
   QOF_ASSIGN_OR_RETURN(DocId id, corpus_->ReplaceDocument(name, text));
   TextPos start = corpus_->document_start(id);
@@ -125,8 +135,11 @@ Result<DocId> IndexMaintainer::UpdateDocument(std::string_view name,
 }
 
 Status IndexMaintainer::RemoveDocument(std::string_view name,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool,
+                                       const ExecContext* ctx) {
   QOF_ASSIGN_OR_RETURN(DocId id, corpus_->FindDocument(name));
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainRemove));
+  if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   SpliceOut(id);
   QOF_RETURN_IF_ERROR(corpus_->RemoveDocument(name).status());
   --built_->documents;
@@ -159,6 +172,9 @@ Status IndexMaintainer::MaybeAutoCompact(ThreadPool* pool) {
 }
 
 Status IndexMaintainer::Compact(ThreadPool* pool) {
+  // Before phase 1: an injected failure here proves callers survive a
+  // compaction that refuses to start (state is untouched until commit).
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainCompact));
   if (HasLiveSyntheticDocuments()) {
     return Status::InvalidArgument(
         "cannot compact: live documents restored from a journal have "

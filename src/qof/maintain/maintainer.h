@@ -10,6 +10,7 @@
 
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/exec/exec_context.h"
 #include "qof/parse/region_extractor.h"
 #include "qof/schema/structuring_schema.h"
 #include "qof/text/corpus.h"
@@ -79,16 +80,21 @@ class IndexMaintainer {
 
   /// Parses `text` and splices it in as a new document. AlreadyExists if
   /// a live document has that name; parse failures leave state untouched.
+  /// `ctx` (optional) bounds the re-parse: a governance interrupt aborts
+  /// before any state changes, like every other mutation failure.
   Result<DocId> AddDocument(std::string name, std::string_view text,
-                            ThreadPool* pool = nullptr);
+                            ThreadPool* pool = nullptr,
+                            const ExecContext* ctx = nullptr);
 
   /// Replaces the live document `name`: splices its old contribution out
   /// and the re-parsed new text in. NotFound when absent.
   Result<DocId> UpdateDocument(std::string_view name, std::string_view text,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool = nullptr,
+                               const ExecContext* ctx = nullptr);
 
   /// Splices the live document `name` out of corpus and indexes.
-  Status RemoveDocument(std::string_view name, ThreadPool* pool = nullptr);
+  Status RemoveDocument(std::string_view name, ThreadPool* pool = nullptr,
+                        const ExecContext* ctx = nullptr);
 
   /// Folds tombstoned spans away: re-lays the corpus out densely (live
   /// documents keep their physical order) and rebases every region and
@@ -125,7 +131,8 @@ class IndexMaintainer {
 
   /// Parses `text` at base offset 0; the caller shifts. Does not touch
   /// any index state, so a parse failure aborts the mutation cleanly.
-  Result<Contribution> ParseContribution(std::string_view text);
+  Result<Contribution> ParseContribution(std::string_view text,
+                                         const ExecContext* ctx);
 
   /// Splices a document appended at [start, start+size) into the indexes.
   void SpliceIn(const Contribution& at_zero, TextPos start,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "qof/exec/fault_injector.h"
+
 namespace qof {
 namespace {
 
@@ -27,11 +29,21 @@ bool IsCoreCh(char c) {
 
 class SchemaParser::Run {
  public:
-  Run(const StructuringSchema& schema, std::string_view text, TextPos base)
-      : schema_(schema), g_(schema.grammar()), text_(text), base_(base) {}
+  Run(const StructuringSchema& schema, std::string_view text, TextPos base,
+      const ExecContext* ctx)
+      : schema_(schema),
+        g_(schema.grammar()),
+        text_(text),
+        base_(base),
+        ctx_(ctx) {}
 
   Result<std::unique_ptr<ParseNode>> ParseAll(SymbolId symbol) {
     auto node = ParseSymbol(symbol);
+    // Governance interrupts describe the caller's limits, not this text:
+    // pass them through without line/column decoration.
+    if (!node.ok() && IsGovernanceError(node.status())) {
+      return node.status();
+    }
     if (!node.ok()) return RenderDeepestError(node.status());
     SkipWs();
     if (pos_ != text_.size()) {
@@ -106,6 +118,12 @@ class SchemaParser::Run {
   }
 
   Result<std::unique_ptr<ParseNode>> ParseSymbol(SymbolId symbol) {
+    // Strided governance checkpoint: cheap enough to live on the parse
+    // hot path, frequent enough that a deadline trips within fractions
+    // of a millisecond even inside a single monster document.
+    if (ctx_ != nullptr && (++ticks_ & 63u) == 0) {
+      QOF_RETURN_IF_ERROR(ctx_->Check());
+    }
     if (!g_.HasRule(symbol)) {
       return Status::Internal("no rule for symbol " +
                               g_.SymbolName(symbol));
@@ -145,6 +163,9 @@ class SchemaParser::Run {
       first = Status::ParseError("empty item");
     }
     if (!first.ok()) {
+      // Star rollback treats failure as "repetition absent" — but a
+      // governance interrupt must abort the whole parse, not roll back.
+      if (IsGovernanceError(first.status())) return first.status();
       pos_ = mark;
       if (min_count > 0) {
         return Error("expected at least " + std::to_string(min_count) +
@@ -172,6 +193,9 @@ class SchemaParser::Run {
       } else {
         auto item_node = ParseSymbol(item);
         if (!item_node.ok()) {
+          if (IsGovernanceError(item_node.status())) {
+            return item_node.status();
+          }
           pos_ = before;
           break;
         }
@@ -322,6 +346,8 @@ class SchemaParser::Run {
   const Grammar& g_;
   std::string_view text_;
   TextPos base_;
+  const ExecContext* ctx_ = nullptr;
+  uint64_t ticks_ = 0;
   size_t pos_ = 0;
   // Deepest failure seen, surfaced when a rollback hides the real cause.
   mutable size_t deepest_error_pos_ = 0;
@@ -330,7 +356,8 @@ class SchemaParser::Run {
 
 Result<std::unique_ptr<ParseNode>> SchemaParser::Parse(
     std::string_view text, TextPos base, SymbolId symbol) const {
-  Run run(*schema_, text, base);
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kParseDocument));
+  Run run(*schema_, text, base, ctx_);
   return run.ParseAll(symbol);
 }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "qof/exec/exec_context.h"
 #include "qof/region/region.h"
 #include "qof/schema/structuring_schema.h"
 #include "qof/text/corpus.h"
@@ -29,8 +30,14 @@ struct ParseNode {
 /// instances, and whose shape drives database-image construction.
 class SchemaParser {
  public:
-  explicit SchemaParser(const StructuringSchema* schema)
-      : schema_(schema) {}
+  /// `ctx` (optional, borrowed) makes parsing interruptible: the run
+  /// polls it every few dozen rule applications, so a deadline or
+  /// cancellation tripping mid-document unwinds promptly even when the
+  /// corpus is one huge document. Governance errors bypass the parser's
+  /// rollback/deepest-error machinery — they are not parse failures.
+  explicit SchemaParser(const StructuringSchema* schema,
+                        const ExecContext* ctx = nullptr)
+      : schema_(schema), ctx_(ctx) {}
 
   /// Parses `text` as one derivation of `symbol`. Offsets in the returned
   /// tree are relative to `base` (pass the document's corpus offset).
@@ -50,6 +57,7 @@ class SchemaParser {
  private:
   class Run;
   const StructuringSchema* schema_;
+  const ExecContext* ctx_ = nullptr;
 };
 
 /// Renders a parse tree (symbols + spans), one node per line, indented —

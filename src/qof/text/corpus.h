@@ -129,6 +129,11 @@ class Corpus {
   void ResetBytesRead() {
     bytes_read_.store(0, std::memory_order_relaxed);
   }
+  /// The live counter itself, so a byte budget (ExecContext) can watch
+  /// scanning progress without a dependency on this class.
+  const std::atomic<uint64_t>& bytes_read_counter() const {
+    return bytes_read_;
+  }
 
  private:
   struct Doc {

@@ -20,6 +20,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kBudgetExhausted:
+      return "Budget exhausted";
   }
   return "Unknown";
 }

@@ -20,6 +20,11 @@ enum class StatusCode {
   kParseError,
   kNotImplemented,
   kInternal,
+  // Resource-governance outcomes (see qof/exec/exec_context.h): execution
+  // was interrupted by a limit the caller set, not by bad data.
+  kDeadlineExceeded,
+  kCancelled,
+  kBudgetExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("Invalid argument",
@@ -66,6 +71,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -79,6 +93,13 @@ class Status {
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsBudgetExhausted() const {
+    return code() == StatusCode::kBudgetExhausted;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -26,16 +26,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ParallelFor(size_t num_items,
-                             const std::function<void(int, size_t)>& fn) {
+                             const std::function<void(int, size_t)>& fn,
+                             const std::atomic<bool>* stop) {
   if (num_items == 0) return;
   if (workers_.empty() || num_items == 1) {
-    for (size_t i = 0; i < num_items; ++i) fn(0, i);
+    for (size_t i = 0; i < num_items; ++i) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+      fn(0, i);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;
     job_items_ = num_items;
+    job_stop_ = stop;
     next_index_.store(0, std::memory_order_relaxed);
     workers_active_ = static_cast<int>(workers_.size());
     ++job_generation_;
@@ -45,6 +50,7 @@ void ThreadPool::ParallelFor(size_t num_items,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return workers_active_ == 0; });
   job_fn_ = nullptr;
+  job_stop_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -73,7 +79,9 @@ void ThreadPool::RunJob(int worker) {
   // every worker has decremented workers_active_.
   const std::function<void(int, size_t)>& fn = *job_fn_;
   const size_t n = job_items_;
+  const std::atomic<bool>* stop = job_stop_;
   for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
     size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
     fn(worker, i);

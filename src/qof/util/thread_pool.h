@@ -48,8 +48,17 @@ class ThreadPool {
   /// distributing indices dynamically across workers; blocks until every
   /// invocation returned. `worker` is in [0, size()) and is stable within
   /// one invocation of `fn`, so it can address per-worker scratch state.
+  ///
+  /// `stop` (optional) is polled before each index is claimed: once it
+  /// reads true, workers stop claiming new indices and ParallelFor
+  /// returns after in-flight invocations finish. Indices not claimed by
+  /// then are simply never run — callers that care must track per-item
+  /// completion themselves (the engine records a per-item done flag).
+  /// A plain atomic rather than an ExecContext keeps qof_util free of
+  /// upward dependencies.
   void ParallelFor(size_t num_items,
-                   const std::function<void(int, size_t)>& fn);
+                   const std::function<void(int, size_t)>& fn,
+                   const std::atomic<bool>* stop = nullptr);
 
  private:
   void WorkerLoop(int worker);
@@ -66,6 +75,7 @@ class ThreadPool {
   bool shutdown_ = false;
   const std::function<void(int, size_t)>* job_fn_ = nullptr;
   size_t job_items_ = 0;
+  const std::atomic<bool>* job_stop_ = nullptr;
   std::atomic<size_t> next_index_{0};
 };
 

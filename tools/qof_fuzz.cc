@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "qof/exec/fault_injector.h"
 #include "qof/fuzz/fuzzer.h"
 #include "qof/fuzz/repro.h"
 
@@ -27,6 +28,12 @@ void PrintUsage(std::ostream& out) {
          "  --workers N           parallel leg worker count (default 4)\n"
          "  --inject KIND         none | relax-direct | exact-skip | "
          "drop-tombstone\n"
+         "                        | fault[:SITE[:HIT]] — fault-injection "
+         "leg; SITE from\n"
+         "                        --list-fault-sites (default random per "
+         "iteration)\n"
+         "  --list-fault-sites    print the injectable fault sites and "
+         "exit\n"
          "  --no-shrink           report the unshrunk failing case\n"
          "  --repro FILE          replay a repro file instead of fuzzing\n"
          "  --repro-out FILE      write the repro of a failure here\n";
@@ -76,13 +83,49 @@ int main(int argc, char** argv) {
     } else if (arg == "--workers" && ParseInt(next(), &n)) {
       options.workers = static_cast<int>(n);
     } else if (arg == "--inject") {
-      const char* name = next();
-      auto bug = qof::InjectedBugFromName(name ? name : "");
-      if (!bug.ok()) {
-        std::cerr << bug.status().ToString() << "\n";
-        return 2;
+      const char* raw = next();
+      std::string name = raw ? raw : "";
+      if (name == "fault" || name.rfind("fault:", 0) == 0) {
+        // fault[:site[:hit]] — arm the oracle's fault-injection leg.
+        options.fault_site = "random";
+        if (name.size() > 6) {
+          std::string rest = name.substr(6);
+          size_t colon = rest.find(':');
+          options.fault_site = rest.substr(0, colon);
+          if (colon != std::string::npos) {
+            long hit = 0;
+            if (!ParseInt(rest.c_str() + colon + 1, &hit) || hit < 1) {
+              std::cerr << "bad fault hit ordinal in: " << name << "\n";
+              return 2;
+            }
+            options.fault_hit = static_cast<uint64_t>(hit);
+          }
+        }
+        if (options.fault_site != "random") {
+          const std::vector<std::string>& sites = qof::FaultSites();
+          bool known = false;
+          for (const std::string& site : sites) {
+            known = known || site == options.fault_site;
+          }
+          if (!known) {
+            std::cerr << "unknown fault site: " << options.fault_site
+                      << " (see --list-fault-sites)\n";
+            return 2;
+          }
+        }
+      } else {
+        auto bug = qof::InjectedBugFromName(name);
+        if (!bug.ok()) {
+          std::cerr << bug.status().ToString() << "\n";
+          return 2;
+        }
+        options.bug = *bug;
       }
-      options.bug = *bug;
+    } else if (arg == "--list-fault-sites") {
+      for (const std::string& site : qof::FaultSites()) {
+        std::cout << site << "\n";
+      }
+      return 0;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
     } else if (arg == "--repro") {

@@ -16,7 +16,11 @@
 // queries on their old content would be wrong, so `inspect` flags them
 // and `compact` refuses until they are updated or removed.
 //
-// Exit codes: 0 = success, 1 = operation failed, 2 = usage error.
+// Exit codes: 0 = success, 1 = usage error, 2 = data error (unreadable
+// state, parse failure, bad blob), 3 = deadline or resource limit
+// exceeded (--timeout-ms / --max-bytes). Blob, journal and schema
+// rewrites go through a temp-file + rename, so an interrupted run never
+// leaves a half-written file under the real name.
 
 #include <cstdint>
 #include <filesystem>
@@ -31,6 +35,7 @@
 
 #include "qof/datagen/schemas.h"
 #include "qof/engine/index_io.h"
+#include "qof/exec/exec_context.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
 #include "qof/maintain/journal.h"
@@ -56,7 +61,12 @@ void PrintUsage(std::ostream& out) {
          "reset journal\n"
          "  inspect --index DIR          show blob, journal and "
          "maintenance state\n"
-         "KIND is a canned schema: bibtex | mail | log | outline\n";
+         "KIND is a canned schema: bibtex | mail | log | outline\n"
+         "options:\n"
+         "  --timeout-ms N   wall-clock budget for parsing/indexing work\n"
+         "  --max-bytes N    cap on corpus bytes scanned\n"
+         "exit codes: 0 ok, 1 usage, 2 data error, 3 deadline/limit "
+         "exceeded\n";
 }
 
 Result<StructuringSchema> SchemaByKind(const std::string& kind) {
@@ -77,9 +87,27 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << data;
-  if (!out) return Status::Internal("cannot write " + path);
+  // Temp + rename: an interrupted (or failed) write can never leave a
+  // half-written blob/journal/schema under the real name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << data;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::Internal("cannot write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            ec.message());
+  }
   return Status::OK();
 }
 
@@ -192,16 +220,22 @@ Status AppendJournalRecord(const std::string& dir,
 }
 
 Status RunBuild(const std::string& dir, const std::string& kind,
-                const std::vector<std::string>& files) {
+                const std::vector<std::string>& files,
+                const QueryOptions& limits) {
   QOF_ASSIGN_OR_RETURN(StructuringSchema schema, SchemaByKind(kind));
+  ExecContext governed(limits);
+  const ExecContext* ctx = governed.active() ? &governed : nullptr;
   Corpus corpus;
+  if (ctx != nullptr) {
+    governed.set_scanned_bytes_counter(&corpus.bytes_read_counter());
+  }
   for (const std::string& path : files) {
     QOF_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
     QOF_RETURN_IF_ERROR(corpus.AddDocument(path, text).status());
   }
   QOF_ASSIGN_OR_RETURN(
       BuiltIndexes built,
-      BuildIndexes(schema, corpus, IndexSpec::Full(), SharedPool()));
+      BuildIndexes(schema, corpus, IndexSpec::Full(), SharedPool(), ctx));
   QOF_ASSIGN_OR_RETURN(
       std::string blob,
       SerializeIndexes(built, IndexSpec::Full(), corpus, /*generation=*/0));
@@ -223,8 +257,14 @@ Status RunBuild(const std::string& dir, const std::string& kind,
 }
 
 Status RunMutate(const std::string& dir, const std::string& command,
-                 const std::vector<std::string>& args) {
+                 const std::vector<std::string>& args,
+                 const QueryOptions& limits) {
   QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state, LoadState(dir));
+  ExecContext governed(limits);
+  const ExecContext* ctx = governed.active() ? &governed : nullptr;
+  if (ctx != nullptr) {
+    governed.set_scanned_bytes_counter(&state->corpus.bytes_read_counter());
+  }
   for (const std::string& arg : args) {
     JournalRecord record;
     record.name = arg;
@@ -236,14 +276,14 @@ Status RunMutate(const std::string& dir, const std::string& command,
       applied =
           command == "add"
               ? state->maintainer
-                    ->AddDocument(arg, record.text, SharedPool())
+                    ->AddDocument(arg, record.text, SharedPool(), ctx)
                     .status()
               : state->maintainer
-                    ->UpdateDocument(arg, record.text, SharedPool())
+                    ->UpdateDocument(arg, record.text, SharedPool(), ctx)
                     .status();
     } else {
       record.op = JournalOp::kRemove;
-      applied = state->maintainer->RemoveDocument(arg, SharedPool());
+      applied = state->maintainer->RemoveDocument(arg, SharedPool(), ctx);
     }
     if (!applied.ok()) {
       return Status(applied.code(),
@@ -331,7 +371,7 @@ Status RunInspect(const std::string& dir) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     qof::PrintUsage(std::cerr);
-    return 2;
+    return 1;
   }
   std::string command = argv[1];
   if (command == "--help" || command == "-h") {
@@ -341,6 +381,7 @@ int main(int argc, char** argv) {
 
   std::string dir;
   std::string schema_kind;
+  qof::QueryOptions limits;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -348,10 +389,14 @@ int main(int argc, char** argv) {
       dir = argv[++i];
     } else if (arg == "--schema" && i + 1 < argc) {
       schema_kind = argv[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      limits.max_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unrecognized option: " << arg << "\n";
       qof::PrintUsage(std::cerr);
-      return 2;
+      return 1;
     } else {
       args.push_back(arg);
     }
@@ -359,23 +404,23 @@ int main(int argc, char** argv) {
   if (dir.empty()) {
     std::cerr << "missing --index DIR\n";
     qof::PrintUsage(std::cerr);
-    return 2;
+    return 1;
   }
 
   qof::Status status = qof::Status::OK();
   if (command == "build") {
     if (schema_kind.empty() || args.empty()) {
       std::cerr << "build wants --schema KIND and at least one file\n";
-      return 2;
+      return 1;
     }
-    status = qof::RunBuild(dir, schema_kind, args);
+    status = qof::RunBuild(dir, schema_kind, args, limits);
   } else if (command == "add" || command == "update" ||
              command == "remove") {
     if (args.empty()) {
       std::cerr << command << " wants at least one file\n";
-      return 2;
+      return 1;
     }
-    status = qof::RunMutate(dir, command, args);
+    status = qof::RunMutate(dir, command, args, limits);
   } else if (command == "compact") {
     status = qof::RunCompact(dir);
   } else if (command == "inspect") {
@@ -383,12 +428,19 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "unknown command: " << command << "\n";
     qof::PrintUsage(std::cerr);
-    return 2;
+    return 1;
   }
 
   if (!status.ok()) {
     std::cerr << "error: " << status.ToString() << "\n";
-    return 1;
+    // 3 = a governance limit tripped (deadline, byte budget); the state
+    // on disk is untouched and the command can simply be retried with a
+    // larger budget. 2 = the data itself is bad.
+    if (status.IsDeadlineExceeded() || status.IsBudgetExhausted() ||
+        status.IsCancelled()) {
+      return 3;
+    }
+    return 2;
   }
   return 0;
 }
