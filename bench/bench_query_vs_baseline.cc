@@ -79,4 +79,43 @@ BENCHMARK(BM_TwoPhasePartialIndex)
     ->Arg(20000);
 BENCHMARK(BM_Baseline)->Arg(200)->Arg(1000)->Arg(5000)->Arg(20000);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output plus one JSON row per run: "BM_IndexOnly/5000" becomes
+/// {"bench": "BM_IndexOnly", "config": "5000", "metric": "micros", ...}.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(qof_bench::JsonEmitter* emitter)
+      : emitter_(emitter) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      std::string name = run.benchmark_name();
+      size_t slash = name.find('/');
+      std::string bench =
+          slash == std::string::npos ? name : name.substr(0, slash);
+      std::string config =
+          slash == std::string::npos ? "" : name.substr(slash + 1);
+      double micros = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e6;
+      emitter_->Row(bench, config, "micros", micros);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  qof_bench::JsonEmitter* emitter_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = qof_bench::ExtractJsonArg(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  qof_bench::JsonEmitter emitter(json_path);
+  JsonRowReporter reporter(&emitter);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -44,6 +44,72 @@ inline qof::FileQuerySystem& BibtexSystem(int num_references,
   return *pos->second;
 }
 
+/// Collects benchmark measurements and writes them as a JSON array of
+/// flat rows — `[{"bench": ..., "config": ..., "metric": ..., "value":
+/// ...}, ...]` — the machine-readable format the CI bench-smoke gate and
+/// the plotting scripts consume (see DESIGN.md "Benchmark JSON output").
+/// Values in the string fields must not need JSON escaping (the drivers
+/// only use identifier-like names).
+class JsonEmitter {
+ public:
+  /// An empty path disables emission (rows are dropped).
+  explicit JsonEmitter(std::string path) : path_(std::move(path)) {}
+  ~JsonEmitter() { Flush(); }
+
+  void Row(const std::string& bench, const std::string& config,
+           const std::string& metric, double value) {
+    rows_.push_back(RowData{bench, config, metric, value});
+  }
+
+  void Flush() {
+    if (path_.empty() || rows_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const RowData& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "\"metric\": \"%s\", \"value\": %.3f}%s\n",
+                   r.bench.c_str(), r.config.c_str(), r.metric.c_str(),
+                   r.value, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct RowData {
+    std::string bench, config, metric;
+    double value;
+  };
+  std::string path_;
+  std::vector<RowData> rows_;
+};
+
+/// Extracts a `--json <path>` (or `--json=<path>`) argument from argv,
+/// removing it so downstream flag parsing (google-benchmark's
+/// Initialize) never sees it. Returns the path, or "" when absent.
+inline std::string ExtractJsonArg(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
 /// Median wall time of `fn` over `runs` executions, in microseconds.
 inline double MedianMicros(int runs, const std::function<void()>& fn) {
   std::vector<double> times;

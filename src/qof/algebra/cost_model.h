@@ -41,6 +41,16 @@ class CostEstimator {
   CostEstimator(const RegionIndex* regions, const WordIndex* words)
       : regions_(regions), words_(words) {}
 
+  /// Direction decision for the adaptive selection kernels: iterating the
+  /// word's postings and probing the child set costs O(P log C), scanning
+  /// the child and probing the postings costs O(C log P). Both probe
+  /// factors are logarithmic, so the linear term decides; the region
+  /// kernels' crossover ratio keeps the policy consistent across layers.
+  static bool PreferPostingDriven(uint64_t posting_count,
+                                  uint64_t child_size) {
+    return posting_count < child_size / kGallopRatio;
+  }
+
   /// Estimates `expr`; unknown region names estimate as empty.
   Result<CostEstimate> Estimate(const RegionExpr& expr) const;
 

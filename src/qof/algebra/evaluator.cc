@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qof/algebra/cost_model.h"
 #include "qof/exec/fault_injector.h"
 #include "qof/util/string_util.h"
 
@@ -13,6 +14,24 @@ void Record(EvalStats* stats, const RegionSet& produced) {
   stats->regions_produced += produced.size();
   stats->max_intermediate =
       std::max<uint64_t>(stats->max_intermediate, produced.size());
+}
+
+/// Whether an exact-match selection should iterate the posting list and
+/// probe the child set, instead of iterating the child and probing the
+/// postings. The forced kernel policy pins the direction (the fuzzer
+/// cross-checks both); adaptively, posting-driven wins when the posting
+/// list is much smaller than the child.
+bool PostingDriven(size_t posting_count, size_t child_size) {
+  if (posting_count == 0) return false;
+  switch (kernel_policy()) {
+    case KernelPolicy::kGalloping:
+      return true;
+    case KernelPolicy::kLinear:
+      return false;
+    case KernelPolicy::kAdaptive:
+      break;
+  }
+  return CostEstimator::PreferPostingDriven(posting_count, child_size);
 }
 
 }  // namespace
@@ -31,8 +50,10 @@ Result<RegionSet> ExprEvaluator::Evaluate(const RegionExpr& expr,
   }
   QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kAlgebraEval));
   QOF_ASSIGN_OR_RETURN(EvalResult result, Eval(expr, stats));
-  // A borrowed result (the expression was a bare region name) is copied
-  // once here at the API boundary; every internal leaf lookup is free.
+  // A borrowed result (the expression was a bare region name) or a shared
+  // cache hit is copied once here at the API boundary; every internal
+  // leaf lookup and cache hit is free.
+  if (result.shared != nullptr) return *result.shared;
   if (result.borrowed != nullptr) return *result.borrowed;
   return std::move(result.owned);
 }
@@ -51,6 +72,38 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::Eval(
   // One governance checkpoint per algebra operator: operators are the
   // natural unit of progress for index plans.
   if (ctx_ != nullptr) QOF_RETURN_IF_ERROR(ctx_->Check());
+  if (expr.kind() == ExprKind::kName) {
+    // Leaves borrow the index instance directly — never cached (a cache
+    // entry would only duplicate what the index already holds).
+    QOF_ASSIGN_OR_RETURN(const RegionSet* set, index_->Get(expr.name()));
+    return EvalResult::Borrowed(set);
+  }
+  return EvalCached(expr, stats);
+}
+
+Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalCached(
+    const RegionExpr& expr, EvalStats* stats) const {
+  if (cache_ == nullptr) return EvalNode(expr, stats);
+  // Serialized expressions are canonical and re-parseable (and the
+  // compiler emits Thm 3.6 normal forms), so the string is a perfect key.
+  std::string key = expr.ToString();
+  if (auto hit = cache_->Lookup(key, epoch_)) {
+    if (stats) ++stats->cache_hits;
+    // A hit charges exactly what computing the node would have charged
+    // for its own result, keeping governance behavior cache-independent.
+    QOF_RETURN_IF_ERROR(Charge(stats, *hit));
+    return EvalResult::Shared(std::move(hit));
+  }
+  if (stats) ++stats->cache_misses;
+  QOF_ASSIGN_OR_RETURN(EvalResult computed, EvalNode(expr, stats));
+  // Composite nodes always own their result (only kName leaves borrow).
+  auto shared = std::make_shared<const RegionSet>(std::move(computed.owned));
+  cache_->Insert(key, epoch_, shared);
+  return EvalResult::Shared(std::move(shared));
+}
+
+Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalNode(
+    const RegionExpr& expr, EvalStats* stats) const {
   switch (expr.kind()) {
     case ExprKind::kName: {
       QOF_ASSIGN_OR_RETURN(const RegionSet* set, index_->Get(expr.name()));
@@ -177,15 +230,21 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
     const std::vector<TextPos>& p2 =
         words_->Lookup(std::string(t2[0].text));
     const uint64_t d = expr.param();
+    const uint64_t len1 = tokens[0].text.size();
+    const uint64_t len2 = t2[0].text.size();
     for (const Region& r : child) {
+      // Both occurrences must lie fully inside the region — a word whose
+      // start fits but whose tail overhangs r.end is not "in" r (the
+      // same clamp bug class as kSelectAtLeast below).
       auto lo1 = std::lower_bound(p1.begin(), p1.end(), r.start);
       bool hit = false;
-      for (auto it = lo1; !hit && it != p1.end() && *it < r.end; ++it) {
+      for (auto it = lo1; !hit && it != p1.end() && *it + len1 <= r.end;
+           ++it) {
         // Closest w2 occurrence inside r to *it.
         auto lo2 = std::lower_bound(p2.begin(), p2.end(),
                                     *it >= d ? *it - d : 0);
         for (auto jt = lo2; jt != p2.end() && *jt <= *it + d; ++jt) {
-          if (*jt >= r.start && *jt < r.end) {
+          if (*jt >= r.start && *jt + len2 <= r.end) {
             hit = true;
             break;
           }
@@ -204,10 +263,13 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
     const uint64_t len = tokens[0].text.size();
     const uint64_t need = expr.param();
     for (const Region& r : child) {
+      // A region shorter than the word holds no occurrence at all; the
+      // old `r.end >= len ? r.end - len : 0` clamp let a posting at
+      // position 0 count for such a region when r.start == 0.
+      if (r.length() < len) continue;
       auto lo = std::lower_bound(postings.begin(), postings.end(),
                                  r.start);
-      auto hi = std::upper_bound(lo, postings.end(),
-                                 r.end >= len ? r.end - len : 0);
+      auto hi = std::upper_bound(lo, postings.end(), r.end - len);
       if (static_cast<uint64_t>(hi - lo) >= need) out.push_back(r);
     }
   } else if (kind == ExprKind::kSelectStartsWith ||
@@ -220,11 +282,34 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
     const std::string prefix(tokens[0].text);
     std::vector<TextPos> postings = words_->LookupPrefix(prefix);
     if (kind == ExprKind::kSelectStartsWith) {
-      // A prefixed word begins exactly where the region begins.
-      for (const Region& r : child) {
-        if (std::binary_search(postings.begin(), postings.end(),
-                               r.start)) {
-          out.push_back(r);
+      // A prefixed word begins exactly where the region begins — and the
+      // region must be long enough to hold the prefix (a shorter region
+      // cannot start with it, whatever word starts at its first byte).
+      const uint64_t len = prefix.size();
+      if (PostingDriven(postings.size(), child.size())) {
+        // Posting-driven direction: each posting names the only start a
+        // matching region can have; probe the child's start group.
+        // Postings ascend and group members keep their in-set order, so
+        // the output is already canonical.
+        const std::vector<Region>& cv = child.regions();
+        for (TextPos p : postings) {
+          auto it = std::lower_bound(
+              cv.begin(), cv.end(), p,
+              [](const Region& r, TextPos s) { return r.start < s; });
+          // Within a start group ends descend, so the members long
+          // enough for the prefix are a prefix of the group.
+          for (; it != cv.end() && it->start == p && it->end >= p + len;
+               ++it) {
+            out.push_back(*it);
+          }
+        }
+      } else {
+        for (const Region& r : child) {
+          if (r.length() < len) continue;
+          if (std::binary_search(postings.begin(), postings.end(),
+                                 r.start)) {
+            out.push_back(r);
+          }
         }
       }
     } else {
@@ -241,10 +326,21 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalSelect(
     const std::string word(tokens[0].text);
     const std::vector<TextPos>& postings = words_->Lookup(word);
     const uint64_t len = word.size();
-    for (const Region& r : child) {
-      if (r.length() != len) continue;
-      if (std::binary_search(postings.begin(), postings.end(), r.start)) {
-        out.push_back(r);
+    if (PostingDriven(postings.size(), child.size())) {
+      // Posting-driven: each posting determines the single span {p, p+len}
+      // a match can have; probe the child for it. Postings ascend and a
+      // set holds each span at most once, so the output is canonical.
+      for (TextPos p : postings) {
+        if (child.ContainsRegion(Region{p, p + len})) {
+          out.push_back(Region{p, p + len});
+        }
+      }
+    } else {
+      for (const Region& r : child) {
+        if (r.length() != len) continue;
+        if (std::binary_search(postings.begin(), postings.end(), r.start)) {
+          out.push_back(r);
+        }
       }
     }
   } else if (kind == ExprKind::kSelectContains && tokens.size() == 1) {

@@ -1,0 +1,53 @@
+#include "qof/cache/cache.h"
+
+namespace qof {
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
+    const std::string& fql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fql);
+  if (it == map_.end()) {
+    ++stats_.plan_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.plan_hits;
+  return it->second.entry;
+}
+
+void PlanCache::Insert(const std::string& fql,
+                       std::shared_ptr<const Entry> entry) {
+  if (max_plans_ == 0 || entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fql);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(fql);
+  map_[fql] = Slot{std::move(entry), lru_.begin()};
+  EvictIfNeededLocked();
+}
+
+void PlanCache::EvictIfNeededLocked() {
+  while (map_.size() > max_plans_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.plan_evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  ++stats_.invalidations;
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qof

@@ -1,0 +1,78 @@
+#include "qof/cache/eval_cache.h"
+
+namespace qof {
+
+std::shared_ptr<const RegionSet> EvalCache::Lookup(const std::string& key,
+                                                   const CacheEpoch& epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushForEpochLocked(epoch);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.eval_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  ++stats_.eval_hits;
+  return it->second.set;
+}
+
+void EvalCache::Insert(const std::string& key, const CacheEpoch& epoch,
+                       std::shared_ptr<const RegionSet> set) {
+  if (set == nullptr || set->size() > max_regions_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushForEpochLocked(epoch);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    regions_cached_ -= it->second.set->size();
+    regions_cached_ += set->size();
+    it->second.set = std::move(set);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    regions_cached_ += set->size();
+    lru_.push_front(key);
+    map_[key] = Slot{std::move(set), lru_.begin()};
+  }
+  stats_.eval_regions_cached = regions_cached_;
+  EvictIfNeededLocked();
+}
+
+void EvalCache::FlushForEpochLocked(const CacheEpoch& epoch) {
+  if (epoch == epoch_) return;
+  // The planted stale-cache bug: skip the flush, so entries evaluated
+  // under an older generation keep being served after mutations.
+  if (!inject_stale_) {
+    if (!map_.empty()) ++stats_.invalidations;
+    map_.clear();
+    lru_.clear();
+    regions_cached_ = 0;
+    stats_.eval_regions_cached = 0;
+  }
+  epoch_ = epoch;
+}
+
+void EvalCache::EvictIfNeededLocked() {
+  while (regions_cached_ > max_regions_ && !lru_.empty()) {
+    auto it = map_.find(lru_.back());
+    regions_cached_ -= it->second.set->size();
+    map_.erase(it);
+    lru_.pop_back();
+    ++stats_.eval_evictions;
+  }
+  stats_.eval_regions_cached = regions_cached_;
+}
+
+void EvalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  regions_cached_ = 0;
+  stats_.eval_regions_cached = 0;
+  ++stats_.invalidations;
+}
+
+CacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qof

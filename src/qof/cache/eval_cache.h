@@ -1,0 +1,89 @@
+#ifndef QOF_CACHE_EVAL_CACHE_H_
+#define QOF_CACHE_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "qof/region/region_set.h"
+
+namespace qof {
+
+/// Counters for both query caches, exposed through
+/// FileQuerySystem::cache_stats().
+struct CacheStats {
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_evictions = 0;
+  uint64_t eval_hits = 0;
+  uint64_t eval_misses = 0;
+  uint64_t eval_evictions = 0;
+  uint64_t eval_regions_cached = 0;  // currently retained
+  uint64_t invalidations = 0;        // epoch flushes + explicit clears
+};
+
+/// Identifies one index state: entries cached under a different epoch are
+/// never served. `generation` counts mutations; `compactions` must ride
+/// along because Compact() rebases region/posting offsets *without*
+/// bumping the generation.
+struct CacheEpoch {
+  uint64_t generation = 0;
+  uint64_t compactions = 0;
+
+  friend bool operator==(const CacheEpoch& a, const CacheEpoch& b) {
+    return a.generation == b.generation && a.compactions == b.compactions;
+  }
+  friend bool operator!=(const CacheEpoch& a, const CacheEpoch& b) {
+    return !(a == b);
+  }
+};
+
+/// LRU map from a serialized region expression (plus the index epoch it
+/// was evaluated under) to the resulting RegionSet, shared immutably with
+/// every consumer. Thm 3.6 normal forms are canonical and re-parseable,
+/// so the serialized expression is a perfect key. Bounded by total
+/// regions retained, not entry count — the budget-relevant quantity.
+/// Thread-safe; sits below the algebra evaluator, which consults it.
+class EvalCache {
+ public:
+  EvalCache(uint64_t max_regions, bool inject_stale)
+      : max_regions_(max_regions), inject_stale_(inject_stale) {}
+
+  /// Returns the cached set for `key` if it was cached under `epoch`
+  /// (stale entries are flushed wholesale on the first access under a new
+  /// epoch), or null. Under the planted inject_stale bug the epoch check
+  /// is skipped — old-generation entries keep being served, which the
+  /// fuzzer's cache leg exists to catch (--inject stale-cache).
+  std::shared_ptr<const RegionSet> Lookup(const std::string& key,
+                                          const CacheEpoch& epoch);
+
+  void Insert(const std::string& key, const CacheEpoch& epoch,
+              std::shared_ptr<const RegionSet> set);
+
+  void Clear();
+  CacheStats stats() const;
+
+ private:
+  void FlushForEpochLocked(const CacheEpoch& epoch);
+  void EvictIfNeededLocked();
+
+  const uint64_t max_regions_;
+  const bool inject_stale_;
+  mutable std::mutex mu_;
+  CacheEpoch epoch_;
+  std::list<std::string> lru_;  // front = most recent
+  struct Slot {
+    std::shared_ptr<const RegionSet> set;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Slot> map_;
+  uint64_t regions_cached_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace qof
+
+#endif  // QOF_CACHE_EVAL_CACHE_H_

@@ -14,11 +14,13 @@
 ///   db        — values, object store, path navigation
 ///   query     — FQL (XSQL-flavoured SELECT/FROM/WHERE)
 ///   compiler  — query → optimized inclusion expressions (§5–§6)
+///   cache     — plan + eval-result caches (generation-keyed)
 ///   engine    — FileQuerySystem facade, execution strategies
 ///   datagen   — synthetic BibTeX / mail / log corpora + their schemas
 
 #include "qof/algebra/evaluator.h"
 #include "qof/algebra/parser.h"
+#include "qof/cache/cache.h"
 #include "qof/compiler/index_advisor.h"
 #include "qof/compiler/query_compiler.h"
 #include "qof/datagen/bibtex_gen.h"

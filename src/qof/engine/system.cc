@@ -146,6 +146,11 @@ Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
       &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
       spec.within);
   ResetMaintainer(/*generation=*/0);
+  // A rebuild replaces the compiler (plans may change) and resets the
+  // generation to 0 over possibly different data (the epoch alone cannot
+  // tell): drop everything from both caches.
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+  if (eval_cache_ != nullptr) eval_cache_->Clear();
   return Status::OK();
 }
 
@@ -213,8 +218,63 @@ Result<std::string> FileQuerySystem::Explain(std::string_view fql) const {
 Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
                                              ExecutionMode mode,
                                              const QueryOptions& options) {
+  if (plan_cache_ != nullptr) {
+    std::string key(fql);
+    if (auto hit = plan_cache_->Lookup(key)) {
+      // Parse and (when present) compile both skipped. Plans depend only
+      // on the schema and the index spec, never on the indexed data, so
+      // mutations need not invalidate them.
+      return ExecuteQueryImpl(hit->query, mode, options, &key, hit->plan);
+    }
+    QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
+    // Publish the parse right away (plan still null); the impl replaces
+    // the entry with the compiled plan attached once it compiles — which
+    // baseline-mode executions never do.
+    auto entry = std::make_shared<PlanCache::Entry>();
+    entry->query = query;
+    plan_cache_->Insert(key, std::move(entry));
+    return ExecuteQueryImpl(query, mode, options, &key, nullptr);
+  }
   QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
-  return ExecuteQuery(query, mode, options);
+  return ExecuteQueryImpl(query, mode, options, nullptr, nullptr);
+}
+
+Result<QueryResult> FileQuerySystem::ExecuteQuery(
+    const SelectQuery& query, ExecutionMode mode,
+    const QueryOptions& options) {
+  // Pre-parsed queries have no text to key the plan cache by.
+  return ExecuteQueryImpl(query, mode, options, nullptr, nullptr);
+}
+
+void FileQuerySystem::SetCacheOptions(const CacheOptions& options) {
+  cache_options_ = options;
+  plan_cache_ = options.enable_plan_cache
+                    ? std::make_unique<PlanCache>(options.max_plans)
+                    : nullptr;
+  eval_cache_ = options.enable_eval_cache
+                    ? std::make_unique<EvalCache>(options.max_cached_regions,
+                                                  options.inject_stale)
+                    : nullptr;
+}
+
+CacheStats FileQuerySystem::cache_stats() const {
+  CacheStats merged;
+  if (plan_cache_ != nullptr) {
+    CacheStats p = plan_cache_->stats();
+    merged.plan_hits = p.plan_hits;
+    merged.plan_misses = p.plan_misses;
+    merged.plan_evictions = p.plan_evictions;
+    merged.invalidations += p.invalidations;
+  }
+  if (eval_cache_ != nullptr) {
+    CacheStats e = eval_cache_->stats();
+    merged.eval_hits = e.eval_hits;
+    merged.eval_misses = e.eval_misses;
+    merged.eval_evictions = e.eval_evictions;
+    merged.eval_regions_cached = e.eval_regions_cached;
+    merged.invalidations += e.invalidations;
+  }
+  return merged;
 }
 
 Result<QueryResult> FileQuerySystem::RunBaselinePlan(
@@ -243,9 +303,10 @@ Result<QueryResult> FileQuerySystem::RunBaselinePlan(
   return result;
 }
 
-Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
-                                                  ExecutionMode mode,
-                                                  const QueryOptions& options) {
+Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
+    const SelectQuery& query, ExecutionMode mode,
+    const QueryOptions& options, const std::string* plan_key,
+    std::shared_ptr<const QueryPlan> cached_plan) {
   QOF_RETURN_IF_ERROR(CheckView(query.view));
 
   // Arm governance. With no limits set `ctx` stays null and every checked
@@ -274,7 +335,18 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
         "indexes not built; call BuildIndexes() first (or use "
         "ExecutionMode::kBaseline)");
   }
-  QOF_ASSIGN_OR_RETURN(QueryPlan plan, compiler_->Compile(query));
+  std::shared_ptr<const QueryPlan> plan_ptr = std::move(cached_plan);
+  if (plan_ptr == nullptr) {
+    QOF_ASSIGN_OR_RETURN(QueryPlan compiled, compiler_->Compile(query));
+    plan_ptr = std::make_shared<const QueryPlan>(std::move(compiled));
+    if (plan_key != nullptr && plan_cache_ != nullptr) {
+      auto entry = std::make_shared<PlanCache::Entry>();
+      entry->query = query;
+      entry->plan = plan_ptr;
+      plan_cache_->Insert(*plan_key, std::move(entry));
+    }
+  }
+  const QueryPlan& plan = *plan_ptr;
   result.stats.notes = plan.notes;
   if (maintainer_ != nullptr && maintainer_->generation() > 0) {
     MaintainStats ms = maintainer_->stats();
@@ -344,9 +416,12 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(const SelectQuery& query,
     governed.ResetForFallback();
   };
 
-  // Phase 1: evaluate the candidate expression on the indices.
+  // Phase 1: evaluate the candidate expression on the indices. With the
+  // eval cache on, every composite subexpression is first looked up by
+  // its serialized normal form under the current index epoch.
   ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_,
-                          DirectAlgorithm::kFast, ctx);
+                          DirectAlgorithm::kFast, ctx, eval_cache_.get(),
+                          CurrentEpoch());
   RegionSet candidates;
   {
     auto cand = evaluator.Evaluate(*plan.candidates, &result.stats.algebra);
@@ -527,6 +602,10 @@ Status FileQuerySystem::ImportIndexes(std::string_view blob) {
   built_ = std::move(staged.built);
   compiler_ = std::move(staged.compiler);
   ResetMaintainer(staged.generation);
+  // Same reasoning as BuildIndexes: new compiler, new data, reused
+  // generation numbers — flush both caches.
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+  if (eval_cache_ != nullptr) eval_cache_->Clear();
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include "qof/algebra/cost_model.h"
 #include "qof/algebra/evaluator.h"
+#include "qof/cache/cache.h"
 #include "qof/compiler/query_compiler.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
@@ -160,6 +161,19 @@ class FileQuerySystem {
                                    ExecutionMode mode,
                                    const QueryOptions& options = {});
 
+  /// Installs (or disables, with a default-constructed CacheOptions) the
+  /// two query caches. The plan cache maps FQL text to its parsed AST and
+  /// compiled plan; the eval cache shares region-algebra subexpression
+  /// results keyed by serialized normal form + index epoch. Enabling them
+  /// never changes results — only cost. Both are invalidated here and on
+  /// BuildIndexes / ImportIndexes; the eval cache additionally flushes
+  /// itself whenever the maintenance generation or compaction count moves.
+  void SetCacheOptions(const CacheOptions& options);
+  const CacheOptions& cache_options() const { return cache_options_; }
+
+  /// Combined counters of both caches (all zeros while disabled).
+  CacheStats cache_stats() const;
+
   /// The compiled plan for a query (for inspection / tests / benches).
   Result<QueryPlan> Plan(std::string_view fql) const;
 
@@ -224,6 +238,20 @@ class FileQuerySystem {
                                       const ExecContext* ctx,
                                       bool soft_fail);
 
+  /// Shared body of Execute / ExecuteQuery. `plan_key` (the FQL text,
+  /// non-null only when the plan cache is on) lets the compiled plan be
+  /// published back to the cache; `cached_plan` skips compilation when the
+  /// lookup already produced one.
+  Result<QueryResult> ExecuteQueryImpl(
+      const SelectQuery& query, ExecutionMode mode,
+      const QueryOptions& options, const std::string* plan_key,
+      std::shared_ptr<const QueryPlan> cached_plan);
+
+  /// The epoch eval-cache entries are keyed under right now.
+  CacheEpoch CurrentEpoch() const {
+    return CacheEpoch{index_generation(), maintain_stats().compactions};
+  }
+
   /// The shared worker pool, lazily (re)built for `threads` workers;
   /// nullptr when `threads` <= 1 so serial paths take no pool detour.
   ThreadPool* EnsurePool(int threads);
@@ -238,6 +266,9 @@ class FileQuerySystem {
   std::unique_ptr<QueryCompiler> compiler_;
   MaintainOptions maintain_options_;
   std::unique_ptr<IndexMaintainer> maintainer_;
+  CacheOptions cache_options_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<EvalCache> eval_cache_;
   std::set<std::string> view_aliases_;
 };
 

@@ -343,6 +343,111 @@ Status CheckMaintenance(
   return Status::OK();
 }
 
+/// The caching leg: a system with both query caches enabled must agree
+/// byte-for-byte with an uncached one — cold, warm (the second run must
+/// be served from the caches: a plan hit and no new eval misses), after
+/// every interleaved mutation, and after a final compaction. This is the
+/// leg that catches kStaleCache (CacheOptions::inject_stale), which
+/// keeps serving entries cached under an older index epoch.
+Status CheckCaching(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const OracleOptions& options,
+    std::string* failure) {
+  auto fail = [&](const std::string& what) {
+    *failure = "[cache] " + what + " (fql: " + c.fql + ")";
+    return Status::OK();
+  };
+
+  FileQuerySystem plain(schema);
+  FileQuerySystem cached(schema);
+  for (const auto& [name, text] : docs) {
+    QOF_RETURN_IF_ERROR(plain.AddFile(name, text));
+    QOF_RETURN_IF_ERROR(cached.AddFile(name, text));
+  }
+  plain.SetParallelism(1);
+  cached.SetParallelism(1);
+  CacheOptions cache_options = CacheOptions::Enabled();
+  cache_options.inject_stale = options.bug == InjectedBug::kStaleCache;
+  cached.SetCacheOptions(cache_options);
+  QOF_RETURN_IF_ERROR(plain.BuildIndexes(IndexSpec::Full()));
+  QOF_RETURN_IF_ERROR(cached.BuildIndexes(IndexSpec::Full()));
+
+  CanonExec want = Canon(plain.Execute(c.fql, ExecutionMode::kAuto));
+  CanonExec cold = Canon(cached.Execute(c.fql, ExecutionMode::kAuto));
+  if (!Agrees("cache/cold", want, cold, c, failure)) return Status::OK();
+  CacheStats after_cold = cached.cache_stats();
+  CanonExec warm = Canon(cached.Execute(c.fql, ExecutionMode::kAuto));
+  if (!Agrees("cache/warm", want, warm, c, failure)) return Status::OK();
+  if (cold.ok) {
+    CacheStats after_warm = cached.cache_stats();
+    if (after_warm.plan_hits <= after_cold.plan_hits) {
+      return fail("second execution missed the plan cache (hits " +
+                  std::to_string(after_cold.plan_hits) + " -> " +
+                  std::to_string(after_warm.plan_hits) + ")");
+    }
+    if (after_warm.eval_misses != after_cold.eval_misses) {
+      return fail("second execution recomputed subexpressions (eval "
+                  "misses " +
+                  std::to_string(after_cold.eval_misses) + " -> " +
+                  std::to_string(after_warm.eval_misses) + ")");
+    }
+  }
+
+  // Interleaved mutations: every one bumps the maintenance generation, so
+  // the epoch-keyed eval cache must stop serving its pre-mutation
+  // entries. Each step compares cold-after-mutation and warm-again
+  // answers against the uncached system.
+  for (size_t mi = 0; mi < c.mutations.size(); ++mi) {
+    const MutationStep& m = c.mutations[mi];
+    for (FileQuerySystem* sys : {&plain, &cached}) {
+      Status applied = Status::OK();
+      switch (m.op) {
+        case MutationStep::Op::kAdd:
+          applied = sys->AddFile(m.name, m.text);
+          break;
+        case MutationStep::Op::kUpdate:
+          applied = sys->UpdateFile(m.name, m.text);
+          break;
+        case MutationStep::Op::kRemove:
+          applied = sys->RemoveFile(m.name);
+          break;
+      }
+      if (!applied.ok()) {
+        return Status::Internal("cache leg: mutation " +
+                                std::to_string(mi) + " (" + m.name +
+                                ") failed: " + applied.ToString());
+      }
+    }
+    std::string label = " after mutation " + std::to_string(mi);
+    CanonExec w = Canon(plain.Execute(c.fql, ExecutionMode::kAuto));
+    if (!Agrees("cache/mutated" + label, w,
+                Canon(cached.Execute(c.fql, ExecutionMode::kAuto)), c,
+                failure)) {
+      return Status::OK();
+    }
+    if (!Agrees("cache/mutated-warm" + label, w,
+                Canon(cached.Execute(c.fql, ExecutionMode::kAuto)), c,
+                failure)) {
+      return Status::OK();
+    }
+  }
+
+  // Compaction rebases region offsets without bumping the generation —
+  // the epoch's compaction count must flush the eval cache on its own.
+  if (!c.mutations.empty()) {
+    QOF_RETURN_IF_ERROR(plain.CompactIndexes());
+    QOF_RETURN_IF_ERROR(cached.CompactIndexes());
+    CanonExec w = Canon(plain.Execute(c.fql, ExecutionMode::kAuto));
+    if (!Agrees("cache/compacted", w,
+                Canon(cached.Execute(c.fql, ExecutionMode::kAuto)), c,
+                failure)) {
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 /// Journal sub-check of the fault leg, run for the journal.* sites: a
 /// mutation session journals every applied record through
 /// AppendJournalRecordToFile (where journal.append can tear a frame —
@@ -989,7 +1094,16 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
     }
   }
 
-  // 5. Thm. 3.6: rewrite walks converge to the unique normal form.
+  // 5. Query caches: cached answers are byte-identical to uncached ones
+  // cold, warm, across interleaved mutations, and past a compaction.
+  QOF_RETURN_IF_ERROR(
+      CheckCaching(schema, docs, c, options, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 6. Thm. 3.6: rewrite walks converge to the unique normal form.
   if (options.check_chains) {
     Rig rig = DeriveFullRig(schema);
     QOF_RETURN_IF_ERROR(

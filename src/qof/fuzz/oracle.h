@@ -22,7 +22,18 @@ namespace qof {
 ///    the dead document's contribution survives in the indexes, so the
 ///    maintenance leg's differential checks — and compaction's own
 ///    consistency check — must flag it.
-enum class InjectedBug { kNone, kRelaxDirect, kExactSkip, kDropTombstone };
+///  - kStaleCache makes the eval cache ignore index-epoch changes
+///    (CacheOptions::inject_stale): entries cached before a mutation or
+///    compaction keep being served after it, so the caching leg's
+///    cached-vs-plain comparison across interleaved mutations must flag
+///    the stale answers.
+enum class InjectedBug {
+  kNone,
+  kRelaxDirect,
+  kExactSkip,
+  kDropTombstone,
+  kStaleCache,
+};
 
 struct OracleOptions {
   InjectedBug bug = InjectedBug::kNone;
@@ -69,7 +80,12 @@ struct OracleOutcome {
 ///     system, its answers match a from-scratch rebuild of the mutated
 ///     corpus, and after compaction the exported index blobs are
 ///     byte-identical to the rebuild's;
-///  5. for inclusion chains enumerated from the schema's RIG, every
+///  5. with both query caches enabled the same query run twice returns
+///     byte-identical answers to an uncached system (the second run
+///     served from the caches without recomputation), and the agreement
+///     survives every interleaved mutation and a final compaction —
+///     old-generation cache entries are never served;
+///  6. for inclusion chains enumerated from the schema's RIG, every
 ///     random-order rewrite walk converges to Optimize()'s normal form,
 ///     and re-optimizing any intermediate chain yields the same normal
 ///     form (Thm. 3.6).

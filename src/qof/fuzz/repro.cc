@@ -35,6 +35,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "exact-skip";
     case InjectedBug::kDropTombstone:
       return "drop-tombstone";
+    case InjectedBug::kStaleCache:
+      return "stale-cache";
   }
   return "none";
 }
@@ -44,6 +46,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "relax-direct") return InjectedBug::kRelaxDirect;
   if (name == "exact-skip") return InjectedBug::kExactSkip;
   if (name == "drop-tombstone") return InjectedBug::kDropTombstone;
+  if (name == "stale-cache") return InjectedBug::kStaleCache;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }

@@ -1,10 +1,42 @@
 #include "qof/region/region_set.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace qof {
 namespace {
+
+KernelPolicy InitialKernelPolicy() {
+  const char* env = std::getenv("QOF_FORCE_KERNEL");
+  if (env != nullptr) {
+    if (std::strcmp(env, "linear") == 0) return KernelPolicy::kLinear;
+    if (std::strcmp(env, "galloping") == 0) return KernelPolicy::kGalloping;
+  }
+  return KernelPolicy::kAdaptive;
+}
+
+std::atomic<KernelPolicy>& KernelPolicyFlag() {
+  static std::atomic<KernelPolicy> policy{InitialKernelPolicy()};
+  return policy;
+}
+
+/// True when the galloping kernel should run for operand sizes (m, n),
+/// m <= n, under the current policy.
+bool UseGalloping(size_t small, size_t large) {
+  if (small == 0) return false;
+  switch (KernelPolicyFlag().load(std::memory_order_relaxed)) {
+    case KernelPolicy::kLinear:
+      return false;
+    case KernelPolicy::kGalloping:
+      return true;
+    case KernelPolicy::kAdaptive:
+      break;
+  }
+  return small < large / kGallopRatio;
+}
 
 // Sparse table for O(1) range-min queries over member end offsets; built
 // per algebra operation, so construction is O(n log n) on the operand only.
@@ -124,6 +156,168 @@ RegionSet IncludedInImpl(const RegionSet& r, const RegionSet& s,
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
+// --- galloping kernels ----------------------------------------------------
+//
+// Each probes the small operand into the large one: a forward exponential
+// search from the previous match position, then a binary search over the
+// bracketed range — O(m log(n/m)) total instead of the linear merge's
+// O(m + n). All outputs are produced in canonical order (debug-asserted);
+// results are identical to the linear kernels under every policy.
+
+/// First index >= `from` whose region is not less than `key` (canonical
+/// order), found by galloping forward from `from`.
+size_t GallopLowerBound(const std::vector<Region>& v, size_t from,
+                        const Region& key) {
+  size_t n = v.size();
+  size_t lo = from;
+  size_t step = 1;
+  while (from + step < n && v[from + step] < key) {
+    lo = from + step;
+    step <<= 1;
+  }
+  size_t hi = std::min(n, from + step);
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + static_cast<long>(lo),
+                       v.begin() + static_cast<long>(hi), key) -
+      v.begin());
+}
+
+/// Intersection with |a| ≪ |b|: gallop each member of `a` into `b`.
+RegionSet GallopIntersect(const RegionSet& a, const RegionSet& b) {
+  std::vector<Region> out;
+  out.reserve(a.size());
+  const std::vector<Region>& bv = b.regions();
+  size_t pos = 0;
+  for (const Region& x : a) {
+    pos = GallopLowerBound(bv, pos, x);
+    if (pos == bv.size()) break;
+    if (bv[pos] == x) {
+      assert((out.empty() || out.back() < x) &&
+             "galloping intersect broke canonical order");
+      out.push_back(x);
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+/// Difference with |a| ≪ |b|: keep the members of `a` whose span is
+/// absent from `b`. (When `b` is the small side the linear merge is
+/// already output-proportional, so no galloping variant exists for it.)
+RegionSet GallopDifference(const RegionSet& a, const RegionSet& b) {
+  std::vector<Region> out;
+  out.reserve(a.size());
+  const std::vector<Region>& bv = b.regions();
+  size_t pos = 0;
+  for (const Region& x : a) {
+    pos = GallopLowerBound(bv, pos, x);
+    if (pos == bv.size() || !(bv[pos] == x)) {
+      assert((out.empty() || out.back() < x) &&
+             "galloping difference broke canonical order");
+      out.push_back(x);
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+/// R ⊃ S with |r| ≪ |s|: instead of building the range-min table over all
+/// of `s`, binary-search each candidate's start window and scan it with an
+/// early exit at the first contained member. When the windows blow past
+/// |s| in total (pathologically overlapping operands) the scan bails to
+/// the table-based kernel, bounding the worst case at ~2x linear.
+RegionSet GallopIncluding(const RegionSet& r, const RegionSet& s,
+                          bool strict) {
+  std::vector<Region> out;
+  out.reserve(r.size());
+  const std::vector<Region>& sv = s.regions();
+  size_t scanned = 0;
+  for (const Region& cand : r) {
+    auto [lo, hi] = StartWindow(sv, cand.start, cand.end);
+    for (size_t i = lo; i < hi; ++i) {
+      if (++scanned > sv.size()) return IncludingImpl(r, s, strict);
+      if (sv[i].end > cand.end) continue;
+      if (strict && sv[i] == cand) continue;
+      assert((out.empty() || out.back() < cand) &&
+             "galloping including broke canonical order");
+      out.push_back(cand);
+      break;
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+/// R ⊂ S with |r| ≪ |s|: the prefix-max over `s` ends is built
+/// incrementally, advancing a cursor only as far as the candidates'
+/// (nondecreasing) start positions require — s-members past the last
+/// candidate's start are never touched.
+RegionSet GallopIncludedInSmallR(const RegionSet& r, const RegionSet& s,
+                                 bool strict) {
+  std::vector<Region> out;
+  out.reserve(r.size());
+  const std::vector<Region>& sv = s.regions();
+  size_t cursor = 0;          // sv[0, cursor) folded into the maxima below
+  uint64_t max_end = 0;       // max end over sv[0, cursor)
+  uint64_t second_end = 0;    // max end over sv[0, cursor) minus one
+                              // occurrence of the max (for strict)
+  for (const Region& cand : r) {
+    // Fold in the s-members with start <= cand.start.
+    while (cursor < sv.size() && sv[cursor].start <= cand.start) {
+      if (sv[cursor].end >= max_end) {
+        second_end = max_end;
+        max_end = sv[cursor].end;
+      } else {
+        second_end = std::max(second_end, sv[cursor].end);
+      }
+      ++cursor;
+    }
+    bool hit = max_end >= cand.end;
+    if (hit && strict && max_end == cand.end) {
+      // The maximum may be the identical span; a strict container exists
+      // iff some *other* folded member also reaches cand.end, or the max
+      // was achieved by a non-identical span (earlier start or duplicate
+      // end at a different start).
+      size_t self = FindExact(sv, cand);
+      if (self < cursor) {
+        hit = second_end >= cand.end;
+        // A member with the same end but a different (earlier) start
+        // strictly contains cand and also counts; second_end covers it
+        // because the identical span displaces only one occurrence.
+      }
+    }
+    if (hit) {
+      assert((out.empty() || out.back() < cand) &&
+             "galloping included-in broke canonical order");
+      out.push_back(cand);
+    }
+  }
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
+/// R ⊂ S with |s| ≪ |r|: enumerate each container's start window in `r`
+/// and keep the members it contains, deduplicating across overlapping
+/// containers by index. Bails to the linear kernel when the windows blow
+/// past |r| in total.
+RegionSet GallopIncludedInSmallS(const RegionSet& r, const RegionSet& s,
+                                 bool strict) {
+  const std::vector<Region>& rv = r.regions();
+  std::vector<size_t> hits;
+  size_t scanned = 0;
+  for (const Region& container : s) {
+    auto [lo, hi] = StartWindow(rv, container.start, container.end);
+    for (size_t i = lo; i < hi; ++i) {
+      if (++scanned > rv.size()) return IncludedInImpl(r, s, strict);
+      if (rv[i].end > container.end) continue;
+      if (strict && rv[i] == container) continue;
+      hits.push_back(i);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  std::vector<Region> out;
+  out.reserve(hits.size());
+  for (size_t i : hits) out.push_back(rv[i]);
+  return RegionSet::FromSortedUnique(std::move(out));
+}
+
 }  // namespace
 
 RegionSet RegionSet::FromUnsorted(std::vector<Region> regions) {
@@ -211,15 +405,35 @@ RegionSet Union(const RegionSet& a, const RegionSet& b) {
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
+void SetKernelPolicy(KernelPolicy policy) {
+  KernelPolicyFlag().store(policy, std::memory_order_relaxed);
+}
+
+KernelPolicy kernel_policy() {
+  return KernelPolicyFlag().load(std::memory_order_relaxed);
+}
+
 RegionSet Intersect(const RegionSet& a, const RegionSet& b) {
+  const RegionSet& small = a.size() <= b.size() ? a : b;
+  const RegionSet& large = a.size() <= b.size() ? b : a;
+  if (UseGalloping(small.size(), large.size())) {
+    return GallopIntersect(small, large);
+  }
   std::vector<Region> out;
+  out.reserve(small.size());
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(out));
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
 RegionSet Difference(const RegionSet& a, const RegionSet& b) {
+  // Only the a-small case gallops: with b small the linear merge is
+  // already proportional to the output (which contains most of a).
+  if (a.size() <= b.size() && UseGalloping(a.size(), b.size())) {
+    return GallopDifference(a, b);
+  }
   std::vector<Region> out;
+  out.reserve(a.size());
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(out));
   return RegionSet::FromSortedUnique(std::move(out));
@@ -254,20 +468,51 @@ RegionSet Outermost(const RegionSet& r) {
   return RegionSet::FromSortedUnique(std::move(out));
 }
 
+namespace {
+
+/// Shared adaptive dispatch for ⊃ and its strict variant. Only the
+/// r-small case has a galloping kernel: the table-based kernel's work is
+/// dominated by iterating r, which the output is drawn from.
+RegionSet IncludingDispatch(const RegionSet& r, const RegionSet& s,
+                            bool strict) {
+  if (r.empty() || s.empty()) return RegionSet();
+  if (r.size() <= s.size() && UseGalloping(r.size(), s.size())) {
+    return GallopIncluding(r, s, strict);
+  }
+  return IncludingImpl(r, s, strict);
+}
+
+/// Shared adaptive dispatch for ⊂ and its strict variant; both skew
+/// directions have galloping kernels.
+RegionSet IncludedInDispatch(const RegionSet& r, const RegionSet& s,
+                             bool strict) {
+  if (r.empty() || s.empty()) return RegionSet();
+  if (r.size() <= s.size()) {
+    if (UseGalloping(r.size(), s.size())) {
+      return GallopIncludedInSmallR(r, s, strict);
+    }
+  } else if (UseGalloping(s.size(), r.size())) {
+    return GallopIncludedInSmallS(r, s, strict);
+  }
+  return IncludedInImpl(r, s, strict);
+}
+
+}  // namespace
+
 RegionSet Including(const RegionSet& r, const RegionSet& s) {
-  return IncludingImpl(r, s, /*strict=*/false);
+  return IncludingDispatch(r, s, /*strict=*/false);
 }
 
 RegionSet IncludedIn(const RegionSet& r, const RegionSet& s) {
-  return IncludedInImpl(r, s, /*strict=*/false);
+  return IncludedInDispatch(r, s, /*strict=*/false);
 }
 
 RegionSet IncludingStrict(const RegionSet& r, const RegionSet& s) {
-  return IncludingImpl(r, s, /*strict=*/true);
+  return IncludingDispatch(r, s, /*strict=*/true);
 }
 
 RegionSet IncludedInStrict(const RegionSet& r, const RegionSet& s) {
-  return IncludedInImpl(r, s, /*strict=*/true);
+  return IncludedInDispatch(r, s, /*strict=*/true);
 }
 
 std::vector<Region> InnermostStrictEnclosers(const RegionSet& queries,

@@ -70,6 +70,33 @@ class RegionSet {
   std::vector<Region> regions_;
 };
 
+/// Which merge kernel the binary set operations (∪ ∩ − ⊃ ⊂) use.
+///
+/// The linear kernels cost O(m + n) or O(n log n) regardless of operand
+/// skew; the galloping (exponential-search) kernels probe the small
+/// operand into the large one in O(m log n), which wins exactly when
+/// min(m, n) ≪ max(m, n) — the shape indexed containment queries produce
+/// (a handful of selected regions against a full instance).
+enum class KernelPolicy {
+  /// Per call: gallop when the size ratio crosses kGallopRatio (default).
+  kAdaptive,
+  /// Always the linear merge / full-table path.
+  kLinear,
+  /// Always the galloping path (when one exists for the operation).
+  kGalloping,
+};
+
+/// Crossover ratio for kAdaptive: gallop when small * ratio < large.
+inline constexpr size_t kGallopRatio = 16;
+
+/// Sets the process-wide kernel policy. The default is kAdaptive, or the
+/// value of the QOF_FORCE_KERNEL environment variable ("linear" |
+/// "galloping" | "adaptive") read once at first use — a debug knob to pin
+/// either path. Results are identical under every policy; only cost
+/// changes.
+void SetKernelPolicy(KernelPolicy policy);
+KernelPolicy kernel_policy();
+
 /// Set-theoretic union of two region sets.
 RegionSet Union(const RegionSet& a, const RegionSet& b);
 /// Set-theoretic intersection (identical spans).

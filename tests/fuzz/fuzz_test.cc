@@ -127,6 +127,29 @@ TEST(FuzzTest, InjectedDropTombstoneBugIsCaught) {
   EXPECT_TRUE(replay->failed) << report->repro;
 }
 
+TEST(FuzzTest, InjectedStaleCacheBugIsCaught) {
+  // An eval cache that ignores index-epoch changes keeps serving
+  // answers computed before a mutation. The caching leg's cached-vs-
+  // uncached comparison across interleaved mutations must flag it, and
+  // the written repro must replay to the same failure.
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 1;
+  options.bug = InjectedBug::kStaleCache;
+  options.invalid_fraction = 0.0;
+  options.mutation_fraction = 1.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected stale-cache bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[cache"), std::string::npos)
+      << report->failure;
+
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
 TEST(FuzzTest, MutationSequencesHoldInvariants) {
   // Every case gets a mutation sequence: incremental maintenance must
   // match a from-scratch rebuild, down to the compacted blob bytes.
@@ -217,7 +240,8 @@ TEST(FuzzTest, ShrinkerReductionsShrinkTheCase) {
 TEST(FuzzTest, InjectedBugNamesRoundTrip) {
   for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kRelaxDirect,
                           InjectedBug::kExactSkip,
-                          InjectedBug::kDropTombstone}) {
+                          InjectedBug::kDropTombstone,
+                          InjectedBug::kStaleCache}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);
