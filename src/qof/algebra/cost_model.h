@@ -4,6 +4,7 @@
 #include <string>
 
 #include "qof/algebra/expr.h"
+#include "qof/region/cost_model.h"
 #include "qof/region/region_index.h"
 #include "qof/text/word_index.h"
 #include "qof/util/result.h"
@@ -34,9 +35,9 @@ struct CostEstimate {
 /// explanation and ablation, not admission control.
 class CostEstimator {
  public:
-  /// Weight of a ⊃d/⊂d relative to ⊃/⊂ on the same operands (measured
-  /// ratio of the paper's layered program is 3–12×; 4 is a fair middle).
-  static constexpr double kDirectFactor = 4.0;
+  /// Weight of a ⊃d/⊂d relative to ⊃/⊂ on the same operands; aliased
+  /// from the shared CostModel table (see qof/region/cost_model.h).
+  static constexpr double kDirectFactor = CostModel::kDirectFactor;
 
   CostEstimator(const RegionIndex* regions, const WordIndex* words)
       : regions_(regions), words_(words) {}
@@ -48,7 +49,7 @@ class CostEstimator {
   /// kernels' crossover ratio keeps the policy consistent across layers.
   static bool PreferPostingDriven(uint64_t posting_count,
                                   uint64_t child_size) {
-    return posting_count < child_size / kGallopRatio;
+    return CostModel::PreferPostingDriven(posting_count, child_size);
   }
 
   /// Estimates `expr`; unknown region names estimate as empty.

@@ -1,0 +1,270 @@
+#include "qof/algebra/select_kernels.h"
+
+#include <algorithm>
+
+#include "qof/region/cost_model.h"
+#include "qof/text/tokenizer.h"
+#include "qof/util/string_util.h"
+
+namespace qof {
+namespace {
+
+/// Whether an exact-match selection should iterate the posting list and
+/// probe the child set, instead of iterating the child and probing the
+/// postings. The forced kernel policy pins the direction (the fuzzer
+/// cross-checks both); adaptively, posting-driven wins when the posting
+/// list is much smaller than the child.
+bool PostingDriven(size_t posting_count, size_t child_size) {
+  if (posting_count == 0) return false;
+  switch (kernel_policy()) {
+    case KernelPolicy::kGalloping:
+      return true;
+    case KernelPolicy::kLinear:
+      return false;
+    case KernelPolicy::kAdaptive:
+      break;
+  }
+  return CostModel::PreferPostingDriven(posting_count, child_size);
+}
+
+}  // namespace
+
+std::string SelectSpec::Describe(const std::string& child) const {
+  switch (kind) {
+    case ExprKind::kSelectMatches:
+      return "sigma(\"" + word + "\", " + child + ")";
+    case ExprKind::kSelectContains:
+      return "contains(\"" + word + "\", " + child + ")";
+    case ExprKind::kSelectPhrase:
+      return "phrase(\"" + word + "\", " + child + ")";
+    case ExprKind::kSelectStartsWith:
+      return "starts(\"" + word + "\", " + child + ")";
+    case ExprKind::kSelectContainsPrefix:
+      return "hasprefix(\"" + word + "\", " + child + ")";
+    case ExprKind::kSelectNear:
+      return "near(\"" + word + "\", \"" + word2 + "\", " +
+             std::to_string(param) + ", " + child + ")";
+    case ExprKind::kSelectAtLeast:
+      return "atleast(\"" + word + "\", " + std::to_string(param) + ", " +
+             child + ")";
+    default:
+      return "<not-a-selection>";
+  }
+}
+
+Result<std::vector<Region>> RunSelectKernel(const SelectSpec& spec,
+                                            const RegionSet& child,
+                                            const WordIndex* words,
+                                            const Corpus* corpus,
+                                            uint64_t* bytes_scanned,
+                                            const std::string& context) {
+  if (words == nullptr) {
+    return Status::InvalidArgument("selection requires a word index: " +
+                                   context);
+  }
+  const std::string& literal = spec.word;
+  if (literal.empty()) {
+    return Status::InvalidArgument("selection with empty word");
+  }
+
+  // Multi-word σ degenerates to phrase semantics.
+  ExprKind kind = spec.kind;
+  auto tokens = Tokenizer::Tokenize(literal);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("selection word has no indexable token: " +
+                                   literal);
+  }
+  if (kind == ExprKind::kSelectMatches && tokens.size() > 1) {
+    kind = ExprKind::kSelectPhrase;
+  }
+
+  std::vector<Region> out;
+  if (kind == ExprKind::kSelectNear) {
+    // PAT proximity: the region holds an occurrence of each word at most
+    // `param` bytes apart (start-to-start distance).
+    auto t2 = Tokenizer::Tokenize(spec.word2);
+    if (tokens.size() != 1 || t2.size() != 1) {
+      return Status::InvalidArgument("near expects two single words: " +
+                                     context);
+    }
+    const std::vector<TextPos>& p1 =
+        words->Lookup(std::string(tokens[0].text));
+    const std::vector<TextPos>& p2 = words->Lookup(std::string(t2[0].text));
+    const uint64_t d = spec.param;
+    const uint64_t len1 = tokens[0].text.size();
+    const uint64_t len2 = t2[0].text.size();
+    for (const Region& r : child) {
+      // Both occurrences must lie fully inside the region — a word whose
+      // start fits but whose tail overhangs r.end is not "in" r (the
+      // same clamp bug class as kSelectAtLeast below).
+      auto lo1 = std::lower_bound(p1.begin(), p1.end(), r.start);
+      bool hit = false;
+      for (auto it = lo1; !hit && it != p1.end() && *it + len1 <= r.end;
+           ++it) {
+        // Closest w2 occurrence inside r to *it.
+        auto lo2 = std::lower_bound(p2.begin(), p2.end(),
+                                    *it >= d ? *it - d : 0);
+        for (auto jt = lo2; jt != p2.end() && *jt <= *it + d; ++jt) {
+          if (*jt >= r.start && *jt + len2 <= r.end) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectAtLeast) {
+    // PAT frequency: at least `param` occurrences of the word inside.
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("atleast expects a single word: " +
+                                     context);
+    }
+    const std::vector<TextPos>& postings =
+        words->Lookup(std::string(tokens[0].text));
+    const uint64_t len = tokens[0].text.size();
+    const uint64_t need = spec.param;
+    for (const Region& r : child) {
+      // A region shorter than the word holds no occurrence at all; the
+      // old `r.end >= len ? r.end - len : 0` clamp let a posting at
+      // position 0 count for such a region when r.start == 0.
+      if (r.length() < len) continue;
+      auto lo = std::lower_bound(postings.begin(), postings.end(), r.start);
+      auto hi = std::upper_bound(lo, postings.end(), r.end - len);
+      if (static_cast<uint64_t>(hi - lo) >= need) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectStartsWith ||
+             kind == ExprKind::kSelectContainsPrefix) {
+    // PAT-style lexical search: all postings of words with the prefix.
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument(
+          "prefix selection expects a single word fragment: " + literal);
+    }
+    const std::string prefix(tokens[0].text);
+    std::vector<TextPos> postings = words->LookupPrefix(prefix);
+    if (kind == ExprKind::kSelectStartsWith) {
+      // A prefixed word begins exactly where the region begins — and the
+      // region must be long enough to hold the prefix (a shorter region
+      // cannot start with it, whatever word starts at its first byte).
+      const uint64_t len = prefix.size();
+      if (PostingDriven(postings.size(), child.size())) {
+        // Posting-driven direction: each posting names the only start a
+        // matching region can have; probe the child's start group.
+        // Postings ascend and group members keep their in-set order, so
+        // the output is already canonical.
+        const std::vector<Region>& cv = child.regions();
+        for (TextPos p : postings) {
+          auto it = std::lower_bound(
+              cv.begin(), cv.end(), p,
+              [](const Region& r, TextPos s) { return r.start < s; });
+          // Within a start group ends descend, so the members long
+          // enough for the prefix are a prefix of the group.
+          for (; it != cv.end() && it->start == p && it->end >= p + len;
+               ++it) {
+            out.push_back(*it);
+          }
+        }
+      } else {
+        for (const Region& r : child) {
+          if (r.length() < len) continue;
+          if (std::binary_search(postings.begin(), postings.end(),
+                                 r.start)) {
+            out.push_back(r);
+          }
+        }
+      }
+    } else {
+      const uint64_t len = prefix.size();
+      for (const Region& r : child) {
+        if (r.length() < len) continue;
+        auto it =
+            std::lower_bound(postings.begin(), postings.end(), r.start);
+        if (it != postings.end() && *it + len <= r.end) out.push_back(r);
+      }
+    }
+  } else if (kind == ExprKind::kSelectMatches) {
+    // Region spans that coincide with an occurrence of the word.
+    const std::string word(tokens[0].text);
+    const std::vector<TextPos>& postings = words->Lookup(word);
+    const uint64_t len = word.size();
+    if (PostingDriven(postings.size(), child.size())) {
+      // Posting-driven: each posting determines the single span {p, p+len}
+      // a match can have; probe the child for it. Postings ascend and a
+      // set holds each span at most once, so the output is canonical.
+      for (TextPos p : postings) {
+        if (child.ContainsRegion(Region{p, p + len})) {
+          out.push_back(Region{p, p + len});
+        }
+      }
+    } else {
+      for (const Region& r : child) {
+        if (r.length() != len) continue;
+        if (std::binary_search(postings.begin(), postings.end(), r.start)) {
+          out.push_back(r);
+        }
+      }
+    }
+  } else if (kind == ExprKind::kSelectContains && tokens.size() == 1) {
+    const std::string word(tokens[0].text);
+    const std::vector<TextPos>& postings = words->Lookup(word);
+    const uint64_t len = word.size();
+    for (const Region& r : child) {
+      if (r.length() < len) continue;
+      auto it = std::lower_bound(postings.begin(), postings.end(), r.start);
+      if (it != postings.end() && *it + len <= r.end) out.push_back(r);
+    }
+  } else if (kind == ExprKind::kSelectContains) {
+    // Phrase containment: an occurrence of the whole literal inside the
+    // region, anchored at the first word's postings and verified against
+    // the text (the verification scan is charged, as for kSelectPhrase).
+    if (corpus == nullptr) {
+      return Status::InvalidArgument(
+          "phrase containment requires corpus access: " + context);
+    }
+    std::string trimmed(TrimView(literal));
+    const std::string first(tokens[0].text);
+    const std::vector<TextPos>& postings = words->Lookup(first);
+    const uint64_t first_off = tokens[0].start;
+    const uint64_t len = trimmed.size();
+    for (const Region& r : child) {
+      if (r.length() < len) continue;
+      auto it = std::lower_bound(postings.begin(), postings.end(),
+                                 r.start + first_off);
+      bool hit = false;
+      for (; !hit && it != postings.end() && *it + len - first_off <= r.end;
+           ++it) {
+        TextPos begin = *it - first_off;
+        if (begin < r.start) continue;
+        std::string_view text = corpus->ScanText(begin, begin + len);
+        if (bytes_scanned) *bytes_scanned += text.size();
+        hit = text == trimmed;
+      }
+      if (hit) out.push_back(r);
+    }
+  } else {
+    // Phrase: candidate regions start at an occurrence of the first word
+    // (index-located), then the full span is verified against the text.
+    // The verification scan is the only text access in the algebra.
+    if (corpus == nullptr) {
+      return Status::InvalidArgument(
+          "phrase selection requires corpus access: " + context);
+    }
+    const std::string first(tokens[0].text);
+    const std::vector<TextPos>& postings = words->Lookup(first);
+    for (const Region& r : child) {
+      if (r.length() != literal.size()) continue;
+      // The first word starts where the region starts (field spans are
+      // trimmed by the parser, as are phrase literals by convention).
+      TextPos word_start = r.start + tokens[0].start;
+      if (!std::binary_search(postings.begin(), postings.end(),
+                              word_start)) {
+        continue;
+      }
+      std::string_view text = corpus->ScanText(r.start, r.end);
+      if (bytes_scanned) *bytes_scanned += text.size();
+      if (text == literal) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace qof

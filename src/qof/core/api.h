@@ -15,6 +15,7 @@
 ///   query     — FQL (XSQL-flavoured SELECT/FROM/WHERE)
 ///   compiler  — query → optimized inclusion expressions (§5–§6)
 ///   cache     — plan + eval-result caches (generation-keyed)
+///   ir        — dataflow query IR, optimizer passes, executor
 ///   engine    — FileQuerySystem facade, execution strategies
 ///   datagen   — synthetic BibTeX / mail / log corpora + their schemas
 
@@ -31,6 +32,9 @@
 #include "qof/engine/index_io.h"
 #include "qof/engine/system.h"
 #include "qof/engine/workspace.h"
+#include "qof/ir/executor.h"
+#include "qof/ir/ir.h"
+#include "qof/ir/passes.h"
 #include "qof/optimizer/optimizer.h"
 #include "qof/query/parser.h"
 #include "qof/schema/rig_derivation.h"

@@ -2,15 +2,47 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "qof/engine/baseline.h"
 #include "qof/engine/condition_eval.h"
 #include "qof/engine/index_io.h"
 #include "qof/engine/join.h"
 #include "qof/engine/two_phase.h"
+#include "qof/ir/ir.h"
 
 namespace qof {
 namespace {
+
+/// Process-wide engine override: QOF_FORCE_EXEC=tree|ir beats
+/// QueryOptions::use_ir (mirrors QOF_FORCE_KERNEL for the set kernels).
+/// Read once — queries are hot, getenv is not.
+enum class ForcedEngine { kNone, kTree, kIr };
+
+ForcedEngine ForcedExec() {
+  static const ForcedEngine forced = [] {
+    const char* v = std::getenv("QOF_FORCE_EXEC");
+    if (v == nullptr) return ForcedEngine::kNone;
+    if (std::strcmp(v, "tree") == 0) return ForcedEngine::kTree;
+    if (std::strcmp(v, "ir") == 0) return ForcedEngine::kIr;
+    return ForcedEngine::kNone;
+  }();
+  return forced;
+}
+
+bool UseIrEngine(const QueryOptions& options) {
+  switch (ForcedExec()) {
+    case ForcedEngine::kTree:
+      return false;
+    case ForcedEngine::kIr:
+      return true;
+    case ForcedEngine::kNone:
+      break;
+  }
+  return options.use_ir;
+}
 
 class Timer {
  public:
@@ -211,6 +243,23 @@ Result<std::string> FileQuerySystem::Explain(std::string_view fql) const {
   out += std::string("exact:      ") + (plan.exact ? "yes" : "no") + "\n";
   for (const std::string& note : plan.notes) {
     out += "note:       " + note + "\n";
+  }
+  return out;
+}
+
+Result<std::string> FileQuerySystem::ExplainQuery(
+    std::string_view fql) const {
+  QOF_ASSIGN_OR_RETURN(std::string out, Explain(fql));
+  QOF_ASSIGN_OR_RETURN(QueryPlan plan, Plan(fql));
+  if (plan.trivially_empty || !plan.view_indexed) return out;
+  IrProgram ir =
+      LowerToIr(plan.candidates.get(), plan.projection.get(),
+                plan.join_lhs_attrs.get(), plan.join_rhs_attrs.get());
+  std::vector<PassTrace> trace;
+  RunPasses(&ir, ir_options_, &built_->regions, &built_->words, &trace);
+  out += "\nIR pipeline:\n";
+  for (const PassTrace& step : trace) {
+    out += "-- after " + step.name + " --\n" + step.dump;
   }
   return out;
 }
@@ -416,15 +465,44 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
     governed.ResetForFallback();
   };
 
-  // Phase 1: evaluate the candidate expression on the indices. With the
-  // eval cache on, every composite subexpression is first looked up by
-  // its serialized normal form under the current index epoch.
+  // Pick the algebra engine. Both produce identical results (the fuzzer's
+  // IR leg proves it); the IR path lowers the plan's expression legs into
+  // one dataflow program, optimizes it, and evaluates nodes at most once
+  // per query with shared slots across the candidate/projection/join
+  // roots.
+  const bool use_ir = UseIrEngine(options);
+  result.stats.engine = use_ir ? "ir" : "tree";
   ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_,
                           DirectAlgorithm::kFast, ctx, eval_cache_.get(),
                           CurrentEpoch());
+  std::optional<IrProgram> ir;
+  std::optional<IrExecutor> ir_exec;
+  if (use_ir) {
+    ir.emplace(LowerToIr(plan.candidates.get(), plan.projection.get(),
+                         plan.join_lhs_attrs.get(),
+                         plan.join_rhs_attrs.get()));
+    RunPasses(&*ir, ir_options_, &built_->regions, &built_->words);
+    ir_exec.emplace(&*ir, &built_->regions, &built_->words, &corpus_, ctx,
+                    eval_cache_.get(), CurrentEpoch());
+    ir_exec->SetJoinFn([this](const RegionSet& cands, const RegionSet& lhs,
+                              const RegionSet& rhs) {
+      return RunIndexJoin(corpus_, cands, lhs, rhs);
+    });
+  }
+  auto record_timings = [&] {
+    if (ir_exec) result.stats.op_timings = ir_exec->timings();
+  };
+
+  // Phase 1: evaluate the candidate expression on the indices. With the
+  // eval cache on, every composite subexpression is first looked up by
+  // its serialized normal form under the current index epoch.
   RegionSet candidates;
   {
-    auto cand = evaluator.Evaluate(*plan.candidates, &result.stats.algebra);
+    auto cand = use_ir
+                    ? ir_exec->EvaluateRoot(ir->candidates,
+                                            &result.stats.algebra)
+                    : evaluator.Evaluate(*plan.candidates,
+                                         &result.stats.algebra);
     if (!cand.ok()) {
       // No index-backed rung can run without candidates (two-phase needs
       // them too): kAuto degrades straight to the baseline.
@@ -448,13 +526,23 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
     Status rung = Status::OK();
     std::vector<Value> values;
     if (wants_projection) {
-      auto attrs =
-          evaluator.Evaluate(*plan.projection, &result.stats.algebra);
-      if (!attrs.ok()) {
-        rung = attrs.status();
+      // The IR program's kProject root is the same two steps — evaluate
+      // the attribute expression, keep attributes within candidates —
+      // with the candidate root served from its memoized slot.
+      Result<RegionSet> within_r =
+          use_ir
+              ? ir_exec->EvaluateRoot(ir->project, &result.stats.algebra)
+              : [&]() -> Result<RegionSet> {
+                  QOF_ASSIGN_OR_RETURN(
+                      RegionSet attrs,
+                      evaluator.Evaluate(*plan.projection,
+                                         &result.stats.algebra));
+                  return IncludedIn(attrs, candidates);
+                }();
+      if (!within_r.ok()) {
+        rung = within_r.status();
       } else {
-        RegionSet within = IncludedIn(*attrs, candidates);
-        for (const Region& r : within) {
+        for (const Region& r : *within_r) {
           values.push_back(
               Value::Str(std::string(corpus_.ScanText(r.start, r.end))));
         }
@@ -473,6 +561,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       result.stats.results =
           wants_projection ? result.values.size() : result.regions.size();
       result.stats.bytes_scanned = corpus_.bytes_read();
+      record_timings();
       result.stats.micros = timer.Micros();
       return result;
     }
@@ -497,20 +586,32 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       mode != ExecutionMode::kTwoPhase) {
     Status rung = Status::OK();
     std::vector<Region> joined;
-    auto lhs =
-        evaluator.Evaluate(*plan.join_lhs_attrs, &result.stats.algebra);
-    if (!lhs.ok()) rung = lhs.status();
-    if (rung.ok()) {
-      auto rhs =
-          evaluator.Evaluate(*plan.join_rhs_attrs, &result.stats.algebra);
-      if (!rhs.ok()) {
-        rung = rhs.status();
+    if (use_ir) {
+      // The kJoin root evaluates both attribute legs (sharing any
+      // subexpression the candidates already computed) and runs the join
+      // through the injected callback.
+      auto out = ir_exec->EvaluateRoot(ir->join, &result.stats.algebra);
+      if (!out.ok()) {
+        rung = out.status();
       } else {
-        auto out = RunIndexJoin(corpus_, candidates, *lhs, *rhs);
-        if (!out.ok()) {
-          rung = out.status();
+        joined.assign(out->begin(), out->end());
+      }
+    } else {
+      auto lhs =
+          evaluator.Evaluate(*plan.join_lhs_attrs, &result.stats.algebra);
+      if (!lhs.ok()) rung = lhs.status();
+      if (rung.ok()) {
+        auto rhs = evaluator.Evaluate(*plan.join_rhs_attrs,
+                                      &result.stats.algebra);
+        if (!rhs.ok()) {
+          rung = rhs.status();
         } else {
-          joined = std::move(*out);
+          auto out = RunIndexJoin(corpus_, candidates, *lhs, *rhs);
+          if (!out.ok()) {
+            rung = out.status();
+          } else {
+            joined = std::move(*out);
+          }
         }
       }
     }
@@ -520,6 +621,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       result.stats.exact = true;
       result.stats.results = result.regions.size();
       result.stats.bytes_scanned = corpus_.bytes_read();
+      record_timings();
       result.stats.micros = timer.Micros();
       return result;
     }
@@ -556,6 +658,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
   result.stats.results =
       wants_projection ? result.values.size() : result.regions.size();
   result.stats.bytes_scanned = corpus_.bytes_read();
+  record_timings();
   result.stats.micros = timer.Micros();
   return result;
 }

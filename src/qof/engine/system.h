@@ -14,6 +14,8 @@
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
 #include "qof/exec/exec_context.h"
+#include "qof/ir/executor.h"
+#include "qof/ir/passes.h"
 #include "qof/maintain/maintainer.h"
 #include "qof/query/parser.h"
 #include "qof/schema/rig_derivation.h"
@@ -48,6 +50,13 @@ struct QueryStats {
   /// result is the verified prefix, not the full answer (`exact` is false
   /// and a note records the limit that tripped).
   bool truncated = false;
+  /// Which algebra engine evaluated the index plan: "ir" (the dataflow
+  /// IR executor) or "tree" (the recursive expression walker). Empty for
+  /// strategies that evaluate no algebra (baseline, empty).
+  std::string engine;
+  /// IR engine only: wall time and node counts per IR operator kind
+  /// (exclusive of input evaluation).
+  IrOpTimings op_timings;
   std::vector<std::string> notes;  // compiler + engine decisions
 };
 
@@ -182,6 +191,19 @@ class FileQuerySystem {
   /// and the compiler's notes. Requires built indexes.
   Result<std::string> Explain(std::string_view fql) const;
 
+  /// Explain() plus the IR optimizer pipeline: the lowered dataflow
+  /// program and its dump after every pass (CSE, pushdown, ordering,
+  /// fusion), each node annotated with cost estimates. Deterministic for
+  /// a given system state — the qof_explain tool and the golden test
+  /// print it verbatim.
+  Result<std::string> ExplainQuery(std::string_view fql) const;
+
+  /// Overrides the IR optimizer pass configuration for subsequent
+  /// queries (per-pass toggles for ablation; inject_bad_cse plants the
+  /// fuzzer's bad-cse bug).
+  void SetIrOptions(const IrPlanOptions& options) { ir_options_ = options; }
+  const IrPlanOptions& ir_options() const { return ir_options_; }
+
   /// Accepts "<View>" and "<View>s" ("Reference", "References") plus any
   /// alias registered here.
   void AddViewAlias(std::string alias);
@@ -267,6 +289,7 @@ class FileQuerySystem {
   MaintainOptions maintain_options_;
   std::unique_ptr<IndexMaintainer> maintainer_;
   CacheOptions cache_options_;
+  IrPlanOptions ir_options_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<EvalCache> eval_cache_;
   std::set<std::string> view_aliases_;

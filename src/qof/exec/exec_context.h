@@ -46,6 +46,15 @@ struct QueryOptions {
   /// cancel the call.
   std::shared_ptr<CancelToken> cancel;
 
+  /// Evaluate index plans through the dataflow IR (lowering + optimizer
+  /// passes + batched executor) instead of walking the expression tree.
+  /// Results are identical by construction — the tree evaluator is kept
+  /// as the differential-testing oracle. The QOF_FORCE_EXEC environment
+  /// variable ("tree" | "ir") overrides this per process.
+  bool use_ir = true;
+
+  // Note: use_ir is an engine selector, not a limit — it must not make a
+  // default-constructed QueryOptions count as "governed".
   bool unlimited() const {
     return deadline_ms == 0 && max_bytes == 0 && max_regions == 0 &&
            cancel == nullptr;

@@ -448,6 +448,69 @@ Status CheckCaching(
   return Status::OK();
 }
 
+/// The IR leg: the dataflow IR engine must agree with the tree evaluator
+/// byte-for-byte. Both engines run on the *same* system (per cache
+/// setting), so with caches enabled the IR run is also served entries the
+/// tree run published and vice versa — the canonical-key interop the IR
+/// design promises. This is the leg that catches kBadCse
+/// (IrPlanOptions::inject_bad_cse), whose CSE pass merges selections that
+/// differ only in their word operands.
+Status CheckIrEquivalence(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const OracleOptions& options, bool is_projection,
+    std::string* failure) {
+  QueryOptions tree_engine;
+  tree_engine.use_ir = false;
+  QueryOptions ir_engine;
+  ir_engine.use_ir = true;
+
+  for (bool with_cache : {false, true}) {
+    FileQuerySystem sys(schema);
+    for (const auto& [name, text] : docs) {
+      QOF_RETURN_IF_ERROR(sys.AddFile(name, text));
+    }
+    if (with_cache) sys.SetCacheOptions(CacheOptions::Enabled());
+    sys.SetParallelism(1);
+    QOF_RETURN_IF_ERROR(sys.BuildIndexes(IndexSpec::Full()));
+    if (options.bug == InjectedBug::kBadCse) {
+      IrPlanOptions planted;
+      planted.inject_bad_cse = true;
+      sys.SetIrOptions(planted);
+    }
+    auto plan = sys.Plan(c.fql);
+    const bool index_only_answers =
+        plan.ok() && plan->exact &&
+        (!is_projection || plan->projection != nullptr);
+    std::string cache_label = with_cache ? " cache=on" : " cache=off";
+
+    for (int parallelism : {1, options.workers}) {
+      sys.SetParallelism(parallelism);
+      std::string label_tail =
+          cache_label + " p=" + std::to_string(parallelism);
+      struct ModeCase {
+        ExecutionMode mode;
+        const char* name;
+      };
+      std::vector<ModeCase> modes = {{ExecutionMode::kAuto, "auto"},
+                                     {ExecutionMode::kTwoPhase,
+                                      "two-phase"}};
+      if (index_only_answers) {
+        modes.push_back({ExecutionMode::kIndexOnly, "index-only"});
+      }
+      for (const ModeCase& mc : modes) {
+        CanonExec tree = Canon(sys.Execute(c.fql, mc.mode, tree_engine));
+        CanonExec ir = Canon(sys.Execute(c.fql, mc.mode, ir_engine));
+        if (!Agrees("ir/" + std::string(mc.name) + label_tail, tree, ir,
+                    c, failure)) {
+          return Status::OK();
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 /// Journal sub-check of the fault leg, run for the journal.* sites: a
 /// mutation session journals every applied record through
 /// AppendJournalRecordToFile (where journal.append can tear a frame —
@@ -1098,6 +1161,16 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // cold, warm, across interleaved mutations, and past a compaction.
   QOF_RETURN_IF_ERROR(
       CheckCaching(schema, docs, c, options, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 7. Dataflow IR engine vs. tree evaluator, every strategy, caches off
+  // and on. (Runs before the chain check so a planted IR bug shrinks on
+  // the cheap legs.)
+  QOF_RETURN_IF_ERROR(CheckIrEquivalence(schema, docs, c, options,
+                                         is_projection, &outcome.failure));
   if (!outcome.failure.empty()) {
     outcome.failed = true;
     return outcome;

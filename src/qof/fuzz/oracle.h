@@ -27,12 +27,17 @@ namespace qof {
 ///    compaction keep being served after it, so the caching leg's
 ///    cached-vs-plain comparison across interleaved mutations must flag
 ///    the stale answers.
+///  - kBadCse makes the IR optimizer's CSE pass hash selection nodes
+///    without their word operands (IrPlanOptions::inject_bad_cse), so
+///    structurally different selections merge; the IR leg's tree-vs-IR
+///    differential must flag the wrong answers.
 enum class InjectedBug {
   kNone,
   kRelaxDirect,
   kExactSkip,
   kDropTombstone,
   kStaleCache,
+  kBadCse,
 };
 
 struct OracleOptions {
@@ -88,7 +93,12 @@ struct OracleOutcome {
 ///  6. for inclusion chains enumerated from the schema's RIG, every
 ///     random-order rewrite walk converges to Optimize()'s normal form,
 ///     and re-optimizing any intermediate chain yields the same normal
-///     form (Thm. 3.6).
+///     form (Thm. 3.6);
+///  7. the dataflow IR engine (lowering + CSE/pushdown/ordering/fusion +
+///     batched executor) agrees with the tree evaluator on regions and
+///     rendered values for every strategy, at parallelism 1 and
+///     `workers`, with the query caches off and on (sharing one system,
+///     so cache entries cross engines).
 /// `seed` drives the walk order and chain sampling only — the case
 /// itself is fixed by `concrete_case`.
 Result<OracleOutcome> RunOracle(const ConcreteCase& concrete_case,

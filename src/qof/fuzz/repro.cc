@@ -37,6 +37,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "drop-tombstone";
     case InjectedBug::kStaleCache:
       return "stale-cache";
+    case InjectedBug::kBadCse:
+      return "bad-cse";
   }
   return "none";
 }
@@ -47,6 +49,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "exact-skip") return InjectedBug::kExactSkip;
   if (name == "drop-tombstone") return InjectedBug::kDropTombstone;
   if (name == "stale-cache") return InjectedBug::kStaleCache;
+  if (name == "bad-cse") return InjectedBug::kBadCse;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }

@@ -1,0 +1,280 @@
+#include "qof/ir/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "qof/algebra/select_kernels.h"
+#include "qof/exec/fault_injector.h"
+#include "qof/region/cost_model.h"
+
+namespace qof {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+void Record(EvalStats* stats, const RegionSet& produced) {
+  if (stats == nullptr) return;
+  stats->regions_produced += produced.size();
+  stats->max_intermediate =
+      std::max<uint64_t>(stats->max_intermediate, produced.size());
+}
+
+bool Cacheable(IrOp op) {
+  // kLoad borrows the index instance (a cache entry would duplicate it);
+  // kProject/kJoin are engine rungs the tree engine never caches either.
+  return op != IrOp::kLoad && op != IrOp::kProject && op != IrOp::kJoin;
+}
+
+}  // namespace
+
+IrExecutor::IrExecutor(const IrProgram* program, const RegionIndex* regions,
+                       const WordIndex* words, const Corpus* corpus,
+                       const ExecContext* ctx, EvalCache* cache,
+                       CacheEpoch epoch)
+    : program_(program),
+      regions_(regions),
+      words_(words),
+      corpus_(corpus),
+      ctx_(ctx),
+      cache_(cache),
+      epoch_(epoch),
+      slots_(program->nodes.size()) {}
+
+Status IrExecutor::Charge(EvalStats* stats,
+                          const RegionSet& produced) const {
+  Record(stats, produced);
+  if (ctx_ != nullptr) return ctx_->ChargeRegions(produced.size());
+  return Status::OK();
+}
+
+Result<RegionSet> IrExecutor::EvaluateRoot(int root, EvalStats* stats) {
+  if (regions_ == nullptr) {
+    return Status::InvalidArgument("IR executor has no region index");
+  }
+  if (root < 0 || root >= static_cast<int>(program_->nodes.size())) {
+    return Status::InvalidArgument("IR program has no such root");
+  }
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kAlgebraEval));
+  QOF_ASSIGN_OR_RETURN(const RegionSet* result, EvalNode(root, stats));
+  // Slots keep borrowing/sharing internally; only this API boundary
+  // copies — same contract as ExprEvaluator::Evaluate.
+  return *result;
+}
+
+Result<const RegionSet*> IrExecutor::EvalNode(int id, EvalStats* stats) {
+  Slot& slot = slots_[id];
+  if (slot.done) return &slot.set();
+  const IrNode& node = program_->nodes[id];
+
+  // One governance checkpoint per operator, exactly like the tree
+  // evaluator (kProject/kJoin are engine rungs the tree never polls for).
+  if (ctx_ != nullptr && node.op != IrOp::kProject &&
+      node.op != IrOp::kJoin) {
+    QOF_RETURN_IF_ERROR(ctx_->Check());
+  }
+
+  if (node.op == IrOp::kLoad) {
+    QOF_ASSIGN_OR_RETURN(const RegionSet* set, regions_->Get(node.name));
+    IrOpTiming& t = timings_[IrOpName(node.op)];
+    ++t.count;
+    slot.borrowed = set;
+    slot.done = true;
+    return &slot.set();
+  }
+
+  if (cache_ != nullptr && Cacheable(node.op)) {
+    if (auto hit = cache_->Lookup(node.key, epoch_)) {
+      if (stats != nullptr) ++stats->cache_hits;
+      // A hit charges what computing the node would have charged for its
+      // own result — governance stays cache-independent.
+      QOF_RETURN_IF_ERROR(Charge(stats, *hit));
+      slot.shared = std::move(hit);
+      slot.done = true;
+      return &slot.set();
+    }
+    if (stats != nullptr) ++stats->cache_misses;
+    QOF_ASSIGN_OR_RETURN(Slot computed, ComputeNode(id, stats));
+    auto shared =
+        std::make_shared<const RegionSet>(std::move(computed.owned));
+    cache_->Insert(node.key, epoch_, shared);
+    slot.shared = std::move(shared);
+    slot.done = true;
+    return &slot.set();
+  }
+
+  QOF_ASSIGN_OR_RETURN(slot, ComputeNode(id, stats));
+  slot.done = true;
+  return &slot.set();
+}
+
+Result<IrExecutor::Slot> IrExecutor::ComputeNode(int id, EvalStats* stats) {
+  const IrNode& node = program_->nodes[id];
+  // Inputs are evaluated (and governed) before the operator's own work,
+  // which alone counts toward the per-operator timings.
+  std::vector<const RegionSet*> inputs;
+  inputs.reserve(node.inputs.size());
+  for (int input : node.inputs) {
+    QOF_ASSIGN_OR_RETURN(const RegionSet* set, EvalNode(input, stats));
+    inputs.push_back(set);
+  }
+
+  if (node.op == IrOp::kFusedChain) return ComputeFused(node, stats);
+
+  IrOpTiming& timing = timings_[IrOpName(node.op)];
+  ++timing.count;
+  const Clock::time_point start = Clock::now();
+  Slot out;
+  switch (node.op) {
+    case IrOp::kUnion:
+    case IrOp::kIntersect:
+    case IrOp::kDifference: {
+      // Left-fold of the binary kernel; every intermediate is charged,
+      // so governance matches the binary tree the node replaced.
+      for (size_t k = 1; k < inputs.size(); ++k) {
+        const RegionSet& acc = k == 1 ? *inputs[0] : out.owned;
+        if (stats != nullptr) ++stats->set_ops;
+        out.owned = node.op == IrOp::kUnion        ? Union(acc, *inputs[k])
+                    : node.op == IrOp::kIntersect  ? Intersect(acc, *inputs[k])
+                                                   : Difference(acc, *inputs[k]);
+        QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+      }
+      break;
+    }
+    case IrOp::kInnermost:
+    case IrOp::kOutermost:
+      if (stats != nullptr) ++stats->nest_ops;
+      out.owned = node.op == IrOp::kInnermost ? Innermost(*inputs[0])
+                                              : Outermost(*inputs[0]);
+      QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+      break;
+    case IrOp::kSelect: {
+      if (stats != nullptr) ++stats->select_ops;
+      uint64_t scanned = 0;
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Region> members,
+          RunSelectKernel(node.select, *inputs[0], words_, corpus_,
+                          &scanned, node.key));
+      if (stats != nullptr) stats->bytes_scanned += scanned;
+      out.owned = RegionSet::FromSortedUnique(std::move(members));
+      QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+      break;
+    }
+    case IrOp::kIncluding:
+    case IrOp::kIncluded:
+      if (stats != nullptr) ++stats->simple_incl_ops;
+      out.owned = node.op == IrOp::kIncluding
+                      ? Including(*inputs[0], *inputs[1])
+                      : IncludedIn(*inputs[0], *inputs[1]);
+      QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+      break;
+    case IrOp::kDirectlyIncluding:
+    case IrOp::kDirectlyIncluded:
+      if (stats != nullptr) ++stats->direct_incl_ops;
+      out.owned = node.op == IrOp::kDirectlyIncluding
+                      ? DirectlyIncluding(*inputs[0], *inputs[1],
+                                          regions_->Universe())
+                      : DirectlyIncluded(*inputs[0], *inputs[1],
+                                         regions_->Universe());
+      QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+      break;
+    case IrOp::kProject:
+      // The engine's index-only projection rung: attrs within candidates,
+      // uncharged — identical to the tree engine's post-evaluation step.
+      out.owned = IncludedIn(*inputs[0], *inputs[1]);
+      break;
+    case IrOp::kJoin: {
+      if (!join_fn_) {
+        return Status::Internal("IR executor has no join callback");
+      }
+      QOF_ASSIGN_OR_RETURN(
+          std::vector<Region> joined,
+          join_fn_(*inputs[0], *inputs[1], *inputs[2]));
+      out.owned = RegionSet::FromUnsorted(std::move(joined));
+      break;
+    }
+    case IrOp::kLoad:
+    case IrOp::kFusedChain:
+      return Status::Internal("unreachable IR op in ComputeNode");
+  }
+  timing.micros += MicrosSince(start);
+  return out;
+}
+
+Result<IrExecutor::Slot> IrExecutor::ComputeFused(const IrNode& node,
+                                                  EvalStats* stats) {
+  const RegionSet& source = slots_[node.inputs[0]].set();
+  const std::vector<std::string> stage_keys =
+      FusedStageKeys(*program_, node);
+  // Each stage is one logical operator however many batches run it.
+  if (stats != nullptr) {
+    for (const IrStage& stage : node.stages) {
+      if (stage.kind == IrStage::Kind::kSelect) {
+        ++stats->select_ops;
+      } else {
+        ++stats->simple_incl_ops;
+      }
+    }
+  }
+  IrOpTiming& timing = timings_[IrOpName(node.op)];
+  ++timing.count;
+  const Clock::time_point start = Clock::now();
+
+  std::vector<Region> out;
+  const size_t batch_size = CostModel::kFusedBatch;
+  const std::vector<Region>& members = source.regions();
+  // An empty source still runs one (empty) batch so stage validation
+  // errors (bad selection parameters) surface exactly as unfused.
+  size_t begin = 0;
+  do {
+    if (ctx_ != nullptr) QOF_RETURN_IF_ERROR(ctx_->Check());
+    const size_t end = std::min(members.size(), begin + batch_size);
+    RegionSet current = RegionSet::FromSortedUnique(
+        std::vector<Region>(members.begin() + begin, members.begin() + end));
+    for (size_t j = 0; j < node.stages.size(); ++j) {
+      const IrStage& stage = node.stages[j];
+      switch (stage.kind) {
+        case IrStage::Kind::kSelect: {
+          uint64_t scanned = 0;
+          QOF_ASSIGN_OR_RETURN(
+              std::vector<Region> kept,
+              RunSelectKernel(stage.select, current, words_, corpus_,
+                              &scanned, stage_keys[j]));
+          if (stats != nullptr) stats->bytes_scanned += scanned;
+          current = RegionSet::FromSortedUnique(std::move(kept));
+          break;
+        }
+        case IrStage::Kind::kIncluding:
+          current = Including(current, slots_[stage.rhs].set());
+          break;
+        case IrStage::Kind::kIncluded:
+          current = IncludedIn(current, slots_[stage.rhs].set());
+          break;
+      }
+      // Per stage per batch; summed over batches this equals exactly
+      // what the unfused chain would have charged per stage.
+      QOF_RETURN_IF_ERROR(Charge(stats, current));
+    }
+    out.insert(out.end(), current.regions().begin(),
+               current.regions().end());
+    begin = end;
+  } while (begin < members.size());
+
+  Slot result;
+  // Every stage keeps a canonically-ordered subset of its batch and the
+  // batches partition the source in canonical order, so the
+  // concatenation is already sorted and unique. No final re-charge: the
+  // last stage's per-batch charges sum to this set's size.
+  result.owned = RegionSet::FromSortedUnique(std::move(out));
+  timing.micros += MicrosSince(start);
+  return result;
+}
+
+}  // namespace qof

@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "qof/query/lexer.h"
+#include "qof/text/tokenizer.h"
+#include "qof/util/string_util.h"
 
 namespace qof {
 namespace {
@@ -151,6 +153,13 @@ class Parser {
         return Error("expected string literal after CONTAINS");
       }
       std::string word = tokens_[pos_++].text;
+      // Validated here so every execution strategy — the baseline's
+      // database filter included — rejects the same literals the
+      // index compiler does.
+      if (Tokenizer::Tokenize(TrimView(word)).empty()) {
+        return Status::InvalidArgument(
+            "CONTAINS needs an indexable word, got: \"" + word + "\"");
+      }
       return Condition::ContainsWord(std::move(lhs), std::move(word));
     }
     if (Peek().kind == FqlTokenKind::kStarts) {
@@ -159,6 +168,12 @@ class Parser {
         return Error("expected string literal after STARTS");
       }
       std::string prefix = tokens_[pos_++].text;
+      auto words = Tokenizer::Tokenize(TrimView(prefix));
+      if (words.size() != 1 || words[0].start != 0) {
+        return Status::InvalidArgument(
+            "STARTS expects a single word prefix, got: \"" + prefix +
+            "\"");
+      }
       return Condition::StartsWith(std::move(lhs), std::move(prefix));
     }
     return Error("expected '=', CONTAINS or STARTS in predicate");

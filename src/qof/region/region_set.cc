@@ -35,7 +35,7 @@ bool UseGalloping(size_t small, size_t large) {
     case KernelPolicy::kAdaptive:
       break;
   }
-  return small < large / kGallopRatio;
+  return CostModel::PreferGallop(small, large);
 }
 
 // Sparse table for O(1) range-min queries over member end offsets; built

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "qof/region/cost_model.h"
 #include "qof/region/region.h"
 
 namespace qof {
@@ -87,7 +88,9 @@ enum class KernelPolicy {
 };
 
 /// Crossover ratio for kAdaptive: gallop when small * ratio < large.
-inline constexpr size_t kGallopRatio = 16;
+/// Aliased from the shared CostModel table so every layer (kernels,
+/// evaluator dispatch, cost estimation, IR passes) agrees on it.
+inline constexpr size_t kGallopRatio = CostModel::kGallopRatio;
 
 /// Sets the process-wide kernel policy. The default is kAdaptive, or the
 /// value of the QOF_FORCE_KERNEL environment variable ("linear" |

@@ -6,9 +6,30 @@
 #include "qof/datagen/bibtex_gen.h"
 #include "qof/datagen/schemas.h"
 #include "qof/engine/indexer.h"
+#include "qof/region/cost_model.h"
 
 namespace qof {
 namespace {
+
+TEST(SharedCostModel, ConstantsArePinned) {
+  // The shared dispatch table is load-bearing across layers: the region
+  // kernels, the tree evaluator, the CostEstimator and the IR passes all
+  // read these constants, so changing one silently re-tunes every layer
+  // at once. Pin the values so a change shows up as a deliberate edit
+  // here, not as an unexplained benchmark shift.
+  EXPECT_EQ(CostModel::kGallopRatio, 16u);
+  EXPECT_DOUBLE_EQ(CostModel::kDirectFactor, 4.0);
+  EXPECT_EQ(CostModel::kFusedBatch, 2048u);
+  EXPECT_EQ(CostModel::kSortMergeJoinMinPairs, 64u);
+}
+
+TEST(SharedCostModel, DispatchPredicatesMatchTheRatio) {
+  EXPECT_TRUE(CostModel::PreferGallop(10, 1000));
+  EXPECT_FALSE(CostModel::PreferGallop(100, 1000));
+  EXPECT_FALSE(CostModel::PreferGallop(0, 0));
+  EXPECT_TRUE(CostModel::PreferPostingDriven(10, 1000));
+  EXPECT_FALSE(CostModel::PreferPostingDriven(100, 1000));
+}
 
 class CostModelTest : public ::testing::Test {
  protected:

@@ -150,6 +150,28 @@ TEST(FuzzTest, InjectedStaleCacheBugIsCaught) {
   EXPECT_TRUE(replay->failed) << report->repro;
 }
 
+TEST(FuzzTest, InjectedBadCseBugIsCaught) {
+  // A CSE pass that hashes selection nodes without their word operands
+  // merges structurally different selections, so the IR engine returns
+  // answers for the wrong word. The IR leg's tree-vs-IR differential
+  // must flag it, and the written repro must replay to the same failure.
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 1;
+  options.bug = InjectedBug::kBadCse;
+  options.invalid_fraction = 0.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected bad-CSE bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[ir"), std::string::npos)
+      << report->failure;
+
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
 TEST(FuzzTest, MutationSequencesHoldInvariants) {
   // Every case gets a mutation sequence: incremental maintenance must
   // match a from-scratch rebuild, down to the compacted blob bytes.
@@ -241,7 +263,8 @@ TEST(FuzzTest, InjectedBugNamesRoundTrip) {
   for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kRelaxDirect,
                           InjectedBug::kExactSkip,
                           InjectedBug::kDropTombstone,
-                          InjectedBug::kStaleCache}) {
+                          InjectedBug::kStaleCache,
+                          InjectedBug::kBadCse}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);

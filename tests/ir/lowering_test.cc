@@ -1,0 +1,121 @@
+#include "qof/ir/ir.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "qof/algebra/parser.h"
+
+namespace qof {
+namespace {
+
+RegionExprPtr Parse(const char* text) {
+  auto expr = ParseRegionExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  return expr.ok() ? *expr : nullptr;
+}
+
+const IrNode& Root(const IrProgram& p) { return p.nodes[p.candidates]; }
+
+TEST(LoweringTest, NestedBinaryOpsFlattenToNary) {
+  // ((A ∪ B) ∪ C) lowers to one 3-input kUnion; same for ∩ and −.
+  RegionExprPtr u = Parse("A | B | C");
+  IrProgram p = LowerToIr(u.get(), nullptr, nullptr, nullptr);
+  EXPECT_EQ(Root(p).op, IrOp::kUnion);
+  EXPECT_EQ(Root(p).inputs.size(), 3u);
+
+  RegionExprPtr i = Parse("A & B & C");
+  p = LowerToIr(i.get(), nullptr, nullptr, nullptr);
+  EXPECT_EQ(Root(p).op, IrOp::kIntersect);
+  EXPECT_EQ(Root(p).inputs.size(), 3u);
+
+  RegionExprPtr d = Parse("A - B - C");
+  p = LowerToIr(d.get(), nullptr, nullptr, nullptr);
+  EXPECT_EQ(Root(p).op, IrOp::kDifference);
+  EXPECT_EQ(Root(p).inputs.size(), 3u);
+}
+
+TEST(LoweringTest, RightNestedUnionFlattensToLeftFoldKey) {
+  // ∪/∩ are associative, so right-nested spines flatten too; the node
+  // key is the left-fold serialization of the flattened operand list
+  // (the same key a left-nested tree would produce for the same set).
+  RegionExprPtr u = Parse("A | (B | C)");
+  IrProgram p = LowerToIr(u.get(), nullptr, nullptr, nullptr);
+  ASSERT_EQ(Root(p).op, IrOp::kUnion);
+  EXPECT_EQ(Root(p).inputs.size(), 3u);
+  EXPECT_EQ(Root(p).key, "((A | B) | C)");
+  // − is not associative: only the left spine flattens, and a nested
+  // right operand stays its own node.
+  RegionExprPtr d = Parse("A - (B - C)");
+  p = LowerToIr(d.get(), nullptr, nullptr, nullptr);
+  ASSERT_EQ(Root(p).op, IrOp::kDifference);
+  ASSERT_EQ(Root(p).inputs.size(), 2u);
+  EXPECT_EQ(p.nodes[Root(p).inputs[1]].op, IrOp::kDifference);
+}
+
+TEST(LoweringTest, KeysMatchTreeSerialization) {
+  // Node keys are the canonical RegionExpr serialization, which is what
+  // lets IR results share EvalCache entries with the tree evaluator.
+  const char* text = "(A > sigma(\"x\", B)) & C";
+  RegionExprPtr e = Parse(text);
+  IrProgram p = LowerToIr(e.get(), nullptr, nullptr, nullptr);
+  EXPECT_EQ(Root(p).key, e->ToString());
+}
+
+TEST(LoweringTest, TopologicalOrderAndRoots) {
+  RegionExprPtr cand = Parse("A > sigma(\"x\", B)");
+  RegionExprPtr proj = Parse("C < A");
+  IrProgram p = LowerToIr(cand.get(), proj.get(), nullptr, nullptr);
+  ASSERT_GE(p.candidates, 0);
+  ASSERT_GE(p.projection, 0);
+  ASSERT_GE(p.project, 0);
+  EXPECT_EQ(p.join, -1);
+  EXPECT_EQ(p.nodes[p.project].op, IrOp::kProject);
+  for (size_t i = 0; i < p.nodes.size(); ++i) {
+    for (int input : p.nodes[i].inputs) {
+      EXPECT_LT(input, static_cast<int>(i));
+      EXPECT_GE(input, 0);
+    }
+  }
+}
+
+TEST(LoweringTest, JoinLegsLowerIntoOneProgram) {
+  RegionExprPtr cand = Parse("A");
+  RegionExprPtr lhs = Parse("B < A");
+  RegionExprPtr rhs = Parse("C < A");
+  IrProgram p = LowerToIr(cand.get(), nullptr, lhs.get(), rhs.get());
+  ASSERT_GE(p.join, 0);
+  const IrNode& join = p.nodes[p.join];
+  EXPECT_EQ(join.op, IrOp::kJoin);
+  ASSERT_EQ(join.inputs.size(), 3u);
+  EXPECT_EQ(join.inputs[0], p.candidates);
+  EXPECT_EQ(join.inputs[1], p.join_lhs);
+  EXPECT_EQ(join.inputs[2], p.join_rhs);
+}
+
+TEST(LoweringTest, CanonicalizeDropsDeadNodes) {
+  RegionExprPtr cand = Parse("A | B");
+  IrProgram p = LowerToIr(cand.get(), nullptr, nullptr, nullptr);
+  // Graft an unreachable node and canonicalize: it must disappear and
+  // the root must still evaluate the same expression.
+  IrNode dead;
+  dead.op = IrOp::kLoad;
+  dead.name = "Zombie";
+  p.nodes.push_back(dead);
+  std::string before = Root(p).key;
+  Canonicalize(&p);
+  EXPECT_EQ(Root(p).key, before);
+  for (const IrNode& n : p.nodes) EXPECT_NE(n.name, "Zombie");
+}
+
+TEST(LoweringTest, DumpIsDeterministic) {
+  RegionExprPtr cand = Parse("(A > sigma(\"x\", B)) & C");
+  IrProgram a = LowerToIr(cand.get(), nullptr, nullptr, nullptr);
+  IrProgram b = LowerToIr(cand.get(), nullptr, nullptr, nullptr);
+  EXPECT_EQ(a.Dump(), b.Dump());
+  EXPECT_NE(a.Dump().find("roots: candidates="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qof
