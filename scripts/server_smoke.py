@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Scripted mixed-load smoke client for qof_serve.
+
+Boots the server on a generated BibTeX corpus and drives 200+ scripted
+commands through the line protocol: three sessions issuing cold and warm
+queries, one of them mutating (ADD/UPDATE/REMOVE/COMPACT) while the
+others hold their pinned generations, plus REFRESH/STATS/CANCEL traffic.
+
+Gates (exit 1 on violation):
+  - zero protocol errors: every scripted command must be answered OK
+    (the script sends only valid commands);
+  - warm-query p50 strictly below cold-query p50: repeat executions of
+    the same FQL at the same generation must be served by the caches;
+  - repeatable reads: a reader session's row count for a fixed query
+    must not change while the writer mutates, until the reader REFRESHes.
+
+Usage: server_smoke.py /path/to/qof_serve [--json OUT.json]
+"""
+
+import json
+import statistics
+import subprocess
+import sys
+import time
+
+
+class ServeClient:
+    """Synchronous driver: one command in flight at a time, so async
+    QUERY responses cannot interleave with other sessions' lines."""
+
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "--entries=40", "--seed=7", "--workers=2"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        self.commands_sent = 0
+        self.protocol_errors = []
+        ready = self.proc.stdout.readline()
+        if not ready.startswith("READY"):
+            raise RuntimeError(f"no READY banner, got: {ready!r}")
+
+    def send(self, line, sid):
+        """Sends one command; reads lines until the OK/ERR answering
+        `sid` arrives. Returns (ok, detail, rows, seconds)."""
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        self.commands_sent += 1
+        start = time.perf_counter()
+        rows = []
+        while True:
+            response = self.proc.stdout.readline()
+            if not response:
+                raise RuntimeError(f"server EOF after: {line!r}")
+            tag, rest = response.rstrip("\n").split(" ", 1)
+            answered, _, detail = rest.partition(" ")
+            if tag == "ROW" and answered == str(sid):
+                rows.append(detail)
+                continue
+            if answered != str(sid):
+                raise RuntimeError(
+                    f"response for session {answered} while waiting on "
+                    f"{sid}: {response!r}")
+            elapsed = time.perf_counter() - start
+            if tag == "ERR":
+                self.protocol_errors.append(f"{line!r} -> {response!r}")
+            return tag == "OK", detail, rows, elapsed
+
+    def open_session(self):
+        ok, detail, _, _ = self.send("OPEN", 0)
+        assert ok, detail
+        fields = dict(kv.split("=") for kv in detail.split(" "))
+        return int(fields["session"])
+
+    def quit(self):
+        self.send("QUIT", 0)
+        return self.proc.wait(timeout=30)
+
+
+def scratch_doc(year):
+    return (
+        "@INCOLLECTION{Smoke" + str(year) + ",\\n"
+        '  AUTHOR = "Wen Chang",\\n'
+        '  TITLE = "Smoke Entry",\\n'
+        '  BOOKTITLE = "Smoke Proceedings",\\n'
+        '  YEAR = "' + str(year) + '",\\n'
+        '  EDITOR = "Ed Itor",\\n'
+        '  PUBLISHER = "Nowhere Press",\\n'
+        '  ADDRESS = "Nowhere",\\n'
+        '  PAGES = "1--2",\\n'
+        '  REFERRED = "",\\n'
+        '  KEYWORDS = "query",\\n'
+        '  ABSTRACT = "smoke"\\n'
+        "}\\n"
+    )
+
+
+def year_query(year):
+    return f'SELECT r FROM References r WHERE r.Year = "{year}"'
+
+
+PIN_FQL = 'SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"'
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+    json_out = None
+    if "--json" in sys.argv[2:]:
+        json_out = sys.argv[sys.argv.index("--json") + 1]
+
+    client = ServeClient(binary)
+    readers = [client.open_session(), client.open_session()]
+    writer = client.open_session()
+    sessions = readers + [writer]
+
+    # Cold phase: 8 distinct parameterized queries per session, first
+    # execution each — plan and eval caches miss.
+    cold, warm = [], []
+    plans = {
+        sid: [year_query(1970 + 8 * i + k) for k in range(8)]
+        for i, sid in enumerate(sessions)
+    }
+    for sid in sessions:
+        for fql in plans[sid]:
+            ok, _, _, secs = client.send(f"QUERY {sid} {fql}", sid)
+            assert ok
+            cold.append(secs)
+    # Warm phase: the same queries at the same generations, four times
+    # over — everything should come out of the caches.
+    for _ in range(4):
+        for sid in sessions:
+            for fql in plans[sid]:
+                ok, _, _, secs = client.send(f"QUERY {sid} {fql}", sid)
+                assert ok
+                warm.append(secs)
+
+    # Mixed load: the writer mutates while the readers keep querying
+    # their pinned generations; their row counts must not move until
+    # they REFRESH.
+    def row_count(sid):
+        ok, _, rows, _ = client.send(f"QUERY {sid} {PIN_FQL}", sid)
+        assert ok
+        return len(rows)
+
+    pinned = {sid: row_count(sid) for sid in readers}
+    isolation_violations = 0
+    for round_no in range(10):
+        year = 2000 + round_no
+        client.send(f"ADD {writer} scratch.bib {scratch_doc(year)}", writer)
+        client.send(f"QUERY {writer} {PIN_FQL}", writer)
+        for sid in readers:
+            if row_count(sid) != pinned[sid]:
+                isolation_violations += 1
+        client.send(
+            f"UPDATE {writer} scratch.bib {scratch_doc(year + 50)}", writer)
+        client.send(f"REMOVE {writer} scratch.bib", writer)
+        client.send(f"STATS {writer}", writer)
+        if round_no % 4 == 3:
+            client.send(f"COMPACT {writer}", writer)
+        if round_no == 5:
+            # One reader catches up; its new count becomes its pin.
+            client.send(f"REFRESH {readers[0]}", readers[0])
+            pinned[readers[0]] = row_count(readers[0])
+    client.send(f"CANCEL {writer}", writer)
+    for sid in sessions:
+        client.send(f"STATS {sid}", sid)
+        client.send(f"CLOSE {sid}", sid)
+    client.quit()
+
+    cold_p50 = statistics.median(cold) * 1e6
+    warm_p50 = statistics.median(warm) * 1e6
+    print(f"commands sent:        {client.commands_sent}")
+    print(f"protocol errors:      {len(client.protocol_errors)}")
+    print(f"cold-query p50:       {cold_p50:.1f} us ({len(cold)} queries)")
+    print(f"warm-query p50:       {warm_p50:.1f} us ({len(warm)} queries)")
+    print(f"isolation violations: {isolation_violations}")
+
+    if json_out:
+        rows = [
+            {"bench": "server_smoke", "config": "all", "metric": m, "value": v}
+            for m, v in [
+                ("commands", client.commands_sent),
+                ("protocol_errors", len(client.protocol_errors)),
+                ("cold_p50_micros", round(cold_p50, 3)),
+                ("warm_p50_micros", round(warm_p50, 3)),
+                ("isolation_violations", isolation_violations),
+            ]
+        ]
+        with open(json_out, "w") as f:
+            json.dump(rows, f, indent=2)
+
+    failed = False
+    if client.commands_sent < 200:
+        print(f"FAIL: only {client.commands_sent} commands scripted (< 200)")
+        failed = True
+    for err in client.protocol_errors:
+        print(f"FAIL: protocol error: {err}")
+        failed = True
+    if warm_p50 >= cold_p50:
+        print(f"FAIL: warm p50 ({warm_p50:.1f}us) not below cold "
+              f"({cold_p50:.1f}us)")
+        failed = True
+    if isolation_violations:
+        print(f"FAIL: {isolation_violations} repeatable-read violations")
+        failed = True
+    print("FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

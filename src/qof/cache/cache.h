@@ -52,6 +52,13 @@ class PlanCache {
  public:
   struct Entry {
     SelectQuery query;
+    /// The build counter (FileQuerySystem's BuildIndexes/ImportIndexes
+    /// count) the entry was parsed and compiled under. Entries are only
+    /// served to executions of the same build: plans never depend on
+    /// the indexed data, but they do depend on the compiler, which is
+    /// replaced per build — and snapshot queries (which may publish
+    /// entries concurrently) can outlive a rebuild.
+    uint64_t build = 0;
     /// Null until the query was executed in an index-backed mode (the
     /// baseline never compiles).
     std::shared_ptr<const QueryPlan> plan;

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "qof/region/region_set.h"
 
@@ -26,18 +28,35 @@ struct CacheStats {
 };
 
 /// Identifies one index state: entries cached under a different epoch are
-/// never served. `generation` counts mutations; `compactions` must ride
-/// along because Compact() rebases region/posting offsets *without*
-/// bumping the generation.
+/// never served *to a query running under it*. `generation` counts
+/// mutations; `compactions` must ride along because Compact() rebases
+/// region/posting offsets *without* bumping the generation; `build`
+/// counts full index rebuilds/imports (which replace the compiler and may
+/// change the index spec), so an epoch is globally unique across the
+/// system's whole lifetime — required now that snapshots (see
+/// qof/engine/snapshot.h) can keep an old epoch's entries alive across a
+/// rebuild.
 struct CacheEpoch {
   uint64_t generation = 0;
   uint64_t compactions = 0;
+  uint64_t build = 0;
 
   friend bool operator==(const CacheEpoch& a, const CacheEpoch& b) {
-    return a.generation == b.generation && a.compactions == b.compactions;
+    return a.generation == b.generation && a.compactions == b.compactions &&
+           a.build == b.build;
   }
   friend bool operator!=(const CacheEpoch& a, const CacheEpoch& b) {
     return !(a == b);
+  }
+  /// Epochs are totally ordered by time: `build` dominates (a rebuild may
+  /// reset the maintainer's compaction count), then generation, then
+  /// compactions — each monotonic within one build. The cache uses this
+  /// to advance only forwards: a pinned snapshot querying under an old
+  /// epoch must never drag the current epoch backwards.
+  friend bool operator<(const CacheEpoch& a, const CacheEpoch& b) {
+    if (a.build != b.build) return a.build < b.build;
+    if (a.generation != b.generation) return a.generation < b.generation;
+    return a.compactions < b.compactions;
   }
 };
 
@@ -47,15 +66,24 @@ struct CacheEpoch {
 /// so the serialized expression is a perfect key. Bounded by total
 /// regions retained, not entry count — the budget-relevant quantity.
 /// Thread-safe; sits below the algebra evaluator, which consults it.
+///
+/// Retention is *per epoch*, not wholesale: entries are keyed by
+/// (epoch, expression), and when the current epoch advances, entries of
+/// the old epoch are pruned — unless that epoch is pinned by a live
+/// snapshot (Pin/Unpin), in which case they survive and keep serving the
+/// snapshot's queries. This is what makes mutations cheap for pinned
+/// readers: an unrelated UpdateFile no longer costs them their warm
+/// cache.
 class EvalCache {
  public:
   EvalCache(uint64_t max_regions, bool inject_stale)
       : max_regions_(max_regions), inject_stale_(inject_stale) {}
 
-  /// Returns the cached set for `key` if it was cached under `epoch`
-  /// (stale entries are flushed wholesale on the first access under a new
-  /// epoch), or null. Under the planted inject_stale bug the epoch check
-  /// is skipped — old-generation entries keep being served, which the
+  /// Returns the cached set for (`epoch`, `key`), or null. An `epoch`
+  /// newer than any seen so far advances the cache's notion of "current"
+  /// and prunes entries of unpinned stale epochs. Under the planted
+  /// inject_stale bug entries are keyed by expression alone — old-
+  /// generation entries keep being served after mutations, which the
   /// fuzzer's cache leg exists to catch (--inject stale-cache).
   std::shared_ptr<const RegionSet> Lookup(const std::string& key,
                                           const CacheEpoch& epoch);
@@ -63,23 +91,45 @@ class EvalCache {
   void Insert(const std::string& key, const CacheEpoch& epoch,
               std::shared_ptr<const RegionSet> set);
 
+  /// Marks `epoch` as pinned by a live snapshot: its entries survive
+  /// epoch advances until the matching Unpin. Pins nest (refcounted).
+  void Pin(const CacheEpoch& epoch);
+
+  /// Releases one pin. When the last pin on a non-current epoch drops,
+  /// its entries are reclaimed immediately (not counted as an
+  /// invalidation — nothing a live query could still see was discarded).
+  void Unpin(const CacheEpoch& epoch);
+
+  /// Eagerly advances the current epoch (rebuild/import paths call this
+  /// the moment the new index state is published, so stats reflect the
+  /// flush without waiting for the next query).
+  void AdvanceEpoch(const CacheEpoch& epoch);
+
   void Clear();
   CacheStats stats() const;
 
  private:
-  void FlushForEpochLocked(const CacheEpoch& epoch);
+  void AdvanceEpochLocked(const CacheEpoch& epoch);
+  void ErasePlainLocked(const std::string& composite);
+  bool IsPinnedLocked(const CacheEpoch& epoch) const;
   void EvictIfNeededLocked();
+  std::string CompositeKey(const std::string& key,
+                           const CacheEpoch& epoch) const;
 
   const uint64_t max_regions_;
   const bool inject_stale_;
   mutable std::mutex mu_;
   CacheEpoch epoch_;
-  std::list<std::string> lru_;  // front = most recent
+  std::list<std::string> lru_;  // front = most recent (composite keys)
   struct Slot {
     std::shared_ptr<const RegionSet> set;
+    CacheEpoch epoch;
     std::list<std::string>::iterator lru_it;
   };
   std::unordered_map<std::string, Slot> map_;
+  /// Live snapshot pins: (epoch, refcount). A handful at most, so a flat
+  /// vector beats a map.
+  std::vector<std::pair<CacheEpoch, int>> pins_;
   uint64_t regions_cached_ = 0;
   CacheStats stats_;
 };

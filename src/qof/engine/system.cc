@@ -61,10 +61,10 @@ class Timer {
 /// Decorates a governance error with partial-progress stats so a caller
 /// that hit a limit knows how far execution got. Other codes pass through.
 Status WithProgress(const Status& status, const char* phase,
-                    const Corpus& corpus, const ExecContext* ctx) {
+                    uint64_t bytes_scanned, const ExecContext* ctx) {
   if (!IsGovernanceError(status)) return status;
   std::string msg = status.message() + " [" + phase + ": " +
-                    std::to_string(corpus.bytes_read()) + " bytes scanned";
+                    std::to_string(bytes_scanned) + " bytes scanned";
   if (ctx != nullptr && ctx->regions_charged() > 0) {
     msg += ", " + std::to_string(ctx->regions_charged()) +
            " index regions materialized";
@@ -100,13 +100,15 @@ Status FileQuerySystem::AddFile(std::string name, std::string_view text,
                                 const QueryOptions& options) {
   ExecContext governed(options);
   const ExecContext* ctx = governed.active() ? &governed : nullptr;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  CowIfPinnedLocked();
   if (maintainer_ != nullptr) {
     return maintainer_
         ->AddDocument(std::move(name), text, EnsurePool(parallelism_), ctx)
         .status();
   }
   if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
-  return corpus_.AddDocument(std::move(name), text).status();
+  return corpus_->AddDocument(std::move(name), text).status();
 }
 
 Status FileQuerySystem::UpdateFile(std::string_view name,
@@ -114,47 +116,75 @@ Status FileQuerySystem::UpdateFile(std::string_view name,
                                    const QueryOptions& options) {
   ExecContext governed(options);
   const ExecContext* ctx = governed.active() ? &governed : nullptr;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  CowIfPinnedLocked();
   if (maintainer_ != nullptr) {
     return maintainer_
         ->UpdateDocument(name, text, EnsurePool(parallelism_), ctx)
         .status();
   }
   if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
-  return corpus_.ReplaceDocument(name, text).status();
+  return corpus_->ReplaceDocument(name, text).status();
 }
 
 Status FileQuerySystem::RemoveFile(std::string_view name,
                                    const QueryOptions& options) {
   ExecContext governed(options);
   const ExecContext* ctx = governed.active() ? &governed : nullptr;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  CowIfPinnedLocked();
   if (maintainer_ != nullptr) {
     return maintainer_->RemoveDocument(name, EnsurePool(parallelism_), ctx);
   }
   if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
-  return corpus_.RemoveDocument(name).status();
+  return corpus_->RemoveDocument(name).status();
 }
 
 Status FileQuerySystem::CompactIndexes() {
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (maintainer_ == nullptr) {
     return Status::InvalidArgument(
         "indexes not built; nothing to compact");
   }
+  // Compaction rebases every offset in place — readers pinned to the
+  // pre-compaction layout must keep their own copy.
+  CowIfPinnedLocked();
   return maintainer_->Compact(EnsurePool(parallelism_));
 }
 
 void FileQuerySystem::SetMaintainOptions(const MaintainOptions& options) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   maintain_options_ = options;
   if (maintainer_ != nullptr) maintainer_->options() = options;
 }
 
 MaintainStats FileQuerySystem::maintain_stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
   return maintainer_ != nullptr ? maintainer_->stats() : MaintainStats{};
 }
 
 void FileQuerySystem::ResetMaintainer(uint64_t generation) {
   maintainer_ = std::make_unique<IndexMaintainer>(
-      &schema_, &corpus_, built_.get(), spec_, maintain_options_);
+      &schema_, corpus_.get(), built_.get(), spec_, maintain_options_);
   maintainer_->set_generation(generation);
+}
+
+void FileQuerySystem::CowIfPinnedLocked() {
+  // Snapshots are the only other holders of these shared_ptrs, and they
+  // are only created under state_mu_ — so use_count == 1 means no reader
+  // can observe the in-place mutation about to happen. (A snapshot
+  // dropping concurrently can at worst make the count read high, causing
+  // one spurious clone — safe.)
+  bool corpus_pinned = corpus_.use_count() > 1;
+  bool built_pinned = built_ != nullptr && built_.use_count() > 1;
+  if (!corpus_pinned && !built_pinned) return;
+  corpus_ = std::make_shared<Corpus>(corpus_->Clone());
+  if (built_ != nullptr) built_ = std::make_shared<BuiltIndexes>(*built_);
+  // The clone is the same logical state at a new address; the maintainer
+  // keeps all its counters and just repoints.
+  if (maintainer_ != nullptr) {
+    maintainer_->Retarget(corpus_.get(), built_.get());
+  }
 }
 
 ThreadPool* FileQuerySystem::EnsurePool(int threads) {
@@ -167,22 +197,30 @@ ThreadPool* FileQuerySystem::EnsurePool(int threads) {
 }
 
 Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   // spec.parallelism == 0 defers to the system-wide knob.
   ThreadPool* pool = EnsurePool(
       spec.parallelism != 0 ? spec.parallelism : parallelism_);
   QOF_ASSIGN_OR_RETURN(BuiltIndexes built,
-                       qof::BuildIndexes(schema_, corpus_, spec, pool));
-  built_ = std::make_unique<BuiltIndexes>(std::move(built));
+                       qof::BuildIndexes(schema_, *corpus_, spec, pool));
+  // Publish-by-swap: snapshots pinning the previous build keep it alive
+  // through their shared_ptrs; the corpus itself was only read.
+  built_ = std::make_shared<BuiltIndexes>(std::move(built));
   spec_ = spec;
-  compiler_ = std::make_unique<QueryCompiler>(
+  compiler_ = std::make_shared<const QueryCompiler>(
       &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
       spec.within);
+  ++builds_;
   ResetMaintainer(/*generation=*/0);
-  // A rebuild replaces the compiler (plans may change) and resets the
-  // generation to 0 over possibly different data (the epoch alone cannot
-  // tell): drop everything from both caches.
+  // A rebuild replaces the compiler: plan-cache entries (keyed by FQL
+  // text alone) may describe plans for the old index spec — drop them
+  // all. The eval cache only advances its epoch: the `build` component
+  // makes the new epoch unique, and entries pinned by live snapshots of
+  // the old build keep serving those snapshots.
   if (plan_cache_ != nullptr) plan_cache_->Clear();
-  if (eval_cache_ != nullptr) eval_cache_->Clear();
+  if (eval_cache_ != nullptr) {
+    eval_cache_->AdvanceEpoch(CurrentEpochUnlocked());
+  }
   return Status::OK();
 }
 
@@ -269,10 +307,13 @@ Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
                                              const QueryOptions& options) {
   if (plan_cache_ != nullptr) {
     std::string key(fql);
-    if (auto hit = plan_cache_->Lookup(key)) {
+    auto hit = plan_cache_->Lookup(key);
+    if (hit != nullptr && hit->build == builds_) {
       // Parse and (when present) compile both skipped. Plans depend only
       // on the schema and the index spec, never on the indexed data, so
-      // mutations need not invalidate them.
+      // mutations need not invalidate them. The build stamp rejects the
+      // one unsound case: an entry a snapshot query of a superseded
+      // build published after the rebuild cleared the cache.
       return ExecuteQueryImpl(hit->query, mode, options, &key, hit->plan);
     }
     QOF_ASSIGN_OR_RETURN(SelectQuery query, ParseFql(fql));
@@ -281,6 +322,7 @@ Result<QueryResult> FileQuerySystem::Execute(std::string_view fql,
     // baseline-mode executions never do.
     auto entry = std::make_shared<PlanCache::Entry>();
     entry->query = query;
+    entry->build = builds_;
     plan_cache_->Insert(key, std::move(entry));
     return ExecuteQueryImpl(query, mode, options, &key, nullptr);
   }
@@ -295,13 +337,96 @@ Result<QueryResult> FileQuerySystem::ExecuteQuery(
   return ExecuteQueryImpl(query, mode, options, nullptr, nullptr);
 }
 
+Result<SnapshotRef> FileQuerySystem::AcquireSnapshot() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (built_ == nullptr || compiler_ == nullptr) {
+    return Status::InvalidArgument(
+        "indexes not built; snapshots require BuildIndexes() first");
+  }
+  auto snapshot = std::make_unique<IndexSnapshot>();
+  snapshot->corpus = corpus_;
+  snapshot->built = built_;
+  snapshot->compiler = compiler_;
+  snapshot->epoch = CurrentEpochUnlocked();
+  snapshot->maintain = maintainer_->stats();
+  // Pin the epoch so eval-cache entries keyed under it survive later
+  // mutations; the deleter unpins when the last reference drops. The
+  // deleter captures the cache by shared_ptr: even if SetCacheOptions
+  // swaps the system's cache meanwhile, the unpin reaches the instance
+  // that was pinned.
+  std::shared_ptr<EvalCache> cache = eval_cache_;
+  if (cache != nullptr) cache->Pin(snapshot->epoch);
+  return SnapshotRef(snapshot.release(),
+                     [cache](const IndexSnapshot* s) {
+                       if (cache != nullptr) cache->Unpin(s->epoch);
+                       delete s;
+                     });
+}
+
+Result<QueryResult> FileQuerySystem::ExecuteOnSnapshot(
+    const IndexSnapshot& snapshot, std::string_view fql,
+    ExecutionMode mode, const QueryOptions& options) {
+  // The plan cache serves snapshot queries of the *current* build: the
+  // build stamp on each entry keeps a snapshot that outlived a rebuild
+  // from using plans compiled by the newer compiler (and vice versa).
+  // PlanCache is internally locked, so concurrent snapshot queries can
+  // share it.
+  PlanCache* plans = plan_cache_.get();
+  std::string key;
+  std::shared_ptr<const PlanCache::Entry> hit;
+  if (plans != nullptr) {
+    key.assign(fql);
+    hit = plans->Lookup(key);
+    if (hit != nullptr && hit->build != snapshot.epoch.build) {
+      hit = nullptr;
+    }
+  }
+  SelectQuery query;
+  std::shared_ptr<const QueryPlan> cached_plan;
+  if (hit != nullptr) {
+    query = hit->query;
+    cached_plan = hit->plan;
+  } else {
+    QOF_ASSIGN_OR_RETURN(query, ParseFql(fql));
+    if (plans != nullptr) {
+      auto entry = std::make_shared<PlanCache::Entry>();
+      entry->query = query;
+      entry->build = snapshot.epoch.build;
+      plans->Insert(key, entry);
+    }
+  }
+  // Per-query byte accounting: the snapshot's corpus is shared with
+  // other concurrent queries (and possibly the live state), so its
+  // member counter can't be reset — route this thread's scanning into a
+  // local counter instead. Execution is serial (pool = nullptr), so the
+  // thread-local override covers every scan of this query.
+  std::atomic<uint64_t> scanned{0};
+  Corpus::ScanCounterScope scope(&scanned);
+  ExecSurface surface;
+  surface.corpus = snapshot.corpus.get();
+  surface.built = snapshot.built.get();
+  surface.compiler = snapshot.compiler.get();
+  surface.epoch = snapshot.epoch;
+  surface.maintain = snapshot.maintain;
+  surface.maintained = true;
+  // The cache outlives the snapshot only via the system; grab the
+  // current instance — entries for the snapshot's pinned epoch are
+  // retained as long as the snapshot lives.
+  surface.eval_cache = eval_cache_.get();
+  surface.pool = nullptr;
+  surface.scan_counter = &scanned;
+  return ExecuteWithSurface(surface, query, mode, options,
+                            plans != nullptr ? &key : nullptr,
+                            std::move(cached_plan));
+}
+
 void FileQuerySystem::SetCacheOptions(const CacheOptions& options) {
   cache_options_ = options;
   plan_cache_ = options.enable_plan_cache
                     ? std::make_unique<PlanCache>(options.max_plans)
                     : nullptr;
   eval_cache_ = options.enable_eval_cache
-                    ? std::make_unique<EvalCache>(options.max_cached_regions,
+                    ? std::make_shared<EvalCache>(options.max_cached_regions,
                                                   options.inject_stale)
                     : nullptr;
 }
@@ -327,14 +452,15 @@ CacheStats FileQuerySystem::cache_stats() const {
 }
 
 Result<QueryResult> FileQuerySystem::RunBaselinePlan(
-    const SelectQuery& query, const ExecContext* ctx, bool soft_fail) {
+    const ExecSurface& surface, const SelectQuery& query,
+    const ExecContext* ctx, bool soft_fail) {
   Timer timer;
   QueryResult result;
-  result.stats.corpus_bytes = corpus_.size();
+  result.stats.corpus_bytes = surface.corpus->size();
   ObjectStore store;
   QOF_ASSIGN_OR_RETURN(
       BaselineResult baseline,
-      RunBaseline(schema_, corpus_, query, full_rig_, &store, ctx,
+      RunBaseline(schema_, *surface.corpus, query, full_rig_, &store, ctx,
                   soft_fail));
   result.regions = std::move(baseline.regions);
   result.values = std::move(baseline.projected);
@@ -347,7 +473,7 @@ Result<QueryResult> FileQuerySystem::RunBaselinePlan(
   }
   result.stats.objects_built = baseline.objects_built;
   result.stats.results = result.regions.size();
-  result.stats.bytes_scanned = corpus_.bytes_read();
+  result.stats.bytes_scanned = surface.BytesScanned();
   result.stats.micros = timer.Micros();
   return result;
 }
@@ -356,49 +482,79 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
     const SelectQuery& query, ExecutionMode mode,
     const QueryOptions& options, const std::string* plan_key,
     std::shared_ptr<const QueryPlan> cached_plan) {
+  ExecSurface surface;
+  surface.corpus = corpus_.get();
+  surface.built = built_.get();
+  surface.compiler = compiler_.get();
+  surface.epoch = CurrentEpochUnlocked();
+  surface.maintain =
+      maintainer_ != nullptr ? maintainer_->stats() : MaintainStats{};
+  surface.maintained = maintainer_ != nullptr;
+  surface.eval_cache = eval_cache_.get();
+  surface.pool = EnsurePool(parallelism_);
+  // The live path owns the corpus counter (no concurrent readers by
+  // contract — see AcquireSnapshot's concurrency notes).
+  corpus_->ResetBytesRead();
+  return ExecuteWithSurface(surface, query, mode, options, plan_key,
+                            std::move(cached_plan));
+}
+
+Result<QueryResult> FileQuerySystem::ExecuteWithSurface(
+    const ExecSurface& surface, const SelectQuery& query,
+    ExecutionMode mode, const QueryOptions& options,
+    const std::string* plan_key,
+    std::shared_ptr<const QueryPlan> cached_plan) {
   QOF_RETURN_IF_ERROR(CheckView(query.view));
+
+  const Corpus& corpus = *surface.corpus;
 
   // Arm governance. With no limits set `ctx` stays null and every checked
   // path below takes its pre-governance fast path.
   ExecContext governed(options);
   const ExecContext* ctx = nullptr;
   if (governed.active()) {
-    governed.set_scanned_bytes_counter(&corpus_.bytes_read_counter());
+    governed.set_scanned_bytes_counter(
+        surface.scan_counter != nullptr ? surface.scan_counter
+                                        : &corpus.bytes_read_counter());
     ctx = &governed;
   }
-  corpus_.ResetBytesRead();
 
   // The baseline needs no indices at all.
   if (mode == ExecutionMode::kBaseline) {
-    auto out = RunBaselinePlan(query, ctx, options.soft_fail);
-    if (!out.ok()) return WithProgress(out.status(), "baseline", corpus_, ctx);
+    auto out = RunBaselinePlan(surface, query, ctx, options.soft_fail);
+    if (!out.ok()) {
+      return WithProgress(out.status(), "baseline", surface.BytesScanned(),
+                          ctx);
+    }
     return out;
   }
 
   Timer timer;
   QueryResult result;
-  result.stats.corpus_bytes = corpus_.size();
+  result.stats.corpus_bytes = corpus.size();
 
-  if (compiler_ == nullptr || built_ == nullptr) {
+  if (surface.compiler == nullptr || surface.built == nullptr) {
     return Status::InvalidArgument(
         "indexes not built; call BuildIndexes() first (or use "
         "ExecutionMode::kBaseline)");
   }
   std::shared_ptr<const QueryPlan> plan_ptr = std::move(cached_plan);
   if (plan_ptr == nullptr) {
-    QOF_ASSIGN_OR_RETURN(QueryPlan compiled, compiler_->Compile(query));
+    QOF_ASSIGN_OR_RETURN(QueryPlan compiled,
+                         surface.compiler->Compile(query));
     plan_ptr = std::make_shared<const QueryPlan>(std::move(compiled));
     if (plan_key != nullptr && plan_cache_ != nullptr) {
       auto entry = std::make_shared<PlanCache::Entry>();
       entry->query = query;
+      entry->build = surface.epoch.build;
       entry->plan = plan_ptr;
       plan_cache_->Insert(*plan_key, std::move(entry));
     }
   }
   const QueryPlan& plan = *plan_ptr;
   result.stats.notes = plan.notes;
-  if (maintainer_ != nullptr && maintainer_->generation() > 0) {
-    MaintainStats ms = maintainer_->stats();
+  if (surface.maintained && surface.maintain.generation > 0) {
+    const MaintainStats& ms = surface.maintain;
     result.stats.notes.push_back(
         "indexes maintained incrementally: generation " +
         std::to_string(ms.generation) + ", " +
@@ -418,9 +574,10 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
   // view-checked, and the accumulated notes (ending in the fallback
   // decision) come before any notes the plan itself adds.
   auto run_baseline_fallback = [&]() -> Result<QueryResult> {
-    auto fallback = RunBaselinePlan(query, ctx, options.soft_fail);
+    auto fallback = RunBaselinePlan(surface, query, ctx, options.soft_fail);
     if (!fallback.ok()) {
-      return WithProgress(fallback.status(), "baseline", corpus_, ctx);
+      return WithProgress(fallback.status(), "baseline",
+                          surface.BytesScanned(), ctx);
     }
     fallback->stats.notes.insert(fallback->stats.notes.begin(),
                                  result.stats.notes.begin(),
@@ -472,21 +629,23 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
   // roots.
   const bool use_ir = UseIrEngine(options);
   result.stats.engine = use_ir ? "ir" : "tree";
-  ExprEvaluator evaluator(&built_->regions, &built_->words, &corpus_,
-                          DirectAlgorithm::kFast, ctx, eval_cache_.get(),
-                          CurrentEpoch());
+  ExprEvaluator evaluator(&surface.built->regions, &surface.built->words,
+                          surface.corpus, DirectAlgorithm::kFast, ctx,
+                          surface.eval_cache, surface.epoch);
   std::optional<IrProgram> ir;
   std::optional<IrExecutor> ir_exec;
   if (use_ir) {
     ir.emplace(LowerToIr(plan.candidates.get(), plan.projection.get(),
                          plan.join_lhs_attrs.get(),
                          plan.join_rhs_attrs.get()));
-    RunPasses(&*ir, ir_options_, &built_->regions, &built_->words);
-    ir_exec.emplace(&*ir, &built_->regions, &built_->words, &corpus_, ctx,
-                    eval_cache_.get(), CurrentEpoch());
-    ir_exec->SetJoinFn([this](const RegionSet& cands, const RegionSet& lhs,
-                              const RegionSet& rhs) {
-      return RunIndexJoin(corpus_, cands, lhs, rhs);
+    RunPasses(&*ir, ir_options_, &surface.built->regions,
+              &surface.built->words);
+    ir_exec.emplace(&*ir, &surface.built->regions, &surface.built->words,
+                    surface.corpus, ctx, surface.eval_cache, surface.epoch);
+    ir_exec->SetJoinFn([&corpus](const RegionSet& cands,
+                                 const RegionSet& lhs,
+                                 const RegionSet& rhs) {
+      return RunIndexJoin(corpus, cands, lhs, rhs);
     });
   }
   auto record_timings = [&] {
@@ -495,7 +654,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
 
   // Phase 1: evaluate the candidate expression on the indices. With the
   // eval cache on, every composite subexpression is first looked up by
-  // its serialized normal form under the current index epoch.
+  // its serialized normal form under the surface's index epoch.
   RegionSet candidates;
   {
     auto cand = use_ir
@@ -507,8 +666,8 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       // No index-backed rung can run without candidates (two-phase needs
       // them too): kAuto degrades straight to the baseline.
       if (!degradable(cand.status())) {
-        return WithProgress(cand.status(), "phase-1 candidates", corpus_,
-                            ctx);
+        return WithProgress(cand.status(), "phase-1 candidates",
+                            surface.BytesScanned(), ctx);
       }
       degrade_to("baseline", cand.status());
       return run_baseline_fallback();
@@ -544,7 +703,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       } else {
         for (const Region& r : *within_r) {
           values.push_back(
-              Value::Str(std::string(corpus_.ScanText(r.start, r.end))));
+              Value::Str(std::string(corpus.ScanText(r.start, r.end))));
         }
       }
     }
@@ -560,13 +719,13 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       result.stats.exact = true;
       result.stats.results =
           wants_projection ? result.values.size() : result.regions.size();
-      result.stats.bytes_scanned = corpus_.bytes_read();
+      result.stats.bytes_scanned = surface.BytesScanned();
       record_timings();
       result.stats.micros = timer.Micros();
       return result;
     }
     if (!degradable(rung)) {
-      return WithProgress(rung, "index-only", corpus_, ctx);
+      return WithProgress(rung, "index-only", surface.BytesScanned(), ctx);
     }
     degrade_to("two-phase", rung);
     index_rung_degraded = true;
@@ -606,7 +765,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
         if (!rhs.ok()) {
           rung = rhs.status();
         } else {
-          auto out = RunIndexJoin(corpus_, candidates, *lhs, *rhs);
+          auto out = RunIndexJoin(corpus, candidates, *lhs, *rhs);
           if (!out.ok()) {
             rung = out.status();
           } else {
@@ -620,13 +779,13 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       result.stats.strategy = "index-join";
       result.stats.exact = true;
       result.stats.results = result.regions.size();
-      result.stats.bytes_scanned = corpus_.bytes_read();
+      result.stats.bytes_scanned = surface.BytesScanned();
       record_timings();
       result.stats.micros = timer.Micros();
       return result;
     }
     if (!degradable(rung)) {
-      return WithProgress(rung, "index-join", corpus_, ctx);
+      return WithProgress(rung, "index-join", surface.BytesScanned(), ctx);
     }
     degrade_to("two-phase", rung);
   }
@@ -634,11 +793,12 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
   // Phase 2 (§6.2): parse candidates, filter in the database.
   ObjectStore store;
   auto two_phase =
-      RunTwoPhase(schema_, corpus_, plan, candidates, full_rig_, &store,
-                  EnsurePool(parallelism_), ctx, options.soft_fail);
+      RunTwoPhase(schema_, corpus, plan, candidates, full_rig_, &store,
+                  surface.pool, ctx, options.soft_fail);
   if (!two_phase.ok()) {
     if (!degradable(two_phase.status())) {
-      return WithProgress(two_phase.status(), "two-phase", corpus_, ctx);
+      return WithProgress(two_phase.status(), "two-phase",
+                          surface.BytesScanned(), ctx);
     }
     degrade_to("baseline", two_phase.status());
     return run_baseline_fallback();
@@ -657,7 +817,7 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
   result.stats.objects_built = two_phase->candidates_parsed;
   result.stats.results =
       wants_projection ? result.values.size() : result.regions.size();
-  result.stats.bytes_scanned = corpus_.bytes_read();
+  result.stats.bytes_scanned = surface.BytesScanned();
   record_timings();
   result.stats.micros = timer.Micros();
   return result;
@@ -669,33 +829,39 @@ uint64_t FileQuerySystem::IndexBytes() const {
 }
 
 Result<std::string> FileQuerySystem::ExportIndexes() {
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (built_ == nullptr) {
     return Status::InvalidArgument("indexes not built; nothing to export");
   }
-  if (corpus_.fragmented()) {
+  if (corpus_->fragmented()) {
     // Blob offsets must describe a dense layout; folding the tombstones
     // away also makes the export canonical (byte-comparable to a fresh
-    // build's).
-    QOF_RETURN_IF_ERROR(CompactIndexes());
+    // build's). Same rules as CompactIndexes (whose lock we already
+    // hold): readers pinned to the fragmented layout keep their copy.
+    CowIfPinnedLocked();
+    QOF_RETURN_IF_ERROR(maintainer_->Compact(EnsurePool(parallelism_)));
   }
-  return SerializeIndexes(*built_, spec_, corpus_, index_generation());
+  return SerializeIndexes(*built_, spec_, *corpus_,
+                          maintainer_ != nullptr ? maintainer_->generation()
+                                                 : 0);
 }
 
 Status FileQuerySystem::ImportIndexes(std::string_view blob) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   // Stage everything the import will install before touching any member:
   // a corrupt or stale blob (or an injected index_io fault) must leave
   // previously installed indexes, spec, compiler and maintainer exactly
   // as they were — still queryable.
   struct Staged {
-    std::unique_ptr<BuiltIndexes> built;
-    std::unique_ptr<QueryCompiler> compiler;
+    std::shared_ptr<BuiltIndexes> built;
+    std::shared_ptr<const QueryCompiler> compiler;
     uint64_t generation = 0;
   } staged;
   {
     QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
-                         DeserializeIndexes(blob, corpus_));
-    staged.built = std::make_unique<BuiltIndexes>(std::move(loaded.indexes));
-    staged.compiler = std::make_unique<QueryCompiler>(
+                         DeserializeIndexes(blob, *corpus_));
+    staged.built = std::make_shared<BuiltIndexes>(std::move(loaded.indexes));
+    staged.compiler = std::make_shared<const QueryCompiler>(
         &full_rig_, loaded.spec.IndexedNames(schema_), schema_.view_name(),
         loaded.spec.within);
     staged.generation = loaded.generation;
@@ -704,11 +870,15 @@ Status FileQuerySystem::ImportIndexes(std::string_view blob) {
   }
   built_ = std::move(staged.built);
   compiler_ = std::move(staged.compiler);
+  ++builds_;
   ResetMaintainer(staged.generation);
-  // Same reasoning as BuildIndexes: new compiler, new data, reused
-  // generation numbers — flush both caches.
+  // Same reasoning as BuildIndexes: plans may describe the old spec —
+  // clear the plan cache; the eval cache advances to the new build's
+  // epoch, keeping only entries pinned by live snapshots.
   if (plan_cache_ != nullptr) plan_cache_->Clear();
-  if (eval_cache_ != nullptr) eval_cache_->Clear();
+  if (eval_cache_ != nullptr) {
+    eval_cache_->AdvanceEpoch(CurrentEpochUnlocked());
+  }
   return Status::OK();
 }
 

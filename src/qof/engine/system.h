@@ -1,7 +1,9 @@
 #ifndef QOF_ENGINE_SYSTEM_H_
 #define QOF_ENGINE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -13,6 +15,7 @@
 #include "qof/compiler/query_compiler.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/engine/snapshot.h"
 #include "qof/exec/exec_context.h"
 #include "qof/ir/executor.h"
 #include "qof/ir/passes.h"
@@ -125,9 +128,39 @@ class FileQuerySystem {
   MaintainStats maintain_stats() const;
 
   /// Mutations applied since the indexes were built (0 = pristine).
-  uint64_t index_generation() const {
-    return maintainer_ != nullptr ? maintainer_->generation() : 0;
-  }
+  /// Thread-safe (reads under the state lock, like maintain_stats()).
+  uint64_t index_generation() const { return maintain_stats().generation; }
+
+  // --- snapshot isolation (multi-client service support) ----------------
+  //
+  // Concurrency contract: mutations (AddFile / UpdateFile / RemoveFile /
+  // CompactIndexes / BuildIndexes / ImportIndexes) are serialized against
+  // each other internally and may run concurrently with any number of
+  // ExecuteOnSnapshot calls. The *live* Execute/ExecuteQuery paths are
+  // NOT safe against concurrent mutations — multi-client callers (see
+  // qof/server/) route every query through a snapshot.
+
+  /// Pins the current corpus + indexes + compiler as an immutable
+  /// generation-stamped view. Queries on the snapshot see exactly this
+  /// state forever — mutations arriving later clone the state and mutate
+  /// the clone (copy-on-write), never blocking on readers and never
+  /// becoming visible to them. Dropping the last reference releases the
+  /// pinned state (and its eval-cache entries). Requires built indexes.
+  Result<SnapshotRef> AcquireSnapshot();
+
+  /// Parses and runs `fql` against `snapshot` instead of the live state.
+  /// Thread-safe: any number of snapshot executions may run concurrently
+  /// with each other and with mutations. Execution is serial (no worker
+  /// pool) — the multi-client service gets its parallelism across
+  /// queries, not within one. Both caches serve it: the eval cache under
+  /// the snapshot's pinned epoch, the plan cache guarded by
+  /// PlanCache::Entry::build (plans depend on the compiler, which is
+  /// replaced per build — entries from another build are ignored).
+  Result<QueryResult> ExecuteOnSnapshot(const IndexSnapshot& snapshot,
+                                        std::string_view fql,
+                                        ExecutionMode mode =
+                                            ExecutionMode::kAuto,
+                                        const QueryOptions& options = {});
 
   /// (Re)parses all files and builds word + region indices per the spec.
   /// Documents are processed in parallel on the system's thread pool
@@ -175,8 +208,10 @@ class FileQuerySystem {
   /// compiled plan; the eval cache shares region-algebra subexpression
   /// results keyed by serialized normal form + index epoch. Enabling them
   /// never changes results — only cost. Both are invalidated here and on
-  /// BuildIndexes / ImportIndexes; the eval cache additionally flushes
-  /// itself whenever the maintenance generation or compaction count moves.
+  /// BuildIndexes / ImportIndexes; the eval cache additionally retires
+  /// entries whenever the maintenance generation or compaction count
+  /// moves — per epoch, so entries pinned by a live snapshot survive
+  /// mutations and keep serving that snapshot's queries warm.
   void SetCacheOptions(const CacheOptions& options);
   const CacheOptions& cache_options() const { return cache_options_; }
 
@@ -216,7 +251,7 @@ class FileQuerySystem {
 
   const StructuringSchema& schema() const { return schema_; }
   const Rig& full_rig() const { return full_rig_; }
-  const Corpus& corpus() const { return corpus_; }
+  const Corpus& corpus() const { return *corpus_; }
   bool indexes_built() const { return built_ != nullptr; }
   const RegionIndex& region_index() const { return built_->regions; }
   const WordIndex& word_index() const { return built_->words; }
@@ -245,33 +280,77 @@ class FileQuerySystem {
   Status ImportIndexes(std::string_view blob);
 
  private:
+  /// Everything one query execution reads, bundled so the same body
+  /// serves the live state (members) and a pinned snapshot. When
+  /// `scan_counter` is set, byte accounting for the whole execution is
+  /// routed there (thread-locally) instead of the corpus's shared
+  /// counter — concurrent snapshot queries over one corpus each keep
+  /// exact per-query totals.
+  struct ExecSurface {
+    const Corpus* corpus = nullptr;
+    const BuiltIndexes* built = nullptr;        // null before BuildIndexes
+    const QueryCompiler* compiler = nullptr;    // null before BuildIndexes
+    CacheEpoch epoch;
+    MaintainStats maintain;
+    bool maintained = false;  // a maintainer exists (indexes built)
+    EvalCache* eval_cache = nullptr;
+    ThreadPool* pool = nullptr;                 // null -> serial paths
+    std::atomic<uint64_t>* scan_counter = nullptr;
+
+    uint64_t BytesScanned() const {
+      return scan_counter != nullptr
+                 ? scan_counter->load(std::memory_order_relaxed)
+                 : corpus->bytes_read();
+    }
+  };
+
   Status CheckView(const std::string& view) const;
 
   /// (Re)creates the maintainer over the current built_ + corpus_,
   /// resuming from `generation` (non-zero after an import).
   void ResetMaintainer(uint64_t generation);
 
+  /// Clones corpus + indexes before mutating when any live snapshot pins
+  /// the current state (detected by shared_ptr use counts — snapshots are
+  /// the only other holders). The maintainer is retargeted at the clone;
+  /// the pinned originals stay immutable until their last snapshot drops.
+  /// Caller must hold state_mu_.
+  void CowIfPinnedLocked();
+
   /// The baseline plan body, shared by ExecuteQuery(kBaseline) and the
   /// auto-mode fallback (which has already parsed and view-checked the
   /// query, so it must not pay for either again). Does not reset the
   /// corpus byte counter: the caller owns it, so bytes accumulate across
   /// fallback rungs and stay monotone for the byte budget.
-  Result<QueryResult> RunBaselinePlan(const SelectQuery& query,
+  Result<QueryResult> RunBaselinePlan(const ExecSurface& surface,
+                                      const SelectQuery& query,
                                       const ExecContext* ctx,
                                       bool soft_fail);
 
-  /// Shared body of Execute / ExecuteQuery. `plan_key` (the FQL text,
-  /// non-null only when the plan cache is on) lets the compiled plan be
-  /// published back to the cache; `cached_plan` skips compilation when the
-  /// lookup already produced one.
+  /// Live-state entry: builds the surface from members, resets the corpus
+  /// byte counter, delegates to ExecuteWithSurface. `plan_key` (the FQL
+  /// text, non-null only when the plan cache is on) lets the compiled
+  /// plan be published back to the cache; `cached_plan` skips compilation
+  /// when the lookup already produced one.
   Result<QueryResult> ExecuteQueryImpl(
       const SelectQuery& query, ExecutionMode mode,
       const QueryOptions& options, const std::string* plan_key,
       std::shared_ptr<const QueryPlan> cached_plan);
 
-  /// The epoch eval-cache entries are keyed under right now.
-  CacheEpoch CurrentEpoch() const {
-    return CacheEpoch{index_generation(), maintain_stats().compactions};
+  /// The strategy ladder itself, parameterized by the surface it reads.
+  Result<QueryResult> ExecuteWithSurface(
+      const ExecSurface& surface, const SelectQuery& query,
+      ExecutionMode mode, const QueryOptions& options,
+      const std::string* plan_key,
+      std::shared_ptr<const QueryPlan> cached_plan);
+
+  /// The epoch eval-cache entries are keyed under right now. Reads
+  /// maintainer state directly (no public accessors), so it is safe both
+  /// with and without state_mu_ held.
+  CacheEpoch CurrentEpochUnlocked() const {
+    MaintainStats ms =
+        maintainer_ != nullptr ? maintainer_->stats() : MaintainStats{};
+    return CacheEpoch{ms.generation, ms.compactions, builds_};
   }
 
   /// The shared worker pool, lazily (re)built for `threads` workers;
@@ -280,18 +359,28 @@ class FileQuerySystem {
 
   StructuringSchema schema_;
   Rig full_rig_;
-  Corpus corpus_;
+  /// Serializes mutations and state publication (corpus_/built_/
+  /// compiler_/maintainer_ swaps, snapshot pinning) — see the
+  /// concurrency contract above AcquireSnapshot(). Mutable so const
+  /// stats accessors can take it.
+  mutable std::mutex state_mu_;
+  /// Published state: snapshots copy these shared_ptrs; mutations either
+  /// mutate in place (nothing pinned) or clone-and-swap (CowIfPinned).
+  std::shared_ptr<Corpus> corpus_ = std::make_shared<Corpus>();
   IndexSpec spec_;
   int parallelism_ = 0;  // 0 = hardware concurrency
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<BuiltIndexes> built_;
-  std::unique_ptr<QueryCompiler> compiler_;
+  std::shared_ptr<BuiltIndexes> built_;
+  std::shared_ptr<const QueryCompiler> compiler_;
+  /// Counts BuildIndexes/ImportIndexes (the `build` epoch component:
+  /// generations reset across rebuilds, epochs must not collide).
+  uint64_t builds_ = 0;
   MaintainOptions maintain_options_;
   std::unique_ptr<IndexMaintainer> maintainer_;
   CacheOptions cache_options_;
   IrPlanOptions ir_options_;
   std::unique_ptr<PlanCache> plan_cache_;
-  std::unique_ptr<EvalCache> eval_cache_;
+  std::shared_ptr<EvalCache> eval_cache_;
   std::set<std::string> view_aliases_;
 };
 

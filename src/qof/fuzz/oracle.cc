@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 
 #include "qof/datagen/bibtex_gen.h"
@@ -13,7 +14,9 @@
 #include "qof/engine/index_io.h"
 #include "qof/engine/system.h"
 #include "qof/exec/fault_injector.h"
+#include "qof/fuzz/canon.h"
 #include "qof/fuzz/rng.h"
+#include "qof/fuzz/session_leg.h"
 #include "qof/maintain/journal.h"
 #include "qof/optimizer/optimizer.h"
 #include "qof/schema/rig_derivation.h"
@@ -72,55 +75,6 @@ Result<std::vector<std::pair<std::string, std::string>>> MaterializeDocs(
         {"corpus.outline", GenerateOutline(o)}};
   }
   return Status::InvalidArgument("unknown canned corpus: " + c.canned);
-}
-
-/// A query execution reduced to what the differential check compares.
-struct CanonExec {
-  bool ok = false;
-  std::string error;
-  std::vector<Region> regions;       // sorted
-  std::vector<std::string> values;   // RenderedValues (already sorted)
-};
-
-CanonExec Canon(const Result<QueryResult>& r) {
-  CanonExec out;
-  if (!r.ok()) {
-    out.error = r.status().ToString();
-    return out;
-  }
-  out.ok = true;
-  out.regions = r->regions;
-  std::sort(out.regions.begin(), out.regions.end(),
-            [](const Region& a, const Region& b) {
-              return a.start != b.start ? a.start < b.start : a.end < b.end;
-            });
-  out.values = r->RenderedValues();
-  return out;
-}
-
-std::string Describe(const CanonExec& e) {
-  if (!e.ok) return "error{" + e.error + "}";
-  return "ok{regions=" + std::to_string(e.regions.size()) +
-         ", values=" + std::to_string(e.values.size()) + "}";
-}
-
-/// Compares one plan's execution against the baseline; fills `failure`
-/// and returns false on mismatch. Consistent errors (both sides reject
-/// the query) count as agreement.
-bool Agrees(const std::string& label, const CanonExec& baseline,
-            const CanonExec& got, const ConcreteCase& c,
-            std::string* failure) {
-  auto fail = [&](const std::string& what) {
-    *failure = "[" + label + "] " + what + "; baseline=" +
-               Describe(baseline) + " got=" + Describe(got) +
-               " (fql: " + c.fql + ")";
-    return false;
-  };
-  if (baseline.ok != got.ok) return fail("ok/error status mismatch");
-  if (!baseline.ok) return true;
-  if (baseline.regions != got.regions) return fail("regions differ");
-  if (baseline.values != got.values) return fail("rendered values differ");
-  return true;
 }
 
 /// Inclusion chains enumerated from the RIG: every edge as a ⊃d pair,
@@ -1029,21 +983,24 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   }
   const bool is_projection = parsed->IsProjection();
 
+  // FileQuerySystem is immovable (its state mutex and snapshot contract
+  // pin its address), so fresh systems come back behind a unique_ptr.
   auto make_system = [&]() {
-    FileQuerySystem system(schema);
+    auto system = std::make_unique<FileQuerySystem>(schema);
     for (const auto& [name, text] : docs) {
-      (void)system.AddFile(name, text);
+      (void)system->AddFile(name, text);
     }
     return system;
   };
 
   // 1. Baseline scan: the ground truth.
-  FileQuerySystem base_system = make_system();
+  std::unique_ptr<FileQuerySystem> base_system = make_system();
   CanonExec baseline =
-      Canon(base_system.Execute(c.fql, ExecutionMode::kBaseline));
+      Canon(base_system->Execute(c.fql, ExecutionMode::kBaseline));
 
   // 2. Full indexing, serial and parallel.
-  FileQuerySystem full = make_system();
+  std::unique_ptr<FileQuerySystem> full_owner = make_system();
+  FileQuerySystem& full = *full_owner;
   full.SetParallelism(1);
   Status built = full.BuildIndexes(IndexSpec::Full());
   if (!built.ok()) {
@@ -1096,7 +1053,8 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // 3. Random index subsets (§6): exact or not, answers must match.
   for (size_t si = 0; si < c.subsets.size(); ++si) {
     std::set<std::string> names(c.subsets[si].begin(), c.subsets[si].end());
-    FileQuerySystem partial = make_system();
+    std::unique_ptr<FileQuerySystem> partial_owner = make_system();
+    FileQuerySystem& partial = *partial_owner;
     partial.SetParallelism(1);
     built = partial.BuildIndexes(IndexSpec::Partial(names));
     if (!built.ok()) {
@@ -1161,6 +1119,16 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // cold, warm, across interleaved mutations, and past a compaction.
   QOF_RETURN_IF_ERROR(
       CheckCaching(schema, docs, c, options, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 5b. Multi-client sessions: interleaved query/mutation schedules
+  // through the QueryService, each session's answers byte-identical to a
+  // replay at its pinned generation (snapshot isolation).
+  QOF_RETURN_IF_ERROR(
+      CheckSessions(schema, docs, c, options, seed, &outcome.failure));
   if (!outcome.failure.empty()) {
     outcome.failed = true;
     return outcome;

@@ -31,6 +31,12 @@ namespace qof {
 ///    without their word operands (IrPlanOptions::inject_bad_cse), so
 ///    structurally different selections merge; the IR leg's tree-vs-IR
 ///    differential must flag the wrong answers.
+///  - kStaleSnapshot makes the query service ignore a session's pinned
+///    snapshot (ServiceOptions::inject_stale_snapshot): queries are
+///    silently served from the live state, so a session that should see
+///    its pinned generation observes other sessions' later mutations.
+///    The interleaved-session leg's replay-at-pinned-generation
+///    comparison must flag the divergence.
 enum class InjectedBug {
   kNone,
   kRelaxDirect,
@@ -38,6 +44,7 @@ enum class InjectedBug {
   kDropTombstone,
   kStaleCache,
   kBadCse,
+  kStaleSnapshot,
 };
 
 struct OracleOptions {
@@ -98,7 +105,13 @@ struct OracleOutcome {
 ///     batched executor) agrees with the tree evaluator on regions and
 ///     rendered values for every strategy, at parallelism 1 and
 ///     `workers`, with the query caches off and on (sharing one system,
-///     so cache entries cross engines).
+///     so cache entries cross engines);
+///  8. driven through the multi-client QueryService on a deterministic
+///     interleaved-session schedule, every session's queries are
+///     byte-identical to a single-threaded replay at the generation the
+///     session has pinned — repeatable reads across other sessions'
+///     mutations, read-your-writes after its own (see
+///     qof/fuzz/session_leg.h).
 /// `seed` drives the walk order and chain sampling only — the case
 /// itself is fixed by `concrete_case`.
 Result<OracleOutcome> RunOracle(const ConcreteCase& concrete_case,

@@ -39,6 +39,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "stale-cache";
     case InjectedBug::kBadCse:
       return "bad-cse";
+    case InjectedBug::kStaleSnapshot:
+      return "stale-snapshot";
   }
   return "none";
 }
@@ -50,6 +52,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "drop-tombstone") return InjectedBug::kDropTombstone;
   if (name == "stale-cache") return InjectedBug::kStaleCache;
   if (name == "bad-cse") return InjectedBug::kBadCse;
+  if (name == "stale-snapshot") return InjectedBug::kStaleSnapshot;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }

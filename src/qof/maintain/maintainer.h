@@ -120,6 +120,17 @@ class IndexMaintainer {
   void set_generation(uint64_t g) { stats_.generation = g; }
   uint64_t generation() const { return stats_.generation; }
 
+  /// Repoints the maintainer at a copy-on-write clone of its corpus and
+  /// indexes (see FileQuerySystem::AcquireSnapshot: when a snapshot pins
+  /// the current state, the next mutation clones both and mutates the
+  /// clone). All counters — generation, compactions, reparse totals —
+  /// carry over: the clone *is* the same logical state, just at a new
+  /// address.
+  void Retarget(Corpus* corpus, BuiltIndexes* built) {
+    corpus_ = corpus;
+    built_ = built;
+  }
+
   /// Point-in-time counters (corpus-derived fields refreshed on call).
   MaintainStats stats() const;
 

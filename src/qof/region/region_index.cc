@@ -49,6 +49,7 @@ std::vector<std::string> RegionIndex::Names() const {
 }
 
 const RegionSet& RegionIndex::Universe() const {
+  std::lock_guard<std::mutex> lock(universe_mu_);
   if (!universe_valid_) {
     RegionSet u;
     for (const auto& [name, set] : sets_) u = Union(u, set);

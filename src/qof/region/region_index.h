@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,31 @@ namespace qof {
 class RegionIndex {
  public:
   RegionIndex() = default;
+
+  // Hand-written copy/move: the index is a value (copy-on-write snapshots
+  // duplicate it, builds move it), but the mutex guarding the lazy
+  // universe cache is neither copyable nor movable — each instance gets
+  // its own.
+  RegionIndex(const RegionIndex& other)
+      : sets_(other.sets_),
+        universe_(other.universe_),
+        universe_valid_(other.universe_valid_) {}
+  RegionIndex& operator=(const RegionIndex& other) {
+    sets_ = other.sets_;
+    universe_ = other.universe_;
+    universe_valid_ = other.universe_valid_;
+    return *this;
+  }
+  RegionIndex(RegionIndex&& other) noexcept
+      : sets_(std::move(other.sets_)),
+        universe_(std::move(other.universe_)),
+        universe_valid_(other.universe_valid_) {}
+  RegionIndex& operator=(RegionIndex&& other) noexcept {
+    sets_ = std::move(other.sets_);
+    universe_ = std::move(other.universe_);
+    universe_valid_ = other.universe_valid_;
+    return *this;
+  }
 
   /// Registers (or extends) the instance of a region name.
   void Add(std::string name, RegionSet regions);
@@ -48,7 +74,9 @@ class RegionIndex {
   std::vector<std::string> Names() const;
 
   /// Union of every instance — the indexed-region universe. Computed
-  /// lazily and cached; invalidated by Add().
+  /// lazily and cached; invalidated by Add(). Safe to call from
+  /// concurrent readers sharing an otherwise-immutable index (snapshot
+  /// queries): the lazy initialization is serialized internally.
   const RegionSet& Universe() const;
 
   /// All instances except `excluded` — the paper's "I − {S}" used by the
@@ -64,6 +92,10 @@ class RegionIndex {
 
  private:
   std::map<std::string, RegionSet, std::less<>> sets_;
+  /// Serializes the lazy Universe() build between concurrent readers of a
+  /// shared immutable index. Mutators (Add/EraseSpan/InsertDocRegions)
+  /// require external exclusion, as before.
+  mutable std::mutex universe_mu_;
   mutable RegionSet universe_;
   mutable bool universe_valid_ = false;
 };

@@ -1,0 +1,74 @@
+#ifndef QOF_SERVER_PROTOCOL_H_
+#define QOF_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// The qof_serve line protocol. One command per line, one or more
+/// response lines per command, every response line tagged with the
+/// session id it answers so interleaved async responses stay
+/// attributable:
+///
+///   OPEN                          -> OK 0 session=<sid> generation=<g>
+///   QUERY <sid> <fql...>          -> ROW <sid> <escaped-row>*
+///                                    OK <sid> rows=<n> strategy=<s> ...
+///   ADD <sid> <name> <escaped>    -> OK <sid> generation=<g>
+///   UPDATE <sid> <name> <escaped> -> OK <sid> generation=<g>
+///   REMOVE <sid> <name>           -> OK <sid> generation=<g>
+///   COMPACT <sid>                 -> OK <sid> generation=<g>
+///   REFRESH <sid>                 -> OK <sid> generation=<g>
+///   STATS <sid>                   -> OK <sid> <key=value...>
+///   CANCEL <sid>                  -> OK <sid> cancelled
+///   CLOSE <sid>                   -> OK <sid> closed
+///   QUIT                          -> OK 0 bye
+///
+/// Errors answer `ERR <sid> <status-code> <escaped-message>`. File text
+/// payloads (and row/message fields on the way out) are escaped so every
+/// command and response stays a single line: backslash, newline, carriage
+/// return map to `\\`, `\n`, `\r`. File names and FQL must not contain
+/// newlines; names must not contain spaces (they delimit the text field).
+enum class CommandKind {
+  kOpen,
+  kQuery,
+  kAdd,
+  kUpdate,
+  kRemove,
+  kCompact,
+  kRefresh,
+  kStats,
+  kCancel,
+  kClose,
+  kQuit,
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kQuit;
+  uint64_t session = 0;  // 0 for OPEN / QUIT
+  std::string name;      // ADD / UPDATE / REMOVE file name
+  std::string text;      // ADD / UPDATE payload (unescaped); QUERY fql
+};
+
+/// Escapes a payload to one protocol line field (`\\`, `\n`, `\r`).
+std::string EscapeField(std::string_view text);
+
+/// Inverse of EscapeField. Rejects dangling or unknown escapes.
+Result<std::string> UnescapeField(std::string_view field);
+
+/// Parses one command line. Unknown verbs, missing fields, malformed
+/// session ids and bad escapes all return kInvalidArgument.
+Result<Command> ParseCommand(std::string_view line);
+
+/// Response formatting, newline included.
+std::string FormatOk(uint64_t session, std::string_view detail);
+std::string FormatErr(uint64_t session, const Status& status);
+std::string FormatRow(uint64_t session, std::string_view row);
+
+}  // namespace qof
+
+#endif  // QOF_SERVER_PROTOCOL_H_

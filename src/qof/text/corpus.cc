@@ -4,6 +4,8 @@
 
 namespace qof {
 
+thread_local std::atomic<uint64_t>* Corpus::tls_scan_counter_ = nullptr;
+
 Result<DocId> Corpus::AddDocument(std::string name, std::string_view text) {
   for (const Doc& d : docs_) {
     if (d.live && d.name == name) {

@@ -63,6 +63,21 @@ class Corpus {
     return *this;
   }
 
+  /// Explicit deep copy, for copy-on-write snapshot publication (see
+  /// FileQuerySystem::AcquireSnapshot): a mutation arriving while a
+  /// snapshot pins the current corpus clones it and mutates the clone,
+  /// leaving the pinned original immutable. Deliberately not a copy
+  /// constructor — accidental copies would silently duplicate megabytes.
+  /// The clone's scanned-byte counter starts at zero.
+  Corpus Clone() const {
+    Corpus copy;
+    copy.text_ = text_;
+    copy.docs_ = docs_;
+    copy.dead_docs_ = dead_docs_;
+    copy.dead_bytes_ = dead_bytes_;
+    return copy;
+  }
+
   /// Appends a document; returns its id. Rejects names of *live*
   /// documents (a removed document's name may be reused).
   Result<DocId> AddDocument(std::string name, std::string_view text);
@@ -112,10 +127,34 @@ class Corpus {
 
   /// Bytes of [start, end), *accounted* as scanned: experiments use
   /// bytes_read() to compare how much text each query plan had to touch.
+  /// When a ScanCounterScope is active on the calling thread, accounting
+  /// goes to its counter instead of this corpus's — that is how
+  /// concurrent snapshot queries sharing one corpus keep independent
+  /// per-query byte totals (stats and byte budgets).
   std::string_view ScanText(TextPos start, TextPos end) const {
-    bytes_read_.fetch_add(end - start, std::memory_order_relaxed);
+    std::atomic<uint64_t>* counter =
+        tls_scan_counter_ != nullptr ? tls_scan_counter_ : &bytes_read_;
+    counter->fetch_add(end - start, std::memory_order_relaxed);
     return RawText(start, end);
   }
+
+  /// RAII override routing this thread's ScanText accounting into
+  /// `counter` (applies to every Corpus touched by the thread while the
+  /// scope is active; a query only ever scans its own snapshot's corpus).
+  /// Scopes nest; each restores the previous counter on destruction.
+  class ScanCounterScope {
+   public:
+    explicit ScanCounterScope(std::atomic<uint64_t>* counter)
+        : prev_(tls_scan_counter_) {
+      tls_scan_counter_ = counter;
+    }
+    ~ScanCounterScope() { tls_scan_counter_ = prev_; }
+    ScanCounterScope(const ScanCounterScope&) = delete;
+    ScanCounterScope& operator=(const ScanCounterScope&) = delete;
+
+   private:
+    std::atomic<uint64_t>* prev_;
+  };
 
   /// Full corpus view (used by index builders; indexing cost is reported
   /// separately from query-time scanning, so this is unaccounted). On a
@@ -148,6 +187,8 @@ class Corpus {
   size_t dead_docs_ = 0;
   uint64_t dead_bytes_ = 0;
   mutable std::atomic<uint64_t> bytes_read_{0};
+  /// Per-thread scan-accounting override (see ScanCounterScope).
+  static thread_local std::atomic<uint64_t>* tls_scan_counter_;
 };
 
 }  // namespace qof

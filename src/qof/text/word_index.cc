@@ -111,6 +111,9 @@ std::vector<TextPos> WordIndex::LookupPrefix(
     std::string_view prefix) const {
   std::string key = options_.fold_case ? FoldCase(prefix)
                                        : std::string(prefix);
+  // Prefix search is cold; holding the lock across the whole walk keeps
+  // the lazy directory build race-free under concurrent snapshot readers.
+  std::lock_guard<std::mutex> lock(sorted_words_mu_);
   if (sorted_words_.empty() && !postings_.empty()) {
     sorted_words_.reserve(postings_.size());
     for (const auto& [word, list] : postings_) {

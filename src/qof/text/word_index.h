@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,8 +45,40 @@ class WordIndex {
 
   /// Merged, sorted start positions of every indexed word beginning with
   /// `prefix` — PAT's lexical/prefix search. Uses a lazily built sorted
-  /// word directory; O(log W + hits).
+  /// word directory; O(log W + hits). Safe to call from concurrent
+  /// readers sharing an otherwise-immutable index (snapshot queries).
   std::vector<TextPos> LookupPrefix(std::string_view prefix) const;
+
+  // Hand-written copy/move: the directory cache both embeds a mutex
+  // (per-instance) and holds pointers into this instance's postings_
+  // keys, so it must never travel with the data — it is dropped and
+  // lazily rebuilt in the destination.
+  WordIndex() = default;
+  WordIndex(const WordIndex& other)
+      : postings_(other.postings_),
+        num_postings_(other.num_postings_),
+        options_(other.options_) {}
+  WordIndex& operator=(const WordIndex& other) {
+    postings_ = other.postings_;
+    num_postings_ = other.num_postings_;
+    options_ = other.options_;
+    sorted_words_.clear();
+    return *this;
+  }
+  WordIndex(WordIndex&& other) noexcept
+      : postings_(std::move(other.postings_)),
+        num_postings_(other.num_postings_),
+        options_(std::move(other.options_)) {
+    other.sorted_words_.clear();  // its pointers moved away with the map
+  }
+  WordIndex& operator=(WordIndex&& other) noexcept {
+    postings_ = std::move(other.postings_);
+    num_postings_ = other.num_postings_;
+    options_ = std::move(other.options_);
+    sorted_words_.clear();
+    other.sorted_words_.clear();
+    return *this;
+  }
 
   /// True when the word occurs at least once.
   bool Contains(std::string_view word) const {
@@ -111,8 +144,10 @@ class WordIndex {
   uint64_t num_postings_ = 0;
   WordIndexOptions options_;
   // Lazily built sorted directory of the words in postings_, for prefix
-  // lookups. Indexes are immutable after construction, so building once
-  // is safe.
+  // lookups. The mutex serializes the build between concurrent readers of
+  // a shared immutable index; maintenance mutators (which require
+  // external exclusion anyway) clear the directory.
+  mutable std::mutex sorted_words_mu_;
   mutable std::vector<const std::string*> sorted_words_;
 };
 

@@ -25,6 +25,9 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kBudgetExhausted,
+  // Admission control (see qof/server/): the service is at capacity and
+  // rejected the request before doing any work; safe to retry.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("Invalid argument",
@@ -80,6 +83,9 @@ class Status {
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -99,6 +105,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsBudgetExhausted() const {
     return code() == StatusCode::kBudgetExhausted;
+  }
+  bool IsUnavailable() const {
+    return code() == StatusCode::kUnavailable;
   }
 
   /// "OK" or "<code name>: <message>".

@@ -88,4 +88,69 @@ void ThreadPool::RunJob(int worker) {
   }
 }
 
+TaskQueue::TaskQueue(int num_threads, size_t max_queued)
+    : num_threads_(EffectiveParallelism(num_threads)),
+      max_queued_(max_queued) {
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() { Shutdown(); }
+
+bool TaskQueue::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (max_queued_ != 0 && queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void TaskQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+size_t TaskQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int TaskQueue::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void TaskQueue::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Accepted tasks run even during shutdown: TrySubmit's true means
+      // "will execute", which the service layer relies on to always
+      // deliver a completion.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+  }
+}
+
 }  // namespace qof

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -77,6 +78,60 @@ class ThreadPool {
   size_t job_items_ = 0;
   const std::atomic<bool>* job_stop_ = nullptr;
   std::atomic<size_t> next_index_{0};
+};
+
+/// A bounded task queue drained by dedicated worker threads — the
+/// concurrency surface the query *service* needs (many independent
+/// queries in flight), complementing ThreadPool's single blocking
+/// parallel-for (one data-parallel loop at a time).
+///
+/// Unlike ThreadPool, the submitting thread never participates: a
+/// TaskQueue of size N runs N background threads, so submission is
+/// non-blocking and the caller keeps servicing its connection. The queue
+/// bound is the admission-control surface: TrySubmit refuses (returns
+/// false) instead of queueing unboundedly, and the caller maps that to a
+/// retryable kUnavailable.
+///
+/// Tasks must not throw. Shutdown() (and the destructor) stop intake,
+/// drain every already-accepted task, and join the workers.
+class TaskQueue {
+ public:
+  /// `num_threads` is resolved through EffectiveParallelism (0 = one per
+  /// hardware thread). `max_queued` bounds tasks accepted but not yet
+  /// *started*; 0 means unbounded.
+  explicit TaskQueue(int num_threads, size_t max_queued = 0);
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues `task` unless the queue is full or shut down. Returns true
+  /// when the task was accepted (it will run, even if Shutdown() follows
+  /// immediately).
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops intake, runs every accepted task to completion, joins the
+  /// workers. Idempotent.
+  void Shutdown();
+
+  int size() const { return num_threads_; }
+  /// Tasks accepted but not yet started (point-in-time).
+  size_t queued() const;
+  /// Tasks currently executing (point-in-time).
+  int active() const;
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  const size_t max_queued_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
 };
 
 }  // namespace qof

@@ -150,6 +150,30 @@ TEST(FuzzTest, InjectedStaleCacheBugIsCaught) {
   EXPECT_TRUE(replay->failed) << report->repro;
 }
 
+TEST(FuzzTest, InjectedStaleSnapshotBugIsCaughtAndShrunk) {
+  // A service that silently runs a session's queries against the live
+  // state instead of its pinned snapshot breaks repeatable reads. The
+  // interleaved-session leg replays each session's pinned generation
+  // through a fresh oracle system and must flag the divergence; the
+  // shrinker must cut the witness down and the repro must replay.
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 1;
+  options.bug = InjectedBug::kStaleSnapshot;
+  options.invalid_fraction = 0.0;
+  options.mutation_fraction = 1.0;  // no mutations, no divergence to see
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected stale-snapshot bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[session"), std::string::npos)
+      << report->failure;
+
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
 TEST(FuzzTest, InjectedBadCseBugIsCaught) {
   // A CSE pass that hashes selection nodes without their word operands
   // merges structurally different selections, so the IR engine returns
@@ -264,7 +288,8 @@ TEST(FuzzTest, InjectedBugNamesRoundTrip) {
                           InjectedBug::kExactSkip,
                           InjectedBug::kDropTombstone,
                           InjectedBug::kStaleCache,
-                          InjectedBug::kBadCse}) {
+                          InjectedBug::kBadCse,
+                          InjectedBug::kStaleSnapshot}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);

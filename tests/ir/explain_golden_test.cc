@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "qof/datagen/schemas.h"
@@ -43,31 +44,32 @@ constexpr char kQuery[] =
     "SELECT r FROM References r "
     "WHERE r.Authors.Name.Last_Name = \"Chang\"";
 
-FileQuerySystem MakeSystem() {
+std::unique_ptr<FileQuerySystem> MakeSystem() {
   auto schema = BibtexSchema();
   EXPECT_TRUE(schema.ok());
-  FileQuerySystem system(*schema);
-  EXPECT_TRUE(system.AddFile("refs.bib", kCorpus).ok());
-  EXPECT_TRUE(system.BuildIndexes(IndexSpec::Full()).ok());
+  auto system = std::make_unique<FileQuerySystem>(*schema);
+  EXPECT_TRUE(system->AddFile("refs.bib", kCorpus).ok());
+  EXPECT_TRUE(system->BuildIndexes(IndexSpec::Full()).ok());
   return system;
 }
 
 TEST(ExplainGoldenTest, ExplainQueryIsDeterministic) {
-  FileQuerySystem a = MakeSystem();
-  FileQuerySystem b = MakeSystem();
-  auto ea = a.ExplainQuery(kQuery);
-  auto eb = b.ExplainQuery(kQuery);
+  auto a = MakeSystem();
+  auto b = MakeSystem();
+  auto ea = a->ExplainQuery(kQuery);
+  auto eb = b->ExplainQuery(kQuery);
   ASSERT_TRUE(ea.ok()) << ea.status().ToString();
   ASSERT_TRUE(eb.ok()) << eb.status().ToString();
   EXPECT_EQ(*ea, *eb);
   // Repeated calls on one system are stable too (no hidden state).
-  auto again = a.ExplainQuery(kQuery);
+  auto again = a->ExplainQuery(kQuery);
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(*ea, *again);
 }
 
 TEST(ExplainGoldenTest, PipelineSectionGolden) {
-  FileQuerySystem system = MakeSystem();
+  auto system_owner = MakeSystem();
+  FileQuerySystem& system = *system_owner;
   auto explained = system.ExplainQuery(kQuery);
   ASSERT_TRUE(explained.ok()) << explained.status().ToString();
   size_t at = explained->find("\nIR pipeline:\n");
@@ -125,7 +127,8 @@ TEST(ExplainGoldenTest, PipelineSectionGolden) {
 }
 
 TEST(ExplainGoldenTest, DisabledPassesShrinkThePipeline) {
-  FileQuerySystem system = MakeSystem();
+  auto system_owner = MakeSystem();
+  FileQuerySystem& system = *system_owner;
   IrPlanOptions options;
   options.enable_fusion = false;
   options.enable_cse = false;
@@ -138,7 +141,8 @@ TEST(ExplainGoldenTest, DisabledPassesShrinkThePipeline) {
 }
 
 TEST(EngineSelectionTest, UseIrFlagPicksTheEngine) {
-  FileQuerySystem system = MakeSystem();
+  auto system_owner = MakeSystem();
+  FileQuerySystem& system = *system_owner;
   QueryOptions ir_engine;
   ir_engine.use_ir = true;
   QueryOptions tree_engine;
@@ -159,7 +163,8 @@ TEST(EngineSelectionTest, UseIrFlagPicksTheEngine) {
 }
 
 TEST(EngineSelectionTest, BaselineReportsNoEngine) {
-  FileQuerySystem system = MakeSystem();
+  auto system_owner = MakeSystem();
+  FileQuerySystem& system = *system_owner;
   auto baseline =
       system.Execute(kQuery, ExecutionMode::kBaseline, QueryOptions());
   ASSERT_TRUE(baseline.ok());

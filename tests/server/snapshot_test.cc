@@ -1,0 +1,189 @@
+// Generation-snapshot isolation at the engine level: pinned snapshots
+// answer byte-identically across mutations, compaction, and full
+// rebuilds (copy-on-write), and their eval-cache entries survive
+// unrelated mutations for as long as the snapshot lives (see
+// qof/engine/snapshot.h and DESIGN.md, "Server & snapshot isolation").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qof/datagen/bibtex_gen.h"
+#include "qof/datagen/schemas.h"
+#include "qof/engine/system.h"
+
+namespace qof {
+namespace {
+
+constexpr const char* kProbeFql =
+    "SELECT r FROM References r "
+    "WHERE r.Authors.Name.Last_Name = \"Chang\"";
+
+std::string Doc(uint32_t seed, int refs = 20) {
+  BibtexGenOptions gen;
+  gen.num_references = refs;
+  gen.seed = seed;
+  gen.probe_author_rate = 0.2;
+  return GenerateBibtex(gen);
+}
+
+std::string Fingerprint(const Result<QueryResult>& r) {
+  if (!r.ok()) return "error:" + r.status().ToString();
+  std::string out;
+  for (const Region& region : r->regions) {
+    out += std::to_string(region.start) + "-" +
+           std::to_string(region.end) + ";";
+  }
+  for (const std::string& v : r->RenderedValues()) out += v + "|";
+  return out;
+}
+
+std::unique_ptr<FileQuerySystem> MakeSystem(bool caches = false) {
+  auto schema = BibtexSchema();
+  EXPECT_TRUE(schema.ok());
+  auto system = std::make_unique<FileQuerySystem>(*schema);
+  EXPECT_TRUE(system->AddFile("a.bib", Doc(11)).ok());
+  EXPECT_TRUE(system->AddFile("b.bib", Doc(22)).ok());
+  if (caches) system->SetCacheOptions(CacheOptions::Enabled());
+  EXPECT_TRUE(system->BuildIndexes(IndexSpec::Full()).ok());
+  return system;
+}
+
+TEST(Snapshot, PinnedReadsAreImmutableAcrossMutations) {
+  auto system = MakeSystem();
+  auto snapshot = system->AcquireSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  std::string before = Fingerprint(
+      system->ExecuteOnSnapshot(**snapshot, kProbeFql));
+  ASSERT_TRUE(before.rfind("error:", 0) != 0) << before;
+
+  // Every mutation kind in turn; the pinned view never moves.
+  ASSERT_TRUE(system->AddFile("c.bib", Doc(33)).ok());
+  EXPECT_EQ(Fingerprint(system->ExecuteOnSnapshot(**snapshot, kProbeFql)),
+            before);
+  ASSERT_TRUE(system->UpdateFile("a.bib", Doc(44)).ok());
+  EXPECT_EQ(Fingerprint(system->ExecuteOnSnapshot(**snapshot, kProbeFql)),
+            before);
+  ASSERT_TRUE(system->RemoveFile("b.bib").ok());
+  EXPECT_EQ(Fingerprint(system->ExecuteOnSnapshot(**snapshot, kProbeFql)),
+            before);
+  ASSERT_TRUE(system->CompactIndexes().ok());
+  EXPECT_EQ(Fingerprint(system->ExecuteOnSnapshot(**snapshot, kProbeFql)),
+            before);
+
+  // The live view did move.
+  EXPECT_NE(Fingerprint(system->Execute(kProbeFql)), before);
+}
+
+TEST(Snapshot, GenerationStampsRecordThePinPoint) {
+  auto system = MakeSystem();
+  auto s0 = system->AcquireSnapshot();
+  ASSERT_TRUE(s0.ok());
+  uint64_t g0 = (*s0)->maintain.generation;
+
+  ASSERT_TRUE(system->AddFile("c.bib", Doc(33)).ok());
+  auto s1 = system->AcquireSnapshot();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ((*s0)->maintain.generation, g0);
+  EXPECT_EQ((*s1)->maintain.generation, g0 + 1);
+  EXPECT_EQ(system->index_generation(), g0 + 1);
+
+  // Distinct pins answer for their own generation, concurrently valid.
+  std::string old_answer =
+      Fingerprint(system->ExecuteOnSnapshot(**s0, kProbeFql));
+  std::string new_answer =
+      Fingerprint(system->ExecuteOnSnapshot(**s1, kProbeFql));
+  EXPECT_NE(old_answer, new_answer);
+  EXPECT_EQ(new_answer, Fingerprint(system->Execute(kProbeFql)));
+}
+
+TEST(Snapshot, SurvivesFullRebuild) {
+  // BuildIndexes replaces the compiler and resets maintenance counters;
+  // a snapshot pinned before the rebuild keeps its own compiler and
+  // index state (the plan cache must not serve it cross-build entries —
+  // PlanCache::Entry::build guards that).
+  auto system = MakeSystem(/*caches=*/true);
+  auto snapshot = system->AcquireSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  std::string before = Fingerprint(
+      system->ExecuteOnSnapshot(**snapshot, kProbeFql));
+
+  ASSERT_TRUE(system->UpdateFile("a.bib", Doc(55)).ok());
+  ASSERT_TRUE(system->BuildIndexes(IndexSpec::Full()).ok());
+
+  EXPECT_EQ(Fingerprint(system->ExecuteOnSnapshot(**snapshot, kProbeFql)),
+            before);
+  EXPECT_NE(Fingerprint(system->Execute(kProbeFql)), before);
+}
+
+TEST(Snapshot, WarmEvalEntriesSurviveUnrelatedMutation) {
+  // The satellite regression: entries cached under a pinned epoch keep
+  // serving that snapshot's queries after an unrelated UpdateFile — the
+  // mutation must not cost pinned readers their warm cache.
+  auto system = MakeSystem(/*caches=*/true);
+  auto snapshot = system->AcquireSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+
+  std::string cold = Fingerprint(
+      system->ExecuteOnSnapshot(**snapshot, kProbeFql));
+  CacheStats warm0 = system->cache_stats();
+  std::string warm = Fingerprint(
+      system->ExecuteOnSnapshot(**snapshot, kProbeFql));
+  CacheStats warm1 = system->cache_stats();
+  EXPECT_EQ(warm, cold);
+  ASSERT_GT(warm1.eval_hits, warm0.eval_hits)
+      << "second snapshot query did not hit the eval cache";
+
+  // Unrelated mutation: advances the epoch, prunes unpinned entries.
+  ASSERT_TRUE(system->UpdateFile("b.bib", Doc(66)).ok());
+
+  std::string after = Fingerprint(
+      system->ExecuteOnSnapshot(**snapshot, kProbeFql));
+  CacheStats warm2 = system->cache_stats();
+  EXPECT_EQ(after, cold);
+  EXPECT_GT(warm2.eval_hits, warm1.eval_hits)
+      << "pinned-epoch entry was flushed by an unrelated mutation";
+}
+
+TEST(Snapshot, ReleasingThePinReclaimsItsCacheEntries) {
+  auto system = MakeSystem(/*caches=*/true);
+  {
+    auto snapshot = system->AcquireSnapshot();
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_TRUE(
+        system->ExecuteOnSnapshot(**snapshot, kProbeFql).ok());
+    // Move the live epoch past the pin so the pinned entries are the
+    // only survivors of their epoch.
+    ASSERT_TRUE(system->UpdateFile("b.bib", Doc(77)).ok());
+    ASSERT_TRUE(system->Execute(kProbeFql).ok());
+    EXPECT_GT(system->cache_stats().eval_regions_cached, 0u);
+    uint64_t while_pinned = system->cache_stats().eval_regions_cached;
+    // Snapshot drops here; its epoch unpins and its entries reclaim.
+    (void)while_pinned;
+  }
+  // Only current-epoch entries remain; re-running the live query still
+  // hits (its epoch was never reclaimed).
+  CacheStats s0 = system->cache_stats();
+  ASSERT_TRUE(system->Execute(kProbeFql).ok());
+  CacheStats s1 = system->cache_stats();
+  EXPECT_GT(s1.eval_hits, s0.eval_hits);
+}
+
+TEST(Snapshot, CopyOnWriteSharesUntouchedState) {
+  // Before any mutation, a snapshot shares the live corpus (no copy);
+  // the first mutation under a pin clones, after which the snapshot
+  // holds the only reference to the old state.
+  auto system = MakeSystem();
+  auto snapshot = system->AcquireSnapshot();
+  ASSERT_TRUE(snapshot.ok());
+  long shared_before = (*snapshot)->corpus.use_count();
+  EXPECT_GE(shared_before, 2) << "snapshot should share pre-mutation state";
+  ASSERT_TRUE(system->UpdateFile("a.bib", Doc(88)).ok());
+  EXPECT_LT((*snapshot)->corpus.use_count(), shared_before)
+      << "mutation should have cloned, leaving the snapshot its own copy";
+}
+
+}  // namespace
+}  // namespace qof

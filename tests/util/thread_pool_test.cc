@@ -1,6 +1,7 @@
 #include "qof/util/thread_pool.h"
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <vector>
 
@@ -83,6 +84,67 @@ TEST(ThreadPoolTest, MoreWorkersThanItems) {
     calls.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(TaskQueueTest, RunsEveryAcceptedTask) {
+  TaskQueue queue(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.TrySubmit(
+        [&] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  queue.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskQueueTest, BoundedQueueRefusesExcessWithoutRunningIt) {
+  TaskQueue queue(1, /*max_queued=*/1);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> running;
+  // Occupy the single worker...
+  ASSERT_TRUE(queue.TrySubmit([&, released] {
+    running.set_value();
+    released.wait();
+  }));
+  running.get_future().wait();
+  // ...one slot queues, the next is refused at the door.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(queue.TrySubmit([&] { ++ran; }));
+  std::atomic<bool> rejected_ran{false};
+  EXPECT_FALSE(queue.TrySubmit([&] { rejected_ran.store(true); }));
+  release.set_value();
+  queue.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(rejected_ran.load());
+}
+
+TEST(TaskQueueTest, SubmitAfterShutdownIsRefused) {
+  TaskQueue queue(2);
+  queue.Shutdown();
+  queue.Shutdown();  // idempotent
+  EXPECT_FALSE(queue.TrySubmit([] {}));
+}
+
+TEST(TaskQueueTest, ShutdownDrainsQueuedTasks) {
+  // Tasks accepted before Shutdown must run even if Shutdown races the
+  // workers picking them up.
+  TaskQueue queue(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(queue.TrySubmit(
+        [&] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  queue.Shutdown();
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskQueueTest, CountersAreConsistentWhenIdle) {
+  TaskQueue queue(3);
+  EXPECT_EQ(queue.size(), 3);
+  queue.Shutdown();
+  EXPECT_EQ(queue.queued(), 0u);
+  EXPECT_EQ(queue.active(), 0);
 }
 
 }  // namespace

@@ -28,7 +28,8 @@ void PrintUsage(std::ostream& out) {
          "  --workers N           parallel leg worker count (default 4)\n"
          "  --inject KIND         none | relax-direct | exact-skip | "
          "drop-tombstone\n"
-         "                        | stale-cache | bad-cse\n"
+         "                        | stale-cache | bad-cse | "
+         "stale-snapshot\n"
          "                        | fault[:SITE[:HIT]] — fault-injection "
          "leg; SITE from\n"
          "                        --list-fault-sites (default random per "
