@@ -18,9 +18,11 @@ Result<CostEstimate> CostEstimator::Estimate(const RegionExpr& expr) const {
   switch (expr.kind()) {
     case ExprKind::kName: {
       CostEstimate est;
-      if (regions_ != nullptr && regions_->Has(expr.name())) {
-        auto set = regions_->Get(expr.name());
-        est.cardinality = static_cast<double>((*set)->size());
+      if (regions_ != nullptr) {
+        // Count-only: a disk-backed instance's cardinality comes from
+        // the store dictionary, not from materializing it.
+        est.cardinality =
+            static_cast<double>(regions_->InstanceCount(expr.name()));
       }
       est.work = est.cardinality;  // one pass over the instance
       return est;
@@ -104,7 +106,7 @@ Result<CostEstimate> CostEstimator::Estimate(const RegionExpr& expr) const {
                     expr.kind() == ExprKind::kDirectlyIncluded;
       if (direct && regions_ != nullptr) {
         // ⊃d consults the whole indexed universe for separators.
-        merge += static_cast<double>(regions_->Universe().size());
+        merge += static_cast<double>(regions_->UniverseSize());
         merge *= kDirectFactor;
       }
       est.work = l.work + r.work + merge;

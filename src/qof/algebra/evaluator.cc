@@ -149,6 +149,10 @@ Result<ExprEvaluator::EvalResult> ExprEvaluator::EvalDirect(
     const RegionExpr& expr, const RegionSet& left, const RegionSet& right,
     EvalStats* stats) const {
   if (stats) ++stats->direct_incl_ops;
+  // ⊃d consults the whole indexed universe; a disk-backed index must
+  // materialize every instance first, and an I/O failure has to surface
+  // here (Universe() itself is infallible and would answer short).
+  QOF_RETURN_IF_ERROR(index_->EnsureResident());
   const bool including = expr.kind() == ExprKind::kDirectlyIncluding;
   RegionSet out;
   if (direct_ == DirectAlgorithm::kLayered && including) {

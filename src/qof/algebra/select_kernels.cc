@@ -78,6 +78,21 @@ Result<std::vector<Region>> RunSelectKernel(const SelectSpec& spec,
     kind = ExprKind::kSelectPhrase;
   }
 
+  // Disk-resident indexes page posting lists in lazily; materialize the
+  // words this selection will probe up front so an I/O failure surfaces
+  // as a typed error here (the infallible Lookup answers empty) and the
+  // kAuto ladder can degrade to a scan-based strategy.
+  if (words->disk_resident()) {
+    for (const auto& t : tokens) {
+      QOF_RETURN_IF_ERROR(words->EnsureLoaded(t.text));
+    }
+    if (kind == ExprKind::kSelectNear) {
+      for (const auto& t : Tokenizer::Tokenize(spec.word2)) {
+        QOF_RETURN_IF_ERROR(words->EnsureLoaded(t.text));
+      }
+    }
+  }
+
   std::vector<Region> out;
   if (kind == ExprKind::kSelectNear) {
     // PAT proximity: the region holds an occurrence of each word at most

@@ -29,18 +29,28 @@ bool HasMagic(std::string_view blob, const char* magic) {
 
 // --- shared body (spec + regions + words + documents) ----------------------
 
+Status DecodeSpecFields(WireReader* reader, IndexSpec* spec) {
+  QOF_ASSIGN_OR_RETURN(uint8_t mode, reader->U8());
+  spec->mode = mode == 0 ? IndexSpec::Mode::kFull : IndexSpec::Mode::kPartial;
+  QOF_ASSIGN_OR_RETURN(uint8_t fold_case, reader->U8());
+  spec->word_options.fold_case = fold_case != 0;
+  QOF_ASSIGN_OR_RETURN(uint32_t num_spec_names, reader->U32());
+  for (uint32_t i = 0; i < num_spec_names; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
+    spec->names.insert(std::move(name));
+  }
+  QOF_ASSIGN_OR_RETURN(uint32_t num_within, reader->U32());
+  for (uint32_t i = 0; i < num_within; ++i) {
+    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
+    QOF_ASSIGN_OR_RETURN(std::string ancestor, reader->String());
+    spec->within.emplace(std::move(name), std::move(ancestor));
+  }
+  return Status::OK();
+}
+
 Status AppendBody(const BuiltIndexes& built, const IndexSpec& spec,
                   std::string* out) {
-  // Spec.
-  out->push_back(spec.mode == IndexSpec::Mode::kFull ? 0 : 1);
-  out->push_back(spec.word_options.fold_case ? 1 : 0);
-  PutU32(static_cast<uint32_t>(spec.names.size()), out);
-  for (const std::string& name : spec.names) PutString(name, out);
-  PutU32(static_cast<uint32_t>(spec.within.size()), out);
-  for (const auto& [name, ancestor] : spec.within) {
-    PutString(name, out);
-    PutString(ancestor, out);
-  }
+  EncodeIndexSpec(spec, out);
 
   // Region instances.
   std::vector<std::string> names = built.regions.Names();
@@ -82,23 +92,7 @@ Status AppendBody(const BuiltIndexes& built, const IndexSpec& spec,
 
 Status DecodeBody(WireReader* reader, uint64_t corpus_size,
                   SerializedIndexes* out) {
-  // Spec.
-  QOF_ASSIGN_OR_RETURN(uint8_t mode, reader->U8());
-  out->spec.mode =
-      mode == 0 ? IndexSpec::Mode::kFull : IndexSpec::Mode::kPartial;
-  QOF_ASSIGN_OR_RETURN(uint8_t fold_case, reader->U8());
-  out->spec.word_options.fold_case = fold_case != 0;
-  QOF_ASSIGN_OR_RETURN(uint32_t num_spec_names, reader->U32());
-  for (uint32_t i = 0; i < num_spec_names; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
-    out->spec.names.insert(std::move(name));
-  }
-  QOF_ASSIGN_OR_RETURN(uint32_t num_within, reader->U32());
-  for (uint32_t i = 0; i < num_within; ++i) {
-    QOF_ASSIGN_OR_RETURN(std::string name, reader->String());
-    QOF_ASSIGN_OR_RETURN(std::string ancestor, reader->String());
-    out->spec.within.emplace(std::move(name), std::move(ancestor));
-  }
+  QOF_RETURN_IF_ERROR(DecodeSpecFields(reader, &out->spec));
 
   // Region instances.
   QOF_ASSIGN_OR_RETURN(uint32_t num_region_names, reader->U32());
@@ -271,15 +265,7 @@ Result<std::string> SerializeIndexes(const BuiltIndexes& built,
   }
   // Doc table + body are assembled first so the header can carry their
   // checksum.
-  std::string payload;
-  PutU32(static_cast<uint32_t>(corpus.num_documents()), &payload);
-  for (DocId id = 0; id < corpus.num_documents(); ++id) {
-    TextPos begin = corpus.document_start(id);
-    std::string_view text = corpus.RawText(begin, corpus.document_end(id));
-    PutString(corpus.document_name(id), &payload);
-    PutU64(text.size(), &payload);
-    PutU64(Fnv1a(text), &payload);
-  }
+  QOF_ASSIGN_OR_RETURN(std::string payload, EncodeDocTable(corpus));
   QOF_RETURN_IF_ERROR(AppendBody(built, spec, &payload));
   std::string out;
   out.reserve(kV3HeaderLen + payload.size());
@@ -349,7 +335,70 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
   if (v3) QOF_RETURN_IF_ERROR(VerifyPayloadChecksum(blob, &reader));
   QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
                        DecodeDocTable(&reader));
+  std::vector<std::string> stale = DiagnoseStaleDocs(docs, corpus);
+  if (!stale.empty() && !options.allow_stale) {
+    return Status::InvalidArgument(
+        "index blob is stale: " + JoinStale(stale) +
+        "; rebuild the indexes (or load with allow_stale)");
+  }
+  QOF_RETURN_IF_ERROR(DecodeBody(&reader, LayoutOf(docs).total, &out));
+  out.stale_documents = std::move(stale);
+  return out;
+}
 
+void EncodeIndexSpec(const IndexSpec& spec, std::string* out) {
+  out->push_back(spec.mode == IndexSpec::Mode::kFull ? 0 : 1);
+  out->push_back(spec.word_options.fold_case ? 1 : 0);
+  PutU32(static_cast<uint32_t>(spec.names.size()), out);
+  for (const std::string& name : spec.names) PutString(name, out);
+  PutU32(static_cast<uint32_t>(spec.within.size()), out);
+  for (const auto& [name, ancestor] : spec.within) {
+    PutString(name, out);
+    PutString(ancestor, out);
+  }
+}
+
+Result<IndexSpec> DecodeIndexSpec(std::string_view bytes) {
+  WireReader reader(bytes, "index spec");
+  IndexSpec spec;
+  QOF_RETURN_IF_ERROR(DecodeSpecFields(&reader, &spec));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after index spec");
+  }
+  return spec;
+}
+
+Result<std::string> EncodeDocTable(const Corpus& corpus) {
+  if (corpus.fragmented()) {
+    return Status::InvalidArgument(
+        "corpus has tombstoned spans — compact before serializing "
+        "(blob offsets must describe a dense layout)");
+  }
+  std::string out;
+  PutU32(static_cast<uint32_t>(corpus.num_documents()), &out);
+  for (DocId id = 0; id < corpus.num_documents(); ++id) {
+    TextPos begin = corpus.document_start(id);
+    std::string_view text = corpus.RawText(begin, corpus.document_end(id));
+    PutString(corpus.document_name(id), &out);
+    PutU64(text.size(), &out);
+    PutU64(Fnv1a(text), &out);
+  }
+  return out;
+}
+
+Result<std::vector<DocFingerprint>> DecodeDocTableBytes(
+    std::string_view bytes) {
+  WireReader reader(bytes, "document table");
+  QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
+                       DecodeDocTable(&reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after document table");
+  }
+  return docs;
+}
+
+std::vector<std::string> DiagnoseStaleDocs(
+    const std::vector<DocFingerprint>& docs, const Corpus& corpus) {
   // Per-document staleness, by name: modified / missing / new, plus
   // "moved" when the contents all match but the physical order differs
   // (offsets are order-dependent).
@@ -388,14 +437,32 @@ Result<SerializedIndexes> DeserializeIndexes(std::string_view blob,
       }
     }
   }
+  return stale;
+}
 
-  if (!stale.empty() && !options.allow_stale) {
+std::string FormatStaleDocs(const std::vector<std::string>& stale) {
+  return JoinStale(stale);
+}
+
+Result<UncheckedIndexes> DeserializeIndexesUnchecked(std::string_view blob) {
+  QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kIndexIoDeserialize));
+  if (HasMagic(blob, kMagicV1)) {
     return Status::InvalidArgument(
-        "index blob is stale: " + JoinStale(stale) +
-        "; rebuild the indexes (or load with allow_stale)");
+        "v1 index blobs carry no document table and cannot be converted; "
+        "rebuild and re-export first");
   }
-  QOF_RETURN_IF_ERROR(DecodeBody(&reader, LayoutOf(docs).total, &out));
-  out.stale_documents = std::move(stale);
+  const bool v3 = HasMagic(blob, kMagicV3);
+  if (!v3 && !HasMagic(blob, kMagicV2)) {
+    return Status::InvalidArgument("not a qof index blob (bad magic)");
+  }
+  WireReader reader(blob.substr(kMagicLen), "index blob");
+  UncheckedIndexes out;
+  out.version = v3 ? 3 : 2;
+  QOF_ASSIGN_OR_RETURN(out.indexes.generation, reader.U64());
+  if (v3) QOF_RETURN_IF_ERROR(VerifyPayloadChecksum(blob, &reader));
+  QOF_ASSIGN_OR_RETURN(out.docs, DecodeDocTable(&reader));
+  QOF_RETURN_IF_ERROR(
+      DecodeBody(&reader, LayoutOf(out.docs).total, &out.indexes));
   return out;
 }
 

@@ -108,6 +108,47 @@ Result<BlobInfo> ReadBlobInfo(std::string_view blob);
 /// The corpus/document fingerprint used by both formats (FNV-1a).
 uint64_t CorpusFingerprint(std::string_view text);
 
+// --- section codecs shared with the paged store (src/qof/store/) -----------
+//
+// The disk-resident store persists the spec and the document table as
+// opaque, checksummed sections; these are their encodings — identical to
+// the corresponding chunks of a v2/v3 blob, so a converted store and a
+// blob describe the same indexes byte-for-byte.
+
+/// Appends the spec encoding (mode, fold_case, names, within pairs).
+void EncodeIndexSpec(const IndexSpec& spec, std::string* out);
+
+/// Decodes a standalone spec section (must consume every byte).
+Result<IndexSpec> DecodeIndexSpec(std::string_view bytes);
+
+/// The v2 document table (u32 count, then name/size/fingerprint rows).
+/// Fails on a fragmented corpus: compact first.
+Result<std::string> EncodeDocTable(const Corpus& corpus);
+
+/// Decodes a standalone document-table section.
+Result<std::vector<DocFingerprint>> DecodeDocTableBytes(
+    std::string_view bytes);
+
+/// Names each document that differs between a persisted table and the
+/// live corpus ("modified: a", "missing: b", "new: c", "moved: d");
+/// empty when they match.
+std::vector<std::string> DiagnoseStaleDocs(
+    const std::vector<DocFingerprint>& docs, const Corpus& corpus);
+
+/// Joins a staleness report into one human-readable line (first few
+/// entries plus a total).
+std::string FormatStaleDocs(const std::vector<std::string>& stale);
+
+/// A v2/v3 blob decoded without a corpus to validate against — the
+/// store-conversion path (`qof_store convert`). v1 blobs have no
+/// document table and are rejected.
+struct UncheckedIndexes {
+  SerializedIndexes indexes;
+  std::vector<DocFingerprint> docs;
+  int version = 0;
+};
+Result<UncheckedIndexes> DeserializeIndexesUnchecked(std::string_view blob);
+
 }  // namespace qof
 
 #endif  // QOF_ENGINE_INDEX_IO_H_

@@ -12,6 +12,9 @@
 #include "qof/engine/join.h"
 #include "qof/engine/two_phase.h"
 #include "qof/ir/ir.h"
+#include "qof/store/paged_file.h"
+#include "qof/store/store_index_source.h"
+#include "qof/store/store_writer.h"
 
 namespace qof {
 namespace {
@@ -210,6 +213,9 @@ Status FileQuerySystem::BuildIndexes(const IndexSpec& spec) {
   compiler_ = std::make_shared<const QueryCompiler>(
       &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
       spec.within);
+  store_.reset();
+  index_source_ = "built";
+  index_format_version_ = 0;
   ++builds_;
   ResetMaintainer(/*generation=*/0);
   // A rebuild replaces the compiler: plan-cache entries (keyed by FQL
@@ -518,6 +524,19 @@ Result<QueryResult> FileQuerySystem::ExecuteWithSurface(
                                         : &corpus.bytes_read_counter());
     ctx = &governed;
   }
+  // Layers without an explicit ExecContext* — the store's buffer pool on
+  // a page miss — pick the context up thread-locally, so a governed
+  // query's deadline and cancellation reach into the disk tier.
+  ExecContext::ThreadScope thread_scope(ctx);
+  // Arm this thread's scan accounting so the disk tier's decompressed
+  // index bytes (Corpus::ChargeScanBytes) are counted. Snapshot queries
+  // already route to their private counter — this resolves to the same
+  // one; the live path resolves to the corpus's own counter, exactly
+  // where its ScanText charges always landed.
+  Corpus::ScanCounterScope scan_scope(
+      surface.scan_counter != nullptr
+          ? surface.scan_counter
+          : &corpus.mutable_bytes_read_counter());
 
   // The baseline needs no indices at all.
   if (mode == ExecutionMode::kBaseline) {
@@ -841,9 +860,113 @@ Result<std::string> FileQuerySystem::ExportIndexes() {
     CowIfPinnedLocked();
     QOF_RETURN_IF_ERROR(maintainer_->Compact(EnsurePool(parallelism_)));
   }
+  // Serialization walks every instance and posting list; a disk-backed
+  // index must be fully paged in first (no-ops when already resident).
+  QOF_RETURN_IF_ERROR(built_->regions.EnsureResident());
+  QOF_RETURN_IF_ERROR(built_->words.EnsureResident());
   return SerializeIndexes(*built_, spec_, *corpus_,
                           maintainer_ != nullptr ? maintainer_->generation()
                                                  : 0);
+}
+
+Status FileQuerySystem::SaveStore(const std::string& path,
+                                  uint32_t page_size) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (built_ == nullptr) {
+    return Status::InvalidArgument("indexes not built; nothing to save");
+  }
+  if (spec_.word_options.token_filter) {
+    return Status::InvalidArgument(
+        "word-index token filters are code and cannot be serialized; "
+        "rebuild instead of loading");
+  }
+  if (corpus_->fragmented()) {
+    // Store offsets must describe a dense layout, same as ExportIndexes.
+    CowIfPinnedLocked();
+    QOF_RETURN_IF_ERROR(maintainer_->Compact(EnsurePool(parallelism_)));
+  }
+  // The writer walks every instance and posting list directly.
+  QOF_RETURN_IF_ERROR(built_->regions.EnsureResident());
+  QOF_RETURN_IF_ERROR(built_->words.EnsureResident());
+  std::string spec_bytes;
+  EncodeIndexSpec(spec_, &spec_bytes);
+  QOF_ASSIGN_OR_RETURN(std::string doc_table, EncodeDocTable(*corpus_));
+  StoreWriterInput input;
+  input.regions = &built_->regions;
+  input.words = &built_->words;
+  input.spec_bytes = spec_bytes;
+  input.doc_table_bytes = doc_table;
+  input.generation =
+      maintainer_ != nullptr ? maintainer_->generation() : 0;
+  input.doc_count = built_->documents;
+  QOF_ASSIGN_OR_RETURN(std::string image, BuildStoreImage(input, page_size));
+  return WriteFileBytes(path, image);
+}
+
+Status FileQuerySystem::OpenStore(const std::string& path,
+                                  PagedStoreOptions options) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  // Staged like ImportIndexes: a damaged or stale store must leave the
+  // installed indexes fully intact and queryable.
+  QOF_ASSIGN_OR_RETURN(std::shared_ptr<const PagedStore> store,
+                       PagedStore::Open(path, options));
+  QOF_ASSIGN_OR_RETURN(std::string spec_bytes,
+                       store->ReadSection(StoreSection::kSpec));
+  QOF_ASSIGN_OR_RETURN(IndexSpec spec, DecodeIndexSpec(spec_bytes));
+  QOF_ASSIGN_OR_RETURN(std::string doc_bytes,
+                       store->ReadSection(StoreSection::kDocTable));
+  QOF_ASSIGN_OR_RETURN(std::vector<DocFingerprint> docs,
+                       DecodeDocTableBytes(doc_bytes));
+  if (corpus_->fragmented()) {
+    return Status::InvalidArgument(
+        "corpus has tombstoned spans; compact before opening a store");
+  }
+  std::vector<std::string> stale = DiagnoseStaleDocs(docs, *corpus_);
+  if (!stale.empty()) {
+    return Status::InvalidArgument("store does not match the corpus: " +
+                                   FormatStaleDocs(stale));
+  }
+  auto built = std::make_shared<BuiltIndexes>();
+  // Register names/counts from the dictionaries; instances and posting
+  // lists stay on disk until a query touches them.
+  QOF_RETURN_IF_ERROR(built->regions.AttachSource(
+      std::make_shared<StoreRegionSource>(store)));
+  built->words =
+      WordIndex::FromEntries({}, spec.word_options.fold_case);
+  built->words.AttachSource(std::make_shared<StorePostingSource>(store));
+  built->documents = store->meta().doc_count;
+  auto compiler = std::make_shared<const QueryCompiler>(
+      &full_rig_, spec.IndexedNames(schema_), schema_.view_name(),
+      spec.within);
+  // Commit: nothing past this point can fail.
+  spec_ = std::move(spec);
+  built_ = std::move(built);
+  compiler_ = std::move(compiler);
+  store_ = store;
+  index_source_ = "paged-store";
+  index_format_version_ = 0;
+  ++builds_;
+  ResetMaintainer(store->meta().generation);
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+  if (eval_cache_ != nullptr) {
+    eval_cache_->AdvanceEpoch(CurrentEpochUnlocked());
+  }
+  return Status::OK();
+}
+
+FileQuerySystem::IndexStats FileQuerySystem::index_stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  IndexStats stats;
+  stats.built = built_ != nullptr;
+  stats.source = index_source_;
+  stats.format_version = index_format_version_;
+  stats.generation =
+      maintainer_ != nullptr ? maintainer_->generation() : 0;
+  stats.disk_resident =
+      built_ != nullptr && (built_->regions.disk_resident() ||
+                            built_->words.disk_resident());
+  if (store_ != nullptr) stats.pool = store_->pool_stats();
+  return stats;
 }
 
 Status FileQuerySystem::ImportIndexes(std::string_view blob) {
@@ -856,8 +979,11 @@ Status FileQuerySystem::ImportIndexes(std::string_view blob) {
     std::shared_ptr<BuiltIndexes> built;
     std::shared_ptr<const QueryCompiler> compiler;
     uint64_t generation = 0;
+    int version = 0;
   } staged;
   {
+    QOF_ASSIGN_OR_RETURN(BlobInfo info, ReadBlobInfo(blob));
+    staged.version = info.version;
     QOF_ASSIGN_OR_RETURN(SerializedIndexes loaded,
                          DeserializeIndexes(blob, *corpus_));
     staged.built = std::make_shared<BuiltIndexes>(std::move(loaded.indexes));
@@ -870,6 +996,9 @@ Status FileQuerySystem::ImportIndexes(std::string_view blob) {
   }
   built_ = std::move(staged.built);
   compiler_ = std::move(staged.compiler);
+  store_.reset();
+  index_source_ = "blob-v" + std::to_string(staged.version);
+  index_format_version_ = staged.version;
   ++builds_;
   ResetMaintainer(staged.generation);
   // Same reasoning as BuildIndexes: plans may describe the old spec —

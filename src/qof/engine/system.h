@@ -22,6 +22,7 @@
 #include "qof/maintain/maintainer.h"
 #include "qof/query/parser.h"
 #include "qof/schema/rig_derivation.h"
+#include "qof/store/paged_store.h"
 #include "qof/text/corpus.h"
 #include "qof/util/result.h"
 #include "qof/util/thread_pool.h"
@@ -279,6 +280,45 @@ class FileQuerySystem {
   /// previously imported (or built) indexes fully intact and queryable.
   Status ImportIndexes(std::string_view blob);
 
+  // --- disk-resident index tier (src/qof/store/) ------------------------
+
+  /// Writes the built indexes as a paged "QOFSTOR1" store file: meta
+  /// page, spec and document-table sections, fenced dictionaries, and
+  /// block-compressed posting streams. Compacts first if mutations left
+  /// tombstoned spans (same rule as ExportIndexes), and forces full
+  /// residency when the current indexes are themselves disk-backed.
+  /// Fails if indexes are not built, the spec has a non-serializable
+  /// token filter, or `page_size` is not a multiple of 256.
+  Status SaveStore(const std::string& path,
+                   uint32_t page_size = kDefaultPageSize);
+
+  /// Installs indexes backed by a paged store file *without* loading
+  /// them: the dictionaries' fence keys are read at open, and region
+  /// instances / posting lists page in lazily through the store's buffer
+  /// pool as queries touch them. Query results are byte-identical to the
+  /// in-memory indexes the store was saved from. Validates the store's
+  /// document table against the corpus (the error names stale documents)
+  /// and is all-or-nothing, like ImportIndexes. Subsequent mutations
+  /// (AddFile etc.) force full residency first, after which the system
+  /// behaves exactly as after an ImportIndexes.
+  Status OpenStore(const std::string& path, PagedStoreOptions options = {});
+
+  /// Provenance and health of the installed indexes.
+  struct IndexStats {
+    bool built = false;
+    /// "none" | "built" | "blob-v1" | "blob-v2" | "blob-v3" |
+    /// "paged-store"
+    std::string source = "none";
+    /// Blob format version for imports (1/2/3); 0 otherwise.
+    int format_version = 0;
+    uint64_t generation = 0;
+    /// True while index data still pages in from a store file.
+    bool disk_resident = false;
+    /// Buffer-pool counters; zeros unless a store is open.
+    BufferPoolStats pool;
+  };
+  IndexStats index_stats() const;
+
  private:
   /// Everything one query execution reads, bundled so the same body
   /// serves the live state (members) and a pinned snapshot. When
@@ -372,6 +412,13 @@ class FileQuerySystem {
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<BuiltIndexes> built_;
   std::shared_ptr<const QueryCompiler> compiler_;
+  /// Set by OpenStore; the indexes' backing sources co-own it. Cleared
+  /// (here) by BuildIndexes/ImportIndexes — open cursors keep the old
+  /// store alive through their own shared_ptrs.
+  std::shared_ptr<const PagedStore> store_;
+  /// index_stats() provenance: how built_ came to be.
+  std::string index_source_ = "none";
+  int index_format_version_ = 0;
   /// Counts BuildIndexes/ImportIndexes (the `build` epoch component:
   /// generations reset across rebuilds, epochs must not collide).
   uint64_t builds_ = 0;

@@ -4,6 +4,8 @@
 
 namespace qof {
 
+thread_local const ExecContext* ExecContext::current_ = nullptr;
+
 ExecContext::ExecContext(const QueryOptions& options)
     : active_(!options.unlimited()),
       deadline_ms_(options.deadline_ms),

@@ -123,7 +123,31 @@ class ExecContext {
   /// per-attempt intermediate-result budget resets.
   void ResetForFallback() const;
 
+  /// RAII installer of a thread-local "current" context. Layers the engine
+  /// does not thread an ExecContext* through explicitly — the buffer
+  /// pool's page-fetch path — call CurrentThread() at their blocking
+  /// points so a governed call's deadline and cancellation reach into the
+  /// disk tier. Scopes nest (a nested engine call restores the outer
+  /// context on exit); a null/inactive context installs nothing.
+  class ThreadScope {
+   public:
+    explicit ThreadScope(const ExecContext* ctx) : prev_(current_) {
+      current_ = (ctx != nullptr && ctx->active()) ? ctx : prev_;
+    }
+    ~ThreadScope() { current_ = prev_; }
+    ThreadScope(const ThreadScope&) = delete;
+    ThreadScope& operator=(const ThreadScope&) = delete;
+
+   private:
+    const ExecContext* prev_;
+  };
+
+  /// The context installed on this thread, or nullptr when ungoverned.
+  static const ExecContext* CurrentThread() { return current_; }
+
  private:
+  static thread_local const ExecContext* current_;
+
   bool active_ = false;
   uint64_t deadline_ms_ = 0;
   std::chrono::steady_clock::time_point deadline_{};

@@ -16,6 +16,7 @@
 #include "qof/exec/fault_injector.h"
 #include "qof/fuzz/canon.h"
 #include "qof/fuzz/rng.h"
+#include "qof/fuzz/disk_leg.h"
 #include "qof/fuzz/session_leg.h"
 #include "qof/maintain/journal.h"
 #include "qof/optimizer/optimizer.h"
@@ -1129,6 +1130,17 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // replay at its pinned generation (snapshot isolation).
   QOF_RETURN_IF_ERROR(
       CheckSessions(schema, docs, c, options, seed, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 5c. Disk-resident tier: answers served from a paged store (tiny
+  // pages, lazy paging through the buffer pool) are byte-identical to
+  // in-memory execution, and a forced full materialization reproduces
+  // the export blob exactly.
+  QOF_RETURN_IF_ERROR(
+      CheckDiskTier(schema, docs, c, options, seed, &outcome.failure));
   if (!outcome.failure.empty()) {
     outcome.failed = true;
     return outcome;

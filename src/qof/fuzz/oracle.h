@@ -37,6 +37,14 @@ namespace qof {
 ///    its pinned generation observes other sessions' later mutations.
 ///    The interleaved-session leg's replay-at-pinned-generation
 ///    comparison must flag the divergence.
+///  - kEvictPinned makes the paged store's buffer pool evict frames that
+///    are still pinned (PagedStoreOptions::inject_evict_pinned): a
+///    multi-page posting read sees one of its pinned pages overwritten
+///    mid-assembly, so decoded streams carry another page's bytes. The
+///    disk-tier leg — on-disk answers and a forced full materialization
+///    cross-checked against the in-memory indexes the store was saved
+///    from, under a pool smaller than the longest stream — must flag the
+///    corruption.
 enum class InjectedBug {
   kNone,
   kRelaxDirect,
@@ -45,6 +53,7 @@ enum class InjectedBug {
   kStaleCache,
   kBadCse,
   kStaleSnapshot,
+  kEvictPinned,
 };
 
 struct OracleOptions {

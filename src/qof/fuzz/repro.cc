@@ -41,6 +41,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "bad-cse";
     case InjectedBug::kStaleSnapshot:
       return "stale-snapshot";
+    case InjectedBug::kEvictPinned:
+      return "evict-pinned";
   }
   return "none";
 }
@@ -53,6 +55,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "stale-cache") return InjectedBug::kStaleCache;
   if (name == "bad-cse") return InjectedBug::kBadCse;
   if (name == "stale-snapshot") return InjectedBug::kStaleSnapshot;
+  if (name == "evict-pinned") return InjectedBug::kEvictPinned;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }

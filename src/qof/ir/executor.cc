@@ -7,6 +7,8 @@
 #include "qof/algebra/select_kernels.h"
 #include "qof/exec/fault_injector.h"
 #include "qof/region/cost_model.h"
+#include "qof/region/region_cursor.h"
+#include "qof/text/tokenizer.h"
 
 namespace qof {
 namespace {
@@ -115,8 +117,92 @@ Result<const RegionSet*> IrExecutor::EvalNode(int id, EvalStats* stats) {
   return &slot.set();
 }
 
+Result<std::optional<IrExecutor::Slot>> IrExecutor::TryCursorPath(
+    const IrNode& node, EvalStats* stats) {
+  if (!regions_->disk_resident()) return std::optional<Slot>();
+  const bool eligible =
+      node.op == IrOp::kSelect || node.op == IrOp::kIncluding ||
+      node.op == IrOp::kIncluded || node.op == IrOp::kProject;
+  if (!eligible) return std::optional<Slot>();
+  // The bulk input must be a load whose slot nothing has forced yet —
+  // once an instance is resident, probing it directly is cheaper.
+  const int load_id = node.inputs[0];
+  if (program_->nodes[load_id].op != IrOp::kLoad ||
+      slots_[load_id].done) {
+    return std::optional<Slot>();
+  }
+
+  if (node.op == IrOp::kSelect) {
+    // Only the single-token exact-match form: its posting-driven kernel
+    // probes the child for exact spans {p, p+len}, which IntersectCursor
+    // reproduces block-skippingly. Everything else (phrases, prefixes,
+    // containment) falls back to the materializing kernel.
+    if (node.select.kind != ExprKind::kSelectMatches || words_ == nullptr) {
+      return std::optional<Slot>();
+    }
+    auto tokens = Tokenizer::Tokenize(node.select.word);
+    if (tokens.size() != 1) return std::optional<Slot>();
+    QOF_ASSIGN_OR_RETURN(
+        std::unique_ptr<RegionCursor> cursor,
+        regions_->OpenCursor(program_->nodes[load_id].name));
+    if (cursor == nullptr) return std::optional<Slot>();
+    if (words_->disk_resident()) {
+      QOF_RETURN_IF_ERROR(words_->EnsureLoaded(tokens[0].text));
+    }
+    const std::string word(tokens[0].text);
+    const std::vector<TextPos>& postings = words_->Lookup(word);
+    const uint64_t len = word.size();
+    std::vector<Region> spans;
+    spans.reserve(postings.size());
+    for (TextPos p : postings) spans.push_back({p, p + len});
+    RegionSet probe = RegionSet::FromSortedUnique(std::move(spans));
+
+    if (stats != nullptr) ++stats->select_ops;
+    IrOpTiming& timing = timings_[IrOpName(node.op)];
+    ++timing.count;
+    const Clock::time_point start = Clock::now();
+    Slot out;
+    QOF_ASSIGN_OR_RETURN(out.owned, IntersectCursor(probe, *cursor));
+    QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+    timing.micros += MicrosSince(start);
+    return std::optional<Slot>(std::move(out));
+  }
+
+  // kIncluding/kIncluded/kProject: the other operand is the (typically
+  // small) probe side; evaluate it first — it may itself take a cursor
+  // path — then stream the loaded side. kProject keeps its engine-rung
+  // contract: no stats, no charge.
+  QOF_ASSIGN_OR_RETURN(const RegionSet* probe,
+                       EvalNode(node.inputs[1], stats));
+  QOF_ASSIGN_OR_RETURN(
+      std::unique_ptr<RegionCursor> cursor,
+      regions_->OpenCursor(program_->nodes[load_id].name));
+  if (cursor == nullptr) return std::optional<Slot>();
+  if (stats != nullptr && node.op != IrOp::kProject) {
+    ++stats->simple_incl_ops;
+  }
+  IrOpTiming& timing = timings_[IrOpName(node.op)];
+  ++timing.count;
+  const Clock::time_point start = Clock::now();
+  Slot out;
+  QOF_ASSIGN_OR_RETURN(out.owned,
+                       node.op == IrOp::kIncluding
+                           ? IncludingCursor(*probe, *cursor)
+                           : IncludedInCursor(*probe, *cursor));
+  if (node.op != IrOp::kProject) {
+    QOF_RETURN_IF_ERROR(Charge(stats, out.owned));
+  }
+  timing.micros += MicrosSince(start);
+  return std::optional<Slot>(std::move(out));
+}
+
 Result<IrExecutor::Slot> IrExecutor::ComputeNode(int id, EvalStats* stats) {
   const IrNode& node = program_->nodes[id];
+  {
+    QOF_ASSIGN_OR_RETURN(std::optional<Slot> streamed,
+                         TryCursorPath(node, stats));
+    if (streamed.has_value()) return std::move(*streamed);
+  }
   // Inputs are evaluated (and governed) before the operator's own work,
   // which alone counts toward the per-operator timings.
   std::vector<const RegionSet*> inputs;
@@ -178,6 +264,9 @@ Result<IrExecutor::Slot> IrExecutor::ComputeNode(int id, EvalStats* stats) {
     case IrOp::kDirectlyIncluding:
     case IrOp::kDirectlyIncluded:
       if (stats != nullptr) ++stats->direct_incl_ops;
+      // Disk-backed indexes materialize every instance for the universe;
+      // surface I/O errors before the infallible Universe() call.
+      QOF_RETURN_IF_ERROR(regions_->EnsureResident());
       out.owned = node.op == IrOp::kDirectlyIncluding
                       ? DirectlyIncluding(*inputs[0], *inputs[1],
                                           regions_->Universe())

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,14 @@ class IrExecutor {
   Result<const RegionSet*> EvalNode(int id, EvalStats* stats);
   /// The uncached computation of one composite node.
   Result<Slot> ComputeNode(int id, EvalStats* stats);
+  /// Disk fast path for kSelect/kIncluding/kIncluded/kProject whose bulk
+  /// input is a load of a still-unmaterialized disk instance: probes the
+  /// instance through a block-skipping RegionCursor instead of forcing it
+  /// into memory, so a selective query pages in only the blocks its probe
+  /// regions land in. Returns nullopt when inapplicable (the caller then
+  /// computes the node normally); results are byte-identical either way.
+  Result<std::optional<Slot>> TryCursorPath(const IrNode& node,
+                                            EvalStats* stats);
   Result<Slot> ComputeFused(const IrNode& node, EvalStats* stats);
   Status Charge(EvalStats* stats, const RegionSet& produced) const;
 

@@ -46,9 +46,10 @@ bool FusableSelect(const SelectSpec& spec) {
 }
 
 double LoadCardinality(const RegionIndex* regions, const std::string& name) {
-  if (regions == nullptr || !regions->Has(name)) return 0;
-  auto set = regions->Get(name);
-  return set.ok() ? static_cast<double>((*set)->size()) : 0;
+  // Count-only: estimating a disk-backed load must not materialize it
+  // (the whole point of the lazy tier is that planning is I/O-free).
+  if (regions == nullptr) return 0;
+  return static_cast<double>(regions->InstanceCount(name));
 }
 
 double SelectPostings(const WordIndex* words, const SelectSpec& spec) {
@@ -83,7 +84,7 @@ Est InclusionEst(const Est& l, const Est& r, bool direct,
   est.card = std::min(l.card, r.card);
   double merge = l.card + r.card;
   if (direct && regions != nullptr) {
-    merge += static_cast<double>(regions->Universe().size());
+    merge += static_cast<double>(regions->UniverseSize());
     merge *= CostModel::kDirectFactor;
   }
   est.work = l.work + r.work + merge;

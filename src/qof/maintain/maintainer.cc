@@ -89,6 +89,11 @@ void IndexMaintainer::SpliceOut(DocId id) {
   }
 }
 
+Status IndexMaintainer::EnsureIndexesResident() {
+  QOF_RETURN_IF_ERROR(built_->regions.EnsureResident());
+  return built_->words.EnsureResident();
+}
+
 Result<DocId> IndexMaintainer::AddDocument(std::string name,
                                            std::string_view text,
                                            ThreadPool* pool,
@@ -96,6 +101,7 @@ Result<DocId> IndexMaintainer::AddDocument(std::string name,
   if (corpus_->FindDocument(name).ok()) {
     return Status::AlreadyExists("document already in corpus: " + name);
   }
+  QOF_RETURN_IF_ERROR(EnsureIndexesResident());
   // The fault site sits before any state change: an injected failure (or
   // a governance interrupt inside the parse below) aborts with corpus and
   // indexes untouched — the atomicity the fuzz fault leg verifies.
@@ -119,6 +125,7 @@ Result<DocId> IndexMaintainer::UpdateDocument(std::string_view name,
                                               ThreadPool* pool,
                                               const ExecContext* ctx) {
   QOF_ASSIGN_OR_RETURN(DocId old_id, corpus_->FindDocument(name));
+  QOF_RETURN_IF_ERROR(EnsureIndexesResident());
   QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainUpdate));
   if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   QOF_ASSIGN_OR_RETURN(Contribution fresh, ParseContribution(text, ctx));
@@ -138,6 +145,7 @@ Status IndexMaintainer::RemoveDocument(std::string_view name,
                                        ThreadPool* pool,
                                        const ExecContext* ctx) {
   QOF_ASSIGN_OR_RETURN(DocId id, corpus_->FindDocument(name));
+  QOF_RETURN_IF_ERROR(EnsureIndexesResident());
   QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainRemove));
   if (ctx != nullptr) QOF_RETURN_IF_ERROR(ctx->Check());
   SpliceOut(id);
@@ -174,6 +182,7 @@ Status IndexMaintainer::MaybeAutoCompact(ThreadPool* pool) {
 Status IndexMaintainer::Compact(ThreadPool* pool) {
   // Before phase 1: an injected failure here proves callers survive a
   // compaction that refuses to start (state is untouched until commit).
+  QOF_RETURN_IF_ERROR(EnsureIndexesResident());
   QOF_RETURN_IF_ERROR(MaybeInjectFault(fault_site::kMaintainCompact));
   if (HasLiveSyntheticDocuments()) {
     return Status::InvalidArgument(

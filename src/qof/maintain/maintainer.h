@@ -153,6 +153,11 @@ class IndexMaintainer {
   /// Honors (and consumes) a pending inject_drop_tombstone.
   void SpliceOut(DocId id);
 
+  /// Splicing mutates instances and posting runs in place — a
+  /// disk-backed index must be fully paged in first, or the splice
+  /// would edit a partial view. No-ops for in-memory indexes.
+  Status EnsureIndexesResident();
+
   Status MaybeAutoCompact(ThreadPool* pool);
 
   const StructuringSchema* schema_;

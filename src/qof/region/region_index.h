@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "qof/region/region_set.h"
+#include "qof/region/region_source.h"
 #include "qof/util/result.h"
 #include "qof/util/status.h"
 
@@ -18,32 +20,52 @@ namespace qof {
 /// names R1..Rn to sets of regions. The union of all instances is the
 /// "universe" of indexed regions, which defines direct inclusion (⊃d/⊂d:
 /// no *indexed* region strictly in between).
+///
+/// Disk-resident mode: AttachSource() hands the index a backing
+/// RegionSource (the paged store). Instances then materialize lazily on
+/// first Get() — a selective query pages in only the names it touches —
+/// while Names()/Has()/counts answer from the source's dictionary without
+/// any posting I/O. EnsureResident() forces every instance into memory;
+/// mutations and serialization require it first (the mutators below keep
+/// their resident-only contract).
 class RegionIndex {
  public:
   RegionIndex() = default;
 
   // Hand-written copy/move: the index is a value (copy-on-write snapshots
-  // duplicate it, builds move it), but the mutex guarding the lazy
-  // universe cache is neither copyable nor movable — each instance gets
-  // its own.
-  RegionIndex(const RegionIndex& other)
-      : sets_(other.sets_),
-        universe_(other.universe_),
-        universe_valid_(other.universe_valid_) {}
-  RegionIndex& operator=(const RegionIndex& other) {
+  // duplicate it, builds move it), but the mutexes guarding the lazy
+  // universe cache and the lazy materialization are neither copyable nor
+  // movable — each instance gets its own.
+  RegionIndex(const RegionIndex& other) {
+    std::lock_guard<std::mutex> lock(other.lazy_mu_);
     sets_ = other.sets_;
     universe_ = other.universe_;
     universe_valid_ = other.universe_valid_;
+    source_ = other.source_;
+    unloaded_ = other.unloaded_;
+  }
+  RegionIndex& operator=(const RegionIndex& other) {
+    if (this == &other) return *this;
+    std::lock_guard<std::mutex> lock(other.lazy_mu_);
+    sets_ = other.sets_;
+    universe_ = other.universe_;
+    universe_valid_ = other.universe_valid_;
+    source_ = other.source_;
+    unloaded_ = other.unloaded_;
     return *this;
   }
   RegionIndex(RegionIndex&& other) noexcept
       : sets_(std::move(other.sets_)),
         universe_(std::move(other.universe_)),
-        universe_valid_(other.universe_valid_) {}
+        universe_valid_(other.universe_valid_),
+        source_(std::move(other.source_)),
+        unloaded_(std::move(other.unloaded_)) {}
   RegionIndex& operator=(RegionIndex&& other) noexcept {
     sets_ = std::move(other.sets_);
     universe_ = std::move(other.universe_);
     universe_valid_ = other.universe_valid_;
+    source_ = std::move(other.source_);
+    unloaded_ = std::move(other.unloaded_);
     return *this;
   }
 
@@ -67,11 +89,50 @@ class RegionIndex {
 
   bool Has(std::string_view name) const;
 
+  /// `name`'s cardinality without materializing it: resident instances
+  /// answer from memory, unloaded ones from the backing source's
+  /// dictionary counts. 0 for unregistered names — the shape the cost
+  /// estimators want, and the reason a disk-backed index can be planned
+  /// against without a single posting read.
+  uint64_t InstanceCount(std::string_view name) const;
+
   /// The instance of `name`; NotFound if the name was never registered.
+  /// With a backing source attached this may page the instance in, so it
+  /// can also fail on I/O or corruption. The returned pointer stays valid
+  /// for the life of the index (map nodes are stable; materialized
+  /// instances are immutable until EnsureResident precedes mutation).
   Result<const RegionSet*> Get(std::string_view name) const;
 
   /// Region names in registration-independent (sorted) order.
   std::vector<std::string> Names() const;
+
+  // --- disk-resident backing (see src/qof/store/) -----------------------
+
+  /// Attaches a backing source; instances materialize lazily from it on
+  /// first Get(). Call on a freshly constructed index, before sharing it.
+  Status AttachSource(std::shared_ptr<const RegionSource> source);
+
+  /// A block cursor over `name`'s still-unmaterialized instance, or null
+  /// when the instance is already resident (read it via Get(), which is
+  /// then free) — the executor's block-skipping kernels probe the cursor
+  /// so a selective query never materializes the name at all. NotFound
+  /// for unregistered names, like Get().
+  Result<std::unique_ptr<RegionCursor>> OpenCursor(
+      std::string_view name) const;
+
+  /// True while some instance still lives only in the source.
+  bool disk_resident() const;
+
+  /// Materializes every not-yet-loaded instance. Idempotent. Mutators and
+  /// serialization require this first; Universe()/AllExcept() force it
+  /// internally, so fallible callers should invoke this beforehand to see
+  /// the error.
+  Status EnsureResident() const;
+
+  /// Universe().size() without forcing materialization: a disk-backed
+  /// index answers from the store's persisted universe size (the cost
+  /// model and the optimizer only need the cardinality).
+  uint64_t UniverseSize() const;
 
   /// Union of every instance — the indexed-region universe. Computed
   /// lazily and cached; invalidated by Add(). Safe to call from
@@ -83,7 +144,7 @@ class RegionIndex {
   /// layered ⊃d program.
   std::vector<const RegionSet*> AllExcept(std::string_view excluded) const;
 
-  size_t num_names() const { return sets_.size(); }
+  size_t num_names() const;
   uint64_t num_regions() const;
 
   /// Approximate memory footprint (for the indexing-amount tradeoff
@@ -91,13 +152,29 @@ class RegionIndex {
   uint64_t ApproxBytes() const;
 
  private:
-  std::map<std::string, RegionSet, std::less<>> sets_;
+  /// Pages `name` in from the source. Caller holds lazy_mu_.
+  Status MaterializeLocked(const std::string& name, uint64_t count) const;
+
+  /// Mutable: Get() materializes lazily under lazy_mu_. Node-based, so
+  /// pointers handed out by Get() survive later insertions.
+  mutable std::map<std::string, RegionSet, std::less<>> sets_;
   /// Serializes the lazy Universe() build between concurrent readers of a
   /// shared immutable index. Mutators (Add/EraseSpan/InsertDocRegions)
   /// require external exclusion, as before.
   mutable std::mutex universe_mu_;
   mutable RegionSet universe_;
   mutable bool universe_valid_ = false;
+
+  /// Backing source; null for a fully in-memory index. Set once before
+  /// the index is shared, never reassigned by const paths (readers may
+  /// test it without the lock).
+  std::shared_ptr<const RegionSource> source_;
+  /// Serializes lazy materialization between concurrent readers. Taken
+  /// by const paths only while source_ is attached.
+  mutable std::mutex lazy_mu_;
+  /// name → region count for instances not yet materialized. Guarded by
+  /// lazy_mu_; empty once EnsureResident() has run.
+  mutable std::map<std::string, uint64_t, std::less<>> unloaded_;
 };
 
 }  // namespace qof

@@ -1,0 +1,117 @@
+#ifndef QOF_STORE_PAGE_H_
+#define QOF_STORE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+#include "qof/util/wire.h"
+
+namespace qof {
+
+/// The paged store's on-disk unit (ROADMAP's "redbase architecture":
+/// fixed-size pages behind a pinning buffer manager). Every page carries a
+/// 16-byte typed header; the payload that follows is checksummed with
+/// FNV-1a so a bit flip at rest fails loudly at fetch time instead of
+/// deserializing flipped postings.
+///
+///   offset 0  u8   page type (PageType)
+///   offset 1  u8   reserved (0)
+///   offset 2  u16  reserved (0)
+///   offset 4  u32  payload length (bytes used; <= page_size - 16)
+///   offset 8  u64  FNV-1a over the payload bytes
+///
+/// Pages are grouped into contiguous extents per section (dictionary,
+/// postings, ...); byte streams larger than one payload span pages.
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,       // page 0: magic, geometry, section table, totals
+  kSpec = 2,       // serialized IndexSpec
+  kDocTable = 3,   // per-document (name, size, fingerprint) table
+  kRegionDict = 4, // name -> region extent entries (page-packed)
+  kWordDict = 5,   // word -> posting extent entries (page-packed)
+  kFence = 6,      // first key of every dict page (eagerly loaded)
+  kPostings = 7,   // block-compressed posting / region payload bytes
+};
+
+inline const char* PageTypeName(PageType t) {
+  switch (t) {
+    case PageType::kFree: return "free";
+    case PageType::kMeta: return "meta";
+    case PageType::kSpec: return "spec";
+    case PageType::kDocTable: return "doc-table";
+    case PageType::kRegionDict: return "region-dict";
+    case PageType::kWordDict: return "word-dict";
+    case PageType::kFence: return "fence";
+    case PageType::kPostings: return "postings";
+  }
+  return "unknown";
+}
+
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr uint32_t kDefaultPageSize = 4096;
+/// Small enough that tests and the fuzzer can force blocks to span pages
+/// with a handful of postings; still room for a header and some payload.
+inline constexpr uint32_t kMinPageSize = 64;
+
+/// Payload capacity of a page.
+inline constexpr uint32_t PagePayloadCapacity(uint32_t page_size) {
+  return page_size - static_cast<uint32_t>(kPageHeaderSize);
+}
+
+/// Serializes one page (header + payload + zero padding to page_size).
+/// `payload.size()` must fit the capacity.
+inline void AppendPage(PageType type, std::string_view payload,
+                       uint32_t page_size, std::string* out) {
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU8(0, out);
+  PutU8(0, out);
+  PutU8(0, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU64(Fnv1a(payload), out);
+  out->append(payload);
+  out->append(page_size - kPageHeaderSize - payload.size(), '\0');
+}
+
+/// A decoded page header.
+struct PageHeader {
+  PageType type = PageType::kFree;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+};
+
+/// Parses and verifies one raw page image. Rejects a payload length that
+/// exceeds the page and any checksum mismatch (`what` and `page_no` name
+/// the page in the error).
+inline Result<PageHeader> ParsePage(std::string_view raw, uint32_t page_size,
+                                    uint32_t page_no) {
+  if (raw.size() != page_size) {
+    return Status::InvalidArgument(
+        "paged store: short read of page " + std::to_string(page_no));
+  }
+  PageHeader h;
+  h.type = static_cast<PageType>(static_cast<uint8_t>(raw[0]));
+  WireReader reader(raw.substr(4, 12), "page header");
+  QOF_ASSIGN_OR_RETURN(h.payload_len, reader.U32());
+  QOF_ASSIGN_OR_RETURN(h.checksum, reader.U64());
+  if (h.payload_len > PagePayloadCapacity(page_size)) {
+    return Status::InvalidArgument(
+        "paged store: page " + std::to_string(page_no) +
+        " claims a payload of " + std::to_string(h.payload_len) +
+        " bytes, more than the page holds");
+  }
+  if (Fnv1a(raw.substr(kPageHeaderSize, h.payload_len)) != h.checksum) {
+    return Status::InvalidArgument(
+        "paged store: page " + std::to_string(page_no) + " (" +
+        PageTypeName(h.type) +
+        ") failed its checksum — the store file is damaged");
+  }
+  return h;
+}
+
+}  // namespace qof
+
+#endif  // QOF_STORE_PAGE_H_

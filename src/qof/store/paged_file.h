@@ -1,0 +1,65 @@
+#ifndef QOF_STORE_PAGED_FILE_H_
+#define QOF_STORE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "qof/store/page.h"
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Read-only random access to a page file on disk. Thread-safe: reads
+/// seek under an internal mutex (the buffer pool serializes fetches
+/// anyway, but the reader must also be safe for concurrent direct reads
+/// by tools).
+class PagedFile {
+ public:
+  /// Opens `path` and validates that its size is a whole number of
+  /// `page_size`-byte pages.
+  static Result<PagedFile> Open(const std::string& path, uint32_t page_size);
+
+  PagedFile() = default;
+  ~PagedFile();
+  PagedFile(PagedFile&& other) noexcept;
+  PagedFile& operator=(PagedFile&& other) noexcept;
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t file_bytes() const {
+    return static_cast<uint64_t>(num_pages_) * page_size_;
+  }
+  const std::string& path() const { return path_; }
+
+  /// Reads the raw image of one page into `buf` (resized to page_size).
+  /// Does not parse or verify the header — that is the buffer pool's job.
+  Status ReadPage(uint32_t page_no, std::string* buf) const;
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint32_t page_size_ = 0;
+  uint32_t num_pages_ = 0;
+  mutable std::mutex io_mu_;
+};
+
+/// Writes `bytes` (an already page-aligned image) to `path` atomically
+/// enough for our purposes: written to the final name, flushed, closed.
+Status WriteFileBytes(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file (used for index blobs by the tools).
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Reads the first `n` bytes of a file (fails if it is shorter) — the
+/// store's meta page is bootstrapped this way before the true page size
+/// is known.
+Result<std::string> ReadFilePrefix(const std::string& path, size_t n);
+
+}  // namespace qof
+
+#endif  // QOF_STORE_PAGED_FILE_H_

@@ -1,0 +1,169 @@
+#include "qof/store/posting_codec.h"
+
+#include <algorithm>
+
+namespace qof {
+namespace {
+
+/// Appends the skip table + concatenated block bytes for blocks already
+/// encoded into `block_bytes` with metadata in `blocks`. Returns the
+/// header length (everything before the block area).
+uint64_t AppendStream(uint64_t total_count,
+                      const std::vector<PostingBlockMeta>& blocks,
+                      const std::string& block_bytes, std::string* out) {
+  size_t start = out->size();
+  PutVarint(total_count, out);
+  PutVarint(blocks.size(), out);
+  uint64_t prev_last = 0;
+  for (const PostingBlockMeta& b : blocks) {
+    PutVarint(b.first - prev_last, out);
+    PutVarint(b.last - b.first, out);
+    // max_end >= last always: the block's last region starts at `last`
+    // and ends no earlier (posting streams set max_end == last).
+    PutVarint(b.max_end - b.last, out);
+    PutVarint(b.count, out);
+    PutVarint(b.byte_len, out);
+    prev_last = b.last;
+  }
+  uint64_t header_bytes = out->size() - start;
+  out->append(block_bytes);
+  return header_bytes;
+}
+
+}  // namespace
+
+uint64_t EncodePostingStream(const std::vector<uint64_t>& values,
+                             std::string* out) {
+  std::vector<PostingBlockMeta> blocks;
+  std::string block_bytes;
+  for (size_t i = 0; i < values.size(); i += kPostingBlockEntries) {
+    size_t n = std::min<size_t>(kPostingBlockEntries, values.size() - i);
+    PostingBlockMeta m;
+    m.first = values[i];
+    m.last = values[i + n - 1];
+    m.max_end = m.last;
+    m.count = static_cast<uint32_t>(n);
+    m.byte_off = block_bytes.size();
+    for (size_t j = 1; j < n; ++j) {
+      PutVarint(values[i + j] - values[i + j - 1], &block_bytes);
+    }
+    m.byte_len = static_cast<uint32_t>(block_bytes.size() - m.byte_off);
+    blocks.push_back(m);
+  }
+  return AppendStream(values.size(), blocks, block_bytes, out);
+}
+
+uint64_t EncodeRegionStream(const std::vector<Region>& regions,
+                            std::string* out) {
+  std::vector<PostingBlockMeta> blocks;
+  std::string block_bytes;
+  for (size_t i = 0; i < regions.size(); i += kPostingBlockEntries) {
+    size_t n = std::min<size_t>(kPostingBlockEntries, regions.size() - i);
+    PostingBlockMeta m;
+    m.first = regions[i].start;
+    m.last = regions[i + n - 1].start;
+    m.max_end = regions[i].end;
+    m.count = static_cast<uint32_t>(n);
+    m.byte_off = block_bytes.size();
+    PutVarint(regions[i].length(), &block_bytes);
+    for (size_t j = 1; j < n; ++j) {
+      m.max_end = std::max(m.max_end, regions[i + j].end);
+      PutVarint(regions[i + j].start - regions[i + j - 1].start,
+                &block_bytes);
+      PutVarint(regions[i + j].length(), &block_bytes);
+    }
+    m.byte_len = static_cast<uint32_t>(block_bytes.size() - m.byte_off);
+    blocks.push_back(m);
+  }
+  return AppendStream(regions.size(), blocks, block_bytes, out);
+}
+
+Result<PostingStreamHeader> DecodeStreamHeader(std::string_view stream,
+                                               const std::string& what) {
+  WireReader reader(stream, "posting stream of " + what);
+  PostingStreamHeader h;
+  QOF_ASSIGN_OR_RETURN(h.total_count, reader.Varint());
+  QOF_ASSIGN_OR_RETURN(uint64_t num_blocks, reader.Varint());
+  // Each skip entry is at least 5 bytes; reject counts the remaining
+  // header bytes cannot hold before reserving.
+  QOF_RETURN_IF_ERROR(reader.CheckCount(num_blocks, 5));
+  h.blocks.reserve(num_blocks);
+  uint64_t prev_last = 0;
+  uint64_t byte_off = 0;
+  uint64_t decoded = 0;
+  for (uint64_t i = 0; i < num_blocks; ++i) {
+    PostingBlockMeta m;
+    QOF_ASSIGN_OR_RETURN(uint64_t first_delta, reader.Varint());
+    QOF_ASSIGN_OR_RETURN(uint64_t span, reader.Varint());
+    QOF_ASSIGN_OR_RETURN(uint64_t end_excess, reader.Varint());
+    QOF_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+    QOF_ASSIGN_OR_RETURN(uint64_t byte_len, reader.Varint());
+    m.first = prev_last + first_delta;
+    m.last = m.first + span;
+    m.max_end = m.last + end_excess;
+    if (count == 0 || count > kPostingBlockEntries ||
+        byte_len > (uint64_t{1} << 32)) {
+      return Status::InvalidArgument("posting stream of " + what +
+                                     ": corrupt skip entry");
+    }
+    m.count = static_cast<uint32_t>(count);
+    m.byte_off = byte_off;
+    m.byte_len = static_cast<uint32_t>(byte_len);
+    byte_off += byte_len;
+    decoded += count;
+    prev_last = m.last;
+    h.blocks.push_back(m);
+  }
+  if (decoded != h.total_count) {
+    return Status::InvalidArgument("posting stream of " + what +
+                                   ": skip table counts disagree with the "
+                                   "stream total");
+  }
+  h.header_bytes = reader.Position();
+  return h;
+}
+
+Status DecodePostingBlock(const PostingBlockMeta& meta,
+                          std::string_view bytes, const std::string& what,
+                          std::vector<uint64_t>* out) {
+  WireReader reader(bytes, "posting block of " + what);
+  uint64_t value = meta.first;
+  out->push_back(value);
+  for (uint32_t i = 1; i < meta.count; ++i) {
+    QOF_ASSIGN_OR_RETURN(uint64_t delta, reader.Varint());
+    value += delta;
+    out->push_back(value);
+  }
+  if (!reader.AtEnd() || value != meta.last) {
+    return Status::InvalidArgument("posting block of " + what +
+                                   ": decoded bytes disagree with the skip "
+                                   "entry");
+  }
+  return Status::OK();
+}
+
+Status DecodeRegionBlock(const PostingBlockMeta& meta, std::string_view bytes,
+                         const std::string& what, std::vector<Region>* out) {
+  WireReader reader(bytes, "region block of " + what);
+  uint64_t start = meta.first;
+  QOF_ASSIGN_OR_RETURN(uint64_t length, reader.Varint());
+  out->push_back({start, start + length});
+  uint64_t max_end = start + length;
+  for (uint32_t i = 1; i < meta.count; ++i) {
+    QOF_ASSIGN_OR_RETURN(uint64_t delta, reader.Varint());
+    QOF_ASSIGN_OR_RETURN(length, reader.Varint());
+    start += delta;
+    max_end = std::max(max_end, start + length);
+    out->push_back({start, start + length});
+  }
+  // The containment kernels trust max_end to skip blocks without
+  // decoding; verify it whenever a block IS decoded.
+  if (!reader.AtEnd() || start != meta.last || max_end != meta.max_end) {
+    return Status::InvalidArgument("region block of " + what +
+                                   ": decoded bytes disagree with the skip "
+                                   "entry");
+  }
+  return Status::OK();
+}
+
+}  // namespace qof

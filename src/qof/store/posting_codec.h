@@ -1,0 +1,100 @@
+#ifndef QOF_STORE_POSTING_CODEC_H_
+#define QOF_STORE_POSTING_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qof/region/region.h"
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+#include "qof/util/wire.h"
+
+namespace qof {
+
+/// Block-compressed posting streams (the paged store's payload encoding).
+///
+/// A stream holds one key's sorted values — word postings (strictly
+/// increasing u64 positions) or a region instance (canonical order: start
+/// ascending, end descending) — chopped into blocks of at most
+/// kPostingBlockEntries records. Each block is delta+varint coded and
+/// independently decodable; an eagerly-decoded skip table carries every
+/// block's [first, last] key range so a galloping intersect can discard
+/// whole blocks on their min/max before touching (or even paging in) the
+/// compressed bytes.
+///
+/// Stream layout (all varints, see qof/util/wire.h):
+///   varint total_count
+///   varint num_blocks
+///   skip table, one entry per block:
+///     varint first_delta  (block.first - previous block's last; absolute
+///                          for block 0)
+///     varint span         (block.last - block.first)
+///     varint end_excess   (block.max_end - block.last; 0 for posting
+///                          streams, whose keys are points)
+///     varint count        (records in the block)
+///     varint byte_len     (encoded size of the block's bytes)
+///   the blocks' bytes, concatenated.
+///
+/// Posting block bytes: count-1 varint deltas (values[i] - values[i-1]);
+/// the first value is the skip entry's `first`.
+/// Region block bytes: varint length of the first region (whose start is
+/// the skip entry's `first`), then per remaining region varint start-delta
+/// and varint length. For regions, `first`/`last` are the block's first
+/// and last *starts* — the canonical order makes starts non-decreasing, so
+/// they are exactly the skip bounds the intersect kernels need — and
+/// `max_end` is the largest end, which lets the containment kernels
+/// discard a block that cannot hold a region enclosing a probe.
+
+inline constexpr uint32_t kPostingBlockEntries = 128;
+
+/// One skip-table entry, decoded to absolute keys.
+struct PostingBlockMeta {
+  uint64_t first = 0;     // first key in the block
+  uint64_t last = 0;      // last key in the block
+  uint64_t max_end = 0;   // largest region end (== last for postings)
+  uint32_t count = 0;     // records in the block
+  uint64_t byte_off = 0;  // offset of the block's bytes within the
+                          // stream's block area
+  uint32_t byte_len = 0;  // encoded size of the block
+};
+
+struct PostingStreamHeader {
+  uint64_t total_count = 0;
+  /// Bytes consumed by total_count + num_blocks + the skip table; the
+  /// block area starts at this offset within the stream.
+  uint64_t header_bytes = 0;
+  std::vector<PostingBlockMeta> blocks;
+};
+
+/// Encodes strictly increasing word-posting values as a stream. Returns
+/// the header length (bytes before the block area) — the dictionary
+/// persists it so a cursor can page in exactly the skip table.
+uint64_t EncodePostingStream(const std::vector<uint64_t>& values,
+                             std::string* out);
+
+/// Encodes a region instance (canonical order, no duplicates) as a
+/// stream. Returns the header length, as above.
+uint64_t EncodeRegionStream(const std::vector<Region>& regions,
+                            std::string* out);
+
+/// Decodes a stream's header and skip table. `stream` need only cover the
+/// header (callers that page the block area in lazily pass a prefix);
+/// `what` names the key in error messages.
+Result<PostingStreamHeader> DecodeStreamHeader(std::string_view stream,
+                                               const std::string& what);
+
+/// Decodes one posting block (bytes exactly `meta.byte_len` long),
+/// appending `meta.count` values to `out`.
+Status DecodePostingBlock(const PostingBlockMeta& meta,
+                          std::string_view bytes, const std::string& what,
+                          std::vector<uint64_t>* out);
+
+/// Decodes one region block, appending `meta.count` regions to `out`.
+Status DecodeRegionBlock(const PostingBlockMeta& meta, std::string_view bytes,
+                         const std::string& what, std::vector<Region>* out);
+
+}  // namespace qof
+
+#endif  // QOF_STORE_POSTING_CODEC_H_

@@ -1,0 +1,38 @@
+#ifndef QOF_STORE_STORE_WRITER_H_
+#define QOF_STORE_STORE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qof/region/region_index.h"
+#include "qof/store/store_format.h"
+#include "qof/text/word_index.h"
+#include "qof/util/result.h"
+
+namespace qof {
+
+/// Everything a paged store image is assembled from. The spec and the
+/// per-document fingerprint table arrive pre-encoded (the engine's
+/// index_io owns those encodings; the store treats them as opaque,
+/// checksummed sections), the indexes are walked directly. Both indexes
+/// must be fully resident (no lazy backing source still attached).
+struct StoreWriterInput {
+  const RegionIndex* regions = nullptr;
+  const WordIndex* words = nullptr;
+  std::string_view spec_bytes;
+  std::string_view doc_table_bytes;
+  uint64_t generation = 0;
+  uint64_t doc_count = 0;
+};
+
+/// Builds the complete page-aligned store image in memory: meta page,
+/// spec, doc table, fenced dictionaries, and block-compressed posting
+/// streams. Fails when `page_size` is not a multiple of
+/// kMinStorePageSize or a dictionary key cannot fit in one page.
+Result<std::string> BuildStoreImage(const StoreWriterInput& input,
+                                    uint32_t page_size = kDefaultPageSize);
+
+}  // namespace qof
+
+#endif  // QOF_STORE_STORE_WRITER_H_

@@ -138,6 +138,18 @@ class Corpus {
     return RawText(start, end);
   }
 
+  /// Charges `bytes` to the calling thread's active scan counter, if any
+  /// (see ScanCounterScope). The disk-resident index tier accounts the
+  /// *decompressed* bytes of the posting blocks it materializes this way,
+  /// so a governed query's byte budget covers index I/O like it covers
+  /// text scans. Outside a scope the charge is dropped — there is no
+  /// corpus instance to attribute it to.
+  static void ChargeScanBytes(uint64_t bytes) {
+    if (tls_scan_counter_ != nullptr) {
+      tls_scan_counter_->fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
   /// RAII override routing this thread's ScanText accounting into
   /// `counter` (applies to every Corpus touched by the thread while the
   /// scope is active; a query only ever scans its own snapshot's corpus).
@@ -171,6 +183,12 @@ class Corpus {
   /// The live counter itself, so a byte budget (ExecContext) can watch
   /// scanning progress without a dependency on this class.
   const std::atomic<uint64_t>& bytes_read_counter() const {
+    return bytes_read_;
+  }
+  /// Writable view of the same counter, for a ScanCounterScope that
+  /// routes a live (non-snapshot) execution's disk-tier charges here.
+  /// Const: the counter is accounting state, not corpus content.
+  std::atomic<uint64_t>& mutable_bytes_read_counter() const {
     return bytes_read_;
   }
 

@@ -100,17 +100,92 @@ WordIndex WordIndex::Build(const Corpus& corpus, WordIndexOptions options,
   return index;
 }
 
+Result<const std::vector<TextPos>*> WordIndex::LoadLocked(
+    const std::string& key) const {
+  auto it = postings_.find(key);
+  if (it != postings_.end()) return &it->second;
+  if (all_resident_.load(std::memory_order_acquire) ||
+      absent_.count(key) > 0) {
+    return static_cast<const std::vector<TextPos>*>(nullptr);
+  }
+  QOF_ASSIGN_OR_RETURN(std::optional<std::vector<TextPos>> loaded,
+                       source_->Load(key));
+  if (!loaded.has_value()) {
+    absent_.insert(key);
+    return static_cast<const std::vector<TextPos>*>(nullptr);
+  }
+  num_postings_ += loaded->size();
+  auto [pos, inserted] = postings_.emplace(key, std::move(*loaded));
+  return &pos->second;
+}
+
 const std::vector<TextPos>& WordIndex::Lookup(std::string_view word) const {
   static const std::vector<TextPos> kEmpty;
   std::string key = options_.fold_case ? FoldCase(word) : std::string(word);
+  if (source_ != nullptr &&
+      !all_resident_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    auto loaded = LoadLocked(key);
+    // An I/O error answers empty; EnsureLoaded() is the fallible face.
+    if (!loaded.ok() || *loaded == nullptr) return kEmpty;
+    return **loaded;
+  }
   auto it = postings_.find(key);
   return it == postings_.end() ? kEmpty : it->second;
+}
+
+Status WordIndex::EnsureLoaded(std::string_view word) const {
+  if (source_ == nullptr || all_resident_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  std::string key = options_.fold_case ? FoldCase(word) : std::string(word);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  return LoadLocked(key).status();
+}
+
+Status WordIndex::EnsureResident() const {
+  if (source_ == nullptr || all_resident_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  QOF_ASSIGN_OR_RETURN(std::vector<PostingSource::Entry> entries,
+                       source_->Entries());
+  for (const auto& e : entries) {
+    QOF_ASSIGN_OR_RETURN(const std::vector<TextPos>* list, LoadLocked(e.word));
+    if (list == nullptr || list->size() != e.count) {
+      return Status::Internal(
+          "word '" + e.word + "' materialized " +
+          std::to_string(list == nullptr ? 0 : list->size()) +
+          " postings, store dictionary promised " + std::to_string(e.count));
+    }
+  }
+  absent_.clear();
+  all_resident_.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 std::vector<TextPos> WordIndex::LookupPrefix(
     std::string_view prefix) const {
   std::string key = options_.fold_case ? FoldCase(prefix)
                                        : std::string(prefix);
+  if (source_ != nullptr &&
+      !all_resident_.load(std::memory_order_acquire)) {
+    // Ask the source's sorted dictionary which words qualify, then page
+    // each one in. Errors degrade to the empty answer (prefix search has
+    // no fallible signature); governed queries surface the underlying
+    // failure through their byte/deadline checks instead.
+    std::vector<TextPos> out;
+    auto words = source_->WordsWithPrefix(key);
+    if (!words.ok()) return out;
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    for (const std::string& word : *words) {
+      auto loaded = LoadLocked(word);
+      if (!loaded.ok() || *loaded == nullptr) continue;
+      out.insert(out.end(), (*loaded)->begin(), (*loaded)->end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   // Prefix search is cold; holding the lock across the whole walk keeps
   // the lazy directory build race-free under concurrent snapshot readers.
   std::lock_guard<std::mutex> lock(sorted_words_mu_);
@@ -218,6 +293,18 @@ void WordIndex::RebasePostings(const std::function<TextPos(TextPos)>& map,
 }
 
 uint64_t WordIndex::ApproxBytes() const {
+  if (source_ != nullptr &&
+      !all_resident_.load(std::memory_order_acquire)) {
+    // Disk-resident: report the store's encoded footprint plus whatever
+    // has been materialized so far.
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    uint64_t bytes = source_->approx_bytes();
+    for (const auto& [word, list] : postings_) {
+      bytes += word.size() + sizeof(std::string) +
+               list.size() * sizeof(TextPos) + sizeof(list);
+    }
+    return bytes;
+  }
   uint64_t bytes = 0;
   for (const auto& [word, list] : postings_) {
     bytes += word.size() + sizeof(std::string) +

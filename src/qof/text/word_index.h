@@ -1,15 +1,19 @@
 #ifndef QOF_TEXT_WORD_INDEX_H_
 #define QOF_TEXT_WORD_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "qof/text/corpus.h"
+#include "qof/text/posting_source.h"
 #include "qof/text/tokenizer.h"
 #include "qof/util/thread_pool.h"
 
@@ -41,7 +45,34 @@ class WordIndex {
                          ThreadPool* pool = nullptr);
 
   /// Sorted start positions of `word`'s occurrences (empty if absent).
+  /// With a backing source attached (disk-resident mode) the first lookup
+  /// of a word pages its postings in; an I/O failure answers empty here —
+  /// fallible callers run EnsureLoaded() first to observe the error.
   const std::vector<TextPos>& Lookup(std::string_view word) const;
+
+  // --- disk-resident backing (see src/qof/store/) -----------------------
+
+  /// Attaches a backing source; posting lists materialize lazily from it
+  /// on first Lookup. Words are never enumerated eagerly — presence is a
+  /// dictionary probe against the source. Call on a freshly constructed
+  /// index, before sharing it.
+  void AttachSource(std::shared_ptr<const PostingSource> source) {
+    source_ = std::move(source);
+  }
+
+  /// True while some posting list may still live only in the source.
+  bool disk_resident() const {
+    return source_ != nullptr &&
+           !all_resident_.load(std::memory_order_acquire);
+  }
+
+  /// Pages `word`'s postings in (no-op when already resident or the word
+  /// is absent) — the fallible face of Lookup().
+  Status EnsureLoaded(std::string_view word) const;
+
+  /// Materializes every stored posting list. Idempotent. Mutators and
+  /// serialization (ForEachWord) require this first.
+  Status EnsureResident() const;
 
   /// Merged, sorted start positions of every indexed word beginning with
   /// `prefix` — PAT's lexical/prefix search. Uses a lazily built sorted
@@ -54,27 +85,47 @@ class WordIndex {
   // keys, so it must never travel with the data — it is dropped and
   // lazily rebuilt in the destination.
   WordIndex() = default;
-  WordIndex(const WordIndex& other)
-      : postings_(other.postings_),
-        num_postings_(other.num_postings_),
-        options_(other.options_) {}
-  WordIndex& operator=(const WordIndex& other) {
+  WordIndex(const WordIndex& other) {
+    std::lock_guard<std::mutex> lock(other.lazy_mu_);
     postings_ = other.postings_;
     num_postings_ = other.num_postings_;
     options_ = other.options_;
+    source_ = other.source_;
+    absent_ = other.absent_;
+    all_resident_.store(other.all_resident_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  }
+  WordIndex& operator=(const WordIndex& other) {
+    if (this == &other) return *this;
+    std::lock_guard<std::mutex> lock(other.lazy_mu_);
+    postings_ = other.postings_;
+    num_postings_ = other.num_postings_;
+    options_ = other.options_;
+    source_ = other.source_;
+    absent_ = other.absent_;
+    all_resident_.store(other.all_resident_.load(std::memory_order_acquire),
+                        std::memory_order_release);
     sorted_words_.clear();
     return *this;
   }
   WordIndex(WordIndex&& other) noexcept
       : postings_(std::move(other.postings_)),
         num_postings_(other.num_postings_),
-        options_(std::move(other.options_)) {
+        options_(std::move(other.options_)),
+        source_(std::move(other.source_)),
+        absent_(std::move(other.absent_)) {
+    all_resident_.store(other.all_resident_.load(std::memory_order_acquire),
+                        std::memory_order_release);
     other.sorted_words_.clear();  // its pointers moved away with the map
   }
   WordIndex& operator=(WordIndex&& other) noexcept {
     postings_ = std::move(other.postings_);
     num_postings_ = other.num_postings_;
     options_ = std::move(other.options_);
+    source_ = std::move(other.source_);
+    absent_ = std::move(other.absent_);
+    all_resident_.store(other.all_resident_.load(std::memory_order_acquire),
+                        std::memory_order_release);
     sorted_words_.clear();
     other.sorted_words_.clear();
     return *this;
@@ -85,8 +136,16 @@ class WordIndex {
     return !Lookup(word).empty();
   }
 
-  size_t num_distinct_words() const { return postings_.size(); }
-  uint64_t num_postings() const { return num_postings_; }
+  size_t num_distinct_words() const {
+    // Disk-resident: the store's dictionary knows the count without any
+    // list being materialized (loaded words are a subset of stored ones).
+    if (disk_resident()) return source_->distinct_words();
+    return postings_.size();
+  }
+  uint64_t num_postings() const {
+    if (disk_resident()) return source_->total_postings();
+    return num_postings_;
+  }
 
   /// Approximate memory footprint in bytes (keys + postings), used by the
   /// index-size/efficiency tradeoff experiments.
@@ -95,7 +154,8 @@ class WordIndex {
   const WordIndexOptions& options() const { return options_; }
 
   /// Iterates (word, postings) pairs in unspecified order — serialization
-  /// support.
+  /// support. Disk-resident indexes require EnsureResident() first (only
+  /// materialized lists are visible here).
   template <typename Fn>
   void ForEachWord(Fn&& fn) const {
     for (const auto& [word, postings] : postings_) fn(word, postings);
@@ -140,9 +200,29 @@ class WordIndex {
                       ThreadPool* pool = nullptr);
 
  private:
-  std::unordered_map<std::string, std::vector<TextPos>> postings_;
-  uint64_t num_postings_ = 0;
+  /// Pages `key` (already case-folded) in from the source; returns the
+  /// resident list, or null when the word is absent. Caller holds
+  /// lazy_mu_.
+  Result<const std::vector<TextPos>*> LoadLocked(const std::string& key) const;
+
+  /// Mutable: Lookup materializes lazily under lazy_mu_ while a source is
+  /// attached. Node-based, so references handed out survive later
+  /// insertions.
+  mutable std::unordered_map<std::string, std::vector<TextPos>> postings_;
+  mutable uint64_t num_postings_ = 0;
   WordIndexOptions options_;
+  /// Backing source; null for a fully in-memory index. Set once before
+  /// the index is shared, never reassigned by const paths.
+  std::shared_ptr<const PostingSource> source_;
+  /// Serializes lazy materialization between concurrent readers. Taken by
+  /// const paths only while a source is attached.
+  mutable std::mutex lazy_mu_;
+  /// Words probed and found absent in the source (negative cache, guarded
+  /// by lazy_mu_).
+  mutable std::unordered_set<std::string> absent_;
+  /// Flipped (release) once every stored list is materialized; readers
+  /// that observe it (acquire) may touch postings_ without the lock.
+  mutable std::atomic<bool> all_resident_{false};
   // Lazily built sorted directory of the words in postings_, for prefix
   // lookups. The mutex serializes the build between concurrent readers of
   // a shared immutable index; maintenance mutators (which require

@@ -23,6 +23,14 @@ void PutString(std::string_view s, std::string* out) {
   out->append(s);
 }
 
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
 uint64_t Fnv1a(std::string_view bytes) {
   uint64_t h = 1469598103934665603ull;
   for (char c : bytes) {
@@ -65,6 +73,22 @@ Result<std::string> WireReader::String() {
   std::string s(data_.substr(pos_, len));
   pos_ += len;
   return s;
+}
+
+Result<uint64_t> WireReader::Varint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) return Truncated();
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && (byte & 0x7e) != 0) break;  // overflow past 64 bits
+      return v;
+    }
+  }
+  return Status::InvalidArgument("corrupt " + what_ + ": varint at offset " +
+                                 std::to_string(pos_) +
+                                 " exceeds 64 bits");
 }
 
 Status WireReader::CheckCount(uint64_t count, size_t min_bytes_each) {

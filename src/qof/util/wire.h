@@ -19,6 +19,12 @@ void PutU32(uint32_t v, std::string* out);
 void PutU8(uint8_t v, std::string* out);
 void PutString(std::string_view s, std::string* out);
 
+/// LEB128 variable-length encoding: 7 value bits per byte, high bit set on
+/// every byte but the last. Small values (delta-encoded postings, region
+/// lengths) take 1–2 bytes instead of 8. Used by the paged store's
+/// block-compressed posting format.
+void PutVarint(uint64_t v, std::string* out);
+
 /// FNV-1a over arbitrary bytes. Used as the corpus/document fingerprint in
 /// index blobs and as the per-record checksum in the journal.
 uint64_t Fnv1a(std::string_view bytes);
@@ -37,6 +43,9 @@ class WireReader {
   Result<uint32_t> U32();
   Result<uint8_t> U8();
   Result<std::string> String();
+  /// Decodes a PutVarint value. Rejects encodings longer than 10 bytes
+  /// (the maximum for 64 bits) so corrupt continuation bits cannot loop.
+  Result<uint64_t> Varint();
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t Remaining() const { return data_.size() - pos_; }

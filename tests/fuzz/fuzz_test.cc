@@ -174,6 +174,30 @@ TEST(FuzzTest, InjectedStaleSnapshotBugIsCaughtAndShrunk) {
   EXPECT_TRUE(replay->failed) << report->repro;
 }
 
+TEST(FuzzTest, InjectedEvictPinnedBugIsCaughtAndShrunk) {
+  // A buffer pool that evicts pinned frames overwrites pages mid-read:
+  // a multi-page posting stream assembled under a one-frame pool decodes
+  // another page's bytes. The disk-tier leg's on-disk-vs-in-memory
+  // cross-checks (queries plus the forced-materialization export
+  // comparison) must flag it, and the repro must replay to the same
+  // failure.
+  FuzzOptions options = FastOptions();
+  options.iterations = 60;
+  options.seed = 1;
+  options.bug = InjectedBug::kEvictPinned;
+  options.invalid_fraction = 0.0;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected evict-pinned bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[disk"), std::string::npos)
+      << report->failure;
+
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
 TEST(FuzzTest, InjectedBadCseBugIsCaught) {
   // A CSE pass that hashes selection nodes without their word operands
   // merges structurally different selections, so the IR engine returns
@@ -289,7 +313,8 @@ TEST(FuzzTest, InjectedBugNamesRoundTrip) {
                           InjectedBug::kDropTombstone,
                           InjectedBug::kStaleCache,
                           InjectedBug::kBadCse,
-                          InjectedBug::kStaleSnapshot}) {
+                          InjectedBug::kStaleSnapshot,
+                          InjectedBug::kEvictPinned}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);

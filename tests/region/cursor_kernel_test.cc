@@ -1,0 +1,134 @@
+// Block-skipping cursor kernels (IntersectCursor, IncludingCursor,
+// IncludedInCursor) must return byte-identical sets to the plain kernels
+// on the same data, for every block geometry — the cursor path is a pure
+// I/O optimization, never a semantic change.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qof/region/region_cursor.h"
+#include "qof/region/region_set.h"
+
+namespace qof {
+namespace {
+
+RegionSet RandomSet(std::mt19937& rng, int max_regions, uint64_t max_pos,
+                    uint64_t max_len) {
+  std::uniform_int_distribution<int> count(0, max_regions);
+  std::uniform_int_distribution<uint64_t> pos(0, max_pos);
+  std::uniform_int_distribution<uint64_t> len(1, max_len);
+  int n = count(rng);
+  std::vector<Region> v;
+  for (int i = 0; i < n; ++i) {
+    uint64_t a = pos(rng);
+    v.push_back({a, a + len(rng)});
+  }
+  return RegionSet::FromUnsorted(std::move(v));
+}
+
+/// Every cursor kernel against its plain counterpart on (instance, probe),
+/// across block sizes small enough to force multi-block instances.
+void ExpectCursorParity(const RegionSet& instance, const RegionSet& probe) {
+  for (uint32_t block_size : {1u, 3u, 8u, 128u}) {
+    VectorRegionCursor c1(&instance.regions(), block_size);
+    auto isect = IntersectCursor(probe, c1);
+    ASSERT_TRUE(isect.ok()) << isect.status().message();
+    EXPECT_EQ(*isect, Intersect(probe, instance))
+        << "IntersectCursor block_size=" << block_size;
+
+    VectorRegionCursor c2(&instance.regions(), block_size);
+    auto incl = IncludingCursor(probe, c2);
+    ASSERT_TRUE(incl.ok()) << incl.status().message();
+    EXPECT_EQ(*incl, Including(instance, probe))
+        << "IncludingCursor block_size=" << block_size;
+
+    VectorRegionCursor c3(&instance.regions(), block_size);
+    auto sub = IncludedInCursor(probe, c3);
+    ASSERT_TRUE(sub.ok()) << sub.status().message();
+    EXPECT_EQ(*sub, IncludedIn(instance, probe))
+        << "IncludedInCursor block_size=" << block_size;
+  }
+}
+
+class CursorKernelTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CursorKernelTest, ::testing::Range(0u, 10u));
+
+TEST_P(CursorKernelTest, AgreesWithPlainKernels) {
+  std::mt19937 rng(GetParam() * 104729u + 13u);
+  // Mix short and long regions so enclosure relations cross block
+  // boundaries; skews in both directions.
+  struct Shape {
+    int instance_max, probe_max;
+    uint64_t len;
+  };
+  for (const Shape& s :
+       {Shape{200, 10, 6}, Shape{200, 10, 120}, Shape{30, 60, 25},
+        Shape{400, 2, 400}, Shape{50, 50, 1}}) {
+    RegionSet instance = RandomSet(rng, s.instance_max, 1000, s.len);
+    RegionSet probe = RandomSet(rng, s.probe_max, 1000, s.len);
+    ExpectCursorParity(instance, probe);
+  }
+}
+
+TEST(CursorKernelTest, EmptySidesYieldEmpty) {
+  RegionSet some = RegionSet::FromUnsorted({{10, 20}, {30, 44}});
+  RegionSet empty;
+  ExpectCursorParity(some, empty);
+  ExpectCursorParity(empty, some);
+  ExpectCursorParity(empty, empty);
+}
+
+TEST(CursorKernelTest, EnclosingRegionInEarlyBlockIsFound) {
+  // One giant region opens the instance; probes live hundreds of blocks
+  // later. Skipping on block_last alone would never revisit block 0 —
+  // the prefix-max over block max_ends is what walks back to it.
+  std::vector<Region> v;
+  v.push_back({0, 1000000});
+  for (uint64_t i = 0; i < 2000; ++i) v.push_back({10 + i * 9, 13 + i * 9});
+  RegionSet instance = RegionSet::FromUnsorted(std::move(v));
+  RegionSet probe = RegionSet::FromUnsorted({{17000, 17002}, {900000, 900001}});
+
+  VectorRegionCursor cursor(&instance.regions(), 8);
+  auto got = IncludingCursor(probe, cursor);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Including(instance, probe));
+  ASSERT_GE(got->size(), 1u);
+  EXPECT_EQ(got->regions().front(), (Region{0, 1000000}));
+  // The walk must not have decoded anywhere near all blocks: the
+  // prefix-max cuts each probe's backward walk to block 0 plus its own
+  // neighborhood.
+  EXPECT_LT(cursor.blocks_decoded(), cursor.num_blocks() / 4);
+}
+
+TEST(CursorKernelTest, IncludedInSkipsBlocksOutsideProbeSpan) {
+  std::vector<Region> v;
+  for (uint64_t i = 0; i < 2000; ++i) v.push_back({i * 10, i * 10 + 4});
+  RegionSet instance = RegionSet::FromUnsorted(std::move(v));
+  // One enclosing probe near the middle: only the blocks under it decode.
+  RegionSet probe = RegionSet::FromUnsorted({{10000, 10100}});
+
+  VectorRegionCursor cursor(&instance.regions(), 8);
+  auto got = IncludedInCursor(probe, cursor);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, IncludedIn(instance, probe));
+  EXPECT_GT(got->size(), 0u);
+  EXPECT_LT(cursor.blocks_decoded(), uint64_t{6});
+}
+
+TEST(CursorKernelTest, EqualStartsDifferentEndsAcrossBlocks) {
+  // Canonical order puts equal starts with descending ends; with block
+  // size 1 each lands in its own block, so the kernels must gather an
+  // enclosure answer scattered over adjacent blocks.
+  std::vector<Region> v;
+  for (uint64_t e = 1; e <= 12; ++e) v.push_back({100, 100 + e * 50});
+  RegionSet instance = RegionSet::FromUnsorted(std::move(v));
+  RegionSet probe = RegionSet::FromUnsorted({{100, 175}, {400, 420}});
+  ExpectCursorParity(instance, probe);
+}
+
+}  // namespace
+}  // namespace qof
