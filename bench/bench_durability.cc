@@ -1,0 +1,197 @@
+// Durability-cost experiment driver: what does crash consistency cost?
+//
+//   1. Journal append throughput under the three sync policies. kAlways
+//      fsyncs every record (one commit = one durable record), kBatch
+//      defers the fsync to an explicit SyncJournal() boundary, kNone
+//      opts out entirely. The interesting number is the per-record
+//      overhead kAlways pays for its zero-loss guarantee.
+//   2. Atomic blob publish (the checkpoint protocol's tmp + fsync +
+//      rename + dirsync dance) versus a naive in-place write, at a few
+//      blob sizes.
+//   3. Recovery: DurableIndexDir::Open + ReadJournal over a directory
+//      holding a long journal tail — the startup price of replaying
+//      instead of checkpointing.
+//
+// Plain driver (no google-benchmark): prints a table and writes JSON
+// rows for the CI artifacts.
+//
+// Usage: bench_durability [--json <path>]
+//   default path: BENCH_durability.json in the current directory.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "qof/maintain/durable_dir.h"
+#include "qof/maintain/journal.h"
+#include "qof/store/vfs.h"
+
+namespace {
+
+using qof::DurableIndexDir;
+using qof::JournalRecord;
+using qof::SyncPolicy;
+using qof::SyncPolicyName;
+using qof::Vfs;
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/qof-bench-durability-" + std::to_string(::getpid()) + "-" +
+         name;
+}
+
+/// Removes every file in `dir`, then the directory itself. Fresh ground
+/// for each measured run.
+void NukeDir(Vfs* vfs, const std::string& dir) {
+  auto names = vfs->ListDir(dir);
+  if (names.ok()) {
+    for (const auto& name : *names) {
+      (void)vfs->Remove(dir + "/" + name);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+JournalRecord MakeRecord(uint64_t generation) {
+  JournalRecord r;
+  r.op = qof::JournalOp::kAdd;
+  r.generation = generation;
+  r.name = "doc-" + std::to_string(generation);
+  r.text = std::string(200, 'x');
+  return r;
+}
+
+void Die(const qof::Status& status, const char* what) {
+  std::fprintf(stderr, "bench_durability: %s: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+/// Appends `n` records to a fresh durable dir under `policy`; returns
+/// wall micros for the whole append phase (one final SyncJournal under
+/// kBatch, so every policy ends with its own notion of "done").
+double AppendMicros(Vfs* vfs, SyncPolicy policy, int n) {
+  const std::string dir = TempPath("append");
+  NukeDir(vfs, dir);
+  DurableIndexDir::Options options;
+  options.sync_policy = policy;
+  auto d = DurableIndexDir::Create(vfs, dir, "blob", 0, options);
+  if (!d.ok()) Die(d.status(), "create");
+  double micros = qof_bench::MedianMicros(1, [&] {
+    for (int i = 0; i < n; ++i) {
+      qof::Status s = d->Append(MakeRecord(static_cast<uint64_t>(i) + 1));
+      if (!s.ok()) Die(s, "append");
+    }
+    if (policy == SyncPolicy::kBatch) {
+      qof::Status s = d->SyncJournal();
+      if (!s.ok()) Die(s, "sync");
+    }
+  });
+  NukeDir(vfs, dir);
+  return micros;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json = qof_bench::ExtractJsonArg(&argc, argv);
+  if (json.empty()) json = "BENCH_durability.json";
+  qof_bench::JsonEmitter emitter(json);
+  Vfs* vfs = qof::DefaultVfs();
+
+  // --- 1. journal append throughput per sync policy -------------------
+  constexpr int kRecords = 400;
+  std::printf("journal append, %d records of ~220 bytes\n", kRecords);
+  std::printf("%-10s %14s %14s\n", "policy", "micros/rec", "recs/sec");
+  double always_per_rec = 0;
+  for (SyncPolicy policy :
+       {SyncPolicy::kAlways, SyncPolicy::kBatch, SyncPolicy::kNone}) {
+    double micros = AppendMicros(vfs, policy, kRecords);
+    double per_rec = micros / kRecords;
+    double per_sec = 1e6 / per_rec;
+    if (policy == SyncPolicy::kAlways) always_per_rec = per_rec;
+    std::string name(SyncPolicyName(policy));
+    std::printf("%-10s %14.2f %14.0f\n", name.c_str(), per_rec, per_sec);
+    emitter.Row("journal_append", name, "micros_per_record", per_rec);
+    emitter.Row("journal_append", name, "records_per_sec", per_sec);
+    if (policy != SyncPolicy::kAlways) {
+      emitter.Row("journal_append", name, "speedup_vs_always",
+                  always_per_rec / per_rec);
+    }
+  }
+
+  // --- 2. atomic publish vs naive in-place write ----------------------
+  std::printf("\natomic blob publish (tmp+fsync+rename+dirsync)\n");
+  std::printf("%-10s %14s %14s %10s\n", "blob", "atomic_us", "inplace_us",
+              "overhead");
+  const std::string dir = TempPath("publish");
+  NukeDir(vfs, dir);
+  if (!vfs->CreateDir(dir).ok()) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    std::abort();
+  }
+  for (size_t kib : {64, 1024, 8192}) {
+    const std::string blob(kib * 1024, 'b');
+    const std::string path = dir + "/blob";
+    double atomic_us = qof_bench::MedianMicros(5, [&] {
+      qof::Status s = qof::AtomicWriteFile(vfs, path, blob);
+      if (!s.ok()) Die(s, "atomic write");
+    });
+    double inplace_us = qof_bench::MedianMicros(5, [&] {
+      auto f = vfs->OpenWrite(path, /*truncate=*/true);
+      if (!f.ok()) Die(f.status(), "open write");
+      qof::Status s = (*f)->Append(blob);
+      if (s.ok()) s = (*f)->Close();
+      if (!s.ok()) Die(s, "in-place write");
+    });
+    std::string config = std::to_string(kib) + "KiB";
+    std::printf("%-10s %14.1f %14.1f %9.2fx\n", config.c_str(), atomic_us,
+                inplace_us, atomic_us / inplace_us);
+    emitter.Row("atomic_publish", config, "atomic_micros", atomic_us);
+    emitter.Row("atomic_publish", config, "inplace_micros", inplace_us);
+    emitter.Row("atomic_publish", config, "overhead_ratio",
+                atomic_us / inplace_us);
+  }
+  NukeDir(vfs, dir);
+
+  // --- 3. recovery: open + journal replay scan ------------------------
+  std::printf("\nrecovery (Open + ReadJournal) vs journal length\n");
+  std::printf("%-10s %14s %14s\n", "records", "micros", "us/record");
+  for (int n : {100, 1000, 4000}) {
+    const std::string rdir = TempPath("recover");
+    NukeDir(vfs, rdir);
+    DurableIndexDir::Options options;
+    options.sync_policy = SyncPolicy::kNone;  // setup speed; synced below
+    auto d = DurableIndexDir::Create(vfs, rdir, "blob", 0, options);
+    if (!d.ok()) Die(d.status(), "create");
+    for (int i = 0; i < n; ++i) {
+      qof::Status s = d->Append(MakeRecord(static_cast<uint64_t>(i) + 1));
+      if (!s.ok()) Die(s, "append");
+    }
+    double micros = qof_bench::MedianMicros(5, [&] {
+      auto opened = DurableIndexDir::Open(vfs, rdir);
+      if (!opened.ok()) Die(opened.status(), "open");
+      auto records = opened->ReadJournal();
+      if (!records.ok()) Die(records.status(), "read journal");
+      if (records->size() != static_cast<size_t>(n)) {
+        std::fprintf(stderr, "recovery read %zu records, want %d\n",
+                     records->size(), n);
+        std::abort();
+      }
+    });
+    std::string config = std::to_string(n);
+    std::printf("%-10s %14.1f %14.2f\n", config.c_str(), micros,
+                micros / n);
+    emitter.Row("recovery", config, "micros", micros);
+    emitter.Row("recovery", config, "micros_per_record", micros / n);
+    NukeDir(vfs, rdir);
+  }
+
+  emitter.Flush();
+  std::printf("\nwrote %s\n", json.c_str());
+  return 0;
+}

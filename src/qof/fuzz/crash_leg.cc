@@ -1,0 +1,379 @@
+#include "qof/fuzz/crash_leg.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qof/engine/index_io.h"
+#include "qof/engine/index_spec.h"
+#include "qof/engine/indexer.h"
+#include "qof/maintain/durable_dir.h"
+#include "qof/maintain/journal.h"
+#include "qof/maintain/maintainer.h"
+#include "qof/store/fault_vfs.h"
+#include "qof/store/vfs.h"
+#include "qof/text/corpus.h"
+
+namespace qof {
+namespace {
+
+constexpr uint64_t kNoCommit = ~uint64_t{0};
+
+/// Zeroes the maintenance-generation field (bytes [8, 16)) so blobs from
+/// different recovery depths compare byte-equal (the v3 checksum does
+/// not cover the generation; same convention as the maintenance leg).
+std::string StripGeneration(std::string blob) {
+  if (blob.size() >= 16) {
+    std::fill(blob.begin() + 8, blob.begin() + 16, '\0');
+  }
+  return blob;
+}
+
+/// Everything the I/O trace writes, precomputed once: the replayed
+/// traces differ only in where the power dies, so the in-memory side
+/// (index builds, mutation application, the checkpoint blob) is shared
+/// across all crash points.
+struct TraceArtifacts {
+  std::string blob0;                  // generation-0 blob Create publishes
+  std::vector<JournalRecord> records; // one per mutation, in order
+  /// Index into `records` after whose append the trace checkpoints
+  /// (compacted blob + fresh journal), exercising the manifest swing.
+  size_t checkpoint_after = 0;
+  std::string checkpoint_blob;
+  uint64_t checkpoint_generation = 0;
+};
+
+/// One maintained system built from the base docs; mutations applied
+/// through it. Compaction is explicit (the trace's checkpoint), like the
+/// CLI.
+struct Maintained {
+  Corpus corpus;
+  BuiltIndexes built;
+  std::unique_ptr<IndexMaintainer> maintainer;
+};
+
+Result<std::unique_ptr<Maintained>> BuildBase(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs) {
+  auto m = std::make_unique<Maintained>();
+  for (const auto& [name, text] : docs) {
+    QOF_RETURN_IF_ERROR(m->corpus.AddDocument(name, text).status());
+  }
+  QOF_ASSIGN_OR_RETURN(m->built,
+                       BuildIndexes(schema, m->corpus, IndexSpec::Full()));
+  MaintainOptions options;
+  options.auto_compact = false;
+  m->maintainer = std::make_unique<IndexMaintainer>(
+      &schema, &m->corpus, &m->built, IndexSpec::Full(), options);
+  return m;
+}
+
+Status ApplyStep(IndexMaintainer* maintainer, const MutationStep& m) {
+  switch (m.op) {
+    case MutationStep::Op::kAdd:
+      return maintainer->AddDocument(m.name, m.text).status();
+    case MutationStep::Op::kUpdate:
+      return maintainer->UpdateDocument(m.name, m.text).status();
+    case MutationStep::Op::kRemove:
+      return maintainer->RemoveDocument(m.name);
+  }
+  return Status::Internal("unreachable mutation op");
+}
+
+JournalRecord RecordFor(const MutationStep& m, uint64_t generation) {
+  JournalRecord record;
+  record.generation = generation;
+  record.name = m.name;
+  switch (m.op) {
+    case MutationStep::Op::kAdd:
+      record.op = JournalOp::kAdd;
+      record.text = m.text;
+      break;
+    case MutationStep::Op::kUpdate:
+      record.op = JournalOp::kUpdate;
+      record.text = m.text;
+      break;
+    case MutationStep::Op::kRemove:
+      record.op = JournalOp::kRemove;
+      break;
+  }
+  return record;
+}
+
+/// The canonical blob for "base docs + the first `g` mutations": applied
+/// directly, compacted, serialized. Crash recovery at any point must
+/// land on one of these — never in between.
+Result<std::string> ReferenceBlob(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const std::vector<MutationStep>& mutations, uint64_t g) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<Maintained> m,
+                       BuildBase(schema, docs));
+  for (uint64_t i = 0; i < g; ++i) {
+    QOF_RETURN_IF_ERROR(ApplyStep(m->maintainer.get(), mutations[i]));
+  }
+  QOF_RETURN_IF_ERROR(m->maintainer->Compact());
+  return SerializeIndexes(m->built, IndexSpec::Full(), m->corpus,
+                          m->maintainer->generation());
+}
+
+/// Replays the precomputed trace against `vfs` until it completes or the
+/// armed crash point kills an I/O op. Returns the durability floor: the
+/// highest generation whose append (or checkpoint) was acknowledged
+/// before the cut, kNoCommit when not even Create() returned.
+uint64_t RunIoTrace(Vfs* vfs, const std::string& dir,
+                    const TraceArtifacts& artifacts) {
+  // Append() routes through DefaultVfs (the journal module's path), so
+  // the override must cover the whole trace.
+  ScopedVfs scoped(vfs);
+  uint64_t floor = kNoCommit;
+  auto created = DurableIndexDir::Create(vfs, dir, artifacts.blob0,
+                                         /*generation=*/0);
+  if (!created.ok()) return floor;
+  floor = 0;
+  for (size_t j = 0; j < artifacts.records.size(); ++j) {
+    if (!created->Append(artifacts.records[j]).ok()) return floor;
+    floor = artifacts.records[j].generation;
+    if (j == artifacts.checkpoint_after) {
+      if (!created
+               ->Checkpoint(artifacts.checkpoint_blob,
+                            artifacts.checkpoint_generation)
+               .ok()) {
+        return floor;
+      }
+    }
+  }
+  return floor;
+}
+
+}  // namespace
+
+Status CheckCrashConsistency(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const OracleOptions& options, uint64_t seed,
+    std::string* failure) {
+  if (c.mutations.empty()) return Status::OK();
+
+  const bool planted = options.bug == InjectedBug::kSkipDirSync;
+  const std::string dir = "idx";
+
+  // --- Precompute the trace (shared across every crash point) ----------
+  auto base = BuildBase(schema, docs);
+  if (!base.ok()) return Status::OK();  // the index legs report this
+  TraceArtifacts artifacts;
+  {
+    std::unique_ptr<Maintained>& m = *base;
+    auto blob0 = SerializeIndexes(m->built, IndexSpec::Full(), m->corpus,
+                                  m->maintainer->generation());
+    if (!blob0.ok()) return blob0.status();
+    artifacts.blob0 = std::move(*blob0);
+    artifacts.checkpoint_after = c.mutations.size() / 2;
+    for (size_t j = 0; j < c.mutations.size(); ++j) {
+      Status applied = ApplyStep(m->maintainer.get(), c.mutations[j]);
+      if (!applied.ok()) {
+        // A shrink artifact (a dropped add orphaned a later step), not a
+        // finding — mirror the maintenance leg and refuse the case.
+        return Status::Internal("crash leg: mutation " +
+                                std::to_string(j) + " (" +
+                                c.mutations[j].name +
+                                ") failed: " + applied.ToString());
+      }
+      if (m->maintainer->generation() != j + 1) {
+        return Status::Internal(
+            "crash leg: generation did not track mutations (" +
+            std::to_string(m->maintainer->generation()) + " after " +
+            std::to_string(j + 1) + " steps)");
+      }
+      artifacts.records.push_back(
+          RecordFor(c.mutations[j], m->maintainer->generation()));
+      if (j == artifacts.checkpoint_after) {
+        uint64_t before = m->maintainer->generation();
+        QOF_RETURN_IF_ERROR(m->maintainer->Compact());
+        if (m->maintainer->generation() != before) {
+          return Status::Internal(
+              "crash leg: Compact() moved the generation counter");
+        }
+        auto ckpt = SerializeIndexes(m->built, IndexSpec::Full(),
+                                     m->corpus, before);
+        if (!ckpt.ok()) return ckpt.status();
+        artifacts.checkpoint_blob = std::move(*ckpt);
+        artifacts.checkpoint_generation = before;
+      }
+    }
+  }
+
+  // --- Dry run: count the trace's I/O ops (the crash-point domain) -----
+  uint64_t total_ops = 0;
+  {
+    FaultVfs dry;
+    dry.set_skip_dir_sync(planted);
+    uint64_t floor = RunIoTrace(&dry, dir, artifacts);
+    if (floor != c.mutations.size()) {
+      return Status::Internal(
+          "crash leg: fault-free trace did not complete (floor " +
+          std::to_string(floor) + " of " +
+          std::to_string(c.mutations.size()) + ")");
+    }
+    total_ops = dry.op_count();
+  }
+
+  // Canonical per-generation blobs, computed lazily: most crash points
+  // recover to one of a handful of generations.
+  std::map<uint64_t, std::string> reference;
+  auto reference_blob = [&](uint64_t g) -> Result<std::string> {
+    auto it = reference.find(g);
+    if (it != reference.end()) return it->second;
+    QOF_ASSIGN_OR_RETURN(std::string blob,
+                         ReferenceBlob(schema, docs, c.mutations, g));
+    reference.emplace(g, blob);
+    return blob;
+  };
+
+  // --- The sweep: die at every op, come back up, recover, check --------
+  for (uint64_t crash_op = 0; crash_op < total_ops; ++crash_op) {
+    auto fail = [&](const std::string& what) {
+      *failure = "[crash-sweep op " + std::to_string(crash_op) + "/" +
+                 std::to_string(total_ops) + "] " + what +
+                 " (fql: " + c.fql + ")";
+      return Status::OK();
+    };
+
+    FaultVfs vfs;
+    vfs.set_skip_dir_sync(planted);
+    vfs.set_crash_at_op(crash_op);
+    uint64_t floor = RunIoTrace(&vfs, dir, artifacts);
+    if (!vfs.crashed()) {
+      return Status::Internal("crash leg: op " + std::to_string(crash_op) +
+                              " of " + std::to_string(total_ops) +
+                              " never fired");
+    }
+    vfs.CutPower(seed ^ (crash_op * 0x9e3779b97f4a7c15ull + 0xa11ceull));
+
+    // Recovery, the CLI's path: manifest → blob → journal replay.
+    ScopedVfs scoped(&vfs);
+    auto opened = DurableIndexDir::Open(&vfs, dir);
+    if (!opened.ok()) {
+      if (floor != kNoCommit) {
+        return fail("recovery failed after generation " +
+                    std::to_string(floor) + " was acknowledged durable: " +
+                    opened.status().ToString());
+      }
+      continue;  // nothing was ever committed; an empty directory is fine
+    }
+
+    auto blob = opened->ReadBlob();
+    if (!blob.ok()) {
+      return fail("committed blob unreadable: " + blob.status().ToString());
+    }
+    auto info = ReadBlobInfo(*blob);
+    if (!info.ok()) {
+      return fail("committed blob undecodable: " +
+                  info.status().ToString());
+    }
+    const uint64_t blob_generation = opened->generation();
+    if (info->generation != blob_generation) {
+      return fail("manifest generation " + std::to_string(blob_generation) +
+                  " but the blob it names carries generation " +
+                  std::to_string(info->generation));
+    }
+    if (blob_generation > c.mutations.size()) {
+      return fail("recovered blob from the future (generation " +
+                  std::to_string(blob_generation) + " of " +
+                  std::to_string(c.mutations.size()) + " mutations)");
+    }
+
+    // Rebuild the corpus at the blob's generation from the known history
+    // and check every fingerprint: a committed blob may only describe
+    // documents that actually existed at that generation.
+    std::map<std::string, std::string> texts;
+    for (const auto& [name, text] : docs) texts[name] = text;
+    for (uint64_t i = 0; i < blob_generation; ++i) {
+      const MutationStep& m = c.mutations[i];
+      if (m.op == MutationStep::Op::kRemove) {
+        texts.erase(m.name);
+      } else {
+        texts[m.name] = m.text;
+      }
+    }
+    Corpus corpus;
+    for (const DocFingerprint& doc : info->docs) {
+      auto it = texts.find(doc.name);
+      if (it == texts.end() || it->second.size() != doc.size ||
+          CorpusFingerprint(it->second) != doc.fnv1a) {
+        return fail("recovered blob names document '" + doc.name +
+                    "' with a fingerprint no generation-" +
+                    std::to_string(blob_generation) + " state ever had");
+      }
+      QOF_RETURN_IF_ERROR(
+          corpus.AddDocument(doc.name, it->second).status());
+    }
+
+    auto loaded = DeserializeIndexes(*blob, corpus, DeserializeOptions{});
+    if (!loaded.ok()) {
+      return fail("committed blob failed to deserialize: " +
+                  loaded.status().ToString());
+    }
+    MaintainOptions maintain_options;
+    maintain_options.auto_compact = false;
+    IndexMaintainer maintainer(&schema, &corpus, &loaded->indexes,
+                               loaded->spec, maintain_options);
+    maintainer.set_generation(loaded->generation);
+
+    auto records = opened->ReadJournal();
+    if (!records.ok()) {
+      return fail("committed journal unreadable: " +
+                  records.status().ToString());
+    }
+    // Surviving frames must be real appended records, in order — the
+    // frame checksums admit garbage never, prefixes only.
+    for (size_t k = 0; k < records->size(); ++k) {
+      const JournalRecord& r = (*records)[k];
+      if (r.generation != blob_generation + k + 1 ||
+          r.generation > c.mutations.size() ||
+          r != RecordFor(c.mutations[r.generation - 1], r.generation)) {
+        return fail("journal frame " + std::to_string(k) +
+                    " (generation " + std::to_string(r.generation) +
+                    ") is not the record that was appended");
+      }
+    }
+    Status replayed = ReplayJournal(*records, &maintainer);
+    if (!replayed.ok()) {
+      return fail("journal replay failed: " + replayed.ToString());
+    }
+
+    const uint64_t recovered = maintainer.generation();
+    if (floor != kNoCommit && recovered < floor) {
+      return fail("acknowledged generation " + std::to_string(floor) +
+                  " was lost: recovered only generation " +
+                  std::to_string(recovered));
+    }
+
+    // The recovered state must be byte-identical (compacted, generation
+    // stripped) to a direct application of exactly `recovered` steps.
+    Status compacted = maintainer.Compact();
+    if (!compacted.ok()) {
+      return fail("recovered state failed to compact: " +
+                  compacted.ToString());
+    }
+    auto recovered_blob =
+        SerializeIndexes(loaded->indexes, loaded->spec, corpus,
+                         maintainer.generation());
+    if (!recovered_blob.ok()) return recovered_blob.status();
+    auto expect = reference_blob(recovered);
+    if (!expect.ok()) return expect.status();
+    if (StripGeneration(*recovered_blob) != StripGeneration(*expect)) {
+      return fail("recovered state at generation " +
+                  std::to_string(recovered) +
+                  " diverges from direct application of the same " +
+                  "prefix (" + std::to_string(recovered_blob->size()) +
+                  " vs " + std::to_string(expect->size()) + " blob bytes)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qof

@@ -16,6 +16,7 @@
 #include "qof/exec/fault_injector.h"
 #include "qof/fuzz/canon.h"
 #include "qof/fuzz/rng.h"
+#include "qof/fuzz/crash_leg.h"
 #include "qof/fuzz/disk_leg.h"
 #include "qof/fuzz/session_leg.h"
 #include "qof/maintain/journal.h"
@@ -1141,6 +1142,17 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // the export blob exactly.
   QOF_RETURN_IF_ERROR(
       CheckDiskTier(schema, docs, c, options, seed, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 5d. Crash consistency: the mutation sequence replayed as a durable
+  // index-directory trace, with a power cut simulated after every
+  // mutating I/O op — recovery must always land on an acknowledged
+  // prefix, never lose an acknowledged commit, never read a torn state.
+  QOF_RETURN_IF_ERROR(CheckCrashConsistency(schema, docs, c, options, seed,
+                                            &outcome.failure));
   if (!outcome.failure.empty()) {
     outcome.failed = true;
     return outcome;

@@ -45,6 +45,15 @@ namespace qof {
 ///    cross-checked against the in-memory indexes the store was saved
 ///    from, under a pool smaller than the longest stream — must flag the
 ///    corruption.
+///  - kSkipDirSync makes the fault VFS's SyncDir a silent no-op
+///    (FaultVfs::set_skip_dir_sync) — the classic forgot-to-fsync-the-
+///    parent-directory durability bug: an atomic-rename commit (the
+///    MANIFEST swing, the blob it names) succeeds and is acknowledged,
+///    but the rename itself is still volatile, so a power cut rolls the
+///    directory back. The crash-sweep leg — power loss simulated after
+///    every mutating I/O op, then recovery — must flag the cut that
+///    loses an acknowledged commit (or strands the directory
+///    unreadable).
 enum class InjectedBug {
   kNone,
   kRelaxDirect,
@@ -54,6 +63,7 @@ enum class InjectedBug {
   kBadCse,
   kStaleSnapshot,
   kEvictPinned,
+  kSkipDirSync,
 };
 
 struct OracleOptions {

@@ -43,6 +43,8 @@ std::string InjectedBugName(InjectedBug bug) {
       return "stale-snapshot";
     case InjectedBug::kEvictPinned:
       return "evict-pinned";
+    case InjectedBug::kSkipDirSync:
+      return "skip-dir-sync";
   }
   return "none";
 }
@@ -56,6 +58,7 @@ Result<InjectedBug> InjectedBugFromName(std::string_view name) {
   if (name == "bad-cse") return InjectedBug::kBadCse;
   if (name == "stale-snapshot") return InjectedBug::kStaleSnapshot;
   if (name == "evict-pinned") return InjectedBug::kEvictPinned;
+  if (name == "skip-dir-sync") return InjectedBug::kSkipDirSync;
   return Status::InvalidArgument("unknown injected bug name: " +
                                  std::string(name));
 }

@@ -1,7 +1,6 @@
 #include "qof/maintain/journal.h"
 
 #include <cstring>
-#include <fstream>
 
 #include "qof/exec/fault_injector.h"
 #include "qof/util/wire.h"
@@ -114,32 +113,69 @@ Status ReplayJournal(const std::vector<JournalRecord>& records,
 }
 
 Status AppendJournalRecordToFile(const std::string& path,
-                                 const JournalRecord& record) {
+                                 const JournalRecord& record,
+                                 SyncPolicy policy) {
   std::string frame = EncodeJournalRecord(record);
   Status fault = MaybeInjectFault(fault_site::kJournalAppend);
-  std::ofstream out;
-  {
-    // Start the file with the magic when it does not exist yet.
-    std::ifstream probe(path, std::ios::binary);
-    bool fresh = !probe.good();
-    out.open(path, std::ios::binary | std::ios::app);
-    if (!out) {
-      return Status::Internal("cannot open journal for append: " + path);
+  Vfs* vfs = DefaultVfs();
+  const bool fresh = !vfs->Exists(path);
+  uint64_t old_size = 0;
+  if (!fresh) {
+    auto probe = vfs->OpenRead(path);
+    if (!probe.ok()) {
+      return Status::Internal("cannot open journal for append: " + path +
+                              ": " + probe.status().message());
     }
-    if (fresh) out << JournalHeader();
+    old_size = (*probe)->size();
+  }
+  auto out = vfs->OpenWrite(path, /*truncate=*/false);
+  if (!out.ok()) {
+    return Status::Internal("cannot open journal for append: " + path +
+                            ": " + out.status().message());
   }
   if (!fault.ok()) {
-    // Simulated crash mid-append: half the frame reaches the file, then
-    // the writer dies. ParseJournal must treat the result as a torn tail.
-    out.write(frame.data(),
-              static_cast<std::streamsize>(frame.size() / 2));
-    out.flush();
+    // Simulated crash mid-append: the magic (when fresh) and half the
+    // frame reach the file, then the writer dies. ParseJournal must
+    // treat the result as a torn tail.
+    if (fresh) (*out)->Append(JournalHeader());
+    (*out)->Append(frame.substr(0, frame.size() / 2));
+    (*out)->Close();
     return fault;
   }
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out) {
-    return Status::Internal("journal append failed: " + path);
+  // A failed write may leave a partial frame behind; truncating back to
+  // the pre-append size keeps the intact tail readable without even
+  // needing ParseJournal's torn-tail discard.
+  auto FailAndRestore = [&](const char* what, const Status& cause) {
+    (*out)->Close();
+    if (fresh) {
+      vfs->Remove(path);
+    } else {
+      vfs->Truncate(path, old_size);
+    }
+    return Status::Internal("journal append failed (" + std::string(what) +
+                            ") on '" + path + "': " + cause.message());
+  };
+  if (fresh) {
+    Status status = (*out)->Append(JournalHeader());
+    if (!status.ok()) return FailAndRestore("header write", status);
+  }
+  Status status = (*out)->Append(frame);
+  if (!status.ok()) return FailAndRestore("frame write", status);
+  if (policy == SyncPolicy::kAlways) {
+    status = (*out)->Sync();
+    if (!status.ok()) return FailAndRestore("fsync", status);
+  }
+  status = (*out)->Close();
+  if (!status.ok()) return FailAndRestore("close", status);
+  // A freshly created journal's directory entry is volatile until the
+  // parent is sync'd; kAlways promises the acknowledged record survives
+  // power loss, so pay the dirsync once at creation.
+  if (fresh && policy == SyncPolicy::kAlways) {
+    status = vfs->SyncDir(ParentDir(path));
+    if (!status.ok()) {
+      return Status::Internal("journal append failed (dirsync) on '" +
+                              path + "': " + status.message());
+    }
   }
   return Status::OK();
 }

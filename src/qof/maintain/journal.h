@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "qof/maintain/maintainer.h"
+#include "qof/store/vfs.h"
 #include "qof/util/result.h"
 #include "qof/util/status.h"
 
@@ -79,12 +80,18 @@ Status ReplayJournal(const std::vector<JournalRecord>& records,
                      IndexMaintainer* maintainer);
 
 /// Appends one encoded frame to the journal file at `path` (creating it
-/// with the magic header when absent). The write is flushed before
-/// returning. The "journal.append" fault site simulates a crash mid-frame:
-/// an injected fault writes only a *prefix* of the frame and then fails —
-/// exactly the torn tail ParseJournal is built to detect and discard.
+/// with the magic header when absent), through the DefaultVfs(). With
+/// SyncPolicy::kAlways (the default) the frame is fsync'd before the call
+/// returns — an acknowledged append survives power loss; kBatch and kNone
+/// leave syncing to the caller / the OS. I/O failures are surfaced as
+/// typed errors and the file is truncated back to its previous size, so
+/// the intact tail before a failed append always survives. The
+/// "journal.append" fault site simulates a crash mid-frame: an injected
+/// fault writes only a *prefix* of the frame and then fails — exactly the
+/// torn tail ParseJournal is built to detect and discard.
 Status AppendJournalRecordToFile(const std::string& path,
-                                 const JournalRecord& record);
+                                 const JournalRecord& record,
+                                 SyncPolicy policy = SyncPolicy::kAlways);
 
 }  // namespace qof
 

@@ -85,7 +85,19 @@ Result<PageRef> BufferPool::Fetch(uint32_t page_no) {
     frame.valid = false;
     ++stats_.evictions;
   }
-  QOF_RETURN_IF_ERROR(file_->ReadPage(page_no, &frame.data));
+  // One retry on a read error: transient EIO (a loose cable, a busy
+  // controller) should not fail a query that a re-read would satisfy. A
+  // second failure is surfaced — and the frame stays invalid, so a bad
+  // read is never cached.
+  Status read = file_->ReadPage(page_no, &frame.data);
+  if (!read.ok()) {
+    ++stats_.read_retries;
+    read = file_->ReadPage(page_no, &frame.data);
+    if (!read.ok()) {
+      ++stats_.io_errors;
+      return read;
+    }
+  }
   ++stats_.misses;
   stats_.bytes_read += file_->page_size();
   if (!touched_[page_no]) {

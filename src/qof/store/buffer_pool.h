@@ -34,6 +34,8 @@ struct BufferPoolStats {
   uint64_t misses = 0;       // pages read (and verified) from disk
   uint64_t evictions = 0;
   uint64_t checksum_failures = 0;
+  uint64_t io_errors = 0;      // reads that failed even after the retry
+  uint64_t read_retries = 0;   // transient I/O errors absorbed by a retry
   uint64_t pages_touched = 0;  // distinct pages ever fetched from disk
   uint64_t bytes_read = 0;     // misses * page_size
   uint32_t capacity_pages = 0;

@@ -1,0 +1,386 @@
+#include "qof/store/fault_vfs.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace qof {
+namespace {
+
+/// xorshift64* — deterministic, seed-driven; the same seed replays the
+/// same writeback decisions (the repro contract).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+uint64_t HashPath(const std::string& path) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// What a file's content looks like after power loss: the durable image,
+/// plus an adversarial selection of unsynced sectors that "happened to be
+/// written back". Sectors beyond the durable length may survive as their
+/// live bytes or as garbage (size metadata persisted, data blocks not) —
+/// exactly the torn shapes checksums and ParseJournal must absorb.
+std::string MergeAfterPowerCut(const std::string& durable,
+                               const std::string& live, uint32_t sector,
+                               Rng* rng) {
+  if (durable == live) return durable;
+  const size_t lo = std::min(durable.size(), live.size());
+  const size_t hi = std::max(durable.size(), live.size());
+  size_t len = 0;
+  switch (rng->Next() % 3) {
+    case 0: len = durable.size(); break;
+    case 1: len = live.size(); break;
+    default: {
+      // A sector-aligned point strictly between the two sizes.
+      size_t span = hi - lo;
+      len = lo + (rng->Next() % (span + 1)) / sector * sector;
+      break;
+    }
+  }
+  std::string out(len, '\0');
+  for (size_t off = 0; off < len; off += sector) {
+    const size_t n = std::min<size_t>(sector, len - off);
+    const bool in_durable = off < durable.size();
+    const bool in_live = off < live.size();
+    if (in_durable && in_live) {
+      const std::string& pick =
+          (rng->Next() & 1) != 0 ? live : durable;
+      for (size_t i = 0; i < n; ++i) {
+        out[off + i] = off + i < pick.size() ? pick[off + i] : '\0';
+      }
+    } else if (in_live) {
+      // Unsynced extension: survives verbatim, or as garbage.
+      if ((rng->Next() & 1) != 0) {
+        for (size_t i = 0; i < n; ++i) {
+          out[off + i] = off + i < live.size() ? live[off + i] : '\0';
+        }
+      } else {
+        uint64_t noise = rng->Next();
+        for (size_t i = 0; i < n; ++i) {
+          out[off + i] = static_cast<char>((noise >> ((i % 8) * 8)) ^ 0x5a);
+        }
+      }
+    } else if (in_durable) {
+      for (size_t i = 0; i < n; ++i) {
+        out[off + i] = off + i < durable.size() ? durable[off + i] : '\0';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+class FaultVfsReader : public RandomAccessFile {
+ public:
+  FaultVfsReader(FaultVfs* vfs, std::shared_ptr<FaultVfs::Inode> inode,
+                 std::string path)
+      : vfs_(vfs), inode_(std::move(inode)), path_(std::move(path)) {}
+
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    return inode_->live.size();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* buf) const override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return Status::Internal("fault vfs: power lost (read '" + path_ +
+                              "')");
+    }
+    if (vfs_->fail_reads_ > 0) {
+      --vfs_->fail_reads_;
+      return Status::Internal("fault vfs: injected I/O error reading '" +
+                              path_ + "'");
+    }
+    if (offset + n > inode_->live.size()) {
+      return Status::OutOfRange(
+          "read past end of '" + path_ + "' (offset " +
+          std::to_string(offset) + " + " + std::to_string(n) + " > " +
+          std::to_string(inode_->live.size()) + ")");
+    }
+    buf->assign(inode_->live, offset, n);
+    return Status::OK();
+  }
+
+ private:
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::Inode> inode_;
+  std::string path_;
+};
+
+class FaultVfsWriter : public WritableFile {
+ public:
+  FaultVfsWriter(FaultVfs* vfs, std::shared_ptr<FaultVfs::Inode> inode,
+                 std::string path)
+      : vfs_(vfs), inode_(std::move(inode)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    QOF_RETURN_IF_ERROR(vfs_->ChargeOpLocked("append"));
+    if (vfs_->space_limit_ != ~uint64_t{0}) {
+      uint64_t used = vfs_->LiveBytesLocked();
+      uint64_t room = used < vfs_->space_limit_
+                          ? vfs_->space_limit_ - used
+                          : 0;
+      if (data.size() > room) {
+        // Short write: the prefix that fits lands, then the device is
+        // full — the partial-artifact shape atomic replace must mask.
+        inode_->live.append(data.substr(0, room));
+        return Status::Internal("fault vfs: no space left writing '" +
+                                path_ + "' (short write of " +
+                                std::to_string(room) + " of " +
+                                std::to_string(data.size()) + " bytes)");
+      }
+    }
+    inode_->live.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    QOF_RETURN_IF_ERROR(vfs_->ChargeOpLocked("fsync"));
+    inode_->durable = inode_->live;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::Inode> inode_;
+  std::string path_;
+};
+
+Status FaultVfs::ChargeOpLocked(const char* what) {
+  if (crashed_ || op_count_ >= crash_at_op_) {
+    crashed_ = true;
+    return Status::Internal(std::string("fault vfs: power lost (") + what +
+                            " at op " + std::to_string(op_count_) + ")");
+  }
+  ++op_count_;
+  return Status::OK();
+}
+
+uint64_t FaultVfs::LiveBytesLocked() const {
+  uint64_t total = 0;
+  std::set<const Inode*> seen;
+  for (const auto& [path, inode] : live_) {
+    if (seen.insert(inode.get()).second) total += inode->live.size();
+  }
+  return total;
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultVfs::OpenRead(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Internal("fault vfs: power lost (open '" + path + "')");
+  }
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("fault vfs: cannot open '" + path + "'");
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultVfsReader(this, it->second, path));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultVfs::OpenWrite(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    // Creation is a mutating op: the new directory entry is live
+    // immediately, durable only after SyncDir on the parent.
+    QOF_RETURN_IF_ERROR(ChargeOpLocked("create"));
+    it = live_.emplace(path, std::make_shared<Inode>()).first;
+  } else if (truncate) {
+    QOF_RETURN_IF_ERROR(ChargeOpLocked("truncate"));
+    it->second->live.clear();
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultVfsWriter(this, it->second, path));
+}
+
+bool FaultVfs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QOF_RETURN_IF_ERROR(ChargeOpLocked("rename"));
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    return Status::Internal("fault vfs: cannot rename missing '" + from +
+                            "'");
+  }
+  std::shared_ptr<Inode> inode = it->second;
+  live_.erase(it);
+  live_[to] = std::move(inode);
+  return Status::OK();
+}
+
+Status FaultVfs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QOF_RETURN_IF_ERROR(ChargeOpLocked("remove"));
+  if (live_.erase(path) == 0) {
+    return Status::NotFound("fault vfs: cannot remove '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status FaultVfs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QOF_RETURN_IF_ERROR(ChargeOpLocked("truncate"));
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("fault vfs: cannot truncate '" + path + "'");
+  }
+  if (size < it->second->live.size()) it->second->live.resize(size);
+  return Status::OK();
+}
+
+Status FaultVfs::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QOF_RETURN_IF_ERROR(ChargeOpLocked("dirsync"));
+  if (skip_dir_sync_) return Status::OK();  // planted bug: silent no-op
+  // Make the directory's live entries durable: additions, rebinds
+  // (renames), and removals all persist together, like fsync on a dirfd.
+  for (auto it = durable_.begin(); it != durable_.end();) {
+    if (ParentDir(it->first) == dir && live_.count(it->first) == 0) {
+      it = durable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_) {
+    if (ParentDir(path) == dir) durable_[path] = inode;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultVfs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Internal("fault vfs: power lost (list '" + dir + "')");
+  }
+  if (dirs_.count(dir) == 0) {
+    bool any = false;
+    for (const auto& [path, inode] : live_) {
+      if (ParentDir(path) == dir) { any = true; break; }
+    }
+    if (!any) {
+      return Status::NotFound("fault vfs: cannot list directory '" + dir +
+                              "'");
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [path, inode] : live_) {
+    if (ParentDir(path) == dir) {
+      size_t slash = path.find_last_of('/');
+      out.push_back(slash == std::string::npos ? path
+                                               : path.substr(slash + 1));
+    }
+  }
+  return out;
+}
+
+Status FaultVfs::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirs_.count(dir) > 0) return Status::OK();
+  QOF_RETURN_IF_ERROR(ChargeOpLocked("mkdir"));
+  dirs_.insert(dir);
+  return Status::OK();
+}
+
+uint64_t FaultVfs::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+void FaultVfs::set_crash_at_op(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_ = k;
+}
+
+bool FaultVfs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultVfs::CutPower(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The namespace reverts to the durable mapping; each surviving file's
+  // content is its durable image plus whatever unsynced sectors the
+  // (seed-deterministic) writeback happened to push out before the cut.
+  std::set<Inode*> merged;
+  live_ = durable_;
+  for (auto& [path, inode] : live_) {
+    if (!merged.insert(inode.get()).second) continue;
+    Rng rng(seed ^ HashPath(path));
+    std::string after = MergeAfterPowerCut(inode->durable, inode->live,
+                                           sector_bytes_, &rng);
+    inode->live = after;
+    inode->durable = std::move(after);
+  }
+  crashed_ = false;
+  crash_at_op_ = ~uint64_t{0};
+  op_count_ = 0;
+  fail_reads_ = 0;
+}
+
+void FaultVfs::set_torn_sector_bytes(uint32_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sector_bytes_ = bytes == 0 ? 1 : bytes;
+}
+
+void FaultVfs::set_fail_reads(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_reads_ = n;
+}
+
+void FaultVfs::set_space_limit(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  space_limit_ = bytes;
+}
+
+void FaultVfs::set_skip_dir_sync(bool skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  skip_dir_sync_ = skip;
+}
+
+Result<std::string> FaultVfs::PeekFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("fault vfs: no file '" + path + "'");
+  }
+  return it->second->live;
+}
+
+std::vector<std::string> FaultVfs::LivePaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, inode] : live_) out.push_back(path);
+  return out;
+}
+
+}  // namespace qof

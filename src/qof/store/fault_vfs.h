@@ -1,0 +1,131 @@
+#ifndef QOF_STORE_FAULT_VFS_H_
+#define QOF_STORE_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qof/store/vfs.h"
+
+namespace qof {
+
+/// An in-memory Vfs that models what a real disk guarantees — and what
+/// it does not. Every file keeps two images:
+///
+///   live     what the running process reads back (the page cache)
+///   durable  what survives power loss (updated only by Sync)
+///
+/// and the *namespace* (which names map to which files) is likewise
+/// double-entry: creations, renames, and removals are live immediately
+/// but durable only once SyncDir runs on the parent directory — the
+/// POSIX contract ALICE-style crash checkers enforce.
+///
+/// Failure knobs (all deterministic):
+///   set_crash_at_op(k)   the k-th mutating I/O op (0-based: appends,
+///                        syncs, renames, removals, truncates, creates,
+///                        dir syncs) and everything after it fails with
+///                        "power lost"; CutPower then reconstitutes the
+///                        post-crash state.
+///   CutPower(seed)       namespace reverts to the durable mapping; each
+///                        file's content reverts to its durable image
+///                        plus an adversarial, seed-deterministic
+///                        selection of unsynced sectors that "happened to
+///                        be written back" — torn tails and garbage
+///                        sectors included.
+///   set_fail_reads(n)    the next n ReadAt calls fail with an I/O error
+///                        (transient EIO; use a large n for a dead disk).
+///   set_space_limit(b)   appends beyond b total live bytes write the
+///                        prefix that fits, then fail (disk full / short
+///                        write).
+///   set_skip_dir_sync()  SyncDir becomes a silent no-op — the planted
+///                        `--inject skip-dir-sync` bug the crash-sweep
+///                        fuzzer leg must catch.
+class FaultVfs : public Vfs {
+ public:
+  FaultVfs() = default;
+
+  // --- Vfs -------------------------------------------------------------
+  Result<std::unique_ptr<RandomAccessFile>> OpenRead(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenWrite(const std::string& path,
+                                                  bool truncate) override;
+  bool Exists(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+
+  // --- failure knobs ---------------------------------------------------
+
+  /// Mutating I/O ops performed so far (the sweep's crash-point domain).
+  uint64_t op_count() const;
+
+  /// Arms a power cut: the op with 0-based index `k` (and every mutating
+  /// op after it) fails. Pass k >= the trace's total op count to disarm.
+  void set_crash_at_op(uint64_t k);
+
+  /// True once an armed crash point has fired.
+  bool crashed() const;
+
+  /// Simulates the machine coming back up after the armed crash (or an
+  /// immediate cut if none fired): reverts the namespace to its durable
+  /// mapping and each surviving file to its durable content merged with a
+  /// seed-deterministic subset of unsynced sectors. Clears the crash
+  /// trigger and resets op_count so recovery runs unimpeded.
+  void CutPower(uint64_t seed);
+
+  /// Sector granularity for torn-write modeling (default 512).
+  void set_torn_sector_bytes(uint32_t bytes);
+
+  /// The next `n` ReadAt calls fail with an I/O error.
+  void set_fail_reads(uint64_t n);
+
+  /// Total live bytes across all files may not exceed `bytes`; further
+  /// appends short-write then fail. ~0 (default) = unlimited.
+  void set_space_limit(uint64_t bytes);
+
+  /// Makes SyncDir a no-op that still reports success (planted bug).
+  void set_skip_dir_sync(bool skip);
+
+  /// Reads `path`'s live content without counting as an op (test oracle).
+  Result<std::string> PeekFile(const std::string& path) const;
+
+  /// Live file paths, sorted (test oracle / debugging).
+  std::vector<std::string> LivePaths() const;
+
+ private:
+  friend class FaultVfsReader;
+  friend class FaultVfsWriter;
+
+  struct Inode {
+    std::string live;
+    std::string durable;
+  };
+
+  /// Charges one mutating op against the crash trigger; fails once armed
+  /// crash point is reached. Callers hold mu_.
+  Status ChargeOpLocked(const char* what);
+  uint64_t LiveBytesLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Inode>> live_;
+  std::map<std::string, std::shared_ptr<Inode>> durable_;
+  std::set<std::string> dirs_;
+  uint64_t op_count_ = 0;
+  uint64_t crash_at_op_ = ~uint64_t{0};
+  bool crashed_ = false;
+  uint32_t sector_bytes_ = 512;
+  uint64_t fail_reads_ = 0;
+  uint64_t space_limit_ = ~uint64_t{0};
+  bool skip_dir_sync_ = false;
+};
+
+}  // namespace qof
+
+#endif  // QOF_STORE_FAULT_VFS_H_

@@ -98,13 +98,13 @@ inline Result<PageHeader> ParsePage(std::string_view raw, uint32_t page_size,
   QOF_ASSIGN_OR_RETURN(h.payload_len, reader.U32());
   QOF_ASSIGN_OR_RETURN(h.checksum, reader.U64());
   if (h.payload_len > PagePayloadCapacity(page_size)) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "paged store: page " + std::to_string(page_no) +
         " claims a payload of " + std::to_string(h.payload_len) +
         " bytes, more than the page holds");
   }
   if (Fnv1a(raw.substr(kPageHeaderSize, h.payload_len)) != h.checksum) {
-    return Status::InvalidArgument(
+    return Status::DataLoss(
         "paged store: page " + std::to_string(page_no) + " (" +
         PageTypeName(h.type) +
         ") failed its checksum — the store file is damaged");

@@ -11,17 +11,12 @@ Result<PagedFile> PagedFile::Open(const std::string& path,
                                    std::to_string(page_size) +
                                    " is below the minimum");
   }
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+  auto file = DefaultVfs()->OpenRead(path);
+  if (!file.ok()) {
     return Status::NotFound("paged store: cannot open '" + path + "'");
   }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return Status::Internal("paged store: cannot seek '" + path + "'");
-  }
-  long size = std::ftell(f);
-  if (size < 0 || size % page_size != 0 || size == 0) {
-    std::fclose(f);
+  uint64_t size = (*file)->size();
+  if (size == 0 || size % page_size != 0) {
     return Status::InvalidArgument(
         "paged store: '" + path + "' is " + std::to_string(size) +
         " bytes, not a whole number of " + std::to_string(page_size) +
@@ -29,34 +24,10 @@ Result<PagedFile> PagedFile::Open(const std::string& path,
   }
   PagedFile out;
   out.path_ = path;
-  out.file_ = f;
+  out.file_ = std::move(*file);
   out.page_size_ = page_size;
   out.num_pages_ = static_cast<uint32_t>(size / page_size);
   return out;
-}
-
-PagedFile::~PagedFile() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-PagedFile::PagedFile(PagedFile&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      page_size_(other.page_size_),
-      num_pages_(other.num_pages_) {
-  other.file_ = nullptr;
-}
-
-PagedFile& PagedFile::operator=(PagedFile&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    page_size_ = other.page_size_;
-    num_pages_ = other.num_pages_;
-    other.file_ = nullptr;
-  }
-  return *this;
 }
 
 Status PagedFile::ReadPage(uint32_t page_no, std::string* buf) const {
@@ -66,67 +37,40 @@ Status PagedFile::ReadPage(uint32_t page_no, std::string* buf) const {
         " is out of range (file has " + std::to_string(num_pages_) +
         " pages)");
   }
-  std::lock_guard<std::mutex> lock(io_mu_);
-  buf->resize(page_size_);
-  if (std::fseek(file_, static_cast<long>(page_no) *
-                            static_cast<long>(page_size_),
-                 SEEK_SET) != 0 ||
-      std::fread(buf->data(), 1, page_size_, file_) != page_size_) {
+  Status status = file_->ReadAt(
+      static_cast<uint64_t>(page_no) * page_size_, page_size_, buf);
+  if (!status.ok()) {
     return Status::Internal("paged store: I/O error reading page " +
                             std::to_string(page_no) + " of '" + path_ +
-                            "'");
+                            "': " + status.message());
   }
   return Status::OK();
 }
 
 Status WriteFileBytes(const std::string& path, const std::string& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open '" + path +
-                                   "' for writing");
-  }
-  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool flushed = std::fflush(f) == 0;
-  if (std::fclose(f) != 0 || written != bytes.size() || !flushed) {
-    return Status::Internal("short write to '" + path + "'");
-  }
-  return Status::OK();
+  return AtomicWriteFile(DefaultVfs(), path, bytes);
 }
 
 Result<std::string> ReadFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+  auto bytes = VfsReadFile(DefaultVfs(), path);
+  if (!bytes.ok() && bytes.status().IsNotFound()) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  std::string out;
-  if (std::fseek(f, 0, SEEK_END) == 0) {
-    long size = std::ftell(f);
-    if (size > 0) out.reserve(static_cast<size_t>(size));
-    std::fseek(f, 0, SEEK_SET);
-  }
-  char buf[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out.append(buf, n);
-  }
-  bool bad = std::ferror(f) != 0;
-  std::fclose(f);
-  if (bad) return Status::Internal("I/O error reading '" + path + "'");
-  return out;
+  return bytes;
 }
 
 Result<std::string> ReadFilePrefix(const std::string& path, size_t n) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+  Vfs* vfs = DefaultVfs();
+  auto file = vfs->OpenRead(path);
+  if (!file.ok()) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  std::string out(n, '\0');
-  size_t got = std::fread(out.data(), 1, n, f);
-  std::fclose(f);
-  if (got != n) {
+  if ((*file)->size() < n) {
     return Status::InvalidArgument("'" + path + "' is shorter than " +
                                    std::to_string(n) + " bytes");
   }
+  std::string out;
+  QOF_RETURN_IF_ERROR((*file)->ReadAt(0, n, &out));
   return out;
 }
 

@@ -2,20 +2,20 @@
 #define QOF_STORE_PAGED_FILE_H_
 
 #include <cstdint>
-#include <cstdio>
-#include <mutex>
+#include <memory>
 #include <string>
 
 #include "qof/store/page.h"
+#include "qof/store/vfs.h"
 #include "qof/util/result.h"
 #include "qof/util/status.h"
 
 namespace qof {
 
-/// Read-only random access to a page file on disk. Thread-safe: reads
-/// seek under an internal mutex (the buffer pool serializes fetches
-/// anyway, but the reader must also be safe for concurrent direct reads
-/// by tools).
+/// Read-only random access to a page file, routed through the process
+/// DefaultVfs() so tests and the crash-sweep fuzzer can substitute a
+/// FaultVfs. Thread-safe: reads are positional (pread), so concurrent
+/// ReadPage calls need no seek lock.
 class PagedFile {
  public:
   /// Opens `path` and validates that its size is a whole number of
@@ -23,9 +23,8 @@ class PagedFile {
   static Result<PagedFile> Open(const std::string& path, uint32_t page_size);
 
   PagedFile() = default;
-  ~PagedFile();
-  PagedFile(PagedFile&& other) noexcept;
-  PagedFile& operator=(PagedFile&& other) noexcept;
+  PagedFile(PagedFile&&) noexcept = default;
+  PagedFile& operator=(PagedFile&&) noexcept = default;
   PagedFile(const PagedFile&) = delete;
   PagedFile& operator=(const PagedFile&) = delete;
 
@@ -42,14 +41,15 @@ class PagedFile {
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::shared_ptr<RandomAccessFile> file_;
   uint32_t page_size_ = 0;
   uint32_t num_pages_ = 0;
-  mutable std::mutex io_mu_;
 };
 
-/// Writes `bytes` (an already page-aligned image) to `path` atomically
-/// enough for our purposes: written to the final name, flushed, closed.
+/// Writes `bytes` (an already page-aligned image) to `path` atomically:
+/// temp file + fsync + rename + parent-directory fsync via the
+/// DefaultVfs()'s AtomicWriteFile. A crash or short write (disk full)
+/// never leaves a partial image visible at the final name.
 Status WriteFileBytes(const std::string& path, const std::string& bytes);
 
 /// Reads a whole file (used for index blobs by the tools).

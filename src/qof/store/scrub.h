@@ -1,0 +1,89 @@
+#ifndef QOF_STORE_SCRUB_H_
+#define QOF_STORE_SCRUB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qof/util/result.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// Offline audit and salvage for "QOFSTOR1" paged stores (the qof_store
+/// CLI's scrub|repair commands). Unlike PagedStore::Open — which refuses
+/// a store whose structural pages fail verification — the scrubber reads
+/// every page directly, maps each damaged page to its section, and (for
+/// postings damage) names the index instances whose streams the damage
+/// touches and the documents whose address spans the damaged blocks
+/// cover, via the streams' intact skip tables.
+///
+/// Repairability: the spec, doc table, dictionaries, and meta page are
+/// load-bearing (they describe everything else), so damage there is
+/// fatal. Damage confined to postings pages (and/or fence pages, which
+/// are derived from the dictionaries) is repairable: the store is
+/// rebuilt from the surviving streams with the damaged instances
+/// dropped, and the damaged original is kept as `<path>.quarantined`.
+
+/// One page that failed its checksum (or could not be read at all).
+struct PageDamage {
+  uint32_t page_no = 0;
+  /// Section name ("postings", "doc-table", ..., "meta", "unknown").
+  std::string section;
+  std::string error;
+};
+
+/// One index instance whose posting stream overlaps damaged bytes.
+struct InstanceDamage {
+  std::string key;
+  bool is_word = false;  // word posting list vs region instance
+  /// Documents whose spans the damaged blocks cover — exact when the
+  /// stream's skip table survived, empty with `docs_known` false when
+  /// the damage took the skip table itself.
+  std::vector<std::string> docs;
+  bool docs_known = false;
+};
+
+struct ScrubReport {
+  std::string path;
+  uint32_t pages_total = 0;
+  std::vector<PageDamage> damaged_pages;
+  /// Meta page (page 0) verified and decoded.
+  bool meta_ok = false;
+  /// Spec, doc table, and both dictionaries verified (fences excluded —
+  /// they are derived data, rebuilt for free by repair).
+  bool structural_ok = false;
+  std::vector<InstanceDamage> damaged_instances;
+
+  bool clean() const { return meta_ok && damaged_pages.empty(); }
+  bool repairable() const {
+    return !clean() && meta_ok && structural_ok;
+  }
+};
+
+/// Audits every page of the store at `path` (through the DefaultVfs()).
+/// Only fails when the file cannot be opened at all — damage, including
+/// an unreadable meta page, is reported, not thrown.
+Result<ScrubReport> ScrubStore(const std::string& path);
+
+/// Human-readable report (the CLI's output).
+std::string FormatScrubReport(const ScrubReport& report);
+
+struct RepairResult {
+  /// Index instances dropped because their streams were damaged.
+  std::vector<std::string> dropped;
+  /// Where the damaged original was preserved ("" when the store was
+  /// clean and nothing was rewritten).
+  std::string quarantine_path;
+};
+
+/// Rebuilds the store at `path` from its surviving streams: the damaged
+/// original is renamed to `<path>.quarantined` and a fresh verified
+/// image (same generation, damaged instances dropped) is written
+/// atomically in its place. Fails with kDataLoss when the damage is
+/// structural (see above); a clean store is a no-op.
+Result<RepairResult> RepairStore(const std::string& path);
+
+}  // namespace qof
+
+#endif  // QOF_STORE_SCRUB_H_

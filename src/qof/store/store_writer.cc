@@ -102,17 +102,80 @@ std::string EncodeFences(const std::vector<const std::string*>& fences) {
   return out;
 }
 
-}  // namespace
+/// The shared back half of both image builders: packs the dictionaries,
+/// lays the sections out in StoreSection order, and stamps the meta page.
+Result<std::string> AssembleImage(StoreMeta meta,
+                                  std::string_view spec_bytes,
+                                  std::string_view doc_table_bytes,
+                                  const std::vector<DictRecord>& region_records,
+                                  const std::vector<DictRecord>& word_records,
+                                  std::string_view postings,
+                                  uint32_t page_size) {
+  const uint32_t capacity = PagePayloadCapacity(page_size);
+  std::vector<std::string> region_dict_pages, word_dict_pages;
+  std::vector<const std::string*> region_fences, word_fences;
+  QOF_RETURN_IF_ERROR(PackDict(region_records, capacity, &region_dict_pages,
+                               &region_fences));
+  QOF_RETURN_IF_ERROR(
+      PackDict(word_records, capacity, &word_dict_pages, &word_fences));
 
-Result<std::string> BuildStoreImage(const StoreWriterInput& input,
-                                    uint32_t page_size) {
+  // Assemble: meta placeholder first (rewritten once section extents are
+  // known), then the sections in StoreSection order.
+  std::string image;
+  AppendPage(PageType::kMeta, "", page_size, &image);
+  auto set_section = [&meta](StoreSection s, SectionInfo info) {
+    meta.sections[static_cast<int>(s)] = info;
+  };
+  set_section(StoreSection::kSpec,
+              AppendStreamSection(PageType::kSpec, spec_bytes, page_size,
+                                  &image));
+  set_section(StoreSection::kDocTable,
+              AppendStreamSection(PageType::kDocTable, doc_table_bytes,
+                                  page_size, &image));
+  set_section(StoreSection::kRegionFence,
+              AppendStreamSection(PageType::kFence,
+                                  EncodeFences(region_fences), page_size,
+                                  &image));
+  set_section(StoreSection::kRegionDict,
+              AppendDictSection(PageType::kRegionDict, region_dict_pages,
+                                page_size, &image));
+  set_section(StoreSection::kWordFence,
+              AppendStreamSection(PageType::kFence, EncodeFences(word_fences),
+                                  page_size, &image));
+  set_section(StoreSection::kWordDict,
+              AppendDictSection(PageType::kWordDict, word_dict_pages,
+                                page_size, &image));
+  set_section(StoreSection::kPostings,
+              AppendStreamSection(PageType::kPostings, postings, page_size,
+                                  &image));
+
+  std::string meta_payload;
+  EncodeStoreMeta(meta, &meta_payload);
+  if (meta_payload.size() > PagePayloadCapacity(kMinStorePageSize)) {
+    return Status::Internal("paged store: meta payload overflows the "
+                            "minimum page size");
+  }
+  std::string meta_page;
+  AppendPage(PageType::kMeta, meta_payload, page_size, &meta_page);
+  image.replace(0, page_size, meta_page);
+  return image;
+}
+
+Status CheckPageSize(uint32_t page_size) {
   if (page_size < kMinStorePageSize || page_size % kMinStorePageSize != 0) {
     return Status::InvalidArgument(
         "paged store: page size must be a multiple of " +
         std::to_string(kMinStorePageSize) + " bytes (got " +
         std::to_string(page_size) + ")");
   }
-  const uint32_t capacity = PagePayloadCapacity(page_size);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> BuildStoreImage(const StoreWriterInput& input,
+                                    uint32_t page_size) {
+  QOF_RETURN_IF_ERROR(CheckPageSize(page_size));
 
   StoreMeta meta;
   meta.page_size = page_size;
@@ -167,53 +230,60 @@ Result<std::string> BuildStoreImage(const StoreWriterInput& input,
   meta.distinct_words = words.size();
   meta.body_bytes += meta.total_postings * 8;
 
-  std::vector<std::string> region_dict_pages, word_dict_pages;
-  std::vector<const std::string*> region_fences, word_fences;
-  QOF_RETURN_IF_ERROR(PackDict(region_records, capacity, &region_dict_pages,
-                               &region_fences));
-  QOF_RETURN_IF_ERROR(
-      PackDict(word_records, capacity, &word_dict_pages, &word_fences));
+  return AssembleImage(std::move(meta), input.spec_bytes,
+                       input.doc_table_bytes, region_records, word_records,
+                       postings, page_size);
+}
 
-  // Assemble: meta placeholder first (rewritten once section extents are
-  // known), then the sections in StoreSection order.
-  std::string image;
-  AppendPage(PageType::kMeta, "", page_size, &image);
-  auto set_section = [&meta](StoreSection s, SectionInfo info) {
-    meta.sections[static_cast<int>(s)] = info;
-  };
-  set_section(StoreSection::kSpec,
-              AppendStreamSection(PageType::kSpec, input.spec_bytes,
-                                  page_size, &image));
-  set_section(StoreSection::kDocTable,
-              AppendStreamSection(PageType::kDocTable, input.doc_table_bytes,
-                                  page_size, &image));
-  set_section(StoreSection::kRegionFence,
-              AppendStreamSection(PageType::kFence,
-                                  EncodeFences(region_fences), page_size,
-                                  &image));
-  set_section(StoreSection::kRegionDict,
-              AppendDictSection(PageType::kRegionDict, region_dict_pages,
-                                page_size, &image));
-  set_section(StoreSection::kWordFence,
-              AppendStreamSection(PageType::kFence, EncodeFences(word_fences),
-                                  page_size, &image));
-  set_section(StoreSection::kWordDict,
-              AppendDictSection(PageType::kWordDict, word_dict_pages,
-                                page_size, &image));
-  set_section(StoreSection::kPostings,
-              AppendStreamSection(PageType::kPostings, postings, page_size,
-                                  &image));
+Result<std::string> BuildStoreImageFromRaw(
+    const StoreMeta& meta_like, std::string_view spec_bytes,
+    std::string_view doc_table_bytes,
+    const std::vector<RawStreamEntry>& regions,
+    const std::vector<RawStreamEntry>& words, uint32_t page_size) {
+  QOF_RETURN_IF_ERROR(CheckPageSize(page_size));
 
-  std::string meta_payload;
-  EncodeStoreMeta(meta, &meta_payload);
-  if (meta_payload.size() > PagePayloadCapacity(kMinStorePageSize)) {
-    return Status::Internal("paged store: meta payload overflows the "
-                            "minimum page size");
+  StoreMeta meta;
+  meta.page_size = page_size;
+  meta.generation = meta_like.generation;
+  meta.doc_count = meta_like.doc_count;
+  // Advisory planner statistic; the surviving streams cannot say which
+  // universe regions the dropped ones contributed, so carry it over.
+  meta.universe_size = meta_like.universe_size;
+
+  std::string postings;
+  std::vector<DictRecord> region_records, word_records;
+  region_records.reserve(regions.size());
+  for (const RawStreamEntry& e : regions) {
+    DictRecord r;
+    r.key = &e.key;
+    r.byte_off = postings.size();
+    r.byte_len = e.stream.size();
+    r.header_len = e.header_len;
+    r.count = e.count;
+    postings += e.stream;
+    region_records.push_back(r);
+    meta.total_regions += e.count;
   }
-  std::string meta_page;
-  AppendPage(PageType::kMeta, meta_payload, page_size, &meta_page);
-  image.replace(0, page_size, meta_page);
-  return image;
+  meta.region_names = regions.size();
+  meta.body_bytes += meta.total_regions * 16;
+
+  word_records.reserve(words.size());
+  for (const RawStreamEntry& e : words) {
+    DictRecord r;
+    r.key = &e.key;
+    r.byte_off = postings.size();
+    r.byte_len = e.stream.size();
+    r.header_len = e.header_len;
+    r.count = e.count;
+    postings += e.stream;
+    word_records.push_back(r);
+    meta.total_postings += e.count;
+  }
+  meta.distinct_words = words.size();
+  meta.body_bytes += meta.total_postings * 8;
+
+  return AssembleImage(std::move(meta), spec_bytes, doc_table_bytes,
+                       region_records, word_records, postings, page_size);
 }
 
 }  // namespace qof

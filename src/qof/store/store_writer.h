@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "qof/region/region_index.h"
 #include "qof/store/store_format.h"
@@ -32,6 +33,28 @@ struct StoreWriterInput {
 /// kMinStorePageSize or a dictionary key cannot fit in one page.
 Result<std::string> BuildStoreImage(const StoreWriterInput& input,
                                     uint32_t page_size = kDefaultPageSize);
+
+/// One key's already-encoded posting/region stream — the raw currency of
+/// scrub/repair (see qof/store/scrub.h), which rebuilds a store from the
+/// surviving streams without decoding them.
+struct RawStreamEntry {
+  std::string key;
+  std::string stream;  // encoded stream bytes (skip-table header + blocks)
+  uint64_t header_len = 0;
+  uint64_t count = 0;
+};
+
+/// Assembles a store image from pre-encoded pieces: opaque spec /
+/// doc-table bytes and already stream-encoded region/word entries
+/// (sorted by key). Generation, doc_count, and universe_size are carried
+/// over from `meta_like`; section extents, fences, and stream offsets are
+/// recomputed. The raw sibling of BuildStoreImage.
+Result<std::string> BuildStoreImageFromRaw(
+    const StoreMeta& meta_like, std::string_view spec_bytes,
+    std::string_view doc_table_bytes,
+    const std::vector<RawStreamEntry>& regions,
+    const std::vector<RawStreamEntry>& words,
+    uint32_t page_size = kDefaultPageSize);
 
 }  // namespace qof
 

@@ -1,0 +1,270 @@
+#include "qof/store/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace qof {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  uint64_t size() const override { return size_; }
+
+  Status ReadAt(uint64_t offset, size_t n, std::string* buf) const override {
+    buf->resize(n);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t got = ::pread(fd_, buf->data() + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(Errno("I/O error reading", path_));
+      }
+      if (got == 0) {
+        return Status::OutOfRange(
+            "read past end of '" + path_ + "' (offset " +
+            std::to_string(offset) + " + " + std::to_string(n) + " > " +
+            std::to_string(size_) + ")");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t put = ::write(fd_, data.data() + done, data.size() - done);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(Errno("I/O error writing", path_));
+      }
+      done += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(Errno("fsync failed on", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(Errno("close failed on", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::string_view SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kAlways: return "always";
+    case SyncPolicy::kBatch: return "batch";
+    case SyncPolicy::kNone: return "none";
+  }
+  return "unknown";
+}
+
+Result<SyncPolicy> SyncPolicyFromName(std::string_view name) {
+  if (name == "always") return SyncPolicy::kAlways;
+  if (name == "batch") return SyncPolicy::kBatch;
+  if (name == "none") return SyncPolicy::kNone;
+  return Status::InvalidArgument("unknown sync policy '" + std::string(name) +
+                                 "' (want always, batch, or none)");
+}
+
+Result<std::unique_ptr<RandomAccessFile>> RealVfs::OpenRead(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(Errno("cannot open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal(Errno("cannot stat", path));
+  }
+  return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(
+      fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+Result<std::unique_ptr<WritableFile>> RealVfs::OpenWrite(
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+              (truncate ? O_TRUNC : O_APPEND);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument(Errno("cannot open for writing", path));
+  }
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+}
+
+bool RealVfs::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RealVfs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal(Errno("cannot rename to '" + to + "' from", from));
+  }
+  return Status::OK();
+}
+
+Status RealVfs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(Errno("cannot remove", path));
+    }
+    return Status::Internal(Errno("cannot remove", path));
+  }
+  return Status::OK();
+}
+
+Status RealVfs::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal(Errno("cannot truncate", path));
+  }
+  return Status::OK();
+}
+
+Status RealVfs::SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(Errno("cannot open directory", dir));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal(Errno("fsync failed on directory", dir));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> RealVfs::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound(Errno("cannot list directory", dir));
+  }
+  std::vector<std::string> out;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status RealVfs::CreateDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(Errno("cannot create directory", dir));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+RealVfs* GlobalRealVfs() {
+  static RealVfs* vfs = new RealVfs();
+  return vfs;
+}
+
+std::atomic<Vfs*>& CurrentVfsSlot() {
+  static std::atomic<Vfs*> current{nullptr};
+  return current;
+}
+
+}  // namespace
+
+Vfs* DefaultVfs() {
+  Vfs* override_vfs = CurrentVfsSlot().load(std::memory_order_acquire);
+  return override_vfs != nullptr ? override_vfs : GlobalRealVfs();
+}
+
+ScopedVfs::ScopedVfs(Vfs* vfs) {
+  previous_ = CurrentVfsSlot().exchange(vfs, std::memory_order_acq_rel);
+}
+
+ScopedVfs::~ScopedVfs() {
+  CurrentVfsSlot().store(previous_, std::memory_order_release);
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Result<std::string> VfsReadFile(Vfs* vfs, const std::string& path) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                       vfs->OpenRead(path));
+  std::string out;
+  if (file->size() == 0) return out;
+  QOF_RETURN_IF_ERROR(file->ReadAt(0, file->size(), &out));
+  return out;
+}
+
+Status AtomicWriteFile(Vfs* vfs, const std::string& path,
+                       std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  auto file = vfs->OpenWrite(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(bytes);
+  if (status.ok()) status = (*file)->Sync();
+  Status closed = (*file)->Close();
+  if (status.ok()) status = closed;
+  if (status.ok()) status = vfs->Rename(tmp, path);
+  if (status.ok()) status = vfs->SyncDir(ParentDir(path));
+  if (!status.ok()) {
+    if (vfs->Exists(tmp)) vfs->Remove(tmp);
+    return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace qof

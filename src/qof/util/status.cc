@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Budget exhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -28,6 +28,11 @@ enum class StatusCode {
   // Admission control (see qof/server/): the service is at capacity and
   // rejected the request before doing any work; safe to retry.
   kUnavailable,
+  // Durable data failed verification (page checksum mismatch, unreadable
+  // sector, corrupt manifest): the bytes on disk do not match what was
+  // written. Unlike kParseError this implicates the storage medium, not
+  // the producer — scrub/repair (see qof/store/scrub.h) is the remedy.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code ("Invalid argument",
@@ -86,6 +91,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -109,6 +117,7 @@ class Status {
   bool IsUnavailable() const {
     return code() == StatusCode::kUnavailable;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

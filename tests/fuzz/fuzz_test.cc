@@ -198,6 +198,33 @@ TEST(FuzzTest, InjectedEvictPinnedBugIsCaughtAndShrunk) {
   EXPECT_TRUE(replay->failed) << report->repro;
 }
 
+TEST(FuzzTest, InjectedSkipDirSyncBugIsCaughtAndShrunk) {
+  // A commit protocol whose atomic renames are never made durable (the
+  // parent-directory fsync silently skipped) acknowledges commits that a
+  // power cut rolls back. The crash-sweep leg simulates the cut after
+  // every I/O op and must flag the lost commit; the shrinker must cut
+  // the witness down and the repro must replay to the same failure.
+  FuzzOptions options = FastOptions();
+  options.iterations = 30;
+  options.seed = 1;
+  options.bug = InjectedBug::kSkipDirSync;
+  options.invalid_fraction = 0.0;
+  options.mutation_fraction = 1.0;  // the leg is the mutation trace
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->failed) << "injected skip-dir-sync bug survived "
+                              << report->iterations_run << " iterations";
+  EXPECT_NE(report->failure.find("[crash-sweep"), std::string::npos)
+      << report->failure;
+  // Near-minimal: one mutation step suffices to witness the volatile
+  // rename (the very first checkpoint's MANIFEST publish is the bug).
+  EXPECT_LE(report->shrunk.mutations.size(), 2u);
+
+  auto replay = ReplayRepro(report->repro, /*workers=*/2);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->failed) << report->repro;
+}
+
 TEST(FuzzTest, InjectedBadCseBugIsCaught) {
   // A CSE pass that hashes selection nodes without their word operands
   // merges structurally different selections, so the IR engine returns
@@ -314,7 +341,8 @@ TEST(FuzzTest, InjectedBugNamesRoundTrip) {
                           InjectedBug::kStaleCache,
                           InjectedBug::kBadCse,
                           InjectedBug::kStaleSnapshot,
-                          InjectedBug::kEvictPinned}) {
+                          InjectedBug::kEvictPinned,
+                          InjectedBug::kSkipDirSync}) {
     auto parsed = InjectedBugFromName(InjectedBugName(bug));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, bug);

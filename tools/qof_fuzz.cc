@@ -29,7 +29,7 @@ void PrintUsage(std::ostream& out) {
          "  --inject KIND         none | relax-direct | exact-skip | "
          "drop-tombstone\n"
          "                        | stale-cache | bad-cse | "
-         "stale-snapshot | evict-pinned\n"
+         "stale-snapshot | evict-pinned | skip-dir-sync\n"
          "                        | fault[:SITE[:HIT]] — fault-injection "
          "leg; SITE from\n"
          "                        --list-fault-sites (default random per "

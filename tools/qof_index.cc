@@ -1,33 +1,39 @@
 // On-disk index maintenance driver: builds a v2 index blob over a set of
 // files and keeps it current across mutations via the append-only
 // maintenance journal (see src/qof/maintain/ and DESIGN.md, "Index
-// maintenance"). State on disk is a directory holding
+// maintenance" and "Durability & failure model"). State on disk is a
+// crash-consistent DurableIndexDir:
 //
-//   indexes.qofidx   the serialized base blob (spec + indexes + per-doc
-//                    fingerprints + generation)
-//   journal.qofj     mutations applied since the blob was written
-//   schema           the canned schema kind the corpus parses under
+//   MANIFEST           checksummed superblock naming the committed
+//                      (generation, blob, journal) triple
+//   blob-<G>.qofidx    the serialized base blob (spec + indexes + per-doc
+//                      fingerprints + generation G)
+//   journal-<G>.qofj   mutations applied since blob generation G
+//   schema             the canned schema kind the corpus parses under
 //
 // Mutations (`add`, `update`, `remove`) reconstruct the maintainer as
 // base blob + journal replay, apply the change incrementally — only the
 // touched file is re-parsed — and append one journal frame; the blob is
-// rewritten only by `build` and `compact`. Files whose bytes changed (or
-// vanished) since the blob was written load as synthetic placeholders:
-// queries on their old content would be wrong, so `inspect` flags them
-// and `compact` refuses until they are updated or removed.
+// rewritten only by `build` and `compact`, via the manifest checkpoint
+// protocol (new blob + empty journal durable first, manifest swing as
+// the commit point, old pair reaped after). Every write is fsync'd and
+// every rename is followed by a parent-directory fsync, so a crash or
+// power cut at any instant leaves either the old committed state or the
+// new one — never a torn mix. `--sync-policy batch|none` trades that
+// per-append durability for throughput.
+//
+// Files whose bytes changed (or vanished) since the blob was written
+// load as synthetic placeholders: queries on their old content would be
+// wrong, so `inspect` flags them and `compact` refuses until they are
+// updated or removed.
 //
 // Exit codes: 0 = success, 1 = usage error, 2 = data error (unreadable
 // state, parse failure, bad blob), 3 = deadline or resource limit
-// exceeded (--timeout-ms / --max-bytes). Blob, journal and schema
-// rewrites go through a temp-file + rename, so an interrupted run never
-// leaves a half-written file under the real name.
+// exceeded (--timeout-ms / --max-bytes).
 
 #include <cstdint>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,8 +44,10 @@
 #include "qof/exec/exec_context.h"
 #include "qof/engine/index_spec.h"
 #include "qof/engine/indexer.h"
+#include "qof/maintain/durable_dir.h"
 #include "qof/maintain/journal.h"
 #include "qof/maintain/maintainer.h"
+#include "qof/store/vfs.h"
 #include "qof/text/corpus.h"
 #include "qof/util/result.h"
 #include "qof/util/thread_pool.h"
@@ -65,6 +73,11 @@ void PrintUsage(std::ostream& out) {
          "options:\n"
          "  --timeout-ms N   wall-clock budget for parsing/indexing work\n"
          "  --max-bytes N    cap on corpus bytes scanned\n"
+         "  --sync-policy P  journal durability: always (fsync every "
+         "append,\n"
+         "                   the default) | batch (fsync once per "
+         "command) |\n"
+         "                   none (leave syncing to the OS)\n"
          "exit codes: 0 ok, 1 usage, 2 data error, 3 deadline/limit "
          "exceeded\n";
 }
@@ -79,47 +92,10 @@ Result<StructuringSchema> SchemaByKind(const std::string& kind) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+  return VfsReadFile(DefaultVfs(), path);
 }
 
-Status WriteFile(const std::string& path, const std::string& data) {
-  // Temp + rename: an interrupted (or failed) write can never leave a
-  // half-written blob/journal/schema under the real name.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << data;
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      std::filesystem::remove(tmp, ec);
-      return Status::Internal("cannot write " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(tmp, ignored);
-    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
-                            ec.message());
-  }
-  return Status::OK();
-}
-
-struct Paths {
-  std::string blob;
-  std::string journal;
-  std::string schema;
-};
-
-Paths PathsFor(const std::string& dir) {
-  return {dir + "/indexes.qofidx", dir + "/journal.qofj", dir + "/schema"};
-}
+std::string SchemaPath(const std::string& dir) { return dir + "/schema"; }
 
 ThreadPool* SharedPool() {
   static ThreadPool* pool = [] {
@@ -132,6 +108,7 @@ ThreadPool* SharedPool() {
 /// The maintainer state reconstructed from disk: base blob + journal
 /// replay over a corpus re-read from the indexed files.
 struct State {
+  std::unique_ptr<DurableIndexDir> durable;
   std::unique_ptr<StructuringSchema> schema;
   std::string schema_kind;
   Corpus corpus;
@@ -143,11 +120,18 @@ struct State {
   bool journal_repaired = false;  // a torn tail was discarded
 };
 
-Result<std::unique_ptr<State>> LoadState(const std::string& dir) {
-  Paths paths = PathsFor(dir);
+Result<std::unique_ptr<State>> LoadState(const std::string& dir,
+                                         SyncPolicy policy) {
   auto state = std::make_unique<State>();
 
-  QOF_ASSIGN_OR_RETURN(std::string kind, ReadFile(paths.schema));
+  DurableIndexDir::Options durable_options;
+  durable_options.sync_policy = policy;
+  QOF_ASSIGN_OR_RETURN(
+      DurableIndexDir durable,
+      DurableIndexDir::Open(DefaultVfs(), dir, durable_options));
+  state->durable = std::make_unique<DurableIndexDir>(std::move(durable));
+
+  QOF_ASSIGN_OR_RETURN(std::string kind, ReadFile(SchemaPath(dir)));
   while (!kind.empty() && (kind.back() == '\n' || kind.back() == ' ')) {
     kind.pop_back();
   }
@@ -155,7 +139,7 @@ Result<std::unique_ptr<State>> LoadState(const std::string& dir) {
   QOF_ASSIGN_OR_RETURN(StructuringSchema schema, SchemaByKind(kind));
   state->schema = std::make_unique<StructuringSchema>(std::move(schema));
 
-  QOF_ASSIGN_OR_RETURN(std::string blob, ReadFile(paths.blob));
+  QOF_ASSIGN_OR_RETURN(std::string blob, state->durable->ReadBlob());
   QOF_ASSIGN_OR_RETURN(BlobInfo info, ReadBlobInfo(blob));
   if (info.version < 2) {
     return Status::InvalidArgument(
@@ -195,33 +179,21 @@ Result<std::unique_ptr<State>> LoadState(const std::string& dir) {
   state->maintainer->set_generation(loaded.generation);
   for (DocId id : synthetic) state->maintainer->MarkDocumentSynthetic(id);
 
-  QOF_ASSIGN_OR_RETURN(std::string journal_bytes, ReadFile(paths.journal));
-  QOF_ASSIGN_OR_RETURN(ParsedJournal journal, ParseJournal(journal_bytes));
-  if (journal.truncated_tail) {
-    std::cerr << "warning: discarding torn journal tail ("
-              << journal_bytes.size() - journal.valid_bytes << " bytes)\n";
-    QOF_RETURN_IF_ERROR(WriteFile(
-        paths.journal, journal_bytes.substr(0, journal.valid_bytes)));
-    state->journal_repaired = true;
+  QOF_ASSIGN_OR_RETURN(
+      std::vector<JournalRecord> records,
+      state->durable->ReadJournal(&state->journal_repaired));
+  if (state->journal_repaired) {
+    std::cerr << "warning: discarded a torn journal tail (crash "
+                 "mid-append)\n";
   }
-  QOF_RETURN_IF_ERROR(
-      ReplayJournal(journal.records, state->maintainer.get()));
-  state->journal_records = journal.records.size();
+  QOF_RETURN_IF_ERROR(ReplayJournal(records, state->maintainer.get()));
+  state->journal_records = records.size();
   return state;
-}
-
-Status AppendJournalRecord(const std::string& dir,
-                           const JournalRecord& record) {
-  std::ofstream out(PathsFor(dir).journal,
-                    std::ios::binary | std::ios::app);
-  out << EncodeJournalRecord(record);
-  if (!out) return Status::Internal("cannot append to journal");
-  return Status::OK();
 }
 
 Status RunBuild(const std::string& dir, const std::string& kind,
                 const std::vector<std::string>& files,
-                const QueryOptions& limits) {
+                const QueryOptions& limits, SyncPolicy policy) {
   QOF_ASSIGN_OR_RETURN(StructuringSchema schema, SchemaByKind(kind));
   ExecContext governed(limits);
   const ExecContext* ctx = governed.active() ? &governed : nullptr;
@@ -239,16 +211,14 @@ Status RunBuild(const std::string& dir, const std::string& kind,
   QOF_ASSIGN_OR_RETURN(
       std::string blob,
       SerializeIndexes(built, IndexSpec::Full(), corpus, /*generation=*/0));
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create index directory " + dir + ": " +
-                            ec.message());
-  }
-  Paths paths = PathsFor(dir);
-  QOF_RETURN_IF_ERROR(WriteFile(paths.blob, blob));
-  QOF_RETURN_IF_ERROR(WriteFile(paths.journal, JournalHeader()));
-  QOF_RETURN_IF_ERROR(WriteFile(paths.schema, kind + "\n"));
+  DurableIndexDir::Options durable_options;
+  durable_options.sync_policy = policy;
+  QOF_RETURN_IF_ERROR(DurableIndexDir::Create(DefaultVfs(), dir, blob,
+                                              /*generation=*/0,
+                                              durable_options)
+                          .status());
+  QOF_RETURN_IF_ERROR(
+      AtomicWriteFile(DefaultVfs(), SchemaPath(dir), kind + "\n"));
   std::cout << "indexed " << files.size() << " file(s): "
             << built.regions.num_regions() << " regions, "
             << built.words.num_postings() << " postings, blob "
@@ -258,8 +228,9 @@ Status RunBuild(const std::string& dir, const std::string& kind,
 
 Status RunMutate(const std::string& dir, const std::string& command,
                  const std::vector<std::string>& args,
-                 const QueryOptions& limits) {
-  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state, LoadState(dir));
+                 const QueryOptions& limits, SyncPolicy policy) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state,
+                       LoadState(dir, policy));
   ExecContext governed(limits);
   const ExecContext* ctx = governed.active() ? &governed : nullptr;
   if (ctx != nullptr) {
@@ -290,8 +261,11 @@ Status RunMutate(const std::string& dir, const std::string& command,
                     command + " " + arg + ": " + applied.message());
     }
     record.generation = state->maintainer->generation();
-    QOF_RETURN_IF_ERROR(AppendJournalRecord(dir, record));
+    QOF_RETURN_IF_ERROR(state->durable->Append(record));
   }
+  // The kBatch boundary: one fsync covers the whole command's appends (a
+  // no-op under kAlways, already durable, and under kNone, opted out).
+  QOF_RETURN_IF_ERROR(state->durable->SyncJournal());
   MaintainStats stats = state->maintainer->stats();
   std::cout << command << " applied to " << args.size()
             << " file(s); generation " << stats.generation << ", "
@@ -304,27 +278,31 @@ Status RunMutate(const std::string& dir, const std::string& command,
   return Status::OK();
 }
 
-Status RunCompact(const std::string& dir) {
-  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state, LoadState(dir));
+Status RunCompact(const std::string& dir, SyncPolicy policy) {
+  QOF_ASSIGN_OR_RETURN(std::unique_ptr<State> state,
+                       LoadState(dir, policy));
   uint64_t dead = state->maintainer->stats().dead_bytes;
   QOF_RETURN_IF_ERROR(state->maintainer->Compact(SharedPool()));
   QOF_ASSIGN_OR_RETURN(
       std::string blob,
       SerializeIndexes(state->built, state->spec, state->corpus,
                        state->maintainer->generation()));
-  Paths paths = PathsFor(dir);
-  QOF_RETURN_IF_ERROR(WriteFile(paths.blob, blob));
-  QOF_RETURN_IF_ERROR(WriteFile(paths.journal, JournalHeader()));
+  QOF_RETURN_IF_ERROR(
+      state->durable->Checkpoint(blob, state->maintainer->generation()));
   std::cout << "compacted: reclaimed " << dead
             << " dead byte(s); blob rewritten at generation "
             << state->maintainer->generation() << ", journal reset\n";
   return Status::OK();
 }
 
-Status RunInspect(const std::string& dir) {
-  Paths paths = PathsFor(dir);
-  QOF_ASSIGN_OR_RETURN(std::string blob, ReadFile(paths.blob));
+Status RunInspect(const std::string& dir, SyncPolicy policy) {
+  QOF_ASSIGN_OR_RETURN(DurableIndexDir durable,
+                       DurableIndexDir::Open(DefaultVfs(), dir));
+  QOF_ASSIGN_OR_RETURN(std::string blob, durable.ReadBlob());
   QOF_ASSIGN_OR_RETURN(BlobInfo info, ReadBlobInfo(blob));
+  std::cout << "manifest: generation " << durable.generation() << " ("
+            << durable.manifest().blob_name << " + "
+            << durable.manifest().journal_name << ")\n";
   std::cout << "blob: v" << info.version << ", " << blob.size()
             << " bytes, generation " << info.generation << ", "
             << info.docs.size() << " document(s)\n";
@@ -332,11 +310,12 @@ Status RunInspect(const std::string& dir) {
     std::cout << "  " << doc.name << "  " << doc.size << " bytes\n";
   }
 
-  QOF_ASSIGN_OR_RETURN(std::string journal_bytes, ReadFile(paths.journal));
-  QOF_ASSIGN_OR_RETURN(ParsedJournal journal, ParseJournal(journal_bytes));
-  std::cout << "journal: " << journal.records.size() << " record(s)"
-            << (journal.truncated_tail ? " + torn tail" : "") << "\n";
-  for (const JournalRecord& record : journal.records) {
+  bool repaired = false;
+  QOF_ASSIGN_OR_RETURN(std::vector<JournalRecord> records,
+                       durable.ReadJournal(&repaired));
+  std::cout << "journal: " << records.size() << " record(s)"
+            << (repaired ? " + torn tail (repaired)" : "") << "\n";
+  for (const JournalRecord& record : records) {
     const char* op = record.op == JournalOp::kAdd      ? "add"
                      : record.op == JournalOp::kUpdate ? "update"
                                                        : "remove";
@@ -344,7 +323,7 @@ Status RunInspect(const std::string& dir) {
               << record.name << " (" << record.text.size() << " bytes)\n";
   }
 
-  auto state = LoadState(dir);
+  auto state = LoadState(dir, policy);
   if (!state.ok()) {
     std::cout << "state: UNRECOVERABLE — " << state.status().ToString()
               << "\n";
@@ -382,6 +361,7 @@ int main(int argc, char** argv) {
   std::string dir;
   std::string schema_kind;
   qof::QueryOptions limits;
+  qof::SyncPolicy policy = qof::SyncPolicy::kAlways;
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -393,6 +373,13 @@ int main(int argc, char** argv) {
       limits.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-bytes" && i + 1 < argc) {
       limits.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--sync-policy" && i + 1 < argc) {
+      auto parsed = qof::SyncPolicyFromName(argv[++i]);
+      if (!parsed.ok()) {
+        std::cerr << parsed.status().ToString() << "\n";
+        return 1;
+      }
+      policy = *parsed;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unrecognized option: " << arg << "\n";
       qof::PrintUsage(std::cerr);
@@ -413,18 +400,18 @@ int main(int argc, char** argv) {
       std::cerr << "build wants --schema KIND and at least one file\n";
       return 1;
     }
-    status = qof::RunBuild(dir, schema_kind, args, limits);
+    status = qof::RunBuild(dir, schema_kind, args, limits, policy);
   } else if (command == "add" || command == "update" ||
              command == "remove") {
     if (args.empty()) {
       std::cerr << command << " wants at least one file\n";
       return 1;
     }
-    status = qof::RunMutate(dir, command, args, limits);
+    status = qof::RunMutate(dir, command, args, limits, policy);
   } else if (command == "compact") {
-    status = qof::RunCompact(dir);
+    status = qof::RunCompact(dir, policy);
   } else if (command == "inspect") {
-    status = qof::RunInspect(dir);
+    status = qof::RunInspect(dir, policy);
   } else {
     std::cerr << "unknown command: " << command << "\n";
     qof::PrintUsage(std::cerr);

@@ -1,9 +1,12 @@
 // Paged-store utility: inspects "QOFSTOR1" files (page census, fill
-// factors, compression ratio, full checksum verification) and converts
+// factors, compression ratio, full checksum verification), converts
 // serialized index blobs (see src/qof/engine/index_io.h) into the paged
 // format without needing the original files — the blob's document table
 // rides along, so a store produced here is byte-identical to one the
-// engine saves from the same indexes (SaveStore).
+// engine saves from the same indexes (SaveStore) — and audits/salvages
+// damaged stores (`scrub` names the index instances and documents a
+// damaged page touches; `repair` rebuilds the store from its surviving
+// streams, quarantining the damaged original).
 //
 // Exit codes: 0 = success, 1 = usage error, 2 = data error (unreadable
 // file, damaged pages, unconvertible blob).
@@ -18,6 +21,7 @@
 #include "qof/engine/index_io.h"
 #include "qof/store/page.h"
 #include "qof/store/paged_file.h"
+#include "qof/store/scrub.h"
 #include "qof/store/store_format.h"
 #include "qof/store/store_writer.h"
 #include "qof/util/result.h"
@@ -36,6 +40,16 @@ void PrintUsage(std::ostream& out) {
          "  convert BLOB STORE            rewrite a v2/v3 index blob "
          "(.qofidx)\n"
          "                                as a paged store file\n"
+         "  scrub STORE                   audit every page; map damage "
+         "to\n"
+         "                                sections, index instances and "
+         "the\n"
+         "                                documents they cover\n"
+         "  repair STORE                  rebuild a damaged store from "
+         "its\n"
+         "                                surviving streams (original "
+         "kept\n"
+         "                                as STORE.quarantined)\n"
          "options:\n"
          "  --page-size N    store page size for convert (default "
       << kDefaultPageSize
@@ -191,6 +205,37 @@ Status RunConvert(const std::string& blob_path, const std::string& out_path,
   return Status::OK();
 }
 
+Status RunScrub(const std::string& path) {
+  QOF_ASSIGN_OR_RETURN(ScrubReport report, ScrubStore(path));
+  std::cout << FormatScrubReport(report);
+  if (!report.clean()) {
+    return Status::DataLoss(path + ": " +
+                            std::to_string(report.damaged_pages.size()) +
+                            " damaged page(s)");
+  }
+  return Status::OK();
+}
+
+Status RunRepair(const std::string& path) {
+  QOF_ASSIGN_OR_RETURN(RepairResult result, RepairStore(path));
+  if (result.quarantine_path.empty()) {
+    std::cout << path << ": clean, nothing to repair\n";
+    return Status::OK();
+  }
+  std::cout << "rebuilt " << path << " from surviving streams; damaged "
+            << "original kept as " << result.quarantine_path << "\n";
+  if (result.dropped.empty()) {
+    std::cout << "no index instances lost (damage was confined to "
+                 "derived data)\n";
+  } else {
+    std::cout << result.dropped.size() << " instance(s) dropped:\n";
+    for (const std::string& key : result.dropped) {
+      std::cout << "  " << key << "\n";
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 }  // namespace qof
 
@@ -234,6 +279,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     status = qof::RunConvert(args[0], args[1], page_size);
+  } else if (command == "scrub") {
+    if (args.size() != 1) {
+      std::cerr << "scrub wants exactly one store file\n";
+      return 1;
+    }
+    status = qof::RunScrub(args[0]);
+  } else if (command == "repair") {
+    if (args.size() != 1) {
+      std::cerr << "repair wants exactly one store file\n";
+      return 1;
+    }
+    status = qof::RunRepair(args[0]);
   } else {
     std::cerr << "unknown command: " << command << "\n";
     qof::PrintUsage(std::cerr);
