@@ -7,8 +7,10 @@
 // at the largest size). Plain driver (no google-benchmark): prints a
 // table and writes the JSON rows the CI bench-smoke gate checks.
 //
-// Usage: bench_ir [--json <path>]
-//   default path: BENCH_ir.json in the current directory.
+// Usage: bench_ir [--json <path>] [--grammar-mb <corpus MiB>]
+//   default path: BENCH_ir.json in the current directory;
+//   default grammar corpus 4 MiB (--grammar-mb 100+ exercises the
+//   deterministic scale knob on the grammar-model renderer).
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,9 +22,11 @@
 #include "qof/algebra/evaluator.h"
 #include "qof/algebra/parser.h"
 #include "qof/engine/join.h"
+#include "qof/fuzz/grammar_model.h"
 #include "qof/ir/executor.h"
 #include "qof/ir/ir.h"
 #include "qof/ir/passes.h"
+#include "qof/schema/schema_text.h"
 
 namespace {
 
@@ -279,15 +283,116 @@ void BenchJoinScaling(qof_bench::JsonEmitter* emitter) {
   }
 }
 
+/// The CSE multi-leg shape over the grammar-model bench corpus, whose
+/// size scales deterministically from a seed (`--grammar-mb 100` and up
+/// regenerates the identical 100 MB+ Zipf-skewed corpus on every
+/// machine — nothing checked in). The shared subtree probes the rare
+/// planted word; the three branch selections probe the Zipf-hot head of
+/// the vocabulary, so both skewed and selective postings are in play.
+void BenchGrammarScale(qof_bench::JsonEmitter* emitter, size_t mb) {
+  qof::BenchCorpusSpec spec;
+  spec.seed = 7;
+  spec.target_bytes = mb << 20;
+  spec.zipf_s = 1.1;
+  qof::BenchCorpus bench = qof::MakeBenchCorpus(spec);
+  auto schema = qof::ParseSchemaText(bench.schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "grammar bench schema parse failed\n");
+    std::abort();
+  }
+  Fixture f;
+  for (const auto& [name, text] : bench.docs) {
+    if (!f.corpus.AddDocument(name, text).ok()) std::abort();
+  }
+  auto built = qof::BuildIndexes(*schema, f.corpus, qof::IndexSpec::Full());
+  if (!built.ok()) {
+    std::fprintf(stderr, "grammar bench index build failed\n");
+    std::abort();
+  }
+  f.built = std::make_unique<BuiltIndexes>(std::move(*built));
+
+  const std::string e = "(Obj > Beta > sigma(\"zulu\", ItemA))";
+  const std::string cand = "(" + e + " & sigma(\"apple\", Alpha)) | (" +
+                           e + " & sigma(\"baker\", Alpha)) | (" + e +
+                           " & sigma(\"cedar\", Alpha))";
+  const std::string proj = "ItemA < " + e;
+  qof::RegionExprPtr cand_expr = Parse(cand);
+  qof::RegionExprPtr proj_expr = Parse(proj);
+
+  std::printf(
+      "\ngrammar scale: multi-leg CSE query (seed %u, zipf %.2f, "
+      "%zu docs, %.1f MiB)\n",
+      spec.seed, spec.zipf_s, bench.docs.size(),
+      bench.total_bytes / (1024.0 * 1024.0));
+  std::printf("%-14s %14s %14s %9s\n", "config", "tree_us", "ir_us",
+              "speedup");
+
+  const int runs = mb >= 32 ? 5 : 15;
+  RegionSet tree_cand, tree_proj;
+  double tree_us = qof_bench::MedianMicros(runs, [&] {
+    qof::ExprEvaluator tree(&f.built->regions, &f.built->words,
+                            &f.corpus);
+    auto c = tree.Evaluate(*cand_expr);
+    auto p = tree.Evaluate(*proj_expr);
+    if (!c.ok() || !p.ok()) {
+      std::fprintf(stderr, "FATAL: tree evaluation failed\n");
+      std::exit(1);
+    }
+    tree_cand = std::move(*c);
+    tree_proj = IncludedIn(*p, tree_cand);
+  });
+
+  RegionSet ir_cand, ir_proj;
+  double ir_us = qof_bench::MedianMicros(runs, [&] {
+    qof::IrProgram program = qof::LowerToIr(
+        cand_expr.get(), proj_expr.get(), nullptr, nullptr);
+    qof::RunPasses(&program, qof::IrPlanOptions{}, &f.built->regions,
+                   &f.built->words);
+    qof::IrExecutor exec(&program, &f.built->regions, &f.built->words,
+                         &f.corpus);
+    auto c = exec.EvaluateRoot(program.candidates);
+    auto p = exec.EvaluateRoot(program.project);
+    if (!c.ok() || !p.ok()) {
+      std::fprintf(stderr, "FATAL: IR evaluation failed\n");
+      std::exit(1);
+    }
+    ir_cand = std::move(*c);
+    ir_proj = std::move(*p);
+  });
+
+  if (!(tree_cand == ir_cand)) {
+    std::fprintf(stderr, "FATAL: grammar-scale answers differ\n");
+    std::exit(1);
+  }
+  double speedup = ir_us > 0 ? tree_us / ir_us : 0;
+  std::string config = "grammar" + std::to_string(mb) + "mb";
+  std::printf("%-14s %14.1f %14.1f %8.1fx\n", config.c_str(), tree_us,
+              ir_us, speedup);
+  emitter->Row("grammar_scale", config, "corpus_bytes",
+               static_cast<double>(bench.total_bytes));
+  emitter->Row("grammar_scale", config, "docs",
+               static_cast<double>(bench.docs.size()));
+  emitter->Row("grammar_scale", config, "tree_micros", tree_us);
+  emitter->Row("grammar_scale", config, "ir_micros", ir_us);
+  emitter->Row("grammar_scale", config, "speedup", speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = qof_bench::ExtractJsonArg(&argc, argv);
   if (json_path.empty()) json_path = "BENCH_ir.json";
+  size_t grammar_mb = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--grammar-mb") {
+      grammar_mb = static_cast<size_t>(std::atoll(argv[i + 1]));
+    }
+  }
   qof_bench::JsonEmitter emitter(json_path);
   BenchCseMultiLeg(&emitter);
   BenchFusedChain(&emitter);
   BenchJoinScaling(&emitter);
+  BenchGrammarScale(&emitter, grammar_mb);
   emitter.Flush();
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

@@ -11,8 +11,10 @@
 // Plain driver (no google-benchmark): prints a table and writes the JSON
 // rows the CI store-smoke gate checks.
 //
-// Usage: bench_store [--json <path>]
-//   default path: BENCH_store.json in the current directory.
+// Usage: bench_store [--json <path>] [--grammar-mb <corpus MiB>]
+//   default path: BENCH_store.json in the current directory;
+//   default grammar corpus 4 MiB (--grammar-mb 100+ exercises the
+//   deterministic scale knob on the grammar-model renderer).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +23,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "qof/engine/system.h"
+#include "qof/fuzz/grammar_model.h"
 #include "qof/region/region_cursor.h"
+#include "qof/schema/schema_text.h"
 #include "qof/store/paged_store.h"
 #include "qof/store/store_writer.h"
 #include "qof/util/wire.h"
@@ -248,14 +253,104 @@ void BenchOpenAndSelectiveQuery(qof_bench::JsonEmitter* emitter) {
   std::remove(path.c_str());
 }
 
+/// The same cold-open + selective-query shape over the grammar-model
+/// bench corpus, whose size scales deterministically from a seed
+/// (`--grammar-mb 100` and up regenerates the identical 100 MB+ corpus
+/// on every machine — nothing is checked in). The probe word "zulu" is
+/// planted at a constant 2% rate, so the point query's match rate — and
+/// with it the paged-in fraction — holds roughly steady as the file
+/// grows; the absolute page count is the scaling signal.
+void BenchGrammarStore(qof_bench::JsonEmitter* emitter, size_t mb) {
+  qof::BenchCorpusSpec spec;
+  spec.seed = 7;
+  spec.target_bytes = mb << 20;
+  spec.zipf_s = 1.1;
+  qof::BenchCorpus bench = qof::MakeBenchCorpus(spec);
+  auto schema = qof::ParseSchemaText(bench.schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "grammar bench schema parse failed\n");
+    std::abort();
+  }
+  const std::string path = TempPath("grammar.qofstore");
+  {
+    qof::FileQuerySystem builder(*schema);
+    builder.SetParallelism(0);
+    for (const auto& [name, text] : bench.docs) {
+      if (!builder.AddFile(name, text).ok()) std::abort();
+    }
+    if (!builder.BuildIndexes(qof::IndexSpec::Full()).ok() ||
+        !builder.SaveStore(path).ok()) {
+      std::fprintf(stderr, "grammar bench store build failed\n");
+      std::abort();
+    }
+  }
+
+  qof::FileQuerySystem disk(*schema);
+  for (const auto& [name, text] : bench.docs) {
+    if (!disk.AddFile(name, text).ok()) std::abort();
+  }
+  if (!disk.OpenStore(path).ok()) {
+    std::fprintf(stderr, "grammar bench store reopen failed\n");
+    std::abort();
+  }
+  qof::BufferPoolStats open_stats = disk.index_stats().pool;
+  auto file = qof::PagedFile::Open(path, qof::kDefaultPageSize);
+  if (!file.ok()) std::abort();
+  const double file_bytes = static_cast<double>(file->file_bytes());
+  const double total_pages = static_cast<double>(file->num_pages());
+  double open_frac =
+      static_cast<double>(open_stats.bytes_read) / file_bytes;
+
+  auto result =
+      disk.Execute("SELECT x FROM Obj x WHERE x.Alpha = \"zulu\"",
+                   qof::ExecutionMode::kAuto);
+  if (!result.ok()) {
+    std::fprintf(stderr, "grammar bench query failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  qof::BufferPoolStats query_stats = disk.index_stats().pool;
+  double query_pages = static_cast<double>(query_stats.pages_touched -
+                                           open_stats.pages_touched);
+  double query_frac = query_pages / total_pages;
+
+  std::string config = "grammar" + std::to_string(mb) + "mb";
+  std::printf(
+      "\ngrammar corpus (seed %u, zipf %.2f): %zu docs, %.1f MiB -> "
+      "%.0f-page store\n"
+      "  cold open %.1f%% of the file; selective query %.0f pages "
+      "(%.1f%%), %zu match(es)\n",
+      spec.seed, spec.zipf_s, bench.docs.size(),
+      bench.total_bytes / (1024.0 * 1024.0), total_pages,
+      open_frac * 100.0, query_pages, query_frac * 100.0,
+      result->regions.size());
+  emitter->Row("grammar_store", config, "corpus_bytes",
+               static_cast<double>(bench.total_bytes));
+  emitter->Row("grammar_store", config, "docs",
+               static_cast<double>(bench.docs.size()));
+  emitter->Row("grammar_store", config, "open_frac", open_frac);
+  emitter->Row("grammar_store", config, "query_pages", query_pages);
+  emitter->Row("grammar_store", config, "query_frac", query_frac);
+  emitter->Row("grammar_store", config, "matches",
+               static_cast<double>(result->regions.size()));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json = qof_bench::ExtractJsonArg(&argc, argv);
   if (json.empty()) json = "BENCH_store.json";
+  size_t grammar_mb = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--grammar-mb") {
+      grammar_mb = static_cast<size_t>(std::atoll(argv[i + 1]));
+    }
+  }
   qof_bench::JsonEmitter emitter(json);
   BenchSkewIntersect(&emitter);
   BenchOpenAndSelectiveQuery(&emitter);
+  BenchGrammarStore(&emitter, grammar_mb);
   emitter.Flush();
   std::printf("wrote %s\n", json.c_str());
   return 0;

@@ -35,6 +35,29 @@ ForcedEngine ForcedExec() {
   return forced;
 }
 
+/// Process-wide worker override: QOF_EXEC_WORKERS=<n> beats
+/// QueryOptions::exec_workers (0 = one per hardware thread). Read once,
+/// like QOF_FORCE_EXEC. Returns -1 when unset/invalid.
+int ForcedExecWorkers() {
+  static const int forced = [] {
+    const char* v = std::getenv("QOF_EXEC_WORKERS");
+    if (v == nullptr) return -1;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0 || n > 1024) return -1;
+    return static_cast<int>(n);
+  }();
+  return forced;
+}
+
+/// Logical workers this query's IR execution should use: the env
+/// override, else QueryOptions::exec_workers, resolved so 0 means one
+/// worker per hardware thread. Always >= 1.
+int ResolveExecWorkers(const QueryOptions& options) {
+  const int forced = ForcedExecWorkers();
+  return EffectiveParallelism(forced >= 0 ? forced : options.exec_workers);
+}
+
 bool UseIrEngine(const QueryOptions& options) {
   switch (ForcedExec()) {
     case ForcedEngine::kTree:
@@ -404,8 +427,10 @@ Result<QueryResult> FileQuerySystem::ExecuteOnSnapshot(
   // Per-query byte accounting: the snapshot's corpus is shared with
   // other concurrent queries (and possibly the live state), so its
   // member counter can't be reset — route this thread's scanning into a
-  // local counter instead. Execution is serial (pool = nullptr), so the
-  // thread-local override covers every scan of this query.
+  // local counter instead. Parallel stages re-install this thread's
+  // scope on every pool worker (IrExecutor and RunTwoPhase both capture
+  // it before dispatch), so the override covers every scan of this query
+  // even on an ephemeral worker pool.
   std::atomic<uint64_t> scanned{0};
   Corpus::ScanCounterScope scope(&scanned);
   ExecSurface surface;
@@ -419,7 +444,17 @@ Result<QueryResult> FileQuerySystem::ExecuteOnSnapshot(
   // current instance — entries for the snapshot's pinned epoch are
   // retained as long as the snapshot lives.
   surface.eval_cache = eval_cache_.get();
-  surface.pool = nullptr;
+  // Snapshot queries run concurrently, so they cannot share the system
+  // pool (ParallelFor is not reentrant across callers); a query asking
+  // for workers gets its own short-lived pool instead.
+  const int exec_workers = ResolveExecWorkers(options);
+  std::unique_ptr<ThreadPool> query_pool;
+  if (exec_workers > 1) {
+    query_pool = std::make_unique<ThreadPool>(exec_workers);
+    surface.pool = query_pool.get();
+  } else {
+    surface.pool = nullptr;
+  }
   surface.scan_counter = &scanned;
   return ExecuteWithSurface(surface, query, mode, options,
                             plans != nullptr ? &key : nullptr,
@@ -497,7 +532,12 @@ Result<QueryResult> FileQuerySystem::ExecuteQueryImpl(
       maintainer_ != nullptr ? maintainer_->stats() : MaintainStats{};
   surface.maintained = maintainer_ != nullptr;
   surface.eval_cache = eval_cache_.get();
-  surface.pool = EnsurePool(parallelism_);
+  // One pool serves both parallel surfaces: two-phase candidate
+  // verification (sized by the system parallelism knob) and morsel-driven
+  // IR execution (sized by the query's exec_workers request) — composed
+  // by taking the larger of the two.
+  surface.pool = EnsurePool(std::max(EffectiveParallelism(parallelism_),
+                                     ResolveExecWorkers(options)));
   // The live path owns the corpus counter (no concurrent readers by
   // contract — see AcquireSnapshot's concurrency notes).
   corpus_->ResetBytesRead();
@@ -666,6 +706,21 @@ Result<QueryResult> FileQuerySystem::ExecuteWithSurface(
                                  const RegionSet& rhs) {
       return RunIndexJoin(corpus, cands, lhs, rhs);
     });
+    // Morsel-driven execution: ready IR nodes (and large node-internal
+    // folds/scans) dispatch onto the surface's pool. Results are
+    // byte-identical at every worker count — see DESIGN.md §5k.
+    const int exec_workers = ResolveExecWorkers(options);
+    if (surface.pool != nullptr && exec_workers > 1) {
+      ir_exec->SetThreadPool(surface.pool, exec_workers);
+      result.stats.exec_workers = exec_workers;
+    }
+    ir_exec->set_prefetch(options.prefetch);
+    if (ir_options_.morsel_grain != 0) {
+      ir_exec->set_morsel_grain(ir_options_.morsel_grain);
+    }
+    if (ir_options_.inject_racy_merge) {
+      ir_exec->set_inject_racy_merge(true);
+    }
   }
   auto record_timings = [&] {
     if (ir_exec) result.stats.op_timings = ir_exec->timings();

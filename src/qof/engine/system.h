@@ -58,9 +58,13 @@ struct QueryStats {
   /// IR executor) or "tree" (the recursive expression walker). Empty for
   /// strategies that evaluate no algebra (baseline, empty).
   std::string engine;
-  /// IR engine only: wall time and node counts per IR operator kind
-  /// (exclusive of input evaluation).
+  /// IR engine only: wall time, node counts and cursor I/O per IR
+  /// operator kind (exclusive of input evaluation).
   IrOpTimings op_timings;
+  /// Logical workers the executor ran with (QueryOptions::exec_workers
+  /// after the QOF_EXEC_WORKERS override and pool availability): 1 =
+  /// serial.
+  int exec_workers = 1;
   std::vector<std::string> notes;  // compiler + engine decisions
 };
 

@@ -100,9 +100,15 @@ Result<TwoPhaseResult> RunTwoPhase(const StructuringSchema& schema,
     // candidate order below, so results match the serial path.
     std::vector<ObjectStore> scratch(static_cast<size_t>(pool->size()));
     std::vector<CandidateOutcome> outcomes(candidates.size());
+    // Carry the query thread's accounting/governance thread-locals onto
+    // every worker: snapshot queries route scans into a per-query
+    // counter, and the disk tier picks the ExecContext up thread-locally.
+    std::atomic<uint64_t>* scan_counter = Corpus::CurrentThreadScanCounter();
     pool->ParallelFor(
         candidates.size(),
         [&](int worker, size_t i) {
+          ExecContext::ThreadScope thread_scope(ctx);
+          Corpus::ScanCounterScope scan_scope(scan_counter);
           ProcessCandidate(schema, corpus, query, full_rig, parser,
                            candidates[i], ctx, &scratch[worker],
                            &outcomes[i]);

@@ -53,8 +53,21 @@ struct QueryOptions {
   /// variable ("tree" | "ir") overrides this per process.
   bool use_ir = true;
 
-  // Note: use_ir is an engine selector, not a limit — it must not make a
-  // default-constructed QueryOptions count as "governed".
+  /// Worker threads for morsel-driven IR execution. 1 = serial (the
+  /// default), n > 1 = that many workers, 0 = one per hardware thread.
+  /// Results are byte-identical at every setting — the scheduler merges
+  /// morsels in canonical doc order. The QOF_EXEC_WORKERS environment
+  /// variable overrides this per process.
+  int exec_workers = 1;
+
+  /// Let disk-tier cursor kernels emit skip-table-guided prefetch hints
+  /// so the buffer pool batches multi-page reads. Affects I/O counts
+  /// only, never results.
+  bool prefetch = true;
+
+  // Note: use_ir / exec_workers / prefetch are engine selectors, not
+  // limits — they must not make a default-constructed QueryOptions count
+  // as "governed".
   bool unlimited() const {
     return deadline_ms == 0 && max_bytes == 0 && max_regions == 0 &&
            cancel == nullptr;

@@ -1,10 +1,35 @@
 #include "qof/fuzz/grammar_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 namespace qof {
 namespace {
+
+/// Cumulative integer weights for a rank-Zipf distribution over `n`
+/// ranks: weight(r) ∝ 1/r^s, scaled to 64-bit fixed point so sampling
+/// is a pure-integer upper_bound on FuzzRng output (the only floating
+/// point is the one-time table build, whose rounding cannot flip a
+/// sample across platforms at these magnitudes).
+std::vector<uint64_t> ZipfCumulative(size_t n, double s) {
+  std::vector<uint64_t> cum(n);
+  uint64_t total = 0;
+  for (size_t r = 0; r < n; ++r) {
+    double w = std::pow(static_cast<double>(r + 1), -s);
+    uint64_t scaled =
+        std::max<uint64_t>(1, static_cast<uint64_t>(w * (1ull << 32)));
+    total += scaled;
+    cum[r] = total;
+  }
+  return cum;
+}
+
+size_t ZipfRank(const std::vector<uint64_t>& cum, FuzzRng& rng) {
+  uint64_t u = rng.Next() % cum.back();
+  return static_cast<size_t>(
+      std::upper_bound(cum.begin(), cum.end(), u) - cum.begin());
+}
 
 const std::vector<std::string>& FieldNamePool() {
   static const std::vector<std::string> kPool = {
@@ -40,12 +65,28 @@ LeafKind PickLeaf(FuzzRng& rng, double number_rate) {
   return rng.Chance(0.3) ? LeafKind::kWord : LeafKind::kUntil;
 }
 
+/// Word-selection state threaded through a render: the probe bias plus,
+/// when the corpus asks for skew, the Zipf table over BenchVocab().
+struct ContentCtx {
+  double probe_rate = 0.3;
+  std::vector<uint64_t> zipf;  // empty = uniform over FuzzVocab()
+
+  explicit ContentCtx(const CorpusModel& corpus)
+      : probe_rate(corpus.probe_rate) {
+    if (corpus.zipf_s > 0.0) {
+      zipf = ZipfCumulative(BenchVocab().size(), corpus.zipf_s);
+    }
+  }
+};
+
 /// Leaf content honoring the leaf kind's lexical constraints. `stops`
 /// never appear: content words are alphanumeric and space-separated.
-std::string LeafContent(LeafKind kind, FuzzRng& rng, double probe_rate) {
+std::string LeafContent(LeafKind kind, FuzzRng& rng,
+                        const ContentCtx& ctx) {
   if (kind == LeafKind::kNumber) return std::to_string(rng.Range(1, 40));
   auto word = [&]() -> std::string {
-    if (rng.Chance(probe_rate)) return kFuzzProbeWord;
+    if (rng.Chance(ctx.probe_rate)) return kFuzzProbeWord;
+    if (!ctx.zipf.empty()) return BenchVocab()[ZipfRank(ctx.zipf, rng)];
     return rng.Pick(FuzzVocab());
   };
   if (kind == LeafKind::kWord) return word();
@@ -55,14 +96,15 @@ std::string LeafContent(LeafKind kind, FuzzRng& rng, double probe_rate) {
 }
 
 void EmitObject(const SchemaModel& schema, const CorpusModel& corpus,
-                FuzzRng& rng, int depth, std::string* out) {
+                const ContentCtx& ctx, FuzzRng& rng, int depth,
+                std::string* out) {
   out->append("obj{");
   for (size_t i = 0; i < schema.fields.size(); ++i) {
     const FieldSpec& f = schema.fields[i];
     out->append(FieldOpen(i));
     switch (f.kind) {
       case FieldSpec::Kind::kLeaf:
-        out->append(LeafContent(f.leaf, rng, corpus.probe_rate));
+        out->append(LeafContent(f.leaf, rng, ctx));
         break;
       case FieldSpec::Kind::kSet: {
         const SubSpec& sub = schema.subs[f.sub];
@@ -74,11 +116,11 @@ void EmitObject(const SchemaModel& schema, const CorpusModel& corpus,
         for (int k = 0; k < count; ++k) {
           if (k > 0) out->push_back(';');
           if (sub.tuple) {
-            out->append(LeafContent(sub.key_leaf, rng, corpus.probe_rate));
+            out->append(LeafContent(sub.key_leaf, rng, ctx));
             out->push_back('=');
-            out->append(LeafContent(sub.val_leaf, rng, corpus.probe_rate));
+            out->append(LeafContent(sub.val_leaf, rng, ctx));
           } else {
-            out->append(LeafContent(sub.leaf, rng, corpus.probe_rate));
+            out->append(LeafContent(sub.leaf, rng, ctx));
           }
         }
         out->push_back(')');
@@ -89,7 +131,7 @@ void EmitObject(const SchemaModel& schema, const CorpusModel& corpus,
         int count = depth < corpus.max_depth ? rng.Range(0, 2) : 0;
         for (int k = 0; k < count; ++k) {
           if (k > 0) out->push_back(' ');
-          EmitObject(schema, corpus, rng, depth + 1, out);
+          EmitObject(schema, corpus, ctx, rng, depth + 1, out);
         }
         out->push_back('}');
         break;
@@ -307,15 +349,98 @@ std::vector<CorpusModel> CorpusReductions(const CorpusModel& model) {
 std::vector<std::pair<std::string, std::string>> RenderDocs(
     const SchemaModel& schema, const CorpusModel& corpus) {
   std::vector<std::pair<std::string, std::string>> out;
+  const ContentCtx ctx(corpus);
+  const int64_t scale = std::max(1, corpus.scale);
   for (size_t d = 0; d < corpus.doc_objects.size(); ++d) {
     FuzzRng rng(static_cast<uint64_t>(corpus.content_seed) * 0x9e3779b9ull +
                 d * 0x85ebca6bull + 1);
     std::string text;
-    for (int o = 0; o < corpus.doc_objects[d]; ++o) {
+    const int64_t objects = corpus.doc_objects[d] * scale;
+    for (int64_t o = 0; o < objects; ++o) {
       if (o > 0) text.push_back('\n');
-      EmitObject(schema, corpus, rng, 0, &text);
+      EmitObject(schema, corpus, ctx, rng, 0, &text);
     }
     out.emplace_back("doc" + std::to_string(d) + ".txt", std::move(text));
+  }
+  return out;
+}
+
+const std::vector<std::string>& BenchVocab() {
+  static const std::vector<std::string> kVocab = [] {
+    std::vector<std::string> v = FuzzVocab();
+    // 240 generated tail words: rank-assigned by a Zipf draw they fill
+    // the long tail of, each alphanumeric so no delimiter collides.
+    for (int i = 0; i < 240; ++i) {
+      v.push_back("w" + std::string(i < 10 ? "00" : i < 100 ? "0" : "") +
+                  std::to_string(i));
+    }
+    return v;
+  }();
+  return kVocab;
+}
+
+BenchCorpus MakeBenchCorpus(const BenchCorpusSpec& spec) {
+  // A fixed schema exercising every structural feature the query
+  // kernels dispatch on: a word leaf (equality selections), an
+  // until-leaf collection shared by queries over two fields, a tuple
+  // collection (multi-level chains), and a recursive field (cyclic
+  // RIG). Stable across seeds — only content varies.
+  SchemaModel schema;
+  SubSpec items;
+  items.name = "ItemA";
+  items.leaf = LeafKind::kUntil;
+  schema.subs.push_back(items);
+  SubSpec pairs;
+  pairs.name = "ItemB";
+  pairs.tuple = true;
+  pairs.key_leaf = LeafKind::kWord;
+  pairs.val_leaf = LeafKind::kUntil;
+  schema.subs.push_back(pairs);
+
+  FieldSpec alpha;
+  alpha.kind = FieldSpec::Kind::kLeaf;
+  alpha.name = "Alpha";
+  alpha.leaf = LeafKind::kWord;
+  schema.fields.push_back(alpha);
+  FieldSpec beta;
+  beta.kind = FieldSpec::Kind::kSet;
+  beta.name = "Beta";
+  beta.sub = 0;
+  beta.min_count = 1;
+  schema.fields.push_back(beta);
+  FieldSpec gamma;
+  gamma.kind = FieldSpec::Kind::kSet;
+  gamma.name = "Gamma";
+  gamma.sub = 1;
+  gamma.min_count = 1;
+  schema.fields.push_back(gamma);
+  FieldSpec nest;
+  nest.kind = FieldSpec::Kind::kRecurse;
+  nest.name = "Nest";
+  schema.fields.push_back(nest);
+
+  CorpusModel corpus;
+  corpus.content_seed = spec.seed;
+  corpus.max_depth = 1;
+  corpus.max_items = 4;
+  corpus.probe_rate = 0.02;  // selective: the probe word stays rare
+  corpus.zipf_s = spec.zipf_s;
+
+  BenchCorpus out;
+  out.schema_text = schema.Render();
+  // One rendered document per model document; grow until the byte
+  // target is met. Document d's content depends only on (seed, d), so
+  // a larger target extends a smaller corpus rather than reshuffling
+  // it.
+  for (size_t d = 0; out.total_bytes < spec.target_bytes; ++d) {
+    CorpusModel one = corpus;
+    one.doc_objects = {std::max(1, spec.objects_per_doc)};
+    one.content_seed =
+        static_cast<uint32_t>(spec.seed + 0x9e3779b9u * (d + 1));
+    auto docs = RenderDocs(schema, one);
+    out.total_bytes += docs[0].second.size();
+    out.docs.emplace_back("bench" + std::to_string(d) + ".txt",
+                          std::move(docs[0].second));
   }
   return out;
 }

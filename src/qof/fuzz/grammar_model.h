@@ -104,6 +104,15 @@ struct CorpusModel {
   int max_depth = 1;      // nesting under recursive fields
   int max_items = 3;      // collection items per field
   double probe_rate = 0.3;  // leaf content uses the probe word
+
+  /// Bench-scale knobs — defaults leave fuzzing behavior untouched.
+  /// `scale` multiplies every document's object count at render time
+  /// (the model stays shrinkable in its original units); `zipf_s > 0`
+  /// draws leaf words rank-Zipfian (weight ∝ 1/rank^s) from the larger
+  /// BenchVocab() instead of uniformly from FuzzVocab(), giving bench
+  /// corpora the skewed posting-length distribution real text has.
+  int scale = 1;
+  double zipf_s = 0.0;
 };
 
 CorpusModel GenerateCorpusModel(FuzzRng& rng);
@@ -117,6 +126,31 @@ std::vector<std::pair<std::string, std::string>> RenderDocs(
 /// The closed word list leaf content draws from; delimiters never collide
 /// with it, so word-index lookups hit content only where intended.
 const std::vector<std::string>& FuzzVocab();
+
+/// The benchmark word list (FuzzVocab plus generated alphanumeric words,
+/// a few hundred total) — large enough that a Zipfian rank distribution
+/// produces both hot words with long postings and a tail of rare ones.
+const std::vector<std::string>& BenchVocab();
+
+/// Deterministic benchmark corpus built on the grammar model: a fixed,
+/// fully-featured schema (leaf, shared collection, tuple collection,
+/// recursion) plus documents rendered until `target_bytes` is reached.
+/// Same spec → same bytes, so 100 MB+ corpora regenerate from a seed
+/// instead of being checked in.
+struct BenchCorpusSpec {
+  uint32_t seed = 1;
+  size_t target_bytes = 1 << 20;
+  double zipf_s = 1.1;        // word-rank skew; 0 = uniform
+  int objects_per_doc = 512;  // scaling granularity (one doc ≈ 40 KiB)
+};
+
+struct BenchCorpus {
+  std::string schema_text;
+  std::vector<std::pair<std::string, std::string>> docs;
+  size_t total_bytes = 0;
+};
+
+BenchCorpus MakeBenchCorpus(const BenchCorpusSpec& spec);
 
 /// The planted probe word query literals are biased toward, so equality
 /// and containment predicates have non-empty answers often enough.

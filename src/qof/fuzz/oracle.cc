@@ -18,6 +18,7 @@
 #include "qof/fuzz/rng.h"
 #include "qof/fuzz/crash_leg.h"
 #include "qof/fuzz/disk_leg.h"
+#include "qof/fuzz/parallel_leg.h"
 #include "qof/fuzz/session_leg.h"
 #include "qof/maintain/journal.h"
 #include "qof/optimizer/optimizer.h"
@@ -1163,6 +1164,17 @@ Result<OracleOutcome> RunOracle(const ConcreteCase& c,
   // the cheap legs.)
   QOF_RETURN_IF_ERROR(CheckIrEquivalence(schema, docs, c, options,
                                          is_projection, &outcome.failure));
+  if (!outcome.failure.empty()) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  // 7b. Morsel-driven parallel execution: exec_workers ∈ {2, 4} (and the
+  // worker × prefetch grid on a paged store) must be byte-identical to
+  // serial execution, at a morsel grain low enough that small cases
+  // split.
+  QOF_RETURN_IF_ERROR(
+      CheckParallelExec(schema, docs, c, options, seed, &outcome.failure));
   if (!outcome.failure.empty()) {
     outcome.failed = true;
     return outcome;

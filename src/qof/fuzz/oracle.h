@@ -54,6 +54,12 @@ namespace qof {
 ///    every mutating I/O op, then recovery — must flag the cut that
 ///    loses an acknowledged commit (or strands the directory
 ///    unreadable).
+///  - kRacyMerge makes the morsel-driven IR executor's result merge lose
+///    its first range (IrPlanOptions::inject_racy_merge) — the
+///    lost-update outcome of an unsynchronized merge. Serial execution
+///    is untouched, so the parallel leg's serial-vs-parallel
+///    differential (run with a tiny morsel grain so even small cases
+///    split) must flag the missing results.
 enum class InjectedBug {
   kNone,
   kRelaxDirect,
@@ -64,6 +70,7 @@ enum class InjectedBug {
   kStaleSnapshot,
   kEvictPinned,
   kSkipDirSync,
+  kRacyMerge,
 };
 
 struct OracleOptions {

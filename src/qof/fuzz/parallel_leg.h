@@ -1,0 +1,50 @@
+#ifndef QOF_FUZZ_PARALLEL_LEG_H_
+#define QOF_FUZZ_PARALLEL_LEG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qof/fuzz/case.h"
+#include "qof/fuzz/oracle.h"
+#include "qof/schema/structuring_schema.h"
+#include "qof/util/status.h"
+
+namespace qof {
+
+/// The parallel-execution leg: the morsel-driven IR executor must be
+/// invisible in every answer. With the morsel grain forced low enough
+/// that even the fuzzer's small corpora split (so range partitioning,
+/// wavefront scheduling and per-range merges all actually run), the leg
+/// checks:
+///
+///   1. in-memory, eval cache on: exec_workers ∈ {2, 4} produce regions
+///      and rendered values byte-identical to the serial run, for both
+///      kAuto and kTwoPhase, with warm-cache parallel runs equally
+///      identical (the merge must not depend on whether a node came from
+///      the cache);
+///   2. cache-invariant stats hold: the phase-1 candidate count of every
+///      parallel run equals the serial run's (morsel charges are
+///      reconstructed, not re-measured);
+///   3. on a paged store: exec_workers ∈ {1, 2, 4} × prefetch on/off all
+///      match the in-memory serial baseline — batched prefetch admission
+///      may change I/O counts, never answers.
+///
+/// This is the leg that catches kRacyMerge
+/// (IrPlanOptions::inject_racy_merge), which makes the morsel merge lose
+/// its first range — the lost-update outcome of an unsynchronized result
+/// merge. Serial runs are unaffected, so the serial-vs-parallel
+/// differential flags it.
+///
+/// Same conventions as the oracle's other legs: a Status error means the
+/// harness itself broke; a filled `failure` means parallel execution
+/// violated an invariant.
+Status CheckParallelExec(
+    const StructuringSchema& schema,
+    const std::vector<std::pair<std::string, std::string>>& docs,
+    const ConcreteCase& c, const OracleOptions& options, uint64_t seed,
+    std::string* failure);
+
+}  // namespace qof
+
+#endif  // QOF_FUZZ_PARALLEL_LEG_H_

@@ -1,5 +1,7 @@
 #include "qof/store/buffer_pool.h"
 
+#include <algorithm>
+
 #include "qof/exec/exec_context.h"
 
 namespace qof {
@@ -60,7 +62,7 @@ Result<uint32_t> BufferPool::PickVictimLocked() {
       " pages); unpin cursors or open the store with a larger pool");
 }
 
-Result<PageRef> BufferPool::Fetch(uint32_t page_no) {
+Result<PageRef> BufferPool::Fetch(uint32_t page_no, FetchIo* io) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.fetches;
   auto it = page_to_frame_.find(page_no);
@@ -69,6 +71,12 @@ Result<PageRef> BufferPool::Fetch(uint32_t page_no) {
     frame.ref_bit = true;
     ++frame.pins;
     ++stats_.hits;
+    if (frame.prefetched) {
+      // First demand use of a prefetched frame: the hint paid off.
+      frame.prefetched = false;
+      ++stats_.prefetch_hits;
+      if (io != nullptr) ++io->prefetch_hits;
+    }
     return PageRef(this, it->second);
   }
 
@@ -83,23 +91,43 @@ Result<PageRef> BufferPool::Fetch(uint32_t page_no) {
   if (frame.valid) {
     page_to_frame_.erase(frame.page_no);
     frame.valid = false;
+    frame.prefetched = false;
     ++stats_.evictions;
   }
   // One retry on a read error: transient EIO (a loose cable, a busy
   // controller) should not fail a query that a re-read would satisfy. A
   // second failure is surfaced — and the frame stays invalid, so a bad
-  // read is never cached.
+  // read is never cached. The frame buffer is cleared before each
+  // attempt: the page checksum covers content only (not the page number),
+  // so a read that "succeeds" without transferring every byte into a
+  // buffer still holding the evicted page's image would otherwise pass
+  // verification and cache the *previous* page under the new number.
+  frame.data.clear();
+  ++stats_.read_calls;
+  if (io != nullptr) ++io->read_calls;
   Status read = file_->ReadPage(page_no, &frame.data);
   if (!read.ok()) {
     ++stats_.read_retries;
+    ++stats_.read_calls;
+    if (io != nullptr) ++io->read_calls;
+    frame.data.clear();
     read = file_->ReadPage(page_no, &frame.data);
     if (!read.ok()) {
       ++stats_.io_errors;
       return read;
     }
   }
+  if (frame.data.size() != file_->page_size()) {
+    ++stats_.io_errors;
+    return Status::Internal(
+        "buffer pool: short read of page " + std::to_string(page_no) +
+        " (" + std::to_string(frame.data.size()) + " of " +
+        std::to_string(file_->page_size()) + " bytes)");
+  }
   ++stats_.misses;
+  ++stats_.pages_read;
   stats_.bytes_read += file_->page_size();
+  if (io != nullptr) ++io->pages_read;
   if (!touched_[page_no]) {
     touched_[page_no] = true;
     ++stats_.pages_touched;
@@ -113,9 +141,94 @@ Result<PageRef> BufferPool::Fetch(uint32_t page_no) {
   frame.page_no = page_no;
   frame.valid = true;
   frame.ref_bit = true;
+  frame.prefetched = false;
   frame.pins = 1;
   page_to_frame_.emplace(page_no, f);
   return PageRef(this, f);
+}
+
+void BufferPool::PrefetchHint(uint32_t first, uint32_t n, FetchIo* io) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0 || first >= file_->num_pages()) return;
+  n = std::min<uint32_t>(n, file_->num_pages() - first);
+  // Useless beyond capacity: the tail of an over-long run would evict its
+  // own head before any Fetch sees it.
+  n = std::min<uint32_t>(n, options_.capacity_pages);
+  // Prefetch I/O is governed exactly like demand I/O — a cancelled or
+  // expired call must not keep the disk busy. Advisory, so a tripped
+  // limit silently drops the hint; the demand path reports it.
+  if (const ExecContext* ctx = ExecContext::CurrentThread()) {
+    if (!ctx->Check().ok()) return;
+  }
+  std::string batch;
+  uint32_t run_first = 0, run_len = 0;
+  bool full = false;  // only pinned frames remain — stop admitting
+  auto admit_run = [&]() {
+    if (run_len == 0) return;
+    ++stats_.read_calls;
+    if (io != nullptr) ++io->read_calls;
+    Status read = file_->ReadPages(run_first, run_len, &batch);
+    if (read.ok() &&
+        batch.size() != static_cast<size_t>(run_len) * file_->page_size()) {
+      read = Status::Internal("buffer pool: short batched read");
+    }
+    if (!read.ok()) {
+      run_len = 0;
+      return;  // not admitted; the demand Fetch will retry and report
+    }
+    for (uint32_t i = 0; i < run_len; ++i) {
+      uint32_t page_no = run_first + i;
+      auto victim = PickVictimLocked();
+      if (!victim.ok()) {
+        full = true;
+        run_len = 0;
+        return;
+      }
+      Frame& frame = frames_[*victim];
+      if (frame.valid) {
+        page_to_frame_.erase(frame.page_no);
+        frame.valid = false;
+        frame.prefetched = false;
+        ++stats_.evictions;
+      }
+      frame.data.assign(batch,
+                        static_cast<size_t>(i) * file_->page_size(),
+                        file_->page_size());
+      auto header = ParsePage(frame.data, file_->page_size(), page_no);
+      if (!header.ok()) continue;  // demand Fetch will fail loudly
+      ++stats_.pages_read;
+      ++stats_.prefetch_pages;
+      stats_.bytes_read += file_->page_size();
+      if (io != nullptr) ++io->pages_read;
+      if (!touched_[page_no]) {
+        touched_[page_no] = true;
+        ++stats_.pages_touched;
+      }
+      frame.header = *header;
+      frame.page_no = page_no;
+      frame.valid = true;
+      // ref_bit stays false: an unused prefetched frame is the clock's
+      // first choice, so speculation never outcompetes the working set.
+      frame.ref_bit = false;
+      frame.prefetched = true;
+      frame.pins = 0;
+      page_to_frame_.emplace(page_no, *victim);
+    }
+    run_len = 0;
+  };
+  for (uint32_t p = first; p < first + n && !full; ++p) {
+    if (page_to_frame_.count(p) != 0) {
+      admit_run();
+      continue;
+    }
+    if (run_len == 0) {
+      run_first = p;
+      run_len = 1;
+    } else {
+      ++run_len;
+    }
+  }
+  if (!full) admit_run();
 }
 
 BufferPoolStats BufferPool::stats() const {

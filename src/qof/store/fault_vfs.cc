@@ -110,6 +110,10 @@ class FaultVfsReader : public RandomAccessFile {
       return Status::Internal("fault vfs: injected I/O error reading '" +
                               path_ + "'");
     }
+    if (vfs_->short_reads_ > 0) {
+      --vfs_->short_reads_;
+      return Status::OK();  // injected short read: buf left untouched
+    }
     if (offset + n > inode_->live.size()) {
       return Status::OutOfRange(
           "read past end of '" + path_ + "' (offset " +
@@ -355,6 +359,11 @@ void FaultVfs::set_torn_sector_bytes(uint32_t bytes) {
 void FaultVfs::set_fail_reads(uint64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   fail_reads_ = n;
+}
+
+void FaultVfs::set_short_reads(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  short_reads_ = n;
 }
 
 void FaultVfs::set_space_limit(uint64_t bytes) {

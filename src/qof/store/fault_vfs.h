@@ -86,6 +86,13 @@ class FaultVfs : public Vfs {
   /// The next `n` ReadAt calls fail with an I/O error.
   void set_fail_reads(uint64_t n);
 
+  /// The next `n` ReadAt calls "succeed" without transferring a byte —
+  /// the degenerate short read of a contract-violating driver: OK status,
+  /// caller's buffer untouched (so it still holds whatever the previous
+  /// read left there). The buffer-pool regression test uses this to prove
+  /// a transient-EIO-then-short-read sequence cannot cache a stale frame.
+  void set_short_reads(uint64_t n);
+
   /// Total live bytes across all files may not exceed `bytes`; further
   /// appends short-write then fail. ~0 (default) = unlimited.
   void set_space_limit(uint64_t bytes);
@@ -122,6 +129,7 @@ class FaultVfs : public Vfs {
   bool crashed_ = false;
   uint32_t sector_bytes_ = 512;
   uint64_t fail_reads_ = 0;
+  uint64_t short_reads_ = 0;
   uint64_t space_limit_ = ~uint64_t{0};
   bool skip_dir_sync_ = false;
 };

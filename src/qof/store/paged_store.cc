@@ -54,6 +54,57 @@ class StoreRegionCursorImpl : public RegionCursor {
     return header_.blocks[b].count;
   }
 
+  bool wants_prefetch() const override {
+    return store_->prefetch_ && prefetch_allowed_;
+  }
+
+  void PrefetchBlocks(size_t first, size_t count) override {
+    if (!wants_prefetch() || count == 0 ||
+        first + count > header_.blocks.size()) {
+      return;
+    }
+    // Blocks already decoded into this cursor's cache are served without
+    // touching the pool — reading their pages back in would be pure
+    // waste, so the run is split around them.
+    size_t run_first = first, run_len = 0;
+    auto emit = [&]() {
+      if (run_len == 0) return;
+      const PostingBlockMeta& lo = header_.blocks[run_first];
+      const PostingBlockMeta& hi = header_.blocks[run_first + run_len - 1];
+      uint64_t off = entry_.byte_off + entry_.header_len + lo.byte_off;
+      uint64_t len = hi.byte_off + hi.byte_len - lo.byte_off;
+      run_len = 0;
+      if (len == 0) return;
+      const SectionInfo& info =
+          store_->meta_.section(StoreSection::kPostings);
+      if (off + len > info.byte_len) return;  // damaged header; ReadBlock
+                                              // will report it
+      const uint32_t capacity = PagePayloadCapacity(store_->page_size());
+      uint32_t p0 = static_cast<uint32_t>(off / capacity);
+      uint32_t p1 = static_cast<uint32_t>((off + len - 1) / capacity);
+      store_->pool_.PrefetchHint(info.first_page + p0, p1 - p0 + 1, &io_);
+    };
+    for (size_t b = first; b < first + count; ++b) {
+      bool cached = b < cache_.size() && !cache_[b].empty();
+      if (cached) {
+        emit();
+        run_first = b + 1;
+        continue;
+      }
+      if (run_len == 0) run_first = b;
+      ++run_len;
+    }
+    emit();
+  }
+
+  CursorIoStats io_stats() const override {
+    CursorIoStats out;
+    out.pages_read = io_.pages_read;
+    out.read_calls = io_.read_calls;
+    out.prefetch_hits = io_.prefetch_hits;
+    return out;
+  }
+
   Status ReadBlock(size_t b, std::vector<Region>* out) override {
     // A long-lived cursor (repeated probes of one hot instance) keeps the
     // blocks it already decoded: a re-probe costs a copy, not a page pin
@@ -73,7 +124,7 @@ class StoreRegionCursorImpl : public RegionCursor {
     QOF_RETURN_IF_ERROR(store_->ReadStreamRangePinned(
         StoreSection::kPostings,
         entry_.byte_off + entry_.header_len + m.byte_off, m.byte_len,
-        &pins_, &scratch_, &bytes));
+        &pins_, &scratch_, &bytes, &io_));
     QOF_RETURN_IF_ERROR(DecodeRegionBlock(m, bytes, entry_.key, out));
     pins_.clear();
     ++blocks_decoded_;
@@ -98,6 +149,7 @@ class StoreRegionCursorImpl : public RegionCursor {
   size_t cached_blocks_ = 0;
   std::vector<PageRef> pins_;
   std::string scratch_;
+  FetchIo io_;
 };
 
 Result<std::shared_ptr<const PagedStore>> PagedStore::Open(
@@ -181,7 +233,8 @@ Status PagedStore::ReadStreamRangePinned(StoreSection section, uint64_t off,
                                          uint64_t len,
                                          std::vector<PageRef>* pins,
                                          std::string* scratch,
-                                         std::string_view* bytes) const {
+                                         std::string_view* bytes,
+                                         FetchIo* io) const {
   const SectionInfo& info = meta_.section(section);
   if (off + len > info.byte_len) {
     return Status::InvalidArgument(
@@ -197,7 +250,7 @@ Status PagedStore::ReadStreamRangePinned(StoreSection section, uint64_t off,
   pins->clear();
   pins->reserve(last - first + 1);
   for (uint32_t p = first; p <= last; ++p) {
-    QOF_ASSIGN_OR_RETURN(PageRef ref, pool_.Fetch(info.first_page + p));
+    QOF_ASSIGN_OR_RETURN(PageRef ref, pool_.Fetch(info.first_page + p, io));
     if (ref.type() != SectionPageType(section)) {
       return Status::InvalidArgument(
           "paged store: page " + std::to_string(info.first_page + p) +

@@ -23,6 +23,10 @@ struct PagedStoreOptions {
   uint32_t pool_pages = 256;
   /// Fault injection for the fuzz harness only — see BufferPoolOptions.
   bool inject_evict_pinned = false;
+  /// Let cursors turn skip-table dry runs into batched PrefetchHint
+  /// admissions. Off = every page is a demand ReadPage (the PR 9
+  /// behavior); results are identical either way.
+  bool prefetch = true;
 };
 
 /// Read access to a "QOFSTOR1" file: meta, fence-guided dictionary
@@ -90,6 +94,7 @@ class PagedStore {
              const PagedStoreOptions& options)
       : file_(std::move(file)),
         meta_(meta),
+        prefetch_(options.prefetch),
         pool_(&file_, BufferPoolOptions{options.pool_pages,
                                         options.inject_evict_pinned}) {}
 
@@ -103,10 +108,11 @@ class PagedStore {
   /// Pins every page covering the range at once and assembles the bytes —
   /// the block-read path (simultaneous pins are what make the injected
   /// evict-pinned bug observable, and what a real DB would decode from).
+  /// `io` (optional) accumulates the fetches' I/O attribution.
   Status ReadStreamRangePinned(StoreSection section, uint64_t off,
                                uint64_t len, std::vector<PageRef>* pins,
-                               std::string* scratch,
-                               std::string_view* bytes) const;
+                               std::string* scratch, std::string_view* bytes,
+                               FetchIo* io = nullptr) const;
 
   /// Parses the entries of one dict page.
   Status ReadDictPage(StoreSection section, uint32_t index,
@@ -120,6 +126,7 @@ class PagedStore {
 
   PagedFile file_;
   StoreMeta meta_;
+  bool prefetch_ = true;
   mutable BufferPool pool_;
   /// First key of every dict page, loaded eagerly at open.
   std::vector<std::string> region_fences_;

@@ -150,6 +150,13 @@ class Corpus {
     }
   }
 
+  /// The calling thread's active scan counter, or null outside any scope.
+  /// Parallel executors capture this on the query thread and install it
+  /// on their pool workers so morsel scans account like serial ones.
+  static std::atomic<uint64_t>* CurrentThreadScanCounter() {
+    return tls_scan_counter_;
+  }
+
   /// RAII override routing this thread's ScanText accounting into
   /// `counter` (applies to every Corpus touched by the thread while the
   /// scope is active; a query only ever scans its own snapshot's corpus).

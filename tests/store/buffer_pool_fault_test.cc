@@ -79,6 +79,42 @@ TEST_F(BufferPoolFaultTest, PersistentReadErrorFailsAndIsNotCached) {
   EXPECT_EQ(pool.stats().hits, 0u);
 }
 
+TEST_F(BufferPoolFaultTest, RetryShortReadCannotCacheStaleFrame) {
+  // The stale-frame hazard on the retry path: a one-frame pool evicts
+  // page 0's image to read page 1; the first read attempt hits a
+  // transient EIO and the retry "succeeds" without transferring a byte
+  // (FaultVfs leaves the buffer untouched — the contract-violating
+  // driver case). The page checksum covers content only, so if the
+  // frame buffer were not cleared per attempt, page 0's leftover image
+  // would verify and be cached *as page 1*. The pool must instead
+  // surface a short-read error and cache nothing.
+  BufferPool pool(file_.get(), BufferPoolOptions{1, false});
+  {
+    auto warm = pool.Fetch(0);
+    ASSERT_TRUE(warm.ok()) << warm.status().message();
+    EXPECT_EQ(warm->payload(), "page-0");
+  }
+
+  vfs_.set_fail_reads(1);   // attempt 1: transient EIO
+  vfs_.set_short_reads(1);  // attempt 2 (the retry): OK but no bytes
+  auto bad = pool.Fetch(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("short read of page"),
+            std::string::npos)
+      << bad.status().message();
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.read_retries, 1u);
+  EXPECT_EQ(s.io_errors, 1u);
+  EXPECT_EQ(s.resident_pages, 0u);  // neither page 0 nor a fake page 1
+
+  // Disk healed: both pages come back with their own bytes — the fetch
+  // below must miss (nothing stale was cached) and read real data.
+  auto good = pool.Fetch(1);
+  ASSERT_TRUE(good.ok()) << good.status().message();
+  EXPECT_EQ(good->payload(), "page-1");
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
 TEST_F(BufferPoolFaultTest, ChecksumFailurePagesAreNotCached) {
   // Corrupt one payload byte of page 2 in the store image.
   auto image = vfs_.PeekFile("store");
@@ -132,6 +168,50 @@ TEST_F(BufferPoolFaultTest, ConcurrentFetchesUnderInjectedFaultsAreClean) {
   // Every fetch resolves as a hit, a verified miss, a surfaced I/O
   // error, or an all-frames-pinned refusal — never double-counted.
   EXPECT_LE(s.hits + s.misses + s.io_errors, s.fetches);
+}
+
+TEST_F(BufferPoolFaultTest, ConcurrentPrefetchRacingEvictionIsClean) {
+  // Prefetch admission racing clock eviction under a pool smaller than
+  // the file: hint threads keep admitting unpinned frames while fetch
+  // threads pin, read, and (by exhausting the 3 frames) force the clock
+  // hand over both prefetched and demand frames. Every successful pin
+  // must still observe its own page's verified bytes, and occasional
+  // injected read faults must stay absorbed or surfaced — never turn
+  // into a wrong payload. Run under TSan in the store-tsan CI leg.
+  BufferPool pool(file_.get(), BufferPoolOptions{3, false});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&pool, t] {
+      FetchIo io;
+      for (int i = 0; i < 300; ++i) {
+        uint32_t first = static_cast<uint32_t>((i + 3 * t) % 5);
+        pool.PrefetchHint(first, 2, &io);
+      }
+    });
+  }
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([this, &pool, t] {
+      FetchIo io;
+      for (int i = 0; i < 300; ++i) {
+        if (t == 0 && i % 23 == 0) vfs_.set_fail_reads(1);
+        uint32_t page = static_cast<uint32_t>((i * 5 + t) % 6);
+        auto ref = pool.Fetch(page, &io);
+        if (ref.ok()) {
+          EXPECT_EQ(ref->payload(), "page-" + std::to_string(page));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  BufferPoolStats s = pool.stats();
+  EXPECT_EQ(s.pinned_frames, 0u);
+  EXPECT_EQ(s.fetches, 900u);
+  EXPECT_LE(s.resident_pages, 3u);
+  // Prefetch hits can only come from frames a hint admitted.
+  EXPECT_LE(s.prefetch_hits, s.prefetch_pages);
+  // pages_read decomposes exactly into demand misses and prefetched
+  // admissions, however the race interleaved them.
+  EXPECT_EQ(s.pages_read, s.misses + s.prefetch_pages);
 }
 
 }  // namespace

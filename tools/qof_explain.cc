@@ -135,11 +135,19 @@ int Run(int argc, char** argv) {
       return 2;
     }
     std::cout << "\nexecution (" << result->stats.engine << " engine, "
-              << result->stats.strategy << "): " << result->stats.results
-              << " result(s) in " << result->stats.micros << " us\n";
+              << result->stats.strategy << ", " << result->stats.exec_workers
+              << " worker(s)): " << result->stats.results << " result(s) in "
+              << result->stats.micros << " us\n";
     for (const auto& [op, timing] : result->stats.op_timings) {
       std::cout << "  " << op << ": " << timing.count << " node eval(s), "
-                << timing.micros << " us\n";
+                << timing.micros << " us";
+      if (timing.pages_read != 0 || timing.read_calls != 0 ||
+          timing.prefetch_hits != 0) {
+        std::cout << "; io: " << timing.pages_read << " page(s) in "
+                  << timing.read_calls << " read call(s), "
+                  << timing.prefetch_hits << " prefetch hit(s)";
+      }
+      std::cout << "\n";
     }
   }
   return 0;
